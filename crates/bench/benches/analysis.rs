@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the analytic kernels behind Figure 3 and the
+//! worked examples: confidence, closed forms, literal series, and wave DPs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smartred_core::analysis::{confidence, iterative, progressive, traditional, walk};
+use smartred_core::params::{Confidence, KVotes, Reliability, VoteMargin};
+
+fn r07() -> Reliability {
+    Reliability::new(0.7).unwrap()
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    let r = r07();
+    c.bench_function("q(r, a, b) confidence", |b| {
+        b.iter(|| confidence::confidence(black_box(r), black_box(106), black_box(100)))
+    });
+    let target = Confidence::new(0.97).unwrap();
+    c.bench_function("minimum margin d(r, R, 0)", |b| {
+        b.iter(|| confidence::minimum_margin(black_box(r), black_box(target)).unwrap())
+    });
+}
+
+fn bench_traditional(c: &mut Criterion) {
+    let r = r07();
+    let k = KVotes::new(19).unwrap();
+    c.bench_function("traditional reliability Eq.2 (k=19)", |b| {
+        b.iter(|| traditional::reliability(black_box(k), black_box(r)))
+    });
+    let k_large = KVotes::new(199).unwrap();
+    c.bench_function("traditional reliability Eq.2 (k=199)", |b| {
+        b.iter(|| traditional::reliability(black_box(k_large), black_box(r)))
+    });
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let r = r07();
+    let k = KVotes::new(19).unwrap();
+    c.bench_function("progressive cost series Eq.3 (k=19)", |b| {
+        b.iter(|| progressive::cost_series(black_box(k), black_box(r)))
+    });
+    c.bench_function("progressive wave DP (k=19)", |b| {
+        b.iter(|| progressive::profile(black_box(k), black_box(r), (0.5, 1.5)))
+    });
+}
+
+fn bench_iterative(c: &mut Criterion) {
+    let r = r07();
+    let d = VoteMargin::new(4).unwrap();
+    c.bench_function("iterative cost closed form Eq.5 (d=4)", |b| {
+        b.iter(|| iterative::cost(black_box(d), black_box(r)))
+    });
+    c.bench_function("iterative cost series Eq.5 (d=4)", |b| {
+        b.iter(|| iterative::cost_series(black_box(d), black_box(r), 1e-12))
+    });
+    c.bench_function("iterative wave DP (d=4)", |b| {
+        b.iter(|| iterative::profile(black_box(d), black_box(r), (0.5, 1.5), 1e-12))
+    });
+    c.bench_function("first passage distribution (d=4)", |b| {
+        b.iter(|| walk::first_passage(black_box(4), black_box(0.7), 1e-12, 1_000_000))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_confidence,
+    bench_traditional,
+    bench_progressive,
+    bench_iterative
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the Figure 5(a) discrete-event simulations:
+//! times one scaled-down run per technique (TR k=19, PR k=19, IR d=4) at
+//! `r = 0.7`.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::{run, SharedStrategy};
+
+const TASKS: usize = 4_000;
+const NODES: usize = 400;
+
+fn bench_run(c: &mut Criterion, name: &str, strategy: fn() -> SharedStrategy) {
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || DcaConfig::paper_baseline(TASKS, NODES, 0.3, 7),
+            |cfg| run(strategy(), &cfg).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_run(c, "traditional k=19 (4k tasks)", || {
+        Rc::new(Traditional::new(KVotes::new(19).unwrap()))
+    });
+    bench_run(c, "progressive k=19 (4k tasks)", || {
+        Rc::new(Progressive::new(KVotes::new(19).unwrap()))
+    });
+    bench_run(c, "iterative d=4 (4k tasks)", || {
+        Rc::new(Iterative::new(VoteMargin::new(4).unwrap()))
+    });
+}
+
+criterion_group!(fig5a, benches);
+criterion_main!(fig5a);

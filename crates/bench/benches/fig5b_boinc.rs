@@ -1,0 +1,38 @@
+//! Criterion benchmark of the Figure 5(b) volunteer deployment: one full
+//! deployment (140 workunits, 200 hosts, PlanetLab profile) per technique
+//! on a reduced 14-variable instance.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+use smartred_volunteer::server::{run, SharedStrategy, VolunteerConfig};
+
+fn bench_run(c: &mut Criterion, name: &str, strategy: fn() -> SharedStrategy) {
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || VolunteerConfig::paper_deployment(14, 9),
+            |cfg| run(strategy(), &cfg).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_run(c, "traditional k=19 deployment", || {
+        Rc::new(Traditional::new(KVotes::new(19).unwrap()))
+    });
+    bench_run(c, "progressive k=19 deployment", || {
+        Rc::new(Progressive::new(KVotes::new(19).unwrap()))
+    });
+    bench_run(c, "iterative d=4 deployment", || {
+        Rc::new(Iterative::new(VoteMargin::new(4).unwrap()))
+    });
+}
+
+criterion_group!(fig5b, benches);
+criterion_main!(fig5b);

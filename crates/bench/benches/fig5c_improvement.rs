@@ -1,0 +1,27 @@
+//! Criterion benchmark of the Figure 5(c) improvement sweep (pure
+//! analysis; also regenerates the figure's data as a side effect of the
+//! computation it times).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smartred_core::analysis::improvement::{improvement, improvement_sweep, MarginMatch};
+use smartred_core::params::{KVotes, Reliability};
+
+fn bench_single_point(c: &mut Criterion) {
+    let k = KVotes::new(19).unwrap();
+    let r = Reliability::new(0.86).unwrap();
+    c.bench_function("fig5c improvement point (k=19, r=0.86)", |b| {
+        b.iter(|| improvement(black_box(k), black_box(r), MarginMatch::Nearest).unwrap())
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let k = KVotes::new(19).unwrap();
+    c.bench_function("fig5c full sweep (95 points)", |b| {
+        b.iter(|| {
+            improvement_sweep(black_box(k), 0.525, 0.995, 95, MarginMatch::Nearest).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_point, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmark of the Figure 6 response-time machinery: the
+//! analytic wave DPs and a response-focused simulation run.
+
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use smartred_core::analysis::{iterative, progressive};
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::strategy::Iterative;
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::run;
+
+fn bench_analytic(c: &mut Criterion) {
+    let r = Reliability::new(0.7).unwrap();
+    let k = KVotes::new(19).unwrap();
+    let d = VoteMargin::new(6).unwrap();
+    c.bench_function("fig6 analytic PR response (k=19)", |b| {
+        b.iter(|| progressive::profile(black_box(k), black_box(r), (0.5, 1.5)).expected_response)
+    });
+    c.bench_function("fig6 analytic IR response (d=6)", |b| {
+        b.iter(|| {
+            iterative::profile(black_box(d), black_box(r), (0.5, 1.5), 1e-12).expected_response
+        })
+    });
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("simulated IR d=6 response (2k tasks)", |b| {
+        b.iter_batched(
+            || DcaConfig::paper_baseline(2_000, 1_000, 0.3, 13),
+            |cfg| run(Rc::new(Iterative::new(VoteMargin::new(6).unwrap())), &cfg).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(fig6, bench_analytic, bench_simulated);
+criterion_main!(fig6);

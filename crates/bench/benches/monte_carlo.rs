@@ -1,0 +1,77 @@
+//! Criterion benchmark of the Monte-Carlo engine: tasks-per-second
+//! throughput of each strategy under the binary Byzantine model, plus the
+//! n-ary variant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::SeedableRng;
+use smartred_core::monte_carlo::{estimate, estimate_nary, MonteCarloConfig, NaryConfig};
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+
+const TASKS: usize = 10_000;
+
+fn r07() -> Reliability {
+    Reliability::new(0.7).unwrap()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.throughput(Throughput::Elements(TASKS as u64));
+
+    group.bench_function("traditional k=19", |b| {
+        b.iter_batched(
+            || rand_chacha::ChaCha8Rng::seed_from_u64(1),
+            |mut rng| {
+                estimate(
+                    &Traditional::new(KVotes::new(19).unwrap()),
+                    MonteCarloConfig::new(TASKS, r07()),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("progressive k=19", |b| {
+        b.iter_batched(
+            || rand_chacha::ChaCha8Rng::seed_from_u64(2),
+            |mut rng| {
+                estimate(
+                    &Progressive::new(KVotes::new(19).unwrap()),
+                    MonteCarloConfig::new(TASKS, r07()),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("iterative d=4", |b| {
+        b.iter_batched(
+            || rand_chacha::ChaCha8Rng::seed_from_u64(3),
+            |mut rng| {
+                estimate(
+                    &Iterative::new(VoteMargin::new(4).unwrap()),
+                    MonteCarloConfig::new(TASKS, r07()),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("iterative d=4 (n-ary, 8 wrong values)", |b| {
+        b.iter_batched(
+            || rand_chacha::ChaCha8Rng::seed_from_u64(4),
+            |mut rng| {
+                estimate_nary(
+                    &Iterative::new(VoteMargin::new(4).unwrap()),
+                    NaryConfig::new(TASKS, r07(), 8, 0.5),
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(monte_carlo, bench_strategies);
+criterion_main!(monte_carlo);

@@ -1,0 +1,103 @@
+//! Regenerates the paper's figures as plain-text tables.
+//!
+//! ```text
+//! experiments <id> [--full]
+//!
+//! ids: fig3 | fig5a | fig5b | fig5c | fig6 | worked-examples |
+//!      ablation-simple-vs-complex | ablation-waves |
+//!      ablation-baselines | ablation-relaxed | all
+//! ```
+//!
+//! `--full` runs at the paper's scale (10⁶ tasks / 10⁴ nodes simulations,
+//! 22-variable deployments) and takes minutes; the default is a reduced
+//! scale that shows every trend in seconds.
+
+use smartred_bench::{ablations, fig3, fig5a, fig5b, fig5c, fig6, worked, Scale};
+
+const SEED: u64 = 20110620; // ICDCS 2011 opening day
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let id = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let known = [
+        "fig3",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig6",
+        "worked-examples",
+        "ablation-simple-vs-complex",
+        "ablation-waves",
+        "ablation-baselines",
+        "ablation-relaxed",
+        "ablation-churn",
+        "all",
+    ];
+    if !known.contains(&id) {
+        eprintln!("unknown experiment '{id}'; known: {}", known.join(", "));
+        std::process::exit(2);
+    }
+
+    let run = |target: &str| id == "all" || id == target;
+
+    if run("worked-examples") {
+        section("Worked examples (§3; k = 19, r = 0.7, d = 4)");
+        print!("{}", worked::table());
+    }
+    if run("fig3") {
+        section("Figure 3 — analytic reliability vs. cost factor (r = 0.7)");
+        print!("{}", fig3::table());
+    }
+    if run("fig5a") {
+        section("Figure 5(a) — discrete-event simulation (r = 0.7)");
+        print!("{}", fig5a::table(scale, SEED));
+    }
+    if run("fig5b") {
+        section("Figure 5(b) — volunteer-computing deployment (PlanetLab profile)");
+        print!("{}", fig5b::table(scale, SEED));
+    }
+    if run("fig5c") {
+        section("Figure 5(c) — improvement over traditional redundancy vs. r (k = 19)");
+        print!("{}", fig5c::table(if full { 95 } else { 48 }));
+        section("Figure 5(c) cross-check — analytic vs. simulated ratios");
+        print!(
+            "{}",
+            fig5c::simulated_check(scale.sim_tasks() / 2, scale.sim_nodes(), SEED)
+        );
+    }
+    if run("fig6") {
+        section("Figure 6 — average response time vs. cost factor (r = 0.7)");
+        print!("{}", fig6::table(scale, SEED));
+    }
+    if run("ablation-simple-vs-complex") {
+        section("Ablation A1 — simple (Fig. 4) vs. complex iterative algorithm");
+        print!("{}", ablations::simple_vs_complex());
+    }
+    if run("ablation-waves") {
+        section("Ablation A2 — wave deployment vs. one job at a time");
+        print!("{}", ablations::wave_granularity());
+    }
+    if run("ablation-baselines") {
+        section("Ablation A3 — reliability-estimating baselines under attack (§5.1)");
+        print!("{}", ablations::baselines_under_attack());
+    }
+    if run("ablation-relaxed") {
+        section("Ablation A4 — relaxed assumptions (§5.3)");
+        print!("{}", ablations::relaxed_assumptions());
+    }
+    if run("ablation-churn") {
+        section("Ablation A5 — node churn (Fig. 1 join/leave arrows)");
+        print!("{}", ablations::churn());
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}

@@ -1,0 +1,125 @@
+//! Figure 3: analytic system reliability vs. cost factor at `r = 0.7`.
+//!
+//! Three series — traditional redundancy at `k ∈ {1, 3, …}`, progressive at
+//! the same `k`, and iterative at `d ∈ {1, 2, …}` — each a (cost,
+//! reliability) point. The paper's claim: for any cost, IR ≥ PR ≥ TR in
+//! reliability.
+
+use smartred_core::analysis::{iterative, progressive, traditional};
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_stats::Table;
+
+/// One point of a Figure 3 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Technique label ("TR", "PR", "IR").
+    pub technique: &'static str,
+    /// The technique's parameter (`k` or `d`).
+    pub param: usize,
+    /// Expected cost factor.
+    pub cost: f64,
+    /// System reliability.
+    pub reliability: f64,
+}
+
+/// Computes the three Figure 3 series at reliability `r`.
+///
+/// # Panics
+///
+/// Panics if `r` is not a valid probability (callers pass constants).
+pub fn series(r: f64, max_k: usize, max_d: usize) -> Vec<Point> {
+    let r = Reliability::new(r).expect("valid reliability");
+    let mut points = Vec::new();
+    for k in (1..=max_k).step_by(2) {
+        let k_votes = KVotes::new(k).expect("odd k");
+        points.push(Point {
+            technique: "TR",
+            param: k,
+            cost: traditional::cost(k_votes),
+            reliability: traditional::reliability(k_votes, r),
+        });
+        points.push(Point {
+            technique: "PR",
+            param: k,
+            cost: progressive::cost_series(k_votes, r),
+            reliability: progressive::reliability(k_votes, r),
+        });
+    }
+    for d in 1..=max_d {
+        let margin = VoteMargin::new(d).expect("d >= 1");
+        points.push(Point {
+            technique: "IR",
+            param: d,
+            cost: iterative::cost(margin, r),
+            reliability: iterative::reliability(margin, r),
+        });
+    }
+    points
+}
+
+/// Renders the Figure 3 table (the paper plots these points for
+/// `r = 0.7`).
+pub fn table() -> Table {
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "param".into(),
+        "cost factor".into(),
+        "reliability".into(),
+    ]);
+    for p in series(0.7, 29, 15) {
+        table.push_row(vec![
+            p.technique.into(),
+            p.param.to_string(),
+            format!("{:.3}", p.cost),
+            format!("{:.5}", p.reliability),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The dominance the figure displays: at (approximately) any cost, the
+    /// IR series sits above PR which sits above TR.
+    #[test]
+    fn series_are_ordered_at_common_costs() {
+        let points = series(0.7, 29, 15);
+        let at = |tech: &str| -> Vec<(f64, f64)> {
+            let mut v: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.technique == tech)
+                .map(|p| (p.cost, p.reliability))
+                .collect();
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
+            v
+        };
+        let interp = |series: &[(f64, f64)], cost: f64| -> Option<f64> {
+            if cost < series[0].0 || cost > series.last().unwrap().0 {
+                return None;
+            }
+            let i = series.iter().position(|&(c, _)| c >= cost).unwrap();
+            if i == 0 {
+                return Some(series[0].1);
+            }
+            let (c0, r0) = series[i - 1];
+            let (c1, r1) = series[i];
+            Some(r0 + (r1 - r0) * (cost - c0) / (c1 - c0))
+        };
+        let (tr, pr, ir) = (at("TR"), at("PR"), at("IR"));
+        for probe in [5.0, 7.0, 9.0, 11.0, 13.0] {
+            let r_tr = interp(&tr, probe).unwrap();
+            let r_pr = interp(&pr, probe).unwrap();
+            let r_ir = interp(&ir, probe).unwrap();
+            assert!(r_ir >= r_pr - 1e-9, "cost {probe}: IR {r_ir} < PR {r_pr}");
+            assert!(r_pr >= r_tr - 1e-9, "cost {probe}: PR {r_pr} < TR {r_tr}");
+        }
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let t = table();
+        assert_eq!(t.len(), 15 + 15 + 15); // 15 TR + 15 PR + 15 IR points
+    }
+}

@@ -1,0 +1,163 @@
+//! Figure 5(a): discrete-event simulation, reliability vs. cost factor at
+//! `r = 0.7`.
+//!
+//! The paper's XDEVS runs used ≥10⁶ tasks on 10⁴ nodes with job durations
+//! `U[0.5, 1.5]` and mean node reliability 0.7 (§4.1). Each configuration
+//! here is one `smartred-dca` run; the `Full` scale matches those numbers.
+
+use std::rc::Rc;
+
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+use smartred_dca::config::DcaConfig;
+use smartred_dca::metrics::DcaReport;
+use smartred_dca::sim::{run, SharedStrategy};
+use smartred_stats::{binomial_ci, Table};
+
+use crate::Scale;
+
+/// One simulated configuration.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// Technique label.
+    pub technique: &'static str,
+    /// `k` or `d`.
+    pub param: usize,
+    /// The full run report.
+    pub report: DcaReport,
+}
+
+/// The configurations the figure sweeps.
+pub fn configurations() -> Vec<(&'static str, usize, SharedStrategy)> {
+    let mut configs: Vec<(&'static str, usize, SharedStrategy)> = Vec::new();
+    for k in [3usize, 5, 9, 13, 19] {
+        let kv = KVotes::new(k).expect("odd");
+        configs.push(("TR", k, Rc::new(Traditional::new(kv))));
+        configs.push(("PR", k, Rc::new(Progressive::new(kv))));
+    }
+    for d in 1..=6usize {
+        let margin = VoteMargin::new(d).expect("d >= 1");
+        configs.push(("IR", d, Rc::new(Iterative::new(margin))));
+    }
+    configs
+}
+
+/// Runs every configuration at the given scale.
+pub fn simulate(scale: Scale, seed: u64) -> Vec<SimPoint> {
+    configurations()
+        .into_iter()
+        .map(|(technique, param, strategy)| {
+            let cfg = DcaConfig::paper_baseline(
+                scale.sim_tasks(),
+                scale.sim_nodes(),
+                0.3,
+                seed ^ (param as u64) << 8 ^ technique.len() as u64,
+            );
+            let report = run(strategy, &cfg).expect("valid config");
+            SimPoint {
+                technique,
+                param,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 5(a) table.
+pub fn table(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "param".into(),
+        "cost factor".into(),
+        "reliability".into(),
+        "95% CI".into(),
+        "max jobs/task".into(),
+        "mean waves".into(),
+        "makespan".into(),
+        "utilization".into(),
+    ]);
+    for p in simulate(scale, seed) {
+        let (lo, hi) = binomial_ci(
+            p.report.tasks_correct as u64,
+            p.report.tasks_completed as u64,
+            1.96,
+        );
+        table.push_row(vec![
+            p.technique.into(),
+            p.param.to_string(),
+            format!("{:.3}", p.report.cost_factor()),
+            format!("{:.4}", p.report.reliability()),
+            format!("[{lo:.4}, {hi:.4}]"),
+            format!("{:.0}", p.report.max_jobs_single_task()),
+            format!("{:.2}", p.report.waves_per_task.mean()),
+            format!("{:.0}", p.report.makespan_units),
+            format!("{:.3}", p.report.utilization()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartred_core::analysis::{iterative, progressive, traditional};
+    use smartred_core::params::Reliability;
+
+    /// A reduced Figure 5(a): the simulated points land on the analytic
+    /// curves.
+    #[test]
+    fn simulation_matches_analysis() {
+        let r = Reliability::new(0.7).unwrap();
+        let points: Vec<SimPoint> = configurations()
+            .into_iter()
+            .filter(|(technique, param, _)| {
+                // Keep the test fast: one config per technique.
+                matches!(
+                    (*technique, *param),
+                    ("TR", 9) | ("PR", 9) | ("IR", 4)
+                )
+            })
+            .map(|(technique, param, strategy)| {
+                let cfg = DcaConfig::paper_baseline(15_000, 300, 0.3, 99 + param as u64);
+                SimPoint {
+                    technique,
+                    param,
+                    report: run(strategy, &cfg).expect("valid config"),
+                }
+            })
+            .collect();
+        for p in &points {
+            let (cost, rel) = match (p.technique, p.param) {
+                ("TR", k) => {
+                    let k = KVotes::new(k).unwrap();
+                    (traditional::cost(k), traditional::reliability(k, r))
+                }
+                ("PR", k) => {
+                    let k = KVotes::new(k).unwrap();
+                    (progressive::cost_series(k, r), progressive::reliability(k, r))
+                }
+                ("IR", d) => {
+                    let d = VoteMargin::new(d).unwrap();
+                    (iterative::cost(d, r), iterative::reliability(d, r))
+                }
+                _ => unreachable!(),
+            };
+            assert!(
+                (p.report.cost_factor() - cost).abs() < 0.15,
+                "{} {}: cost {} vs {}",
+                p.technique,
+                p.param,
+                p.report.cost_factor(),
+                cost
+            );
+            assert!(
+                (p.report.reliability() - rel).abs() < 0.02,
+                "{} {}: rel {} vs {}",
+                p.technique,
+                p.param,
+                p.report.reliability(),
+                rel
+            );
+        }
+    }
+}

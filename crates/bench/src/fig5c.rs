@@ -1,0 +1,147 @@
+//! Figure 5(c): cost-factor improvement of PR and IR over TR as a function
+//! of node reliability.
+//!
+//! Matching protocol (see DESIGN.md): the reference is `k = 19` (the
+//! paper's running example); PR is compared at the same `k` (identical
+//! reliability by Eq. 4); IR at the margin whose Eq. (6) failure
+//! probability is nearest TR's in log space. The paper reports PR → 2.0×
+//! as `r → 1`, IR ≥ 1.6× near `r = 0.6`, an interior IR peak ≈ 2.8×
+//! around `r ≈ 0.86`, and ≈ 2.4× as `r → 1`.
+
+use std::rc::Rc;
+
+use smartred_core::analysis::improvement::{
+    improvement, improvement_sweep, Improvement, MarginMatch,
+};
+use smartred_core::params::{KVotes, Reliability};
+use smartred_core::strategy::{Iterative, Traditional};
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::run as run_dca;
+use smartred_stats::Table;
+
+/// The sweep behind the figure: `r ∈ [0.525, 0.995]`.
+pub fn sweep(points: usize) -> Vec<Improvement> {
+    improvement_sweep(
+        KVotes::new(19).expect("odd"),
+        0.525,
+        0.995,
+        points,
+        MarginMatch::Nearest,
+    )
+    .expect("range inside (0.5, 1)")
+}
+
+/// Renders the Figure 5(c) table.
+pub fn table(points: usize) -> Table {
+    let mut table = Table::new(vec![
+        "r".into(),
+        "d*".into(),
+        "C_TR".into(),
+        "C_PR".into(),
+        "C_IR".into(),
+        "PR improvement".into(),
+        "IR improvement".into(),
+    ]);
+    for imp in sweep(points) {
+        table.push_row(vec![
+            format!("{:.3}", imp.r.get()),
+            imp.d.get().to_string(),
+            format!("{:.2}", imp.tr_cost),
+            format!("{:.2}", imp.pr_cost),
+            format!("{:.2}", imp.ir_cost),
+            format!("{:.2}", imp.pr_ratio()),
+            format!("{:.2}", imp.ir_ratio()),
+        ]);
+    }
+    table
+}
+
+
+/// Cross-checks the analytic Figure 5(c) ratios against full
+/// discrete-event simulations at selected reliabilities: for each `r`,
+/// simulate TR at `k = 19` and IR at the matched margin, and compare the
+/// measured cost ratio with the analytic one.
+pub fn simulated_check(tasks: usize, nodes: usize, seed: u64) -> Table {
+    let k = KVotes::new(19).expect("odd");
+    let mut table = Table::new(vec![
+        "r".into(),
+        "d*".into(),
+        "IR gain (analytic)".into(),
+        "IR gain (simulated)".into(),
+    ]);
+    for &r in &[0.65, 0.75, 0.86, 0.95] {
+        let rel = Reliability::new(r).expect("valid");
+        let imp = improvement(k, rel, MarginMatch::Nearest).expect("r in range");
+        let cfg = DcaConfig::paper_baseline(tasks, nodes, 1.0 - r, seed);
+        let tr = run_dca(Rc::new(Traditional::new(k)), &cfg).expect("valid");
+        let ir = run_dca(Rc::new(Iterative::new(imp.d)), &cfg).expect("valid");
+        let simulated = tr.cost_factor() / ir.cost_factor();
+        table.push_row(vec![
+            format!("{r:.2}"),
+            imp.d.get().to_string(),
+            format!("{:.2}", imp.ir_ratio()),
+            format!("{simulated:.2}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_paper_shape_claims() {
+        let sweep = sweep(95);
+        let pr: Vec<f64> = sweep.iter().map(|i| i.pr_ratio()).collect();
+        let ir: Vec<f64> = sweep.iter().map(|i| i.ir_ratio()).collect();
+
+        // PR approaches 2.0 from below as r → 1 (§4.2).
+        let pr_end = *pr.last().unwrap();
+        assert!((1.75..=2.05).contains(&pr_end), "PR end {pr_end}");
+        assert!(pr.first().unwrap() < pr.last().unwrap());
+
+        // IR peaks in the paper's band and the peak is interior.
+        let peak = ir.iter().cloned().fold(f64::MIN, f64::max);
+        let peak_idx = ir.iter().position(|&v| v == peak).unwrap();
+        let peak_r = sweep[peak_idx].r.get();
+        assert!((2.3..=3.2).contains(&peak), "IR peak {peak}");
+        assert!(
+            (0.78..=0.97).contains(&peak_r),
+            "IR peak at r = {peak_r}, paper says ≈ 0.86"
+        );
+        // Ends lower than the peak (the paper's "decreases slightly" tail).
+        assert!(*ir.last().unwrap() < peak);
+        // IR beats PR throughout the sweep.
+        for (i, imp) in sweep.iter().enumerate() {
+            assert!(
+                ir[i] >= pr[i] - 0.05,
+                "IR {} < PR {} at r = {}",
+                ir[i],
+                pr[i],
+                imp.r.get()
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_every_point() {
+        assert_eq!(table(20).len(), 20);
+    }
+
+    #[test]
+    fn simulation_confirms_analytic_ratios() {
+        let t = simulated_check(8_000, 300, 5);
+        // Parse the last two columns of each row and require agreement
+        // within simulation noise.
+        for line in t.to_string().lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            let analytic: f64 = cols[cols.len() - 2].parse().unwrap();
+            let simulated: f64 = cols[cols.len() - 1].parse().unwrap();
+            assert!(
+                (analytic - simulated).abs() < 0.12,
+                "analytic {analytic} vs simulated {simulated}"
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 6: average response time vs. cost factor.
+//!
+//! Plotted from the same discrete-event simulations as Figure 5(a),
+//! measuring each task's span from first job dispatch to verdict. The
+//! paper reports TR flat around one wave (1–1.5 units), PR 1.4–2.5× TR,
+//! and IR 1.4–2.8× TR (§5.2). Alongside the simulated values, the analytic
+//! wave-DP expectations from `smartred-core::analysis` are printed — the
+//! two should agree, which cross-validates both.
+
+use std::rc::Rc;
+
+use smartred_core::analysis::response::{expected_max_uniform, DEFAULT_JOB_DURATION};
+use smartred_core::analysis::{iterative, progressive};
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::{run, SharedStrategy};
+use smartred_stats::Table;
+
+use crate::Scale;
+
+/// One response-time observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Technique label.
+    pub technique: &'static str,
+    /// `k` or `d`.
+    pub param: usize,
+    /// Simulated cost factor.
+    pub cost: f64,
+    /// Simulated mean response time, in time units.
+    pub simulated_response: f64,
+    /// Analytic expected response time from the wave DP.
+    pub analytic_response: f64,
+}
+
+fn analytic(technique: &str, param: usize, r: Reliability) -> f64 {
+    match technique {
+        "TR" => expected_max_uniform(param, DEFAULT_JOB_DURATION.0, DEFAULT_JOB_DURATION.1),
+        "PR" => {
+            progressive::profile(KVotes::new(param).expect("odd"), r, DEFAULT_JOB_DURATION)
+                .expected_response
+        }
+        "IR" => {
+            iterative::profile(
+                VoteMargin::new(param).expect("d >= 1"),
+                r,
+                DEFAULT_JOB_DURATION,
+                1e-12,
+            )
+            .expected_response
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Simulates the Figure 6 configurations at `r = 0.7`.
+pub fn simulate(scale: Scale, seed: u64) -> Vec<ResponsePoint> {
+    let r = Reliability::new(0.7).expect("valid");
+    let mut configs: Vec<(&'static str, usize, SharedStrategy)> = Vec::new();
+    for k in [3usize, 9, 19, 25] {
+        let kv = KVotes::new(k).expect("odd");
+        configs.push(("TR", k, Rc::new(Traditional::new(kv))));
+        configs.push(("PR", k, Rc::new(Progressive::new(kv))));
+    }
+    for d in [2usize, 4, 6, 8, 10] {
+        configs.push(("IR", d, Rc::new(Iterative::new(VoteMargin::new(d).expect("d")))));
+    }
+    configs
+        .into_iter()
+        .map(|(technique, param, strategy)| {
+            // Plenty of nodes relative to tasks in flight keeps queueing
+            // delay out of the measurement, isolating wave latency — the
+            // quantity Figure 6 plots.
+            let tasks = scale.sim_tasks() / 4;
+            let nodes = scale.sim_nodes().max(tasks / 20);
+            let cfg = DcaConfig::paper_baseline(tasks, nodes, 0.3, seed + param as u64);
+            let report = run(strategy, &cfg).expect("valid config");
+            ResponsePoint {
+                technique,
+                param,
+                cost: report.cost_factor(),
+                simulated_response: report.mean_response(),
+                analytic_response: analytic(technique, param, r),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 6 table.
+pub fn table(scale: Scale, seed: u64) -> Table {
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "param".into(),
+        "cost factor".into(),
+        "response (sim)".into(),
+        "response (analytic)".into(),
+    ]);
+    for p in simulate(scale, seed) {
+        table.push_row(vec![
+            p.technique.into(),
+            p.param.to_string(),
+            format!("{:.2}", p.cost),
+            format!("{:.3}", p.simulated_response),
+            format!("{:.3}", p.analytic_response),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_response_reproduces_paper_ratios() {
+        // §5.2: "progressive redundancy took between 1.4 and 2.5 times
+        // longer and iterative redundancy between 1.4 and 2.8 times longer
+        // to respond than traditional redundancy."
+        let r = Reliability::new(0.7).unwrap();
+        for k in [9usize, 19] {
+            let tr = analytic("TR", k, r);
+            let pr = analytic("PR", k, r);
+            let ratio = pr / tr;
+            assert!(
+                (1.2..=2.6).contains(&ratio),
+                "PR/TR ratio {ratio} at k = {k}"
+            );
+        }
+        // IR compared against TR at the reliability-matched k (the pairing
+        // of Figure 5(c)): d = 4 matches k = 19, d = 2 roughly matches
+        // k = 5.
+        for (d, k) in [(2usize, 5usize), (4, 19)] {
+            let ir = analytic("IR", d, r);
+            let tr = analytic("TR", k, r);
+            let ratio = ir / tr;
+            assert!(
+                (1.2..=2.9).contains(&ratio),
+                "IR/TR ratio {ratio} at d = {d}, k = {k}"
+            );
+        }
+        // Response grows with the margin (deeper waves).
+        assert!(analytic("IR", 6, r) > analytic("IR", 4, r));
+        assert!(analytic("IR", 4, r) > analytic("IR", 2, r));
+    }
+
+    #[test]
+    fn waves_make_ir_slower_than_tr() {
+        let r = Reliability::new(0.7).unwrap();
+        assert!(analytic("IR", 6, r) > analytic("TR", 19, r));
+        assert!(analytic("PR", 19, r) > analytic("TR", 19, r));
+    }
+}

@@ -1,0 +1,73 @@
+//! # smartred-bench — the experiment harness
+//!
+//! One module per figure of the paper, each exposing a function that runs
+//! the experiment and returns printable tables. The `experiments` binary
+//! dispatches on a figure id; the Criterion benches time the same kernels.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig3`] | Figure 3 — analytic reliability vs. cost factor, `r = 0.7` |
+//! | [`fig5a`] | Figure 5(a) — XDEVS-style simulation, `r = 0.7` |
+//! | [`fig5b`] | Figure 5(b) — BOINC/PlanetLab-style deployment |
+//! | [`fig5c`] | Figure 5(c) — improvement over traditional vs. `r` |
+//! | [`fig6`] | Figure 6 — average response time vs. cost factor |
+//! | [`worked`] | the §3 worked examples (k = 19, r = 0.7, d = 4) |
+//! | [`ablations`] | DESIGN.md ablations A1–A4 |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig5a;
+pub mod fig5b;
+pub mod fig5c;
+pub mod fig6;
+pub mod worked;
+
+/// Experiment scale: `Quick` finishes in seconds for CI and default runs;
+/// `Full` approaches the paper's scale (10⁶ tasks / 10⁴ nodes for the
+/// simulations, 22-variable instances for the deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Reduced sizes, tight enough statistics to see every trend.
+    #[default]
+    Quick,
+    /// Paper-scale runs (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Tasks for DES simulation experiments.
+    pub fn sim_tasks(self) -> usize {
+        match self {
+            Scale::Quick => 40_000,
+            Scale::Full => 1_000_000,
+        }
+    }
+
+    /// Node-pool size for DES simulation experiments.
+    pub fn sim_nodes(self) -> usize {
+        match self {
+            Scale::Quick => 1_000,
+            Scale::Full => 10_000,
+        }
+    }
+
+    /// 3-SAT variables for deployment experiments.
+    pub fn sat_vars(self) -> u32 {
+        match self {
+            Scale::Quick => 14,
+            Scale::Full => 22,
+        }
+    }
+
+    /// Independent deployment executions averaged per configuration.
+    pub fn deployment_runs(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 30,
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The Bayesian confidence `q(r, a, b)` and margin selection (paper §3.3).
+
+use crate::error::ParamError;
+use crate::params::{Confidence, Reliability, VoteMargin};
+
+/// The confidence `q(r, a, b)` that the `a` majority jobs reported the
+/// correct result, given `b` disagreeing jobs and node reliability `r`:
+///
+/// ```text
+/// q(r, a, b) = rᵃ(1−r)ᵇ / (rᵃ(1−r)ᵇ + (1−r)ᵃ rᵇ) = 1 / (1 + θ^(a−b))
+/// ```
+///
+/// with `θ = (1−r)/r`. By Theorem 1 the value depends only on the margin
+/// `a − b`; this function computes the stable `θ`-form so it cannot
+/// underflow for large `a` and `b`.
+///
+/// Degenerate reliabilities follow the limit behavior: `r = 1` gives
+/// confidence 1 for any positive margin, `r = 0` gives 0, and `r = 0.5`
+/// gives ½ regardless of the votes.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::confidence::confidence;
+/// use smartred_core::params::Reliability;
+///
+/// let r = Reliability::new(0.7)?;
+/// // One job: 0.7 confidence (paper §3.3 example).
+/// assert!((confidence(r, 1, 0) - 0.7).abs() < 1e-12);
+/// // Four unanimous jobs: ≈ 0.9674, the paper's "> 0.97" after rounding.
+/// assert!((confidence(r, 4, 0) - 0.96737).abs() < 1e-4);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn confidence(r: Reliability, a: usize, b: usize) -> f64 {
+    let margin = a as i64 - b as i64;
+    if margin == 0 {
+        return 0.5;
+    }
+    let r = r.get();
+    if r == 1.0 {
+        return if margin > 0 { 1.0 } else { 0.0 };
+    }
+    if r == 0.0 {
+        return if margin > 0 { 0.0 } else { 1.0 };
+    }
+    let theta = (1.0 - r) / r;
+    // 1 / (1 + θ^margin); θ^margin may overflow to +inf (→ 0) or underflow
+    // to 0 (→ 1), both of which are the correct limits.
+    1.0 / (1.0 + theta.powi(margin as i32))
+}
+
+/// The paper's `d(r, R, b)`: the minimum number of majority votes `a` such
+/// that `q(r, a, b) ≥ R`.
+///
+/// By Theorem 1 this equals `b + d(r, R, 0)`, so the search is only over the
+/// margin.
+///
+/// # Errors
+///
+/// Returns [`ParamError::OutOfRange`] if `r ≤ 0.5`: the confidence then
+/// never exceeds ½ for any finite margin.
+pub fn required_majority(
+    r: Reliability,
+    target: Confidence,
+    b: usize,
+) -> Result<usize, ParamError> {
+    Ok(b + minimum_margin(r, target)?.get())
+}
+
+/// The minimum margin `d` with `q(r, d, 0) ≥ R` — the parameter the simple
+/// iterative algorithm needs (paper §3.3, "determine d(r, R, 0) once").
+///
+/// # Errors
+///
+/// Returns [`ParamError::OutOfRange`] if `r ≤ 0.5` (no finite margin
+/// suffices).
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::confidence::minimum_margin;
+/// use smartred_core::params::{Confidence, Reliability};
+///
+/// let r = Reliability::new(0.7)?;
+/// let d = minimum_margin(r, Confidence::new(0.96)?)?;
+/// assert_eq!(d.get(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimum_margin(r: Reliability, target: Confidence) -> Result<VoteMargin, ParamError> {
+    if r.get() <= 0.5 {
+        return Err(ParamError::OutOfRange {
+            name: "reliability",
+            value: r.get(),
+            expected: "(0.5, 1] to reach any confidence above 0.5",
+        });
+    }
+    let mut d = 1usize;
+    while confidence(r, d, 0) < target.get() {
+        d += 1;
+        debug_assert!(d < 1_000_000, "margin search diverged");
+    }
+    Ok(VoteMargin::new(d).expect("d starts at 1"))
+}
+
+/// The confidence achieved by a margin of `d` — `R_IR(r) = q(r, d, 0)`,
+/// Eq. (6) of the paper.
+pub fn margin_confidence(r: Reliability, d: VoteMargin) -> f64 {
+    confidence(r, d.get(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn conf(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_job_confidence_equals_reliability() {
+        // q(r, 1, 0) = r/(r + (1−r)) = r.
+        for &v in &[0.55, 0.7, 0.9, 0.99] {
+            assert!((confidence(r(v), 1, 0) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tied_votes_give_half() {
+        assert_eq!(confidence(r(0.7), 0, 0), 0.5);
+        assert_eq!(confidence(r(0.9), 17, 17), 0.5);
+    }
+
+    #[test]
+    fn theorem_1_margin_invariance() {
+        // q(r, a, b) = q(r, a+j, b+j): 6-0 equals 106-100 (paper example).
+        let base = confidence(r(0.7), 6, 0);
+        let shifted = confidence(r(0.7), 106, 100);
+        assert!((base - shifted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minority_margin_is_complementary() {
+        // q(r, a, b) + q(r, b, a) = 1.
+        let plus = confidence(r(0.7), 9, 4);
+        let minus = confidence(r(0.7), 4, 9);
+        assert!((plus + minus - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_reliabilities() {
+        assert_eq!(confidence(r(1.0), 3, 0), 1.0);
+        assert_eq!(confidence(r(1.0), 0, 3), 0.0);
+        assert_eq!(confidence(r(0.0), 3, 0), 0.0);
+        assert_eq!(confidence(r(0.0), 0, 3), 1.0);
+        assert_eq!(confidence(r(0.5), 40, 0), 0.5);
+    }
+
+    #[test]
+    fn huge_margins_do_not_overflow() {
+        assert_eq!(confidence(r(0.7), 5_000, 0), 1.0);
+        assert_eq!(confidence(r(0.7), 0, 5_000), 0.0);
+    }
+
+    #[test]
+    fn paper_margin_for_097_is_four_jobs() {
+        // 0.7⁴/(0.7⁴+0.3⁴) ≈ 0.96737; the paper calls this "> 0.97" (rounded)
+        // and uses four jobs. We match at the unrounded target.
+        assert_eq!(minimum_margin(r(0.7), conf(0.96)).unwrap().get(), 4);
+        // At a strict 0.97 the honest answer is five.
+        assert_eq!(minimum_margin(r(0.7), conf(0.97)).unwrap().get(), 5);
+    }
+
+    #[test]
+    fn required_majority_shifts_by_b() {
+        let base = required_majority(r(0.7), conf(0.96), 0).unwrap();
+        for b in [1usize, 2, 10, 100] {
+            assert_eq!(required_majority(r(0.7), conf(0.96), b).unwrap(), base + b);
+        }
+    }
+
+    #[test]
+    fn minimum_margin_rejects_unreliable_pool() {
+        assert!(minimum_margin(r(0.5), conf(0.97)).is_err());
+        assert!(minimum_margin(r(0.2), conf(0.97)).is_err());
+    }
+
+    #[test]
+    fn margin_confidence_is_eq6() {
+        let d = VoteMargin::new(4).unwrap();
+        let expected = 0.7_f64.powi(4) / (0.7_f64.powi(4) + 0.3_f64.powi(4));
+        assert!((margin_confidence(r(0.7), d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_monotone_in_margin() {
+        let mut last = 0.0;
+        for d in 1..40 {
+            let c = confidence(r(0.7), d, 0);
+            assert!(c > last);
+            last = c;
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Heterogeneous per-job reliabilities (§5.3).
+//!
+//! The paper's base analysis assumes every job has the same success
+//! probability `r` — justified when jobs are assigned to random nodes. §5.3
+//! relaxes this: "the only necessary change to Equations (1) through (6) is
+//! the replacement of `r` with appropriate reliabilities of the relevant
+//! nodes", and exhibits the generalized Eq. (3) with per-job `r_c`.
+//!
+//! The mathematical core is the Poisson-binomial distribution (the sum of
+//! independent non-identical Bernoullis), computed exactly by dynamic
+//! programming. Two sanity theorems are enforced by tests:
+//!
+//! * constant sequences reduce to the homogeneous formulas exactly;
+//! * with jobs drawn i.i.d. from any reliability *mixture*, the system
+//!   behaves exactly as a homogeneous pool at the mixture mean — which is
+//!   why random assignment makes assumption 1 harmless.
+
+use crate::error::ParamError;
+use crate::params::{KVotes, Reliability};
+
+/// Exact distribution of the number of successes among independent
+/// Bernoulli trials with probabilities `probs` (the Poisson-binomial
+/// distribution). Returns a vector `pmf` with `pmf[k] = P(k successes)`.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::heterogeneous::poisson_binomial_pmf;
+///
+/// let pmf = poisson_binomial_pmf(&[0.5, 0.5]);
+/// assert!((pmf[0] - 0.25).abs() < 1e-12);
+/// assert!((pmf[1] - 0.5).abs() < 1e-12);
+/// assert!((pmf[2] - 0.25).abs() < 1e-12);
+/// ```
+pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
+    debug_assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    let mut pmf = vec![0.0; probs.len() + 1];
+    pmf[0] = 1.0;
+    for (i, &p) in probs.iter().enumerate() {
+        // In-place update from high to low so each trial is counted once.
+        for k in (0..=i).rev() {
+            pmf[k + 1] += pmf[k] * p;
+            pmf[k] *= 1.0 - p;
+        }
+    }
+    pmf
+}
+
+/// System reliability of traditional `k`-vote redundancy when job `c` has
+/// reliability `reliabilities[c]` — the §5.3 generalization of Eq. (2):
+/// the probability that at most `(k−1)/2` of the `k` jobs fail.
+///
+/// # Errors
+///
+/// Returns [`ParamError::OutOfRange`] if the sequence length differs from
+/// `k` or any entry is outside `[0, 1]`.
+pub fn traditional_reliability(
+    k: KVotes,
+    reliabilities: &[f64],
+) -> Result<f64, ParamError> {
+    validate_sequence(reliabilities, Some(k.get()))?;
+    let pmf = poisson_binomial_pmf(reliabilities);
+    let consensus = k.consensus();
+    Ok(pmf.iter().skip(consensus).sum())
+}
+
+/// Expected cost of progressive redundancy when the `c`-th job deployed has
+/// reliability `reliabilities[c]` — the §5.3 generalization of Eq. (3):
+///
+/// ```text
+/// C_PR = (k+1)/2 + Σ_{i=(k+3)/2}^{k} P(no consensus among first i−1 jobs)
+/// ```
+///
+/// with the inner probability computed from the Poisson-binomial
+/// distribution of the first `i−1` per-job reliabilities.
+///
+/// # Errors
+///
+/// Returns [`ParamError::OutOfRange`] if fewer than `k` reliabilities are
+/// supplied or any entry is outside `[0, 1]`.
+pub fn progressive_cost(k: KVotes, reliabilities: &[f64]) -> Result<f64, ParamError> {
+    validate_sequence(reliabilities, None)?;
+    if reliabilities.len() < k.get() {
+        return Err(ParamError::OutOfRange {
+            name: "reliabilities.len",
+            value: reliabilities.len() as f64,
+            expected: "at least k entries",
+        });
+    }
+    let consensus = k.consensus();
+    let max_minority = (k.get() - 1) / 2;
+    let mut cost = consensus as f64;
+    for i in (consensus + 1)..=k.get() {
+        // Failures among the first i−1 jobs: job c fails with 1 − r_c.
+        let failure_probs: Vec<f64> = reliabilities[..i - 1].iter().map(|r| 1.0 - r).collect();
+        let pmf = poisson_binomial_pmf(&failure_probs);
+        let p_no_consensus: f64 = (i - consensus..=max_minority.min(i - 1))
+            .map(|j| pmf[j])
+            .sum();
+        cost += p_no_consensus;
+    }
+    Ok(cost)
+}
+
+fn validate_sequence(reliabilities: &[f64], expect_len: Option<usize>) -> Result<(), ParamError> {
+    if let Some(len) = expect_len {
+        if reliabilities.len() != len {
+            return Err(ParamError::OutOfRange {
+                name: "reliabilities.len",
+                value: reliabilities.len() as f64,
+                expected: "exactly k entries",
+            });
+        }
+    }
+    for &r in reliabilities {
+        if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+            return Err(ParamError::OutOfRange {
+                name: "reliability entry",
+                value: r,
+                expected: "[0, 1]",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Mean of a reliability sequence, as a validated [`Reliability`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] on an empty sequence or out-of-range entries.
+pub fn mean_reliability(reliabilities: &[f64]) -> Result<Reliability, ParamError> {
+    if reliabilities.is_empty() {
+        return Err(ParamError::OutOfRange {
+            name: "reliabilities.len",
+            value: 0.0,
+            expected: "at least one entry",
+        });
+    }
+    validate_sequence(reliabilities, None)?;
+    Reliability::new(reliabilities.iter().sum::<f64>() / reliabilities.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{progressive, traditional};
+
+    fn k(v: usize) -> KVotes {
+        KVotes::new(v).unwrap()
+    }
+
+    #[test]
+    fn poisson_binomial_reduces_to_binomial() {
+        use crate::analysis::math::binomial_pmf;
+        let probs = vec![0.7; 9];
+        let pmf = poisson_binomial_pmf(&probs);
+        for (i, &p) in pmf.iter().enumerate() {
+            let expected = binomial_pmf(9, i, 0.7);
+            assert!((p - expected).abs() < 1e-12, "k={i}: {p} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_sums_to_one() {
+        let probs = [0.1, 0.9, 0.33, 0.65, 0.5];
+        let total: f64 = poisson_binomial_pmf(&probs).iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_binomial_degenerate_cases() {
+        assert_eq!(poisson_binomial_pmf(&[]), vec![1.0]);
+        let pmf = poisson_binomial_pmf(&[1.0, 0.0]);
+        assert!((pmf[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sequence_matches_homogeneous_eq2() {
+        let seq = vec![0.7; 19];
+        let het = traditional_reliability(k(19), &seq).unwrap();
+        let hom = traditional::reliability(k(19), Reliability::new(0.7).unwrap());
+        assert!((het - hom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sequence_matches_homogeneous_eq3() {
+        let seq = vec![0.7; 19];
+        let het = progressive_cost(k(19), &seq).unwrap();
+        let hom = progressive::cost_series(k(19), Reliability::new(0.7).unwrap());
+        assert!((het - hom).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reliable_early_jobs_cut_progressive_cost() {
+        // Front-loading reliable nodes reaches consensus sooner.
+        let mut good_first = vec![0.95; 10];
+        good_first.extend(vec![0.45; 9]);
+        let mut bad_first = vec![0.45; 9];
+        bad_first.extend(vec![0.95; 10]);
+        let cheap = progressive_cost(k(19), &good_first).unwrap();
+        let dear = progressive_cost(k(19), &bad_first).unwrap();
+        assert!(
+            cheap < dear - 1.0,
+            "good-first {cheap} should beat bad-first {dear}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_mixture_equals_mean_pool() {
+        // Jobs assigned to random nodes from a two-class pool are i.i.d.
+        // Bernoulli at the class mixture mean, so Eq. (2) with the mean is
+        // exact — §5.3's justification of assumption 1. Verified here by
+        // integrating over the 2^k class patterns implicitly: each job's
+        // marginal is 0.5·0.9 + 0.5·0.5 = 0.7.
+        let mean = 0.5 * 0.9 + 0.5 * 0.5;
+        let hom = traditional::reliability(k(9), Reliability::new(mean).unwrap());
+        // Monte-Carlo over random class assignments of the 9 jobs.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut acc = 0.0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let seq: Vec<f64> = (0..9)
+                .map(|_| if rng.gen_bool(0.5) { 0.9 } else { 0.5 })
+                .collect();
+            acc += traditional_reliability(k(9), &seq).unwrap();
+        }
+        let mixed = acc / trials as f64;
+        assert!(
+            (mixed - hom).abs() < 0.002,
+            "mixture {mixed} vs homogeneous {hom}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_sequences() {
+        assert!(traditional_reliability(k(3), &[0.7, 0.7]).is_err()); // wrong len
+        assert!(traditional_reliability(k(3), &[0.7, 0.7, 1.2]).is_err()); // range
+        assert!(progressive_cost(k(3), &[0.7]).is_err()); // too short
+        assert!(mean_reliability(&[]).is_err());
+    }
+
+    #[test]
+    fn mean_reliability_averages() {
+        let m = mean_reliability(&[0.6, 0.8]).unwrap();
+        assert!((m.get() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! Cost-factor improvement over traditional redundancy (Figure 5(c)).
+//!
+//! The paper plots, as a function of node reliability `r`, how many times
+//! cheaper progressive and iterative redundancy are than traditional
+//! redundancy *at (approximately) equal system reliability*. For progressive
+//! redundancy the match is exact — the same `k` yields the same reliability
+//! (Eq. 4). For iterative redundancy a margin `d` must be chosen whose
+//! Eq. (6) reliability approximates the `k`-vote reliability; because both
+//! grids are discrete the match is only approximate, which the paper's
+//! description acknowledges implicitly (its measured curve wiggles between
+//! 1.6 and 2.8). [`MarginMatch`] selects the matching rule.
+
+use crate::analysis::{iterative, progressive, traditional};
+use crate::error::ParamError;
+use crate::params::{KVotes, Reliability, VoteMargin};
+
+/// How to choose the iterative margin `d` that "matches" `k`-vote
+/// reliability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarginMatch {
+    /// Smallest `d` whose failure probability is *at most* traditional
+    /// redundancy's (IR at least as reliable as TR).
+    AtLeast,
+    /// Largest `d` whose failure probability is *at least* traditional
+    /// redundancy's (IR at most as reliable; `d = 1` if none).
+    AtMost,
+    /// The `d` whose failure probability is nearest traditional
+    /// redundancy's in log space. This is the default and the protocol used
+    /// for the Figure 5(c) reproduction.
+    #[default]
+    Nearest,
+}
+
+/// One point of the Figure 5(c) curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Improvement {
+    /// Node reliability of the comparison.
+    pub r: Reliability,
+    /// Reference vote count for traditional/progressive redundancy.
+    pub k: KVotes,
+    /// Matched iterative margin.
+    pub d: VoteMargin,
+    /// Cost factors.
+    pub tr_cost: f64,
+    /// Progressive cost factor at the same `k`.
+    pub pr_cost: f64,
+    /// Iterative cost factor at the matched `d`.
+    pub ir_cost: f64,
+    /// System reliabilities actually achieved.
+    pub tr_reliability: f64,
+    /// Iterative reliability at the matched `d` (approximates
+    /// `tr_reliability`).
+    pub ir_reliability: f64,
+}
+
+impl Improvement {
+    /// `C_TR / C_PR` — the "PR" curve of Figure 5(c).
+    pub fn pr_ratio(&self) -> f64 {
+        self.tr_cost / self.pr_cost
+    }
+
+    /// `C_TR / C_IR` — the "IR" curve of Figure 5(c).
+    pub fn ir_ratio(&self) -> f64 {
+        self.tr_cost / self.ir_cost
+    }
+}
+
+/// Chooses the iterative margin matching `k`-vote reliability at pool
+/// reliability `r` under the given rule.
+///
+/// # Errors
+///
+/// Returns [`ParamError::OutOfRange`] if `r ≤ 0.5` or `r = 1` (failure
+/// probabilities degenerate and no meaningful match exists).
+pub fn matched_margin(
+    k: KVotes,
+    r: Reliability,
+    rule: MarginMatch,
+) -> Result<VoteMargin, ParamError> {
+    if r.get() <= 0.5 || r.get() >= 1.0 {
+        return Err(ParamError::OutOfRange {
+            name: "reliability",
+            value: r.get(),
+            expected: "(0.5, 1) for reliability matching",
+        });
+    }
+    let target_failure = (1.0 - traditional::reliability(k, r)).max(f64::MIN_POSITIVE);
+    let failure = |d: usize| -> f64 {
+        (1.0 - iterative::reliability(VoteMargin::new(d).expect("d >= 1"), r))
+            .max(f64::MIN_POSITIVE)
+    };
+    // Failure is strictly decreasing in d; find the first d at or below the
+    // target.
+    let mut d = 1usize;
+    while failure(d) > target_failure {
+        d += 1;
+        debug_assert!(d < 10_000, "margin match diverged");
+    }
+    let chosen = match rule {
+        MarginMatch::AtLeast => d,
+        MarginMatch::AtMost => d.saturating_sub(1).max(1),
+        MarginMatch::Nearest => {
+            if d == 1 {
+                1
+            } else {
+                let hi = (failure(d) / target_failure).ln().abs();
+                let lo = (failure(d - 1) / target_failure).ln().abs();
+                if lo <= hi {
+                    d - 1
+                } else {
+                    d
+                }
+            }
+        }
+    };
+    Ok(VoteMargin::new(chosen).expect("chosen >= 1"))
+}
+
+/// Computes one point of the Figure 5(c) curves.
+///
+/// # Errors
+///
+/// Propagates [`matched_margin`]'s error for degenerate `r`.
+pub fn improvement(
+    k: KVotes,
+    r: Reliability,
+    rule: MarginMatch,
+) -> Result<Improvement, ParamError> {
+    let d = matched_margin(k, r, rule)?;
+    Ok(Improvement {
+        r,
+        k,
+        d,
+        tr_cost: traditional::cost(k),
+        pr_cost: progressive::cost_series(k, r),
+        ir_cost: iterative::cost(d, r),
+        tr_reliability: traditional::reliability(k, r),
+        ir_reliability: iterative::reliability(d, r),
+    })
+}
+
+/// Sweeps `r` over an inclusive range with the given number of points,
+/// producing the full Figure 5(c) data set.
+///
+/// # Errors
+///
+/// Returns an error if the range leaves `(0.5, 1)` or `points < 2`.
+pub fn improvement_sweep(
+    k: KVotes,
+    r_lo: f64,
+    r_hi: f64,
+    points: usize,
+    rule: MarginMatch,
+) -> Result<Vec<Improvement>, ParamError> {
+    if points < 2 {
+        return Err(ParamError::OutOfRange {
+            name: "points",
+            value: points as f64,
+            expected: "at least 2",
+        });
+    }
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let r = r_lo + (r_hi - r_lo) * (i as f64) / ((points - 1) as f64);
+        out.push(improvement(k, Reliability::new(r)?, rule)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k19() -> KVotes {
+        KVotes::new(19).unwrap()
+    }
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn matched_margin_at_r07_is_four() {
+        // The paper's running example: k = 19, r = 0.7 ↔ d = 4.
+        let d = matched_margin(k19(), r(0.7), MarginMatch::Nearest).unwrap();
+        assert_eq!(d.get(), 4);
+    }
+
+    #[test]
+    fn match_rules_are_ordered() {
+        for &rr in &[0.6, 0.7, 0.86, 0.95] {
+            let lo = matched_margin(k19(), r(rr), MarginMatch::AtMost).unwrap();
+            let hi = matched_margin(k19(), r(rr), MarginMatch::AtLeast).unwrap();
+            let near = matched_margin(k19(), r(rr), MarginMatch::Nearest).unwrap();
+            assert!(lo <= hi);
+            assert!(near == lo || near == hi);
+            assert!(hi.get() - lo.get() <= 1);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_reliability() {
+        assert!(matched_margin(k19(), r(0.5), MarginMatch::Nearest).is_err());
+        assert!(matched_margin(k19(), r(1.0), MarginMatch::Nearest).is_err());
+        assert!(matched_margin(k19(), r(0.3), MarginMatch::Nearest).is_err());
+    }
+
+    #[test]
+    fn paper_improvement_at_r07_is_about_2x() {
+        let imp = improvement(k19(), r(0.7), MarginMatch::Nearest).unwrap();
+        assert!((imp.ir_ratio() - 2.0).abs() < 0.15, "{}", imp.ir_ratio());
+        assert!(imp.pr_ratio() > 1.2 && imp.pr_ratio() < 1.5);
+    }
+
+    #[test]
+    fn pr_ratio_approaches_two_for_reliable_pools() {
+        // Paper §4.2: "for r approaching 1, progressive redundancy uses 2.0
+        // times fewer resources than traditional redundancy."
+        let imp = improvement(k19(), r(0.999), MarginMatch::Nearest).unwrap();
+        assert!((imp.pr_ratio() - 1.9).abs() < 0.1, "{}", imp.pr_ratio());
+    }
+
+    #[test]
+    fn ir_always_beats_pr_which_beats_tr() {
+        for &rr in &[0.55, 0.6, 0.7, 0.8, 0.86, 0.9, 0.95, 0.99] {
+            let imp = improvement(k19(), r(rr), MarginMatch::Nearest).unwrap();
+            assert!(
+                imp.ir_cost < imp.pr_cost && imp.pr_cost < imp.tr_cost,
+                "r={rr}: {} / {} / {}",
+                imp.ir_cost,
+                imp.pr_cost,
+                imp.tr_cost
+            );
+        }
+    }
+
+    #[test]
+    fn ir_improvement_has_interior_peak() {
+        // Paper §4.2: efficiency peaks around r ≈ 0.86 then declines slightly.
+        let sweep =
+            improvement_sweep(k19(), 0.6, 0.99, 40, MarginMatch::Nearest).unwrap();
+        let ratios: Vec<f64> = sweep.iter().map(|i| i.ir_ratio()).collect();
+        let peak = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > ratios[0], "peak {peak} not above left end {}", ratios[0]);
+        assert!(
+            peak > *ratios.last().unwrap(),
+            "peak {peak} not above right end"
+        );
+        assert!(peak > 2.3 && peak < 3.2, "peak {peak} outside paper band");
+    }
+
+    #[test]
+    fn sweep_validates_inputs() {
+        assert!(improvement_sweep(k19(), 0.6, 0.9, 1, MarginMatch::Nearest).is_err());
+        assert!(improvement_sweep(k19(), 0.4, 0.9, 5, MarginMatch::Nearest).is_err());
+    }
+
+    #[test]
+    fn ir_reliability_brackets_tr() {
+        let at_least = improvement(k19(), r(0.8), MarginMatch::AtLeast).unwrap();
+        assert!(at_least.ir_reliability >= at_least.tr_reliability);
+        let at_most = improvement(k19(), r(0.8), MarginMatch::AtMost).unwrap();
+        assert!(at_most.ir_reliability <= at_most.tr_reliability);
+    }
+}

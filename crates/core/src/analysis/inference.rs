@@ -1,0 +1,201 @@
+//! Backing out node reliability from observed measurements (§4.2).
+//!
+//! The paper validates its PlanetLab deployment by inverting the cost and
+//! reliability formulas: "the executions consistently reported costs and
+//! system reliabilities consistent with 0.64 < r < 0.67". This module
+//! provides those inversions — each analytic quantity is strictly monotone
+//! in `r` on `(½, 1)`, so a bisection recovers the `r` that explains an
+//! observation.
+
+use crate::analysis::{iterative, progressive, traditional};
+use crate::error::ParamError;
+use crate::params::{KVotes, Reliability, VoteMargin};
+
+/// Result of a bisection: the reliability in `(0.5, 1)` explaining the
+/// observation, or an error if the observation is outside the technique's
+/// achievable range.
+fn bisect<F>(mut f: F, target: f64, increasing: bool) -> Result<Reliability, ParamError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let mut lo = 0.5 + 1e-9;
+    let mut hi = 1.0 - 1e-9;
+    let (f_lo, f_hi) = (f(lo), f(hi));
+    let (mut below, mut above) = if increasing { (f_lo, f_hi) } else { (f_hi, f_lo) };
+    if below > above {
+        std::mem::swap(&mut below, &mut above);
+    }
+    if !(below..=above).contains(&target) {
+        return Err(ParamError::OutOfRange {
+            name: "observation",
+            value: target,
+            expected: "within the technique's achievable range for r in (0.5, 1)",
+        });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let v = f(mid);
+        let go_right = if increasing { v < target } else { v > target };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Reliability::new(0.5 * (lo + hi))
+}
+
+/// Infers `r` from an observed iterative cost factor at margin `d`
+/// (inverts Eq. 5, which is strictly decreasing in `r`).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `cost` is outside `(d, d²)` — the achievable
+/// range between a perfect pool and a coin-flip pool.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::inference::reliability_from_iterative_cost;
+/// use smartred_core::params::VoteMargin;
+///
+/// // The paper's example: d = 4 costing ≈ 9.35 implies r ≈ 0.7.
+/// let r = reliability_from_iterative_cost(VoteMargin::new(4)?, 9.35)?;
+/// assert!((r.get() - 0.7).abs() < 0.005);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn reliability_from_iterative_cost(
+    d: VoteMargin,
+    cost: f64,
+) -> Result<Reliability, ParamError> {
+    bisect(|r| iterative::cost(d, Reliability::new(r).expect("bisection range")), cost, false)
+}
+
+/// Infers `r` from an observed progressive cost factor at vote count `k`
+/// (inverts Eq. 3).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `cost` is outside the achievable range
+/// `((k+1)/2, …)`.
+pub fn reliability_from_progressive_cost(
+    k: KVotes,
+    cost: f64,
+) -> Result<Reliability, ParamError> {
+    bisect(
+        |r| progressive::cost_series(k, Reliability::new(r).expect("bisection range")),
+        cost,
+        false,
+    )
+}
+
+/// Infers `r` from an observed `k`-vote system reliability (inverts Eq. 2,
+/// strictly increasing in `r`).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the observation is outside `(0.5, 1)`.
+pub fn reliability_from_traditional_reliability(
+    k: KVotes,
+    observed: f64,
+) -> Result<Reliability, ParamError> {
+    bisect(
+        |r| traditional::reliability(k, Reliability::new(r).expect("bisection range")),
+        observed,
+        true,
+    )
+}
+
+/// Infers `r` from an observed iterative system reliability at margin `d`
+/// (inverts Eq. 6).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the observation is outside `(0.5, 1)`.
+pub fn reliability_from_iterative_reliability(
+    d: VoteMargin,
+    observed: f64,
+) -> Result<Reliability, ParamError> {
+    bisect(
+        |r| iterative::reliability(d, Reliability::new(r).expect("bisection range")),
+        observed,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(v: usize) -> VoteMargin {
+        VoteMargin::new(v).unwrap()
+    }
+
+    fn k(v: usize) -> KVotes {
+        KVotes::new(v).unwrap()
+    }
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn iterative_cost_roundtrip() {
+        for &rr in &[0.55, 0.65, 0.7, 0.86, 0.95] {
+            let cost = iterative::cost(d(4), r(rr));
+            let inferred = reliability_from_iterative_cost(d(4), cost).unwrap();
+            assert!(
+                (inferred.get() - rr).abs() < 1e-6,
+                "r={rr}: inferred {}",
+                inferred
+            );
+        }
+    }
+
+    #[test]
+    fn progressive_cost_roundtrip() {
+        for &rr in &[0.6, 0.66, 0.8] {
+            let cost = progressive::cost_series(k(19), r(rr));
+            let inferred = reliability_from_progressive_cost(k(19), cost).unwrap();
+            assert!((inferred.get() - rr).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn traditional_reliability_roundtrip() {
+        for &rr in &[0.6, 0.66, 0.8] {
+            let observed = traditional::reliability(k(19), r(rr));
+            let inferred = reliability_from_traditional_reliability(k(19), observed).unwrap();
+            assert!((inferred.get() - rr).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iterative_reliability_roundtrip() {
+        let observed = iterative::reliability(d(6), r(0.66));
+        let inferred = reliability_from_iterative_reliability(d(6), observed).unwrap();
+        assert!((inferred.get() - 0.66).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_observations_are_rejected() {
+        // Cost below d is unachievable.
+        assert!(reliability_from_iterative_cost(d(4), 3.0).is_err());
+        // Cost above d² means r < 1/2.
+        assert!(reliability_from_iterative_cost(d(4), 30.0).is_err());
+        // A reliability of 0.3 is below the r > ½ branch.
+        assert!(reliability_from_traditional_reliability(k(19), 0.3).is_err());
+    }
+
+    #[test]
+    fn consistent_inference_across_techniques() {
+        // Simulating the paper's validation: if the same pool drives both
+        // PR and IR runs, the two inversions must agree on r.
+        let true_r = 0.655;
+        let pr_cost = progressive::cost_series(k(19), r(true_r));
+        let ir_cost = iterative::cost(d(4), r(true_r));
+        let from_pr = reliability_from_progressive_cost(k(19), pr_cost).unwrap();
+        let from_ir = reliability_from_iterative_cost(d(4), ir_cost).unwrap();
+        assert!((from_pr.get() - from_ir.get()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Numerically stable combinatorics used throughout the analysis.
+//!
+//! Everything works in log space so the formulas of the paper remain exact
+//! for large `k` (e.g. `C(199, 100)` overflows `f64` as a plain product but
+//! is unremarkable as a log).
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+///
+/// Accurate to better than `1e-13` over the range used here; standard g=7,
+/// n=9 coefficients.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the analysis never evaluates the gamma function at
+/// non-positive points; doing so is a logic error).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Coefficients for g = 7, n = 9 (Boost/Numerical Recipes lineage).
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i as f64) + 1.0);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` via the gamma function.
+pub fn ln_factorial(n: usize) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`, the log of the binomial coefficient.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability that a `Binomial(n, p)` variable equals `k`.
+pub fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_binomial(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln()).exp()
+}
+
+/// Probability that a `Binomial(n, p)` variable is at least `k`.
+pub fn binomial_sf(n: usize, k: usize, p: f64) -> f64 {
+    (k..=n).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+/// Probability that a `Binomial(n, p)` variable is at most `k`.
+pub fn binomial_cdf(n: usize, k: usize, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0_f64.ln(), 1e-12); // Γ(5) = 4! = 24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(11) = 10! = 3628800
+        close(ln_gamma(11.0), 3_628_800.0_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_small_values() {
+        close(ln_factorial(0), 0.0, 1e-15);
+        close(ln_factorial(1), 0.0, 1e-15);
+        close(ln_factorial(5), 120.0_f64.ln(), 1e-12);
+        close(ln_factorial(20), 2.432_902_008_176_64e18_f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_matches_pascal() {
+        close(ln_binomial(19, 10), 92_378.0_f64.ln(), 1e-9);
+        close(ln_binomial(5, 0), 0.0, 1e-15);
+        close(ln_binomial(5, 5), 0.0, 1e-15);
+        assert_eq!(ln_binomial(3, 7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10usize, 0.3), (19, 0.7), (51, 0.86), (1, 0.5)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            close(total, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate_p() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+        assert_eq!(binomial_pmf(5, 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn sf_and_cdf_are_complements() {
+        for k in 0..=10usize {
+            let sf = binomial_sf(10, k, 0.42);
+            let cdf = if k == 0 { 0.0 } else { binomial_cdf(10, k - 1, 0.42) };
+            close(sf + cdf, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_k19_reliability_term() {
+        // 1 − P(Bin(19, 0.3) ≥ 10) ≈ 0.9674, the paper's "0.97".
+        let reliability = 1.0 - binomial_sf(19, 10, 0.3);
+        close(reliability, 0.9674, 2e-4);
+    }
+}

@@ -1,0 +1,36 @@
+//! Exact analysis of the three redundancy techniques (paper §3, Eqs. 1–6).
+//!
+//! Every quantity the paper derives is implemented at least twice, by
+//! independent methods, and the test suite requires the derivations to
+//! agree:
+//!
+//! * traditional redundancy — [`traditional::cost`] (Eq. 1) and
+//!   [`traditional::reliability`] (Eq. 2);
+//! * progressive redundancy — [`progressive::cost_series`] (the literal
+//!   Eq. 3) versus the exact wave DP [`progressive::profile`], and
+//!   [`progressive::reliability`] (Eq. 4);
+//! * iterative redundancy — the closed form [`iterative::cost`], the literal
+//!   series [`iterative::cost_series`] (Eq. 5), and the wave DP
+//!   [`iterative::profile`]; reliability per Eq. 6 in
+//!   [`iterative::reliability`];
+//! * the Bayesian confidence `q(r, a, b)` and margin selection
+//!   ([`confidence`]);
+//! * reliability-matched cost improvement, the quantity of Figure 5(c)
+//!   ([`mod@improvement`]);
+//! * numerical verification of the §3.3 optimality claim over all
+//!   implementable stopping policies ([`optimal`]).
+
+pub mod confidence;
+pub mod heterogeneous;
+pub mod improvement;
+pub mod inference;
+pub mod iterative;
+pub mod math;
+pub mod optimal;
+pub mod progressive;
+pub mod response;
+pub mod traditional;
+pub mod walk;
+
+pub use confidence::{confidence as q, margin_confidence, minimum_margin, required_majority};
+pub use improvement::{improvement, improvement_sweep, Improvement, MarginMatch};

@@ -1,0 +1,263 @@
+//! Numerical verification of the §3.3 optimality claim.
+//!
+//! The paper asserts iterative redundancy "is guaranteed to use the
+//! minimum amount of computation needed to achieve the desired system
+//! reliability". This module checks that claim against *all implementable
+//! stopping policies*, not just margin thresholds.
+//!
+//! An implementable validator observes only the votes, never the truth. By
+//! Theorem 1 the posterior that the current leader is correct depends only
+//! on the absolute margin `m`, so `m` is a sufficient statistic and the
+//! observable process is a Markov chain on `m ≥ 0` whose *predictive*
+//! agree-probability is `p(m) = post(m)·r + (1 − post(m))·(1 − r)` with
+//! `post(m) = 1/(1 + θ^m)`. Any stopping policy — stationary or not — is a
+//! stopping rule on this chain; its reliability is `E[post at stop]` (tower
+//! rule) and its cost is `E[jobs]`.
+//!
+//! For a Lagrange multiplier `λ ≥ 0`, backward induction computes the
+//! policy maximizing `λ·P(correct) − E[jobs]` exactly over a finite
+//! horizon; sweeping `λ` traces the achievable (cost, reliability) Pareto
+//! frontier. The tests verify Wald–Wolfowitz-style optimality numerically:
+//! every iterative-redundancy point `(C_IR(d), R_IR(d))` lies on the
+//! frontier, every frontier point *is* a margin threshold, and traditional
+//! redundancy is strictly dominated.
+
+use crate::params::Reliability;
+
+/// One point of the optimal cost/reliability frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// The Lagrange multiplier that produced this policy.
+    pub lambda: f64,
+    /// Expected jobs of the optimal policy at this multiplier.
+    pub cost: f64,
+    /// Probability of a correct verdict under that policy.
+    pub reliability: f64,
+}
+
+/// Posterior that the leader is correct at absolute margin `m` (Eq. 6 /
+/// Theorem 2).
+fn post(r: f64, m: usize) -> f64 {
+    if r == 0.5 {
+        return 0.5;
+    }
+    let theta = (1.0 - r) / r;
+    1.0 / (1.0 + theta.powi(m as i32))
+}
+
+/// Predictive probability that the next vote agrees with the current
+/// leader, given absolute margin `m`.
+fn p_agree(r: f64, m: usize) -> f64 {
+    let q = post(r, m);
+    q * r + (1.0 - q) * (1.0 - r)
+}
+
+/// Solves the λ-relaxed stopping problem by backward induction over the
+/// observable margin chain and evaluates the greedy policy forward.
+/// Returns `(expected_jobs, reliability)`.
+fn solve_lambda(r: Reliability, lambda: f64, horizon: usize) -> (f64, f64) {
+    let r = r.get();
+    let width = horizon + 2; // margins 0..=horizon+1 (padding for m+1)
+    // Terminal layer: forced stop.
+    let mut value: Vec<f64> = (0..width).map(|m| lambda * post(r, m)).collect();
+    for _ in 0..horizon {
+        let mut next = value.clone();
+        for m in 0..width - 1 {
+            let stop = lambda * post(r, m);
+            let up = if m == 0 { 1.0 } else { p_agree(r, m) };
+            let down = 1.0 - up;
+            let down_state = m.saturating_sub(1);
+            let cont = -1.0 + up * value[m + 1] + down * value[down_state];
+            next[m] = stop.max(cont);
+        }
+        value = next;
+    }
+    let stop_at = |m: usize| -> bool {
+        if m >= width - 1 {
+            return true;
+        }
+        let stop = lambda * post(r, m);
+        let up = if m == 0 { 1.0 } else { p_agree(r, m) };
+        let down = 1.0 - up;
+        let cont = -1.0 + up * value[m + 1] + down * value[m.saturating_sub(1)];
+        stop >= cont
+    };
+    // Forward evaluation by probability-mass iteration.
+    let mut mass = vec![0.0f64; width];
+    mass[0] = 1.0;
+    let mut cost = 0.0;
+    let mut reliability = 0.0;
+    for _ in 0..horizon {
+        let mut next = vec![0.0f64; width];
+        for m in 0..width - 1 {
+            let p = mass[m];
+            if p == 0.0 {
+                continue;
+            }
+            if stop_at(m) {
+                reliability += p * post(r, m);
+            } else {
+                cost += p;
+                let up = if m == 0 { 1.0 } else { p_agree(r, m) };
+                next[m + 1] += p * up;
+                next[m.saturating_sub(1)] += p * (1.0 - up);
+            }
+        }
+        mass = next;
+    }
+    for (m, &p) in mass.iter().enumerate() {
+        if p > 0.0 {
+            reliability += p * post(r, m);
+        }
+    }
+    (cost, reliability)
+}
+
+/// Sweeps the Lagrange multiplier to trace the optimal (cost, reliability)
+/// frontier over all implementable stopping policies.
+///
+/// # Panics
+///
+/// Panics if `lambdas` is empty or `horizon == 0` (an experiment-setup
+/// error).
+pub fn frontier(r: Reliability, lambdas: &[f64], horizon: usize) -> Vec<FrontierPoint> {
+    assert!(!lambdas.is_empty(), "at least one multiplier required");
+    assert!(horizon > 0, "horizon must be positive");
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let (cost, reliability) = solve_lambda(r, lambda, horizon);
+            FrontierPoint {
+                lambda,
+                cost,
+                reliability,
+            }
+        })
+        .collect()
+}
+
+/// Checks whether `(cost, reliability)` is dominated by any frontier point:
+/// strictly cheaper *and* strictly more reliable (beyond tolerance `eps`).
+pub fn is_dominated(points: &[FrontierPoint], cost: f64, reliability: f64, eps: f64) -> bool {
+    points
+        .iter()
+        .any(|p| p.cost < cost - eps && p.reliability > reliability + eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::iterative;
+    use crate::params::VoteMargin;
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    const HORIZON: usize = 300;
+
+    fn lambda_grid() -> Vec<f64> {
+        // Geometric sweep covering thresholds d = 1..~10 at the rs tested.
+        (0..140).map(|i| 1.5f64 * 1.1f64.powi(i)).collect()
+    }
+
+    /// The paper's optimality claim: no implementable stopping policy (of
+    /// any shape, stationary or not) achieves strictly better cost *and*
+    /// reliability than iterative redundancy at any margin d.
+    #[test]
+    fn iterative_points_are_not_dominated() {
+        for &r in &[0.6, 0.7, 0.86] {
+            let points = frontier(rel(r), &lambda_grid(), HORIZON);
+            for d in 1..=7usize {
+                let cost = iterative::cost(VoteMargin::new(d).unwrap(), rel(r));
+                let reliability = iterative::reliability(VoteMargin::new(d).unwrap(), rel(r));
+                assert!(
+                    !is_dominated(&points, cost, reliability, 1e-6),
+                    "IR d={d} at r={r} is dominated — optimality violated"
+                );
+            }
+        }
+    }
+
+    /// Conversely, the Lagrangian-optimal policies *are* iterative
+    /// redundancy: each frontier point coincides with some margin
+    /// threshold's (cost, reliability).
+    #[test]
+    fn frontier_points_coincide_with_margin_thresholds() {
+        let r = rel(0.7);
+        let points = frontier(r, &lambda_grid(), HORIZON);
+        for p in &points {
+            if p.cost < 0.5 {
+                continue; // λ too small: optimal is to not even start
+            }
+            let matches_some_d = (1..=40usize).any(|d| {
+                let cost = iterative::cost(VoteMargin::new(d).unwrap(), r);
+                let rel_d = iterative::reliability(VoteMargin::new(d).unwrap(), r);
+                (cost - p.cost).abs() < 1e-3 && (rel_d - p.reliability).abs() < 1e-6
+            });
+            assert!(
+                matches_some_d,
+                "frontier point (λ={}, cost={}, rel={}) is not a margin threshold",
+                p.lambda, p.cost, p.reliability
+            );
+        }
+    }
+
+    /// Traditional redundancy is strictly dominated for k ≥ 3 (it pays for
+    /// votes that cannot change the verdict).
+    #[test]
+    fn traditional_is_strictly_dominated() {
+        use crate::analysis::traditional;
+        use crate::params::KVotes;
+        let r = rel(0.7);
+        let points = frontier(r, &lambda_grid(), HORIZON);
+        for k in [9usize, 19] {
+            let kv = KVotes::new(k).unwrap();
+            assert!(
+                is_dominated(
+                    &points,
+                    traditional::cost(kv),
+                    traditional::reliability(kv, r),
+                    1e-6
+                ),
+                "TR k={k} should be dominated"
+            );
+        }
+    }
+
+    /// Frontier sanity: cost and reliability are non-decreasing in λ
+    /// (paying more for correctness buys more of it).
+    #[test]
+    fn frontier_is_monotone_in_lambda() {
+        let points = frontier(rel(0.7), &lambda_grid(), HORIZON);
+        for pair in points.windows(2) {
+            assert!(pair[1].cost >= pair[0].cost - 1e-9);
+            assert!(pair[1].reliability >= pair[0].reliability - 1e-9);
+        }
+    }
+
+    /// The predictive chain is consistent with the truth-frame walk: a
+    /// margin-d threshold policy evaluated on the observable chain must
+    /// reproduce Eqs. (5) and (6) exactly.
+    #[test]
+    fn observable_chain_reproduces_eq5_eq6() {
+        let r = rel(0.7);
+        // Pick λ values that select d = 2 and d = 4 and compare with the
+        // closed forms.
+        let points = frontier(r, &lambda_grid(), HORIZON);
+        for d in [2usize, 4] {
+            let cost = iterative::cost(VoteMargin::new(d).unwrap(), r);
+            let rel_d = iterative::reliability(VoteMargin::new(d).unwrap(), r);
+            let hit = points
+                .iter()
+                .any(|p| (p.cost - cost).abs() < 1e-3 && (p.reliability - rel_d).abs() < 1e-6);
+            assert!(hit, "no frontier point matches IR d={d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one multiplier")]
+    fn empty_lambda_grid_panics() {
+        frontier(rel(0.7), &[], 10);
+    }
+}

@@ -1,0 +1,261 @@
+//! Analytic cost and reliability of progressive redundancy (Eqs. 3–4).
+//!
+//! Two independent derivations of the expected cost are provided:
+//! [`cost_series`] is the paper's Eq. (3) transcribed literally, and
+//! [`profile`] is an exact dynamic program over the wave process. The test
+//! suite requires them to agree to ~1e-9, guarding against transcription
+//! errors in either.
+
+use std::collections::HashMap;
+
+use crate::analysis::math::{binomial_pmf, ln_binomial};
+use crate::analysis::response::expected_max_uniform;
+use crate::params::{KVotes, Reliability};
+
+/// System reliability of `k`-vote progressive redundancy — Eq. (4), equal to
+/// traditional redundancy's Eq. (2).
+pub fn reliability(k: KVotes, r: Reliability) -> f64 {
+    crate::analysis::traditional::reliability(k, r)
+}
+
+/// Expected cost factor of `k`-vote progressive redundancy — the literal
+/// series of Eq. (3):
+///
+/// ```text
+/// C_PR(r) = (k+1)/2 + Σ_{i=(k+3)/2}^{k} Σ_{j=i−(k+1)/2}^{(k−1)/2}
+///            C(i−1, j) r^{i−1−j} (1−r)^j
+/// ```
+///
+/// The inner sum is `P(no consensus among the first i−1 results)`, so the
+/// outer sum is `Σ P(at least i jobs are needed)` — the standard tail-sum
+/// form of an expectation.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::progressive;
+/// use smartred_core::params::{KVotes, Reliability};
+///
+/// // Paper §3.2: k = 19, r = 0.7 costs "14.2 times as many resources".
+/// let c = progressive::cost_series(KVotes::new(19)?, Reliability::new(0.7)?);
+/// assert!((c - 14.2).abs() < 0.05);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn cost_series(k: KVotes, r: Reliability) -> f64 {
+    let k = k.get();
+    let r = r.get();
+    let consensus = k.div_ceil(2);
+    let mut cost = consensus as f64;
+    for i in (consensus + 1)..=k {
+        let mut p_no_consensus = 0.0;
+        // j = number of wrong results among the first i−1; no consensus means
+        // both the right count (i−1−j) and the wrong count (j) are below the
+        // consensus size.
+        let j_lo = i - consensus;
+        let j_hi = (k - 1) / 2;
+        for j in j_lo..=j_hi.min(i - 1) {
+            let ln_term = ln_binomial(i - 1, j);
+            if ln_term == f64::NEG_INFINITY {
+                continue;
+            }
+            let term = if r == 0.0 {
+                if i - 1 - j == 0 { ln_term.exp() } else { 0.0 }
+            } else if r == 1.0 {
+                if j == 0 { ln_term.exp() } else { 0.0 }
+            } else {
+                (ln_term + ((i - 1 - j) as f64) * r.ln() + (j as f64) * (1.0 - r).ln()).exp()
+            };
+            p_no_consensus += term;
+        }
+        cost += p_no_consensus;
+    }
+    cost
+}
+
+/// Exact wave-process statistics of progressive redundancy.
+///
+/// Computed by dynamic programming over vote states `(a, b)` — `a` correct
+/// and `b` wrong votes so far — with exact binomial wave transitions. No
+/// truncation is involved: the process always terminates within `k` jobs for
+/// binary results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveProfile {
+    /// Expected total jobs per task (the cost factor).
+    pub expected_jobs: f64,
+    /// Expected number of waves (deployment rounds).
+    pub expected_waves: f64,
+    /// Expected response time, with each wave costing the expected maximum
+    /// of its job durations (uniform window `duration`).
+    pub expected_response: f64,
+    /// Probability the accepted result is correct (must equal Eq. 4).
+    pub reliability: f64,
+}
+
+/// Computes the exact [`WaveProfile`] of `k`-vote progressive redundancy.
+///
+/// `duration` is the `(lo, hi)` uniform job-duration window used for the
+/// response-time expectation; pass
+/// [`DEFAULT_JOB_DURATION`](crate::analysis::response::DEFAULT_JOB_DURATION)
+/// to match the paper's simulations.
+pub fn profile(k: KVotes, r: Reliability, duration: (f64, f64)) -> WaveProfile {
+    let consensus = k.consensus();
+    let r = r.get();
+    let mut memo: HashMap<(usize, usize), Stats> = HashMap::new();
+    let stats = wave_stats(0, 0, consensus, r, duration, &mut memo);
+    WaveProfile {
+        expected_jobs: stats.jobs,
+        expected_waves: stats.waves,
+        expected_response: stats.response,
+        reliability: stats.reliability,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    jobs: f64,
+    waves: f64,
+    response: f64,
+    reliability: f64,
+}
+
+fn wave_stats(
+    a: usize,
+    b: usize,
+    consensus: usize,
+    r: f64,
+    duration: (f64, f64),
+    memo: &mut HashMap<(usize, usize), Stats>,
+) -> Stats {
+    if let Some(&s) = memo.get(&(a, b)) {
+        return s;
+    }
+    let m = consensus - a.max(b);
+    debug_assert!(m >= 1, "unabsorbed state must deploy at least one job");
+    let mut stats = Stats {
+        jobs: m as f64,
+        waves: 1.0,
+        response: expected_max_uniform(m, duration.0, duration.1),
+        reliability: 0.0,
+    };
+    for j in 0..=m {
+        let p = binomial_pmf(m, j, r);
+        if p == 0.0 {
+            continue;
+        }
+        let (na, nb) = (a + j, b + m - j);
+        if na >= consensus {
+            stats.reliability += p;
+        } else if nb >= consensus {
+            // absorbed wrong: contributes nothing further
+        } else {
+            let sub = wave_stats(na, nb, consensus, r, duration, memo);
+            stats.jobs += p * sub.jobs;
+            stats.waves += p * sub.waves;
+            stats.response += p * sub.response;
+            stats.reliability += p * sub.reliability;
+        }
+    }
+    memo.insert((a, b), stats);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::response::DEFAULT_JOB_DURATION;
+
+    fn k(v: usize) -> KVotes {
+        KVotes::new(v).unwrap()
+    }
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_example_cost_14_2() {
+        let c = cost_series(k(19), r(0.7));
+        assert!((c - 14.2).abs() < 0.05, "C_PR = {c}");
+    }
+
+    #[test]
+    fn series_and_dp_agree() {
+        for &kk in &[1usize, 3, 5, 9, 19, 39] {
+            for &rr in &[0.0, 0.3, 0.5, 0.55, 0.7, 0.86, 0.99, 1.0] {
+                let series = cost_series(k(kk), r(rr));
+                let dp = profile(k(kk), r(rr), DEFAULT_JOB_DURATION).expected_jobs;
+                assert!(
+                    (series - dp).abs() < 1e-9,
+                    "k={kk} r={rr}: series {series} vs dp {dp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_reliability_matches_eq4() {
+        for &kk in &[3usize, 9, 19] {
+            for &rr in &[0.55, 0.7, 0.9] {
+                let dp = profile(k(kk), r(rr), DEFAULT_JOB_DURATION).reliability;
+                let eq4 = reliability(k(kk), r(rr));
+                assert!(
+                    (dp - eq4).abs() < 1e-9,
+                    "k={kk} r={rr}: dp {dp} vs eq4 {eq4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_degenerates_to_single_job() {
+        let p = profile(k(1), r(0.7), DEFAULT_JOB_DURATION);
+        assert!((p.expected_jobs - 1.0).abs() < 1e-12);
+        assert!((p.expected_waves - 1.0).abs() < 1e-12);
+        assert!((p.reliability - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_bounded_by_consensus_and_k() {
+        for &kk in &[3usize, 9, 19] {
+            for &rr in &[0.55, 0.7, 0.9] {
+                let c = cost_series(k(kk), r(rr));
+                assert!(c >= (kk.div_ceil(2)) as f64);
+                assert!(c <= kk as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_pool_costs_exactly_consensus() {
+        // r = 1: the first wave is unanimous.
+        let p = profile(k(19), r(1.0), DEFAULT_JOB_DURATION);
+        assert!((p.expected_jobs - 10.0).abs() < 1e-12);
+        assert!((p.expected_waves - 1.0).abs() < 1e-12);
+        assert_eq!(p.reliability, 1.0);
+    }
+
+    #[test]
+    fn cheaper_than_traditional_for_nontrivial_k() {
+        for &rr in &[0.55, 0.7, 0.86, 0.95] {
+            let c = cost_series(k(19), r(rr));
+            assert!(c < 19.0, "r={rr}: C_PR {c} should beat k");
+        }
+    }
+
+    #[test]
+    fn waves_bounded_by_consensus() {
+        // Paper §5.2: no more than (k−1)/2 waves beyond the first.
+        let p = profile(k(19), r(0.55), DEFAULT_JOB_DURATION);
+        assert!(p.expected_waves <= 10.0);
+        assert!(p.expected_waves >= 1.0);
+    }
+
+    #[test]
+    fn response_time_exceeds_one_wave() {
+        let p = profile(k(19), r(0.7), DEFAULT_JOB_DURATION);
+        // More than one wave on average, so response beats a single k-wave's
+        // expected latency divided by… simply: it exceeds the single-wave
+        // latency of the first wave (10 jobs → ≈1.409).
+        assert!(p.expected_response > expected_max_uniform(10, 0.5, 1.5));
+    }
+}

@@ -1,0 +1,81 @@
+//! Response-time building blocks (paper §5.2).
+//!
+//! The paper's simulations draw job completion times uniformly from
+//! `[0.5, 1.5]` time units. A wave of `m` parallel jobs finishes when its
+//! slowest job does, so the expected wave latency is the expected maximum of
+//! `m` uniforms; a technique's expected response time is the sum of its
+//! expected wave latencies along the (random) wave path.
+
+/// The paper's default job-duration window, in simulated time units.
+pub const DEFAULT_JOB_DURATION: (f64, f64) = (0.5, 1.5);
+
+/// Expected maximum of `m` independent `Uniform(lo, hi)` draws:
+/// `lo + (hi − lo) · m / (m + 1)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `hi < lo`.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::response::expected_max_uniform;
+///
+/// // A single job takes 1.0 on average; a large wave approaches 1.5.
+/// assert!((expected_max_uniform(1, 0.5, 1.5) - 1.0).abs() < 1e-12);
+/// assert!(expected_max_uniform(1000, 0.5, 1.5) > 1.49);
+/// ```
+pub fn expected_max_uniform(m: usize, lo: f64, hi: f64) -> f64 {
+    assert!(m > 0, "a wave has at least one job");
+    assert!(hi >= lo, "duration window must be ordered");
+    lo + (hi - lo) * (m as f64) / (m as f64 + 1.0)
+}
+
+/// Expected response time of traditional `k`-vote redundancy: a single wave
+/// of `k` jobs.
+pub fn traditional_response(k: usize, lo: f64, hi: f64) -> f64 {
+    expected_max_uniform(k, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_draw_is_the_mean() {
+        assert!((expected_max_uniform(1, 0.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grows_toward_upper_bound() {
+        let mut last = 0.0;
+        for m in 1..50 {
+            let v = expected_max_uniform(m, 0.5, 1.5);
+            assert!(v > last && v < 1.5);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn traditional_response_is_one_wave() {
+        let (lo, hi) = DEFAULT_JOB_DURATION;
+        assert_eq!(
+            traditional_response(19, lo, hi),
+            expected_max_uniform(19, lo, hi)
+        );
+        // k = 19 → 0.5 + 19/20 = 1.45.
+        assert!((traditional_response(19, lo, hi) - 1.45).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_wave_panics() {
+        expected_max_uniform(0, 0.5, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ordered")]
+    fn inverted_window_panics() {
+        expected_max_uniform(1, 1.5, 0.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Analytic cost and reliability of traditional redundancy (Eqs. 1–2).
+
+use crate::analysis::math::binomial_pmf;
+use crate::params::{KVotes, Reliability};
+
+/// Cost factor of `k`-vote traditional redundancy — Eq. (1): always `k`,
+/// independent of node reliability.
+pub fn cost(k: KVotes) -> f64 {
+    k.get() as f64
+}
+
+/// System reliability of `k`-vote traditional redundancy — Eq. (2):
+///
+/// ```text
+/// R_TR(r) = Σ_{i=0}^{(k−1)/2} C(k, i) r^{k−i} (1−r)^i
+/// ```
+///
+/// the probability that fewer than a majority of the `k` jobs fail.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::traditional;
+/// use smartred_core::params::{KVotes, Reliability};
+///
+/// let r = Reliability::new(0.7)?;
+/// // Paper §3.1: k = 19 yields ≈ 0.97.
+/// let rel = traditional::reliability(KVotes::new(19)?, r);
+/// assert!((rel - 0.9674).abs() < 5e-4);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn reliability(k: KVotes, r: Reliability) -> f64 {
+    let k = k.get();
+    let r = r.get();
+    let max_failures = (k - 1) / 2;
+    (0..=max_failures)
+        .map(|i| binomial_pmf(k, i, 1.0 - r))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: usize) -> KVotes {
+        KVotes::new(v).unwrap()
+    }
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn cost_is_k() {
+        assert_eq!(cost(k(1)), 1.0);
+        assert_eq!(cost(k(19)), 19.0);
+    }
+
+    #[test]
+    fn k1_reliability_is_r() {
+        // Paper §3.1: "k = 1 … system reliability of 0.7".
+        assert!((reliability(k(1), r(0.7)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k3_reliability_closed_form() {
+        // R = r³ + 3r²(1−r).
+        let expect = 0.7_f64.powi(3) + 3.0 * 0.7_f64.powi(2) * 0.3;
+        assert!((reliability(k(3), r(0.7)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_k19() {
+        assert!((reliability(k(19), r(0.7)) - 0.9674).abs() < 5e-4);
+    }
+
+    #[test]
+    fn reliability_monotone_in_k_for_good_pools() {
+        let mut last = 0.0;
+        for kk in (1..40).step_by(2) {
+            let rel = reliability(k(kk), r(0.7));
+            assert!(rel > last, "k={kk}: {rel} <= {last}");
+            last = rel;
+        }
+    }
+
+    #[test]
+    fn reliability_decreases_in_k_for_bad_pools() {
+        // Redundancy amplifies whatever the majority tends to be.
+        let mut last = 1.0;
+        for kk in (1..40).step_by(2) {
+            let rel = reliability(k(kk), r(0.3));
+            assert!(rel < last, "k={kk}: {rel} >= {last}");
+            last = rel;
+        }
+    }
+
+    #[test]
+    fn degenerate_reliabilities() {
+        assert_eq!(reliability(k(19), r(1.0)), 1.0);
+        assert_eq!(reliability(k(19), r(0.0)), 0.0);
+        assert!((reliability(k(19), r(0.5)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_k_is_numerically_stable() {
+        let rel = reliability(k(201), r(0.7));
+        assert!(rel > 0.999_999 && rel <= 1.0);
+    }
+}

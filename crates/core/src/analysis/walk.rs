@@ -1,0 +1,295 @@
+//! Random-walk (gambler's-ruin) view of iterative redundancy.
+//!
+//! Treat each job as a ±1 step: +1 with probability `r` (a correct result),
+//! −1 otherwise. Iterative redundancy with margin `d` stops exactly when the
+//! walk, started at 0, first hits `+d` (correct verdict) or `−d` (wrong
+//! verdict). Because a wave of `d − |s|` jobs can reach `±d` only on its
+//! final job (see `analysis::iterative`), the per-job walk and the per-wave
+//! algorithm deploy identical job counts — so first-passage quantities of
+//! this walk *are* the cost quantities of Eq. (5).
+
+/// First-passage distribution of the ±`d` walk, truncated at small residual
+/// mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstPassage {
+    /// Margin of the walk.
+    pub d: usize,
+    /// Per-step absorption probabilities: `(steps, p_correct, p_wrong)`,
+    /// where `steps` runs over `d, d+2, d+4, …` (absorption parity).
+    pub outcomes: Vec<(usize, f64, f64)>,
+    /// Probability mass still unabsorbed when the iteration stopped.
+    pub truncated_mass: f64,
+}
+
+impl FirstPassage {
+    /// Total probability of ending with the correct verdict (should match
+    /// Eq. 6 up to the truncated mass).
+    pub fn p_correct(&self) -> f64 {
+        self.outcomes.iter().map(|&(_, p, _)| p).sum()
+    }
+
+    /// Expected number of steps (jobs), counting only absorbed mass.
+    pub fn expected_steps_lower_bound(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|&(n, p, q)| (n as f64) * (p + q))
+            .sum()
+    }
+}
+
+/// Probability the walk is absorbed at `+d` — Eq. (6), `R_IR(r) =
+/// r^d / (r^d + (1−r)^d)`, computed in the stable odds form.
+pub fn absorption_probability(d: usize, r: f64) -> f64 {
+    debug_assert!(d >= 1);
+    debug_assert!((0.0..=1.0).contains(&r));
+    if r == 0.5 {
+        return 0.5;
+    }
+    if r == 1.0 {
+        return 1.0;
+    }
+    if r == 0.0 {
+        return 0.0;
+    }
+    let theta = (1.0 - r) / r;
+    1.0 / (1.0 + theta.powi(d as i32))
+}
+
+/// Expected number of steps to absorption — the closed form of Eq. (5).
+///
+/// For `r ≠ ½` this is `d·(2w − 1)/(2r − 1)` with `w` the absorption
+/// probability; for `r = ½` it is `d²` (the classic symmetric ruin
+/// duration). The paper's approximation `C_IR ≈ d/(2r−1)` is the `w → 1`
+/// limit of this expression.
+pub fn expected_steps(d: usize, r: f64) -> f64 {
+    debug_assert!(d >= 1);
+    debug_assert!((0.0..=1.0).contains(&r));
+    if r == 0.5 {
+        return (d * d) as f64;
+    }
+    let w = absorption_probability(d, r);
+    (d as f64) * (2.0 * w - 1.0) / (2.0 * r - 1.0)
+}
+
+/// Exact first-passage distribution via forward dynamic programming.
+///
+/// Iterates the probability vector over interior positions `−d+1 … d−1`
+/// until the unabsorbed mass falls below `eps` or `max_steps` is reached.
+/// The walk is absorbed almost surely for every `r ∈ [0, 1]`, so for any
+/// positive `eps` this terminates.
+pub fn first_passage(d: usize, r: f64, eps: f64, max_steps: usize) -> FirstPassage {
+    debug_assert!(d >= 1);
+    debug_assert!((0.0..=1.0).contains(&r));
+    let width = 2 * d - 1; // interior positions, index i ↦ position i − (d−1)
+    let mut mass = vec![0.0_f64; width];
+    mass[d - 1] = 1.0; // start at position 0
+    let mut outcomes = Vec::new();
+    let mut remaining = 1.0_f64;
+    let mut next = vec![0.0_f64; width];
+
+    for step in 1..=max_steps {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut absorbed_plus = 0.0;
+        let mut absorbed_minus = 0.0;
+        for (i, &p) in mass.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            // Step up with probability r.
+            if i + 1 == width {
+                absorbed_plus += p * r;
+            } else {
+                next[i + 1] += p * r;
+            }
+            // Step down with probability 1 − r.
+            if i == 0 {
+                absorbed_minus += p * (1.0 - r);
+            } else {
+                next[i - 1] += p * (1.0 - r);
+            }
+        }
+        std::mem::swap(&mut mass, &mut next);
+        if absorbed_plus > 0.0 || absorbed_minus > 0.0 {
+            outcomes.push((step, absorbed_plus, absorbed_minus));
+            remaining -= absorbed_plus + absorbed_minus;
+        }
+        if remaining < eps {
+            break;
+        }
+    }
+    FirstPassage {
+        d,
+        outcomes,
+        truncated_mass: remaining.max(0.0),
+    }
+}
+
+/// Expected steps computed by summing the first-passage series (the literal
+/// Eq. (5)), with a rigorous bound on the truncation error added in.
+///
+/// The returned value is the series sum plus `truncated_mass` times the
+/// worst-case expected remainder; the remainder bound is `d²` for `r = ½`
+/// and `2d/|2r−1|` otherwise — the maximum expected absorption time over
+/// all interior states, up to a constant.
+pub fn expected_steps_series(d: usize, r: f64, eps: f64) -> f64 {
+    let max_steps = series_step_budget(d, r);
+    let fp = first_passage(d, r, eps, max_steps);
+    let absorbed_sum = fp.expected_steps_lower_bound();
+    let last_step = fp.outcomes.last().map(|&(n, _, _)| n).unwrap_or(0);
+    let tail_per_unit = if r == 0.5 {
+        (2 * d * d) as f64
+    } else {
+        (2 * d) as f64 / (2.0 * r - 1.0).abs()
+    };
+    absorbed_sum + fp.truncated_mass * (last_step as f64 + tail_per_unit)
+}
+
+/// Mean and variance of the absorption time, from the first-passage
+/// distribution (truncated at `eps`; both moments are computed over the
+/// absorbed mass, a tight approximation for small `eps`).
+///
+/// Useful for analytic error bars on simulated cost factors: the standard
+/// error of a mean over `n` tasks is `sqrt(variance / n)`.
+pub fn steps_moments(d: usize, r: f64, eps: f64) -> (f64, f64) {
+    let fp = first_passage(d, r, eps, series_step_budget(d, r));
+    let mass: f64 = fp.outcomes.iter().map(|&(_, p, q)| p + q).sum();
+    if mass == 0.0 {
+        return (0.0, 0.0);
+    }
+    let mean: f64 = fp
+        .outcomes
+        .iter()
+        .map(|&(n, p, q)| n as f64 * (p + q))
+        .sum::<f64>()
+        / mass;
+    let second: f64 = fp
+        .outcomes
+        .iter()
+        .map(|&(n, p, q)| (n as f64) * (n as f64) * (p + q))
+        .sum::<f64>()
+        / mass;
+    (mean, (second - mean * mean).max(0.0))
+}
+
+fn series_step_budget(d: usize, r: f64) -> usize {
+    // Heuristic budget: far beyond the expected absorption time so the
+    // truncated mass is negligible for eps ≥ 1e-15.
+    let expected = if r == 0.5 {
+        (d * d) as f64
+    } else {
+        (d as f64) / (2.0 * r - 1.0).abs().max(1e-3)
+    };
+    ((expected * 200.0) as usize).clamp(10_000, 5_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn absorption_probability_matches_eq6() {
+        let expected = 0.7_f64.powi(4) / (0.7_f64.powi(4) + 0.3_f64.powi(4));
+        close(absorption_probability(4, 0.7), expected, 1e-12);
+        assert_eq!(absorption_probability(3, 0.5), 0.5);
+        assert_eq!(absorption_probability(3, 1.0), 1.0);
+        assert_eq!(absorption_probability(3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn expected_steps_paper_example() {
+        // r = 0.7, d = 4 → ≈ 9.35 ("9.4 times as many resources", §3.3).
+        close(expected_steps(4, 0.7), 9.35, 0.01);
+    }
+
+    #[test]
+    fn expected_steps_symmetric_is_d_squared() {
+        assert_eq!(expected_steps(3, 0.5), 9.0);
+        assert_eq!(expected_steps(10, 0.5), 100.0);
+    }
+
+    #[test]
+    fn expected_steps_limit_approaches_d_over_bias() {
+        // For large d with r > ½ the cost approaches d/(2r−1) (paper note).
+        let d = 40;
+        close(expected_steps(d, 0.8), d as f64 / 0.6, 1e-6);
+    }
+
+    #[test]
+    fn series_matches_closed_form() {
+        for &(d, r) in &[(1usize, 0.7), (4, 0.7), (4, 0.55), (7, 0.86), (3, 0.5), (5, 0.95)] {
+            let series = expected_steps_series(d, r, 1e-13);
+            let closed = expected_steps(d, r);
+            close(series, closed, 1e-6);
+        }
+    }
+
+    #[test]
+    fn series_handles_unreliable_pools() {
+        // r < ½: the walk is absorbed (usually at −d); cost is still finite
+        // and symmetric to 1 − r.
+        close(
+            expected_steps_series(4, 0.3, 1e-13),
+            expected_steps_series(4, 0.7, 1e-13),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn first_passage_probabilities_sum_to_eq6() {
+        let fp = first_passage(4, 0.7, 1e-14, 1_000_000);
+        close(fp.p_correct(), absorption_probability(4, 0.7), 1e-10);
+        assert!(fp.truncated_mass < 1e-13);
+    }
+
+    #[test]
+    fn first_passage_parity() {
+        // Absorption can only happen at steps d, d+2, d+4, …
+        let fp = first_passage(3, 0.7, 1e-12, 100_000);
+        for &(n, _, _) in &fp.outcomes {
+            assert_eq!((n - 3) % 2, 0, "absorption at step {n} violates parity");
+        }
+        assert_eq!(fp.outcomes.first().map(|o| o.0), Some(3));
+    }
+
+    #[test]
+    fn first_passage_d1_is_geometric() {
+        // d = 1 absorbs on the first step with certainty.
+        let fp = first_passage(1, 0.7, 1e-12, 10);
+        assert_eq!(fp.outcomes.len(), 1);
+        let (n, p, q) = fp.outcomes[0];
+        assert_eq!(n, 1);
+        close(p, 0.7, 1e-15);
+        close(q, 0.3, 1e-15);
+    }
+
+    #[test]
+    fn moments_mean_matches_closed_form() {
+        for &(d, r) in &[(1usize, 0.7), (4, 0.7), (4, 0.55), (3, 0.5)] {
+            let (mean, _var) = steps_moments(d, r, 1e-13);
+            close(mean, expected_steps(d, r), 1e-6);
+        }
+    }
+
+    #[test]
+    fn moments_variance_is_sane() {
+        // d = 1 absorbs in exactly one step: zero variance.
+        let (_m, v1) = steps_moments(1, 0.7, 1e-13);
+        close(v1, 0.0, 1e-9);
+        // At r = ½ the duration is the classic ruin time with positive
+        // variance; check against a direct Monte-Carlo estimate.
+        let (mean, var) = steps_moments(3, 0.5, 1e-13);
+        close(mean, 9.0, 1e-6);
+        assert!(var > 10.0 && var < 100.0, "variance {var}");
+    }
+
+    #[test]
+    fn moments_variance_shrinks_with_reliability() {
+        let (_m1, v_low) = steps_moments(4, 0.6, 1e-13);
+        let (_m2, v_high) = steps_moments(4, 0.95, 1e-13);
+        assert!(v_high < v_low, "variance should shrink as r -> 1");
+    }
+}

@@ -1,0 +1,137 @@
+//! Error types for parameter validation and execution limits.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned when a redundancy parameter is rejected.
+///
+/// Every constructor of the validated parameter types in [`crate::params`]
+/// returns this error rather than panicking, so callers can surface bad
+/// configuration to their own users.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::Reliability;
+///
+/// let err = Reliability::new(1.5).unwrap_err();
+/// assert!(err.to_string().contains("reliability"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// A numeric parameter fell outside its valid range.
+    OutOfRange {
+        /// Human-readable parameter name (e.g. `"reliability"`).
+        name: &'static str,
+        /// The rejected value, rendered as `f64` for uniform reporting.
+        value: f64,
+        /// Description of the accepted range (e.g. `"[0, 1]"`).
+        expected: &'static str,
+    },
+    /// A vote count that must be odd was even.
+    NotOdd {
+        /// Human-readable parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: usize,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Human-readable parameter name.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::OutOfRange {
+                name,
+                value,
+                expected,
+            } => write!(f, "{name} value {value} is outside {expected}"),
+            ParamError::NotOdd { name, value } => {
+                write!(f, "{name} value {value} must be odd")
+            }
+            ParamError::NotFinite { name } => write!(f, "{name} must be finite"),
+        }
+    }
+}
+
+impl StdError for ParamError {}
+
+/// Error returned by a task execution that exceeded its configured job cap.
+///
+/// Iterative redundancy can, with vanishingly small probability, require
+/// arbitrarily many waves (paper §5.2); systems that must bound work per task
+/// set a cap via [`crate::execution::TaskExecution::with_job_cap`] and handle
+/// this error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobCapExceeded {
+    /// The configured cap that was hit.
+    pub cap: usize,
+    /// Jobs already deployed when the cap was hit.
+    pub deployed: usize,
+}
+
+impl fmt::Display for JobCapExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task exceeded job cap of {} ({} jobs already deployed)",
+            self.cap, self.deployed
+        )
+    }
+}
+
+impl StdError for JobCapExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_display_mentions_name_and_range() {
+        let err = ParamError::OutOfRange {
+            name: "reliability",
+            value: -0.25,
+            expected: "[0, 1]",
+        };
+        let s = err.to_string();
+        assert!(s.contains("reliability"));
+        assert!(s.contains("-0.25"));
+        assert!(s.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn not_odd_display_mentions_value() {
+        let err = ParamError::NotOdd {
+            name: "k",
+            value: 4,
+        };
+        assert_eq!(err.to_string(), "k value 4 must be odd");
+    }
+
+    #[test]
+    fn not_finite_display() {
+        let err = ParamError::NotFinite { name: "confidence" };
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn job_cap_display_mentions_both_numbers() {
+        let err = JobCapExceeded {
+            cap: 100,
+            deployed: 100,
+        };
+        let s = err.to_string();
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: StdError + Send + Sync + 'static>() {}
+        assert_error::<ParamError>();
+        assert_error::<JobCapExceeded>();
+    }
+}

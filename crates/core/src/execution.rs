@@ -1,0 +1,342 @@
+//! Platform-agnostic driver for a single task's redundancy loop.
+//!
+//! [`TaskExecution`] owns the vote tally for one task, consults its
+//! [`RedundancyStrategy`] at wave boundaries, and tracks the metrics the
+//! paper reports (jobs deployed, waves, verdict). It is deliberately
+//! push/pull: the surrounding platform (Monte-Carlo loop, discrete-event
+//! simulator, volunteer-computing server) decides *when* jobs run and feeds
+//! results back, so the same type drives all of them.
+
+use crate::error::JobCapExceeded;
+use crate::strategy::{Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// What the driver should do next for this task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll<V> {
+    /// Deploy this many new jobs on independent, randomly chosen nodes.
+    Deploy(usize),
+    /// Jobs are still outstanding; feed their results via
+    /// [`TaskExecution::record`] before polling again.
+    Pending,
+    /// The task completed with this verdict.
+    Complete(V),
+}
+
+/// Summary of a finished (or capped) execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport<V> {
+    /// Total jobs deployed for this task.
+    pub jobs: usize,
+    /// Number of waves (deployment rounds).
+    pub waves: usize,
+    /// The accepted result, if the task completed.
+    pub verdict: Option<V>,
+}
+
+/// Drives one task through its strategy's deploy/accept loop.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::execution::{Poll, TaskExecution};
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::Iterative;
+///
+/// let mut task = TaskExecution::new(Iterative::new(VoteMargin::new(2)?));
+/// assert_eq!(task.poll()?, Poll::Deploy(2));
+/// task.record(true);
+/// assert_eq!(task.poll()?, Poll::Pending);
+/// task.record(true);
+/// assert_eq!(task.poll()?, Poll::Complete(true));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskExecution<V: Ord + Clone, S> {
+    strategy: S,
+    tally: VoteTally<V>,
+    outstanding: usize,
+    jobs: usize,
+    waves: usize,
+    verdict: Option<V>,
+    job_cap: Option<usize>,
+}
+
+impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
+    /// Creates an execution with no job cap.
+    pub fn new(strategy: S) -> Self {
+        Self {
+            strategy,
+            tally: VoteTally::new(),
+            outstanding: 0,
+            jobs: 0,
+            waves: 0,
+            verdict: None,
+            job_cap: None,
+        }
+    }
+
+    /// Limits the total jobs this task may deploy.
+    ///
+    /// Iterative redundancy has no inherent bound (paper §5.2); systems with
+    /// budget constraints use a cap and treat [`JobCapExceeded`] as a task
+    /// failure.
+    pub fn with_job_cap(mut self, cap: usize) -> Self {
+        self.job_cap = Some(cap);
+        self
+    }
+
+    /// Asks the strategy what to do next.
+    ///
+    /// Returns [`Poll::Pending`] while deployed jobs have not all reported;
+    /// strategies only decide at wave boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobCapExceeded`] if the next wave would exceed the cap set
+    /// by [`with_job_cap`](Self::with_job_cap). The execution stays usable:
+    /// the caller may still inspect the tally or accept the current leader.
+    pub fn poll(&mut self) -> Result<Poll<V>, JobCapExceeded> {
+        if let Some(v) = &self.verdict {
+            return Ok(Poll::Complete(v.clone()));
+        }
+        if self.outstanding > 0 {
+            return Ok(Poll::Pending);
+        }
+        match self.strategy.decide(&self.tally) {
+            Decision::Accept(v) => {
+                self.verdict = Some(v.clone());
+                Ok(Poll::Complete(v))
+            }
+            Decision::Deploy(n) => {
+                let n = n.get();
+                if let Some(cap) = self.job_cap {
+                    if self.jobs + n > cap {
+                        return Err(JobCapExceeded {
+                            cap,
+                            deployed: self.jobs,
+                        });
+                    }
+                }
+                self.outstanding = n;
+                self.jobs += n;
+                self.waves += 1;
+                Ok(Poll::Deploy(n))
+            }
+        }
+    }
+
+    /// Records one job's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no jobs are outstanding — that indicates a driver bug
+    /// (results arriving that were never deployed).
+    pub fn record(&mut self, value: V) {
+        assert!(
+            self.outstanding > 0,
+            "result recorded with no outstanding jobs"
+        );
+        self.outstanding -= 1;
+        self.tally.record(value);
+    }
+
+    /// Marks `n` outstanding jobs as lost without a result (e.g. their nodes
+    /// left the pool). The strategy will re-deploy as needed on the next
+    /// poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the outstanding job count.
+    pub fn abandon(&mut self, n: usize) {
+        assert!(
+            n <= self.outstanding,
+            "cannot abandon {n} jobs with only {} outstanding",
+            self.outstanding
+        );
+        self.outstanding -= n;
+    }
+
+    /// Returns the current tally (for inspection or logging).
+    pub fn tally(&self) -> &VoteTally<V> {
+        &self.tally
+    }
+
+    /// Jobs deployed so far.
+    pub fn jobs_deployed(&self) -> usize {
+        self.jobs
+    }
+
+    /// Waves started so far.
+    pub fn waves(&self) -> usize {
+        self.waves
+    }
+
+    /// Jobs deployed but not yet reported or abandoned.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Returns `true` once a verdict has been accepted.
+    pub fn is_complete(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    /// Returns the execution summary.
+    pub fn report(&self) -> ExecutionReport<V> {
+        ExecutionReport {
+            jobs: self.jobs,
+            waves: self.waves,
+            verdict: self.verdict.clone(),
+        }
+    }
+
+    /// Runs the whole task synchronously against a job oracle.
+    ///
+    /// The oracle receives a wave size and must return exactly that many
+    /// results. Useful for Monte-Carlo estimation and tests; the
+    /// event-driven platforms use [`poll`](Self::poll)/[`record`](Self::record)
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobCapExceeded`] if a cap is configured and hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle returns the wrong number of results.
+    pub fn run_with<F>(mut self, mut oracle: F) -> Result<ExecutionReport<V>, JobCapExceeded>
+    where
+        F: FnMut(usize) -> Vec<V>,
+    {
+        loop {
+            match self.poll()? {
+                Poll::Complete(_) => return Ok(self.report()),
+                Poll::Pending => unreachable!("run_with always fills whole waves"),
+                Poll::Deploy(n) => {
+                    let results = oracle(n);
+                    assert_eq!(results.len(), n, "oracle must return exactly {n} results");
+                    for v in results {
+                        self.record(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{KVotes, VoteMargin};
+    use crate::strategy::{Iterative, Progressive, Traditional};
+
+    #[test]
+    fn traditional_runs_one_wave() {
+        let task = TaskExecution::new(Traditional::new(KVotes::new(3).unwrap()));
+        let report = task.run_with(|n| vec![true; n]).unwrap();
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.waves, 1);
+        assert_eq!(report.verdict, Some(true));
+    }
+
+    #[test]
+    fn progressive_stops_early_on_unanimity() {
+        let task = TaskExecution::new(Progressive::new(KVotes::new(19).unwrap()));
+        let report = task.run_with(|n| vec![false; n]).unwrap();
+        assert_eq!(report.jobs, 10);
+        assert_eq!(report.waves, 1);
+        assert_eq!(report.verdict, Some(false));
+    }
+
+    #[test]
+    fn iterative_multi_wave_path() {
+        // d = 6, first wave 4-2 → second wave of 4, all agree → 8-2 margin 6.
+        let mut feed = vec![
+            vec![true, true, true, true, false, false],
+            vec![true, true, true, true],
+        ]
+        .into_iter();
+        let task = TaskExecution::new(Iterative::new(VoteMargin::new(6).unwrap()));
+        let report = task.run_with(|n| {
+            let wave = feed.next().expect("only two waves expected");
+            assert_eq!(wave.len(), n);
+            wave
+        })
+        .unwrap();
+        assert_eq!(report.jobs, 10);
+        assert_eq!(report.waves, 2);
+        assert_eq!(report.verdict, Some(true));
+    }
+
+    #[test]
+    fn pending_between_partial_results() {
+        let mut task = TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
+        assert_eq!(task.poll().unwrap(), Poll::Deploy(2));
+        task.record(true);
+        assert_eq!(task.poll().unwrap(), Poll::Pending);
+        assert_eq!(task.outstanding(), 1);
+        task.record(true);
+        assert_eq!(task.poll().unwrap(), Poll::Complete(true));
+        assert!(task.is_complete());
+    }
+
+    #[test]
+    fn job_cap_errors_but_execution_survives() {
+        let mut task =
+            TaskExecution::new(Iterative::new(VoteMargin::new(4).unwrap())).with_job_cap(6);
+        assert_eq!(task.poll().unwrap(), Poll::Deploy(4));
+        for v in [true, true, false, false] {
+            task.record(v);
+        }
+        // Margin 0, needs 4 more but only 2 left under the cap.
+        let err = task.poll().unwrap_err();
+        assert_eq!(err.cap, 6);
+        assert_eq!(err.deployed, 4);
+        // Tally still inspectable.
+        assert_eq!(task.tally().total(), 4);
+        assert_eq!(task.jobs_deployed(), 4);
+    }
+
+    #[test]
+    fn abandon_triggers_redeploy() {
+        let mut task = TaskExecution::new(Traditional::new(KVotes::new(3).unwrap()));
+        assert_eq!(task.poll().unwrap(), Poll::Deploy(3));
+        task.record(true);
+        task.abandon(2); // two nodes vanished
+        // Strategy re-requests exactly the two missing votes.
+        assert_eq!(task.poll().unwrap(), Poll::Deploy(2));
+        task.record(true);
+        task.record(false);
+        assert_eq!(task.poll().unwrap(), Poll::Complete(true));
+        assert_eq!(task.jobs_deployed(), 5);
+        assert_eq!(task.waves(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outstanding jobs")]
+    fn recording_without_deploy_panics() {
+        let mut task: TaskExecution<bool, _> =
+            TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
+        task.record(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot abandon")]
+    fn over_abandon_panics() {
+        let mut task: TaskExecution<bool, _> =
+            TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
+        let _ = task.poll();
+        task.abandon(3);
+    }
+
+    #[test]
+    fn complete_poll_is_idempotent() {
+        let mut task = TaskExecution::new(Traditional::new(KVotes::new(1).unwrap()));
+        assert_eq!(task.poll().unwrap(), Poll::Deploy(1));
+        task.record(false);
+        assert_eq!(task.poll().unwrap(), Poll::Complete(false));
+        assert_eq!(task.poll().unwrap(), Poll::Complete(false));
+        assert_eq!(task.report().jobs, 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Fast Monte-Carlo estimation of strategy cost and reliability.
+//!
+//! This is the lightest of the three empirical platforms (the others being
+//! the discrete-event simulator in `smartred-dca` and the volunteer system
+//! in `smartred-volunteer`): it draws job outcomes directly from the binary
+//! Byzantine model of §2.2 — every job is independently correct with
+//! probability `r`, and all failures collude on a single wrong value — and
+//! is used to validate the analytic formulas at scale.
+
+use rand::Rng;
+
+use crate::error::JobCapExceeded;
+use crate::execution::TaskExecution;
+use crate::params::Reliability;
+use crate::strategy::RedundancyStrategy;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of independent tasks to simulate.
+    pub tasks: usize,
+    /// Job-level reliability `r`.
+    pub reliability: Reliability,
+    /// Optional per-task job cap (tasks hitting it are counted in
+    /// [`MonteCarloReport::capped_tasks`] and excluded from verdict
+    /// statistics).
+    pub job_cap: Option<usize>,
+}
+
+impl MonteCarloConfig {
+    /// Creates a configuration with no job cap.
+    pub fn new(tasks: usize, reliability: Reliability) -> Self {
+        Self {
+            tasks,
+            reliability,
+            job_cap: None,
+        }
+    }
+
+    /// Sets a per-task job cap.
+    pub fn with_job_cap(mut self, cap: usize) -> Self {
+        self.job_cap = Some(cap);
+        self
+    }
+}
+
+/// Aggregate results of a Monte-Carlo run — the same quantities the paper's
+/// simulation runs record (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloReport {
+    /// Tasks simulated (including capped ones).
+    pub tasks: usize,
+    /// Tasks whose accepted verdict was the correct value.
+    pub correct_tasks: usize,
+    /// Total jobs deployed across all tasks.
+    pub total_jobs: usize,
+    /// Largest number of jobs any single task used.
+    pub max_jobs_single_task: usize,
+    /// Total waves across all tasks.
+    pub total_waves: usize,
+    /// Largest number of waves any single task used.
+    pub max_waves_single_task: usize,
+    /// Tasks aborted by the job cap.
+    pub capped_tasks: usize,
+}
+
+impl MonteCarloReport {
+    /// Empirical system reliability: fraction of completed tasks that
+    /// accepted the correct result.
+    pub fn reliability(&self) -> f64 {
+        let completed = self.tasks - self.capped_tasks;
+        if completed == 0 {
+            return 0.0;
+        }
+        self.correct_tasks as f64 / completed as f64
+    }
+
+    /// Empirical cost factor: mean jobs per task.
+    pub fn cost_factor(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.total_jobs as f64 / self.tasks as f64
+    }
+
+    /// Mean waves per task.
+    pub fn mean_waves(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.total_waves as f64 / self.tasks as f64
+    }
+}
+
+/// Runs `config.tasks` independent tasks of `strategy` under the binary
+/// Byzantine model and aggregates the outcome.
+///
+/// The correct result is modeled as `true`; colluding failures all report
+/// `false` (the worst case per §2.2).
+pub fn estimate<S, R>(strategy: &S, config: MonteCarloConfig, rng: &mut R) -> MonteCarloReport
+where
+    S: RedundancyStrategy<bool>,
+    R: Rng + ?Sized,
+{
+    let r = config.reliability.get();
+    let mut report = MonteCarloReport {
+        tasks: config.tasks,
+        correct_tasks: 0,
+        total_jobs: 0,
+        max_jobs_single_task: 0,
+        total_waves: 0,
+        max_waves_single_task: 0,
+        capped_tasks: 0,
+    };
+    for _ in 0..config.tasks {
+        let mut task = TaskExecution::new(strategy);
+        if let Some(cap) = config.job_cap {
+            task = task.with_job_cap(cap);
+        }
+        let outcome: Result<_, JobCapExceeded> =
+            task.run_with(|n| (0..n).map(|_| rng.gen_bool(r)).collect());
+        match outcome {
+            Ok(done) => {
+                report.total_jobs += done.jobs;
+                report.total_waves += done.waves;
+                report.max_jobs_single_task = report.max_jobs_single_task.max(done.jobs);
+                report.max_waves_single_task = report.max_waves_single_task.max(done.waves);
+                if done.verdict == Some(true) {
+                    report.correct_tasks += 1;
+                }
+            }
+            Err(err) => {
+                report.capped_tasks += 1;
+                report.total_jobs += err.deployed;
+            }
+        }
+    }
+    report
+}
+
+/// Configuration of an n-ary (non-binary) Monte-Carlo run — the §5.3
+/// relaxation where failing jobs may report one of several wrong values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaryConfig {
+    /// Number of independent tasks to simulate.
+    pub tasks: usize,
+    /// Probability a job reports the correct value.
+    pub reliability: Reliability,
+    /// Number of distinct wrong values failures can produce.
+    pub wrong_values: usize,
+    /// Probability that a failing job joins the colluding cartel's single
+    /// designated wrong value instead of picking uniformly among all wrong
+    /// values. `1.0` reproduces the binary worst case of §2.2; `0.0` is the
+    /// fully scattered (easiest) case.
+    pub collusion: f64,
+}
+
+impl NaryConfig {
+    /// Validates and creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wrong_values == 0` or `collusion ∉ [0, 1]` — these are
+    /// experiment-construction errors, not runtime conditions.
+    pub fn new(tasks: usize, reliability: Reliability, wrong_values: usize, collusion: f64) -> Self {
+        assert!(wrong_values >= 1, "at least one wrong value required");
+        assert!(
+            (0.0..=1.0).contains(&collusion),
+            "collusion must be a probability"
+        );
+        Self {
+            tasks,
+            reliability,
+            wrong_values,
+            collusion,
+        }
+    }
+}
+
+/// Runs an n-ary Monte-Carlo estimate: the correct value is `0`, wrong
+/// values are `1..=wrong_values`, and failures collude with probability
+/// `collusion` (on value `1`) or scatter uniformly otherwise.
+///
+/// §5.3 argues the binary assumption "turns out to be the worst-case
+/// scenario" — plurality voting over scattered wrong values reaches
+/// verdicts sooner and more reliably. This estimator quantifies that:
+/// with `wrong_values = 1` (or `collusion = 1`) it reproduces [`estimate`]
+/// exactly, and reliability rises monotonically as collusion falls.
+pub fn estimate_nary<S, R>(strategy: &S, config: NaryConfig, rng: &mut R) -> MonteCarloReport
+where
+    S: RedundancyStrategy<u32>,
+    R: Rng + ?Sized,
+{
+    let r = config.reliability.get();
+    let mut report = MonteCarloReport {
+        tasks: config.tasks,
+        correct_tasks: 0,
+        total_jobs: 0,
+        max_jobs_single_task: 0,
+        total_waves: 0,
+        max_waves_single_task: 0,
+        capped_tasks: 0,
+    };
+    for _ in 0..config.tasks {
+        let task = TaskExecution::new(strategy);
+        let outcome = task.run_with(|n| {
+            (0..n)
+                .map(|_| {
+                    if rng.gen_bool(r) {
+                        0u32 // the correct value
+                    } else if config.collusion >= 1.0 || rng.gen_bool(config.collusion) {
+                        1u32 // the cartel's designated wrong value
+                    } else {
+                        rng.gen_range(1..=config.wrong_values as u32)
+                    }
+                })
+                .collect()
+        });
+        match outcome {
+            Ok(done) => {
+                report.total_jobs += done.jobs;
+                report.total_waves += done.waves;
+                report.max_jobs_single_task = report.max_jobs_single_task.max(done.jobs);
+                report.max_waves_single_task = report.max_waves_single_task.max(done.waves);
+                if done.verdict == Some(0) {
+                    report.correct_tasks += 1;
+                }
+            }
+            Err(err) => {
+                report.capped_tasks += 1;
+                report.total_jobs += err.deployed;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::params::{KVotes, VoteMargin};
+    use crate::strategy::{Iterative, Progressive, Traditional};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn r07() -> Reliability {
+        Reliability::new(0.7).unwrap()
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    const TASKS: usize = 60_000;
+
+    #[test]
+    fn traditional_matches_eq1_and_eq2() {
+        let k = KVotes::new(19).unwrap();
+        let report = estimate(
+            &Traditional::new(k),
+            MonteCarloConfig::new(TASKS, r07()),
+            &mut rng(1),
+        );
+        assert_eq!(report.cost_factor(), 19.0);
+        let expected = analysis::traditional::reliability(k, r07());
+        assert!(
+            (report.reliability() - expected).abs() < 0.01,
+            "{} vs {expected}",
+            report.reliability()
+        );
+    }
+
+    #[test]
+    fn progressive_matches_eq3_and_eq4() {
+        let k = KVotes::new(19).unwrap();
+        let report = estimate(
+            &Progressive::new(k),
+            MonteCarloConfig::new(TASKS, r07()),
+            &mut rng(2),
+        );
+        let cost = analysis::progressive::cost_series(k, r07());
+        assert!(
+            (report.cost_factor() - cost).abs() < 0.1,
+            "{} vs {cost}",
+            report.cost_factor()
+        );
+        let rel = analysis::progressive::reliability(k, r07());
+        assert!((report.reliability() - rel).abs() < 0.01);
+        assert!(report.max_jobs_single_task <= 19);
+    }
+
+    #[test]
+    fn iterative_matches_eq5_and_eq6() {
+        let d = VoteMargin::new(4).unwrap();
+        let report = estimate(
+            &Iterative::new(d),
+            MonteCarloConfig::new(TASKS, r07()),
+            &mut rng(3),
+        );
+        let cost = analysis::iterative::cost(d, r07());
+        assert!(
+            (report.cost_factor() - cost).abs() < 0.15,
+            "{} vs {cost}",
+            report.cost_factor()
+        );
+        let rel = analysis::iterative::reliability(d, r07());
+        assert!((report.reliability() - rel).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = VoteMargin::new(3).unwrap();
+        let a = estimate(
+            &Iterative::new(d),
+            MonteCarloConfig::new(1000, r07()),
+            &mut rng(42),
+        );
+        let b = estimate(
+            &Iterative::new(d),
+            MonteCarloConfig::new(1000, r07()),
+            &mut rng(42),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn job_cap_counts_capped_tasks() {
+        // r = 0.5 and a tight cap: many tasks can't reach margin 6 in 8 jobs.
+        let report = estimate(
+            &Iterative::new(VoteMargin::new(6).unwrap()),
+            MonteCarloConfig::new(2000, Reliability::new(0.5).unwrap()).with_job_cap(8),
+            &mut rng(4),
+        );
+        assert!(report.capped_tasks > 0);
+        assert!(report.capped_tasks < report.tasks);
+    }
+
+    #[test]
+    fn zero_tasks_report_is_empty() {
+        let report = estimate(
+            &Iterative::new(VoteMargin::new(2).unwrap()),
+            MonteCarloConfig::new(0, r07()),
+            &mut rng(5),
+        );
+        assert_eq!(report.cost_factor(), 0.0);
+        assert_eq!(report.reliability(), 0.0);
+    }
+
+    #[test]
+    fn nary_with_full_collusion_matches_binary() {
+        // Same seed, collusion = 1: the value stream is {0, 1} exactly where
+        // the binary stream is {true, false}, so reports must coincide.
+        let d = VoteMargin::new(4).unwrap();
+        let binary = estimate(
+            &Iterative::new(d),
+            MonteCarloConfig::new(20_000, r07()),
+            &mut rng(8),
+        );
+        let nary = estimate_nary(
+            &Iterative::new(d),
+            NaryConfig::new(20_000, r07(), 5, 1.0),
+            &mut rng(8),
+        );
+        assert_eq!(binary.correct_tasks, nary.correct_tasks);
+        assert_eq!(binary.total_jobs, nary.total_jobs);
+        assert_eq!(binary.total_waves, nary.total_waves);
+    }
+
+    #[test]
+    fn scattered_failures_beat_the_binary_worst_case() {
+        // §5.3: "the probabilities of failure and costs of execution we have
+        // presented are upper bounds for non-binary systems".
+        let d = VoteMargin::new(3).unwrap();
+        let colluding = estimate_nary(
+            &Iterative::new(d),
+            NaryConfig::new(30_000, Reliability::new(0.6).unwrap(), 8, 1.0),
+            &mut rng(9),
+        );
+        let scattered = estimate_nary(
+            &Iterative::new(d),
+            NaryConfig::new(30_000, Reliability::new(0.6).unwrap(), 8, 0.0),
+            &mut rng(9),
+        );
+        assert!(
+            scattered.reliability() > colluding.reliability() + 0.01,
+            "scattered {} vs colluding {}",
+            scattered.reliability(),
+            colluding.reliability()
+        );
+        assert!(scattered.cost_factor() < colluding.cost_factor());
+    }
+
+    #[test]
+    fn nary_plurality_works_below_half_reliability() {
+        // With scattered wrong values, even r < 0.5 tasks usually succeed —
+        // the plurality effect the paper's 2^2 example describes.
+        let k = KVotes::new(9).unwrap();
+        let report = estimate_nary(
+            &Traditional::new(k),
+            NaryConfig::new(20_000, Reliability::new(0.4).unwrap(), 20, 0.0),
+            &mut rng(10),
+        );
+        assert!(
+            report.reliability() > 0.85,
+            "plurality reliability {}",
+            report.reliability()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wrong value")]
+    fn nary_rejects_zero_wrong_values() {
+        NaryConfig::new(10, r07(), 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "collusion must be a probability")]
+    fn nary_rejects_bad_collusion() {
+        NaryConfig::new(10, r07(), 3, 1.5);
+    }
+}

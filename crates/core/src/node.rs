@@ -1,0 +1,116 @@
+//! Node identity and node-attributed votes.
+//!
+//! The three core techniques are deliberately node-blind (assumption 2 of
+//! §2.3: "the reliability of nodes cannot be determined"). The related-work
+//! baselines — BOINC-style adaptive replication and credibility-based fault
+//! tolerance — *do* track per-node history, so they consume votes that carry
+//! the reporting node's identity.
+
+use std::fmt;
+
+/// Opaque identifier of a worker node.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::node::NodeId;
+///
+/// let a = NodeId::new(7);
+/// assert_eq!(a.get(), 7);
+/// assert_eq!(a.to_string(), "node-7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw integer.
+    pub fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// Returns the raw integer.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+/// A job result attributed to the node that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote<V> {
+    /// The reporting node.
+    pub node: NodeId,
+    /// The reported result.
+    pub value: V,
+}
+
+impl<V> Vote<V> {
+    /// Creates a vote.
+    pub fn new(node: NodeId, value: V) -> Self {
+        Self { node, value }
+    }
+}
+
+/// A redundancy technique that uses node identities in its decisions.
+///
+/// The driver contract matches [`RedundancyStrategy`]
+/// (deploy-wave/record/repeat), but decisions see `(node, value)` pairs and
+/// implementations are typically stateful across tasks (they accumulate
+/// node reputations), hence `&mut self`.
+///
+/// [`RedundancyStrategy`]: crate::strategy::RedundancyStrategy
+pub trait NodeAwareStrategy<V: Ord + Clone> {
+    /// A short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Decides from the node-attributed votes gathered so far for one task.
+    fn decide_votes(&mut self, votes: &[Vote<V>]) -> crate::strategy::Decision<V>;
+
+    /// Informs the strategy of a task's final outcome so it can update node
+    /// reputations: `accepted` is the value the system committed to.
+    ///
+    /// The default implementation does nothing.
+    fn observe_outcome(&mut self, _votes: &[Vote<V>], _accepted: &V) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let id = NodeId::from(42u64);
+        assert_eq!(id.get(), 42);
+        assert_eq!(id.to_string(), "node-42");
+    }
+
+    #[test]
+    fn node_ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn vote_carries_node_and_value() {
+        let v = Vote::new(NodeId::new(3), true);
+        assert_eq!(v.node.get(), 3);
+        assert!(v.value);
+    }
+}

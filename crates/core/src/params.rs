@@ -1,0 +1,365 @@
+//! Validated parameter newtypes shared by strategies and analysis.
+//!
+//! Every knob of the three redundancy techniques is wrapped in a newtype with
+//! a fallible constructor, so invalid configurations (a reliability of 1.3, an
+//! even `k`) are rejected at the boundary instead of producing nonsense deep
+//! inside a simulation (C-NEWTYPE / C-VALIDATE).
+
+use crate::error::ParamError;
+
+/// Average probability that a job returns the correct result, `r ∈ [0, 1]`.
+///
+/// The paper defines `r` as "the fraction of time a job returns the correct
+/// response" (§3). Because jobs are assigned to nodes uniformly at random,
+/// this is also the mean reliability of the node pool.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::Reliability;
+///
+/// let r = Reliability::new(0.7)?;
+/// assert_eq!(r.get(), 0.7);
+/// assert!((r.complement() - 0.3).abs() < 1e-12);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Reliability(f64);
+
+impl Reliability {
+    /// Creates a reliability, rejecting values outside `[0, 1]` or non-finite
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] if `r ∉ [0, 1]` and
+    /// [`ParamError::NotFinite`] if `r` is NaN or infinite.
+    pub fn new(r: f64) -> Result<Self, ParamError> {
+        if !r.is_finite() {
+            return Err(ParamError::NotFinite {
+                name: "reliability",
+            });
+        }
+        if !(0.0..=1.0).contains(&r) {
+            return Err(ParamError::OutOfRange {
+                name: "reliability",
+                value: r,
+                expected: "[0, 1]",
+            });
+        }
+        Ok(Self(r))
+    }
+
+    /// Returns the underlying probability.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `1 - r`, the probability that a job fails.
+    pub fn complement(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Returns the failure-to-success odds `θ = (1 - r) / r`.
+    ///
+    /// This ratio drives every iterative-redundancy formula: the confidence
+    /// after a margin of `d` agreeing results is `1 / (1 + θ^d)` (Eq. 6).
+    /// Returns `f64::INFINITY` when `r == 0`.
+    pub fn odds_against(self) -> f64 {
+        if self.0 == 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - self.0) / self.0
+        }
+    }
+}
+
+impl std::fmt::Display for Reliability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Reliability {
+    type Error = ParamError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+/// A target system reliability (confidence threshold) `R ∈ (0.5, 1)`.
+///
+/// Iterative redundancy accepts a result once the Bayesian confidence
+/// `q(r, a, b)` reaches `R` (§3.3). Values at or below one half are rejected
+/// because a majority vote already guarantees confidence above `0.5`;
+/// a target of exactly `1` is rejected because no finite margin attains it.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::Confidence;
+///
+/// let target = Confidence::new(0.97)?;
+/// assert_eq!(target.get(), 0.97);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Creates a confidence threshold, rejecting values outside `(0.5, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] if `R ∉ (0.5, 1)` and
+    /// [`ParamError::NotFinite`] if `R` is NaN or infinite.
+    pub fn new(threshold: f64) -> Result<Self, ParamError> {
+        if !threshold.is_finite() {
+            return Err(ParamError::NotFinite { name: "confidence" });
+        }
+        if threshold <= 0.5 || threshold >= 1.0 {
+            return Err(ParamError::OutOfRange {
+                name: "confidence",
+                value: threshold,
+                expected: "(0.5, 1)",
+            });
+        }
+        Ok(Self(threshold))
+    }
+
+    /// Returns the underlying threshold.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `1 - R`, the tolerated failure probability.
+    pub fn failure_budget(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Confidence {
+    type Error = ParamError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+/// The vote count `k ∈ {1, 3, 5, …}` of traditional or progressive redundancy.
+///
+/// The paper restricts `k` to odd values so a majority always exists; `k = 1`
+/// is allowed and means "no redundancy".
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::KVotes;
+///
+/// let k = KVotes::new(19)?;
+/// assert_eq!(k.get(), 19);
+/// assert_eq!(k.consensus(), 10); // (k + 1) / 2
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KVotes(usize);
+
+impl KVotes {
+    /// Creates a vote count, rejecting zero and even values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] for `k = 0` and
+    /// [`ParamError::NotOdd`] for even `k`.
+    pub fn new(k: usize) -> Result<Self, ParamError> {
+        if k == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "k",
+                value: 0.0,
+                expected: "{1, 3, 5, …}",
+            });
+        }
+        if k.is_multiple_of(2) {
+            return Err(ParamError::NotOdd { name: "k", value: k });
+        }
+        Ok(Self(k))
+    }
+
+    /// Returns the underlying vote count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Returns the consensus size `(k + 1) / 2` — the minimum number of
+    /// matching results that forms a majority.
+    pub fn consensus(self) -> usize {
+        self.0.div_ceil(2)
+    }
+}
+
+impl std::fmt::Display for KVotes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<usize> for KVotes {
+    type Error = ParamError;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+/// The decision margin `d ≥ 1` of iterative redundancy.
+///
+/// A task completes once `d` more jobs have reported one result than any
+/// other (Fig. 4 of the paper). By Theorem 2, the confidence in the majority
+/// result then depends only on `d`, so a user may specify `d` directly
+/// without knowing node reliability.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::VoteMargin;
+///
+/// let d = VoteMargin::new(4)?;
+/// assert_eq!(d.get(), 4);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VoteMargin(usize);
+
+impl VoteMargin {
+    /// Creates a margin, rejecting zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] for `d = 0`.
+    pub fn new(d: usize) -> Result<Self, ParamError> {
+        if d == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "d",
+                value: 0.0,
+                expected: "{1, 2, 3, …}",
+            });
+        }
+        Ok(Self(d))
+    }
+
+    /// Returns the underlying margin.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VoteMargin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<usize> for VoteMargin {
+    type Error = ParamError;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_accepts_bounds() {
+        assert!(Reliability::new(0.0).is_ok());
+        assert!(Reliability::new(1.0).is_ok());
+        assert!(Reliability::new(0.7).is_ok());
+    }
+
+    #[test]
+    fn reliability_rejects_out_of_range() {
+        assert!(Reliability::new(-0.01).is_err());
+        assert!(Reliability::new(1.01).is_err());
+        assert!(Reliability::new(f64::NAN).is_err());
+        assert!(Reliability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn reliability_odds_against() {
+        let r = Reliability::new(0.7).unwrap();
+        assert!((r.odds_against() - 3.0 / 7.0).abs() < 1e-15);
+        assert_eq!(Reliability::new(0.0).unwrap().odds_against(), f64::INFINITY);
+        assert_eq!(Reliability::new(1.0).unwrap().odds_against(), 0.0);
+    }
+
+    #[test]
+    fn reliability_try_from() {
+        assert!(Reliability::try_from(0.5).is_ok());
+        assert!(Reliability::try_from(2.0).is_err());
+    }
+
+    #[test]
+    fn confidence_rejects_half_and_one() {
+        assert!(Confidence::new(0.5).is_err());
+        assert!(Confidence::new(1.0).is_err());
+        assert!(Confidence::new(0.97).is_ok());
+        assert!(Confidence::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn confidence_failure_budget() {
+        let c = Confidence::new(0.97).unwrap();
+        assert!((c.failure_budget() - 0.03).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kvotes_rejects_even_and_zero() {
+        assert!(KVotes::new(0).is_err());
+        assert!(KVotes::new(2).is_err());
+        assert!(KVotes::new(1).is_ok());
+        assert!(KVotes::new(19).is_ok());
+    }
+
+    #[test]
+    fn kvotes_consensus_is_majority() {
+        assert_eq!(KVotes::new(1).unwrap().consensus(), 1);
+        assert_eq!(KVotes::new(3).unwrap().consensus(), 2);
+        assert_eq!(KVotes::new(19).unwrap().consensus(), 10);
+    }
+
+    #[test]
+    fn margin_rejects_zero() {
+        assert!(VoteMargin::new(0).is_err());
+        assert_eq!(VoteMargin::new(6).unwrap().get(), 6);
+    }
+
+    #[test]
+    fn display_renders_inner_value() {
+        assert_eq!(Reliability::new(0.7).unwrap().to_string(), "0.7");
+        assert_eq!(KVotes::new(19).unwrap().to_string(), "19");
+        assert_eq!(VoteMargin::new(4).unwrap().to_string(), "4");
+        assert_eq!(Confidence::new(0.97).unwrap().to_string(), "0.97");
+    }
+
+    #[test]
+    fn params_are_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<Reliability>();
+        assert_ss::<Confidence>();
+        assert_ss::<KVotes>();
+        assert_ss::<VoteMargin>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-node reputation tracking for the related-work baselines (§5.1, §6).
+//!
+//! The paper argues that reliability-estimating schemes (spot-checking,
+//! blacklisting, credibility) carry costs and vulnerabilities that iterative
+//! redundancy avoids. To make that comparison concrete, this module
+//! implements the bookkeeping those schemes need: Bayesian spot-check
+//! credibility in the style of Sarmenta's sabotage-tolerance work, plus
+//! agreement statistics and blacklisting.
+
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+
+/// Parameters of the credibility model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReputationConfig {
+    /// Assumed prior fraction of faulty nodes in the pool (`f` in
+    /// Sarmenta's formulas).
+    pub assumed_faulty_fraction: f64,
+    /// Assumed probability that a faulty node fails any given spot-check
+    /// (its sabotage rate `s`). Malicious nodes that sabotage rarely are
+    /// precisely the ones spot-checking struggles with.
+    pub assumed_sabotage_rate: f64,
+    /// Nodes caught failing this many spot-checks are blacklisted.
+    pub blacklist_after_failures: u32,
+}
+
+impl Default for ReputationConfig {
+    fn default() -> Self {
+        Self {
+            assumed_faulty_fraction: 0.3,
+            assumed_sabotage_rate: 0.3,
+            blacklist_after_failures: 1,
+        }
+    }
+}
+
+/// Recorded history of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeRecord {
+    /// Spot-checks this node passed.
+    pub spot_checks_passed: u32,
+    /// Spot-checks this node failed.
+    pub spot_checks_failed: u32,
+    /// Validated results that agreed with the accepted value.
+    pub agreements: u32,
+    /// Validated results that disagreed with the accepted value.
+    pub disagreements: u32,
+    /// Consecutive agreements since the last disagreement (the statistic
+    /// BOINC's adaptive replication trusts).
+    pub consecutive_agreements: u32,
+}
+
+/// Reputation store: spot-check history, credibility, and blacklist for a
+/// node pool.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::node::NodeId;
+/// use smartred_core::reputation::{ReputationConfig, ReputationStore};
+///
+/// let mut store = ReputationStore::new(ReputationConfig::default());
+/// let node = NodeId::new(1);
+/// let before = store.credibility(node);
+/// store.record_spot_check(node, true);
+/// assert!(store.credibility(node) > before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReputationStore {
+    config: ReputationConfig,
+    records: HashMap<NodeId, NodeRecord>,
+    blacklist: HashMap<NodeId, ()>,
+}
+
+impl ReputationStore {
+    /// Creates an empty store.
+    pub fn new(config: ReputationConfig) -> Self {
+        Self {
+            config,
+            records: HashMap::new(),
+            blacklist: HashMap::new(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> ReputationConfig {
+        self.config
+    }
+
+    /// Returns the record for `node` (zeroed if never seen).
+    pub fn record(&self, node: NodeId) -> NodeRecord {
+        self.records.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Number of nodes with any recorded history.
+    pub fn tracked_nodes(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the node has been blacklisted.
+    pub fn is_blacklisted(&self, node: NodeId) -> bool {
+        self.blacklist.contains_key(&node)
+    }
+
+    /// Estimated probability that `node` returns correct results —
+    /// Sarmenta-style Bayesian credibility from spot-check history.
+    ///
+    /// With prior faulty fraction `f` and sabotage rate `s`, a node that
+    /// passed `p` spot-checks is faulty with posterior probability
+    /// `f·(1−s)^p / (f·(1−s)^p + (1−f))`; its credibility is the complement.
+    /// A brand-new node has credibility `1 − f`. Blacklisted nodes have
+    /// credibility 0.
+    pub fn credibility(&self, node: NodeId) -> f64 {
+        if self.is_blacklisted(node) {
+            return 0.0;
+        }
+        let f = self.config.assumed_faulty_fraction;
+        let s = self.config.assumed_sabotage_rate;
+        let record = self.record(node);
+        let evade = (1.0 - s).powi(record.spot_checks_passed as i32);
+        let posterior_faulty = f * evade / (f * evade + (1.0 - f));
+        1.0 - posterior_faulty
+    }
+
+    /// Records the outcome of a spot-check (a job whose answer the server
+    /// already knew). Failing `blacklist_after_failures` checks blacklists
+    /// the node.
+    pub fn record_spot_check(&mut self, node: NodeId, passed: bool) {
+        let record = self.records.entry(node).or_default();
+        if passed {
+            record.spot_checks_passed += 1;
+        } else {
+            record.spot_checks_failed += 1;
+            if record.spot_checks_failed >= self.config.blacklist_after_failures {
+                self.blacklist.insert(node, ());
+            }
+        }
+    }
+
+    /// Records whether a node's validated result agreed with the accepted
+    /// value.
+    pub fn record_validation(&mut self, node: NodeId, agreed: bool) {
+        let record = self.records.entry(node).or_default();
+        if agreed {
+            record.agreements += 1;
+            record.consecutive_agreements += 1;
+        } else {
+            record.disagreements += 1;
+            record.consecutive_agreements = 0;
+        }
+    }
+
+    /// Forgets a node entirely — models the identity-churn attack of §3.3
+    /// ("malicious nodes that have developed a bad reputation can change
+    /// their identity").
+    pub fn forget(&mut self, node: NodeId) {
+        self.records.remove(&node);
+        self.blacklist.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ReputationStore {
+        ReputationStore::new(ReputationConfig::default())
+    }
+
+    #[test]
+    fn new_node_credibility_is_prior() {
+        let s = store();
+        assert!((s.credibility(NodeId::new(9)) - 0.7).abs() < 1e-12);
+        assert_eq!(s.tracked_nodes(), 0);
+    }
+
+    #[test]
+    fn passing_spot_checks_raises_credibility_monotonically() {
+        let mut s = store();
+        let node = NodeId::new(1);
+        let mut last = s.credibility(node);
+        for _ in 0..10 {
+            s.record_spot_check(node, true);
+            let c = s.credibility(node);
+            assert!(c > last);
+            last = c;
+        }
+        assert!(last > 0.95);
+    }
+
+    #[test]
+    fn failed_spot_check_blacklists_at_threshold() {
+        let mut s = store();
+        let node = NodeId::new(2);
+        s.record_spot_check(node, false);
+        assert!(s.is_blacklisted(node));
+        assert_eq!(s.credibility(node), 0.0);
+    }
+
+    #[test]
+    fn higher_blacklist_threshold_tolerates_failures() {
+        let mut s = ReputationStore::new(ReputationConfig {
+            blacklist_after_failures: 3,
+            ..ReputationConfig::default()
+        });
+        let node = NodeId::new(3);
+        s.record_spot_check(node, false);
+        s.record_spot_check(node, false);
+        assert!(!s.is_blacklisted(node));
+        s.record_spot_check(node, false);
+        assert!(s.is_blacklisted(node));
+    }
+
+    #[test]
+    fn validation_tracks_consecutive_agreements() {
+        let mut s = store();
+        let node = NodeId::new(4);
+        s.record_validation(node, true);
+        s.record_validation(node, true);
+        assert_eq!(s.record(node).consecutive_agreements, 2);
+        s.record_validation(node, false);
+        assert_eq!(s.record(node).consecutive_agreements, 0);
+        assert_eq!(s.record(node).agreements, 2);
+        assert_eq!(s.record(node).disagreements, 1);
+    }
+
+    #[test]
+    fn forget_models_identity_churn() {
+        let mut s = store();
+        let node = NodeId::new(5);
+        s.record_spot_check(node, false);
+        assert!(s.is_blacklisted(node));
+        s.forget(node);
+        // The "new" identity starts with the prior credibility again.
+        assert!(!s.is_blacklisted(node));
+        assert!((s.credibility(node) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_sabotage_rate_slows_credibility_growth() {
+        // A stealthy saboteur (low sabotage rate) is hard to distinguish:
+        // passing checks should move the posterior less.
+        let mut stealthy = ReputationStore::new(ReputationConfig {
+            assumed_sabotage_rate: 0.05,
+            ..ReputationConfig::default()
+        });
+        let mut blatant = ReputationStore::new(ReputationConfig {
+            assumed_sabotage_rate: 0.9,
+            ..ReputationConfig::default()
+        });
+        let node = NodeId::new(6);
+        for _ in 0..5 {
+            stealthy.record_spot_check(node, true);
+            blatant.record_spot_check(node, true);
+        }
+        assert!(stealthy.credibility(node) < blatant.credibility(node));
+    }
+}

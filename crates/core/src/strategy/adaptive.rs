@@ -1,0 +1,185 @@
+//! BOINC-style adaptive replication (related-work baseline, §5.1).
+//!
+//! "BOINC has recently added adaptive replication, which prevents
+//! replication of a task if a trusted node returns its result." A node
+//! becomes trusted after enough consecutive validated agreements; the paper
+//! points out that malicious nodes can *earn* this trust and then defect, or
+//! shed a bad history by changing identity — the ablation benches exercise
+//! both attacks.
+
+use crate::node::{NodeAwareStrategy, NodeId, Vote};
+use crate::reputation::ReputationStore;
+use crate::strategy::{Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// Adaptive replication: accept a single result from a trusted node,
+/// otherwise fall back to an inner redundancy strategy.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::node::{NodeAwareStrategy, NodeId, Vote};
+/// use smartred_core::params::KVotes;
+/// use smartred_core::reputation::{ReputationConfig, ReputationStore};
+/// use smartred_core::strategy::{AdaptiveReplication, Decision, Traditional};
+///
+/// let store = ReputationStore::new(ReputationConfig::default());
+/// let inner = Traditional::new(KVotes::new(3)?);
+/// let mut ar = AdaptiveReplication::new(inner, store, 10);
+///
+/// // An unknown node's single result is not trusted: replicate.
+/// let vote = Vote::new(NodeId::new(1), true);
+/// assert!(matches!(ar.decide_votes(&[vote]), Decision::Deploy(_)));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveReplication<S> {
+    inner: S,
+    store: ReputationStore,
+    /// Consecutive validated agreements required before a node is trusted.
+    trust_after: u32,
+}
+
+impl<S> AdaptiveReplication<S> {
+    /// Creates an adaptive-replication wrapper around `inner`.
+    ///
+    /// `trust_after` is the number of consecutive validated agreements after
+    /// which a node's lone result is accepted without replication (BOINC's
+    /// default policy is on the order of 10).
+    pub fn new(inner: S, store: ReputationStore, trust_after: u32) -> Self {
+        Self {
+            inner,
+            store,
+            trust_after,
+        }
+    }
+
+    /// Returns `true` if `node` is currently trusted.
+    pub fn is_trusted(&self, node: NodeId) -> bool {
+        !self.store.is_blacklisted(node)
+            && self.store.record(node).consecutive_agreements >= self.trust_after
+    }
+
+    /// Shared access to the reputation store.
+    pub fn store(&self) -> &ReputationStore {
+        &self.store
+    }
+
+    /// Mutable access to the reputation store (e.g. to model identity
+    /// churn via [`ReputationStore::forget`]).
+    pub fn store_mut(&mut self) -> &mut ReputationStore {
+        &mut self.store
+    }
+}
+
+impl<V, S> NodeAwareStrategy<V> for AdaptiveReplication<S>
+where
+    V: Ord + Clone,
+    S: RedundancyStrategy<V>,
+{
+    fn name(&self) -> &'static str {
+        "adaptive-replication"
+    }
+
+    fn decide_votes(&mut self, votes: &[Vote<V>]) -> Decision<V> {
+        if votes.is_empty() {
+            // Optimistically try a single job first; if its node turns out
+            // to be trusted we are done at cost 1.
+            return Decision::Deploy(std::num::NonZeroUsize::new(1).expect("1 > 0"));
+        }
+        if votes.len() == 1 && self.is_trusted(votes[0].node) {
+            return Decision::Accept(votes[0].value.clone());
+        }
+        // Fall back to the inner strategy over the value tally.
+        let tally: VoteTally<V> = votes.iter().map(|v| v.value.clone()).collect();
+        self.inner.decide(&tally)
+    }
+
+    fn observe_outcome(&mut self, votes: &[Vote<V>], accepted: &V) {
+        for vote in votes {
+            self.store
+                .record_validation(vote.node, vote.value == *accepted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::KVotes;
+    use crate::reputation::ReputationConfig;
+    use crate::strategy::Traditional;
+
+    fn adaptive(trust_after: u32) -> AdaptiveReplication<Traditional> {
+        AdaptiveReplication::new(
+            Traditional::new(KVotes::new(3).unwrap()),
+            ReputationStore::new(ReputationConfig::default()),
+            trust_after,
+        )
+    }
+
+    fn earn_trust(ar: &mut AdaptiveReplication<Traditional>, node: NodeId, times: u32) {
+        for _ in 0..times {
+            ar.observe_outcome(&[Vote::new(node, true)], &true);
+        }
+    }
+
+    #[test]
+    fn untrusted_single_vote_falls_back_to_inner() {
+        let mut ar = adaptive(3);
+        let decision = ar.decide_votes(&[Vote::new(NodeId::new(1), true)]);
+        // Inner traditional k=3 wants 2 more votes.
+        assert_eq!(decision.deploy_count(), Some(2));
+    }
+
+    #[test]
+    fn trusted_single_vote_is_accepted() {
+        let mut ar = adaptive(3);
+        let node = NodeId::new(1);
+        earn_trust(&mut ar, node, 3);
+        assert!(ar.is_trusted(node));
+        let decision = ar.decide_votes(&[Vote::new(node, false)]);
+        assert_eq!(decision, Decision::Accept(false));
+    }
+
+    #[test]
+    fn disagreement_resets_trust() {
+        let mut ar = adaptive(3);
+        let node = NodeId::new(1);
+        earn_trust(&mut ar, node, 3);
+        // One validated disagreement resets the streak.
+        ar.observe_outcome(&[Vote::new(node, false)], &true);
+        assert!(!ar.is_trusted(node));
+    }
+
+    #[test]
+    fn trust_earning_attack_sneaks_a_wrong_result() {
+        // The §5.1 critique: a malicious node earns credibility, then lies —
+        // and its lie is accepted at cost 1 with no vote at all.
+        let mut ar = adaptive(5);
+        let attacker = NodeId::new(66);
+        earn_trust(&mut ar, attacker, 5);
+        let lie = Vote::new(attacker, false);
+        assert_eq!(ar.decide_votes(&[lie]), Decision::Accept(false));
+    }
+
+    #[test]
+    fn empty_votes_deploy_one() {
+        let mut ar = adaptive(3);
+        assert_eq!(
+            NodeAwareStrategy::<bool>::decide_votes(&mut ar, &[]).deploy_count(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn multiple_votes_use_inner_strategy() {
+        let mut ar = adaptive(1);
+        let votes = [
+            Vote::new(NodeId::new(1), true),
+            Vote::new(NodeId::new(2), true),
+            Vote::new(NodeId::new(3), false),
+        ];
+        assert_eq!(ar.decide_votes(&votes), Decision::Accept(true));
+    }
+}

@@ -1,0 +1,202 @@
+//! A budget wrapper for strategies with unbounded tails (§5.2).
+//!
+//! Iterative redundancy "makes no such guarantees [on wave count], and
+//! while it is very unlikely, any one task may require arbitrarily many
+//! waves of jobs". [`TaskExecution::with_job_cap`] turns that tail into a
+//! hard error; [`Budgeted`] instead degrades gracefully: once the budget is
+//! reached it accepts the current plurality — trading a small, quantifiable
+//! amount of reliability for a hard cost bound.
+//!
+//! [`TaskExecution::with_job_cap`]: crate::execution::TaskExecution::with_job_cap
+
+use crate::strategy::{deploy, Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// Wraps a strategy with a hard per-task job budget.
+///
+/// Decisions delegate to the inner strategy, but waves are clipped so the
+/// total never exceeds `budget`; when the budget is exhausted without an
+/// inner accept, the current plurality is accepted (ties break toward the
+/// smaller value, as everywhere in the tally).
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::{Budgeted, Decision, Iterative, RedundancyStrategy};
+/// use smartred_core::tally::VoteTally;
+///
+/// let ir = Budgeted::new(Iterative::new(VoteMargin::new(4)?), 6);
+/// let mut tally = VoteTally::new();
+/// assert_eq!(ir.decide(&tally).deploy_count(), Some(4));
+/// tally.record_n(true, 2);
+/// tally.record_n(false, 2);
+/// // Inner strategy wants 4 more, but only 2 remain in the budget.
+/// assert_eq!(ir.decide(&tally).deploy_count(), Some(2));
+/// tally.record(true);
+/// tally.record(false);
+/// // Budget exhausted: accept the plurality (tie → smaller value).
+/// assert_eq!(ir.decide(&tally), Decision::Accept(false));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgeted<S> {
+    inner: S,
+    budget: usize,
+}
+
+impl<S> Budgeted<S> {
+    /// Wraps `inner` with a job budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero — a task must be allowed at least one
+    /// job.
+    pub fn new(inner: S, budget: usize) -> Self {
+        assert!(budget >= 1, "budget must allow at least one job");
+        Self { inner, budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The wrapped strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<V, S> RedundancyStrategy<V> for Budgeted<S>
+where
+    V: Ord + Clone,
+    S: RedundancyStrategy<V>,
+{
+    fn name(&self) -> &'static str {
+        "budgeted"
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        let remaining = self.budget.saturating_sub(tally.total());
+        if remaining == 0 {
+            let (value, _) = tally
+                .leader()
+                .expect("budget >= 1 guarantees at least one vote before exhaustion");
+            return Decision::Accept(value.clone());
+        }
+        match self.inner.decide(tally) {
+            Decision::Accept(v) => Decision::Accept(v),
+            Decision::Deploy(n) => deploy(n.get().min(remaining)),
+        }
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        Some(match self.inner.job_bound() {
+            Some(inner_bound) => inner_bound.min(self.budget),
+            None => self.budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{estimate, MonteCarloConfig};
+    use crate::params::{Reliability, VoteMargin};
+    use crate::strategy::Iterative;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ir(d: usize) -> Iterative {
+        Iterative::new(VoteMargin::new(d).unwrap())
+    }
+
+    #[test]
+    fn inner_accepts_pass_through() {
+        let s = Budgeted::new(ir(2), 100);
+        let mut tally = VoteTally::new();
+        tally.record_n(true, 2);
+        assert_eq!(s.decide(&tally), Decision::Accept(true));
+    }
+
+    #[test]
+    fn waves_are_clipped_to_budget() {
+        let s = Budgeted::new(ir(6), 4);
+        let tally: VoteTally<bool> = VoteTally::new();
+        assert_eq!(s.decide(&tally).deploy_count(), Some(4));
+    }
+
+    #[test]
+    fn exhausted_budget_accepts_plurality() {
+        let s = Budgeted::new(ir(6), 3);
+        let mut tally = VoteTally::new();
+        tally.record_n(false, 2);
+        tally.record(true);
+        assert_eq!(s.decide(&tally), Decision::Accept(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_budget_panics() {
+        let _ = Budgeted::new(ir(2), 0);
+    }
+
+    #[test]
+    fn job_bound_is_min_of_inner_and_budget() {
+        let unbounded = Budgeted::new(ir(4), 25);
+        assert_eq!(RedundancyStrategy::<bool>::job_bound(&unbounded), Some(25));
+        let bounded = Budgeted::new(crate::strategy::Traditional::new(
+            crate::params::KVotes::new(9).unwrap(),
+        ), 25);
+        assert_eq!(RedundancyStrategy::<bool>::job_bound(&bounded), Some(9));
+    }
+
+    #[test]
+    fn monte_carlo_never_exceeds_budget_and_degrades_gracefully() {
+        let r = Reliability::new(0.7).unwrap();
+        // An odd budget avoids exhaustion ties (binary votes cannot split
+        // 50/50 across an odd count), so the plurality fallback stays fair.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let capped = estimate(
+            &Budgeted::new(ir(4), 13),
+            MonteCarloConfig::new(40_000, r),
+            &mut rng,
+        );
+        assert!(capped.max_jobs_single_task <= 13);
+        assert_eq!(capped.capped_tasks, 0, "budgeted never errors");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let free = estimate(&ir(4), MonteCarloConfig::new(40_000, r), &mut rng);
+        // Exhausted tasks accept a sub-margin plurality, costing a few
+        // points of reliability — bounded, not catastrophic.
+        assert!(free.reliability() - capped.reliability() < 0.06);
+        assert!(capped.reliability() > 0.9);
+        // The budgeted cost can only be lower.
+        assert!(capped.cost_factor() <= free.cost_factor() + 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_still_terminates_at_half_reliability() {
+        // r = 0.5 with an even budget: exhaustion ties break toward the
+        // smaller value (false — the "wrong" one in this model), so the
+        // measured reliability sits *below* ½ by half the tie probability
+        // P(Binomial(10, ½) = 5) ≈ 0.246. Deterministic tie-breaking is the
+        // worst case, consistent with the threat model.
+        let r = Reliability::new(0.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let report = estimate(
+            &Budgeted::new(ir(8), 10),
+            MonteCarloConfig::new(20_000, r),
+            &mut rng,
+        );
+        assert_eq!(report.capped_tasks, 0);
+        assert!(report.max_jobs_single_task <= 10);
+        let expected = 0.5 - 0.246 / 2.0;
+        assert!(
+            (report.reliability() - expected).abs() < 0.03,
+            "reliability {} vs expected {expected}",
+            report.reliability()
+        );
+    }
+}

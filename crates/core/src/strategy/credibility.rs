@@ -1,0 +1,234 @@
+//! Credibility-based fault tolerance (related-work baseline, §5.1 / §6).
+//!
+//! Sarmenta's sabotage-tolerance scheme estimates per-node credibilities
+//! from spot-checks and accepts a result once the conditional probability
+//! that it is correct reaches a threshold. The paper notes its probability
+//! calculations "resemble the complex form of the iterative redundancy
+//! algorithm" but require reliability estimates — with the attendant costs
+//! (spot-check jobs) and vulnerabilities (credibility farming, identity
+//! churn) that iterative redundancy avoids.
+
+use std::num::NonZeroUsize;
+
+use crate::node::{NodeAwareStrategy, Vote};
+use crate::params::Confidence;
+use crate::reputation::ReputationStore;
+use crate::strategy::Decision;
+
+/// Credibility-based voting: accept the leading result once its Bayesian
+/// credibility (from per-node spot-check credibilities) reaches the
+/// threshold.
+///
+/// Votes from blacklisted nodes are ignored. The per-result credibility is
+/// a naive-Bayes combination: with each voter `i` assigned credibility
+/// `c_i`, the odds that value `v` is correct against the alternative are
+/// `Π_{i votes v} c_i/(1−c_i) × Π_{j votes ≠v} (1−c_j)/c_j` (binary
+/// worst-case model, mirroring `q(r, a, b)` with per-node `r`).
+#[derive(Debug, Clone)]
+pub struct CredibilityVoting {
+    store: ReputationStore,
+    threshold: Confidence,
+    /// Jobs deployed per wave when credibility is still insufficient.
+    wave_size: NonZeroUsize,
+}
+
+impl CredibilityVoting {
+    /// Creates a credibility-based validator.
+    pub fn new(store: ReputationStore, threshold: Confidence) -> Self {
+        Self {
+            store,
+            threshold,
+            wave_size: NonZeroUsize::new(1).expect("1 > 0"),
+        }
+    }
+
+    /// Sets how many jobs are deployed per top-up wave (default 1).
+    pub fn with_wave_size(mut self, wave_size: NonZeroUsize) -> Self {
+        self.wave_size = wave_size;
+        self
+    }
+
+    /// Shared access to the reputation store.
+    pub fn store(&self) -> &ReputationStore {
+        &self.store
+    }
+
+    /// Mutable access to the reputation store (spot-check updates, identity
+    /// churn).
+    pub fn store_mut(&mut self) -> &mut ReputationStore {
+        &mut self.store
+    }
+
+    /// Computes the credibility that `candidate` is the correct value given
+    /// the (non-blacklisted) votes.
+    pub fn result_credibility<V: Ord + Clone>(&self, votes: &[Vote<V>], candidate: &V) -> f64 {
+        let mut log_odds = 0.0_f64;
+        for vote in votes {
+            if self.store.is_blacklisted(vote.node) {
+                continue;
+            }
+            // Clamp so a perfectly-credible node cannot produce infinite
+            // odds from a single vote.
+            let c = self.store.credibility(vote.node).clamp(1e-9, 1.0 - 1e-9);
+            let weight = (c / (1.0 - c)).ln();
+            if vote.value == *candidate {
+                log_odds += weight;
+            } else {
+                log_odds -= weight;
+            }
+        }
+        1.0 / (1.0 + (-log_odds).exp())
+    }
+
+    fn leading_candidate<V: Ord + Clone>(&self, votes: &[Vote<V>]) -> Option<V> {
+        let mut best: Option<(V, f64)> = None;
+        for vote in votes {
+            if self.store.is_blacklisted(vote.node) {
+                continue;
+            }
+            let cred = self.result_credibility(votes, &vote.value);
+            match &best {
+                Some((value, best_cred))
+                    if *best_cred > cred || (*best_cred == cred && *value <= vote.value) => {}
+                _ => best = Some((vote.value.clone(), cred)),
+            }
+        }
+        best.map(|(value, _)| value)
+    }
+}
+
+impl<V: Ord + Clone> NodeAwareStrategy<V> for CredibilityVoting {
+    fn name(&self) -> &'static str {
+        "credibility-voting"
+    }
+
+    fn decide_votes(&mut self, votes: &[Vote<V>]) -> Decision<V> {
+        if let Some(candidate) = self.leading_candidate(votes) {
+            if self.result_credibility(votes, &candidate) >= self.threshold.get() {
+                return Decision::Accept(candidate);
+            }
+        }
+        Decision::Deploy(self.wave_size)
+    }
+
+    fn observe_outcome(&mut self, votes: &[Vote<V>], accepted: &V) {
+        for vote in votes {
+            self.store
+                .record_validation(vote.node, vote.value == *accepted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::reputation::ReputationConfig;
+
+    fn validator(threshold: f64) -> CredibilityVoting {
+        CredibilityVoting::new(
+            ReputationStore::new(ReputationConfig::default()),
+            Confidence::new(threshold).unwrap(),
+        )
+    }
+
+    #[test]
+    fn no_votes_deploys_a_wave() {
+        let mut v = validator(0.9);
+        assert_eq!(
+            NodeAwareStrategy::<bool>::decide_votes(&mut v, &[]).deploy_count(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn single_prior_credibility_vote_is_not_enough_for_high_threshold() {
+        // Prior credibility 0.7 < 0.9 threshold → replicate.
+        let mut v = validator(0.9);
+        let votes = [Vote::new(NodeId::new(1), true)];
+        assert!(matches!(v.decide_votes(&votes), Decision::Deploy(_)));
+    }
+
+    #[test]
+    fn agreeing_votes_accumulate_credibility() {
+        let mut v = validator(0.9);
+        let votes = [
+            Vote::new(NodeId::new(1), true),
+            Vote::new(NodeId::new(2), true),
+            Vote::new(NodeId::new(3), true),
+        ];
+        // Three prior-0.7 voters: odds (7/3)³ ≈ 12.7 → credibility ≈ 0.927.
+        assert_eq!(v.decide_votes(&votes), Decision::Accept(true));
+    }
+
+    #[test]
+    fn credibility_matches_q_formula_for_uniform_nodes() {
+        // With every node at credibility r, result credibility must equal
+        // q(r, a, b) — the paper's observation that credibility-based fault
+        // tolerance resembles the complex iterative algorithm.
+        use crate::analysis::confidence::confidence;
+        use crate::params::Reliability;
+        let v = validator(0.9);
+        let votes = [
+            Vote::new(NodeId::new(1), true),
+            Vote::new(NodeId::new(2), true),
+            Vote::new(NodeId::new(3), true),
+            Vote::new(NodeId::new(4), false),
+        ];
+        let got = v.result_credibility(&votes, &true);
+        let expected = confidence(Reliability::new(0.7).unwrap(), 3, 1);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn spot_checked_nodes_carry_more_weight() {
+        let mut v = validator(0.9);
+        let trusted = NodeId::new(1);
+        for _ in 0..20 {
+            v.store_mut().record_spot_check(trusted, true);
+        }
+        let votes = [Vote::new(trusted, true), Vote::new(NodeId::new(2), false)];
+        // The heavily spot-checked node outweighs the unknown dissenter.
+        assert!(v.result_credibility(&votes, &true) > 0.9);
+        assert_eq!(v.decide_votes(&votes), Decision::Accept(true));
+    }
+
+    #[test]
+    fn blacklisted_votes_are_ignored() {
+        let mut v = validator(0.9);
+        let bad = NodeId::new(13);
+        v.store_mut().record_spot_check(bad, false);
+        assert!(v.store().is_blacklisted(bad));
+        let votes = [
+            Vote::new(bad, false),
+            Vote::new(NodeId::new(1), true),
+            Vote::new(NodeId::new(2), true),
+            Vote::new(NodeId::new(3), true),
+        ];
+        assert_eq!(v.decide_votes(&votes), Decision::Accept(true));
+        // The blacklisted dissent did not dilute credibility at all.
+        let without_bad = v.result_credibility(&votes[1..], &true);
+        assert!((v.result_credibility(&votes, &true) - without_bad).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_size_is_configurable() {
+        let mut v =
+            validator(0.99).with_wave_size(NonZeroUsize::new(3).expect("3 > 0"));
+        assert_eq!(
+            NodeAwareStrategy::<bool>::decide_votes(&mut v, &[]).deploy_count(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn observe_outcome_updates_agreement_stats() {
+        let mut v = validator(0.9);
+        let node = NodeId::new(7);
+        let votes = [Vote::new(node, true)];
+        v.observe_outcome(&votes, &true);
+        assert_eq!(v.store().record(node).agreements, 1);
+        v.observe_outcome(&[Vote::new(node, false)], &true);
+        assert_eq!(v.store().record(node).disagreements, 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Iterative redundancy, in both the simple and the complex form (paper §3.3).
+
+use crate::analysis::confidence::{confidence, minimum_margin};
+use crate::error::ParamError;
+use crate::params::{Confidence, Reliability, VoteMargin};
+use crate::strategy::{deploy, Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// Iterative redundancy, simple form (Fig. 4 of the paper).
+///
+/// The task completes once the leading result has `d` more votes than the
+/// runner-up; until then the strategy deploys exactly `d − margin` jobs —
+/// the minimum that could close the gap if they all agree with the leader.
+///
+/// By Theorem 2, the confidence in the accepted result depends only on `d`,
+/// never on how many disagreeing votes were seen along the way, so neither
+/// the user nor the system needs to know node reliability. This is the
+/// paper's headline contribution: the minimum-cost strategy for a desired
+/// confidence level.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::{Decision, Iterative, RedundancyStrategy};
+/// use smartred_core::tally::VoteTally;
+///
+/// let ir = Iterative::new(VoteMargin::new(6)?);
+/// let mut tally = VoteTally::new();
+/// assert_eq!(ir.decide(&tally).deploy_count(), Some(6));
+/// tally.record_n(true, 4);
+/// tally.record_n(false, 2);
+/// // Margin is 2; four more agreeing votes would make it 6.
+/// assert_eq!(ir.decide(&tally).deploy_count(), Some(4));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iterative {
+    d: VoteMargin,
+}
+
+impl Iterative {
+    /// Creates an iterative strategy that stops at margin `d`.
+    pub fn new(d: VoteMargin) -> Self {
+        Self { d }
+    }
+
+    /// Creates the iterative strategy whose confidence matches `target` when
+    /// node reliability is `r` — i.e. with `d = d(r, R, 0)` (paper §3.3).
+    ///
+    /// This is a convenience for experiments: the strategy itself never uses
+    /// `r` at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] if `r ≤ 0.5`, for which no finite
+    /// margin can achieve a confidence above one half.
+    pub fn for_confidence(r: Reliability, target: Confidence) -> Result<Self, ParamError> {
+        let d = minimum_margin(r, target)?;
+        Ok(Self { d })
+    }
+
+    /// Returns the configured margin.
+    pub fn d(&self) -> VoteMargin {
+        self.d
+    }
+}
+
+impl<V: Ord + Clone> RedundancyStrategy<V> for Iterative {
+    fn name(&self) -> &'static str {
+        "iterative"
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        let d = self.d.get();
+        let margin = tally.margin();
+        if margin >= d {
+            let (value, _) = tally.leader().expect("nonzero margin implies a leader");
+            Decision::Accept(value.clone())
+        } else {
+            deploy(d - margin)
+        }
+    }
+}
+
+/// Iterative redundancy, complex form: the naïve algorithm that recomputes
+/// Bayesian confidence from node reliability each wave (paper §3.3).
+///
+/// Given `b` minority votes, the strategy deploys enough jobs for the
+/// majority to reach `d(r, R, b)` votes — the minimum `a` with
+/// `q(r, a, b) ≥ R` — and accepts once that confidence is reached.
+///
+/// Theorem 1 proves `q(r, a, b) = q(r, a + j, b + j)`, so this strategy
+/// deploys *exactly* the same waves as [`Iterative`] with
+/// `d = d(r, R, 0)`; it exists to make that equivalence testable (ablation
+/// A1 in `DESIGN.md`) and to serve systems that do track per-class
+/// reliabilities (§5.3).
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::{Confidence, Reliability};
+/// use smartred_core::strategy::{IterativeComplex, RedundancyStrategy};
+/// use smartred_core::tally::VoteTally;
+///
+/// let r = Reliability::new(0.7)?;
+/// let target = Confidence::new(0.96)?;
+/// let ir = IterativeComplex::new(r, target)?;
+/// // First wave: the minimum unanimous count reaching 0.96 confidence.
+/// assert_eq!(ir.decide(&VoteTally::<bool>::new()).deploy_count(), Some(4));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeComplex {
+    r: Reliability,
+    target: Confidence,
+}
+
+impl IterativeComplex {
+    /// Creates a complex iterative strategy for node reliability `r` and
+    /// target confidence `R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] if `r ≤ 0.5`: with a majority of
+    /// faulty nodes no amount of voting raises confidence above one half.
+    pub fn new(r: Reliability, target: Confidence) -> Result<Self, ParamError> {
+        if r.get() <= 0.5 {
+            return Err(ParamError::OutOfRange {
+                name: "reliability",
+                value: r.get(),
+                expected: "(0.5, 1] for the complex algorithm",
+            });
+        }
+        Ok(Self { r, target })
+    }
+
+    /// Returns the node reliability this strategy assumes.
+    pub fn reliability(&self) -> Reliability {
+        self.r
+    }
+
+    /// Returns the target confidence.
+    pub fn target(&self) -> Confidence {
+        self.target
+    }
+
+    /// Returns the margin `d(r, R, 0)` this strategy is equivalent to
+    /// (Theorem 1).
+    pub fn equivalent_margin(&self) -> VoteMargin {
+        minimum_margin(self.r, self.target)
+            .expect("constructor guarantees r > 0.5, so a finite margin exists")
+    }
+
+    /// The literal `d(r, R, b)` of the paper: the minimum majority count `a`
+    /// such that `q(r, a, b) ≥ R`, found by testing consecutive values.
+    fn required_majority(&self, b: usize) -> usize {
+        let mut a = b; // q(r, b, b) = 0.5 < R, so start searching above b.
+        loop {
+            a += 1;
+            if confidence(self.r, a, b) >= self.target.get() {
+                return a;
+            }
+        }
+    }
+}
+
+impl<V: Ord + Clone> RedundancyStrategy<V> for IterativeComplex {
+    fn name(&self) -> &'static str {
+        "iterative-complex"
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        // The paper's analysis is binary; for n-ary tallies we treat the
+        // runner-up count as the disagreeing evidence, which is the
+        // worst-case reading (§5.3 shows non-binary can only help).
+        let a = tally.leader().map(|(_, count)| count).unwrap_or(0);
+        let b = tally.runner_up_count();
+        if a > b && confidence(self.r, a, b) >= self.target.get() {
+            let (value, _) = tally.leader().expect("a > b implies a leader");
+            return Decision::Accept(value.clone());
+        }
+        deploy(self.required_majority(b) - a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn margin(d: usize) -> VoteMargin {
+        VoteMargin::new(d).unwrap()
+    }
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn conf(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    #[test]
+    fn first_wave_deploys_d_jobs() {
+        let ir = Iterative::new(margin(6));
+        let tally: VoteTally<bool> = VoteTally::new();
+        assert_eq!(ir.decide(&tally).deploy_count(), Some(6));
+    }
+
+    #[test]
+    fn paper_example_six_sought_four_versus_two() {
+        // §3.3: "if the algorithm first sought 6 unanimously agreeing results,
+        // but got 4 agreeing and 2 disagreeing results, the algorithm would
+        // distribute 4 additional jobs in an effort to produce an 8-to-2
+        // majority."
+        let ir = Iterative::new(margin(6));
+        let mut tally = VoteTally::new();
+        tally.record_n(true, 4);
+        tally.record_n(false, 2);
+        assert_eq!(ir.decide(&tally).deploy_count(), Some(4));
+    }
+
+    #[test]
+    fn accepts_at_exact_margin() {
+        let ir = Iterative::new(margin(4));
+        let mut tally = VoteTally::new();
+        tally.record_n(false, 104);
+        tally.record_n(true, 100);
+        assert_eq!(ir.decide(&tally), Decision::Accept(false));
+    }
+
+    #[test]
+    fn unbounded_job_bound() {
+        let ir = Iterative::new(margin(3));
+        assert_eq!(RedundancyStrategy::<bool>::job_bound(&ir), None);
+    }
+
+    #[test]
+    fn for_confidence_matches_paper_example() {
+        // §3.3: r = 0.7; four unanimous jobs give confidence
+        // 0.7⁴/(0.7⁴+0.3⁴) ≈ 0.9674 — the paper's "0.97" after rounding.
+        let ir = Iterative::for_confidence(r(0.7), conf(0.96)).unwrap();
+        assert_eq!(ir.d().get(), 4);
+    }
+
+    #[test]
+    fn for_confidence_rejects_unreliable_pool() {
+        assert!(Iterative::for_confidence(r(0.5), conf(0.97)).is_err());
+        assert!(Iterative::for_confidence(r(0.3), conf(0.97)).is_err());
+    }
+
+    #[test]
+    fn complex_rejects_r_at_or_below_half() {
+        assert!(IterativeComplex::new(r(0.5), conf(0.97)).is_err());
+        assert!(IterativeComplex::new(r(0.7), conf(0.97)).is_ok());
+    }
+
+    #[test]
+    fn complex_first_wave_is_equivalent_margin() {
+        let ir = IterativeComplex::new(r(0.7), conf(0.96)).unwrap();
+        assert_eq!(ir.equivalent_margin().get(), 4);
+        let tally: VoteTally<bool> = VoteTally::new();
+        assert_eq!(ir.decide(&tally).deploy_count(), Some(4));
+    }
+
+    #[test]
+    fn complex_paper_example_three_to_one_needs_two_more() {
+        // §3.3: with r = 0.7 and target ≈ 0.97, after a 3-to-1 split "at
+        // least two more jobs must return the majority result".
+        let ir = IterativeComplex::new(r(0.7), conf(0.96)).unwrap();
+        let mut tally = VoteTally::new();
+        tally.record_n(true, 3);
+        tally.record(false);
+        assert_eq!(ir.decide(&tally).deploy_count(), Some(2));
+    }
+
+    #[test]
+    fn complex_and_simple_agree_on_adversarial_paths() {
+        // Theorem 1 consequence: identical wave-by-wave deployments.
+        let complex = IterativeComplex::new(r(0.8), conf(0.99)).unwrap();
+        let simple = Iterative::new(complex.equivalent_margin());
+        // Walk a deterministic pseudo-random result path and compare at each
+        // step, including non-wave-aligned tallies.
+        let mut tally: VoteTally<bool> = VoteTally::new();
+        let mut state = 0x9e37_79b9_u32;
+        for _ in 0..200 {
+            let s = RedundancyStrategy::<bool>::decide(&simple, &tally);
+            let c = RedundancyStrategy::<bool>::decide(&complex, &tally);
+            assert_eq!(s, c, "diverged at tally {tally:?}");
+            if let Decision::Accept(_) = s {
+                tally = VoteTally::new();
+                continue;
+            }
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            tally.record(state & 0b100 != 0);
+        }
+    }
+
+    #[test]
+    fn complex_accessors() {
+        let ir = IterativeComplex::new(r(0.7), conf(0.97)).unwrap();
+        assert_eq!(ir.reliability().get(), 0.7);
+        assert_eq!(ir.target().get(), 0.97);
+    }
+}

@@ -1,0 +1,211 @@
+//! The three redundancy techniques as pure decision procedures.
+//!
+//! A [`RedundancyStrategy`] looks at the votes gathered so far for one task
+//! (a [`VoteTally`]) and decides either to deploy more jobs or to accept a
+//! result. Keeping strategies pure lets the same implementation drive the
+//! analytic machinery in [`crate::analysis`], the Monte-Carlo estimator in
+//! [`crate::monte_carlo`], the discrete-event simulator (`smartred-dca`), and
+//! the volunteer-computing system (`smartred-volunteer`).
+//!
+//! | Strategy | Paper section | Type |
+//! |---|---|---|
+//! | Traditional `k`-vote | §3.1 | [`Traditional`] |
+//! | Progressive `k`-vote | §3.2 | [`Progressive`] |
+//! | Iterative (simple, Fig. 4) | §3.3 | [`Iterative`] |
+//! | Iterative (complex, needs `r`) | §3.3 | [`IterativeComplex`] |
+
+mod adaptive;
+mod budgeted;
+mod credibility;
+mod iterative;
+mod progressive;
+mod traditional;
+mod weighted;
+
+pub use adaptive::AdaptiveReplication;
+pub use budgeted::Budgeted;
+pub use credibility::CredibilityVoting;
+pub use iterative::{Iterative, IterativeComplex};
+pub use progressive::Progressive;
+pub use traditional::Traditional;
+pub use weighted::WeightedVoting;
+
+use std::num::NonZeroUsize;
+
+use crate::tally::VoteTally;
+
+/// A strategy's verdict after inspecting the current tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision<V> {
+    /// Deploy this many additional jobs, then consult the strategy again
+    /// once they have all reported (one *wave*, in the paper's terms).
+    Deploy(NonZeroUsize),
+    /// The task is complete; accept this value as its result.
+    Accept(V),
+}
+
+impl<V> Decision<V> {
+    /// Returns the wave size if this decision deploys more jobs.
+    pub fn deploy_count(&self) -> Option<usize> {
+        match self {
+            Decision::Deploy(n) => Some(n.get()),
+            Decision::Accept(_) => None,
+        }
+    }
+
+    /// Returns the accepted value if this decision completes the task.
+    pub fn accepted(&self) -> Option<&V> {
+        match self {
+            Decision::Deploy(_) => None,
+            Decision::Accept(v) => Some(v),
+        }
+    }
+}
+
+/// A redundancy technique, expressed as a wave-by-wave decision procedure.
+///
+/// Implementations must be deterministic functions of the tally: given the
+/// same votes they must return the same decision. The driver contract is:
+///
+/// 1. call [`decide`](Self::decide) on the (initially empty) tally;
+/// 2. on [`Decision::Deploy`], run that many jobs on independent, randomly
+///    chosen nodes, record their results into the tally, and repeat;
+/// 3. on [`Decision::Accept`], the task is complete.
+///
+/// The blanket driver in [`crate::execution::TaskExecution`] implements this
+/// loop with job-cap protection.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::{Decision, Iterative, RedundancyStrategy};
+/// use smartred_core::tally::VoteTally;
+///
+/// let ir = Iterative::new(VoteMargin::new(2)?);
+/// let mut tally = VoteTally::new();
+/// assert_eq!(ir.decide(&tally).deploy_count(), Some(2));
+/// tally.record(true);
+/// tally.record(true);
+/// assert_eq!(ir.decide(&tally), Decision::Accept(true));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub trait RedundancyStrategy<V: Ord + Clone> {
+    /// A short human-readable name ("traditional", "progressive", …) used in
+    /// experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Decides whether to deploy more jobs or accept a result.
+    ///
+    /// Must return [`Decision::Deploy`] with a positive count whenever it does
+    /// not accept; a strategy that could neither deploy nor accept would
+    /// deadlock its driver, so the signature makes that unrepresentable.
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V>;
+
+    /// An optional upper bound on the total jobs this strategy can ever
+    /// deploy for one task (`Some(k)` for the fixed-`k` techniques, `None`
+    /// for iterative redundancy, which is unbounded — paper §5.2).
+    fn job_bound(&self) -> Option<usize> {
+        None
+    }
+}
+
+// Allow `&S` and boxed strategies wherever a strategy is expected.
+impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        (**self).decide(tally)
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        (**self).job_bound()
+    }
+}
+
+impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        (**self).decide(tally)
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        (**self).job_bound()
+    }
+}
+
+impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> for std::rc::Rc<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        (**self).decide(tally)
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        (**self).job_bound()
+    }
+}
+
+impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> for std::sync::Arc<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        (**self).decide(tally)
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        (**self).job_bound()
+    }
+}
+
+/// Convenience constructor for a deploy decision.
+///
+/// # Panics
+///
+/// Panics if `n == 0`; strategies compute `n` from tally invariants that
+/// guarantee positivity, so a zero here is a logic error.
+pub(crate) fn deploy<V>(n: usize) -> Decision<V> {
+    Decision::Deploy(NonZeroUsize::new(n).expect("wave size must be positive"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VoteMargin;
+
+    #[test]
+    fn decision_accessors() {
+        let d: Decision<bool> = deploy(3);
+        assert_eq!(d.deploy_count(), Some(3));
+        assert_eq!(d.accepted(), None);
+
+        let a = Decision::Accept(true);
+        assert_eq!(a.deploy_count(), None);
+        assert_eq!(a.accepted(), Some(&true));
+    }
+
+    #[test]
+    #[should_panic(expected = "wave size must be positive")]
+    fn deploy_zero_panics() {
+        let _: Decision<bool> = deploy(0);
+    }
+
+    #[test]
+    fn strategies_work_through_references_and_boxes() {
+        let ir = Iterative::new(VoteMargin::new(2).unwrap());
+        let by_ref: &dyn RedundancyStrategy<bool> = &ir;
+        assert_eq!(by_ref.name(), "iterative");
+        let boxed: Box<dyn RedundancyStrategy<bool>> = Box::new(ir);
+        assert_eq!(boxed.decide(&VoteTally::new()).deploy_count(), Some(2));
+        assert_eq!(boxed.job_bound(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Traditional `k`-modular redundancy (paper §3.1).
+
+use crate::params::KVotes;
+use crate::strategy::{deploy, Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// Traditional (k-modular) redundancy: run `k` jobs, majority vote.
+///
+/// All `k` jobs are requested in a single wave; once all have reported, the
+/// plurality value is accepted. This is the state of the practice in BOINC
+/// and Hadoop and costs exactly `k` jobs per task (Eq. 1).
+///
+/// With binary results and odd `k` the plurality is always a strict
+/// majority. With n-ary results a plurality that is not a majority can still
+/// win, which the paper notes only improves reliability (§5.3), so the
+/// analytic formulas remain valid upper bounds on failure.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::KVotes;
+/// use smartred_core::strategy::{Decision, RedundancyStrategy, Traditional};
+/// use smartred_core::tally::VoteTally;
+///
+/// let tr = Traditional::new(KVotes::new(3)?);
+/// let mut tally = VoteTally::new();
+/// assert_eq!(tr.decide(&tally).deploy_count(), Some(3));
+/// tally.record_n(true, 2);
+/// tally.record(false);
+/// assert_eq!(tr.decide(&tally), Decision::Accept(true));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traditional {
+    k: KVotes,
+}
+
+impl Traditional {
+    /// Creates a `k`-vote traditional strategy.
+    pub fn new(k: KVotes) -> Self {
+        Self { k }
+    }
+
+    /// Returns the configured vote count.
+    pub fn k(&self) -> KVotes {
+        self.k
+    }
+}
+
+impl<V: Ord + Clone> RedundancyStrategy<V> for Traditional {
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        let k = self.k.get();
+        if tally.total() < k {
+            // A single wave of everything still missing. If the driver loses
+            // jobs (e.g. a node vanished without reporting), this re-requests
+            // the difference, which matches BOINC's re-issue behavior.
+            deploy(k - tally.total())
+        } else {
+            let (value, _) = tally
+                .leader()
+                .expect("tally with k >= 1 votes has a leader");
+            Decision::Accept(value.clone())
+        }
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        Some(self.k.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: usize) -> KVotes {
+        KVotes::new(v).unwrap()
+    }
+
+    #[test]
+    fn deploys_all_k_in_one_wave() {
+        let tr = Traditional::new(k(19));
+        let tally: VoteTally<bool> = VoteTally::new();
+        assert_eq!(tr.decide(&tally).deploy_count(), Some(19));
+    }
+
+    #[test]
+    fn accepts_majority_after_k_votes() {
+        let tr = Traditional::new(k(5));
+        let mut tally = VoteTally::new();
+        tally.record_n(false, 3);
+        tally.record_n(true, 2);
+        assert_eq!(tr.decide(&tally), Decision::Accept(false));
+    }
+
+    #[test]
+    fn redeploys_missing_votes() {
+        let tr = Traditional::new(k(5));
+        let mut tally = VoteTally::new();
+        tally.record_n(true, 3);
+        // Two jobs were lost: ask for exactly the difference.
+        assert_eq!(tr.decide(&tally).deploy_count(), Some(2));
+    }
+
+    #[test]
+    fn k_equals_one_is_no_redundancy() {
+        let tr = Traditional::new(k(1));
+        let mut tally = VoteTally::new();
+        assert_eq!(tr.decide(&tally).deploy_count(), Some(1));
+        tally.record(true);
+        assert_eq!(tr.decide(&tally), Decision::Accept(true));
+    }
+
+    #[test]
+    fn nary_plurality_wins() {
+        let tr = Traditional::new(k(5));
+        let mut tally = VoteTally::new();
+        tally.record_n(10u32, 2);
+        tally.record_n(20u32, 2);
+        tally.record_n(30u32, 1);
+        // Plurality tie between 10 and 20 breaks toward the smaller value.
+        assert_eq!(tr.decide(&tally), Decision::Accept(10));
+    }
+
+    #[test]
+    fn job_bound_is_k() {
+        let tr = Traditional::new(k(7));
+        assert_eq!(RedundancyStrategy::<bool>::job_bound(&tr), Some(7));
+    }
+}

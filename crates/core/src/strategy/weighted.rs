@@ -1,0 +1,222 @@
+//! Weighted voting with known per-node reliabilities (§5.3).
+//!
+//! When per-node (or per-class) reliabilities *are* available, §5.3 notes
+//! the analysis "would again change as above, with `r` being replaced with
+//! the specific reliabilities of the relevant nodes" — i.e. the complex
+//! iterative algorithm generalizes to a weighted Bayesian vote. This
+//! module implements that oracle-information upper bound. Comparing it to
+//! node-blind [`Iterative`](crate::strategy::Iterative) quantifies the
+//! *value of perfect reliability information* — which the A3/A6 ablations
+//! show to be small, supporting the paper's case for not needing it.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+
+use crate::error::ParamError;
+use crate::node::{NodeAwareStrategy, NodeId, Vote};
+use crate::params::Confidence;
+use crate::strategy::Decision;
+
+/// Bayesian weighted voting with exact, externally supplied per-node
+/// reliabilities.
+///
+/// Each vote contributes `ln(rᵢ / (1 − rᵢ))` of log-odds toward its value;
+/// the leading value is accepted once its posterior (against the colluding
+/// alternative) reaches the target confidence. With every node at the same
+/// reliability `r`, this reduces exactly to the complex iterative
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct WeightedVoting {
+    reliabilities: HashMap<NodeId, f64>,
+    default_reliability: f64,
+    target: Confidence,
+    wave: NonZeroUsize,
+}
+
+impl WeightedVoting {
+    /// Creates a weighted voter with the given target confidence.
+    ///
+    /// `default_reliability` is used for nodes absent from the map (e.g.
+    /// fresh volunteers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::OutOfRange`] if `default_reliability ∉ (0, 1)`
+    /// or any supplied reliability is outside `(0, 1)` (certainties of 0 or
+    /// 1 produce infinite weights; clamp upstream if needed).
+    pub fn new(
+        reliabilities: HashMap<NodeId, f64>,
+        default_reliability: f64,
+        target: Confidence,
+    ) -> Result<Self, ParamError> {
+        let check = |value: f64| -> Result<(), ParamError> {
+            if !(value.is_finite() && 0.0 < value && value < 1.0) {
+                return Err(ParamError::OutOfRange {
+                    name: "node reliability",
+                    value,
+                    expected: "(0, 1) exclusive",
+                });
+            }
+            Ok(())
+        };
+        check(default_reliability)?;
+        for &r in reliabilities.values() {
+            check(r)?;
+        }
+        Ok(Self {
+            reliabilities,
+            default_reliability,
+            target,
+            wave: NonZeroUsize::new(1).expect("1 > 0"),
+        })
+    }
+
+    /// Sets the wave size used while confidence is insufficient (default 1).
+    pub fn with_wave_size(mut self, wave: NonZeroUsize) -> Self {
+        self.wave = wave;
+        self
+    }
+
+    /// The reliability assumed for `node`.
+    pub fn reliability_of(&self, node: NodeId) -> f64 {
+        self.reliabilities
+            .get(&node)
+            .copied()
+            .unwrap_or(self.default_reliability)
+    }
+
+    /// Posterior confidence that `candidate` is correct given the votes,
+    /// under the binary colluding-alternative model.
+    pub fn posterior<V: Ord + Clone>(&self, votes: &[Vote<V>], candidate: &V) -> f64 {
+        let mut log_odds = 0.0;
+        for vote in votes {
+            let r = self.reliability_of(vote.node);
+            let weight = (r / (1.0 - r)).ln();
+            if vote.value == *candidate {
+                log_odds += weight;
+            } else {
+                log_odds -= weight;
+            }
+        }
+        1.0 / (1.0 + (-log_odds).exp())
+    }
+
+    fn best_candidate<V: Ord + Clone>(&self, votes: &[Vote<V>]) -> Option<(V, f64)> {
+        let mut best: Option<(V, f64)> = None;
+        for vote in votes {
+            let p = self.posterior(votes, &vote.value);
+            match &best {
+                Some((value, bp)) if *bp > p || (*bp == p && *value <= vote.value) => {}
+                _ => best = Some((vote.value.clone(), p)),
+            }
+        }
+        best
+    }
+}
+
+impl<V: Ord + Clone> NodeAwareStrategy<V> for WeightedVoting {
+    fn name(&self) -> &'static str {
+        "weighted-voting"
+    }
+
+    fn decide_votes(&mut self, votes: &[Vote<V>]) -> Decision<V> {
+        if let Some((value, posterior)) = self.best_candidate(votes) {
+            if posterior >= self.target.get() {
+                return Decision::Accept(value);
+            }
+        }
+        Decision::Deploy(self.wave)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conf(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    fn node(id: u64) -> NodeId {
+        NodeId::new(id)
+    }
+
+    fn uniform_voter(r: f64, target: f64) -> WeightedVoting {
+        WeightedVoting::new(HashMap::new(), r, conf(target)).unwrap()
+    }
+
+    #[test]
+    fn uniform_reliabilities_reduce_to_q() {
+        use crate::analysis::confidence::confidence;
+        use crate::params::Reliability;
+        let voter = uniform_voter(0.7, 0.97);
+        let votes = [
+            Vote::new(node(1), true),
+            Vote::new(node(2), true),
+            Vote::new(node(3), true),
+            Vote::new(node(4), false),
+        ];
+        let got = voter.posterior(&votes, &true);
+        let expected = confidence(Reliability::new(0.7).unwrap(), 3, 1);
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accepts_exactly_at_margin_threshold() {
+        // With uniform r = 0.7 and target 0.96, the equivalent margin is 4.
+        let mut voter = uniform_voter(0.7, 0.96);
+        let mut votes: Vec<Vote<bool>> = Vec::new();
+        for i in 0..3 {
+            votes.push(Vote::new(node(i), true));
+            assert!(matches!(voter.decide_votes(&votes), Decision::Deploy(_)));
+        }
+        votes.push(Vote::new(node(3), true));
+        assert_eq!(voter.decide_votes(&votes), Decision::Accept(true));
+    }
+
+    #[test]
+    fn reliable_nodes_carry_more_weight() {
+        let mut map = HashMap::new();
+        map.insert(node(1), 0.99);
+        let mut voter = WeightedVoting::new(map, 0.6, conf(0.995)).unwrap();
+        // One highly reliable "yes" outweighs two mediocre "no"s: the
+        // posterior is ln(99) − 2·ln(1.5) of log-odds ≈ 0.978.
+        let votes = [
+            Vote::new(node(1), true),
+            Vote::new(node(2), false),
+            Vote::new(node(3), false),
+        ];
+        let posterior = voter.posterior(&votes, &true);
+        assert!((posterior - 0.978).abs() < 0.01, "posterior {posterior}");
+        // Above ½ but short of the 0.995 target: keep deploying.
+        assert!(matches!(voter.decide_votes(&votes), Decision::Deploy(_)));
+    }
+
+    #[test]
+    fn rejects_degenerate_reliabilities() {
+        assert!(WeightedVoting::new(HashMap::new(), 1.0, conf(0.9)).is_err());
+        assert!(WeightedVoting::new(HashMap::new(), 0.0, conf(0.9)).is_err());
+        let mut map = HashMap::new();
+        map.insert(node(1), 1.0);
+        assert!(WeightedVoting::new(map, 0.7, conf(0.9)).is_err());
+    }
+
+    #[test]
+    fn empty_votes_deploy_wave() {
+        let mut voter = uniform_voter(0.7, 0.9)
+            .with_wave_size(NonZeroUsize::new(4).expect("4 > 0"));
+        assert_eq!(
+            NodeAwareStrategy::<bool>::decide_votes(&mut voter, &[]).deploy_count(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn default_reliability_applies_to_unknown_nodes() {
+        let mut map = HashMap::new();
+        map.insert(node(1), 0.9);
+        let voter = WeightedVoting::new(map, 0.6, conf(0.9)).unwrap();
+        assert_eq!(voter.reliability_of(node(1)), 0.9);
+        assert_eq!(voter.reliability_of(node(99)), 0.6);
+    }
+}

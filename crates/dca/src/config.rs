@@ -1,0 +1,408 @@
+//! Configuration of a DCA simulation run.
+
+use smartred_core::error::ParamError;
+
+/// How node fault rates are distributed across the pool.
+///
+/// In every profile, *wrong rate* is the probability that a job on the node
+/// returns the colluding wrong value (the Byzantine worst case of §2.2);
+/// the paper's pool-average reliability is `r = 1 − mean wrong rate −
+/// unresponsive rate` when timeouts count as failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReliabilityProfile {
+    /// Every node has the same wrong rate (the paper's base assumption 1).
+    Uniform {
+        /// Per-job probability of returning the wrong value.
+        wrong_rate: f64,
+    },
+    /// Wrong rates drawn uniformly from `mean ± half_width`, clipped to
+    /// `[0, 1]` — the §5.3 relaxation with heterogeneous reliabilities but
+    /// the same pool mean.
+    Spread {
+        /// Mean per-job wrong rate across the pool.
+        mean_wrong: f64,
+        /// Half-width of the uniform spread around the mean.
+        half_width: f64,
+    },
+    /// A reliable majority plus a colluding Byzantine cartel — the cartel's
+    /// members fail at `byzantine_wrong` (typically 1.0) while honest nodes
+    /// fail at `honest_wrong`.
+    TwoClass {
+        /// Wrong rate of honest nodes (models accidental faults).
+        honest_wrong: f64,
+        /// Wrong rate of cartel members.
+        byzantine_wrong: f64,
+        /// Fraction of the pool in the cartel.
+        byzantine_fraction: f64,
+    },
+}
+
+impl ReliabilityProfile {
+    /// Mean wrong rate implied by the profile.
+    pub fn mean_wrong_rate(&self) -> f64 {
+        match *self {
+            ReliabilityProfile::Uniform { wrong_rate } => wrong_rate,
+            ReliabilityProfile::Spread { mean_wrong, .. } => mean_wrong,
+            ReliabilityProfile::TwoClass {
+                honest_wrong,
+                byzantine_wrong,
+                byzantine_fraction,
+            } => {
+                honest_wrong * (1.0 - byzantine_fraction) + byzantine_wrong * byzantine_fraction
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ParamError> {
+        let check = |name: &'static str, v: f64| {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                Err(ParamError::OutOfRange {
+                    name,
+                    value: v,
+                    expected: "[0, 1]",
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            ReliabilityProfile::Uniform { wrong_rate } => check("wrong_rate", wrong_rate),
+            ReliabilityProfile::Spread {
+                mean_wrong,
+                half_width,
+            } => {
+                check("mean_wrong", mean_wrong)?;
+                check("half_width", half_width)
+            }
+            ReliabilityProfile::TwoClass {
+                honest_wrong,
+                byzantine_wrong,
+                byzantine_fraction,
+            } => {
+                check("honest_wrong", honest_wrong)?;
+                check("byzantine_wrong", byzantine_wrong)?;
+                check("byzantine_fraction", byzantine_fraction)
+            }
+        }
+    }
+}
+
+/// Node-pool shape and behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Number of nodes initially in the pool (the paper uses 10,000).
+    pub size: usize,
+    /// Distribution of wrong rates.
+    pub profile: ReliabilityProfile,
+    /// Per-job probability that a node hangs and never reports (resolved by
+    /// the server's timeout).
+    pub unresponsive_rate: f64,
+    /// Node speed multipliers drawn uniformly from this window; job duration
+    /// is the base draw times the node's speed factor.
+    pub speed_window: (f64, f64),
+}
+
+impl PoolConfig {
+    /// A homogeneous pool matching the paper's §4.1 setup: `size` nodes,
+    /// every job wrong with probability `wrong_rate`, no hangs, unit speed.
+    pub fn uniform(size: usize, wrong_rate: f64) -> Self {
+        Self {
+            size,
+            profile: ReliabilityProfile::Uniform { wrong_rate },
+            unresponsive_rate: 0.0,
+            speed_window: (1.0, 1.0),
+        }
+    }
+}
+
+/// What the server does when a job times out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeoutPolicy {
+    /// Treat the missing report as a colluding wrong vote — the paper's
+    /// reading ("a node that does not report a result in a timely fashion
+    /// [is assumed] to have failed", §2.2).
+    #[default]
+    CountAsWrong,
+    /// Abandon the job and let the strategy re-deploy — BOINC's actual
+    /// re-issue behavior.
+    Reissue,
+}
+
+/// Correlation structure of failures (§5.3 relaxation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailureConfig {
+    /// Failures independent across jobs (base assumption 3).
+    #[default]
+    Independent,
+    /// With probability `shock_probability`, a task is "shocked": every
+    /// fallible node deterministically fails on its jobs, modeling a common
+    /// cause such as a coordinated cartel attack.
+    CommonShock {
+        /// Per-task probability of the common shock.
+        shock_probability: f64,
+    },
+    /// Geographically correlated failures — §5.3's "if a node in one part
+    /// of the world fails because of a natural disaster, others near it
+    /// are more likely to fail as well". Nodes are spread round-robin over
+    /// `regions`; outages strike random regions as a Poisson process and
+    /// silence every node there (jobs hang until the server timeout) for
+    /// `outage_duration` time units.
+    RegionalOutages {
+        /// Number of geographic regions.
+        regions: usize,
+        /// Expected outages per simulated time unit (across all regions).
+        outage_rate: f64,
+        /// How long each outage lasts, in time units.
+        outage_duration: f64,
+    },
+}
+
+/// Node churn: volunteers joining and leaving mid-computation (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Expected node departures per simulated time unit.
+    pub leave_rate: f64,
+    /// Expected node arrivals per simulated time unit.
+    pub join_rate: f64,
+}
+
+/// Full configuration of a DCA simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcaConfig {
+    /// Number of tasks in the computation.
+    pub tasks: usize,
+    /// Node pool.
+    pub pool: PoolConfig,
+    /// Base job-duration window in time units (the paper's `U[0.5, 1.5]`).
+    pub duration_window: (f64, f64),
+    /// Server-side job timeout in time units.
+    pub timeout_units: f64,
+    /// Timeout handling policy.
+    pub timeout_policy: TimeoutPolicy,
+    /// Optional per-task job cap (see `TaskExecution::with_job_cap`).
+    pub job_cap: Option<usize>,
+    /// Failure correlation structure.
+    pub failure: FailureConfig,
+    /// Optional churn process.
+    pub churn: Option<ChurnConfig>,
+    /// Root seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl DcaConfig {
+    /// A configuration mirroring the paper's XDEVS runs, scaled by the
+    /// caller: `tasks` tasks, `nodes` homogeneous nodes with job wrong rate
+    /// `wrong_rate`, durations `U[0.5, 1.5]`, timeouts counted as wrong.
+    pub fn paper_baseline(tasks: usize, nodes: usize, wrong_rate: f64, seed: u64) -> Self {
+        Self {
+            tasks,
+            pool: PoolConfig::uniform(nodes, wrong_rate),
+            duration_window: (0.5, 1.5),
+            timeout_units: 3.0,
+            timeout_policy: TimeoutPolicy::CountAsWrong,
+            job_cap: None,
+            failure: FailureConfig::Independent,
+            churn: None,
+            seed,
+        }
+    }
+
+    /// Validates ranges that the type system cannot enforce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on empty pools, zero-task runs, inverted
+    /// duration windows, probabilities outside `[0, 1]`, or non-positive
+    /// timeouts.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.tasks == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "tasks",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        if self.pool.size == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "pool.size",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        self.pool.profile.validate()?;
+        if !(0.0..=1.0).contains(&self.pool.unresponsive_rate) {
+            return Err(ParamError::OutOfRange {
+                name: "unresponsive_rate",
+                value: self.pool.unresponsive_rate,
+                expected: "[0, 1]",
+            });
+        }
+        let (lo, hi) = self.duration_window;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+            return Err(ParamError::OutOfRange {
+                name: "duration_window",
+                value: lo,
+                expected: "0 <= lo <= hi",
+            });
+        }
+        let (slo, shi) = self.pool.speed_window;
+        if !(slo.is_finite() && shi.is_finite() && 0.0 < slo && slo <= shi) {
+            return Err(ParamError::OutOfRange {
+                name: "speed_window",
+                value: slo,
+                expected: "0 < lo <= hi",
+            });
+        }
+        if !(self.timeout_units.is_finite() && self.timeout_units > 0.0) {
+            return Err(ParamError::OutOfRange {
+                name: "timeout_units",
+                value: self.timeout_units,
+                expected: "positive",
+            });
+        }
+        match self.failure {
+            FailureConfig::Independent => {}
+            FailureConfig::CommonShock { shock_probability } => {
+                if !(0.0..=1.0).contains(&shock_probability) {
+                    return Err(ParamError::OutOfRange {
+                        name: "shock_probability",
+                        value: shock_probability,
+                        expected: "[0, 1]",
+                    });
+                }
+            }
+            FailureConfig::RegionalOutages {
+                regions,
+                outage_rate,
+                outage_duration,
+            } => {
+                if regions == 0 {
+                    return Err(ParamError::OutOfRange {
+                        name: "regions",
+                        value: 0.0,
+                        expected: "at least 1",
+                    });
+                }
+                if !(outage_rate.is_finite() && outage_rate >= 0.0) {
+                    return Err(ParamError::OutOfRange {
+                        name: "outage_rate",
+                        value: outage_rate,
+                        expected: "non-negative",
+                    });
+                }
+                if !(outage_duration.is_finite() && outage_duration > 0.0) {
+                    return Err(ParamError::OutOfRange {
+                        name: "outage_duration",
+                        value: outage_duration,
+                        expected: "positive",
+                    });
+                }
+            }
+        }
+        if let Some(churn) = self.churn {
+            if churn.leave_rate < 0.0 || churn.join_rate < 0.0 {
+                return Err(ParamError::OutOfRange {
+                    name: "churn rate",
+                    value: churn.leave_rate.min(churn.join_rate),
+                    expected: "non-negative",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_valid() {
+        let cfg = DcaConfig::paper_baseline(1000, 100, 0.3, 1);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.duration_window, (0.5, 1.5));
+        assert_eq!(cfg.timeout_policy, TimeoutPolicy::CountAsWrong);
+    }
+
+    #[test]
+    fn mean_wrong_rate_per_profile() {
+        assert_eq!(
+            ReliabilityProfile::Uniform { wrong_rate: 0.3 }.mean_wrong_rate(),
+            0.3
+        );
+        assert_eq!(
+            ReliabilityProfile::Spread {
+                mean_wrong: 0.2,
+                half_width: 0.1
+            }
+            .mean_wrong_rate(),
+            0.2
+        );
+        let two = ReliabilityProfile::TwoClass {
+            honest_wrong: 0.0,
+            byzantine_wrong: 1.0,
+            byzantine_fraction: 0.3,
+        };
+        assert!((two.mean_wrong_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_tasks_and_nodes() {
+        let mut cfg = DcaConfig::paper_baseline(0, 10, 0.3, 1);
+        assert!(cfg.validate().is_err());
+        cfg.tasks = 10;
+        cfg.pool.size = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 1.5, 1);
+        assert!(cfg.validate().is_err());
+        cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.pool.unresponsive_rate = -0.1;
+        assert!(cfg.validate().is_err());
+        cfg.pool.unresponsive_rate = 0.0;
+        cfg.failure = FailureConfig::CommonShock {
+            shock_probability: 2.0,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.failure = FailureConfig::RegionalOutages {
+            regions: 0,
+            outage_rate: 1.0,
+            outage_duration: 1.0,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.failure = FailureConfig::RegionalOutages {
+            regions: 4,
+            outage_rate: -1.0,
+            outage_duration: 1.0,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.failure = FailureConfig::RegionalOutages {
+            regions: 4,
+            outage_rate: 1.0,
+            outage_duration: 0.0,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_windows_and_timeouts() {
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.duration_window = (2.0, 1.0);
+        assert!(cfg.validate().is_err());
+        cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.timeout_units = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.pool.speed_window = (0.0, 1.0);
+        assert!(cfg.validate().is_err());
+        cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.churn = Some(ChurnConfig {
+            leave_rate: -1.0,
+            join_rate: 0.0,
+        });
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Job bookkeeping: identities, outcomes, and the dispatch registry.
+
+use crate::pool::NodeIndex;
+
+/// Identifier of a dispatched job (dense index into the job registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub(crate) usize);
+
+impl JobId {
+    /// Returns the raw index.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// How a job's execution turned out, drawn when the job is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The node reports the correct value after its duration elapses.
+    Correct,
+    /// The node reports the colluding wrong value after its duration
+    /// elapses (Byzantine worst case: all failures agree, §2.2).
+    Wrong,
+    /// The node never reports; the server's timeout resolves the job.
+    NoResponse,
+}
+
+/// Registry entry for one dispatched job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSlot {
+    /// The task this job belongs to.
+    pub task: usize,
+    /// The node executing it.
+    pub node: NodeIndex,
+    /// The predetermined outcome.
+    pub outcome: JobOutcome,
+    /// Set once the job has been resolved (completion, timeout, or node
+    /// departure) so late events for it are ignored.
+    pub resolved: bool,
+}
+
+/// Dense registry of all jobs dispatched during a run.
+#[derive(Debug, Clone, Default)]
+pub struct JobRegistry {
+    slots: Vec<JobSlot>,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dispatched job and returns its id.
+    pub fn dispatch(&mut self, task: usize, node: NodeIndex, outcome: JobOutcome) -> JobId {
+        let id = JobId(self.slots.len());
+        self.slots.push(JobSlot {
+            task,
+            node,
+            outcome,
+            resolved: false,
+        });
+        id
+    }
+
+    /// Looks up a job.
+    pub fn get(&self, id: JobId) -> &JobSlot {
+        &self.slots[id.0]
+    }
+
+    /// Marks a job resolved, returning its slot. Returns `None` if it was
+    /// already resolved (e.g. a timeout firing after a node-departure
+    /// already settled the job).
+    pub fn resolve(&mut self, id: JobId) -> Option<JobSlot> {
+        let slot = &mut self.slots[id.0];
+        if slot.resolved {
+            None
+        } else {
+            slot.resolved = true;
+            Some(*slot)
+        }
+    }
+
+    /// Total jobs ever dispatched.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no job has been dispatched yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_assigns_sequential_ids() {
+        let mut reg = JobRegistry::new();
+        let a = reg.dispatch(0, 1, JobOutcome::Correct);
+        let b = reg.dispatch(0, 2, JobOutcome::Wrong);
+        assert_eq!(a.get(), 0);
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn resolve_is_single_shot() {
+        let mut reg = JobRegistry::new();
+        let id = reg.dispatch(3, 7, JobOutcome::NoResponse);
+        let slot = reg.resolve(id).unwrap();
+        assert_eq!(slot.task, 3);
+        assert_eq!(slot.node, 7);
+        assert_eq!(slot.outcome, JobOutcome::NoResponse);
+        assert!(reg.resolve(id).is_none());
+        assert!(reg.get(id).resolved);
+    }
+
+    #[test]
+    fn display_formats_id() {
+        assert_eq!(JobId(5).to_string(), "job-5");
+    }
+}

@@ -1,0 +1,397 @@
+//! The volunteer node pool of Figure 1: random selection, busy tracking,
+//! and churn.
+
+use rand::Rng;
+use smartred_core::node::NodeId;
+
+use crate::config::{PoolConfig, ReliabilityProfile};
+use crate::job::JobId;
+
+/// One worker node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Stable identity (survives busy/idle transitions, not departure).
+    pub id: NodeId,
+    /// Per-job probability of reporting the colluding wrong value.
+    pub wrong_rate: f64,
+    /// Per-job probability of hanging (no report until the server times
+    /// out).
+    pub unresponsive_rate: f64,
+    /// Duration multiplier (1.0 = nominal speed; larger is slower).
+    pub speed: f64,
+    /// Whether the node is still in the pool.
+    pub alive: bool,
+    /// The job currently executing on this node, if any.
+    pub current_job: Option<JobId>,
+}
+
+impl Node {
+    /// Probability that a job on this node reports the correct value.
+    pub fn reliability(&self) -> f64 {
+        (1.0 - self.wrong_rate - self.unresponsive_rate).max(0.0)
+    }
+}
+
+/// Index of a node within the pool's dense storage.
+pub type NodeIndex = usize;
+
+/// The node pool: dense node storage plus an O(1)-sampling idle set.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    nodes: Vec<Node>,
+    /// Indices of idle, alive nodes; `idle_pos[i]` is the position of node
+    /// `i` within `idle`, if idle.
+    idle: Vec<NodeIndex>,
+    idle_pos: Vec<Option<usize>>,
+    alive_count: usize,
+    next_id: u64,
+}
+
+impl NodePool {
+    /// Builds a pool from configuration, drawing per-node parameters with
+    /// `rng`.
+    pub fn from_config<R: Rng + ?Sized>(config: &PoolConfig, rng: &mut R) -> Self {
+        let mut pool = Self {
+            nodes: Vec::with_capacity(config.size),
+            idle: Vec::with_capacity(config.size),
+            idle_pos: Vec::with_capacity(config.size),
+            alive_count: 0,
+            next_id: 0,
+        };
+        for _ in 0..config.size {
+            pool.spawn_node(config, rng);
+        }
+        pool
+    }
+
+    /// Adds a freshly drawn node (a volunteer joining) and returns its
+    /// index.
+    pub fn spawn_node<R: Rng + ?Sized>(
+        &mut self,
+        config: &PoolConfig,
+        rng: &mut R,
+    ) -> NodeIndex {
+        let wrong_rate = match config.profile {
+            ReliabilityProfile::Uniform { wrong_rate } => wrong_rate,
+            ReliabilityProfile::Spread {
+                mean_wrong,
+                half_width,
+            } => {
+                if half_width == 0.0 {
+                    mean_wrong
+                } else {
+                    rng.gen_range(mean_wrong - half_width..=mean_wrong + half_width)
+                        .clamp(0.0, 1.0)
+                }
+            }
+            ReliabilityProfile::TwoClass {
+                honest_wrong,
+                byzantine_wrong,
+                byzantine_fraction,
+            } => {
+                if rng.gen_bool(byzantine_fraction) {
+                    byzantine_wrong
+                } else {
+                    honest_wrong
+                }
+            }
+        };
+        let (lo, hi) = config.speed_window;
+        let speed = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        let index = self.nodes.len();
+        self.nodes.push(Node {
+            id: NodeId::new(self.next_id),
+            wrong_rate,
+            unresponsive_rate: config.unresponsive_rate,
+            speed,
+            alive: true,
+            current_job: None,
+        });
+        self.next_id += 1;
+        self.idle_pos.push(None);
+        self.alive_count += 1;
+        self.push_idle(index);
+        index
+    }
+
+    /// Number of nodes still in the pool.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Number of idle, alive nodes.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Total nodes ever created (including departed ones).
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, index: NodeIndex) -> &Node {
+        &self.nodes[index]
+    }
+
+    /// Exclusive access to a node.
+    pub fn node_mut(&mut self, index: NodeIndex) -> &mut Node {
+        &mut self.nodes[index]
+    }
+
+    /// Empirical mean reliability over alive nodes.
+    pub fn mean_reliability(&self) -> f64 {
+        if self.alive_count == 0 {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.reliability())
+            .sum::<f64>()
+            / self.alive_count as f64
+    }
+
+    fn push_idle(&mut self, index: NodeIndex) {
+        debug_assert!(self.idle_pos[index].is_none());
+        self.idle_pos[index] = Some(self.idle.len());
+        self.idle.push(index);
+    }
+
+    fn remove_idle(&mut self, index: NodeIndex) {
+        let pos = self.idle_pos[index].expect("node not idle");
+        let last = self.idle.len() - 1;
+        self.idle.swap(pos, last);
+        let moved = self.idle[pos];
+        self.idle_pos[moved] = Some(pos);
+        self.idle.pop();
+        self.idle_pos[index] = None;
+    }
+
+    /// Selects a random idle node not in `exclude`, marks it busy, and
+    /// returns it.
+    ///
+    /// The exclusion implements "independent, randomly chosen nodes": a node
+    /// never runs two jobs of the same task. If every idle node is excluded
+    /// but the exclusion already spans the whole pool (a task larger than
+    /// the pool), the constraint is waived — the alternative would deadlock.
+    pub fn claim_random_idle<R: Rng + ?Sized>(
+        &mut self,
+        exclude: &[NodeIndex],
+        rng: &mut R,
+    ) -> Option<NodeIndex> {
+        if self.idle.is_empty() {
+            return None;
+        }
+        let waive_exclusion = exclude.len() >= self.alive_count;
+        // A few random probes first (fast path for large pools)…
+        for _ in 0..8 {
+            let candidate = self.idle[rng.gen_range(0..self.idle.len())];
+            if waive_exclusion || !exclude.contains(&candidate) {
+                self.remove_idle(candidate);
+                self.nodes[candidate].current_job = None;
+                return Some(candidate);
+            }
+        }
+        // …then an exhaustive scan starting at a random offset so small
+        // pools stay unbiased.
+        let start = rng.gen_range(0..self.idle.len());
+        for i in 0..self.idle.len() {
+            let candidate = self.idle[(start + i) % self.idle.len()];
+            if waive_exclusion || !exclude.contains(&candidate) {
+                self.remove_idle(candidate);
+                self.nodes[candidate].current_job = None;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Returns a node to the idle set after it finishes (or abandons) a
+    /// job. Departed nodes are not re-queued.
+    pub fn release(&mut self, index: NodeIndex) {
+        self.nodes[index].current_job = None;
+        if self.nodes[index].alive && self.idle_pos[index].is_none() {
+            self.push_idle(index);
+        }
+    }
+
+    /// Removes a node from the pool (volunteer leaving). Returns the job it
+    /// was running, if any, so the caller can resolve it.
+    pub fn depart(&mut self, index: NodeIndex) -> Option<JobId> {
+        if !self.nodes[index].alive {
+            return None;
+        }
+        self.nodes[index].alive = false;
+        self.alive_count -= 1;
+        if self.idle_pos[index].is_some() {
+            self.remove_idle(index);
+        }
+        self.nodes[index].current_job.take()
+    }
+
+    /// Picks a uniformly random alive node, if any.
+    pub fn random_alive<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeIndex> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        loop {
+            let candidate = rng.gen_range(0..self.nodes.len());
+            if self.nodes[candidate].alive {
+                return Some(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartred_desim::rng::seeded_rng;
+
+    fn pool(size: usize) -> (NodePool, smartred_desim::rng::SimRng) {
+        let mut rng = seeded_rng(1);
+        let cfg = PoolConfig::uniform(size, 0.3);
+        (NodePool::from_config(&cfg, &mut rng), rng)
+    }
+
+    #[test]
+    fn builds_requested_size_all_idle() {
+        let (p, _) = pool(100);
+        assert_eq!(p.alive_count(), 100);
+        assert_eq!(p.idle_count(), 100);
+        assert!((p.mean_reliability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn claim_marks_busy_release_marks_idle() {
+        let (mut p, mut rng) = pool(10);
+        let n = p.claim_random_idle(&[], &mut rng).unwrap();
+        assert_eq!(p.idle_count(), 9);
+        p.release(n);
+        assert_eq!(p.idle_count(), 10);
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let (mut p, mut rng) = pool(3);
+        let exclude = vec![0, 1];
+        for _ in 0..20 {
+            let n = p.claim_random_idle(&exclude, &mut rng).unwrap();
+            assert_eq!(n, 2);
+            p.release(n);
+        }
+    }
+
+    #[test]
+    fn full_exclusion_waives_constraint() {
+        let (mut p, mut rng) = pool(2);
+        let exclude = vec![0, 1];
+        // Task has already used every node: reuse is allowed over deadlock.
+        assert!(p.claim_random_idle(&exclude, &mut rng).is_some());
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let (mut p, mut rng) = pool(2);
+        assert!(p.claim_random_idle(&[], &mut rng).is_some());
+        assert!(p.claim_random_idle(&[], &mut rng).is_some());
+        assert!(p.claim_random_idle(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn depart_removes_from_idle_and_alive() {
+        let (mut p, _) = pool(5);
+        assert!(p.depart(3).is_none());
+        assert_eq!(p.alive_count(), 4);
+        assert_eq!(p.idle_count(), 4);
+        assert!(!p.node(3).alive);
+        // Departing twice is a no-op.
+        assert!(p.depart(3).is_none());
+        assert_eq!(p.alive_count(), 4);
+    }
+
+    #[test]
+    fn departed_node_is_not_re_queued_on_release() {
+        let (mut p, mut rng) = pool(2);
+        let n = p.claim_random_idle(&[], &mut rng).unwrap();
+        p.depart(n);
+        p.release(n);
+        assert_eq!(p.idle_count(), 1);
+    }
+
+    #[test]
+    fn spawn_grows_pool_with_fresh_ids() {
+        let (mut p, mut rng) = pool(2);
+        let cfg = PoolConfig::uniform(2, 0.3);
+        let n = p.spawn_node(&cfg, &mut rng);
+        assert_eq!(p.alive_count(), 3);
+        assert_eq!(p.node(n).id.get(), 2);
+    }
+
+    #[test]
+    fn two_class_profile_mixes_rates() {
+        let mut rng = seeded_rng(9);
+        let cfg = PoolConfig {
+            size: 2000,
+            profile: ReliabilityProfile::TwoClass {
+                honest_wrong: 0.0,
+                byzantine_wrong: 1.0,
+                byzantine_fraction: 0.25,
+            },
+            unresponsive_rate: 0.0,
+            speed_window: (1.0, 1.0),
+        };
+        let p = NodePool::from_config(&cfg, &mut rng);
+        let byz = (0..p.capacity())
+            .filter(|&i| p.node(i).wrong_rate == 1.0)
+            .count();
+        let frac = byz as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.03, "byzantine fraction {frac}");
+        assert!((p.mean_reliability() - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn spread_profile_clips_to_unit_interval() {
+        let mut rng = seeded_rng(10);
+        let cfg = PoolConfig {
+            size: 500,
+            profile: ReliabilityProfile::Spread {
+                mean_wrong: 0.1,
+                half_width: 0.3,
+            },
+            unresponsive_rate: 0.0,
+            speed_window: (1.0, 1.0),
+        };
+        let p = NodePool::from_config(&cfg, &mut rng);
+        for i in 0..p.capacity() {
+            let w = p.node(i).wrong_rate;
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn random_alive_skips_departed() {
+        let (mut p, mut rng) = pool(3);
+        p.depart(0);
+        p.depart(1);
+        for _ in 0..10 {
+            assert_eq!(p.random_alive(&mut rng), Some(2));
+        }
+        p.depart(2);
+        assert_eq!(p.random_alive(&mut rng), None);
+    }
+
+    #[test]
+    fn reliability_accounts_for_hangs() {
+        let node = Node {
+            id: NodeId::new(0),
+            wrong_rate: 0.2,
+            unresponsive_rate: 0.1,
+            speed: 1.0,
+            alive: true,
+            current_job: None,
+        };
+        assert!((node.reliability() - 0.7).abs() < 1e-12);
+    }
+}

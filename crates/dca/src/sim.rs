@@ -1,0 +1,654 @@
+//! The event-driven DCA model of Figure 1.
+//!
+//! A task server subdivides the computation into tasks, creates jobs, and
+//! assigns each job to a random idle node; nodes return results after a
+//! stochastic duration (or hang until the server's timeout); the strategy
+//! decides wave by wave whether to deploy more jobs or accept a verdict.
+//!
+//! Two modeling choices worth calling out:
+//!
+//! * **Retry priority.** Top-up waves (wave ≥ 2) jump the job queue. In a
+//!   saturated system (tasks ≫ nodes, as in the paper's runs) this keeps a
+//!   task's response time equal to its own execution waves rather than
+//!   coupling it to global queue depth — matching both BOINC's retry
+//!   prioritization and the 1–3 time-unit response times of Figure 6.
+//! * **Slow jobs time out.** A job whose execution would outlast the server
+//!   timeout is indistinguishable from a hang, so it resolves via the
+//!   timeout path.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use rand::Rng;
+use smartred_core::error::ParamError;
+use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::strategy::RedundancyStrategy;
+use smartred_desim::engine::Simulator;
+use smartred_desim::rng::{seeded_rng, SimRng};
+use smartred_desim::time::{SimDuration, SimTime};
+
+use crate::config::{DcaConfig, FailureConfig, TimeoutPolicy};
+use crate::job::{JobId, JobOutcome, JobRegistry};
+use crate::metrics::DcaReport;
+use crate::pool::{NodeIndex, NodePool};
+
+/// A shared, immutable redundancy strategy driving every task of a run.
+pub type SharedStrategy = Rc<dyn RedundancyStrategy<bool>>;
+
+struct TaskState {
+    exec: TaskExecution<bool, SharedStrategy>,
+    started_at: Option<SimTime>,
+    used_nodes: Vec<NodeIndex>,
+    shocked: bool,
+    finished: bool,
+}
+
+/// The mutable world threaded through every event.
+struct World {
+    cfg: DcaConfig,
+    strategy: SharedStrategy,
+    pool: NodePool,
+    tasks: Vec<TaskState>,
+    /// Pending job requests (task indices); top-up waves are pushed to the
+    /// front (retry priority), first waves to the back.
+    queue: VecDeque<usize>,
+    jobs: JobRegistry,
+    rng: SimRng,
+    report: DcaReport,
+    next_unstarted: usize,
+    unfinished: usize,
+    /// Per-region outage end times (empty unless `RegionalOutages` is
+    /// configured). Node `i` belongs to region `i % regions.len()`.
+    region_down_until: Vec<SimTime>,
+}
+
+type Sim = Simulator<World>;
+
+/// Runs one DCA simulation and returns its metrics.
+///
+/// All randomness derives from `config.seed`; identical inputs produce
+/// identical reports.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the configuration fails
+/// [`DcaConfig::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use smartred_core::params::KVotes;
+/// use smartred_core::strategy::Traditional;
+/// use smartred_dca::config::DcaConfig;
+/// use smartred_dca::sim::run;
+///
+/// let cfg = DcaConfig::paper_baseline(200, 50, 0.3, 42);
+/// let report = run(Rc::new(Traditional::new(KVotes::new(3)?)), &cfg)?;
+/// assert_eq!(report.tasks_completed, 200);
+/// assert_eq!(report.cost_factor(), 3.0);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, ParamError> {
+    config.validate()?;
+    let mut rng = seeded_rng(config.seed);
+    let pool = NodePool::from_config(&config.pool, &mut rng);
+    let mut world = World {
+        cfg: config.clone(),
+        strategy,
+        pool,
+        tasks: Vec::with_capacity(config.tasks.min(1 << 20)),
+        queue: VecDeque::new(),
+        jobs: JobRegistry::new(),
+        rng,
+        report: DcaReport::new(),
+        next_unstarted: 0,
+        unfinished: config.tasks,
+        region_down_until: match config.failure {
+            FailureConfig::RegionalOutages { regions, .. } => vec![SimTime::ZERO; regions],
+            _ => Vec::new(),
+        },
+    };
+    let mut sim = Sim::new();
+    if let FailureConfig::RegionalOutages { outage_rate, .. } = config.failure {
+        if outage_rate > 0.0 {
+            schedule_outage(&mut world, &mut sim);
+        }
+    }
+    if let Some(churn) = config.churn {
+        if churn.leave_rate > 0.0 {
+            schedule_departure(&mut world, &mut sim);
+        }
+        if churn.join_rate > 0.0 {
+            schedule_arrival(&mut world, &mut sim);
+        }
+    }
+    pump(&mut world, &mut sim);
+    sim.run(&mut world);
+    world.report.tasks_stranded =
+        config.tasks - world.report.tasks_completed - world.report.tasks_capped;
+    world.report.makespan_units = sim.now().as_units();
+    world.report.capacity_node_units = config.pool.size as f64 * world.report.makespan_units;
+    Ok(world.report)
+}
+
+/// Greedily assigns queued jobs to idle nodes and lazily starts new tasks.
+fn pump(world: &mut World, sim: &mut Sim) {
+    loop {
+        if world.pool.idle_count() == 0 {
+            return;
+        }
+        if world.queue.is_empty() && !start_next_task(world, sim) {
+            return;
+        }
+        let mut placed_any = false;
+        for _ in 0..world.queue.len() {
+            if world.pool.idle_count() == 0 {
+                return;
+            }
+            let Some(task) = world.queue.pop_front() else {
+                break;
+            };
+            debug_assert!(!world.tasks[task].finished, "finished task left jobs queued");
+            let node = world
+                .pool
+                .claim_random_idle(&world.tasks[task].used_nodes, &mut world.rng);
+            match node {
+                Some(node) => {
+                    dispatch_job(world, sim, task, node);
+                    placed_any = true;
+                }
+                None => world.queue.push_back(task),
+            }
+        }
+        if !placed_any && !start_next_task(world, sim) {
+            return;
+        }
+    }
+}
+
+/// Creates the next task, if any remain, and queues its first wave.
+fn start_next_task(world: &mut World, sim: &mut Sim) -> bool {
+    if world.next_unstarted >= world.cfg.tasks {
+        return false;
+    }
+    world.next_unstarted += 1;
+    let mut exec = TaskExecution::new(world.strategy.clone());
+    if let Some(cap) = world.cfg.job_cap {
+        exec = exec.with_job_cap(cap);
+    }
+    let shocked = match world.cfg.failure {
+        FailureConfig::Independent | FailureConfig::RegionalOutages { .. } => false,
+        FailureConfig::CommonShock { shock_probability } => {
+            world.rng.gen_bool(shock_probability)
+        }
+    };
+    world.tasks.push(TaskState {
+        exec,
+        started_at: None,
+        used_nodes: Vec::new(),
+        shocked,
+        finished: false,
+    });
+    let t = world.tasks.len() - 1;
+    poll_task(world, sim, t, /* priority = */ false);
+    true
+}
+
+/// Asks a task's strategy what to do next and queues any new wave.
+fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
+    if world.tasks[t].finished {
+        return;
+    }
+    match world.tasks[t].exec.poll() {
+        Ok(Poll::Deploy(n)) => {
+            for _ in 0..n {
+                if priority {
+                    world.queue.push_front(t);
+                } else {
+                    world.queue.push_back(t);
+                }
+            }
+        }
+        Ok(Poll::Complete(v)) => finalize(world, sim, t, Some(v)),
+        Ok(Poll::Pending) => {}
+        Err(_capped) => finalize(world, sim, t, None),
+    }
+}
+
+/// Records a task's terminal state in the run metrics.
+fn finalize(world: &mut World, sim: &mut Sim, t: usize, verdict: Option<bool>) {
+    let state = &mut world.tasks[t];
+    debug_assert!(!state.finished);
+    state.finished = true;
+    world.unfinished -= 1;
+    match verdict {
+        Some(v) => {
+            world.report.tasks_completed += 1;
+            if v {
+                world.report.tasks_correct += 1;
+            }
+            world
+                .report
+                .jobs_per_task
+                .record(state.exec.jobs_deployed() as f64);
+            world
+                .report
+                .waves_per_task
+                .record(state.exec.waves() as f64);
+            let started = state.started_at.unwrap_or_else(|| sim.now());
+            world
+                .report
+                .response_time
+                .record(sim.now().since(started).as_units());
+        }
+        None => world.report.tasks_capped += 1,
+    }
+}
+
+/// Dispatches one job of `task` on `node` (already claimed from the idle
+/// set): draws its outcome and duration, registers it, and schedules its
+/// resolution event.
+fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) {
+    let outcome = draw_outcome(world, sim.now(), task, node);
+    let (lo, hi) = world.cfg.duration_window;
+    let base = if lo == hi {
+        lo
+    } else {
+        world.rng.gen_range(lo..=hi)
+    };
+    let duration_units = base * world.pool.node(node).speed;
+
+    let job = world.jobs.dispatch(task, node, outcome);
+    world.pool.node_mut(node).current_job = Some(job);
+    world.report.total_jobs += 1;
+    let state = &mut world.tasks[task];
+    state.used_nodes.push(node);
+    if state.started_at.is_none() {
+        state.started_at = Some(sim.now());
+    }
+
+    let times_out =
+        outcome == JobOutcome::NoResponse || duration_units > world.cfg.timeout_units;
+    let delay = if times_out {
+        SimDuration::from_units(world.cfg.timeout_units)
+    } else {
+        SimDuration::from_units(duration_units)
+    };
+    world.report.busy_node_units += delay.as_units();
+    sim.schedule_in(delay, move |world, sim| {
+        resolve_job(world, sim, job, times_out);
+    });
+}
+
+/// Draws a job's outcome from the node's fault parameters, the task's
+/// shock state, and any active regional outage.
+fn draw_outcome(world: &mut World, now: SimTime, task: usize, node: NodeIndex) -> JobOutcome {
+    if !world.region_down_until.is_empty() {
+        let region = node % world.region_down_until.len();
+        if world.region_down_until[region] > now {
+            return JobOutcome::NoResponse;
+        }
+    }
+    let n = world.pool.node(node);
+    if world.tasks[task].shocked && n.wrong_rate > 0.0 {
+        return JobOutcome::Wrong;
+    }
+    let u: f64 = world.rng.gen();
+    if u < n.unresponsive_rate {
+        JobOutcome::NoResponse
+    } else if u < n.unresponsive_rate + n.wrong_rate {
+        JobOutcome::Wrong
+    } else {
+        JobOutcome::Correct
+    }
+}
+
+/// Resolves a job: feeds its result (or its timeout) to the task and pumps
+/// the scheduler. Idempotent — late events for already-resolved jobs (e.g.
+/// after a node departure) are ignored.
+fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
+    let Some(slot) = world.jobs.resolve(job) else {
+        return;
+    };
+    world.pool.release(slot.node);
+    let t = slot.task;
+    if !world.tasks[t].finished {
+        if timed_out {
+            world.report.timeouts += 1;
+            match world.cfg.timeout_policy {
+                TimeoutPolicy::CountAsWrong => world.tasks[t].exec.record(false),
+                TimeoutPolicy::Reissue => world.tasks[t].exec.abandon(1),
+            }
+        } else {
+            world.tasks[t].exec.record(slot.outcome == JobOutcome::Correct);
+        }
+        poll_task(world, sim, t, /* priority = */ true);
+    }
+    pump(world, sim);
+}
+
+/// Schedules the next regional outage (Poisson process): a random region
+/// goes silent for the configured duration.
+fn schedule_outage(world: &mut World, sim: &mut Sim) {
+    let FailureConfig::RegionalOutages {
+        outage_rate,
+        outage_duration,
+        ..
+    } = world.cfg.failure
+    else {
+        unreachable!("outages scheduled only under RegionalOutages");
+    };
+    let delay = exponential_delay(&mut world.rng, outage_rate);
+    sim.schedule_in(delay, move |world, sim| {
+        if world.unfinished == 0 {
+            return;
+        }
+        let region = world.rng.gen_range(0..world.region_down_until.len());
+        let until = sim.now() + SimDuration::from_units(outage_duration);
+        world.report.outages += 1;
+        if until > world.region_down_until[region] {
+            world.region_down_until[region] = until;
+        }
+        schedule_outage(world, sim);
+    });
+}
+
+fn exponential_delay(rng: &mut SimRng, rate: f64) -> SimDuration {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    SimDuration::from_units(-u.ln() / rate)
+}
+
+/// Schedules the next volunteer departure (Poisson process).
+fn schedule_departure(world: &mut World, sim: &mut Sim) {
+    let rate = world.cfg.churn.expect("churn configured").leave_rate;
+    let delay = exponential_delay(&mut world.rng, rate);
+    sim.schedule_in(delay, |world, sim| {
+        if world.unfinished == 0 {
+            return; // computation over; stop the churn process
+        }
+        if let Some(idx) = world.pool.random_alive(&mut world.rng) {
+            let orphaned = world.pool.depart(idx);
+            world.report.departures += 1;
+            if let Some(job) = orphaned {
+                // The node vanished mid-job: the server sees a timeout.
+                resolve_job(world, sim, job, true);
+            }
+        }
+        schedule_departure(world, sim);
+    });
+}
+
+/// Schedules the next volunteer arrival (Poisson process).
+fn schedule_arrival(world: &mut World, sim: &mut Sim) {
+    let rate = world.cfg.churn.expect("churn configured").join_rate;
+    let delay = exponential_delay(&mut world.rng, rate);
+    sim.schedule_in(delay, |world, sim| {
+        if world.unfinished == 0 {
+            return;
+        }
+        let pool_cfg = world.cfg.pool;
+        world.pool.spawn_node(&pool_cfg, &mut world.rng);
+        world.report.arrivals += 1;
+        pump(world, sim);
+        schedule_arrival(world, sim);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartred_core::analysis;
+    use smartred_core::params::{KVotes, Reliability, VoteMargin};
+    use smartred_core::strategy::{Iterative, Progressive, Traditional};
+
+    use crate::config::ChurnConfig;
+
+    fn r07() -> Reliability {
+        Reliability::new(0.7).unwrap()
+    }
+
+    #[test]
+    fn traditional_cost_is_exactly_k() {
+        let cfg = DcaConfig::paper_baseline(500, 100, 0.3, 1);
+        let report = run(Rc::new(Traditional::new(KVotes::new(5).unwrap())), &cfg).unwrap();
+        assert_eq!(report.tasks_completed, 500);
+        assert_eq!(report.cost_factor(), 5.0);
+        assert_eq!(report.total_jobs, 2500);
+        assert_eq!(report.tasks_stranded, 0);
+    }
+
+    #[test]
+    fn simulated_reliability_tracks_eq2() {
+        let cfg = DcaConfig::paper_baseline(20_000, 500, 0.3, 2);
+        let k = KVotes::new(9).unwrap();
+        let report = run(Rc::new(Traditional::new(k)), &cfg).unwrap();
+        let expected = analysis::traditional::reliability(k, r07());
+        assert!(
+            (report.reliability() - expected).abs() < 0.015,
+            "{} vs {expected}",
+            report.reliability()
+        );
+    }
+
+    #[test]
+    fn progressive_cost_tracks_eq3() {
+        let cfg = DcaConfig::paper_baseline(20_000, 500, 0.3, 3);
+        let k = KVotes::new(9).unwrap();
+        let report = run(Rc::new(Progressive::new(k)), &cfg).unwrap();
+        let expected = analysis::progressive::cost_series(k, r07());
+        assert!(
+            (report.cost_factor() - expected).abs() < 0.1,
+            "{} vs {expected}",
+            report.cost_factor()
+        );
+    }
+
+    #[test]
+    fn iterative_cost_and_reliability_track_eq5_eq6() {
+        let cfg = DcaConfig::paper_baseline(20_000, 500, 0.3, 4);
+        let d = VoteMargin::new(4).unwrap();
+        let report = run(Rc::new(Iterative::new(d)), &cfg).unwrap();
+        let cost = analysis::iterative::cost(d, r07());
+        let rel = analysis::iterative::reliability(d, r07());
+        assert!(
+            (report.cost_factor() - cost).abs() < 0.15,
+            "{} vs {cost}",
+            report.cost_factor()
+        );
+        assert!((report.reliability() - rel).abs() < 0.015);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = DcaConfig::paper_baseline(300, 50, 0.3, 77);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn response_time_orders_tr_pr_ir() {
+        // §5.2: TR responds fastest; PR and IR pay for their waves.
+        let cfg = DcaConfig::paper_baseline(5_000, 2_000, 0.3, 5);
+        let k = KVotes::new(9).unwrap();
+        let tr = run(Rc::new(Traditional::new(k)), &cfg).unwrap();
+        let pr = run(Rc::new(Progressive::new(k)), &cfg).unwrap();
+        let d = analysis::improvement::matched_margin(
+            k,
+            r07(),
+            analysis::improvement::MarginMatch::Nearest,
+        )
+        .unwrap();
+        let ir = run(Rc::new(Iterative::new(d)), &cfg).unwrap();
+        assert!(
+            tr.mean_response() < pr.mean_response(),
+            "TR {} !< PR {}",
+            tr.mean_response(),
+            pr.mean_response()
+        );
+        assert!(pr.mean_response() <= ir.mean_response() * 1.05);
+        // Fig. 6 magnitudes: single-wave TR sits in [1, 1.5].
+        assert!(tr.mean_response() > 0.9 && tr.mean_response() < 1.6);
+    }
+
+    #[test]
+    fn unresponsive_nodes_cause_timeouts() {
+        let mut cfg = DcaConfig::paper_baseline(1_000, 200, 0.2, 6);
+        cfg.pool.unresponsive_rate = 0.1;
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.timeouts > 0);
+        // Timeouts count as wrong votes: effective r ≈ 0.7.
+        let expected =
+            analysis::traditional::reliability(KVotes::new(3).unwrap(), r07());
+        assert!((report.reliability() - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn reissue_policy_keeps_reliability_at_cost() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 200, 0.0, 7);
+        cfg.pool.unresponsive_rate = 0.3;
+        cfg.timeout_policy = TimeoutPolicy::Reissue;
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        // Only hangs exist; re-issue hides them from the vote, so every
+        // verdict is correct, at > k jobs per task.
+        assert_eq!(report.reliability(), 1.0);
+        assert!(report.cost_factor() > 3.0);
+    }
+
+    #[test]
+    fn job_cap_caps_tasks() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 200, 0.5, 8);
+        cfg.job_cap = Some(6);
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(5).unwrap())), &cfg).unwrap();
+        assert!(report.tasks_capped > 0);
+        assert_eq!(
+            report.tasks_capped + report.tasks_completed,
+            2_000
+        );
+    }
+
+    #[test]
+    fn common_shock_defeats_redundancy() {
+        let mut cfg = DcaConfig::paper_baseline(4_000, 300, 0.3, 9);
+        cfg.failure = FailureConfig::CommonShock {
+            shock_probability: 0.2,
+        };
+        let k = KVotes::new(9).unwrap();
+        let shocked = run(Rc::new(Traditional::new(k)), &cfg).unwrap();
+        let baseline = run(
+            Rc::new(Traditional::new(k)),
+            &DcaConfig::paper_baseline(4_000, 300, 0.3, 9),
+        )
+        .unwrap();
+        // Perfectly correlated failures are unfixable by redundancy (§2.2):
+        // reliability drops by roughly the shock probability.
+        assert!(shocked.reliability() < baseline.reliability() - 0.1);
+    }
+
+    #[test]
+    fn churn_departures_and_arrivals_happen() {
+        let mut cfg = DcaConfig::paper_baseline(3_000, 100, 0.3, 10);
+        cfg.churn = Some(ChurnConfig {
+            leave_rate: 0.5,
+            join_rate: 0.5,
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.departures > 0);
+        assert!(report.arrivals > 0);
+        assert_eq!(report.tasks_completed + report.tasks_capped, 3_000);
+    }
+
+    #[test]
+    fn pool_smaller_than_wave_still_completes() {
+        // k = 9 but only 4 nodes: node reuse is waived after exhaustion.
+        let cfg = DcaConfig::paper_baseline(50, 4, 0.3, 11);
+        let report = run(Rc::new(Traditional::new(KVotes::new(9).unwrap())), &cfg).unwrap();
+        assert_eq!(report.tasks_completed, 50);
+        assert_eq!(report.cost_factor(), 9.0);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let cfg = DcaConfig::paper_baseline(0, 10, 0.3, 1);
+        assert!(run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).is_err());
+    }
+
+    #[test]
+    fn makespan_scales_with_load() {
+        let small = DcaConfig::paper_baseline(100, 100, 0.3, 12);
+        let large = DcaConfig::paper_baseline(2_000, 100, 0.3, 12);
+        let s = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &small).unwrap();
+        let l = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &large).unwrap();
+        assert!(l.makespan_units > s.makespan_units * 5.0);
+    }
+
+    #[test]
+    fn utilization_is_near_one_under_task_heavy_load() {
+        // §5.2: tasks ≫ nodes means no node is ever idle. Only the final
+        // drain-out (when fewer jobs remain than nodes) leaves slack.
+        let cfg = DcaConfig::paper_baseline(20_000, 100, 0.3, 14);
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(
+            report.utilization() > 0.97,
+            "utilization {}",
+            report.utilization()
+        );
+    }
+
+    #[test]
+    fn utilization_is_low_when_nodes_outnumber_work() {
+        let cfg = DcaConfig::paper_baseline(50, 5_000, 0.3, 15);
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(
+            report.utilization() < 0.2,
+            "utilization {}",
+            report.utilization()
+        );
+    }
+
+    #[test]
+    fn regional_outages_cause_correlated_timeouts() {
+        let mut cfg = DcaConfig::paper_baseline(10_000, 300, 0.3, 16);
+        cfg.failure = FailureConfig::RegionalOutages {
+            regions: 5,
+            outage_rate: 0.5,
+            outage_duration: 5.0,
+        };
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(4).unwrap())), &cfg).unwrap();
+        assert!(report.outages > 0, "outages should occur");
+        assert!(report.timeouts > 0, "outaged jobs hang to timeout");
+        // Every task still terminates.
+        assert_eq!(
+            report.tasks_completed + report.tasks_capped + report.tasks_stranded,
+            10_000
+        );
+        // Outages act as extra unreliability: cost exceeds the calm run.
+        let calm = run(
+            Rc::new(Iterative::new(VoteMargin::new(4).unwrap())),
+            &DcaConfig::paper_baseline(10_000, 300, 0.3, 16),
+        )
+        .unwrap();
+        assert!(report.cost_factor() > calm.cost_factor());
+    }
+
+    #[test]
+    fn zero_outage_rate_matches_independent() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 100, 0.3, 17);
+        cfg.failure = FailureConfig::RegionalOutages {
+            regions: 4,
+            outage_rate: 0.0,
+            outage_duration: 1.0,
+        };
+        let with = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        let without = run(
+            Rc::new(Traditional::new(KVotes::new(3).unwrap())),
+            &DcaConfig::paper_baseline(2_000, 100, 0.3, 17),
+        )
+        .unwrap();
+        assert_eq!(with.outages, 0);
+        assert_eq!(with.reliability(), without.reliability());
+        assert_eq!(with.total_jobs, without.total_jobs);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the DCA simulation: determinism, conservation
+//! laws, and bounds that must hold for every configuration.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, Traditional};
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::{run, SharedStrategy};
+
+fn strategy_for(kind: u8, param: usize) -> SharedStrategy {
+    match kind % 3 {
+        0 => Rc::new(Traditional::new(KVotes::new(2 * param + 1).unwrap())),
+        1 => Rc::new(Progressive::new(KVotes::new(2 * param + 1).unwrap())),
+        _ => Rc::new(Iterative::new(VoteMargin::new(param + 1).unwrap())),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical configuration and seed ⇒ identical report, across
+    /// strategies and pool shapes.
+    #[test]
+    fn runs_are_deterministic(
+        kind in 0u8..3,
+        param in 1usize..4,
+        tasks in 50usize..400,
+        nodes in 5usize..100,
+        wrong_pct in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let cfg = DcaConfig::paper_baseline(tasks, nodes, wrong_pct as f64 / 10.0, seed);
+        let a = run(strategy_for(kind, param), &cfg).unwrap();
+        let b = run(strategy_for(kind, param), &cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation: every task ends exactly one way, and the job totals
+    /// aggregate consistently.
+    #[test]
+    fn task_and_job_conservation(
+        kind in 0u8..3,
+        param in 1usize..4,
+        tasks in 50usize..300,
+        nodes in 5usize..80,
+        seed in 0u64..1000,
+    ) {
+        let cfg = DcaConfig::paper_baseline(tasks, nodes, 0.3, seed);
+        let report = run(strategy_for(kind, param), &cfg).unwrap();
+        prop_assert_eq!(
+            report.tasks_completed + report.tasks_capped + report.tasks_stranded,
+            tasks
+        );
+        prop_assert_eq!(report.tasks_stranded, 0, "no churn, so nothing strands");
+        // All completed-task jobs are within the dispatched total.
+        prop_assert!(report.jobs_per_task.total() <= report.total_jobs as f64 + 1e-9);
+        // Utilization is a fraction.
+        let u = report.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        prop_assert!(report.reliability() >= 0.0 && report.reliability() <= 1.0);
+    }
+
+    /// Fixed-k techniques never exceed k jobs on any task; their cost is
+    /// bounded by k exactly.
+    #[test]
+    fn fixed_k_job_bounds(
+        progressive in proptest::bool::ANY,
+        half_k in 1usize..5,
+        tasks in 50usize..300,
+        seed in 0u64..1000,
+    ) {
+        let k = 2 * half_k + 1;
+        let strategy: SharedStrategy = if progressive {
+            Rc::new(Progressive::new(KVotes::new(k).unwrap()))
+        } else {
+            Rc::new(Traditional::new(KVotes::new(k).unwrap()))
+        };
+        let cfg = DcaConfig::paper_baseline(tasks, 50, 0.3, seed);
+        let report = run(strategy, &cfg).unwrap();
+        prop_assert!(report.max_jobs_single_task() <= k as f64);
+        prop_assert!(report.cost_factor() <= k as f64 + 1e-9);
+        if !progressive {
+            prop_assert_eq!(report.cost_factor(), k as f64);
+        }
+    }
+
+    /// Response times are within physical bounds: at least one job's
+    /// minimum duration, and no larger than the whole makespan.
+    #[test]
+    fn response_times_are_physical(
+        kind in 0u8..3,
+        param in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = DcaConfig::paper_baseline(200, 40, 0.3, seed);
+        let report = run(strategy_for(kind, param), &cfg).unwrap();
+        prop_assert!(report.response_time.min() >= 0.5 - 1e-9);
+        prop_assert!(report.response_time.max() <= report.makespan_units + 1e-9);
+    }
+}

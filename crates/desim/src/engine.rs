@@ -1,0 +1,294 @@
+//! The discrete-event executive.
+//!
+//! A [`Simulator`] owns a time-ordered event queue; each event is a boxed
+//! closure that mutates the model `M` and may schedule further events.
+//! Events at equal timestamps fire in insertion order (a strictly monotone
+//! sequence number breaks ties), so runs are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: mutates the model and schedules follow-up events.
+pub type EventFn<M> = Box<dyn FnOnce(&mut M, &mut Simulator<M>)>;
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: EventFn<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Events executed.
+    pub events: u64,
+    /// Simulated time of the last executed event.
+    pub end_time: SimTime,
+}
+
+/// A deterministic discrete-event simulator over a model `M`.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_desim::engine::Simulator;
+/// use smartred_desim::time::SimDuration;
+///
+/// let mut sim: Simulator<Vec<u32>> = Simulator::new();
+/// sim.schedule_in(SimDuration::from_units(2.0), |log, _| log.push(2));
+/// sim.schedule_in(SimDuration::from_units(1.0), |log, sim| {
+///     log.push(1);
+///     sim.schedule_in(SimDuration::from_units(0.5), |log, _| log.push(15));
+/// });
+/// let mut log = Vec::new();
+/// let stats = sim.run(&mut log);
+/// assert_eq!(log, vec![1, 15, 2]);
+/// assert_eq!(stats.events, 3);
+/// ```
+pub struct Simulator<M> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<M> std::fmt::Debug for Simulator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<M> Default for Simulator<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Simulator<M> {
+    /// Creates a simulator at time zero with an empty queue.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — discrete-event time is monotone.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut M, &mut Simulator<M>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule at {at} before now {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut M, &mut Simulator<M>) + 'static,
+    {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self, model: &mut M) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.now);
+        self.now = scheduled.at;
+        self.executed += 1;
+        (scheduled.event)(model, self);
+        true
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run(&mut self, model: &mut M) -> RunStats {
+        while self.step(model) {}
+        RunStats {
+            events: self.executed,
+            end_time: self.now,
+        }
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `deadline`; events at exactly `deadline` are executed.
+    pub fn run_until(&mut self, model: &mut M, deadline: SimTime) -> RunStats {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step(model);
+        }
+        // Advance the clock to the deadline even if nothing fired there.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        RunStats {
+            events: self.executed,
+            end_time: self.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        sim.schedule_at(SimTime::from_units(3.0), |log, _| log.push(3));
+        sim.schedule_at(SimTime::from_units(1.0), |log, _| log.push(1));
+        sim.schedule_at(SimTime::from_units(2.0), |log, _| log.push(2));
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        let t = SimTime::from_units(1.0);
+        for i in 0..50 {
+            sim.schedule_at(t, move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_recursively() {
+        // A chain of events, each scheduling the next.
+        fn chain(count: u32, model: &mut u32, sim: &mut Simulator<u32>) {
+            *model += 1;
+            if count > 1 {
+                sim.schedule_in(SimDuration::from_micros(1), move |m, s| {
+                    chain(count - 1, m, s)
+                });
+            }
+        }
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule_in(SimDuration::ZERO, |m, s| chain(10, m, s));
+        let mut fired = 0u32;
+        let stats = sim.run(&mut fired);
+        assert_eq!(fired, 10);
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.end_time, SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn clock_tracks_fired_events() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.schedule_at(SimTime::from_units(5.5), |_, sim| {
+            assert_eq!(sim.now(), SimTime::from_units(5.5));
+        });
+        sim.run(&mut ());
+        assert_eq!(sim.now(), SimTime::from_units(5.5));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        sim.schedule_at(SimTime::from_units(1.0), |log, _| log.push(1));
+        sim.schedule_at(SimTime::from_units(2.0), |log, _| log.push(2));
+        sim.schedule_at(SimTime::from_units(3.0), |log, _| log.push(3));
+        let mut log = Vec::new();
+        sim.run_until(&mut log, SimTime::from_units(2.0));
+        assert_eq!(log, vec![1, 2]);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_units(2.0));
+        // The rest still runs afterwards.
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_advances_idle_clock() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.run_until(&mut (), SimTime::from_units(4.0));
+        assert_eq!(sim.now(), SimTime::from_units(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.schedule_at(SimTime::from_units(2.0), |_, sim| {
+            sim.schedule_at(SimTime::from_units(1.0), |_, _| {});
+        });
+        sim.run(&mut ());
+    }
+
+    #[test]
+    fn step_returns_false_on_empty_queue() {
+        let mut sim: Simulator<()> = Simulator::new();
+        assert!(!sim.step(&mut ()));
+        assert_eq!(sim.executed(), 0);
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let sim: Simulator<()> = Simulator::new();
+        let s = format!("{sim:?}");
+        assert!(s.contains("Simulator"));
+        assert!(s.contains("pending"));
+    }
+}

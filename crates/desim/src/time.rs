@@ -1,0 +1,220 @@
+//! Simulated time as fixed-point integers.
+//!
+//! The paper's simulations measure everything in abstract "time units" with
+//! job durations uniform in `[0.5, 1.5]`. Representing instants as integer
+//! *microunits* (10⁻⁶ of a time unit) keeps event ordering exact — no
+//! float-comparison hazards in the event queue — while being far finer than
+//! any quantity the experiments report.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of microunits in one simulated time unit.
+pub const MICROS_PER_UNIT: u64 = 1_000_000;
+
+/// A span of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_desim::time::SimDuration;
+///
+/// let d = SimDuration::from_units(1.5);
+/// assert_eq!(d.as_micros(), 1_500_000);
+/// assert!((d.as_units() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from integer microunits.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a duration from fractional time units, rounding to the
+    /// nearest microunit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is negative or not finite.
+    pub fn from_units(units: f64) -> Self {
+        assert!(
+            units.is_finite() && units >= 0.0,
+            "duration must be finite and non-negative, got {units}"
+        );
+        Self((units * MICROS_PER_UNIT as f64).round() as u64)
+    }
+
+    /// Returns the duration in microunits.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in fractional time units.
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / MICROS_PER_UNIT as f64
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}u", self.as_units())
+    }
+}
+
+/// An instant in simulated time, measured from the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_desim::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_units(2.0);
+/// assert!((t.as_units() - 2.0).abs() < 1e-12);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_units(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from integer microunits since the start.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates an instant from fractional time units since the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is negative or not finite.
+    pub fn from_units(units: f64) -> Self {
+        Self(SimDuration::from_units(units).as_micros())
+    }
+
+    /// Returns the instant in microunits since the start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant in fractional time units since the start.
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / MICROS_PER_UNIT as f64
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self` — elapsed time in a monotone
+    /// simulation can never be negative, so that is a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "time went backwards: {earlier} > {self}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}u", self.as_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_units_micros() {
+        let d = SimDuration::from_units(0.5);
+        assert_eq!(d.as_micros(), 500_000);
+        assert_eq!(SimDuration::from_micros(1_500_000).as_units(), 1.5);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_units(1.0) + SimDuration::from_units(0.25);
+        assert_eq!(t.as_micros(), 1_250_000);
+        assert_eq!(t - SimTime::from_units(1.0), SimDuration::from_units(0.25));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(SimTime::from_micros(1) > SimTime::ZERO);
+        assert!(SimTime::from_units(0.1) < SimTime::from_units(0.100001));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_elapsed_panics() {
+        let _ = SimTime::ZERO - SimTime::from_units(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_duration_panics() {
+        SimDuration::from_units(-0.5);
+    }
+
+    #[test]
+    fn display_formats_units() {
+        assert_eq!(SimTime::from_units(1.5).to_string(), "t=1.500000u");
+        assert_eq!(SimDuration::from_units(0.5).to_string(), "0.500000u");
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_units(0.5);
+        t += SimDuration::from_units(0.5);
+        assert_eq!(t, SimTime::from_units(1.0));
+        let mut d = SimDuration::ZERO;
+        d += SimDuration::from_micros(3);
+        assert_eq!(d.as_micros(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Lightweight run tracing for debugging and analysis.
+//!
+//! A [`Trace`] collects timestamped, labeled samples as a simulation runs —
+//! queue depths, pool utilization, vote margins — and exposes them as time
+//! series afterwards. It is deliberately simulation-agnostic: models own a
+//! `Trace` inside their state and record into it from event handlers.
+
+use crate::time::SimTime;
+
+/// One recorded sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Series label (interned `&'static str` keeps recording allocation-free).
+    pub label: &'static str,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// An append-only collection of timestamped samples.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_desim::time::SimTime;
+/// use smartred_desim::trace::Trace;
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::from_units(1.0), "queue_depth", 3.0);
+/// trace.record(SimTime::from_units(2.0), "queue_depth", 5.0);
+/// let series: Vec<_> = trace.series("queue_depth").collect();
+/// assert_eq!(series.len(), 2);
+/// assert_eq!(series[1].value, 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<Sample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if samples are recorded out of time order —
+    /// a discrete-event model's clock is monotone, so that is a bug in the
+    /// recording site.
+    pub fn record(&mut self, at: SimTime, label: &'static str, value: f64) {
+        debug_assert!(
+            self.samples.last().map(|s| s.at <= at).unwrap_or(true),
+            "trace recorded out of order"
+        );
+        self.samples.push(Sample { at, label, value });
+    }
+
+    /// All samples, in recording (= time) order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates the samples of one series.
+    pub fn series<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Sample> + 'a {
+        self.samples.iter().filter(move |s| s.label == label)
+    }
+
+    /// The labels present, in first-appearance order.
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut labels = Vec::new();
+        for s in &self.samples {
+            if !labels.contains(&s.label) {
+                labels.push(s.label);
+            }
+        }
+        labels
+    }
+
+    /// The last value of a series, if any.
+    pub fn last(&self, label: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .rev()
+            .find(|s| s.label == label)
+            .map(|s| s.value)
+    }
+
+    /// Time-weighted mean of a step series between its first sample and
+    /// `end`: each sample's value holds until the next sample. Returns
+    /// `None` for an empty series or if `end` precedes the first sample.
+    pub fn time_weighted_mean(&self, label: &str, end: SimTime) -> Option<f64> {
+        let samples: Vec<&Sample> = self.series(label).collect();
+        let first = samples.first()?;
+        if end < first.at {
+            return None;
+        }
+        let total_span = (end - first.at).as_units();
+        if total_span == 0.0 {
+            return Some(first.value);
+        }
+        let mut acc = 0.0;
+        for (i, s) in samples.iter().enumerate() {
+            let until = samples.get(i + 1).map(|n| n.at.min(end)).unwrap_or(end);
+            if until > s.at {
+                acc += s.value * (until - s.at).as_units();
+            }
+        }
+        Some(acc / total_span)
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(units: f64) -> SimTime {
+        SimTime::from_units(units)
+    }
+
+    #[test]
+    fn series_are_filtered_by_label() {
+        let mut trace = Trace::new();
+        trace.record(t(0.0), "a", 1.0);
+        trace.record(t(1.0), "b", 2.0);
+        trace.record(t(2.0), "a", 3.0);
+        assert_eq!(trace.series("a").count(), 2);
+        assert_eq!(trace.series("b").count(), 1);
+        assert_eq!(trace.labels(), vec!["a", "b"]);
+        assert_eq!(trace.last("a"), Some(3.0));
+        assert_eq!(trace.last("c"), None);
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_series() {
+        let mut trace = Trace::new();
+        // value 0 on [0, 1), value 10 on [1, 2): mean over [0, 2] = 5.
+        trace.record(t(0.0), "util", 0.0);
+        trace.record(t(1.0), "util", 10.0);
+        let mean = trace.time_weighted_mean("util", t(2.0)).unwrap();
+        assert!((mean - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean_edge_cases() {
+        let trace = Trace::new();
+        assert_eq!(trace.time_weighted_mean("x", t(1.0)), None);
+        let mut trace = Trace::new();
+        trace.record(t(2.0), "x", 7.0);
+        assert_eq!(trace.time_weighted_mean("x", t(1.0)), None);
+        assert_eq!(trace.time_weighted_mean("x", t(2.0)), Some(7.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_recording_panics_in_debug() {
+        let mut trace = Trace::new();
+        trace.record(t(2.0), "x", 1.0);
+        trace.record(t(1.0), "x", 2.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the discrete-event engine's ordering and
+//! determinism guarantees.
+
+use proptest::prelude::*;
+use smartred_desim::engine::Simulator;
+use smartred_desim::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Events fire in non-decreasing time order regardless of insertion
+    /// order, with ties broken by insertion sequence.
+    #[test]
+    fn events_fire_sorted_with_stable_ties(
+        times in proptest::collection::vec(0u64..50, 1..60),
+    ) {
+        let mut sim: Simulator<Vec<(u64, usize)>> = Simulator::new();
+        for (seq, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_micros(t), move |log, _| log.push((t, seq)));
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated: {pair:?}");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "tie order violated: {pair:?}");
+            }
+        }
+    }
+
+    /// `run_until` executes exactly the events at or before the deadline
+    /// and leaves the rest intact.
+    #[test]
+    fn run_until_partitions_events(
+        times in proptest::collection::vec(0u64..100, 1..40),
+        deadline in 0u64..100,
+    ) {
+        let mut sim: Simulator<usize> = Simulator::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), |count, _| *count += 1);
+        }
+        let mut fired = 0usize;
+        sim.run_until(&mut fired, SimTime::from_micros(deadline));
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(fired, expected);
+        prop_assert_eq!(sim.pending(), times.len() - expected);
+        // Finishing the run fires everything else.
+        sim.run(&mut fired);
+        prop_assert_eq!(fired, times.len());
+    }
+
+    /// Chained scheduling from handlers preserves causality: a handler's
+    /// children never fire before their parent.
+    #[test]
+    fn recursive_scheduling_preserves_causality(
+        delays in proptest::collection::vec(1u64..10, 1..12),
+    ) {
+        let mut sim: Simulator<Vec<usize>> = Simulator::new();
+        fn chain(
+            idx: usize,
+            delays: Vec<u64>,
+            model: &mut Vec<usize>,
+            sim: &mut Simulator<Vec<usize>>,
+        ) {
+            model.push(idx);
+            if idx + 1 < delays.len() {
+                let next = SimDuration::from_micros(delays[idx + 1]);
+                sim.schedule_in(next, move |m, s| chain(idx + 1, delays, m, s));
+            }
+        }
+        let first = SimDuration::from_micros(delays[0]);
+        let delays_for_chain = delays.clone();
+        sim.schedule_in(first, move |m, s| chain(0, delays_for_chain, m, s));
+        let mut order = Vec::new();
+        let stats = sim.run(&mut order);
+        prop_assert_eq!(order, (0..delays.len()).collect::<Vec<_>>());
+        let total: u64 = delays.iter().sum();
+        prop_assert_eq!(stats.end_time, SimTime::from_micros(total));
+    }
+
+    /// Time arithmetic round-trips through micros exactly.
+    #[test]
+    fn time_roundtrip(micros in 0u64..10_000_000_000) {
+        let t = SimTime::from_micros(micros);
+        prop_assert_eq!(t.as_micros(), micros);
+        let d = SimDuration::from_micros(micros);
+        prop_assert_eq!((SimTime::ZERO + d).as_micros(), micros);
+        prop_assert_eq!(t - SimTime::ZERO, d);
+    }
+}

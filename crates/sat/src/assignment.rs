@@ -1,0 +1,202 @@
+//! Assignments and the block decomposition that turns one SAT instance
+//! into many independent tasks.
+//!
+//! The paper's deployment splits each 22-variable instance into 140 tasks
+//! (§4.1); each task checks a contiguous block of the 2²² assignments and
+//! answers "does this block contain a satisfying assignment?" — a binary
+//! result, which is exactly the worst case the threat model assumes.
+
+use crate::cnf::{CnfFormula, Var};
+
+/// A complete truth assignment, packed as a bitmask (bit `i` is variable
+/// `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    bits: u64,
+    num_vars: u32,
+}
+
+impl Assignment {
+    /// Creates an assignment from a bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits beyond `num_vars` are set.
+    pub fn from_bits(bits: u64, num_vars: u32) -> Self {
+        assert!(num_vars <= 63);
+        assert!(
+            num_vars == 63 || bits < (1u64 << num_vars),
+            "bits {bits:#b} exceed {num_vars} variables"
+        );
+        Self { bits, num_vars }
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of variables covered.
+    pub fn num_vars(self) -> u32 {
+        self.num_vars
+    }
+
+    /// Value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(self, var: Var) -> bool {
+        assert!(var.0 < self.num_vars, "variable {var:?} out of range");
+        (self.bits >> var.0) & 1 == 1
+    }
+}
+
+/// A contiguous block of assignments `[start, start + len)`, the unit of
+/// work one job evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssignmentBlock {
+    /// First assignment bitmask in the block.
+    pub start: u64,
+    /// Number of assignments in the block.
+    pub len: u64,
+}
+
+impl AssignmentBlock {
+    /// Iterates the assignments of this block for a formula with
+    /// `num_vars` variables.
+    pub fn assignments(self, num_vars: u32) -> impl Iterator<Item = Assignment> {
+        (self.start..self.start + self.len).map(move |bits| Assignment::from_bits(bits, num_vars))
+    }
+
+    /// Evaluates the block: `true` iff any assignment in it satisfies
+    /// `formula`. This is the computation a volunteer job performs.
+    pub fn contains_satisfying(self, formula: &CnfFormula) -> bool {
+        self.assignments(formula.num_vars())
+            .any(|a| formula.eval(a))
+    }
+}
+
+/// Splits the full assignment space of a formula into `tasks` near-equal
+/// contiguous blocks (the paper uses 140 tasks for 22 variables).
+///
+/// The first `2^n mod tasks` blocks are one assignment longer, so every
+/// assignment is covered exactly once.
+///
+/// # Panics
+///
+/// Panics if `tasks` is zero or exceeds the number of assignments.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_sat::assignment::decompose;
+///
+/// let blocks = decompose(22, 140);
+/// assert_eq!(blocks.len(), 140);
+/// let total: u64 = blocks.iter().map(|b| b.len).sum();
+/// assert_eq!(total, 1 << 22);
+/// ```
+pub fn decompose(num_vars: u32, tasks: usize) -> Vec<AssignmentBlock> {
+    assert!(tasks > 0, "at least one task required");
+    let space = 1u64 << num_vars;
+    assert!(
+        tasks as u64 <= space,
+        "cannot split {space} assignments into {tasks} non-empty blocks"
+    );
+    let base = space / tasks as u64;
+    let extra = space % tasks as u64;
+    let mut blocks = Vec::with_capacity(tasks);
+    let mut start = 0u64;
+    for i in 0..tasks as u64 {
+        let len = base + u64::from(i < extra);
+        blocks.push(AssignmentBlock { start, len });
+        start += len;
+    }
+    debug_assert_eq!(start, space);
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+
+    #[test]
+    fn value_reads_bits() {
+        let a = Assignment::from_bits(0b101, 3);
+        assert!(a.value(Var(0)));
+        assert!(!a.value(Var(1)));
+        assert!(a.value(Var(2)));
+        assert_eq!(a.bits(), 0b101);
+        assert_eq!(a.num_vars(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn stray_bits_panic() {
+        Assignment::from_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_variable_panics() {
+        Assignment::from_bits(0, 2).value(Var(2));
+    }
+
+    #[test]
+    fn decompose_covers_space_exactly_once() {
+        for &(vars, tasks) in &[(4u32, 3usize), (5, 7), (10, 140), (22, 140)] {
+            let blocks = decompose(vars, tasks);
+            assert_eq!(blocks.len(), tasks);
+            let mut next = 0u64;
+            for b in &blocks {
+                assert_eq!(b.start, next, "gap before block at {}", b.start);
+                assert!(b.len > 0);
+                next = b.start + b.len;
+            }
+            assert_eq!(next, 1 << vars);
+            // Block sizes differ by at most one.
+            let min = blocks.iter().map(|b| b.len).min().unwrap();
+            let max = blocks.iter().map(|b| b.len).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        decompose(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty blocks")]
+    fn too_many_tasks_panics() {
+        decompose(2, 5);
+    }
+
+    #[test]
+    fn block_evaluation_finds_satisfying_assignment() {
+        // Formula satisfied only by x0 = x1 = x2 = true (bits 0b111 = 7).
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(Var(0))]),
+                Clause::new(vec![Lit::pos(Var(1))]),
+                Clause::new(vec![Lit::pos(Var(2))]),
+            ],
+        );
+        let blocks = decompose(3, 4); // blocks of 2
+        assert!(!blocks[0].contains_satisfying(&f)); // 0..2
+        assert!(!blocks[1].contains_satisfying(&f)); // 2..4
+        assert!(!blocks[2].contains_satisfying(&f)); // 4..6
+        assert!(blocks[3].contains_satisfying(&f)); // 6..8 contains 7
+    }
+
+    #[test]
+    fn block_iterates_exactly_its_assignments() {
+        let block = AssignmentBlock { start: 3, len: 4 };
+        let bits: Vec<u64> = block.assignments(4).map(|a| a.bits()).collect();
+        assert_eq!(bits, vec![3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,272 @@
+//! CNF formula representation.
+//!
+//! The paper's BOINC deployment "decomposes 3-SAT problems into individual
+//! tasks that test whether particular Boolean assignments satisfy a Boolean
+//! formula" (§4.1). This module provides the formula types; assignments and
+//! block decomposition live in [`crate::assignment`].
+
+use std::fmt;
+
+use crate::assignment::Assignment;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the variable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: Var,
+    /// `true` if the literal is the negation of the variable.
+    pub negated: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: Var) -> Self {
+        Self {
+            var,
+            negated: false,
+        }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: Var) -> Self {
+        Self { var, negated: true }
+    }
+
+    /// Evaluates the literal under `assignment`.
+    pub fn eval(self, assignment: Assignment) -> bool {
+        assignment.value(self.var) != self.negated
+    }
+
+    /// The literal of the same variable with opposite polarity.
+    pub fn complement(self) -> Self {
+        Self {
+            var: self.var,
+            negated: !self.negated,
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬{}", self.var)
+        } else {
+            write!(f, "{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    literals: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty literal list — an empty clause is trivially
+    /// unsatisfiable and never produced by the generator; constructing one
+    /// is a logic error.
+    pub fn new(literals: Vec<Lit>) -> Self {
+        assert!(!literals.is_empty(), "clause must have at least one literal");
+        Self { literals }
+    }
+
+    /// The clause's literals.
+    pub fn literals(&self) -> &[Lit] {
+        &self.literals
+    }
+
+    /// Evaluates the clause under `assignment`.
+    pub fn eval(&self, assignment: Assignment) -> bool {
+        self.literals.iter().any(|l| l.eval(assignment))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_sat::assignment::Assignment;
+/// use smartred_sat::cnf::{Clause, CnfFormula, Lit, Var};
+///
+/// // (x0 ∨ ¬x1) ∧ (x1)
+/// let f = CnfFormula::new(2, vec![
+///     Clause::new(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]),
+///     Clause::new(vec![Lit::pos(Var(1))]),
+/// ]);
+/// assert!(f.eval(Assignment::from_bits(0b11, 2)));  // x0 = x1 = true
+/// assert!(!f.eval(Assignment::from_bits(0b10, 2))); // x0 false, x1 true → first clause fails
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates a formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause references a variable `>= num_vars` or if
+    /// `num_vars` exceeds 63 (assignments are stored as `u64` bitmasks; the
+    /// paper's instances have 22 variables).
+    pub fn new(num_vars: u32, clauses: Vec<Clause>) -> Self {
+        assert!(num_vars <= 63, "at most 63 variables supported");
+        for clause in &clauses {
+            for lit in clause.literals() {
+                assert!(
+                    lit.var.0 < num_vars,
+                    "literal {lit} references variable beyond num_vars={num_vars}"
+                );
+            }
+        }
+        Self { num_vars, clauses }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of assignments (`2^num_vars`).
+    pub fn assignment_count(&self) -> u64 {
+        1u64 << self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under `assignment`.
+    pub fn eval(&self, assignment: Assignment) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{clause}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_formula() -> CnfFormula {
+        // x0 ⊕ x1 = (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1)
+        CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]),
+                Clause::new(vec![Lit::neg(Var(0)), Lit::neg(Var(1))]),
+            ],
+        )
+    }
+
+    #[test]
+    fn literal_evaluation() {
+        let a = Assignment::from_bits(0b01, 2); // x0 = true, x1 = false
+        assert!(Lit::pos(Var(0)).eval(a));
+        assert!(!Lit::neg(Var(0)).eval(a));
+        assert!(!Lit::pos(Var(1)).eval(a));
+        assert!(Lit::neg(Var(1)).eval(a));
+    }
+
+    #[test]
+    fn complement_flips_polarity() {
+        let l = Lit::pos(Var(3));
+        assert_eq!(l.complement(), Lit::neg(Var(3)));
+        assert_eq!(l.complement().complement(), l);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let f = xor_formula();
+        assert!(!f.eval(Assignment::from_bits(0b00, 2)));
+        assert!(f.eval(Assignment::from_bits(0b01, 2)));
+        assert!(f.eval(Assignment::from_bits(0b10, 2)));
+        assert!(!f.eval(Assignment::from_bits(0b11, 2)));
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        let f = CnfFormula::new(1, vec![]);
+        assert!(f.eval(Assignment::from_bits(0, 1)));
+        assert_eq!(f.to_string(), "⊤");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one literal")]
+    fn empty_clause_panics() {
+        Clause::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond num_vars")]
+    fn out_of_range_literal_panics() {
+        CnfFormula::new(1, vec![Clause::new(vec![Lit::pos(Var(5))])]);
+    }
+
+    #[test]
+    fn display_renders_symbols() {
+        let f = xor_formula();
+        let s = f.to_string();
+        assert!(s.contains('∨'));
+        assert!(s.contains('∧'));
+        assert!(s.contains("¬x0"));
+    }
+
+    #[test]
+    fn assignment_count() {
+        assert_eq!(xor_formula().assignment_count(), 4);
+        let f = CnfFormula::new(22, vec![]);
+        assert_eq!(f.assignment_count(), 1 << 22);
+    }
+}

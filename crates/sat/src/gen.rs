@@ -1,0 +1,157 @@
+//! Random 3-SAT instance generation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::cnf::{Clause, CnfFormula, Lit, Var};
+
+/// Parameters of the uniform random 3-SAT model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreeSatConfig {
+    /// Number of variables (the paper uses 22).
+    pub num_vars: u32,
+    /// Clause-to-variable ratio; 4.26 is the classic satisfiability phase
+    /// transition, giving hard instances of both polarities.
+    pub clause_ratio: f64,
+}
+
+impl Default for ThreeSatConfig {
+    fn default() -> Self {
+        Self {
+            num_vars: 22,
+            clause_ratio: 4.26,
+        }
+    }
+}
+
+impl ThreeSatConfig {
+    /// Number of clauses implied by the ratio (at least 1).
+    pub fn num_clauses(&self) -> usize {
+        ((self.num_vars as f64 * self.clause_ratio).round() as usize).max(1)
+    }
+}
+
+/// Generates a uniform random 3-SAT instance: each clause picks three
+/// distinct variables and negates each independently with probability ½.
+///
+/// # Panics
+///
+/// Panics if `config.num_vars < 3` (a 3-clause needs three distinct
+/// variables) or exceeds 63.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_sat::gen::{random_3sat, ThreeSatConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let f = random_3sat(ThreeSatConfig::default(), &mut rng);
+/// assert_eq!(f.num_vars(), 22);
+/// assert_eq!(f.clauses().len(), 94); // round(22 × 4.26)
+/// ```
+pub fn random_3sat<R: Rng + ?Sized>(config: ThreeSatConfig, rng: &mut R) -> CnfFormula {
+    assert!(
+        (3..=63).contains(&config.num_vars),
+        "3-SAT needs 3..=63 variables, got {}",
+        config.num_vars
+    );
+    let vars: Vec<u32> = (0..config.num_vars).collect();
+    let clauses = (0..config.num_clauses())
+        .map(|_| {
+            let chosen: Vec<u32> = vars.choose_multiple(rng, 3).copied().collect();
+            Clause::new(
+                chosen
+                    .into_iter()
+                    .map(|v| {
+                        if rng.gen_bool(0.5) {
+                            Lit::neg(Var(v))
+                        } else {
+                            Lit::pos(Var(v))
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    CnfFormula::new(config.num_vars, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = ThreeSatConfig {
+            num_vars: 10,
+            clause_ratio: 4.0,
+        };
+        let f = random_3sat(cfg, &mut rng(1));
+        assert_eq!(f.num_vars(), 10);
+        assert_eq!(f.clauses().len(), 40);
+        for clause in f.clauses() {
+            assert_eq!(clause.literals().len(), 3);
+            // Distinct variables within a clause.
+            let mut vars: Vec<u32> = clause.literals().iter().map(|l| l.var.0).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = ThreeSatConfig::default();
+        let a = random_3sat(cfg, &mut rng(42));
+        let b = random_3sat(cfg, &mut rng(42));
+        assert_eq!(a, b);
+        let c = random_3sat(cfg, &mut rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn polarity_is_roughly_balanced() {
+        let cfg = ThreeSatConfig {
+            num_vars: 20,
+            clause_ratio: 30.0,
+        };
+        let f = random_3sat(cfg, &mut rng(7));
+        let total: usize = f.clauses().iter().map(|c| c.literals().len()).sum();
+        let negated: usize = f
+            .clauses()
+            .iter()
+            .flat_map(|c| c.literals())
+            .filter(|l| l.negated)
+            .count();
+        let frac = negated as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "negated fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "3..=63 variables")]
+    fn too_few_variables_panics() {
+        random_3sat(
+            ThreeSatConfig {
+                num_vars: 2,
+                clause_ratio: 4.0,
+            },
+            &mut rng(1),
+        );
+    }
+
+    #[test]
+    fn ratio_rounds_to_at_least_one_clause() {
+        let cfg = ThreeSatConfig {
+            num_vars: 5,
+            clause_ratio: 0.01,
+        };
+        assert_eq!(cfg.num_clauses(), 1);
+    }
+}

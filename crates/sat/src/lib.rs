@@ -1,0 +1,42 @@
+//! # smartred-sat — the 3-SAT workload substrate
+//!
+//! The paper's BOINC deployment solves 22-variable 3-SAT instances by
+//! decomposing each into 140 tasks, where a task "tests whether particular
+//! Boolean assignments satisfy a Boolean formula" (§4.1). This crate
+//! rebuilds that workload:
+//!
+//! * [`cnf`] — variables, literals, clauses, CNF formulas;
+//! * [`gen`] — seeded uniform random 3-SAT instances at a configurable
+//!   clause ratio (4.26, the phase transition, by default);
+//! * [`assignment`] — packed assignments and the contiguous block
+//!   decomposition (`2²² assignments → 140 blocks`), where evaluating one
+//!   block is exactly one volunteer job;
+//! * [`solve`] — brute-force and DPLL reference solvers for ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use smartred_sat::assignment::decompose;
+//! use smartred_sat::gen::{random_3sat, ThreeSatConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+//! let formula = random_3sat(ThreeSatConfig { num_vars: 16, clause_ratio: 4.26 }, &mut rng);
+//! let blocks = decompose(formula.num_vars(), 140);
+//!
+//! // A volunteer job: does block 17 contain a satisfying assignment?
+//! let _answer: bool = blocks[17].contains_satisfying(&formula);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod cnf;
+pub mod gen;
+pub mod solve;
+
+pub use assignment::{decompose, Assignment, AssignmentBlock};
+pub use cnf::{Clause, CnfFormula, Lit, Var};
+pub use gen::{random_3sat, ThreeSatConfig};

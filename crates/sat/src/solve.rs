@@ -1,0 +1,289 @@
+//! Reference solvers used to establish ground truth for experiments.
+//!
+//! The volunteer-computing experiments need to know each block's true
+//! answer to score verdicts. Instances are tiny by SAT standards (22
+//! variables), so both an exhaustive scan and a DPLL search are provided;
+//! tests cross-check them against each other.
+
+use crate::assignment::Assignment;
+use crate::cnf::{CnfFormula, Lit};
+
+/// Exhaustively scans all assignments; returns the first satisfying one.
+pub fn brute_force(formula: &CnfFormula) -> Option<Assignment> {
+    let n = formula.num_vars();
+    (0..formula.assignment_count())
+        .map(|bits| Assignment::from_bits(bits, n))
+        .find(|&a| formula.eval(a))
+}
+
+/// Counts satisfying assignments by exhaustive scan.
+pub fn count_satisfying(formula: &CnfFormula) -> u64 {
+    let n = formula.num_vars();
+    (0..formula.assignment_count())
+        .filter(|&bits| formula.eval(Assignment::from_bits(bits, n)))
+        .count() as u64
+}
+
+/// DPLL with unit propagation and pure-literal elimination; returns a
+/// satisfying assignment if one exists.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_sat::gen::{random_3sat, ThreeSatConfig};
+/// use smartred_sat::solve::{brute_force, dpll};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let f = random_3sat(ThreeSatConfig { num_vars: 12, clause_ratio: 4.26 }, &mut rng);
+/// assert_eq!(dpll(&f).is_some(), brute_force(&f).is_some());
+/// ```
+pub fn dpll(formula: &CnfFormula) -> Option<Assignment> {
+    let clauses: Vec<Vec<Lit>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.literals().to_vec())
+        .collect();
+    let mut assignment = vec![None; formula.num_vars() as usize];
+    if search(&clauses, &mut assignment) {
+        let mut bits = 0u64;
+        for (i, v) in assignment.iter().enumerate() {
+            if v.unwrap_or(false) {
+                bits |= 1 << i;
+            }
+        }
+        let found = Assignment::from_bits(bits, formula.num_vars());
+        debug_assert!(formula.eval(found));
+        Some(found)
+    } else {
+        None
+    }
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Open,
+}
+
+fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0usize;
+    for &lit in clause {
+        match assignment[lit.var.index()] {
+            Some(value) => {
+                if value != lit.negated {
+                    return ClauseState::Satisfied;
+                }
+            }
+            None => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+        _ => ClauseState::Open,
+    }
+}
+
+fn search(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => {
+                    for var in trail {
+                        assignment[var] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(lit) => {
+                    assignment[lit.var.index()] = Some(!lit.negated);
+                    trail.push(lit.var.index());
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Pure-literal elimination: a variable appearing with one polarity in
+    // all unsatisfied clauses can be fixed to that polarity.
+    let n = assignment.len();
+    let mut appears_pos = vec![false; n];
+    let mut appears_neg = vec![false; n];
+    let mut any_open = false;
+    for clause in clauses {
+        if matches!(clause_state(clause, assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        any_open = true;
+        for &lit in clause {
+            if assignment[lit.var.index()].is_none() {
+                if lit.negated {
+                    appears_neg[lit.var.index()] = true;
+                } else {
+                    appears_pos[lit.var.index()] = true;
+                }
+            }
+        }
+    }
+    if !any_open {
+        return true; // every clause satisfied
+    }
+    for var in 0..n {
+        if assignment[var].is_none() && (appears_pos[var] ^ appears_neg[var]) {
+            assignment[var] = Some(appears_pos[var]);
+            trail.push(var);
+        }
+    }
+
+    // Branch on the first unassigned variable occurring in an open clause.
+    let branch_var = clauses
+        .iter()
+        .filter(|c| !matches!(clause_state(c, assignment), ClauseState::Satisfied))
+        .flat_map(|c| c.iter())
+        .find(|lit| assignment[lit.var.index()].is_none())
+        .map(|lit| lit.var.index());
+
+    let result = match branch_var {
+        None => {
+            // No open clause has an unassigned literal: check for conflicts.
+            !clauses
+                .iter()
+                .any(|c| matches!(clause_state(c, assignment), ClauseState::Conflict))
+        }
+        Some(var) => [true, false].into_iter().any(|value| {
+            assignment[var] = Some(value);
+            let ok = search(clauses, assignment);
+            if !ok {
+                assignment[var] = None;
+            }
+            ok
+        }),
+    };
+    if !result {
+        for var in trail {
+            assignment[var] = None;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit, Var};
+    use crate::gen::{random_3sat, ThreeSatConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn unsat_formula() -> CnfFormula {
+        // (x0) ∧ (¬x0)
+        CnfFormula::new(
+            1,
+            vec![
+                Clause::new(vec![Lit::pos(Var(0))]),
+                Clause::new(vec![Lit::neg(Var(0))]),
+            ],
+        )
+    }
+
+    #[test]
+    fn brute_force_finds_unique_model() {
+        let f = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Lit::pos(Var(0))]),
+                Clause::new(vec![Lit::neg(Var(1))]),
+            ],
+        );
+        let a = brute_force(&f).unwrap();
+        assert_eq!(a.bits(), 0b01);
+        assert_eq!(count_satisfying(&f), 1);
+    }
+
+    #[test]
+    fn both_solvers_reject_unsat() {
+        let f = unsat_formula();
+        assert!(brute_force(&f).is_none());
+        assert!(dpll(&f).is_none());
+        assert_eq!(count_satisfying(&f), 0);
+    }
+
+    #[test]
+    fn dpll_result_satisfies_formula() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let f = random_3sat(
+                ThreeSatConfig {
+                    num_vars: 14,
+                    clause_ratio: 4.26,
+                },
+                &mut rng,
+            );
+            if let Some(a) = dpll(&f) {
+                assert!(f.eval(a), "DPLL returned a non-model");
+            }
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut sat = 0;
+        let mut unsat = 0;
+        for _ in 0..40 {
+            let f = random_3sat(
+                ThreeSatConfig {
+                    num_vars: 12,
+                    clause_ratio: 4.26,
+                },
+                &mut rng,
+            );
+            let expected = brute_force(&f).is_some();
+            assert_eq!(dpll(&f).is_some(), expected);
+            if expected {
+                sat += 1;
+            } else {
+                unsat += 1;
+            }
+        }
+        // At the phase transition both outcomes should occur.
+        assert!(sat > 0, "no satisfiable instances sampled");
+        assert!(unsat > 0, "no unsatisfiable instances sampled");
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let f = CnfFormula::new(3, vec![]);
+        assert!(brute_force(&f).is_some());
+        assert!(dpll(&f).is_some());
+        assert_eq!(count_satisfying(&f), 8);
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2): forces x0 = x1 = x2 = true.
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Lit::pos(Var(0))]),
+                Clause::new(vec![Lit::neg(Var(0)), Lit::pos(Var(1))]),
+                Clause::new(vec![Lit::neg(Var(1)), Lit::pos(Var(2))]),
+            ],
+        );
+        let a = dpll(&f).unwrap();
+        assert_eq!(a.bits(), 0b111);
+    }
+}

@@ -1,0 +1,207 @@
+//! Fixed-width histograms for job-count and latency distributions.
+
+/// A histogram over `[lo, hi)` with equal-width buckets, plus overflow and
+/// underflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5); // buckets of width 2
+/// h.record(1.0);
+/// h.record(3.0);
+/// h.record(3.5);
+/// h.record(42.0);
+/// assert_eq!(h.bucket_counts(), &[1, 2, 0, 0, 0]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    lo_bits: u64,
+    hi_bits: u64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`, the bounds are not finite, or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "invalid histogram range [{lo}, {hi})"
+        );
+        Self {
+            lo_bits: lo.to_bits(),
+            hi_bits: hi.to_bits(),
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    fn lo(&self) -> f64 {
+        f64::from_bits(self.lo_bits)
+    }
+
+    fn hi(&self) -> f64 {
+        f64::from_bits(self.hi_bits)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let (lo, hi) = (self.lo(), self.hi());
+        if value < lo {
+            self.underflow += 1;
+        } else if value >= hi {
+            self.overflow += 1;
+        } else {
+            let width = (hi - lo) / self.buckets.len() as f64;
+            let idx = (((value - lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts (excludes under/overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The `(low, high)` bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        let width = (self.hi() - self.lo()) / self.buckets.len() as f64;
+        (
+            self.lo() + width * i as f64,
+            self.lo() + width * (i + 1) as f64,
+        )
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The value below which `quantile` of the in-range mass lies,
+    /// interpolated within buckets. Returns `None` if nothing in range was
+    /// recorded or the quantile is outside `[0, 1]`.
+    pub fn quantile(&self, quantile: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&quantile) {
+            return None;
+        }
+        let in_range: u64 = self.buckets.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = quantile * in_range as f64;
+        let mut acc = 0.0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let next = acc + count as f64;
+            if next >= target && count > 0 {
+                let (b_lo, b_hi) = self.bucket_bounds(i);
+                let frac = ((target - acc) / count as f64).clamp(0.0, 1.0);
+                return Some(b_lo + frac * (b_hi - b_lo));
+            }
+            acc = next;
+        }
+        Some(self.hi())
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for v in [0.0, 0.5, 1.0, 2.9, 3.999] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(1.0, 2.0, 2);
+        h.record(0.5);
+        h.record(2.0); // upper bound is exclusive
+        h.record(1.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bucket_counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let mut edge = 0.0;
+        for i in 0..5 {
+            let (lo, hi) = h.bucket_bounds(i);
+            assert!((lo - edge).abs() < 1e-12);
+            edge = hi;
+        }
+        assert!((edge - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_bounds_checks_index() {
+        Histogram::new(0.0, 1.0, 2).bucket_bounds(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_panics() {
+        Histogram::new(2.0, 1.0, 3);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.extend((0..100).map(|i| i as f64 + 0.5));
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 1.5, "median {median}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 95.0).abs() < 1.5, "p95 {p95}");
+        assert_eq!(h.quantile(1.5), None);
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+}

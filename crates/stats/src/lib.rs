@@ -1,0 +1,17 @@
+//! # smartred-stats — descriptive statistics for experiments
+//!
+//! Streaming summary statistics, binomial confidence intervals, and plain
+//! text table rendering used by the experiment harness. Kept dependency-free
+//! so every crate in the workspace can use it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use summary::{binomial_ci, two_proportion_z, Summary};
+pub use table::Table;

@@ -1,0 +1,319 @@
+//! Streaming summary statistics and confidence intervals.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use smartred_stats::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    total: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            total: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.total += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (0 when empty).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean (0 when empty).
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the normal-approximation confidence interval at
+    /// `z` standard errors (e.g. `z = 1.96` for 95%).
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.mean += delta * n2 / n;
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Normal-approximation (Wald) confidence interval for a binomial
+/// proportion: returns `(low, high)` clipped to `[0, 1]`.
+///
+/// Suitable for the large samples the experiments use (10⁵–10⁶ tasks);
+/// callers with tiny samples should prefer an exact interval.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`.
+pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= trials, "successes exceed trials");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let p = successes as f64 / trials as f64;
+    let half = z * (p * (1.0 - p) / trials as f64).sqrt();
+    ((p - half).max(0.0), (p + half).min(1.0))
+}
+
+
+/// Two-proportion pooled z-statistic for comparing binomial rates (e.g.
+/// the reliabilities of two techniques over many simulated tasks).
+///
+/// Positive values mean sample A's rate is higher. |z| > 1.96 rejects
+/// equality at the 5% level under the normal approximation. Returns 0 when
+/// either sample is empty or the pooled rate is degenerate (both all-
+/// success or all-failure).
+///
+/// # Panics
+///
+/// Panics if successes exceed trials in either sample.
+pub fn two_proportion_z(
+    successes_a: u64,
+    trials_a: u64,
+    successes_b: u64,
+    trials_b: u64,
+) -> f64 {
+    assert!(successes_a <= trials_a, "sample A successes exceed trials");
+    assert!(successes_b <= trials_b, "sample B successes exceed trials");
+    if trials_a == 0 || trials_b == 0 {
+        return 0.0;
+    }
+    let pa = successes_a as f64 / trials_a as f64;
+    let pb = successes_b as f64 / trials_b as f64;
+    let pooled = (successes_a + successes_b) as f64 / (trials_a + trials_b) as f64;
+    let se =
+        (pooled * (1.0 - pooled) * (1.0 / trials_a as f64 + 1.0 / trials_b as f64)).sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    (pa - pb) / se
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 → sample variance 32/7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.total(), 40.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Summary = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut a: Summary = (0..37).map(|i| (i as f64).sin()).collect();
+        let b: Summary = (37..100).map(|i| (i as f64).sin()).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extend_records_all() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [4.2].into_iter().collect();
+        assert_eq!(s.mean(), 4.2);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 4.2);
+        assert_eq!(s.max(), 4.2);
+    }
+
+    #[test]
+    fn ci_half_width_shrinks_with_samples() {
+        let small: Summary = (0..10).map(|i| i as f64).collect();
+        let large: Summary = (0..10).cycle().take(1000).map(|i| i as f64).collect();
+        assert!(large.ci_half_width(1.96) < small.ci_half_width(1.96));
+    }
+
+    #[test]
+    fn binomial_ci_brackets_p() {
+        let (lo, hi) = binomial_ci(700, 1000, 1.96);
+        assert!(lo < 0.7 && 0.7 < hi);
+        assert!(hi - lo < 0.06);
+    }
+
+    #[test]
+    fn binomial_ci_clips_to_unit_interval() {
+        let (lo, _) = binomial_ci(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = binomial_ci(50, 50, 1.96);
+        assert_eq!(hi, 1.0);
+        assert_eq!(binomial_ci(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn binomial_ci_rejects_impossible_counts() {
+        binomial_ci(5, 3, 1.96);
+    }
+
+    #[test]
+    fn z_test_detects_different_rates() {
+        let z = two_proportion_z(900, 1000, 800, 1000);
+        assert!(z > 1.96, "z = {z}");
+        let z_rev = two_proportion_z(800, 1000, 900, 1000);
+        assert!((z + z_rev).abs() < 1e-12, "antisymmetric");
+    }
+
+    #[test]
+    fn z_test_accepts_equal_rates() {
+        let z = two_proportion_z(700, 1000, 700, 1000);
+        assert_eq!(z, 0.0);
+        let z_close = two_proportion_z(700, 1000, 705, 1000);
+        assert!(z_close.abs() < 1.0);
+    }
+
+    #[test]
+    fn z_test_degenerate_cases() {
+        assert_eq!(two_proportion_z(0, 0, 5, 10), 0.0);
+        assert_eq!(two_proportion_z(10, 10, 10, 10), 0.0); // pooled rate 1
+        assert_eq!(two_proportion_z(0, 10, 0, 10), 0.0); // pooled rate 0
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed trials")]
+    fn z_test_rejects_impossible_sample() {
+        two_proportion_z(11, 10, 5, 10);
+    }
+}

@@ -1,0 +1,575 @@
+//! Adversarial campaigns against reliability-estimating validators.
+//!
+//! §5.1 of the paper argues that schemes which estimate node reliability —
+//! BOINC's adaptive replication, Sarmenta's credibility-based fault
+//! tolerance — pay for that knowledge twice: in spot-check jobs, and in
+//! vulnerability to adversaries that *earn* trust before defecting or that
+//! shed a bad reputation by changing identity. Iterative redundancy needs
+//! no estimates and is immune to both attacks.
+//!
+//! This module makes the comparison executable: a synchronous campaign
+//! pits a validator against a node pool containing honest nodes and
+//! malicious nodes following a configurable attack policy.
+
+use rand::Rng;
+use smartred_core::node::{NodeAwareStrategy, NodeId, Vote};
+use smartred_core::params::Confidence;
+use smartred_core::strategy::{
+    AdaptiveReplication, CredibilityVoting, Decision, Iterative, RedundancyStrategy,
+    WeightedVoting,
+};
+use smartred_core::tally::VoteTally;
+use smartred_desim::rng::{seeded_rng, SimRng};
+
+/// Attack policy followed by malicious nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackModel {
+    /// Always report the colluding wrong value.
+    AlwaysLie,
+    /// Behave honestly until `streak` consecutive results have been
+    /// validated as agreeing, then lie — BOINC adaptive replication's
+    /// nightmare, since the lie arrives exactly when replication is turned
+    /// off.
+    EarnTrustThenLie {
+        /// Consecutive validated agreements before defecting.
+        streak: u32,
+    },
+    /// Always lie, and on blacklisting rejoin with a fresh identity —
+    /// "malicious nodes that have developed a bad reputation can change
+    /// their identity" (§3.3).
+    IdentityChurn,
+}
+
+/// The validator under test.
+#[derive(Debug, Clone)]
+pub enum Validator {
+    /// BOINC-style adaptive replication around an iterative fallback.
+    Adaptive(AdaptiveReplication<Iterative>),
+    /// Sarmenta-style credibility voting with spot-checking.
+    Credibility {
+        /// The credibility validator.
+        voting: CredibilityVoting,
+        /// Probability of spot-checking a node after each reported job.
+        spot_check_rate: f64,
+    },
+    /// Node-oblivious iterative redundancy (the paper's proposal).
+    Oblivious(Iterative),
+    /// Weighted voting with an *oracle* for each node's true static
+    /// reliability — the §5.3 "specific reliabilities of the relevant
+    /// nodes" upper bound. The oracle is seeded from the generated pool at
+    /// campaign start; nodes it has never seen (identity churn!) fall back
+    /// to the prior. Time-varying behavior (trust-earning attackers) is
+    /// invisible to a static oracle by construction.
+    WeightedOracle {
+        /// Target confidence for accepting a result.
+        target: Confidence,
+    },
+}
+
+impl Validator {
+    fn name(&self) -> &'static str {
+        match self {
+            Validator::Adaptive(_) => "adaptive-replication",
+            Validator::Credibility { .. } => "credibility-voting",
+            Validator::Oblivious(_) => "iterative",
+            Validator::WeightedOracle { .. } => "weighted-oracle",
+        }
+    }
+}
+
+/// The resolved validator actually driven by the campaign loop (the oracle
+/// variant needs the generated pool before it can be built).
+enum ActiveValidator {
+    Adaptive(AdaptiveReplication<Iterative>),
+    Credibility {
+        voting: CredibilityVoting,
+        spot_check_rate: f64,
+    },
+    Oblivious(Iterative),
+    Weighted(WeightedVoting),
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Number of tasks to validate.
+    pub tasks: usize,
+    /// Pool size.
+    pub nodes: usize,
+    /// Fraction of malicious nodes.
+    pub malicious_fraction: f64,
+    /// Probability an honest node's job is correct (accidental faults).
+    pub honest_reliability: f64,
+    /// Attack policy of the malicious nodes.
+    pub attack: AttackModel,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignReport {
+    /// Validator name.
+    pub validator: &'static str,
+    /// Tasks whose accepted verdict was the correct value.
+    pub tasks_correct: usize,
+    /// Tasks run.
+    pub tasks: usize,
+    /// Regular (voting) jobs dispatched.
+    pub vote_jobs: u64,
+    /// Additional spot-check jobs dispatched (credibility only).
+    pub spot_check_jobs: u64,
+    /// Nodes blacklisted during the campaign.
+    pub blacklist_events: u64,
+    /// Identity rebirths performed by churning attackers.
+    pub rebirths: u64,
+}
+
+impl CampaignReport {
+    /// Fraction of tasks validated correctly.
+    pub fn reliability(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.tasks_correct as f64 / self.tasks as f64
+    }
+
+    /// Mean total jobs (votes + spot-checks) per task.
+    pub fn cost_factor(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        (self.vote_jobs + self.spot_check_jobs) as f64 / self.tasks as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PoolNode {
+    id: NodeId,
+    malicious: bool,
+    /// Attacker-side mirror of its consecutive validated agreements
+    /// (EarnTrustThenLie tracks when to defect).
+    streak: u32,
+}
+
+impl PoolNode {
+    /// Whether the node currently intends to lie.
+    fn lying(&self, attack: AttackModel) -> bool {
+        if !self.malicious {
+            return false;
+        }
+        match attack {
+            AttackModel::AlwaysLie | AttackModel::IdentityChurn => true,
+            AttackModel::EarnTrustThenLie { streak } => self.streak >= streak,
+        }
+    }
+}
+
+/// Runs one campaign of `config.tasks` tasks through `validator`.
+///
+/// The correct value of every task is `true`; honest nodes report it with
+/// probability `honest_reliability`, malicious nodes follow the attack
+/// policy (their lies all collude on `false`, the binary worst case).
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::Iterative;
+/// use smartred_volunteer::campaign::{
+///     run_campaign, AttackModel, CampaignConfig, Validator,
+/// };
+///
+/// let cfg = CampaignConfig {
+///     tasks: 200,
+///     nodes: 100,
+///     malicious_fraction: 0.2,
+///     honest_reliability: 0.95,
+///     attack: AttackModel::AlwaysLie,
+///     seed: 1,
+/// };
+/// let report = run_campaign(Validator::Oblivious(Iterative::new(VoteMargin::new(4)?)), cfg);
+/// assert!(report.reliability() > 0.95);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn run_campaign(validator: Validator, config: CampaignConfig) -> CampaignReport {
+    let mut rng = seeded_rng(config.seed);
+    let mut next_id = config.nodes as u64;
+    let mut pool: Vec<PoolNode> = (0..config.nodes)
+        .map(|i| PoolNode {
+            id: NodeId::new(i as u64),
+            malicious: rng.gen_bool(config.malicious_fraction),
+            streak: 0,
+        })
+        .collect();
+
+    let mut report = CampaignReport {
+        validator: validator.name(),
+        tasks_correct: 0,
+        tasks: config.tasks,
+        vote_jobs: 0,
+        spot_check_jobs: 0,
+        blacklist_events: 0,
+        rebirths: 0,
+    };
+
+    let mut validator = match validator {
+        Validator::Adaptive(ar) => ActiveValidator::Adaptive(ar),
+        Validator::Credibility {
+            voting,
+            spot_check_rate,
+        } => ActiveValidator::Credibility {
+            voting,
+            spot_check_rate,
+        },
+        Validator::Oblivious(ir) => ActiveValidator::Oblivious(ir),
+        Validator::WeightedOracle { target } => {
+            // Seed the oracle with every node's true static reliability
+            // (clamped inside (0, 1) for finite weights); new identities
+            // appearing later fall back to the prior mean.
+            let mut map = std::collections::HashMap::new();
+            for node in &pool {
+                let r = if node.malicious {
+                    0.02
+                } else {
+                    config.honest_reliability.clamp(0.02, 0.98)
+                };
+                map.insert(node.id, r);
+            }
+            let prior = (config.honest_reliability * (1.0 - config.malicious_fraction))
+                .clamp(0.02, 0.98);
+            ActiveValidator::Weighted(
+                WeightedVoting::new(map, prior, target).expect("clamped reliabilities"),
+            )
+        }
+    };
+
+    for _ in 0..config.tasks {
+        let mut votes: Vec<Vote<bool>> = Vec::new();
+        let mut used: Vec<usize> = Vec::new();
+        let accepted = loop {
+            let decision = decide(&mut validator, &votes);
+            match decision {
+                Decision::Accept(v) => break v,
+                Decision::Deploy(n) => {
+                    for _ in 0..n.get() {
+                        let node_idx = pick_node(&pool, &used, &mut rng);
+                        used.push(node_idx);
+                        let node = pool[node_idx];
+                        let value = if node.lying(config.attack) {
+                            false
+                        } else if node.malicious {
+                            true // honest phase of a trust-earning attacker
+                        } else {
+                            rng.gen_bool(config.honest_reliability)
+                        };
+                        votes.push(Vote::new(node.id, value));
+                        report.vote_jobs += 1;
+                        spot_check(
+                            &mut validator,
+                            &mut pool,
+                            node_idx,
+                            config,
+                            &mut rng,
+                            &mut next_id,
+                            &mut report,
+                        );
+                    }
+                }
+            }
+        };
+        if accepted {
+            report.tasks_correct += 1;
+        }
+        observe(&mut validator, &votes, accepted);
+        // Attackers mirror the validation feedback to time their defection.
+        for vote in &votes {
+            if let Some(node) = pool.iter_mut().find(|n| n.id == vote.node) {
+                if node.malicious {
+                    if vote.value == accepted {
+                        node.streak += 1;
+                    } else {
+                        node.streak = 0;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+fn decide(validator: &mut ActiveValidator, votes: &[Vote<bool>]) -> Decision<bool> {
+    match validator {
+        ActiveValidator::Adaptive(ar) => ar.decide_votes(votes),
+        ActiveValidator::Credibility { voting, .. } => voting.decide_votes(votes),
+        ActiveValidator::Oblivious(ir) => {
+            let tally: VoteTally<bool> = votes.iter().map(|v| v.value).collect();
+            ir.decide(&tally)
+        }
+        ActiveValidator::Weighted(wv) => wv.decide_votes(votes),
+    }
+}
+
+fn observe(validator: &mut ActiveValidator, votes: &[Vote<bool>], accepted: bool) {
+    match validator {
+        ActiveValidator::Adaptive(ar) => ar.observe_outcome(votes, &accepted),
+        ActiveValidator::Credibility { voting, .. } => voting.observe_outcome(votes, &accepted),
+        ActiveValidator::Oblivious(_) | ActiveValidator::Weighted(_) => {}
+    }
+}
+
+fn pick_node<R: Rng + ?Sized>(pool: &[PoolNode], used: &[usize], rng: &mut R) -> usize {
+    loop {
+        let candidate = rng.gen_range(0..pool.len());
+        if !used.contains(&candidate) || used.len() >= pool.len() {
+            return candidate;
+        }
+    }
+}
+
+/// After a vote, the credibility validator may spot-check the node: a job
+/// whose answer the server already knows (§5.1 — "spot-checking requires
+/// distributing jobs to which the result is already known").
+fn spot_check(
+    validator: &mut ActiveValidator,
+    pool: &mut [PoolNode],
+    node_idx: usize,
+    config: CampaignConfig,
+    rng: &mut SimRng,
+    next_id: &mut u64,
+    report: &mut CampaignReport,
+) {
+    let ActiveValidator::Credibility {
+        voting,
+        spot_check_rate,
+    } = validator
+    else {
+        return;
+    };
+    if !rng.gen_bool(*spot_check_rate) {
+        return;
+    }
+    report.spot_check_jobs += 1;
+    let node = pool[node_idx];
+    // A node in its lying phase fails the check; honest(-behaving) nodes
+    // pass (honest nodes may still slip with their accidental fault rate).
+    let passes = if node.lying(config.attack) {
+        false
+    } else if node.malicious {
+        true
+    } else {
+        rng.gen_bool(config.honest_reliability)
+    };
+    let was_blacklisted = voting.store().is_blacklisted(node.id);
+    voting.store_mut().record_spot_check(node.id, passes);
+    if !was_blacklisted && voting.store().is_blacklisted(node.id) {
+        report.blacklist_events += 1;
+        if node.malicious && config.attack == AttackModel::IdentityChurn {
+            // The attacker rejoins with a fresh identity: the store has no
+            // record of the new id, so its credibility resets to the prior.
+            pool[node_idx].id = NodeId::new(*next_id);
+            pool[node_idx].streak = 0;
+            *next_id += 1;
+            report.rebirths += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartred_core::params::{Confidence, KVotes, VoteMargin};
+    use smartred_core::reputation::{ReputationConfig, ReputationStore};
+    use smartred_core::strategy::Traditional;
+
+    fn base_config(attack: AttackModel, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            tasks: 400,
+            nodes: 120,
+            malicious_fraction: 0.25,
+            honest_reliability: 0.95,
+            attack,
+            seed,
+        }
+    }
+
+    fn oblivious(d: usize) -> Validator {
+        Validator::Oblivious(Iterative::new(VoteMargin::new(d).unwrap()))
+    }
+
+    fn adaptive(trust_after: u32) -> Validator {
+        Validator::Adaptive(AdaptiveReplication::new(
+            Iterative::new(VoteMargin::new(4).unwrap()),
+            ReputationStore::new(ReputationConfig::default()),
+            trust_after,
+        ))
+    }
+
+    fn credibility(threshold: f64, spot_check_rate: f64) -> Validator {
+        Validator::Credibility {
+            voting: CredibilityVoting::new(
+                ReputationStore::new(ReputationConfig::default()),
+                Confidence::new(threshold).unwrap(),
+            ),
+            spot_check_rate,
+        }
+    }
+
+    #[test]
+    fn oblivious_ir_resists_every_attack() {
+        for attack in [
+            AttackModel::AlwaysLie,
+            AttackModel::EarnTrustThenLie { streak: 5 },
+            AttackModel::IdentityChurn,
+        ] {
+            let report = run_campaign(oblivious(5), base_config(attack, 1));
+            assert!(
+                report.reliability() > 0.97,
+                "{attack:?}: IR reliability {}",
+                report.reliability()
+            );
+            assert_eq!(report.spot_check_jobs, 0);
+        }
+    }
+
+    #[test]
+    fn adaptive_replication_falls_to_trust_earning() {
+        // Once attackers earn their streak, their lone lies are accepted.
+        let trusting = run_campaign(
+            adaptive(5),
+            base_config(AttackModel::EarnTrustThenLie { streak: 5 }, 2),
+        );
+        let ir = run_campaign(
+            oblivious(4),
+            base_config(AttackModel::EarnTrustThenLie { streak: 5 }, 2),
+        );
+        assert!(
+            trusting.reliability() < ir.reliability() - 0.05,
+            "adaptive {} vs IR {}",
+            trusting.reliability(),
+            ir.reliability()
+        );
+        // The payoff of the attack: adaptive is cheap but wrong.
+        assert!(trusting.cost_factor() < ir.cost_factor());
+    }
+
+    #[test]
+    fn credibility_pays_spot_check_overhead() {
+        let report = run_campaign(
+            credibility(0.97, 0.3),
+            base_config(AttackModel::AlwaysLie, 3),
+        );
+        assert!(report.spot_check_jobs > 0);
+        // Blunt liars are caught and blacklisted.
+        assert!(report.blacklist_events > 0);
+        assert!(report.reliability() > 0.9);
+    }
+
+    #[test]
+    fn identity_churn_defeats_blacklisting() {
+        let churn = run_campaign(
+            credibility(0.97, 0.3),
+            base_config(AttackModel::IdentityChurn, 4),
+        );
+        assert!(churn.rebirths > 0, "attackers should rebirth");
+        let static_liars = run_campaign(
+            credibility(0.97, 0.3),
+            base_config(AttackModel::AlwaysLie, 4),
+        );
+        // Churning attackers keep their prior credibility forever, so the
+        // validator keeps spending votes/spot-checks on them.
+        assert!(churn.cost_factor() > static_liars.cost_factor());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(oblivious(4), base_config(AttackModel::AlwaysLie, 9));
+        let b = run_campaign(oblivious(4), base_config(AttackModel::AlwaysLie, 9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_with_honest_pool_gets_cheap() {
+        // No attackers: trust forms and replication is mostly skipped.
+        let mut cfg = base_config(AttackModel::AlwaysLie, 5);
+        cfg.malicious_fraction = 0.0;
+        cfg.tasks = 2_000;
+        let adaptive = run_campaign(adaptive(3), cfg);
+        let ir = run_campaign(oblivious(4), cfg);
+        assert!(adaptive.cost_factor() < ir.cost_factor());
+        assert!(adaptive.reliability() > 0.9);
+    }
+
+    #[test]
+    fn traditional_inner_strategy_also_works() {
+        let validator = Validator::Adaptive(AdaptiveReplication::new(
+            Iterative::new(VoteMargin::new(3).unwrap()),
+            ReputationStore::new(ReputationConfig::default()),
+            u32::MAX, // never trust → always vote
+        ));
+        let report = run_campaign(validator, base_config(AttackModel::AlwaysLie, 6));
+        assert!(report.reliability() > 0.9);
+        let _ = Traditional::new(KVotes::new(3).unwrap()); // keep import honest
+    }
+
+    #[test]
+    fn oracle_matches_oblivious_on_static_liars() {
+        // Against always-liars, perfect information buys only a modest cost
+        // edge (it discounts known liars' votes), not a reliability edge —
+        // node-blind IR already hits its target.
+        let cfg = base_config(AttackModel::AlwaysLie, 21);
+        let oracle = run_campaign(
+            Validator::WeightedOracle {
+                target: Confidence::new(0.99).unwrap(),
+            },
+            cfg,
+        );
+        let blind = run_campaign(oblivious(5), cfg);
+        assert!(oracle.reliability() > 0.97, "{}", oracle.reliability());
+        assert!(blind.reliability() > 0.97);
+        assert!(oracle.cost_factor() < blind.cost_factor());
+    }
+
+    #[test]
+    fn misspecified_oracle_loses_to_node_blind_ir_under_trust_earning() {
+        // A striking finding: against time-varying attackers, *wrong*
+        // reliability information is worse than none. The static oracle
+        // models attackers as near-always-lying, so during their honest
+        // phase it interprets their *correct* votes as evidence for the
+        // wrong answer — Bayesian updating with a mis-specified likelihood.
+        // Node-blind iterative redundancy, which assumes nothing about any
+        // node, is unaffected. This sharpens the paper's §5.1 argument:
+        // reliability estimates are not just costly, they are fragile.
+        let cfg = base_config(AttackModel::EarnTrustThenLie { streak: 5 }, 22);
+        let oracle = run_campaign(
+            Validator::WeightedOracle {
+                target: Confidence::new(0.99).unwrap(),
+            },
+            cfg,
+        );
+        let blind = run_campaign(oblivious(5), cfg);
+        assert!(
+            oracle.reliability() < blind.reliability() - 0.03,
+            "oracle {} should lose to blind {}",
+            oracle.reliability(),
+            blind.reliability()
+        );
+    }
+
+    #[test]
+    fn identity_churn_does_not_apply_to_oracle_without_blacklist() {
+        // The oracle never blacklists, so churn attackers never rebirth —
+        // but their *initial* identities are known, so the oracle still
+        // wins. The vulnerability the paper describes requires the
+        // estimator to learn online, which the oracle sidesteps by fiat.
+        let cfg = base_config(AttackModel::IdentityChurn, 23);
+        let oracle = run_campaign(
+            Validator::WeightedOracle {
+                target: Confidence::new(0.99).unwrap(),
+            },
+            cfg,
+        );
+        assert_eq!(oracle.rebirths, 0);
+        assert!(oracle.reliability() > 0.97);
+    }
+}

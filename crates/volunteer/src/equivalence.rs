@@ -1,0 +1,270 @@
+//! Result-equivalence handling for non-exact results (§5.3).
+//!
+//! "Two non-identical results may actually represent the same information
+//! (e.g., evaluations of √2 may return slight differences in the least
+//! significant bits). In such cases, the comparison of jobs' results is
+//! problem-specific … BOINC uses homogeneous redundancy, an approach that
+//! sorts nodes into equivalence classes that report identical answers."
+//!
+//! Two mechanisms are provided, mirroring BOINC's options:
+//!
+//! * [`ResultClassifier`] / [`EpsilonGrid`] — *fuzzy validation*: map raw
+//!   numeric results onto canonical equivalence classes before tallying, so
+//!   LSB jitter does not split the vote;
+//! * [`PlatformClass`] — *homogeneous redundancy*: tag hosts with a
+//!   platform class and only compare results produced by the same class
+//!   (hosts of one class are bitwise-reproducible among themselves).
+
+use smartred_core::strategy::{Decision, RedundancyStrategy};
+use smartred_core::tally::VoteTally;
+
+/// Maps raw job outputs onto canonical, exactly comparable classes.
+///
+/// Implementations must be deterministic and *stable*: two raw results that
+/// represent the same information must map to the same class.
+pub trait ResultClassifier<Raw> {
+    /// The canonical class type used for voting.
+    type Class: Ord + Clone;
+
+    /// Classifies one raw result.
+    fn classify(&self, raw: &Raw) -> Self::Class;
+}
+
+/// Snap-to-grid classifier for floating-point results: values within the
+/// same `epsilon`-wide cell vote together.
+///
+/// Note the inherent boundary caveat of grid snapping (also true of
+/// BOINC's fuzzy validators): two results straddling a cell boundary may
+/// still split. Choose `epsilon` comfortably above the platform jitter.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_volunteer::equivalence::{EpsilonGrid, ResultClassifier};
+///
+/// let grid = EpsilonGrid::new(1e-6)?;
+/// let a = grid.classify(&1.414_213_5_f64);
+/// let b = grid.classify(&1.414_213_9_f64); // sub-epsilon jitter
+/// assert_eq!(a, b);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonGrid {
+    epsilon: f64,
+}
+
+impl EpsilonGrid {
+    /// Creates a grid with the given cell width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `epsilon` is not finite and positive.
+    pub fn new(epsilon: f64) -> Result<Self, String> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(format!("epsilon must be finite and positive, got {epsilon}"));
+        }
+        Ok(Self { epsilon })
+    }
+
+    /// The cell width.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl ResultClassifier<f64> for EpsilonGrid {
+    type Class = i64;
+
+    fn classify(&self, raw: &f64) -> i64 {
+        (raw / self.epsilon).round() as i64
+    }
+}
+
+/// Runs one task whose jobs return raw values, tallying them through a
+/// classifier. Returns the raw representative of the winning class (the
+/// first raw result observed in it) plus the execution report.
+///
+/// This is the server-side shape of BOINC's fuzzy validation: the strategy
+/// sees canonical classes; users get back a real result.
+///
+/// # Panics
+///
+/// Panics if `oracle` returns a wrong-sized wave (driver bug).
+pub fn run_classified<Raw, C, S, F>(
+    strategy: &S,
+    classifier: &C,
+    mut oracle: F,
+) -> ClassifiedOutcome<Raw>
+where
+    C: ResultClassifier<Raw>,
+    S: RedundancyStrategy<C::Class>,
+    F: FnMut(usize) -> Vec<Raw>,
+{
+    let mut tally: VoteTally<C::Class> = VoteTally::new();
+    let mut representatives: Vec<(C::Class, Raw)> = Vec::new();
+    let mut jobs = 0usize;
+    let mut waves = 0usize;
+    loop {
+        match strategy.decide(&tally) {
+            Decision::Accept(class) => {
+                let raw = representatives
+                    .into_iter()
+                    .find(|(c, _)| *c == class)
+                    .map(|(_, raw)| raw)
+                    .expect("accepted class was voted for");
+                return ClassifiedOutcome { raw, jobs, waves };
+            }
+            Decision::Deploy(n) => {
+                let n = n.get();
+                waves += 1;
+                jobs += n;
+                let results = oracle(n);
+                assert_eq!(results.len(), n, "oracle must return exactly {n} results");
+                for raw in results {
+                    let class = classifier.classify(&raw);
+                    if !representatives.iter().any(|(c, _)| *c == class) {
+                        representatives.push((class.clone(), raw));
+                    }
+                    tally.record(class);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a classified task run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedOutcome<Raw> {
+    /// A raw result from the winning equivalence class.
+    pub raw: Raw,
+    /// Jobs deployed.
+    pub jobs: usize,
+    /// Waves used.
+    pub waves: usize,
+}
+
+/// A host platform class for homogeneous redundancy: hosts in the same
+/// class produce bitwise-identical answers for the same job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlatformClass(pub u8);
+
+impl PlatformClass {
+    /// Returns whether results from `self` and `other` are directly
+    /// comparable under homogeneous redundancy.
+    pub fn comparable(self, other: PlatformClass) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use smartred_core::params::VoteMargin;
+    use smartred_core::strategy::Iterative;
+
+    /// A numeric workload with platform jitter: the true answer plus noise
+    /// far below epsilon, occasionally replaced by a colluding wrong value.
+    fn jittery_oracle(
+        truth: f64,
+        wrong: f64,
+        reliability: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> impl FnMut(usize) -> Vec<f64> + '_ {
+        move |n| {
+            (0..n)
+                .map(|_| {
+                    let base = if rng.gen_bool(reliability) { truth } else { wrong };
+                    base + rng.gen_range(-1e-9..1e-9)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn epsilon_grid_groups_jitter() {
+        let grid = EpsilonGrid::new(1e-6).unwrap();
+        assert_eq!(grid.classify(&2.0), grid.classify(&(2.0 + 4e-7)));
+        assert_ne!(grid.classify(&2.0), grid.classify(&2.1));
+        assert_eq!(grid.epsilon(), 1e-6);
+    }
+
+    #[test]
+    fn epsilon_grid_rejects_bad_widths() {
+        assert!(EpsilonGrid::new(0.0).is_err());
+        assert!(EpsilonGrid::new(-1.0).is_err());
+        assert!(EpsilonGrid::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn classified_run_survives_jitter() {
+        // Without classification, every jittered result is a distinct value
+        // and iterative redundancy would need a d-margin of *identical*
+        // answers it can never get. With the grid, the vote converges.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let grid = EpsilonGrid::new(1e-6).unwrap();
+        let strategy = Iterative::new(VoteMargin::new(4).unwrap());
+        let truth = std::f64::consts::SQRT_2;
+        let outcome = run_classified(
+            &strategy,
+            &grid,
+            jittery_oracle(truth, -1.0, 0.9, &mut rng),
+        );
+        assert!((outcome.raw - truth).abs() < 1e-6);
+        assert!(outcome.jobs >= 4);
+    }
+
+    #[test]
+    fn classified_run_can_still_be_fooled_by_colluders() {
+        // Classification is orthogonal to the threat model: a colluding
+        // majority still wins. Reliability 0.1 → wrong verdict.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let grid = EpsilonGrid::new(1e-6).unwrap();
+        let strategy = Iterative::new(VoteMargin::new(3).unwrap());
+        let outcome = run_classified(
+            &strategy,
+            &grid,
+            jittery_oracle(2.0, -1.0, 0.05, &mut rng),
+        );
+        assert!((outcome.raw - (-1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_comparison_wastes_jobs_on_jitter() {
+        // The motivating failure: with a much finer grid than the jitter,
+        // agreeing results no longer land in one class, so reaching a
+        // 2-margin takes far more jobs than with a proper epsilon.
+        let strategy = Iterative::new(VoteMargin::new(2).unwrap());
+        let coarse = EpsilonGrid::new(1e-6).unwrap();
+        let fine = EpsilonGrid::new(1e-12).unwrap();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome_coarse = run_classified(
+            &strategy,
+            &coarse,
+            jittery_oracle(2.0, -1.0, 1.0, &mut rng),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome_fine = run_classified(
+            &strategy,
+            &fine,
+            jittery_oracle(2.0, -1.0, 1.0, &mut rng),
+        );
+        assert_eq!(outcome_coarse.jobs, 2, "coarse grid converges immediately");
+        assert!(
+            outcome_fine.jobs > outcome_coarse.jobs,
+            "sub-jitter grid should scatter votes (got {} jobs)",
+            outcome_fine.jobs
+        );
+    }
+
+    #[test]
+    fn platform_classes_compare_within_only() {
+        let a = PlatformClass(0);
+        let b = PlatformClass(1);
+        assert!(a.comparable(a));
+        assert!(!a.comparable(b));
+    }
+}

@@ -1,0 +1,198 @@
+//! Volunteer hosts with PlanetLab-style behavior profiles.
+//!
+//! The paper's deployment ran BOINC on ~200 PlanetLab nodes "of varying
+//! speed and resources" and observed three failure classes (§4.1):
+//! seeded faults (wrong result 30% of the time), nodes becoming
+//! unresponsive, and "all other unanticipated failures". The effective
+//! reliability backed out of the measurements was 0.64 < r < 0.67 (§4.2).
+//! [`PlanetLabProfile::default`] reproduces that band: 30% seeded faults
+//! plus a few percent of platform faults and hangs.
+
+use rand::Rng;
+use smartred_core::node::NodeId;
+
+/// Behavior profile shared by the hosts of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanetLabProfile {
+    /// Probability a job returns the wrong answer due to the *seeded*
+    /// fault injection (the paper seeds 0.30).
+    pub seeded_fault_rate: f64,
+    /// Probability of an *unanticipated* platform fault flipping the
+    /// answer (PlanetLab flakiness beyond the seeded faults).
+    pub platform_fault_rate: f64,
+    /// Probability a job hangs until the server deadline.
+    pub unresponsive_rate: f64,
+    /// Host speed multipliers drawn uniformly from this window (PlanetLab
+    /// machines vary widely; >1 is slower).
+    pub speed_window: (f64, f64),
+}
+
+impl Default for PlanetLabProfile {
+    /// The paper's deployment conditions: seeded 30% faults plus ~4%
+    /// platform faults and ~2% hangs, landing effective reliability in the
+    /// reported 0.64–0.67 band.
+    fn default() -> Self {
+        Self {
+            seeded_fault_rate: 0.30,
+            platform_fault_rate: 0.04,
+            unresponsive_rate: 0.02,
+            speed_window: (0.6, 1.8),
+        }
+    }
+}
+
+impl PlanetLabProfile {
+    /// Expected probability that a job returns the correct answer in time
+    /// (hangs count as failures, per the threat model).
+    pub fn effective_reliability(&self) -> f64 {
+        let wrong = self.seeded_fault_rate + self.platform_fault_rate
+            - self.seeded_fault_rate * self.platform_fault_rate;
+        (1.0 - self.unresponsive_rate) * (1.0 - wrong)
+    }
+
+    /// Validates probability ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("seeded_fault_rate", self.seeded_fault_rate),
+            ("platform_fault_rate", self.platform_fault_rate),
+            ("unresponsive_rate", self.unresponsive_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        let (lo, hi) = self.speed_window;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi) {
+            return Err(format!("speed_window ({lo}, {hi}) invalid"));
+        }
+        Ok(())
+    }
+}
+
+/// One volunteer host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Host {
+    /// Stable identity.
+    pub id: NodeId,
+    /// Duration multiplier for jobs on this host.
+    pub speed: f64,
+    /// Whether the host is currently executing a job.
+    pub busy: bool,
+}
+
+impl Host {
+    /// Draws a host from the profile.
+    pub fn sample<R: Rng + ?Sized>(id: u64, profile: &PlanetLabProfile, rng: &mut R) -> Self {
+        let (lo, hi) = profile.speed_window;
+        let speed = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        Self {
+            id: NodeId::new(id),
+            speed,
+            busy: false,
+        }
+    }
+}
+
+/// What a host does with one job, drawn at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostBehavior {
+    /// Reports the true block answer.
+    Honest,
+    /// Reports the negated answer (seeded or platform fault; all failures
+    /// collude on the single wrong value per the binary worst case).
+    Faulty,
+    /// Never reports; the server deadline resolves the job.
+    Hung,
+}
+
+/// Draws one job's behavior from the profile.
+pub fn draw_behavior<R: Rng + ?Sized>(profile: &PlanetLabProfile, rng: &mut R) -> HostBehavior {
+    let u: f64 = rng.gen();
+    if u < profile.unresponsive_rate {
+        return HostBehavior::Hung;
+    }
+    let wrong = profile.seeded_fault_rate + profile.platform_fault_rate
+        - profile.seeded_fault_rate * profile.platform_fault_rate;
+    if rng.gen_bool(wrong) {
+        HostBehavior::Faulty
+    } else {
+        HostBehavior::Honest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_profile_lands_in_paper_band() {
+        let r = PlanetLabProfile::default().effective_reliability();
+        assert!(
+            (0.64..0.67).contains(&r),
+            "effective reliability {r} outside the paper's 0.64–0.67"
+        );
+    }
+
+    #[test]
+    fn seeded_only_profile_gives_07() {
+        let p = PlanetLabProfile {
+            seeded_fault_rate: 0.3,
+            platform_fault_rate: 0.0,
+            unresponsive_rate: 0.0,
+            speed_window: (1.0, 1.0),
+        };
+        assert!((p.effective_reliability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let p = PlanetLabProfile {
+            seeded_fault_rate: 1.5,
+            ..PlanetLabProfile::default()
+        };
+        assert!(p.validate().is_err());
+        let p = PlanetLabProfile {
+            speed_window: (0.0, 1.0),
+            ..PlanetLabProfile::default()
+        };
+        assert!(p.validate().is_err());
+        assert!(PlanetLabProfile::default().validate().is_ok());
+    }
+
+    #[test]
+    fn behavior_frequencies_match_profile() {
+        let p = PlanetLabProfile::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 50_000;
+        let mut honest = 0;
+        let mut hung = 0;
+        for _ in 0..n {
+            match draw_behavior(&p, &mut rng) {
+                HostBehavior::Honest => honest += 1,
+                HostBehavior::Hung => hung += 1,
+                HostBehavior::Faulty => {}
+            }
+        }
+        let honest_frac = honest as f64 / n as f64;
+        assert!((honest_frac - p.effective_reliability()).abs() < 0.01);
+        let hung_frac = hung as f64 / n as f64;
+        assert!((hung_frac - p.unresponsive_rate).abs() < 0.005);
+    }
+
+    #[test]
+    fn sampled_hosts_have_varied_speeds() {
+        let p = PlanetLabProfile::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hosts: Vec<Host> = (0..50).map(|i| Host::sample(i, &p, &mut rng)).collect();
+        let min = hosts.iter().map(|h| h.speed).fold(f64::MAX, f64::min);
+        let max = hosts.iter().map(|h| h.speed).fold(f64::MIN, f64::max);
+        assert!(min >= 0.6 && max <= 1.8 && max - min > 0.3);
+        assert_eq!(hosts[7].id.get(), 7);
+    }
+}

@@ -1,0 +1,651 @@
+//! The BOINC-like project server and deployment runner.
+//!
+//! Mirrors the paper's §4.1 setup: a custom task server decomposes a
+//! 3-SAT instance into workunits, a scheduler hands jobs to volunteer
+//! hosts, and a validator — parameterized by one of the redundancy
+//! strategies — decides when each workunit's result is trustworthy. The
+//! whole deployment runs on the deterministic discrete-event engine, with
+//! host speeds, seeded faults, platform faults, and hangs drawn from a
+//! [`crate::host::PlanetLabProfile`].
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use rand::Rng;
+use smartred_core::error::ParamError;
+use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::strategy::RedundancyStrategy;
+use smartred_desim::engine::Simulator;
+use smartred_desim::rng::{seeded_rng, SimRng};
+use smartred_desim::time::{SimDuration, SimTime};
+use smartred_sat::assignment::decompose;
+use smartred_sat::gen::{random_3sat, ThreeSatConfig};
+use smartred_sat::solve::dpll;
+use smartred_stats::Summary;
+
+use crate::host::{draw_behavior, Host, HostBehavior, PlanetLabProfile};
+use crate::workunit::{Workunit, WorkunitId, WorkunitVerdict};
+
+/// What the server does when a job misses its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlinePolicy {
+    /// Count the silence as the colluding wrong value — the paper's threat
+    /// model ("a node that does not report a result in a timely fashion
+    /// \[has\] failed", §2.2).
+    #[default]
+    CountAsWrong,
+    /// Abandon and re-deploy, BOINC's production behavior.
+    Reissue,
+}
+
+/// How the scheduler picks among idle hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Uniformly random idle host — the paper's model (assumption 1 relies
+    /// on this).
+    #[default]
+    RandomIdle,
+    /// The fastest idle host. Reduces deadline misses on heterogeneous
+    /// pools, at the price of biasing which hosts produce results (and
+    /// thus weakening the random-assignment argument for uniform job
+    /// reliability).
+    FastestIdle,
+}
+
+/// Configuration of one deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolunteerConfig {
+    /// Number of volunteer hosts (the paper used a 200-node PlanetLab
+    /// slice).
+    pub hosts: usize,
+    /// 3-SAT variables (the paper: 22).
+    pub num_vars: u32,
+    /// Workunits the instance is decomposed into (the paper: 140).
+    pub tasks: usize,
+    /// Clause-to-variable ratio of the generated instance.
+    pub clause_ratio: f64,
+    /// Host behavior profile.
+    pub profile: PlanetLabProfile,
+    /// Base job compute time window in time units (scaled by host speed).
+    pub duration_window: (f64, f64),
+    /// Server-side deadline for a job, in time units.
+    pub deadline_units: f64,
+    /// Deadline handling.
+    pub deadline_policy: DeadlinePolicy,
+    /// Idle-host selection policy.
+    pub scheduler: SchedulerPolicy,
+    /// Optional per-workunit job cap.
+    pub job_cap: Option<usize>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl VolunteerConfig {
+    /// The paper's deployment shape, scaled by `num_vars` (use 22 for the
+    /// full-size instance; tests use smaller instances for speed).
+    pub fn paper_deployment(num_vars: u32, seed: u64) -> Self {
+        Self {
+            hosts: 200,
+            num_vars,
+            tasks: 140,
+            clause_ratio: 4.26,
+            profile: PlanetLabProfile::default(),
+            duration_window: (0.5, 1.5),
+            deadline_units: 4.0,
+            deadline_policy: DeadlinePolicy::CountAsWrong,
+            scheduler: SchedulerPolicy::default(),
+            job_cap: None,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ParamError> {
+        let fail = |name: &'static str, value: f64, expected: &'static str| {
+            Err(ParamError::OutOfRange {
+                name,
+                value,
+                expected,
+            })
+        };
+        if self.hosts == 0 {
+            return fail("hosts", 0.0, "at least 1");
+        }
+        if self.tasks == 0 {
+            return fail("tasks", 0.0, "at least 1");
+        }
+        if !(3..=63).contains(&self.num_vars) {
+            return fail("num_vars", self.num_vars as f64, "3..=63");
+        }
+        if (self.tasks as u64) > (1u64 << self.num_vars) {
+            return fail("tasks", self.tasks as f64, "at most 2^num_vars");
+        }
+        if self.profile.validate().is_err() {
+            return fail("profile", f64::NAN, "valid PlanetLabProfile");
+        }
+        let (lo, hi) = self.duration_window;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi) {
+            return fail("duration_window", lo, "0 <= lo <= hi");
+        }
+        if !(self.deadline_units.is_finite() && self.deadline_units > 0.0) {
+            return fail("deadline_units", self.deadline_units, "positive");
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Per-workunit verdicts in workunit order.
+    pub verdicts: Vec<WorkunitVerdict>,
+    /// Simulated time to complete the whole computation.
+    pub completion_units: f64,
+    /// Total jobs ("results" in BOINC terms) dispatched.
+    pub total_jobs: u64,
+    /// Jobs per completed workunit.
+    pub jobs_per_task: Summary,
+    /// Response time per completed workunit.
+    pub response_time: Summary,
+    /// Jobs that missed the deadline.
+    pub timeouts: u64,
+    /// Whether the generated instance is satisfiable (ground truth via
+    /// DPLL).
+    pub instance_satisfiable: bool,
+    /// The computation's reported answer: OR over accepted block verdicts
+    /// (`None` if any workunit failed to complete).
+    pub reported_satisfiable: Option<bool>,
+}
+
+impl DeploymentReport {
+    /// Fraction of completed workunits whose accepted value was correct.
+    pub fn reliability(&self) -> f64 {
+        let completed = self
+            .verdicts
+            .iter()
+            .filter(|v| v.accepted.is_some())
+            .count();
+        if completed == 0 {
+            return 0.0;
+        }
+        let correct = self.verdicts.iter().filter(|v| v.correct).count();
+        correct as f64 / completed as f64
+    }
+
+    /// Mean jobs per workunit.
+    pub fn cost_factor(&self) -> f64 {
+        self.jobs_per_task.mean()
+    }
+
+    /// Whether the end-to-end computation reported the right SAT answer.
+    pub fn computation_correct(&self) -> bool {
+        self.reported_satisfiable == Some(self.instance_satisfiable)
+    }
+}
+
+/// A shared, immutable strategy validating every workunit.
+pub type SharedStrategy = Rc<dyn RedundancyStrategy<bool>>;
+
+struct WuState {
+    wu: Workunit,
+    exec: TaskExecution<bool, SharedStrategy>,
+    used_hosts: Vec<usize>,
+    started_at: Option<SimTime>,
+    finished: bool,
+}
+
+struct JobSlot {
+    wu: usize,
+    host: usize,
+    behavior: HostBehavior,
+    resolved: bool,
+}
+
+struct World {
+    cfg: VolunteerConfig,
+    hosts: Vec<Host>,
+    idle: Vec<usize>,
+    wus: Vec<WuState>,
+    queue: VecDeque<usize>,
+    jobs: Vec<JobSlot>,
+    rng: SimRng,
+    total_jobs: u64,
+    timeouts: u64,
+    unfinished: usize,
+    /// Per-workunit response time in units, filled at finalization.
+    response_units: Vec<f64>,
+}
+
+type Sim = Simulator<World>;
+
+/// Runs one volunteer-computing deployment and returns its report.
+///
+/// Generates a fresh 3-SAT instance from `config.seed`, decomposes it into
+/// workunits, computes each block's ground truth once server-side, then
+/// simulates the full deployment: scheduling, host faults, deadlines, and
+/// strategy-driven validation.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] for invalid configurations.
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use smartred_core::params::VoteMargin;
+/// use smartred_core::strategy::Iterative;
+/// use smartred_volunteer::server::{run, VolunteerConfig};
+///
+/// // A scaled-down deployment (12-variable instance) for quick runs.
+/// let cfg = VolunteerConfig::paper_deployment(12, 3);
+/// let report = run(Rc::new(Iterative::new(VoteMargin::new(4)?)), &cfg)?;
+/// assert_eq!(report.verdicts.len(), 140);
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+pub fn run(strategy: SharedStrategy, config: &VolunteerConfig) -> Result<DeploymentReport, ParamError> {
+    config.validate()?;
+    let mut rng = seeded_rng(config.seed);
+
+    // Server-side setup: generate the instance, decompose it, and compute
+    // each block's true answer once (this is the actual 3-SAT computation;
+    // during the run, a host's honest answer is the cached truth and a
+    // faulty one its negation — the Byzantine worst case).
+    let formula = random_3sat(
+        ThreeSatConfig {
+            num_vars: config.num_vars,
+            clause_ratio: config.clause_ratio,
+        },
+        &mut rng,
+    );
+    let instance_satisfiable = dpll(&formula).is_some();
+    let blocks = decompose(config.num_vars, config.tasks);
+    let strategy_ref = &strategy;
+    let wus: Vec<WuState> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &block)| {
+            let mut exec = TaskExecution::new(strategy_ref.clone());
+            if let Some(cap) = config.job_cap {
+                exec = exec.with_job_cap(cap);
+            }
+            WuState {
+                wu: Workunit {
+                    id: WorkunitId(i),
+                    block,
+                    truth: block.contains_satisfying(&formula),
+                },
+                exec,
+                used_hosts: Vec::new(),
+                started_at: None,
+                finished: false,
+            }
+        })
+        .collect();
+    debug_assert_eq!(
+        wus.iter().any(|w| w.wu.truth),
+        instance_satisfiable,
+        "block truths must agree with the solver"
+    );
+
+    let hosts: Vec<Host> = (0..config.hosts)
+        .map(|i| Host::sample(i as u64, &config.profile, &mut rng))
+        .collect();
+    let idle = (0..config.hosts).collect();
+
+    let mut world = World {
+        cfg: config.clone(),
+        hosts,
+        idle,
+        wus,
+        queue: VecDeque::new(),
+        jobs: Vec::new(),
+        rng,
+        total_jobs: 0,
+        timeouts: 0,
+        unfinished: config.tasks,
+        response_units: vec![0.0; config.tasks],
+    };
+    let mut sim = Sim::new();
+
+    // Queue every workunit's first wave, then let the scheduler run.
+    for i in 0..world.wus.len() {
+        poll_workunit(&mut world, &mut sim, i, false);
+    }
+    pump(&mut world, &mut sim);
+    sim.run(&mut world);
+
+    // Assemble the report.
+    let mut jobs_per_task = Summary::new();
+    let mut response_time = Summary::new();
+    let mut verdicts = Vec::with_capacity(world.wus.len());
+    let mut all_completed = true;
+    let mut any_true = false;
+    for state in &world.wus {
+        let accepted = state.exec.report().verdict;
+        match accepted {
+            Some(v) => {
+                jobs_per_task.record(state.exec.jobs_deployed() as f64);
+                if v {
+                    any_true = true;
+                }
+            }
+            None => all_completed = false,
+        }
+        verdicts.push(WorkunitVerdict {
+            id: state.wu.id,
+            accepted,
+            correct: accepted == Some(state.wu.truth),
+            jobs: state.exec.jobs_deployed(),
+            waves: state.exec.waves(),
+            response_units: 0.0,
+        });
+    }
+    // Response times were accumulated during finalization.
+    for (v, units) in verdicts.iter_mut().zip(world.response_units.iter()) {
+        v.response_units = *units;
+        if v.accepted.is_some() {
+            response_time.record(*units);
+        }
+    }
+
+    Ok(DeploymentReport {
+        verdicts,
+        completion_units: sim.now().as_units(),
+        total_jobs: world.total_jobs,
+        jobs_per_task,
+        response_time,
+        timeouts: world.timeouts,
+        instance_satisfiable,
+        reported_satisfiable: if all_completed { Some(any_true) } else { None },
+    })
+}
+
+fn pump(world: &mut World, sim: &mut Sim) {
+    loop {
+        if world.idle.is_empty() || world.queue.is_empty() {
+            return;
+        }
+        let mut placed_any = false;
+        for _ in 0..world.queue.len() {
+            if world.idle.is_empty() {
+                return;
+            }
+            let Some(wu) = world.queue.pop_front() else {
+                break;
+            };
+            match claim_host(world, wu) {
+                Some(host) => {
+                    dispatch(world, sim, wu, host);
+                    placed_any = true;
+                }
+                None => world.queue.push_back(wu),
+            }
+        }
+        if !placed_any {
+            return;
+        }
+    }
+}
+
+/// Claims a random idle host not yet used by `wu` (waived once the
+/// workunit has touched every host — BOINC's `one_result_per_user_per_wu`
+/// analog).
+fn claim_host(world: &mut World, wu: usize) -> Option<usize> {
+    if world.idle.is_empty() {
+        return None;
+    }
+    let used = &world.wus[wu].used_hosts;
+    let waive = used.len() >= world.hosts.len();
+    let mut pick = None;
+    for _ in 0..8 {
+        let pos = world.rng.gen_range(0..world.idle.len());
+        if waive || !used.contains(&world.idle[pos]) {
+            pick = Some(pos);
+            break;
+        }
+    }
+    if pick.is_none() {
+        let start = world.rng.gen_range(0..world.idle.len());
+        for i in 0..world.idle.len() {
+            let pos = (start + i) % world.idle.len();
+            if waive || !used.contains(&world.idle[pos]) {
+                pick = Some(pos);
+                break;
+            }
+        }
+    }
+    let mut pos = pick?;
+    if world.cfg.scheduler == SchedulerPolicy::FastestIdle {
+        // Among eligible idle hosts, take the fastest (smallest speed
+        // multiplier); the random pick above only serves as a fallback.
+        let mut best_speed = world.hosts[world.idle[pos]].speed;
+        for (i, &candidate) in world.idle.iter().enumerate() {
+            if (waive || !used.contains(&candidate))
+                && world.hosts[candidate].speed < best_speed
+            {
+                best_speed = world.hosts[candidate].speed;
+                pos = i;
+            }
+        }
+    }
+    let host = world.idle.swap_remove(pos);
+    world.hosts[host].busy = true;
+    Some(host)
+}
+
+fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
+    let behavior = draw_behavior(&world.cfg.profile, &mut world.rng);
+    let (lo, hi) = world.cfg.duration_window;
+    let base = if lo == hi {
+        lo
+    } else {
+        world.rng.gen_range(lo..=hi)
+    };
+    let duration_units = base * world.hosts[host].speed;
+    let job = world.jobs.len();
+    world.jobs.push(JobSlot {
+        wu,
+        host,
+        behavior,
+        resolved: false,
+    });
+    world.total_jobs += 1;
+    let state = &mut world.wus[wu];
+    state.used_hosts.push(host);
+    if state.started_at.is_none() {
+        state.started_at = Some(sim.now());
+    }
+    let times_out =
+        behavior == HostBehavior::Hung || duration_units > world.cfg.deadline_units;
+    let delay = if times_out {
+        SimDuration::from_units(world.cfg.deadline_units)
+    } else {
+        SimDuration::from_units(duration_units)
+    };
+    sim.schedule_in(delay, move |world, sim| resolve(world, sim, job, times_out));
+}
+
+fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
+    if world.jobs[job].resolved {
+        return;
+    }
+    world.jobs[job].resolved = true;
+    let (wu, host, behavior) = {
+        let slot = &world.jobs[job];
+        (slot.wu, slot.host, slot.behavior)
+    };
+    world.hosts[host].busy = false;
+    world.idle.push(host);
+    if !world.wus[wu].finished {
+        let truth = world.wus[wu].wu.truth;
+        if timed_out {
+            world.timeouts += 1;
+            match world.cfg.deadline_policy {
+                // The colluding wrong value is the negated truth.
+                DeadlinePolicy::CountAsWrong => world.wus[wu].exec.record(!truth),
+                DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
+            }
+        } else {
+            let value = match behavior {
+                HostBehavior::Honest => truth,
+                HostBehavior::Faulty => !truth,
+                HostBehavior::Hung => unreachable!("hangs resolve via timeout"),
+            };
+            world.wus[wu].exec.record(value);
+        }
+        poll_workunit(world, sim, wu, true);
+    }
+    pump(world, sim);
+}
+
+fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
+    if world.wus[wu].finished {
+        return;
+    }
+    match world.wus[wu].exec.poll() {
+        Ok(Poll::Deploy(n)) => {
+            for _ in 0..n {
+                if priority {
+                    world.queue.push_front(wu);
+                } else {
+                    world.queue.push_back(wu);
+                }
+            }
+        }
+        Ok(Poll::Complete(_)) | Err(_) => finalize(world, sim, wu),
+        Ok(Poll::Pending) => {}
+    }
+}
+
+fn finalize(world: &mut World, sim: &mut Sim, wu: usize) {
+    let state = &mut world.wus[wu];
+    debug_assert!(!state.finished);
+    state.finished = true;
+    world.unfinished -= 1;
+    let units = state
+        .started_at
+        .map(|s| sim.now().since(s).as_units())
+        .unwrap_or(0.0);
+    world.response_units[wu] = units;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartred_core::params::{KVotes, VoteMargin};
+    use smartred_core::strategy::{Iterative, Progressive, Traditional};
+
+    fn small_config(seed: u64) -> VolunteerConfig {
+        let mut cfg = VolunteerConfig::paper_deployment(12, seed);
+        cfg.hosts = 60;
+        cfg
+    }
+
+    #[test]
+    fn deployment_completes_all_workunits() {
+        let cfg = small_config(1);
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert_eq!(report.verdicts.len(), 140);
+        assert!(report.verdicts.iter().all(|v| v.accepted.is_some()));
+        assert_eq!(report.cost_factor(), 3.0);
+        assert!(report.reported_satisfiable.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config(2);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterative_beats_traditional_on_cost_at_similar_reliability() {
+        // The Figure 5(b) headline at deployment scale.
+        let cfg = small_config(3);
+        let tr = run(Rc::new(Traditional::new(KVotes::new(19).unwrap())), &cfg).unwrap();
+        let ir = run(Rc::new(Iterative::new(VoteMargin::new(4).unwrap())), &cfg).unwrap();
+        assert!(ir.cost_factor() < tr.cost_factor() / 1.5);
+    }
+
+    #[test]
+    fn progressive_sits_between() {
+        let cfg = small_config(4);
+        let k = KVotes::new(19).unwrap();
+        let tr = run(Rc::new(Traditional::new(k)), &cfg).unwrap();
+        let pr = run(Rc::new(Progressive::new(k)), &cfg).unwrap();
+        let ir = run(Rc::new(Iterative::new(VoteMargin::new(4).unwrap())), &cfg).unwrap();
+        assert!(pr.cost_factor() < tr.cost_factor());
+        assert!(ir.cost_factor() < pr.cost_factor());
+    }
+
+    #[test]
+    fn timeouts_occur_with_hangs() {
+        let cfg = small_config(5);
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.timeouts > 0, "default profile has 2% hangs");
+    }
+
+    #[test]
+    fn reissue_policy_completes_too() {
+        let mut cfg = small_config(6);
+        cfg.deadline_policy = DeadlinePolicy::Reissue;
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.verdicts.iter().all(|v| v.accepted.is_some()));
+        // Re-issued jobs add cost beyond k.
+        assert!(report.cost_factor() >= 3.0);
+    }
+
+    #[test]
+    fn ground_truth_matches_solver() {
+        let cfg = small_config(7);
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(6).unwrap())), &cfg).unwrap();
+        // With d = 6 at r ≈ 0.65, per-task reliability ≈ 0.98; on 140 tasks
+        // the computation-level answer is usually right — and when it is,
+        // it must equal DPLL's.
+        if report.computation_correct() {
+            assert_eq!(report.reported_satisfiable, Some(report.instance_satisfiable));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut cfg = small_config(8);
+        cfg.hosts = 0;
+        assert!(run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).is_err());
+        let mut cfg = small_config(9);
+        cfg.tasks = 1 << 13; // more tasks than assignments of a 12-var instance
+        assert!(run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).is_err());
+    }
+
+    #[test]
+    fn job_cap_leaves_workunits_unfinished() {
+        let mut cfg = small_config(10);
+        cfg.job_cap = Some(4);
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(6).unwrap())), &cfg).unwrap();
+        let incomplete = report.verdicts.iter().filter(|v| v.accepted.is_none()).count();
+        assert!(incomplete > 0);
+        assert_eq!(report.reported_satisfiable, None);
+    }
+
+    #[test]
+    fn fastest_idle_scheduler_speeds_up_completion() {
+        let mut random = small_config(20);
+        random.scheduler = SchedulerPolicy::RandomIdle;
+        let mut fastest = small_config(20);
+        fastest.scheduler = SchedulerPolicy::FastestIdle;
+        let s = || Rc::new(Traditional::new(KVotes::new(3).unwrap()));
+        let slow = run(s(), &random).unwrap();
+        let fast = run(s(), &fastest).unwrap();
+        // Preferring fast hosts shortens the computation and reduces
+        // deadline misses from slow hosts overrunning.
+        assert!(
+            fast.completion_units < slow.completion_units,
+            "fastest {} !< random {}",
+            fast.completion_units,
+            slow.completion_units
+        );
+        assert!(fast.timeouts <= slow.timeouts);
+    }
+}

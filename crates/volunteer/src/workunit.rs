@@ -1,0 +1,64 @@
+//! BOINC-style workunits: the server-side state of one task.
+
+use smartred_sat::assignment::AssignmentBlock;
+
+/// Identifier of a workunit (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkunitId(pub usize);
+
+impl std::fmt::Display for WorkunitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wu-{}", self.0)
+    }
+}
+
+/// One task of the computation: "does this block of assignments contain a
+/// satisfying one?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workunit {
+    /// Identifier.
+    pub id: WorkunitId,
+    /// The assignment block this workunit covers.
+    pub block: AssignmentBlock,
+    /// The true answer, computed once server-side to score verdicts (the
+    /// deployed system does not use it for validation).
+    pub truth: bool,
+}
+
+/// Final state of a validated workunit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkunitVerdict {
+    /// Identifier.
+    pub id: WorkunitId,
+    /// The value the validator accepted, if the workunit completed.
+    pub accepted: Option<bool>,
+    /// Whether the accepted value matches the truth.
+    pub correct: bool,
+    /// Jobs (BOINC "results") dispatched for this workunit.
+    pub jobs: usize,
+    /// Deployment waves used.
+    pub waves: usize,
+    /// Response time in simulated time units.
+    pub response_units: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_id() {
+        assert_eq!(WorkunitId(12).to_string(), "wu-12");
+    }
+
+    #[test]
+    fn workunit_is_value_type() {
+        let wu = Workunit {
+            id: WorkunitId(0),
+            block: AssignmentBlock { start: 0, len: 8 },
+            truth: true,
+        };
+        let copy = wu;
+        assert_eq!(copy, wu);
+    }
+}

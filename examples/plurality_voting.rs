@@ -1,0 +1,49 @@
+//! Non-binary results (§5.3): why the paper's binary model is the worst
+//! case. Compares a task that asks "does 2² = 4?" (binary — colluders all
+//! answer "no") against one that asks "what is 2²?" (numeric — failures may
+//! scatter across many wrong answers), across collusion levels.
+//!
+//! Run with: `cargo run --release -p smartred --example plurality_voting`
+
+use rand::SeedableRng;
+use smartred::core::monte_carlo::{estimate_nary, NaryConfig};
+use smartred::core::params::{Reliability, VoteMargin};
+use smartred::core::strategy::Iterative;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A barely-reliable pool: 55% of jobs answer correctly.
+    let r = Reliability::new(0.55)?;
+    let d = VoteMargin::new(4)?;
+    let strategy = Iterative::new(d);
+    let tasks = 50_000;
+
+    println!("iterative redundancy (d = 4), r = 0.55, {tasks} tasks\n");
+    println!("collusion  wrong-values  reliability  cost factor");
+    for &(collusion, wrong_values) in &[
+        (1.00, 1usize), // the paper's binary worst case: one colluding lie
+        (0.75, 8),
+        (0.50, 8),
+        (0.25, 8),
+        (0.00, 8), // fully scattered: every failure invents its own answer
+    ] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+        let report = estimate_nary(
+            &strategy,
+            NaryConfig::new(tasks, r, wrong_values, collusion),
+            &mut rng,
+        );
+        println!(
+            "   {collusion:.2}        {wrong_values:>2}          {:.4}       {:>6.2}",
+            report.reliability(),
+            report.cost_factor()
+        );
+    }
+
+    println!(
+        "\nthe binary analysis (Eqs. 2/4/6) is a guaranteed lower bound on\n\
+         reliability — real workloads with scattered failures do better,\n\
+         which is why the paper can analyze the worst case and still promise\n\
+         its targets (§5.3)."
+    );
+    Ok(())
+}

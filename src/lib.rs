@@ -1,0 +1,57 @@
+//! # smartred — smart redundancy for distributed computation
+//!
+//! A production-quality reproduction of *"Smart Redundancy for Distributed
+//! Computation"* (Brun, Edwards, Bang, Medvidovic — ICDCS 2011). This
+//! facade crate re-exports the workspace members so downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] — the redundancy strategies (traditional, progressive,
+//!   **iterative** — the paper's contribution) and their exact analysis;
+//! * [`desim`] — the deterministic discrete-event engine (XDEVS stand-in);
+//! * [`dca`] — the distributed-computation-architecture model of Fig. 1;
+//! * [`sat`] — the 3-SAT workload substrate of the BOINC experiments;
+//! * [`volunteer`] — the BOINC-like volunteer-computing system with
+//!   PlanetLab-style host profiles, plus adversarial campaigns;
+//! * [`stats`] — summary statistics and table rendering.
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use smartred::core::analysis;
+//! use smartred::core::params::{KVotes, Reliability, VoteMargin};
+//!
+//! let r = Reliability::new(0.7)?;
+//!
+//! // Traditional 19-vote redundancy: 19 jobs for ~0.967 reliability.
+//! let k = KVotes::new(19)?;
+//! let tr_cost = analysis::traditional::cost(k);
+//! let tr_rel = analysis::traditional::reliability(k, r);
+//!
+//! // Iterative redundancy reaches the same reliability for ~9.35 jobs.
+//! let d = VoteMargin::new(4)?;
+//! let ir_cost = analysis::iterative::cost(d, r);
+//! let ir_rel = analysis::iterative::reliability(d, r);
+//!
+//! assert!((tr_rel - ir_rel).abs() < 1e-3);
+//! assert!(tr_cost / ir_cost > 2.0);
+//! # Ok::<(), smartred::core::error::ParamError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use smartred_core as core;
+pub use smartred_dca as dca;
+pub use smartred_desim as desim;
+pub use smartred_sat as sat;
+pub use smartred_stats as stats;
+pub use smartred_volunteer as volunteer;
+
+// Convenience re-exports of the most common entry points.
+pub use smartred_core::{
+    Confidence, Decision, Iterative, KVotes, Progressive, RedundancyStrategy, Reliability,
+    TaskExecution, Traditional, VoteMargin, VoteTally,
+};

