@@ -17,9 +17,7 @@ fn bench_single_point(c: &mut Criterion) {
 fn bench_sweep(c: &mut Criterion) {
     let k = KVotes::new(19).unwrap();
     c.bench_function("fig5c full sweep (95 points)", |b| {
-        b.iter(|| {
-            improvement_sweep(black_box(k), 0.525, 0.995, 95, MarginMatch::Nearest).unwrap()
-        })
+        b.iter(|| improvement_sweep(black_box(k), 0.525, 0.995, 95, MarginMatch::Nearest).unwrap())
     });
 }
 

@@ -25,9 +25,7 @@ use smartred_core::tally::VoteTally;
 use smartred_dca::config::{DcaConfig, FailureConfig, ReliabilityProfile};
 use smartred_dca::sim::run as run_dca;
 use smartred_stats::Table;
-use smartred_volunteer::campaign::{
-    run_campaign, AttackModel, CampaignConfig, Validator,
-};
+use smartred_volunteer::campaign::{run_campaign, AttackModel, CampaignConfig, Validator};
 
 /// A1: simple vs. complex iterative algorithm under identical randomness.
 pub fn simple_vs_complex() -> Table {
@@ -134,7 +132,10 @@ pub fn baselines_under_attack() -> Table {
     ]);
     let attacks = [
         ("always-lie", AttackModel::AlwaysLie),
-        ("earn-trust-then-lie", AttackModel::EarnTrustThenLie { streak: 5 }),
+        (
+            "earn-trust-then-lie",
+            AttackModel::EarnTrustThenLie { streak: 5 },
+        ),
         ("identity-churn", AttackModel::IdentityChurn),
     ];
     for (attack_name, attack) in attacks {
@@ -270,7 +271,6 @@ pub fn relaxed_assumptions() -> Table {
     table
 }
 
-
 /// A5: node churn — volunteers joining and leaving mid-computation
 /// (Fig. 1's "new nodes volunteer" / "nodes quit pool" arrows).
 ///
@@ -324,9 +324,8 @@ mod tests {
         let t = simple_vs_complex();
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().skip(2).collect();
-        let fields = |line: &str| -> Vec<String> {
-            line.split_whitespace().map(str::to_string).collect()
-        };
+        let fields =
+            |line: &str| -> Vec<String> { line.split_whitespace().map(str::to_string).collect() };
         let a = fields(lines[0]);
         let b = fields(lines[1]);
         // Compare the numeric tail (cost, reliability, max jobs).

@@ -112,10 +112,7 @@ mod tests {
             .into_iter()
             .filter(|(technique, param, _)| {
                 // Keep the test fast: one config per technique.
-                matches!(
-                    (*technique, *param),
-                    ("TR", 9) | ("PR", 9) | ("IR", 4)
-                )
+                matches!((*technique, *param), ("TR", 9) | ("PR", 9) | ("IR", 4))
             })
             .map(|(technique, param, strategy)| {
                 let cfg = DcaConfig::paper_baseline(15_000, 300, 0.3, 99 + param as u64);
@@ -134,7 +131,10 @@ mod tests {
                 }
                 ("PR", k) => {
                     let k = KVotes::new(k).unwrap();
-                    (progressive::cost_series(k, r), progressive::reliability(k, r))
+                    (
+                        progressive::cost_series(k, r),
+                        progressive::reliability(k, r),
+                    )
                 }
                 ("IR", d) => {
                     let d = VoteMargin::new(d).unwrap();

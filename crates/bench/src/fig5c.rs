@@ -56,7 +56,6 @@ pub fn table(points: usize) -> Table {
     table
 }
 
-
 /// Cross-checks the analytic Figure 5(c) ratios against full
 /// discrete-event simulations at selected reliabilities: for each `r`,
 /// simulate TR at `k = 19` and IR at the matched margin, and compare the

@@ -64,7 +64,11 @@ pub fn simulate(scale: Scale, seed: u64) -> Vec<ResponsePoint> {
         configs.push(("PR", k, Rc::new(Progressive::new(kv))));
     }
     for d in [2usize, 4, 6, 8, 10] {
-        configs.push(("IR", d, Rc::new(Iterative::new(VoteMargin::new(d).expect("d")))));
+        configs.push((
+            "IR",
+            d,
+            Rc::new(Iterative::new(VoteMargin::new(d).expect("d"))),
+        ));
     }
     configs
         .into_iter()

@@ -54,10 +54,7 @@ pub fn poisson_binomial_pmf(probs: &[f64]) -> Vec<f64> {
 ///
 /// Returns [`ParamError::OutOfRange`] if the sequence length differs from
 /// `k` or any entry is outside `[0, 1]`.
-pub fn traditional_reliability(
-    k: KVotes,
-    reliabilities: &[f64],
-) -> Result<f64, ParamError> {
+pub fn traditional_reliability(k: KVotes, reliabilities: &[f64]) -> Result<f64, ParamError> {
     validate_sequence(reliabilities, Some(k.get()))?;
     let pmf = poisson_binomial_pmf(reliabilities);
     let consensus = k.consensus();

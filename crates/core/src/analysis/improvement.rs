@@ -237,11 +237,14 @@ mod tests {
     #[test]
     fn ir_improvement_has_interior_peak() {
         // Paper §4.2: efficiency peaks around r ≈ 0.86 then declines slightly.
-        let sweep =
-            improvement_sweep(k19(), 0.6, 0.99, 40, MarginMatch::Nearest).unwrap();
+        let sweep = improvement_sweep(k19(), 0.6, 0.99, 40, MarginMatch::Nearest).unwrap();
         let ratios: Vec<f64> = sweep.iter().map(|i| i.ir_ratio()).collect();
         let peak = ratios.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(peak > ratios[0], "peak {peak} not above left end {}", ratios[0]);
+        assert!(
+            peak > ratios[0],
+            "peak {peak} not above left end {}",
+            ratios[0]
+        );
         assert!(
             peak > *ratios.last().unwrap(),
             "peak {peak} not above right end"

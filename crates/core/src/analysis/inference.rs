@@ -21,7 +21,11 @@ where
     let mut lo = 0.5 + 1e-9;
     let mut hi = 1.0 - 1e-9;
     let (f_lo, f_hi) = (f(lo), f(hi));
-    let (mut below, mut above) = if increasing { (f_lo, f_hi) } else { (f_hi, f_lo) };
+    let (mut below, mut above) = if increasing {
+        (f_lo, f_hi)
+    } else {
+        (f_hi, f_lo)
+    };
     if below > above {
         std::mem::swap(&mut below, &mut above);
     }
@@ -68,7 +72,11 @@ pub fn reliability_from_iterative_cost(
     d: VoteMargin,
     cost: f64,
 ) -> Result<Reliability, ParamError> {
-    bisect(|r| iterative::cost(d, Reliability::new(r).expect("bisection range")), cost, false)
+    bisect(
+        |r| iterative::cost(d, Reliability::new(r).expect("bisection range")),
+        cost,
+        false,
+    )
 }
 
 /// Infers `r` from an observed progressive cost factor at vote count `k`
@@ -78,10 +86,7 @@ pub fn reliability_from_iterative_cost(
 ///
 /// Returns [`ParamError`] if `cost` is outside the achievable range
 /// `((k+1)/2, …)`.
-pub fn reliability_from_progressive_cost(
-    k: KVotes,
-    cost: f64,
-) -> Result<Reliability, ParamError> {
+pub fn reliability_from_progressive_cost(k: KVotes, cost: f64) -> Result<Reliability, ParamError> {
     bisect(
         |r| progressive::cost_series(k, Reliability::new(r).expect("bisection range")),
         cost,

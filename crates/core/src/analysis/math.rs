@@ -149,7 +149,11 @@ mod tests {
     fn sf_and_cdf_are_complements() {
         for k in 0..=10usize {
             let sf = binomial_sf(10, k, 0.42);
-            let cdf = if k == 0 { 0.0 } else { binomial_cdf(10, k - 1, 0.42) };
+            let cdf = if k == 0 {
+                0.0
+            } else {
+                binomial_cdf(10, k - 1, 0.42)
+            };
             close(sf + cdf, 1.0, 1e-12);
         }
     }

@@ -58,7 +58,7 @@ fn p_agree(r: f64, m: usize) -> f64 {
 fn solve_lambda(r: Reliability, lambda: f64, horizon: usize) -> (f64, f64) {
     let r = r.get();
     let width = horizon + 2; // margins 0..=horizon+1 (padding for m+1)
-    // Terminal layer: forced stop.
+                             // Terminal layer: forced stop.
     let mut value: Vec<f64> = (0..width).map(|m| lambda * post(r, m)).collect();
     for _ in 0..horizon {
         let mut next = value.clone();

@@ -59,9 +59,17 @@ pub fn cost_series(k: KVotes, r: Reliability) -> f64 {
                 continue;
             }
             let term = if r == 0.0 {
-                if i - 1 - j == 0 { ln_term.exp() } else { 0.0 }
+                if i - 1 - j == 0 {
+                    ln_term.exp()
+                } else {
+                    0.0
+                }
             } else if r == 1.0 {
-                if j == 0 { ln_term.exp() } else { 0.0 }
+                if j == 0 {
+                    ln_term.exp()
+                } else {
+                    0.0
+                }
             } else {
                 (ln_term + ((i - 1 - j) as f64) * r.ln() + (j as f64) * (1.0 - r).ln()).exp()
             };

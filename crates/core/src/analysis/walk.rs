@@ -220,7 +220,14 @@ mod tests {
 
     #[test]
     fn series_matches_closed_form() {
-        for &(d, r) in &[(1usize, 0.7), (4, 0.7), (4, 0.55), (7, 0.86), (3, 0.5), (5, 0.95)] {
+        for &(d, r) in &[
+            (1usize, 0.7),
+            (4, 0.7),
+            (4, 0.55),
+            (7, 0.86),
+            (3, 0.5),
+            (5, 0.95),
+        ] {
             let series = expected_steps_series(d, r, 1e-13);
             let closed = expected_steps(d, r);
             close(series, closed, 1e-6);

@@ -258,12 +258,13 @@ mod tests {
         ]
         .into_iter();
         let task = TaskExecution::new(Iterative::new(VoteMargin::new(6).unwrap()));
-        let report = task.run_with(|n| {
-            let wave = feed.next().expect("only two waves expected");
-            assert_eq!(wave.len(), n);
-            wave
-        })
-        .unwrap();
+        let report = task
+            .run_with(|n| {
+                let wave = feed.next().expect("only two waves expected");
+                assert_eq!(wave.len(), n);
+                wave
+            })
+            .unwrap();
         assert_eq!(report.jobs, 10);
         assert_eq!(report.waves, 2);
         assert_eq!(report.verdict, Some(true));
@@ -304,7 +305,7 @@ mod tests {
         assert_eq!(task.poll().unwrap(), Poll::Deploy(3));
         task.record(true);
         task.abandon(2); // two nodes vanished
-        // Strategy re-requests exactly the two missing votes.
+                         // Strategy re-requests exactly the two missing votes.
         assert_eq!(task.poll().unwrap(), Poll::Deploy(2));
         task.record(true);
         task.record(false);

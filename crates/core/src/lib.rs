@@ -72,6 +72,7 @@ pub mod monte_carlo;
 pub mod node;
 pub mod params;
 pub mod reputation;
+pub mod resilience;
 pub mod strategy;
 pub mod tally;
 

@@ -162,7 +162,12 @@ impl NaryConfig {
     ///
     /// Panics if `wrong_values == 0` or `collusion ∉ [0, 1]` — these are
     /// experiment-construction errors, not runtime conditions.
-    pub fn new(tasks: usize, reliability: Reliability, wrong_values: usize, collusion: f64) -> Self {
+    pub fn new(
+        tasks: usize,
+        reliability: Reliability,
+        wrong_values: usize,
+        collusion: f64,
+    ) -> Self {
         assert!(wrong_values >= 1, "at least one wrong value required");
         assert!(
             (0.0..=1.0).contains(&collusion),

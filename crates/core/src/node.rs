@@ -20,7 +20,6 @@ use std::fmt;
 /// assert_eq!(a.to_string(), "node-7");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u64);
 
 impl NodeId {

@@ -24,7 +24,6 @@ use crate::error::ParamError;
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reliability(f64);
 
 impl Reliability {
@@ -106,7 +105,6 @@ impl TryFrom<f64> for Reliability {
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Confidence(f64);
 
 impl Confidence {
@@ -171,7 +169,6 @@ impl TryFrom<f64> for Confidence {
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KVotes(usize);
 
 impl KVotes {
@@ -190,7 +187,10 @@ impl KVotes {
             });
         }
         if k.is_multiple_of(2) {
-            return Err(ParamError::NotOdd { name: "k", value: k });
+            return Err(ParamError::NotOdd {
+                name: "k",
+                value: k,
+            });
         }
         Ok(Self(k))
     }
@@ -238,7 +238,6 @@ impl TryFrom<usize> for KVotes {
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VoteMargin(usize);
 
 impl VoteMargin {

@@ -1,0 +1,287 @@
+//! Server-side resilience policies: retry with exponential backoff and
+//! per-node discipline (strikes → quarantine → blacklist).
+//!
+//! The paper's DCA (Figure 1) assumes the task server simply counts a
+//! silent node as a colluding wrong vote (§2.2) or re-issues the job.
+//! Real volunteer servers are gentler and meaner at once: they *retry*
+//! transient failures with backoff before charging the vote, and they
+//! *quarantine* nodes whose failures repeat, removing persistent liars
+//! and hangers from the assignment pool. These types capture both
+//! policies platform-agnostically so the discrete-event DCA simulation
+//! (`smartred-dca`) and the BOINC-like deployment (`smartred-volunteer`)
+//! share one implementation.
+
+use crate::error::ParamError;
+
+/// Retry-with-backoff policy for timed-out jobs.
+///
+/// A job that times out is abandoned and re-deployed after a backoff of
+/// `base_units · multiplier^attempt`, jittered by ±`jitter` fraction, for
+/// at most `max_retries` attempts per task. Once the budget is spent,
+/// further timeouts fall through to the platform's timeout policy
+/// (count-as-wrong or plain re-issue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retried timeouts per task before falling back.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in time units.
+    pub base_units: f64,
+    /// Multiplier applied per successive retry (≥ 1).
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: the backoff is scaled by a uniform
+    /// draw from `[1 − jitter, 1 + jitter]`, de-synchronizing retries
+    /// that would otherwise land on the same tick.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_units: 0.5,
+            multiplier: 2.0,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based), given a jitter
+    /// draw `u ∈ [0, 1)`.
+    pub fn backoff_units(&self, attempt: u32, u: f64) -> f64 {
+        let scale = 1.0 + self.jitter * (2.0 * u - 1.0);
+        self.base_units * self.multiplier.powi(attempt.min(i32::MAX as u32) as i32) * scale
+    }
+
+    /// Validates the policy's numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on non-positive base, multiplier below 1, or
+    /// jitter outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.base_units.is_finite() && self.base_units > 0.0) {
+            return Err(ParamError::OutOfRange {
+                name: "retry.base_units",
+                value: self.base_units,
+                expected: "positive",
+            });
+        }
+        if !(self.multiplier.is_finite() && self.multiplier >= 1.0) {
+            return Err(ParamError::OutOfRange {
+                name: "retry.multiplier",
+                value: self.multiplier,
+                expected: "at least 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.jitter) || !self.jitter.is_finite() {
+            return Err(ParamError::OutOfRange {
+                name: "retry.jitter",
+                value: self.jitter,
+                expected: "[0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Strike-based node discipline: repeated timeouts or vote-losses put a
+/// node in quarantine; repeated quarantines blacklist it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Strikes (timeouts + lost votes) before a node is quarantined.
+    pub strike_limit: u32,
+    /// How long a quarantine lasts, in time units.
+    pub quarantine_units: f64,
+    /// Quarantines before the node is blacklisted (removed permanently).
+    pub blacklist_after: u32,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        Self {
+            strike_limit: 3,
+            quarantine_units: 10.0,
+            blacklist_after: 3,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Validates the policy's numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on a zero strike limit, non-positive
+    /// quarantine duration, or zero blacklist threshold.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.strike_limit == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "quarantine.strike_limit",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        if !(self.quarantine_units.is_finite() && self.quarantine_units > 0.0) {
+            return Err(ParamError::OutOfRange {
+                name: "quarantine.quarantine_units",
+                value: self.quarantine_units,
+                expected: "positive",
+            });
+        }
+        if self.blacklist_after == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "quarantine.blacklist_after",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the discipline machine tells the platform to do with a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisciplineAction {
+    /// Keep the node in service.
+    None,
+    /// Pull the node from the assignment pool for the policy's quarantine
+    /// duration.
+    Quarantine,
+    /// Remove the node permanently.
+    Blacklist,
+}
+
+/// Per-node strike/quarantine counters (the platform owns one per node).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeDiscipline {
+    strikes: u32,
+    quarantines: u32,
+}
+
+impl NodeDiscipline {
+    /// Records one strike and returns the action the policy demands.
+    ///
+    /// When the strike limit is reached the strike counter resets and the
+    /// quarantine counter advances; reaching `blacklist_after` quarantines
+    /// escalates to [`DisciplineAction::Blacklist`].
+    pub fn strike(&mut self, policy: &QuarantinePolicy) -> DisciplineAction {
+        self.strikes += 1;
+        if self.strikes < policy.strike_limit {
+            return DisciplineAction::None;
+        }
+        self.strikes = 0;
+        self.quarantines += 1;
+        if self.quarantines >= policy.blacklist_after {
+            DisciplineAction::Blacklist
+        } else {
+            DisciplineAction::Quarantine
+        }
+    }
+
+    /// Strikes accumulated since the last quarantine.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+
+    /// Quarantines served so far.
+    pub fn quarantines(&self) -> u32 {
+        self.quarantines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_units: 1.0,
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff_units(0, 0.5), 1.0);
+        assert_eq!(p.backoff_units(1, 0.5), 2.0);
+        assert_eq!(p.backoff_units(3, 0.5), 8.0);
+    }
+
+    #[test]
+    fn jitter_bounds_the_scale() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let lo = p.backoff_units(0, 0.0);
+        let hi = p.backoff_units(0, 1.0);
+        assert!((lo - p.base_units * 0.5).abs() < 1e-12);
+        assert!((hi - p.base_units * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_policy_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad = |p: RetryPolicy| p.validate().is_err();
+        assert!(bad(RetryPolicy {
+            base_units: 0.0,
+            ..RetryPolicy::default()
+        }));
+        assert!(bad(RetryPolicy {
+            multiplier: 0.5,
+            ..RetryPolicy::default()
+        }));
+        assert!(bad(RetryPolicy {
+            jitter: 1.5,
+            ..RetryPolicy::default()
+        }));
+    }
+
+    #[test]
+    fn quarantine_policy_validation() {
+        assert!(QuarantinePolicy::default().validate().is_ok());
+        let bad = |p: QuarantinePolicy| p.validate().is_err();
+        assert!(bad(QuarantinePolicy {
+            strike_limit: 0,
+            ..QuarantinePolicy::default()
+        }));
+        assert!(bad(QuarantinePolicy {
+            quarantine_units: -1.0,
+            ..QuarantinePolicy::default()
+        }));
+        assert!(bad(QuarantinePolicy {
+            blacklist_after: 0,
+            ..QuarantinePolicy::default()
+        }));
+    }
+
+    #[test]
+    fn strikes_escalate_to_quarantine_then_blacklist() {
+        let policy = QuarantinePolicy {
+            strike_limit: 2,
+            quarantine_units: 5.0,
+            blacklist_after: 2,
+        };
+        let mut d = NodeDiscipline::default();
+        assert_eq!(d.strike(&policy), DisciplineAction::None);
+        assert_eq!(d.strike(&policy), DisciplineAction::Quarantine);
+        assert_eq!(d.strikes(), 0);
+        assert_eq!(d.quarantines(), 1);
+        assert_eq!(d.strike(&policy), DisciplineAction::None);
+        assert_eq!(d.strike(&policy), DisciplineAction::Blacklist);
+        assert_eq!(d.quarantines(), 2);
+    }
+
+    #[test]
+    fn strike_limit_one_quarantines_immediately() {
+        let policy = QuarantinePolicy {
+            strike_limit: 1,
+            quarantine_units: 1.0,
+            blacklist_after: 3,
+        };
+        let mut d = NodeDiscipline::default();
+        assert_eq!(d.strike(&policy), DisciplineAction::Quarantine);
+        assert_eq!(d.strike(&policy), DisciplineAction::Quarantine);
+        assert_eq!(d.strike(&policy), DisciplineAction::Blacklist);
+    }
+}

@@ -146,9 +146,10 @@ mod tests {
     fn job_bound_is_min_of_inner_and_budget() {
         let unbounded = Budgeted::new(ir(4), 25);
         assert_eq!(RedundancyStrategy::<bool>::job_bound(&unbounded), Some(25));
-        let bounded = Budgeted::new(crate::strategy::Traditional::new(
-            crate::params::KVotes::new(9).unwrap(),
-        ), 25);
+        let bounded = Budgeted::new(
+            crate::strategy::Traditional::new(crate::params::KVotes::new(9).unwrap()),
+            25,
+        );
         assert_eq!(RedundancyStrategy::<bool>::job_bound(&bounded), Some(9));
     }
 

@@ -213,8 +213,7 @@ mod tests {
 
     #[test]
     fn wave_size_is_configurable() {
-        let mut v =
-            validator(0.99).with_wave_size(NonZeroUsize::new(3).expect("3 > 0"));
+        let mut v = validator(0.99).with_wave_size(NonZeroUsize::new(3).expect("3 > 0"));
         assert_eq!(
             NodeAwareStrategy::<bool>::decide_votes(&mut v, &[]).deploy_count(),
             Some(3)

@@ -153,7 +153,9 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> fo
     }
 }
 
-impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V> for std::sync::Arc<S> {
+impl<V: Ord + Clone, S: RedundancyStrategy<V> + ?Sized> RedundancyStrategy<V>
+    for std::sync::Arc<S>
+{
     fn name(&self) -> &'static str {
         (**self).name()
     }

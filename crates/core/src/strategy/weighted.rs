@@ -203,8 +203,8 @@ mod tests {
 
     #[test]
     fn empty_votes_deploy_wave() {
-        let mut voter = uniform_voter(0.7, 0.9)
-            .with_wave_size(NonZeroUsize::new(4).expect("4 > 0"));
+        let mut voter =
+            uniform_voter(0.7, 0.9).with_wave_size(NonZeroUsize::new(4).expect("4 > 0"));
         assert_eq!(
             NodeAwareStrategy::<bool>::decide_votes(&mut voter, &[]).deploy_count(),
             Some(4)

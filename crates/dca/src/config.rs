@@ -1,6 +1,9 @@
 //! Configuration of a DCA simulation run.
 
 use smartred_core::error::ParamError;
+use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
+
+use crate::faults::FaultPlan;
 
 /// How node fault rates are distributed across the pool.
 ///
@@ -47,8 +50,33 @@ impl ReliabilityProfile {
                 honest_wrong,
                 byzantine_wrong,
                 byzantine_fraction,
+            } => honest_wrong * (1.0 - byzantine_fraction) + byzantine_wrong * byzantine_fraction,
+        }
+    }
+
+    /// Largest wrong rate any node drawn from the profile can have.
+    ///
+    /// Used to validate that `wrong_rate + unresponsive_rate ≤ 1` holds for
+    /// *every* node, not just on average: the three per-job outcomes
+    /// (correct, wrong, hang) are mutually exclusive, so their
+    /// probabilities must sum to at most 1 per node.
+    pub fn max_wrong_rate(&self) -> f64 {
+        match *self {
+            ReliabilityProfile::Uniform { wrong_rate } => wrong_rate,
+            ReliabilityProfile::Spread {
+                mean_wrong,
+                half_width,
+            } => (mean_wrong + half_width).min(1.0),
+            ReliabilityProfile::TwoClass {
+                honest_wrong,
+                byzantine_wrong,
+                byzantine_fraction,
             } => {
-                honest_wrong * (1.0 - byzantine_fraction) + byzantine_wrong * byzantine_fraction
+                if byzantine_fraction > 0.0 {
+                    honest_wrong.max(byzantine_wrong)
+                } else {
+                    honest_wrong
+                }
             }
         }
     }
@@ -185,6 +213,22 @@ pub struct DcaConfig {
     pub failure: FailureConfig,
     /// Optional churn process.
     pub churn: Option<ChurnConfig>,
+    /// Optional retry-with-backoff for timed-out jobs; when present, a
+    /// timeout is abandoned and re-deployed after a jittered exponential
+    /// backoff until the task's retry budget is spent, and only then does
+    /// [`TimeoutPolicy`] apply.
+    pub retry: Option<RetryPolicy>,
+    /// Optional strike-based node discipline: nodes that repeatedly time
+    /// out or vote against accepted verdicts are quarantined, and
+    /// repeatedly quarantined nodes are blacklisted.
+    pub quarantine: Option<QuarantinePolicy>,
+    /// Graceful degradation: when a task hits its job cap or the run ends
+    /// with the pool starved, accept the current vote leader as a
+    /// *degraded* verdict (with its Bayesian confidence `q(r, a, b)`
+    /// recorded) instead of counting the task as failed.
+    pub degraded_accept: bool,
+    /// Optional deterministic fault-injection schedule.
+    pub faults: Option<FaultPlan>,
     /// Root seed for all randomness in the run.
     pub seed: u64,
 }
@@ -203,6 +247,10 @@ impl DcaConfig {
             job_cap: None,
             failure: FailureConfig::Independent,
             churn: None,
+            retry: None,
+            quarantine: None,
+            degraded_accept: false,
+            faults: None,
             seed,
         }
     }
@@ -235,6 +283,18 @@ impl DcaConfig {
                 name: "unresponsive_rate",
                 value: self.pool.unresponsive_rate,
                 expected: "[0, 1]",
+            });
+        }
+        // Per-node outcome probabilities (wrong, hang, correct) are
+        // mutually exclusive: a profile whose worst node has
+        // `wrong + unresponsive > 1` would silently clamp reliability to 0
+        // and skew the drawn outcome mix, so reject it outright.
+        let max_wrong = self.pool.profile.max_wrong_rate();
+        if max_wrong + self.pool.unresponsive_rate > 1.0 {
+            return Err(ParamError::OutOfRange {
+                name: "wrong_rate + unresponsive_rate",
+                value: max_wrong + self.pool.unresponsive_rate,
+                expected: "at most 1 for every node profile",
             });
         }
         let (lo, hi) = self.duration_window;
@@ -307,6 +367,15 @@ impl DcaConfig {
                     expected: "non-negative",
                 });
             }
+        }
+        if let Some(retry) = self.retry {
+            retry.validate()?;
+        }
+        if let Some(quarantine) = self.quarantine {
+            quarantine.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate(self.pool.size)?;
         }
         Ok(())
     }
@@ -384,6 +453,80 @@ mod tests {
             outage_rate: 1.0,
             outage_duration: 0.0,
         };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_plus_unresponsive_over_one() {
+        // Uniform: 0.7 wrong + 0.4 hang = 1.1 per node → invalid.
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 0.7, 1);
+        cfg.pool.unresponsive_rate = 0.4;
+        assert!(cfg.validate().is_err());
+        cfg.pool.unresponsive_rate = 0.3;
+        assert!(cfg.validate().is_ok());
+
+        // Spread: the *worst* node (mean + half-width) must stay legal.
+        cfg.pool.profile = ReliabilityProfile::Spread {
+            mean_wrong: 0.5,
+            half_width: 0.3,
+        };
+        cfg.pool.unresponsive_rate = 0.25;
+        assert!(cfg.validate().is_err());
+        cfg.pool.unresponsive_rate = 0.2;
+        assert!(cfg.validate().is_ok());
+
+        // TwoClass: a fully Byzantine cartel member leaves no room for
+        // hangs.
+        cfg.pool.profile = ReliabilityProfile::TwoClass {
+            honest_wrong: 0.1,
+            byzantine_wrong: 1.0,
+            byzantine_fraction: 0.2,
+        };
+        cfg.pool.unresponsive_rate = 0.05;
+        assert!(cfg.validate().is_err());
+        cfg.pool.unresponsive_rate = 0.0;
+        assert!(cfg.validate().is_ok());
+
+        // An empty cartel is exempt from the byzantine bound.
+        cfg.pool.profile = ReliabilityProfile::TwoClass {
+            honest_wrong: 0.1,
+            byzantine_wrong: 1.0,
+            byzantine_fraction: 0.0,
+        };
+        cfg.pool.unresponsive_rate = 0.5;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validates_resilience_policies() {
+        use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
+
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        assert!(cfg.validate().is_ok());
+
+        cfg.retry = Some(RetryPolicy {
+            multiplier: 0.5,
+            ..RetryPolicy::default()
+        });
+        assert!(cfg.validate().is_err());
+        cfg.retry = None;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 0,
+            ..QuarantinePolicy::default()
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validates_fault_plans_against_pool_size() {
+        use crate::faults::FaultPlan;
+
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.faults = Some(FaultPlan::new().crash_at(1.0, 9));
+        assert!(cfg.validate().is_ok());
+        cfg.faults = Some(FaultPlan::new().crash_at(1.0, 10));
         assert!(cfg.validate().is_err());
     }
 

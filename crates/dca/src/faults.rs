@@ -1,0 +1,329 @@
+//! Deterministic fault injection: a seed-reproducible schedule of crashes,
+//! hangs, stragglers, collusion bursts, and pool blackouts.
+//!
+//! The paper's base model draws node failures i.i.d. per job (§2.2). A
+//! [`FaultPlan`] layers *scheduled* adversity on top: every entry names a
+//! simulated time at which something breaks, and the plan is injected as
+//! first-class discrete events in the `smartred-desim` engine when the run
+//! starts. Because the plan is data (not callbacks) and every random draw
+//! it triggers comes from the run's seeded stream, a `(seed, plan)` pair
+//! reproduces the run bit for bit — which is what makes chaos tests
+//! assertable.
+//!
+//! # Examples
+//!
+//! ```
+//! use smartred_dca::faults::FaultPlan;
+//!
+//! let plan = FaultPlan::new()
+//!     .crash_at(2.0, 7)                  // node 7 departs at t = 2
+//!     .hang_window(3.0, 4.0, 11)         // node 11 answers nothing in [3, 7)
+//!     .straggler(1.0, 10.0, 3, 4.0)      // node 3 runs 4× slower in [1, 11)
+//!     .collusion_burst(5.0, 2.0, 0.3)    // 30% of the pool lies in [5, 7)
+//!     .blackout(8.0, 1.5);               // nobody answers in [8, 9.5)
+//! assert_eq!(plan.events().len(), 5);
+//! assert!(plan.validate(64).is_ok());
+//! ```
+
+use smartred_core::error::ParamError;
+
+use crate::pool::NodeIndex;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The node leaves the pool permanently at `at` (its running job, if
+    /// any, is seen by the server as a timeout).
+    NodeCrash {
+        /// Injection time, in time units.
+        at: f64,
+        /// Index of the crashing node.
+        node: NodeIndex,
+    },
+    /// Every job dispatched to the node during `[at, at + duration)` hangs
+    /// until the server timeout.
+    HangWindow {
+        /// Window start, in time units.
+        at: f64,
+        /// Window length, in time units.
+        duration: f64,
+        /// Index of the hanging node.
+        node: NodeIndex,
+    },
+    /// Jobs dispatched to the node during `[at, at + duration)` run
+    /// `factor` times slower (slow enough jobs become timeouts).
+    Straggler {
+        /// Window start, in time units.
+        at: f64,
+        /// Window length, in time units.
+        duration: f64,
+        /// Index of the straggling node.
+        node: NodeIndex,
+        /// Slowdown multiplier (≥ 1).
+        factor: f64,
+    },
+    /// During `[at, at + duration)` a random `fraction` of the pool (drawn
+    /// from the run's seeded stream when the burst starts) returns the
+    /// colluding wrong value on every job — a correlated Byzantine attack.
+    CollusionBurst {
+        /// Window start, in time units.
+        at: f64,
+        /// Window length, in time units.
+        duration: f64,
+        /// Fraction of the pool that colludes, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// During `[at, at + duration)` no node answers anything: every job
+    /// dispatched in the window hangs to the server timeout (a total
+    /// network partition between server and pool).
+    Blackout {
+        /// Window start, in time units.
+        at: f64,
+        /// Window length, in time units.
+        duration: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The simulated time at which the fault is injected.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::NodeCrash { at, .. }
+            | FaultEvent::HangWindow { at, .. }
+            | FaultEvent::Straggler { at, .. }
+            | FaultEvent::CollusionBurst { at, .. }
+            | FaultEvent::Blackout { at, .. } => at,
+        }
+    }
+
+    fn validate(&self, pool_size: usize) -> Result<(), ParamError> {
+        let time_ok = |name: &'static str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(ParamError::OutOfRange {
+                    name,
+                    value: v,
+                    expected: "finite and non-negative",
+                })
+            }
+        };
+        let duration_ok = |name: &'static str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(ParamError::OutOfRange {
+                    name,
+                    value: v,
+                    expected: "positive",
+                })
+            }
+        };
+        let node_ok = |node: NodeIndex| {
+            if node < pool_size {
+                Ok(())
+            } else {
+                Err(ParamError::OutOfRange {
+                    name: "fault.node",
+                    value: node as f64,
+                    expected: "an initial pool index",
+                })
+            }
+        };
+        match *self {
+            FaultEvent::NodeCrash { at, node } => {
+                time_ok("fault.at", at)?;
+                node_ok(node)
+            }
+            FaultEvent::HangWindow { at, duration, node } => {
+                time_ok("fault.at", at)?;
+                duration_ok("fault.duration", duration)?;
+                node_ok(node)
+            }
+            FaultEvent::Straggler {
+                at,
+                duration,
+                node,
+                factor,
+            } => {
+                time_ok("fault.at", at)?;
+                duration_ok("fault.duration", duration)?;
+                node_ok(node)?;
+                if factor.is_finite() && factor >= 1.0 {
+                    Ok(())
+                } else {
+                    Err(ParamError::OutOfRange {
+                        name: "fault.factor",
+                        value: factor,
+                        expected: "at least 1",
+                    })
+                }
+            }
+            FaultEvent::CollusionBurst {
+                at,
+                duration,
+                fraction,
+            } => {
+                time_ok("fault.at", at)?;
+                duration_ok("fault.duration", duration)?;
+                if (0.0..=1.0).contains(&fraction) && fraction.is_finite() {
+                    Ok(())
+                } else {
+                    Err(ParamError::OutOfRange {
+                        name: "fault.fraction",
+                        value: fraction,
+                        expected: "[0, 1]",
+                    })
+                }
+            }
+            FaultEvent::Blackout { at, duration } => {
+                time_ok("fault.at", at)?;
+                duration_ok("fault.duration", duration)
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of faults, built fluently and injected into
+/// the event queue when a run starts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a permanent node crash.
+    #[must_use]
+    pub fn crash_at(mut self, at: f64, node: NodeIndex) -> Self {
+        self.events.push(FaultEvent::NodeCrash { at, node });
+        self
+    }
+
+    /// Schedules a hang window on one node.
+    #[must_use]
+    pub fn hang_window(mut self, at: f64, duration: f64, node: NodeIndex) -> Self {
+        self.events
+            .push(FaultEvent::HangWindow { at, duration, node });
+        self
+    }
+
+    /// Schedules a straggler window on one node.
+    #[must_use]
+    pub fn straggler(mut self, at: f64, duration: f64, node: NodeIndex, factor: f64) -> Self {
+        self.events.push(FaultEvent::Straggler {
+            at,
+            duration,
+            node,
+            factor,
+        });
+        self
+    }
+
+    /// Schedules a correlated collusion burst over a pool fraction.
+    #[must_use]
+    pub fn collusion_burst(mut self, at: f64, duration: f64, fraction: f64) -> Self {
+        self.events.push(FaultEvent::CollusionBurst {
+            at,
+            duration,
+            fraction,
+        });
+        self
+    }
+
+    /// Schedules a total pool blackout.
+    #[must_use]
+    pub fn blackout(mut self, at: f64, duration: f64) -> Self {
+        self.events.push(FaultEvent::Blackout { at, duration });
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validates every event against the initial pool size.
+    ///
+    /// Node-targeted faults must name an *initial* pool index; nodes that
+    /// join through churn cannot be targeted (their indices are not known
+    /// ahead of the run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for negative or non-finite times,
+    /// non-positive durations, out-of-pool node indices, straggler factors
+    /// below 1, or collusion fractions outside `[0, 1]`.
+    pub fn validate(&self, pool_size: usize) -> Result<(), ParamError> {
+        for event in &self.events {
+            event.validate(pool_size)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events_in_order() {
+        let plan = FaultPlan::new()
+            .crash_at(1.0, 0)
+            .blackout(2.0, 1.0)
+            .collusion_burst(3.0, 1.0, 0.5);
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.events()[0].at(), 1.0);
+        assert_eq!(plan.events()[2].at(), 3.0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_sound_plans() {
+        let plan = FaultPlan::new()
+            .crash_at(0.0, 9)
+            .hang_window(1.0, 2.0, 5)
+            .straggler(0.5, 3.0, 2, 4.0)
+            .collusion_burst(2.0, 2.0, 1.0)
+            .blackout(4.0, 0.1);
+        assert!(plan.validate(10).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_pool_nodes() {
+        assert!(FaultPlan::new().crash_at(1.0, 10).validate(10).is_err());
+        assert!(FaultPlan::new()
+            .hang_window(1.0, 1.0, 99)
+            .validate(10)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_numbers() {
+        assert!(FaultPlan::new().crash_at(-1.0, 0).validate(10).is_err());
+        assert!(FaultPlan::new().crash_at(f64::NAN, 0).validate(10).is_err());
+        assert!(FaultPlan::new()
+            .hang_window(1.0, 0.0, 0)
+            .validate(10)
+            .is_err());
+        assert!(FaultPlan::new()
+            .straggler(1.0, 1.0, 0, 0.5)
+            .validate(10)
+            .is_err());
+        assert!(FaultPlan::new()
+            .collusion_burst(1.0, 1.0, 1.5)
+            .validate(10)
+            .is_err());
+        assert!(FaultPlan::new().blackout(1.0, -2.0).validate(10).is_err());
+    }
+}

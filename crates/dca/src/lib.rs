@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod pool;
 pub mod sim;
 
 pub use config::{ChurnConfig, DcaConfig, FailureConfig, PoolConfig, TimeoutPolicy};
+pub use faults::{FaultEvent, FaultPlan};
 pub use metrics::DcaReport;
 pub use sim::{run, SharedStrategy};

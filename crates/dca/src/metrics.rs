@@ -23,10 +23,29 @@ pub struct DcaReport {
     /// Response time per completed task, in time units (first dispatch to
     /// verdict).
     pub response_time: Summary,
+    /// Tasks whose verdict was accepted *degraded*: the vote leader taken
+    /// at the job cap or at pool starvation, under
+    /// `DcaConfig::degraded_accept`. Degraded tasks also count in
+    /// `tasks_completed`.
+    pub tasks_degraded: usize,
+    /// Bayesian confidence `q(r, a, b)` of each degraded verdict.
+    pub degraded_confidence: Summary,
     /// Total jobs dispatched (including jobs of capped tasks).
     pub total_jobs: u64,
     /// Jobs that timed out (no response from the node).
     pub timeouts: u64,
+    /// Timed-out jobs retried with backoff instead of being charged to the
+    /// vote.
+    pub retries: u64,
+    /// Quarantines imposed on striking nodes.
+    pub quarantines: u64,
+    /// Nodes permanently blacklisted after repeated quarantines.
+    pub blacklisted: u64,
+    /// Scheduled fault-plan events injected (crashes, hang windows,
+    /// stragglers, collusion bursts, blackouts).
+    pub faults_injected: u64,
+    /// Fault-plan node crashes that removed a live node.
+    pub crashes: u64,
     /// Nodes that left mid-run (churn).
     pub departures: u64,
     /// Nodes that joined mid-run (churn).
@@ -53,8 +72,15 @@ impl DcaReport {
             jobs_per_task: Summary::new(),
             waves_per_task: Summary::new(),
             response_time: Summary::new(),
+            tasks_degraded: 0,
+            degraded_confidence: Summary::new(),
             total_jobs: 0,
             timeouts: 0,
+            retries: 0,
+            quarantines: 0,
+            blacklisted: 0,
+            faults_injected: 0,
+            crashes: 0,
             departures: 0,
             arrivals: 0,
             outages: 0,
@@ -93,6 +119,11 @@ impl DcaReport {
     /// Mean response time per task, in time units.
     pub fn mean_response(&self) -> f64 {
         self.response_time.mean()
+    }
+
+    /// Mean Bayesian confidence across degraded verdicts (0 if none).
+    pub fn mean_degraded_confidence(&self) -> f64 {
+        self.degraded_confidence.mean()
     }
 
     /// Largest number of jobs any single task used.

@@ -3,6 +3,7 @@
 
 use rand::Rng;
 use smartred_core::node::NodeId;
+use smartred_core::resilience::NodeDiscipline;
 
 use crate::config::{PoolConfig, ReliabilityProfile};
 use crate::job::JobId;
@@ -21,6 +22,11 @@ pub struct Node {
     pub speed: f64,
     /// Whether the node is still in the pool.
     pub alive: bool,
+    /// Whether the node is serving a quarantine (alive but excluded from
+    /// assignment).
+    pub quarantined: bool,
+    /// Strike/quarantine counters for the discipline policy.
+    pub discipline: NodeDiscipline,
     /// The job currently executing on this node, if any.
     pub current_job: Option<JobId>,
 }
@@ -66,11 +72,7 @@ impl NodePool {
 
     /// Adds a freshly drawn node (a volunteer joining) and returns its
     /// index.
-    pub fn spawn_node<R: Rng + ?Sized>(
-        &mut self,
-        config: &PoolConfig,
-        rng: &mut R,
-    ) -> NodeIndex {
+    pub fn spawn_node<R: Rng + ?Sized>(&mut self, config: &PoolConfig, rng: &mut R) -> NodeIndex {
         let wrong_rate = match config.profile {
             ReliabilityProfile::Uniform { wrong_rate } => wrong_rate,
             ReliabilityProfile::Spread {
@@ -105,6 +107,8 @@ impl NodePool {
             unresponsive_rate: config.unresponsive_rate,
             speed,
             alive: true,
+            quarantined: false,
+            discipline: NodeDiscipline::default(),
             current_job: None,
         });
         self.next_id += 1;
@@ -208,12 +212,119 @@ impl NodePool {
     }
 
     /// Returns a node to the idle set after it finishes (or abandons) a
-    /// job. Departed nodes are not re-queued.
+    /// job. Departed and quarantined nodes are not re-queued.
     pub fn release(&mut self, index: NodeIndex) {
         self.nodes[index].current_job = None;
-        if self.nodes[index].alive && self.idle_pos[index].is_none() {
+        if self.nodes[index].alive
+            && !self.nodes[index].quarantined
+            && self.idle_pos[index].is_none()
+        {
             self.push_idle(index);
         }
+    }
+
+    /// Pulls a node from the assignment pool without removing it: it stays
+    /// alive (and finishes any running job) but receives no new work until
+    /// [`unquarantine`](Self::unquarantine). Idempotent.
+    pub fn quarantine(&mut self, index: NodeIndex) {
+        if self.nodes[index].quarantined || !self.nodes[index].alive {
+            return;
+        }
+        self.nodes[index].quarantined = true;
+        if self.idle_pos[index].is_some() {
+            self.remove_idle(index);
+        }
+    }
+
+    /// Ends a node's quarantine, returning it to the idle set if it is
+    /// alive and not mid-job. Idempotent.
+    pub fn unquarantine(&mut self, index: NodeIndex) {
+        if !self.nodes[index].quarantined {
+            return;
+        }
+        self.nodes[index].quarantined = false;
+        if self.nodes[index].alive
+            && self.nodes[index].current_job.is_none()
+            && self.idle_pos[index].is_none()
+        {
+            self.push_idle(index);
+        }
+    }
+
+    /// Number of alive nodes currently serving a quarantine.
+    pub fn quarantined_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && n.quarantined)
+            .count()
+    }
+
+    /// Checks the pool's structural invariants, returning a description of
+    /// the first violation found.
+    ///
+    /// Invariants:
+    ///
+    /// 1. `alive_count` equals the number of alive nodes.
+    /// 2. `idle` and `idle_pos` agree: `idle_pos[i] = Some(p)` iff
+    ///    `idle[p] = i`, with no duplicates.
+    /// 3. Every idle node is alive, unquarantined, and has no running job
+    ///    (no node is double-assigned).
+    /// 4. Departed nodes hold no job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let alive = self.nodes.iter().filter(|n| n.alive).count();
+        if alive != self.alive_count {
+            return Err(format!(
+                "alive_count {} but {} alive nodes",
+                self.alive_count, alive
+            ));
+        }
+        if self.idle_pos.len() != self.nodes.len() {
+            return Err(format!(
+                "idle_pos len {} != nodes len {}",
+                self.idle_pos.len(),
+                self.nodes.len()
+            ));
+        }
+        for (pos, &index) in self.idle.iter().enumerate() {
+            if index >= self.nodes.len() {
+                return Err(format!("idle entry {index} out of bounds"));
+            }
+            if self.idle_pos[index] != Some(pos) {
+                return Err(format!(
+                    "idle[{pos}] = {index} but idle_pos[{index}] = {:?}",
+                    self.idle_pos[index]
+                ));
+            }
+            let node = &self.nodes[index];
+            if !node.alive {
+                return Err(format!("departed node {index} in idle set"));
+            }
+            if node.quarantined {
+                return Err(format!("quarantined node {index} in idle set"));
+            }
+            if let Some(job) = node.current_job {
+                return Err(format!("idle node {index} still holds {job}"));
+            }
+        }
+        for (index, pos) in self.idle_pos.iter().enumerate() {
+            if let Some(p) = *pos {
+                if self.idle.get(p).copied() != Some(index) {
+                    return Err(format!(
+                        "idle_pos[{index}] = Some({p}) but idle[{p}] != {index}"
+                    ));
+                }
+            }
+        }
+        for (index, node) in self.nodes.iter().enumerate() {
+            if !node.alive && node.current_job.is_some() {
+                return Err(format!("departed node {index} holds a job"));
+            }
+        }
+        Ok(())
     }
 
     /// Removes a node from the pool (volunteer leaving). Returns the job it
@@ -390,8 +501,62 @@ mod tests {
             unresponsive_rate: 0.1,
             speed: 1.0,
             alive: true,
+            quarantined: false,
+            discipline: NodeDiscipline::default(),
             current_job: None,
         };
         assert!((node.reliability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_excludes_from_assignment() {
+        let (mut p, mut rng) = pool(2);
+        p.quarantine(0);
+        assert_eq!(p.idle_count(), 1);
+        assert_eq!(p.quarantined_count(), 1);
+        for _ in 0..10 {
+            let n = p.claim_random_idle(&[], &mut rng).unwrap();
+            assert_eq!(n, 1);
+            p.release(n);
+        }
+        // Quarantine is idempotent and alive_count is untouched.
+        p.quarantine(0);
+        assert_eq!(p.alive_count(), 2);
+        p.unquarantine(0);
+        assert_eq!(p.idle_count(), 2);
+        assert_eq!(p.quarantined_count(), 0);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn busy_node_quarantined_mid_job_returns_only_after_unquarantine() {
+        let (mut p, mut rng) = pool(1);
+        let n = p.claim_random_idle(&[], &mut rng).unwrap();
+        p.quarantine(n);
+        // Finishing the job must not put a quarantined node back in idle.
+        p.release(n);
+        assert_eq!(p.idle_count(), 0);
+        p.unquarantine(n);
+        assert_eq!(p.idle_count(), 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn depart_during_quarantine_is_sound() {
+        let (mut p, _) = pool(3);
+        p.quarantine(1);
+        assert!(p.depart(1).is_none());
+        p.unquarantine(1); // must not resurrect a departed node
+        assert_eq!(p.idle_count(), 2);
+        assert_eq!(p.alive_count(), 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn check_invariants_catches_corruption() {
+        let (mut p, _) = pool(3);
+        p.check_invariants().unwrap();
+        p.alive_count = 7;
+        assert!(p.check_invariants().is_err());
     }
 }

@@ -20,14 +20,18 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rand::Rng;
+use smartred_core::analysis::confidence::confidence;
 use smartred_core::error::ParamError;
 use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::params::Reliability;
+use smartred_core::resilience::DisciplineAction;
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
-use smartred_desim::rng::{seeded_rng, SimRng};
+use smartred_desim::rng::{backoff_duration, seeded_rng, SimRng};
 use smartred_desim::time::{SimDuration, SimTime};
 
 use crate::config::{DcaConfig, FailureConfig, TimeoutPolicy};
+use crate::faults::FaultEvent;
 use crate::job::{JobId, JobOutcome, JobRegistry};
 use crate::metrics::DcaReport;
 use crate::pool::{NodeIndex, NodePool};
@@ -41,6 +45,57 @@ struct TaskState {
     used_nodes: Vec<NodeIndex>,
     shocked: bool,
     finished: bool,
+    /// Timed-out jobs retried with backoff so far (`retry` policy).
+    retries: u32,
+    /// Recorded `(node, voted_correct)` pairs, kept only under a
+    /// quarantine policy to strike vote-losers at finalization.
+    votes: Vec<(NodeIndex, bool)>,
+}
+
+/// Active fault-plan effects, updated by injected events and consulted at
+/// every dispatch/outcome draw. Per-node vectors are indexed by
+/// [`NodeIndex`] and grown on demand (churn can add nodes after a window
+/// opened; latecomers are unaffected by node-targeted windows).
+#[derive(Default)]
+struct ChaosState {
+    hang_until: Vec<SimTime>,
+    slow_until: Vec<(SimTime, f64)>,
+    colluding: Vec<bool>,
+    collusion_until: SimTime,
+    blackout_until: SimTime,
+}
+
+impl ChaosState {
+    fn hang_active(&self, node: NodeIndex, now: SimTime) -> bool {
+        self.hang_until.get(node).is_some_and(|&until| until > now)
+    }
+
+    fn slow_factor(&self, node: NodeIndex, now: SimTime) -> f64 {
+        match self.slow_until.get(node) {
+            Some(&(until, factor)) if until > now => factor,
+            _ => 1.0,
+        }
+    }
+
+    fn is_colluding(&self, node: NodeIndex, now: SimTime) -> bool {
+        self.collusion_until > now && self.colluding.get(node).copied().unwrap_or(false)
+    }
+
+    fn set_hang(&mut self, node: NodeIndex, until: SimTime) {
+        if self.hang_until.len() <= node {
+            self.hang_until.resize(node + 1, SimTime::ZERO);
+        }
+        if until > self.hang_until[node] {
+            self.hang_until[node] = until;
+        }
+    }
+
+    fn set_slow(&mut self, node: NodeIndex, until: SimTime, factor: f64) {
+        if self.slow_until.len() <= node {
+            self.slow_until.resize(node + 1, (SimTime::ZERO, 1.0));
+        }
+        self.slow_until[node] = (until, factor);
+    }
 }
 
 /// The mutable world threaded through every event.
@@ -60,6 +115,8 @@ struct World {
     /// Per-region outage end times (empty unless `RegionalOutages` is
     /// configured). Node `i` belongs to region `i % regions.len()`.
     region_down_until: Vec<SimTime>,
+    /// Active fault-plan effects.
+    chaos: ChaosState,
 }
 
 type Sim = Simulator<World>;
@@ -108,6 +165,7 @@ pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, Pa
             FailureConfig::RegionalOutages { regions, .. } => vec![SimTime::ZERO; regions],
             _ => Vec::new(),
         },
+        chaos: ChaosState::default(),
     };
     let mut sim = Sim::new();
     if let FailureConfig::RegionalOutages { outage_rate, .. } = config.failure {
@@ -123,13 +181,105 @@ pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, Pa
             schedule_arrival(&mut world, &mut sim);
         }
     }
+    // Inject the fault plan as first-class events: each entry becomes one
+    // scheduled event that flips the corresponding chaos state (or departs
+    // the crashed node) at its planned time.
+    if let Some(plan) = &config.faults {
+        for event in plan.events().iter().copied() {
+            sim.schedule_at(SimTime::from_units(event.at()), move |world, sim| {
+                inject_fault(world, sim, event);
+            });
+        }
+    }
     pump(&mut world, &mut sim);
     sim.run(&mut world);
+    // Graceful degradation for a starved pool: tasks that never reached a
+    // verdict (every node departed/blacklisted with work still queued) are
+    // settled on their best-available vote leader.
+    if config.degraded_accept {
+        for t in 0..world.tasks.len() {
+            if !world.tasks[t].finished {
+                accept_degraded(&mut world, &mut sim, t);
+            }
+        }
+    }
     world.report.tasks_stranded =
         config.tasks - world.report.tasks_completed - world.report.tasks_capped;
     world.report.makespan_units = sim.now().as_units();
     world.report.capacity_node_units = config.pool.size as f64 * world.report.makespan_units;
+    audit(&world);
     Ok(world.report)
+}
+
+/// End-of-run consistency audit: no task lost, the pool's idle set intact.
+///
+/// # Panics
+///
+/// Panics on violation — these are internal invariants, not user errors.
+fn audit(world: &World) {
+    if let Err(violation) = world.pool.check_invariants() {
+        panic!("node pool invariant violated: {violation}");
+    }
+    let started_unfinished = world.tasks.iter().filter(|t| !t.finished).count();
+    let never_started = world.cfg.tasks - world.next_unstarted;
+    assert_eq!(
+        world.unfinished,
+        started_unfinished + never_started,
+        "task accounting lost track of {} tasks",
+        world.unfinished as i64 - (started_unfinished + never_started) as i64
+    );
+}
+
+/// Applies one fault-plan event to the running world.
+fn inject_fault(world: &mut World, sim: &mut Sim, event: FaultEvent) {
+    world.report.faults_injected += 1;
+    let now = sim.now();
+    match event {
+        FaultEvent::NodeCrash { node, .. } => {
+            if world.pool.node(node).alive {
+                world.report.crashes += 1;
+                let orphaned = world.pool.depart(node);
+                if let Some(job) = orphaned {
+                    // The node vanished mid-job: the server sees a timeout.
+                    resolve_job(world, sim, job, true);
+                }
+            }
+        }
+        FaultEvent::HangWindow { duration, node, .. } => {
+            world
+                .chaos
+                .set_hang(node, now + SimDuration::from_units(duration));
+        }
+        FaultEvent::Straggler {
+            duration,
+            node,
+            factor,
+            ..
+        } => {
+            world
+                .chaos
+                .set_slow(node, now + SimDuration::from_units(duration), factor);
+        }
+        FaultEvent::CollusionBurst {
+            duration, fraction, ..
+        } => {
+            let until = now + SimDuration::from_units(duration);
+            if until > world.chaos.collusion_until {
+                world.chaos.collusion_until = until;
+            }
+            // Draw the colluders from the seeded stream at burst start so
+            // the cartel is reproducible but varies with the seed.
+            world.chaos.colluding = (0..world.pool.capacity())
+                .map(|_| world.rng.gen_bool(fraction))
+                .collect();
+        }
+        FaultEvent::Blackout { duration, .. } => {
+            let until = now + SimDuration::from_units(duration);
+            if until > world.chaos.blackout_until {
+                world.chaos.blackout_until = until;
+            }
+        }
+    }
 }
 
 /// Greedily assigns queued jobs to idle nodes and lazily starts new tasks.
@@ -149,7 +299,10 @@ fn pump(world: &mut World, sim: &mut Sim) {
             let Some(task) = world.queue.pop_front() else {
                 break;
             };
-            debug_assert!(!world.tasks[task].finished, "finished task left jobs queued");
+            debug_assert!(
+                !world.tasks[task].finished,
+                "finished task left jobs queued"
+            );
             let node = world
                 .pool
                 .claim_random_idle(&world.tasks[task].used_nodes, &mut world.rng);
@@ -179,9 +332,7 @@ fn start_next_task(world: &mut World, sim: &mut Sim) -> bool {
     }
     let shocked = match world.cfg.failure {
         FailureConfig::Independent | FailureConfig::RegionalOutages { .. } => false,
-        FailureConfig::CommonShock { shock_probability } => {
-            world.rng.gen_bool(shock_probability)
-        }
+        FailureConfig::CommonShock { shock_probability } => world.rng.gen_bool(shock_probability),
     };
     world.tasks.push(TaskState {
         exec,
@@ -189,6 +340,8 @@ fn start_next_task(world: &mut World, sim: &mut Sim) -> bool {
         used_nodes: Vec::new(),
         shocked,
         finished: false,
+        retries: 0,
+        votes: Vec::new(),
     });
     let t = world.tasks.len() - 1;
     poll_task(world, sim, t, /* priority = */ false);
@@ -212,8 +365,39 @@ fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
         }
         Ok(Poll::Complete(v)) => finalize(world, sim, t, Some(v)),
         Ok(Poll::Pending) => {}
-        Err(_capped) => finalize(world, sim, t, None),
+        Err(_capped) => {
+            if !(world.cfg.degraded_accept && accept_degraded(world, sim, t)) {
+                finalize(world, sim, t, None);
+            }
+        }
     }
+}
+
+/// Graceful degradation: settles a task on its current vote leader with
+/// the Bayesian confidence `q(r, a, b)` of that verdict attached to the
+/// report. Invoked at the job cap and at pool starvation under
+/// [`DcaConfig::degraded_accept`]. Returns `false` (task untouched) when
+/// there is no leader to accept.
+fn accept_degraded(world: &mut World, sim: &mut Sim, t: usize) -> bool {
+    let tally = world.tasks[t].exec.tally();
+    let Some((&v, a)) = tally.leader() else {
+        return false;
+    };
+    let b = tally.runner_up_count();
+    // The server never knows true per-node reliability; the pool's mean is
+    // its best estimate of r. A fully starved pool gives no information, so
+    // fall back to the uninformative prior r = 1/2 (confidence 1/2).
+    let r_est = if world.pool.alive_count() == 0 {
+        0.5
+    } else {
+        world.pool.mean_reliability().clamp(0.0, 1.0)
+    };
+    let r = Reliability::new(r_est).expect("mean reliability lies in [0, 1]");
+    let q = confidence(r, a, b);
+    world.report.tasks_degraded += 1;
+    world.report.degraded_confidence.record(q);
+    finalize(world, sim, t, Some(v));
+    true
 }
 
 /// Records a task's terminal state in the run metrics.
@@ -244,6 +428,54 @@ fn finalize(world: &mut World, sim: &mut Sim, t: usize, verdict: Option<bool>) {
         }
         None => world.report.tasks_capped += 1,
     }
+    // Under a quarantine policy, nodes whose vote lost the election earn a
+    // strike: repeated vote-losers are the simulation's stand-in for the
+    // server's result-validation blacklist.
+    if world.cfg.quarantine.is_some() {
+        if let Some(v) = verdict {
+            let votes = std::mem::take(&mut world.tasks[t].votes);
+            for (node, voted) in votes {
+                if voted != v {
+                    strike_node(world, sim, node);
+                }
+            }
+        }
+    }
+}
+
+/// Registers a strike against a node and applies the discipline the
+/// quarantine policy demands. No-op without a policy or for departed
+/// nodes.
+fn strike_node(world: &mut World, sim: &mut Sim, node: NodeIndex) {
+    let Some(policy) = world.cfg.quarantine else {
+        return;
+    };
+    if !world.pool.node(node).alive {
+        return;
+    }
+    match world.pool.node_mut(node).discipline.strike(&policy) {
+        DisciplineAction::None => {}
+        DisciplineAction::Quarantine => {
+            world.report.quarantines += 1;
+            world.pool.quarantine(node);
+            sim.schedule_in(
+                SimDuration::from_units(policy.quarantine_units),
+                move |world, sim| {
+                    world.pool.unquarantine(node);
+                    pump(world, sim);
+                },
+            );
+        }
+        DisciplineAction::Blacklist => {
+            world.report.blacklisted += 1;
+            let orphaned = world.pool.depart(node);
+            if let Some(job) = orphaned {
+                // The blacklisted node's in-flight job (for some other
+                // task) is discarded; the server sees a timeout.
+                resolve_job(world, sim, job, true);
+            }
+        }
+    }
 }
 
 /// Dispatches one job of `task` on `node` (already claimed from the idle
@@ -257,7 +489,8 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
     } else {
         world.rng.gen_range(lo..=hi)
     };
-    let duration_units = base * world.pool.node(node).speed;
+    let duration_units =
+        base * world.pool.node(node).speed * world.chaos.slow_factor(node, sim.now());
 
     let job = world.jobs.dispatch(task, node, outcome);
     world.pool.node_mut(node).current_job = Some(job);
@@ -268,8 +501,7 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
         state.started_at = Some(sim.now());
     }
 
-    let times_out =
-        outcome == JobOutcome::NoResponse || duration_units > world.cfg.timeout_units;
+    let times_out = outcome == JobOutcome::NoResponse || duration_units > world.cfg.timeout_units;
     let delay = if times_out {
         SimDuration::from_units(world.cfg.timeout_units)
     } else {
@@ -284,11 +516,17 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
 /// Draws a job's outcome from the node's fault parameters, the task's
 /// shock state, and any active regional outage.
 fn draw_outcome(world: &mut World, now: SimTime, task: usize, node: NodeIndex) -> JobOutcome {
+    if world.chaos.blackout_until > now || world.chaos.hang_active(node, now) {
+        return JobOutcome::NoResponse;
+    }
     if !world.region_down_until.is_empty() {
         let region = node % world.region_down_until.len();
         if world.region_down_until[region] > now {
             return JobOutcome::NoResponse;
         }
+    }
+    if world.chaos.is_colluding(node, now) {
+        return JobOutcome::Wrong;
     }
     let n = world.pool.node(node);
     if world.tasks[task].shocked && n.wrong_rate > 0.0 {
@@ -316,16 +554,55 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
     if !world.tasks[t].finished {
         if timed_out {
             world.report.timeouts += 1;
-            match world.cfg.timeout_policy {
-                TimeoutPolicy::CountAsWrong => world.tasks[t].exec.record(false),
-                TimeoutPolicy::Reissue => world.tasks[t].exec.abandon(1),
+            strike_node(world, sim, slot.node);
+            if !retry_job(world, sim, t) {
+                match world.cfg.timeout_policy {
+                    TimeoutPolicy::CountAsWrong => world.tasks[t].exec.record(false),
+                    TimeoutPolicy::Reissue => world.tasks[t].exec.abandon(1),
+                }
+                poll_task(world, sim, t, /* priority = */ true);
             }
         } else {
-            world.tasks[t].exec.record(slot.outcome == JobOutcome::Correct);
+            let correct = slot.outcome == JobOutcome::Correct;
+            world.tasks[t].exec.record(correct);
+            if world.cfg.quarantine.is_some() {
+                world.tasks[t].votes.push((slot.node, correct));
+            }
+            poll_task(world, sim, t, /* priority = */ true);
         }
-        poll_task(world, sim, t, /* priority = */ true);
     }
     pump(world, sim);
+}
+
+/// Schedules a backoff-delayed retry of a timed-out job under the retry
+/// policy, if the task has attempts left. Returns whether a retry was
+/// scheduled (in which case the timeout is hidden from the vote).
+fn retry_job(world: &mut World, sim: &mut Sim, t: usize) -> bool {
+    let Some(policy) = world.cfg.retry else {
+        return false;
+    };
+    let attempt = world.tasks[t].retries;
+    if attempt >= policy.max_retries {
+        return false;
+    }
+    world.tasks[t].retries = attempt + 1;
+    world.report.retries += 1;
+    // Strike the timed-out job from the vote and re-deploy after a
+    // jittered exponential backoff: the delayed poll re-queues one job
+    // with retry priority.
+    world.tasks[t].exec.abandon(1);
+    let delay = backoff_duration(
+        &mut world.rng,
+        policy.base_units,
+        policy.multiplier,
+        attempt,
+        policy.jitter,
+    );
+    sim.schedule_in(delay, move |world, sim| {
+        poll_task(world, sim, t, /* priority = */ true);
+        pump(world, sim);
+    });
+    true
 }
 
 /// Schedules the next regional outage (Poisson process): a random region
@@ -400,9 +677,11 @@ mod tests {
     use super::*;
     use smartred_core::analysis;
     use smartred_core::params::{KVotes, Reliability, VoteMargin};
+    use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
     use smartred_core::strategy::{Iterative, Progressive, Traditional};
 
     use crate::config::ChurnConfig;
+    use crate::faults::FaultPlan;
 
     fn r07() -> Reliability {
         Reliability::new(0.7).unwrap()
@@ -500,8 +779,7 @@ mod tests {
         let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
         assert!(report.timeouts > 0);
         // Timeouts count as wrong votes: effective r ≈ 0.7.
-        let expected =
-            analysis::traditional::reliability(KVotes::new(3).unwrap(), r07());
+        let expected = analysis::traditional::reliability(KVotes::new(3).unwrap(), r07());
         assert!((report.reliability() - expected).abs() < 0.05);
     }
 
@@ -523,10 +801,7 @@ mod tests {
         cfg.job_cap = Some(6);
         let report = run(Rc::new(Iterative::new(VoteMargin::new(5).unwrap())), &cfg).unwrap();
         assert!(report.tasks_capped > 0);
-        assert_eq!(
-            report.tasks_capped + report.tasks_completed,
-            2_000
-        );
+        assert_eq!(report.tasks_capped + report.tasks_completed, 2_000);
     }
 
     #[test]
@@ -631,6 +906,198 @@ mod tests {
         )
         .unwrap();
         assert!(report.cost_factor() > calm.cost_factor());
+    }
+
+    #[test]
+    fn retry_hides_transient_timeouts_from_the_vote() {
+        let mut cfg = DcaConfig::paper_baseline(1_000, 100, 0.0, 20);
+        cfg.pool.unresponsive_rate = 0.2;
+        // Count-as-wrong charges every hang straight to the vote…
+        let base = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        // …retry-with-backoff re-deploys hangs instead of charging them.
+        cfg.retry = Some(RetryPolicy::default());
+        let retried = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(retried.retries > 0);
+        assert!(
+            retried.reliability() > base.reliability(),
+            "retry {} !> base {}",
+            retried.reliability(),
+            base.reliability()
+        );
+        assert!(retried.reliability() > 0.99);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_back_to_timeout_policy() {
+        let mut cfg = DcaConfig::paper_baseline(300, 20, 0.0, 21);
+        cfg.pool.unresponsive_rate = 0.5;
+        cfg.retry = Some(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        // Half the jobs hang; one retry per task cannot absorb them all, so
+        // post-budget timeouts land as wrong votes and cost reliability.
+        assert!(report.retries > 0);
+        assert!(report.reliability() < 1.0);
+        assert_eq!(report.tasks_completed, 300);
+    }
+
+    #[test]
+    fn quarantine_pulls_repeat_offenders_from_the_pool() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 50, 0.0, 22);
+        cfg.pool.unresponsive_rate = 0.3;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 2,
+            quarantine_units: 5.0,
+            blacklist_after: 1_000,
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.quarantines > 0);
+        assert_eq!(report.blacklisted, 0);
+        assert_eq!(report.tasks_completed, 2_000);
+    }
+
+    #[test]
+    fn blacklisting_removes_persistent_hangers() {
+        let mut cfg = DcaConfig::paper_baseline(500, 40, 0.0, 23);
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 1,
+            quarantine_units: 0.5,
+            blacklist_after: 2,
+        });
+        // Node 0 hangs for the whole run: every job it gets times out.
+        cfg.faults = Some(FaultPlan::new().hang_window(0.0, 1e9, 0));
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(
+            report.blacklisted >= 1,
+            "blacklisted {}",
+            report.blacklisted
+        );
+        assert_eq!(report.tasks_completed, 500);
+        assert_eq!(report.reliability(), 1.0);
+    }
+
+    #[test]
+    fn vote_losers_earn_strikes() {
+        // Perfectly reliable except for colluders, so every strike comes
+        // from losing a vote, not from timeouts.
+        let mut cfg = DcaConfig::paper_baseline(2_000, 50, 0.3, 24);
+        cfg.pool.unresponsive_rate = 0.0;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 3,
+            quarantine_units: 2.0,
+            blacklist_after: 1_000,
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(5).unwrap())), &cfg).unwrap();
+        assert_eq!(report.timeouts, 0);
+        assert!(report.quarantines > 0);
+        // Quarantining liars raises reliability over the undisciplined run.
+        let base = run(
+            Rc::new(Traditional::new(KVotes::new(5).unwrap())),
+            &DcaConfig::paper_baseline(2_000, 50, 0.3, 24),
+        )
+        .unwrap();
+        assert!(
+            report.reliability() >= base.reliability(),
+            "disciplined {} < undisciplined {}",
+            report.reliability(),
+            base.reliability()
+        );
+    }
+
+    #[test]
+    fn degraded_accept_converts_capped_tasks_into_confident_verdicts() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 200, 0.5, 8);
+        cfg.job_cap = Some(6);
+        let capped = run(Rc::new(Iterative::new(VoteMargin::new(5).unwrap())), &cfg).unwrap();
+        assert!(capped.tasks_capped > 0);
+        cfg.degraded_accept = true;
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(5).unwrap())), &cfg).unwrap();
+        assert!(report.tasks_degraded > 0);
+        assert!(report.tasks_capped < capped.tasks_capped);
+        assert_eq!(report.tasks_completed + report.tasks_capped, 2_000);
+        let q = report.mean_degraded_confidence();
+        assert!(q > 0.0 && q <= 1.0, "confidence {q}");
+    }
+
+    #[test]
+    fn fault_plan_crashes_depart_nodes_once() {
+        let mut cfg = DcaConfig::paper_baseline(1_000, 50, 0.3, 25);
+        cfg.faults = Some(
+            FaultPlan::new()
+                .crash_at(1.0, 0)
+                .crash_at(1.0, 1)
+                .crash_at(2.0, 0),
+        );
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert_eq!(report.faults_injected, 3);
+        // The second crash of node 0 finds it already gone.
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.tasks_completed, 1_000);
+    }
+
+    #[test]
+    fn blackout_stalls_every_job_in_the_window() {
+        let mut cfg = DcaConfig::paper_baseline(1_000, 100, 0.0, 26);
+        cfg.timeout_policy = TimeoutPolicy::Reissue;
+        cfg.faults = Some(FaultPlan::new().blackout(1.0, 3.0));
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.timeouts > 0);
+        assert_eq!(report.reliability(), 1.0);
+        let calm = run(
+            Rc::new(Traditional::new(KVotes::new(3).unwrap())),
+            &DcaConfig::paper_baseline(1_000, 100, 0.0, 26),
+        )
+        .unwrap();
+        assert_eq!(calm.timeouts, 0);
+    }
+
+    #[test]
+    fn collusion_burst_injects_correlated_wrong_votes() {
+        let mut cfg = DcaConfig::paper_baseline(2_000, 100, 0.0, 27);
+        cfg.faults = Some(FaultPlan::new().collusion_burst(0.5, 5.0, 0.8));
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        // Perfect nodes never lose a vote — only the cartel can.
+        assert!(report.reliability() < 1.0);
+        assert_eq!(report.tasks_completed, 2_000);
+    }
+
+    #[test]
+    fn stragglers_run_into_the_timeout() {
+        let mut cfg = DcaConfig::paper_baseline(500, 10, 0.0, 28);
+        // 50× slowdown pushes durations (0.5–1.5) far past the 3-unit
+        // timeout: every job node 0 receives in the window times out.
+        cfg.faults = Some(FaultPlan::new().straggler(0.0, 1e9, 0, 50.0));
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.timeouts > 0);
+        assert_eq!(report.tasks_completed, 500);
+    }
+
+    #[test]
+    fn chaotic_runs_are_deterministic() {
+        let mut cfg = DcaConfig::paper_baseline(800, 60, 0.3, 29);
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.degraded_accept = true;
+        cfg.job_cap = Some(12);
+        cfg.churn = Some(ChurnConfig {
+            leave_rate: 0.3,
+            join_rate: 0.3,
+        });
+        cfg.faults = Some(
+            FaultPlan::new()
+                .crash_at(1.0, 3)
+                .hang_window(2.0, 4.0, 5)
+                .straggler(1.5, 6.0, 7, 8.0)
+                .collusion_burst(3.0, 2.0, 0.4)
+                .blackout(6.0, 1.0),
+        );
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.faults_injected, 5);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! The chaos acceptance scenario: a run that combines scheduled crashes,
+//! a hang window, a correlated collusion burst, and background churn, with
+//! the full resilience stack (retry-with-backoff, node quarantine, and
+//! graceful degradation) enabled — and must still finish every task and
+//! reproduce bit for bit from its seed.
+
+use std::rc::Rc;
+
+use smartred_core::params::VoteMargin;
+use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
+use smartred_core::strategy::Iterative;
+use smartred_dca::config::{ChurnConfig, DcaConfig};
+use smartred_dca::faults::FaultPlan;
+use smartred_dca::sim::run;
+
+fn chaos_config(seed: u64) -> DcaConfig {
+    let mut cfg = DcaConfig::paper_baseline(2_000, 100, 0.3, seed);
+    cfg.job_cap = Some(15);
+    cfg.retry = Some(RetryPolicy {
+        max_retries: 2,
+        base_units: 0.25,
+        multiplier: 2.0,
+        jitter: 0.25,
+    });
+    cfg.quarantine = Some(QuarantinePolicy {
+        strike_limit: 2,
+        quarantine_units: 4.0,
+        blacklist_after: 5,
+    });
+    cfg.degraded_accept = true;
+    cfg.churn = Some(ChurnConfig {
+        leave_rate: 0.4,
+        join_rate: 0.4,
+    });
+    cfg.faults = Some(
+        FaultPlan::new()
+            .crash_at(1.0, 3)
+            .crash_at(2.5, 17)
+            .hang_window(0.5, 6.0, 8)
+            .straggler(1.0, 8.0, 21, 10.0)
+            .collusion_burst(3.0, 3.0, 0.4)
+            .blackout(7.0, 0.75),
+    );
+    cfg
+}
+
+#[test]
+fn chaos_run_completes_every_task_with_resilience_engaged() {
+    let cfg = chaos_config(4242);
+    let report = run(Rc::new(Iterative::new(VoteMargin::new(4).unwrap())), &cfg).unwrap();
+
+    // Every task reaches a verdict: the job cap plus degraded acceptance
+    // guarantee termination even under crashes, hangs, and collusion.
+    // (Capped tasks are ties with no leader to accept.)
+    assert_eq!(
+        report.tasks_completed + report.tasks_capped,
+        2_000,
+        "no task may be lost or stranded"
+    );
+    assert_eq!(report.tasks_stranded, 0);
+
+    // Each fault-plan entry fired.
+    assert_eq!(report.faults_injected, 6);
+    assert_eq!(report.crashes, 2);
+
+    // The resilience layer visibly engaged.
+    assert!(report.timeouts > 0, "hangs and blackout produce timeouts");
+    assert!(report.retries > 0, "timeouts are retried with backoff");
+    assert!(
+        report.quarantines > 0,
+        "repeat offenders are quarantined (quarantines {})",
+        report.quarantines
+    );
+
+    // Degraded verdicts carry a Bayesian confidence each.
+    if report.tasks_degraded > 0 {
+        assert_eq!(
+            report.degraded_confidence.count(),
+            report.tasks_degraded as u64,
+            "every degraded verdict records its confidence"
+        );
+        let q = report.mean_degraded_confidence();
+        assert!(q > 0.0 && q <= 1.0, "confidence {q}");
+    }
+
+    // Despite the adversity, most verdicts are still correct. The bound is
+    // loose on purpose: while the collusion burst is live, ~40% of the pool
+    // plus the baseline 30% liars can outvote honest nodes on the tasks in
+    // flight, and no redundancy strategy survives a corrupted majority
+    // (§2.2) — the run's reliability reflects the burst's share of the run.
+    assert!(
+        report.reliability() > 0.8,
+        "reliability {}",
+        report.reliability()
+    );
+}
+
+#[test]
+fn chaos_run_reproduces_bit_for_bit() {
+    let cfg = chaos_config(99);
+    let s = || Rc::new(Iterative::new(VoteMargin::new(4).unwrap()));
+    let a = run(s(), &cfg).unwrap();
+    let b = run(s(), &cfg).unwrap();
+    assert_eq!(a, b, "same seed + same fault plan must reproduce exactly");
+}
+
+#[test]
+fn different_seeds_diverge_under_the_same_plan() {
+    // The plan fixes *when* things break; the seed still drives who
+    // colludes, how long jobs take, and the backoff jitter.
+    let s = || Rc::new(Iterative::new(VoteMargin::new(4).unwrap()));
+    let a = run(s(), &chaos_config(1)).unwrap();
+    let b = run(s(), &chaos_config(2)).unwrap();
+    assert_ne!(a, b);
+}

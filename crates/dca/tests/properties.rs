@@ -5,9 +5,13 @@ use std::rc::Rc;
 
 use proptest::prelude::*;
 use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::{Iterative, Progressive, Traditional};
-use smartred_dca::config::DcaConfig;
+use smartred_dca::config::{DcaConfig, PoolConfig};
+use smartred_dca::faults::FaultPlan;
+use smartred_dca::pool::NodePool;
 use smartred_dca::sim::{run, SharedStrategy};
+use smartred_desim::rng::seeded_rng;
 
 fn strategy_for(kind: u8, param: usize) -> SharedStrategy {
     match kind % 3 {
@@ -98,5 +102,79 @@ proptest! {
         let report = run(strategy_for(kind, param), &cfg).unwrap();
         prop_assert!(report.response_time.min() >= 0.5 - 1e-9);
         prop_assert!(report.response_time.max() <= report.makespan_units + 1e-9);
+    }
+
+    /// The node pool's idle-set bookkeeping survives any interleaving of
+    /// churn (depart/join), scheduling (claim/release), and discipline
+    /// (quarantine/unquarantine) operations.
+    #[test]
+    fn pool_invariants_hold_under_churn(
+        ops in proptest::collection::vec((0u8..6, 0usize..1024), 1..200),
+        size in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let cfg = PoolConfig::uniform(size, 0.3);
+        let mut rng = seeded_rng(seed);
+        let mut pool = NodePool::from_config(&cfg, &mut rng);
+        let mut claimed: Vec<usize> = Vec::new();
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    if let Some(n) = pool.claim_random_idle(&[], &mut rng) {
+                        claimed.push(n);
+                    }
+                }
+                1 => {
+                    if !claimed.is_empty() {
+                        let n = claimed.swap_remove(pick % claimed.len());
+                        pool.release(n);
+                    }
+                }
+                2 => {
+                    let _orphan = pool.depart(pick % pool.capacity());
+                }
+                3 => {
+                    pool.spawn_node(&cfg, &mut rng);
+                }
+                4 => pool.quarantine(pick % pool.capacity()),
+                _ => pool.unquarantine(pick % pool.capacity()),
+            }
+            let check = pool.check_invariants();
+            prop_assert!(check.is_ok(), "{}", check.unwrap_err());
+            prop_assert!(pool.idle_count() <= pool.alive_count());
+            prop_assert!(pool.quarantined_count() <= pool.alive_count());
+        }
+    }
+
+    /// A full resilience stack — retry, quarantine, degradation, a fault
+    /// plan, and churn at once — still conserves every task and reproduces
+    /// bit-for-bit from its seed.
+    #[test]
+    fn chaotic_runs_conserve_tasks_and_reproduce(
+        kind in 0u8..3,
+        tasks in 50usize..200,
+        nodes in 10usize..60,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = DcaConfig::paper_baseline(tasks, nodes, 0.3, seed);
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.degraded_accept = true;
+        cfg.job_cap = Some(15);
+        cfg.faults = Some(
+            FaultPlan::new()
+                .crash_at(1.0, (seed as usize) % nodes)
+                .hang_window(0.5, 3.0, (seed as usize + 1) % nodes)
+                .collusion_burst(2.0, 2.0, 0.3)
+                .blackout(4.0, 0.5),
+        );
+        let a = run(strategy_for(kind, 2), &cfg).unwrap();
+        let b = run(strategy_for(kind, 2), &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            a.tasks_completed + a.tasks_capped + a.tasks_stranded,
+            tasks
+        );
+        prop_assert_eq!(a.faults_injected, 4);
     }
 }

@@ -127,7 +127,11 @@ impl<M> Simulator<M> {
     where
         F: FnOnce(&mut M, &mut Simulator<M>) + 'static,
     {
-        assert!(at >= self.now, "cannot schedule at {at} before now {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before now {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Scheduled {

@@ -50,11 +50,45 @@ where
 ///
 /// Panics if the window is inverted or negative.
 pub fn uniform_duration<Rg: Rng + ?Sized>(rng: &mut Rg, lo: f64, hi: f64) -> SimDuration {
-    assert!(lo >= 0.0 && hi >= lo, "invalid duration window [{lo}, {hi}]");
+    assert!(
+        lo >= 0.0 && hi >= lo,
+        "invalid duration window [{lo}, {hi}]"
+    );
     if lo == hi {
         return SimDuration::from_units(lo);
     }
     SimDuration::from_units(rng.gen_range(lo..=hi))
+}
+
+/// Samples a jittered exponential backoff: `base · multiplier^attempt`,
+/// scaled by a uniform draw from `[1 − jitter, 1 + jitter]`.
+///
+/// Deterministic retry schedules synchronize: every job that timed out in
+/// the same outage retries at the same instant and the herd re-collides.
+/// The jitter draw (from the run's seeded stream, so still reproducible)
+/// spreads the retries out.
+///
+/// # Panics
+///
+/// Panics on a non-positive base, a multiplier below 1, or jitter outside
+/// `[0, 1]`.
+pub fn backoff_duration<Rg: Rng + ?Sized>(
+    rng: &mut Rg,
+    base_units: f64,
+    multiplier: f64,
+    attempt: u32,
+    jitter: f64,
+) -> SimDuration {
+    assert!(base_units > 0.0, "backoff base must be positive");
+    assert!(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+    let nominal = base_units * multiplier.powi(attempt.min(i32::MAX as u32) as i32);
+    let scale = if jitter == 0.0 {
+        1.0
+    } else {
+        rng.gen_range(1.0 - jitter..=1.0 + jitter)
+    };
+    SimDuration::from_units(nominal * scale)
 }
 
 #[cfg(test)]
@@ -134,5 +168,35 @@ mod tests {
             let v: u32 = sample(&mut rng, 1..5);
             assert!((1..5).contains(&v));
         }
+    }
+
+    #[test]
+    fn backoff_doubles_without_jitter() {
+        let mut rng = seeded_rng(9);
+        let d0 = backoff_duration(&mut rng, 0.5, 2.0, 0, 0.0);
+        let d2 = backoff_duration(&mut rng, 0.5, 2.0, 2, 0.0);
+        assert_eq!(d0, SimDuration::from_units(0.5));
+        assert_eq!(d2, SimDuration::from_units(2.0));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let mut rng = seeded_rng(10);
+        for attempt in 0..4 {
+            let nominal = 1.0 * 2.0f64.powi(attempt);
+            let d = backoff_duration(&mut rng, 1.0, 2.0, attempt as u32, 0.25);
+            let units = d.as_units();
+            assert!(
+                units >= nominal * 0.75 - 1e-9 && units <= nominal * 1.25 + 1e-9,
+                "attempt {attempt}: {units} outside band around {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be >= 1")]
+    fn backoff_rejects_shrinking_multiplier() {
+        let mut rng = seeded_rng(11);
+        backoff_duration(&mut rng, 1.0, 0.5, 0, 0.0);
     }
 }

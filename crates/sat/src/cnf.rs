@@ -88,7 +88,10 @@ impl Clause {
     /// unsatisfiable and never produced by the generator; constructing one
     /// is a logic error.
     pub fn new(literals: Vec<Lit>) -> Self {
-        assert!(!literals.is_empty(), "clause must have at least one literal");
+        assert!(
+            !literals.is_empty(),
+            "clause must have at least one literal"
+        );
         Self { literals }
     }
 

@@ -159,7 +159,6 @@ pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     ((p - half).max(0.0), (p + half).min(1.0))
 }
 
-
 /// Two-proportion pooled z-statistic for comparing binomial rates (e.g.
 /// the reliabilities of two techniques over many simulated tasks).
 ///
@@ -171,12 +170,7 @@ pub fn binomial_ci(successes: u64, trials: u64, z: f64) -> (f64, f64) {
 /// # Panics
 ///
 /// Panics if successes exceed trials in either sample.
-pub fn two_proportion_z(
-    successes_a: u64,
-    trials_a: u64,
-    successes_b: u64,
-    trials_b: u64,
-) -> f64 {
+pub fn two_proportion_z(successes_a: u64, trials_a: u64, successes_b: u64, trials_b: u64) -> f64 {
     assert!(successes_a <= trials_a, "sample A successes exceed trials");
     assert!(successes_b <= trials_b, "sample B successes exceed trials");
     if trials_a == 0 || trials_b == 0 {
@@ -185,8 +179,7 @@ pub fn two_proportion_z(
     let pa = successes_a as f64 / trials_a as f64;
     let pb = successes_b as f64 / trials_b as f64;
     let pooled = (successes_a + successes_b) as f64 / (trials_a + trials_b) as f64;
-    let se =
-        (pooled * (1.0 - pooled) * (1.0 / trials_a as f64 + 1.0 / trials_b as f64)).sqrt();
+    let se = (pooled * (1.0 - pooled) * (1.0 / trials_a as f64 + 1.0 / trials_b as f64)).sqrt();
     if se == 0.0 {
         return 0.0;
     }
@@ -209,7 +202,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Population variance 4 → sample variance 32/7.
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);

@@ -108,7 +108,7 @@ mod tests {
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, two rows
-        // All lines align to the same width.
+                                    // All lines align to the same width.
         assert_eq!(lines[0].len(), lines[2].len());
         assert_eq!(lines[2].len(), lines[3].len());
     }

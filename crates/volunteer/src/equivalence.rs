@@ -61,7 +61,9 @@ impl EpsilonGrid {
     /// Returns an error if `epsilon` is not finite and positive.
     pub fn new(epsilon: f64) -> Result<Self, String> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(format!("epsilon must be finite and positive, got {epsilon}"));
+            return Err(format!(
+                "epsilon must be finite and positive, got {epsilon}"
+            ));
         }
         Ok(Self { epsilon })
     }
@@ -176,7 +178,11 @@ mod tests {
         move |n| {
             (0..n)
                 .map(|_| {
-                    let base = if rng.gen_bool(reliability) { truth } else { wrong };
+                    let base = if rng.gen_bool(reliability) {
+                        truth
+                    } else {
+                        wrong
+                    };
                     base + rng.gen_range(-1e-9..1e-9)
                 })
                 .collect()
@@ -207,11 +213,7 @@ mod tests {
         let grid = EpsilonGrid::new(1e-6).unwrap();
         let strategy = Iterative::new(VoteMargin::new(4).unwrap());
         let truth = std::f64::consts::SQRT_2;
-        let outcome = run_classified(
-            &strategy,
-            &grid,
-            jittery_oracle(truth, -1.0, 0.9, &mut rng),
-        );
+        let outcome = run_classified(&strategy, &grid, jittery_oracle(truth, -1.0, 0.9, &mut rng));
         assert!((outcome.raw - truth).abs() < 1e-6);
         assert!(outcome.jobs >= 4);
     }
@@ -223,11 +225,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let grid = EpsilonGrid::new(1e-6).unwrap();
         let strategy = Iterative::new(VoteMargin::new(3).unwrap());
-        let outcome = run_classified(
-            &strategy,
-            &grid,
-            jittery_oracle(2.0, -1.0, 0.05, &mut rng),
-        );
+        let outcome = run_classified(&strategy, &grid, jittery_oracle(2.0, -1.0, 0.05, &mut rng));
         assert!((outcome.raw - (-1.0)).abs() < 1e-6);
     }
 
@@ -241,17 +239,11 @@ mod tests {
         let fine = EpsilonGrid::new(1e-12).unwrap();
 
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let outcome_coarse = run_classified(
-            &strategy,
-            &coarse,
-            jittery_oracle(2.0, -1.0, 1.0, &mut rng),
-        );
+        let outcome_coarse =
+            run_classified(&strategy, &coarse, jittery_oracle(2.0, -1.0, 1.0, &mut rng));
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let outcome_fine = run_classified(
-            &strategy,
-            &fine,
-            jittery_oracle(2.0, -1.0, 1.0, &mut rng),
-        );
+        let outcome_fine =
+            run_classified(&strategy, &fine, jittery_oracle(2.0, -1.0, 1.0, &mut rng));
         assert_eq!(outcome_coarse.jobs, 2, "coarse grid converges immediately");
         assert!(
             outcome_fine.jobs > outcome_coarse.jobs,

@@ -14,9 +14,10 @@ use std::rc::Rc;
 use rand::Rng;
 use smartred_core::error::ParamError;
 use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::resilience::{DisciplineAction, NodeDiscipline, QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
-use smartred_desim::rng::{seeded_rng, SimRng};
+use smartred_desim::rng::{backoff_duration, seeded_rng, SimRng};
 use smartred_desim::time::{SimDuration, SimTime};
 use smartred_sat::assignment::decompose;
 use smartred_sat::gen::{random_3sat, ThreeSatConfig};
@@ -76,6 +77,14 @@ pub struct VolunteerConfig {
     pub scheduler: SchedulerPolicy,
     /// Optional per-workunit job cap.
     pub job_cap: Option<usize>,
+    /// Optional retry-with-backoff policy for deadline misses: the miss is
+    /// hidden from the vote and the job re-deployed after a jittered
+    /// exponential backoff, up to the policy's budget.
+    pub retry: Option<RetryPolicy>,
+    /// Optional host discipline: hosts that repeatedly miss deadlines are
+    /// quarantined (pulled from the scheduler), and repeat offenders are
+    /// blacklisted permanently.
+    pub quarantine: Option<QuarantinePolicy>,
     /// Root seed.
     pub seed: u64,
 }
@@ -95,6 +104,8 @@ impl VolunteerConfig {
             deadline_policy: DeadlinePolicy::CountAsWrong,
             scheduler: SchedulerPolicy::default(),
             job_cap: None,
+            retry: None,
+            quarantine: None,
             seed,
         }
     }
@@ -129,6 +140,12 @@ impl VolunteerConfig {
         if !(self.deadline_units.is_finite() && self.deadline_units > 0.0) {
             return fail("deadline_units", self.deadline_units, "positive");
         }
+        if let Some(retry) = &self.retry {
+            retry.validate()?;
+        }
+        if let Some(quarantine) = &self.quarantine {
+            quarantine.validate()?;
+        }
         Ok(())
     }
 }
@@ -148,6 +165,14 @@ pub struct DeploymentReport {
     pub response_time: Summary,
     /// Jobs that missed the deadline.
     pub timeouts: u64,
+    /// Deadline misses retried with backoff instead of being charged to
+    /// the vote.
+    pub retries: u64,
+    /// Quarantines imposed on hosts that repeatedly missed deadlines.
+    pub quarantines: u64,
+    /// Hosts permanently removed from the scheduler after repeated
+    /// quarantines.
+    pub blacklisted: u64,
     /// Whether the generated instance is satisfiable (ground truth via
     /// DPLL).
     pub instance_satisfiable: bool,
@@ -191,6 +216,8 @@ struct WuState {
     used_hosts: Vec<usize>,
     started_at: Option<SimTime>,
     finished: bool,
+    /// Deadline misses retried with backoff so far (`retry` policy).
+    retries: u32,
 }
 
 struct JobSlot {
@@ -210,9 +237,16 @@ struct World {
     rng: SimRng,
     total_jobs: u64,
     timeouts: u64,
+    retries: u64,
+    quarantines: u64,
+    blacklisted: u64,
     unfinished: usize,
     /// Per-workunit response time in units, filled at finalization.
     response_units: Vec<f64>,
+    /// Per-host strike/quarantine counters (`quarantine` policy).
+    discipline: Vec<NodeDiscipline>,
+    /// Hosts currently out of the scheduler (quarantined or blacklisted).
+    quarantined: Vec<bool>,
 }
 
 type Sim = Simulator<World>;
@@ -242,7 +276,10 @@ type Sim = Simulator<World>;
 /// assert_eq!(report.verdicts.len(), 140);
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
-pub fn run(strategy: SharedStrategy, config: &VolunteerConfig) -> Result<DeploymentReport, ParamError> {
+pub fn run(
+    strategy: SharedStrategy,
+    config: &VolunteerConfig,
+) -> Result<DeploymentReport, ParamError> {
     config.validate()?;
     let mut rng = seeded_rng(config.seed);
 
@@ -278,6 +315,7 @@ pub fn run(strategy: SharedStrategy, config: &VolunteerConfig) -> Result<Deploym
                 used_hosts: Vec::new(),
                 started_at: None,
                 finished: false,
+                retries: 0,
             }
         })
         .collect();
@@ -302,8 +340,13 @@ pub fn run(strategy: SharedStrategy, config: &VolunteerConfig) -> Result<Deploym
         rng,
         total_jobs: 0,
         timeouts: 0,
+        retries: 0,
+        quarantines: 0,
+        blacklisted: 0,
         unfinished: config.tasks,
         response_units: vec![0.0; config.tasks],
+        discipline: vec![NodeDiscipline::default(); config.hosts],
+        quarantined: vec![false; config.hosts],
     };
     let mut sim = Sim::new();
 
@@ -355,6 +398,9 @@ pub fn run(strategy: SharedStrategy, config: &VolunteerConfig) -> Result<Deploym
         jobs_per_task,
         response_time,
         timeouts: world.timeouts,
+        retries: world.retries,
+        quarantines: world.quarantines,
+        blacklisted: world.blacklisted,
         instance_satisfiable,
         reported_satisfiable: if all_completed { Some(any_true) } else { None },
     })
@@ -420,9 +466,7 @@ fn claim_host(world: &mut World, wu: usize) -> Option<usize> {
         // multiplier); the random pick above only serves as a fallback.
         let mut best_speed = world.hosts[world.idle[pos]].speed;
         for (i, &candidate) in world.idle.iter().enumerate() {
-            if (waive || !used.contains(&candidate))
-                && world.hosts[candidate].speed < best_speed
-            {
+            if (waive || !used.contains(&candidate)) && world.hosts[candidate].speed < best_speed {
                 best_speed = world.hosts[candidate].speed;
                 pos = i;
             }
@@ -455,8 +499,7 @@ fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
     if state.started_at.is_none() {
         state.started_at = Some(sim.now());
     }
-    let times_out =
-        behavior == HostBehavior::Hung || duration_units > world.cfg.deadline_units;
+    let times_out = behavior == HostBehavior::Hung || duration_units > world.cfg.deadline_units;
     let delay = if times_out {
         SimDuration::from_units(world.cfg.deadline_units)
     } else {
@@ -475,15 +518,21 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
         (slot.wu, slot.host, slot.behavior)
     };
     world.hosts[host].busy = false;
-    world.idle.push(host);
+    if !world.quarantined[host] {
+        world.idle.push(host);
+    }
     if !world.wus[wu].finished {
         let truth = world.wus[wu].wu.truth;
         if timed_out {
             world.timeouts += 1;
-            match world.cfg.deadline_policy {
-                // The colluding wrong value is the negated truth.
-                DeadlinePolicy::CountAsWrong => world.wus[wu].exec.record(!truth),
-                DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
+            strike_host(world, sim, host);
+            if !retry_workunit(world, sim, wu) {
+                match world.cfg.deadline_policy {
+                    // The colluding wrong value is the negated truth.
+                    DeadlinePolicy::CountAsWrong => world.wus[wu].exec.record(!truth),
+                    DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
+                }
+                poll_workunit(world, sim, wu, true);
             }
         } else {
             let value = match behavior {
@@ -492,10 +541,78 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
                 HostBehavior::Hung => unreachable!("hangs resolve via timeout"),
             };
             world.wus[wu].exec.record(value);
+            poll_workunit(world, sim, wu, true);
         }
-        poll_workunit(world, sim, wu, true);
     }
     pump(world, sim);
+}
+
+/// Schedules a backoff-delayed retry of a missed deadline under the retry
+/// policy, if the workunit has attempts left. Returns whether a retry was
+/// scheduled (in which case the miss is hidden from the vote).
+fn retry_workunit(world: &mut World, sim: &mut Sim, wu: usize) -> bool {
+    let Some(policy) = world.cfg.retry else {
+        return false;
+    };
+    let attempt = world.wus[wu].retries;
+    if attempt >= policy.max_retries {
+        return false;
+    }
+    world.wus[wu].retries = attempt + 1;
+    world.retries += 1;
+    world.wus[wu].exec.abandon(1);
+    let delay = backoff_duration(
+        &mut world.rng,
+        policy.base_units,
+        policy.multiplier,
+        attempt,
+        policy.jitter,
+    );
+    sim.schedule_in(delay, move |world, sim| {
+        poll_workunit(world, sim, wu, /* priority = */ true);
+        pump(world, sim);
+    });
+    true
+}
+
+/// Registers a deadline-miss strike against a host and applies the
+/// quarantine policy's discipline. Blacklisting is a quarantine that is
+/// never lifted.
+fn strike_host(world: &mut World, sim: &mut Sim, host: usize) {
+    let Some(policy) = world.cfg.quarantine else {
+        return;
+    };
+    match world.discipline[host].strike(&policy) {
+        DisciplineAction::None => {}
+        DisciplineAction::Quarantine => {
+            world.quarantines += 1;
+            quarantine_host(world, host);
+            sim.schedule_in(
+                SimDuration::from_units(policy.quarantine_units),
+                move |world, sim| {
+                    world.quarantined[host] = false;
+                    if !world.hosts[host].busy {
+                        world.idle.push(host);
+                    }
+                    pump(world, sim);
+                },
+            );
+        }
+        DisciplineAction::Blacklist => {
+            world.blacklisted += 1;
+            quarantine_host(world, host);
+        }
+    }
+}
+
+fn quarantine_host(world: &mut World, host: usize) {
+    if world.quarantined[host] {
+        return;
+    }
+    world.quarantined[host] = true;
+    if let Some(pos) = world.idle.iter().position(|&h| h == host) {
+        world.idle.swap_remove(pos);
+    }
 }
 
 fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
@@ -605,7 +722,10 @@ mod tests {
         // the computation-level answer is usually right — and when it is,
         // it must equal DPLL's.
         if report.computation_correct() {
-            assert_eq!(report.reported_satisfiable, Some(report.instance_satisfiable));
+            assert_eq!(
+                report.reported_satisfiable,
+                Some(report.instance_satisfiable)
+            );
         }
     }
 
@@ -624,9 +744,63 @@ mod tests {
         let mut cfg = small_config(10);
         cfg.job_cap = Some(4);
         let report = run(Rc::new(Iterative::new(VoteMargin::new(6).unwrap())), &cfg).unwrap();
-        let incomplete = report.verdicts.iter().filter(|v| v.accepted.is_none()).count();
+        let incomplete = report
+            .verdicts
+            .iter()
+            .filter(|v| v.accepted.is_none())
+            .count();
         assert!(incomplete > 0);
         assert_eq!(report.reported_satisfiable, None);
+    }
+
+    #[test]
+    fn retry_hides_deadline_misses_from_the_vote() {
+        let mut cfg = small_config(30);
+        cfg.retry = Some(RetryPolicy::default());
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.retries > 0, "default profile has 2% hangs");
+        assert!(report.verdicts.iter().all(|v| v.accepted.is_some()));
+        // Hidden misses mean re-deployed jobs: cost exceeds plain k.
+        assert!(report.cost_factor() > 3.0);
+    }
+
+    #[test]
+    fn quarantine_disciplines_hosts_that_miss_deadlines() {
+        let mut cfg = small_config(31);
+        cfg.profile.unresponsive_rate = 0.3;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 2,
+            quarantine_units: 3.0,
+            blacklist_after: 1_000,
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.quarantines > 0);
+        assert_eq!(report.blacklisted, 0);
+        assert!(report.verdicts.iter().all(|v| v.accepted.is_some()));
+    }
+
+    #[test]
+    fn repeat_offenders_get_blacklisted() {
+        let mut cfg = small_config(32);
+        cfg.profile.unresponsive_rate = 0.1;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 1,
+            quarantine_units: 1.0,
+            blacklist_after: 1,
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.blacklisted > 0);
+    }
+
+    #[test]
+    fn resilient_deployments_are_deterministic() {
+        let mut cfg = small_config(33);
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

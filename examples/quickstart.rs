@@ -41,9 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MonteCarloConfig::new(100_000, r);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2011);
     for (name, report) in [
-        ("traditional k=19", estimate(&Traditional::new(k), config, &mut rng)),
-        ("progressive k=19", estimate(&Progressive::new(k), config, &mut rng)),
-        ("iterative   d=4 ", estimate(&Iterative::new(d), config, &mut rng)),
+        (
+            "traditional k=19",
+            estimate(&Traditional::new(k), config, &mut rng),
+        ),
+        (
+            "progressive k=19",
+            estimate(&Progressive::new(k), config, &mut rng),
+        ),
+        (
+            "iterative   d=4 ",
+            estimate(&Iterative::new(d), config, &mut rng),
+        ),
     ] {
         println!(
             "  {name}: cost {:>6.3}  reliability {:.4}  (max jobs on one task: {})",

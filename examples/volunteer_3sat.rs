@@ -29,10 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = run(Rc::new(Iterative::new(d)), &config)?;
 
-    println!("deployment finished in {:.1} simulated time units", report.completion_units);
+    println!(
+        "deployment finished in {:.1} simulated time units",
+        report.completion_units
+    );
     println!("  workunits      : {}", report.verdicts.len());
     println!("  total jobs     : {}", report.total_jobs);
-    println!("  cost factor    : {:.2} jobs/workunit", report.cost_factor());
+    println!(
+        "  cost factor    : {:.2} jobs/workunit",
+        report.cost_factor()
+    );
     println!("  task reliability: {:.4}", report.reliability());
     println!("  deadline misses: {}", report.timeouts);
     println!(

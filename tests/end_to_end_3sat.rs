@@ -42,7 +42,10 @@ fn distributed_answer_matches_dpll() {
         let mut cfg = VolunteerConfig::paper_deployment(12, 500 + seed);
         cfg.hosts = 80;
         let report = run(Rc::new(Iterative::new(VoteMargin::new(8).unwrap())), &cfg).unwrap();
-        assert!(report.reported_satisfiable.is_some(), "all workunits complete");
+        assert!(
+            report.reported_satisfiable.is_some(),
+            "all workunits complete"
+        );
         if report.computation_correct() {
             correct += 1;
         }

@@ -57,12 +57,18 @@ fn section42_iterative_improvement_shape() {
     let sweep = improvement_sweep(k19(), 0.6, 0.995, 80, MarginMatch::Nearest).unwrap();
     let ratios: Vec<f64> = sweep.iter().map(|i| i.ir_ratio()).collect();
     let peak = ratios.iter().cloned().fold(f64::MIN, f64::max);
-    let peak_r = sweep[ratios.iter().position(|&v| v == peak).unwrap()].r.get();
+    let peak_r = sweep[ratios.iter().position(|&v| v == peak).unwrap()]
+        .r
+        .get();
     assert!((2.4..=3.2).contains(&peak), "IR peak {peak}");
     assert!((0.78..=0.97).contains(&peak_r), "IR peak location {peak_r}");
     // Better than ~1.4x across the whole plotted range (paper: ≥ 1.6 with
     // its own matching).
-    assert!(ratios.iter().all(|&v| v > 1.35), "IR min {:?}", ratios.iter().cloned().fold(f64::MAX, f64::min));
+    assert!(
+        ratios.iter().all(|&v| v > 1.35),
+        "IR min {:?}",
+        ratios.iter().cloned().fold(f64::MAX, f64::min)
+    );
     // The tail after the peak declines.
     assert!(*ratios.last().unwrap() < peak - 0.1);
 }
@@ -135,7 +141,10 @@ fn section52_wave_bounds() {
             Poll::Pending => unreachable!(),
         }
     }
-    assert!(waves >= 40, "IR wave count should be unbounded; got {waves}");
+    assert!(
+        waves >= 40,
+        "IR wave count should be unbounded; got {waves}"
+    );
 }
 
 /// §3.3 (optimality): iterative redundancy achieves any target reliability
@@ -167,10 +176,10 @@ fn section33_cost_optimality_at_k19() {
 /// response time (§5.2).
 #[test]
 fn section42_makespan_ordering() {
-    use std::rc::Rc;
     use smartred::core::strategy::{Iterative, Progressive, Traditional};
     use smartred::dca::config::DcaConfig;
     use smartred::dca::sim::run;
+    use std::rc::Rc;
 
     let cfg = DcaConfig::paper_baseline(10_000, 200, 0.3, 61);
     let k = k19();
@@ -186,6 +195,10 @@ fn section42_makespan_ordering() {
     );
     // Under task-heavy load all three keep the pool saturated (§5.2).
     for report in [&tr, &pr, &ir] {
-        assert!(report.utilization() > 0.95, "utilization {}", report.utilization());
+        assert!(
+            report.utilization() > 0.95,
+            "utilization {}",
+            report.utilization()
+        );
     }
 }

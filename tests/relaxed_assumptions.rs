@@ -72,7 +72,10 @@ fn sequence_order_brackets_mean_cost() {
     good_first.extend(vec![0.5; 9]);
     let mut bad_first = vec![0.5; 9];
     bad_first.extend(vec![0.9; 10]);
-    let mean = traditional::reliability(k, Reliability::new(0.9 * 10.0 / 19.0 + 0.5 * 9.0 / 19.0).unwrap());
+    let mean = traditional::reliability(
+        k,
+        Reliability::new(0.9 * 10.0 / 19.0 + 0.5 * 9.0 / 19.0).unwrap(),
+    );
 
     let cheap = progressive_cost(k, &good_first).unwrap();
     let dear = progressive_cost(k, &bad_first).unwrap();

@@ -1,0 +1,239 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the surface this workspace's benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size` and
+//! `throughput`), `Bencher::{iter, iter_batched}`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of upstream's statistical analysis, each benchmark is warmed
+//! up briefly and then timed over a fixed wall-clock budget; the mean
+//! iteration time (and derived throughput, when configured) is printed.
+//! Good enough for relative comparisons in an offline container; not a
+//! substitute for real criterion runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub use std::hint::black_box;
+
+/// How much per-iteration setup data to batch in [`Bencher::iter_batched`].
+///
+/// The shim runs one setup per iteration regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; upstream batches many per allocation.
+    SmallInput,
+    /// Setup output is large; upstream batches few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing state handed to each benchmark closure.
+pub struct Bencher {
+    measure: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(measure: Duration) -> Self {
+        Self {
+            measure,
+            total: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few iterations untimed.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iterations == 0 {
+            println!("{name:<50} (no iterations)");
+            return;
+        }
+        let per_iter = self.total / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+        let mut line = format!(
+            "{name:<50} {per_iter:>12.2?}/iter  ({} iters)",
+            self.iterations
+        );
+        if let Some(tp) = throughput {
+            let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.0} B/s", n as f64 / secs));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// The benchmark manager: entry point mirroring upstream `Criterion`.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measure);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is wall-clock
+    /// based, so the sample count does not change measurement.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.criterion.measure);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_smoke, tiny);
+
+    #[test]
+    fn group_runs() {
+        // Keep the test fast: shrink the measurement budget.
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+        };
+        tiny(&mut c);
+        let _ = shim_smoke; // macro output compiles
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! range/bool/`any`/`collection::vec` strategies, and the
+//! `prop_assert*`/[`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (each sampled binding is formatted into the failure), but is
+//!   not minimized.
+//! * **Deterministic.** Cases derive from a per-test seed (FNV-1a of the
+//!   test path) rather than OS entropy, so `cargo test` is reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = ChaCha8Rng;
+
+pub mod test_runner {
+    //! Test-runner configuration and control-flow types.
+
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases each test must run.
+        pub cases: u32,
+    }
+
+    /// The name upstream exports in its prelude.
+    pub use Config as ProptestConfig;
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Marker returned by [`crate::prop_assume!`] when a case is rejected.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// FNV-1a hash of a test path — the per-test base seed.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The RNG for one case of one test.
+    pub fn case_rng(base: u64, case: u64) -> super::TestRng {
+        super::TestRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges.
+
+    use super::TestRng;
+    use rand::distributions::uniform::{SampleRange, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + Clone + std::fmt::Debug,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + Clone + std::fmt::Debug,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyStrategy<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the "natural" strategy per type.
+
+    use super::strategy::AnyStrategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// The fair-coin strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test; the failure message names
+/// the condition and any formatted context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Rejects the current case (it does not count toward the case budget)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, flip in proptest::bool::ANY) {
+///         prop_assert!(x < 100 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($p:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __base = $crate::test_runner::name_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u64 = 0;
+                while __accepted < __config.cases {
+                    assert!(
+                        __attempts < u64::from(__config.cases) * 16 + 1024,
+                        "prop_assume rejected too many cases ({} attempts)",
+                        __attempts
+                    );
+                    let mut __rng = $crate::test_runner::case_rng(__base, __attempts);
+                    __attempts += 1;
+                    // The closure gives `prop_assume!` an early-return
+                    // channel (`Err(Rejected)`) out of the case body.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $(let $p = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if __outcome.is_ok() {
+                        __accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..10, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn assume_filters_cases(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_compiles(flip in crate::bool::ANY, v in crate::collection::vec(any::<bool>(), 3)) {
+            prop_assert_eq!(v.len(), 3);
+            let _ = flip;
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = crate::collection::vec(0u8..5, 2..9);
+        let mut rng = crate::test_runner::case_rng(1, 0);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..=8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let strat = 0u64..1_000_000;
+        let a: Vec<u64> = {
+            let mut rng = crate::test_runner::case_rng(9, 3);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::test_runner::case_rng(9, 3);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x < 2, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

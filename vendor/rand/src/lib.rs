@@ -1,0 +1,454 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! This workspace builds in hermetic environments with no registry access,
+//! so the external `rand` dependency is replaced by this vendored shim. It
+//! implements exactly the surface the workspace uses — [`Rng`]
+//! (`gen`/`gen_range`/`gen_bool`), [`SeedableRng`], the [`distributions`]
+//! and [`distributions::uniform`] traits, and
+//! [`seq::SliceRandom::choose_multiple`] — with unbiased integer sampling
+//! (Lemire's multiply-shift rejection) and 53-bit-precision floats.
+//!
+//! Output streams are *not* byte-compatible with upstream `rand`; every
+//! consumer in this workspace seeds its own generators, so only internal
+//! determinism and statistical quality matter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// The low-level generator interface: a source of uniform random words.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p = {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same expansion
+    /// scheme `rand_core` uses) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut state = state;
+        let mut splitmix = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions: [`Standard`] and the [`uniform`] machinery.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution per type: full range for
+    /// integers, `[0, 1)` for floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform bits scaled into [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),+ $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    pub mod uniform {
+        //! Uniform sampling over ranges, mirroring `rand`'s
+        //! `SampleUniform`/`SampleRange` split so generic call sites
+        //! (`fn f<T: SampleUniform, R: SampleRange<T>>`) port unchanged.
+
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Samples uniformly from `[low, high)` (`inclusive = false`)
+            /// or `[low, high]` (`inclusive = true`).
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// Range types usable with [`super::super::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Draws one sample from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {:?}..{:?}",
+                    self.start,
+                    self.end
+                );
+                T::sample_uniform(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample empty range {low:?}..={high:?}");
+                T::sample_uniform(rng, low, high, true)
+            }
+        }
+
+        /// Unbiased `[0, span)` via Lemire's multiply-shift rejection.
+        fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            let threshold = span.wrapping_neg() % span; // (2^64 - span) mod span
+            loop {
+                let m = u128::from(rng.next_u64()) * u128::from(span);
+                if m as u64 >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),+ $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        // Offset arithmetic in u64 handles signed types too.
+                        let span = (high as u64).wrapping_sub(low as u64);
+                        let span = if inclusive { span.wrapping_add(1) } else { span };
+                        if span == 0 {
+                            // Inclusive over the full domain: any word works.
+                            return rng.next_u64() as $t;
+                        }
+                        low.wrapping_add(uniform_below(rng, span) as $t)
+                    }
+                }
+            )+};
+        }
+
+        impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_uniform_float {
+            ($($t:ty => $unit:ident),+ $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        assert!(low.is_finite() && high.is_finite(),
+                            "cannot sample non-finite range [{low}, {high}]");
+                        if low == high {
+                            return low;
+                        }
+                        loop {
+                            let u = $unit(rng);
+                            let v = low + u * (high - low);
+                            // FP rounding can land exactly on `high`; retry
+                            // for half-open ranges (probability ~0).
+                            if inclusive || v < high {
+                                return v;
+                            }
+                        }
+                    }
+                }
+            )+};
+        }
+
+        fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+
+        impl_uniform_float!(f64 => unit_f64, f32 => unit_f32);
+    }
+}
+
+pub mod seq {
+    //! Sequence sampling helpers.
+
+    use super::distributions::uniform::SampleUniform;
+    use super::{Rng, RngCore};
+
+    /// Random sampling from slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Chooses `amount` distinct elements uniformly without
+        /// replacement, in random order. If `amount` exceeds the slice
+        /// length, every element is returned once.
+        fn choose_multiple<'a, R: RngCore + ?Sized>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<'a, R: RngCore + ?Sized>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index vector.
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = usize::sample_uniform(rng, i, indices.len(), false);
+                indices.swap(i, j);
+            }
+            indices
+                .into_iter()
+                .take(amount)
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+
+    /// Returns a uniformly random index below `len` (helper used by tests).
+    pub fn index<R: Rng + ?Sized>(rng: &mut R, len: usize) -> usize {
+        rng.gen_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// A tiny xorshift for self-tests (the real workspace generator lives
+    /// in the vendored `rand_chacha`).
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    impl SeedableRng for XorShift {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            XorShift(u64::from_le_bytes(seed).max(1))
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = XorShift::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.5f64..=1.5);
+            assert!((0.5..=1.5).contains(&f));
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = XorShift::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let frac = f64::from(c) / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn unit_floats_have_correct_mean() {
+        let mut rng = XorShift::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = XorShift::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = XorShift::seed_from_u64(1);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_in_range() {
+        let mut rng = XorShift::seed_from_u64(11);
+        let pool: Vec<u32> = (0..20).collect();
+        for _ in 0..1_000 {
+            let mut picked: Vec<u32> = pool.choose_multiple(&mut rng, 3).copied().collect();
+            assert_eq!(picked.len(), 3);
+            picked.sort_unstable();
+            picked.dedup();
+            assert_eq!(picked.len(), 3, "choose_multiple repeated an element");
+        }
+        // Oversized requests return the whole slice.
+        assert_eq!(pool.choose_multiple(&mut rng, 99).count(), 20);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut rng = XorShift::seed_from_u64(13);
+        // Must not hang or panic on the span-overflow path.
+        let _: u64 = u64::sample_uniform(&mut rng, 0, u64::MAX, true);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = XorShift::seed_from_u64(9);
+        let mut b = XorShift::seed_from_u64(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
