@@ -13,13 +13,13 @@
 
 use std::rc::Rc;
 
-use rand::SeedableRng;
-use smartred_core::monte_carlo::{estimate, MonteCarloConfig};
+use smartred_core::monte_carlo::{estimate_par, MonteCarloConfig};
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{Confidence, KVotes, Reliability, VoteMargin};
 use smartred_core::reputation::{ReputationConfig, ReputationStore};
 use smartred_core::strategy::{
     AdaptiveReplication, CredibilityVoting, Decision, Iterative, IterativeComplex,
-    RedundancyStrategy, Traditional,
+    RedundancyStrategy,
 };
 use smartred_core::tally::VoteTally;
 use smartred_dca::config::{DcaConfig, FailureConfig, ReliabilityProfile};
@@ -27,7 +27,14 @@ use smartred_dca::sim::run as run_dca;
 use smartred_stats::Table;
 use smartred_volunteer::campaign::{run_campaign, AttackModel, CampaignConfig, Validator};
 
+use crate::StrategySpec;
+
 /// A1: simple vs. complex iterative algorithm under identical randomness.
+///
+/// Both estimates run through the parallel Monte-Carlo engine with the same
+/// master seed, so every task `i` sees the same vote sequence under both
+/// algorithms (counter-based per-task streams) — the comparison is exact,
+/// not statistical, and independent of the worker count.
 pub fn simple_vs_complex() -> Table {
     let r = Reliability::new(0.7).expect("valid");
     let target = Confidence::new(0.96).expect("valid");
@@ -43,18 +50,20 @@ pub fn simple_vs_complex() -> Table {
     for (name, report) in [
         (
             "simple (Fig. 4)",
-            estimate(
+            estimate_par(
                 &simple,
                 MonteCarloConfig::new(100_000, r),
-                &mut rand_chacha::ChaCha8Rng::seed_from_u64(11),
+                11,
+                Threads::Auto,
             ),
         ),
         (
             "complex (q-based)",
-            estimate(
+            estimate_par(
                 &complex,
                 MonteCarloConfig::new(100_000, r),
-                &mut rand_chacha::ChaCha8Rng::seed_from_u64(11),
+                11,
+                Threads::Auto,
             ),
         ),
     ] {
@@ -98,8 +107,19 @@ impl<V: Ord + Clone> RedundancyStrategy<V> for OneAtATime {
 pub fn wave_granularity() -> Table {
     let d = VoteMargin::new(4).expect("d");
     let cfg = DcaConfig::paper_baseline(10_000, 2_000, 0.3, 21);
-    let waves = run_dca(Rc::new(Iterative::new(d)), &cfg).expect("valid");
-    let single = run_dca(Rc::new(OneAtATime { d }), &cfg).expect("valid");
+    // The two variants are independent simulations of the same config, so
+    // they run on separate workers; strategies are built inside the worker
+    // because the simulator's `Rc` handles are not `Send`.
+    let mut reports = parallel::map_indexed(2, Threads::Auto, |i| {
+        let strategy: Rc<dyn RedundancyStrategy<bool>> = if i == 0 {
+            Rc::new(Iterative::new(d))
+        } else {
+            Rc::new(OneAtATime { d })
+        };
+        run_dca(strategy, &cfg).expect("valid")
+    });
+    let single = reports.pop().expect("two reports");
+    let waves = reports.pop().expect("two reports");
 
     let mut table = Table::new(vec![
         "deployment granularity".into(),
@@ -138,7 +158,13 @@ pub fn baselines_under_attack() -> Table {
         ),
         ("identity-churn", AttackModel::IdentityChurn),
     ];
-    for (attack_name, attack) in attacks {
+    // One campaign per (attack, validator) pair; each is seeded
+    // identically to the old sequential loop, so the fan-out only changes
+    // wall-clock time. Validators hold reputation state, so each worker
+    // builds its own from the pair index.
+    const VALIDATORS: usize = 4;
+    let rows = parallel::map_indexed(attacks.len() * VALIDATORS, Threads::Auto, |i| {
+        let (attack_name, attack) = attacks[i / VALIDATORS];
         let cfg = CampaignConfig {
             tasks: 2_000,
             nodes: 200,
@@ -147,14 +173,14 @@ pub fn baselines_under_attack() -> Table {
             attack,
             seed: 31,
         };
-        let validators = [
-            Validator::Oblivious(Iterative::new(VoteMargin::new(4).expect("d"))),
-            Validator::Adaptive(AdaptiveReplication::new(
+        let validator = match i % VALIDATORS {
+            0 => Validator::Oblivious(Iterative::new(VoteMargin::new(4).expect("d"))),
+            1 => Validator::Adaptive(AdaptiveReplication::new(
                 Iterative::new(VoteMargin::new(4).expect("d")),
                 ReputationStore::new(ReputationConfig::default()),
                 5,
             )),
-            Validator::Credibility {
+            2 => Validator::Credibility {
                 voting: CredibilityVoting::new(
                     ReputationStore::new(ReputationConfig::default()),
                     Confidence::new(0.97).expect("valid"),
@@ -165,21 +191,22 @@ pub fn baselines_under_attack() -> Table {
             // reliability. Note how it *loses* to node-blind IR under
             // trust-earning (its likelihood model is wrong for time-varying
             // behavior) — perfect-but-stale information is fragile.
-            Validator::WeightedOracle {
+            _ => Validator::WeightedOracle {
                 target: Confidence::new(0.99).expect("valid"),
             },
-        ];
-        for validator in validators {
-            let report = run_campaign(validator, cfg);
-            table.push_row(vec![
-                report.validator.into(),
-                attack_name.into(),
-                format!("{:.4}", report.reliability()),
-                format!("{:.2}", report.cost_factor()),
-                report.spot_check_jobs.to_string(),
-                report.rebirths.to_string(),
-            ]);
-        }
+        };
+        let report = run_campaign(validator, cfg);
+        vec![
+            report.validator.into(),
+            attack_name.into(),
+            format!("{:.4}", report.reliability()),
+            format!("{:.2}", report.cost_factor()),
+            report.spot_check_jobs.to_string(),
+            report.rebirths.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -187,7 +214,6 @@ pub fn baselines_under_attack() -> Table {
 /// A4: relaxing the §2.3 assumptions in the DCA simulation.
 pub fn relaxed_assumptions() -> Table {
     let d = VoteMargin::new(4).expect("d");
-    let strategy = || -> Rc<dyn RedundancyStrategy<bool>> { Rc::new(Iterative::new(d)) };
     let tasks = 20_000;
     let nodes = 1_000;
 
@@ -224,50 +250,60 @@ pub fn relaxed_assumptions() -> Table {
         "reliability".into(),
         "note".into(),
     ]);
-    for (name, cfg, note) in [
-        ("uniform r=0.7 (baseline)", &uniform, "assumptions 1–3 hold"),
+    let ir = StrategySpec::Iterative(d);
+    // The last row repeats the shock scenario under traditional redundancy
+    // for comparison ("no technique recovers a shocked task").
+    let tr = StrategySpec::Traditional(KVotes::new(9).expect("odd"));
+    let entries: Vec<(&'static str, &DcaConfig, &'static str, StrategySpec)> = vec![
+        (
+            "uniform r=0.7 (baseline)",
+            &uniform,
+            "assumptions 1–3 hold",
+            ir,
+        ),
         (
             "heterogeneous (±0.25 spread)",
             &spread,
             "same mean r; §5.3: formulas with mean r still apply",
+            ir,
         ),
         (
             "colluding cartel (30% always-wrong)",
             &cartel,
             "same mean r; §2.2 worst case",
+            ir,
         ),
         (
             "common shock 5%",
             &shocked,
             "correlated failures defeat any redundancy (§2.2)",
+            ir,
         ),
         (
             "regional outages (8 regions)",
             &regional,
             "geographic correlation shows up as timeout bursts (§5.3)",
+            ir,
         ),
-    ] {
-        let report = run_dca(strategy(), cfg).expect("valid");
-        table.push_row(vec![
+        (
+            "common shock 5% (TR k=9)",
+            &shocked,
+            "no technique recovers a shocked task",
+            tr,
+        ),
+    ];
+    let rows = parallel::map_slice(&entries, Threads::Auto, |_, &(name, cfg, note, spec)| {
+        let report = run_dca(spec.build(), cfg).expect("valid");
+        vec![
             name.into(),
             format!("{:.3}", report.cost_factor()),
             format!("{:.4}", report.reliability()),
             note.into(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
-
-    // Traditional redundancy under the same shock, for comparison.
-    let tr = run_dca(
-        Rc::new(Traditional::new(KVotes::new(9).expect("odd"))),
-        &shocked,
-    )
-    .expect("valid");
-    table.push_row(vec![
-        "common shock 5% (TR k=9)".into(),
-        format!("{:.3}", tr.cost_factor()),
-        format!("{:.4}", tr.reliability()),
-        "no technique recovers a shocked task".into(),
-    ]);
     table
 }
 
@@ -290,26 +326,35 @@ pub fn churn() -> Table {
         "timeouts".into(),
         "departures".into(),
     ]);
-    for &rate in &[0.0, 2.0, 8.0] {
-        for policy in [TimeoutPolicy::CountAsWrong, TimeoutPolicy::Reissue] {
-            let mut cfg = DcaConfig::paper_baseline(20_000, 500, 0.3, 51);
-            cfg.timeout_policy = policy;
-            if rate > 0.0 {
-                cfg.churn = Some(ChurnConfig {
-                    leave_rate: rate,
-                    join_rate: rate,
-                });
-            }
-            let report = run_dca(Rc::new(Iterative::new(d)), &cfg).expect("valid");
-            table.push_row(vec![
-                format!("{rate:.1}"),
-                format!("{policy:?}"),
-                format!("{:.3}", report.cost_factor()),
-                format!("{:.4}", report.reliability()),
-                report.timeouts.to_string(),
-                report.departures.to_string(),
-            ]);
+    let units: Vec<(f64, TimeoutPolicy)> = [0.0, 2.0, 8.0]
+        .iter()
+        .flat_map(|&rate| {
+            [TimeoutPolicy::CountAsWrong, TimeoutPolicy::Reissue]
+                .into_iter()
+                .map(move |policy| (rate, policy))
+        })
+        .collect();
+    let rows = parallel::map_slice(&units, Threads::Auto, |_, &(rate, policy)| {
+        let mut cfg = DcaConfig::paper_baseline(20_000, 500, 0.3, 51);
+        cfg.timeout_policy = policy;
+        if rate > 0.0 {
+            cfg.churn = Some(ChurnConfig {
+                leave_rate: rate,
+                join_rate: rate,
+            });
         }
+        let report = run_dca(Rc::new(Iterative::new(d)), &cfg).expect("valid");
+        vec![
+            format!("{rate:.1}"),
+            format!("{policy:?}"),
+            format!("{:.3}", report.cost_factor()),
+            format!("{:.4}", report.reliability()),
+            report.timeouts.to_string(),
+            report.departures.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

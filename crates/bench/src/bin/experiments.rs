@@ -1,9 +1,9 @@
 //! Regenerates the paper's figures as plain-text tables.
 //!
 //! ```text
-//! experiments <id> [--full]
+//! experiments <id> [--full] [--csv]
 //!
-//! ids: fig3 | fig5a | fig5b | fig5c | fig6 | worked-examples |
+//! ids: fig3 | fig5a | fig5b | fig5c | fig6 | sweep | worked-examples |
 //!      ablation-simple-vs-complex | ablation-waves |
 //!      ablation-baselines | ablation-relaxed | all
 //! ```
@@ -11,14 +11,24 @@
 //! `--full` runs at the paper's scale (10⁶ tasks / 10⁴ nodes simulations,
 //! 22-variable deployments) and takes minutes; the default is a reduced
 //! scale that shows every trend in seconds.
+//!
+//! `--csv` emits each table as CSV without section banners — machine
+//! parseable and byte-deterministic, which is what the CI determinism job
+//! diffs across `SMARTRED_THREADS` settings.
+//!
+//! `sweep` is the parallel Monte-Carlo sweep over the Figure 5(a) grid;
+//! its output is identical for every `SMARTRED_THREADS` value.
 
-use smartred_bench::{ablations, fig3, fig5a, fig5b, fig5c, fig6, worked, Scale};
+use smartred_bench::{ablations, fig3, fig5a, fig5b, fig5c, fig6, sweep, worked, Scale};
+use smartred_core::parallel::Threads;
+use smartred_stats::Table;
 
 const SEED: u64 = 20110620; // ICDCS 2011 opening day
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
     let scale = if full { Scale::Full } else { Scale::Quick };
     let id = args
         .iter()
@@ -32,6 +42,7 @@ fn main() {
         "fig5b",
         "fig5c",
         "fig6",
+        "sweep",
         "worked-examples",
         "ablation-simple-vs-complex",
         "ablation-waves",
@@ -46,58 +57,89 @@ fn main() {
     }
 
     let run = |target: &str| id == "all" || id == target;
+    let emit = |title: &str, table: &Table| {
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("\n=== {title} ===\n");
+            print!("{table}");
+        }
+    };
 
     if run("worked-examples") {
-        section("Worked examples (§3; k = 19, r = 0.7, d = 4)");
-        print!("{}", worked::table());
+        emit(
+            "Worked examples (§3; k = 19, r = 0.7, d = 4)",
+            &worked::table(),
+        );
     }
     if run("fig3") {
-        section("Figure 3 — analytic reliability vs. cost factor (r = 0.7)");
-        print!("{}", fig3::table());
+        emit(
+            "Figure 3 — analytic reliability vs. cost factor (r = 0.7)",
+            &fig3::table(),
+        );
     }
     if run("fig5a") {
-        section("Figure 5(a) — discrete-event simulation (r = 0.7)");
-        print!("{}", fig5a::table(scale, SEED));
+        emit(
+            "Figure 5(a) — discrete-event simulation (r = 0.7)",
+            &fig5a::table(scale, SEED),
+        );
     }
     if run("fig5b") {
-        section("Figure 5(b) — volunteer-computing deployment (PlanetLab profile)");
-        print!("{}", fig5b::table(scale, SEED));
+        emit(
+            "Figure 5(b) — volunteer-computing deployment (PlanetLab profile)",
+            &fig5b::table(scale, SEED),
+        );
     }
     if run("fig5c") {
-        section("Figure 5(c) — improvement over traditional redundancy vs. r (k = 19)");
-        print!("{}", fig5c::table(if full { 95 } else { 48 }));
-        section("Figure 5(c) cross-check — analytic vs. simulated ratios");
-        print!(
-            "{}",
-            fig5c::simulated_check(scale.sim_tasks() / 2, scale.sim_nodes(), SEED)
+        emit(
+            "Figure 5(c) — improvement over traditional redundancy vs. r (k = 19)",
+            &fig5c::table(if full { 95 } else { 48 }),
+        );
+        emit(
+            "Figure 5(c) cross-check — analytic vs. simulated ratios",
+            &fig5c::simulated_check(scale.sim_tasks() / 2, scale.sim_nodes(), SEED),
         );
     }
     if run("fig6") {
-        section("Figure 6 — average response time vs. cost factor (r = 0.7)");
-        print!("{}", fig6::table(scale, SEED));
+        emit(
+            "Figure 6 — average response time vs. cost factor (r = 0.7)",
+            &fig6::table(scale, SEED),
+        );
+    }
+    if run("sweep") {
+        emit(
+            "Parallel Monte-Carlo sweep — Figure 5(a) grid (r = 0.7)",
+            &sweep::table(scale.sim_tasks(), 0.7, SEED, Threads::Auto),
+        );
     }
     if run("ablation-simple-vs-complex") {
-        section("Ablation A1 — simple (Fig. 4) vs. complex iterative algorithm");
-        print!("{}", ablations::simple_vs_complex());
+        emit(
+            "Ablation A1 — simple (Fig. 4) vs. complex iterative algorithm",
+            &ablations::simple_vs_complex(),
+        );
     }
     if run("ablation-waves") {
-        section("Ablation A2 — wave deployment vs. one job at a time");
-        print!("{}", ablations::wave_granularity());
+        emit(
+            "Ablation A2 — wave deployment vs. one job at a time",
+            &ablations::wave_granularity(),
+        );
     }
     if run("ablation-baselines") {
-        section("Ablation A3 — reliability-estimating baselines under attack (§5.1)");
-        print!("{}", ablations::baselines_under_attack());
+        emit(
+            "Ablation A3 — reliability-estimating baselines under attack (§5.1)",
+            &ablations::baselines_under_attack(),
+        );
     }
     if run("ablation-relaxed") {
-        section("Ablation A4 — relaxed assumptions (§5.3)");
-        print!("{}", ablations::relaxed_assumptions());
+        emit(
+            "Ablation A4 — relaxed assumptions (§5.3)",
+            &ablations::relaxed_assumptions(),
+        );
     }
     if run("ablation-churn") {
-        section("Ablation A5 — node churn (Fig. 1 join/leave arrows)");
-        print!("{}", ablations::churn());
+        emit(
+            "Ablation A5 — node churn (Fig. 1 join/leave arrows)",
+            &ablations::churn(),
+        );
     }
-}
-
-fn section(title: &str) {
-    println!("\n=== {title} ===\n");
 }

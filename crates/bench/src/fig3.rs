@@ -6,8 +6,11 @@
 //! reliability.
 
 use smartred_core::analysis::{iterative, progressive, traditional};
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
 use smartred_stats::Table;
+
+use crate::StrategySpec;
 
 /// One point of a Figure 3 series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,32 +32,33 @@ pub struct Point {
 /// Panics if `r` is not a valid probability (callers pass constants).
 pub fn series(r: f64, max_k: usize, max_d: usize) -> Vec<Point> {
     let r = Reliability::new(r).expect("valid reliability");
-    let mut points = Vec::new();
+    let mut specs = Vec::new();
     for k in (1..=max_k).step_by(2) {
         let k_votes = KVotes::new(k).expect("odd k");
-        points.push(Point {
-            technique: "TR",
-            param: k,
-            cost: traditional::cost(k_votes),
-            reliability: traditional::reliability(k_votes, r),
-        });
-        points.push(Point {
-            technique: "PR",
-            param: k,
-            cost: progressive::cost_series(k_votes, r),
-            reliability: progressive::reliability(k_votes, r),
-        });
+        specs.push(StrategySpec::Traditional(k_votes));
+        specs.push(StrategySpec::Progressive(k_votes));
     }
     for d in 1..=max_d {
-        let margin = VoteMargin::new(d).expect("d >= 1");
-        points.push(Point {
-            technique: "IR",
-            param: d,
-            cost: iterative::cost(margin, r),
-            reliability: iterative::reliability(margin, r),
-        });
+        specs.push(StrategySpec::Iterative(VoteMargin::new(d).expect("d >= 1")));
     }
-    points
+    // Each point is a pure function of its spec, so the analytic series
+    // fans out across workers and reassembles in the original order.
+    parallel::map_slice(&specs, Threads::Auto, |_, spec| {
+        let (cost, reliability) = match *spec {
+            StrategySpec::Traditional(k) => (traditional::cost(k), traditional::reliability(k, r)),
+            StrategySpec::Progressive(k) => (
+                progressive::cost_series(k, r),
+                progressive::reliability(k, r),
+            ),
+            StrategySpec::Iterative(d) => (iterative::cost(d, r), iterative::reliability(d, r)),
+        };
+        Point {
+            technique: spec.label(),
+            param: spec.param(),
+            cost,
+            reliability,
+        }
+    })
 }
 
 /// Renders the Figure 3 table (the paper plots these points for

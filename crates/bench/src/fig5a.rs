@@ -5,16 +5,14 @@
 //! `U[0.5, 1.5]` and mean node reliability 0.7 (§4.1). Each configuration
 //! here is one `smartred-dca` run; the `Full` scale matches those numbers.
 
-use std::rc::Rc;
-
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{KVotes, VoteMargin};
-use smartred_core::strategy::{Iterative, Progressive, Traditional};
 use smartred_dca::config::DcaConfig;
 use smartred_dca::metrics::DcaReport;
-use smartred_dca::sim::{run, SharedStrategy};
+use smartred_dca::sim::run;
 use smartred_stats::{binomial_ci, Table};
 
-use crate::Scale;
+use crate::{Scale, StrategySpec};
 
 /// One simulated configuration.
 #[derive(Debug, Clone)]
@@ -28,39 +26,42 @@ pub struct SimPoint {
 }
 
 /// The configurations the figure sweeps.
-pub fn configurations() -> Vec<(&'static str, usize, SharedStrategy)> {
-    let mut configs: Vec<(&'static str, usize, SharedStrategy)> = Vec::new();
+pub fn configurations() -> Vec<StrategySpec> {
+    let mut configs = Vec::new();
     for k in [3usize, 5, 9, 13, 19] {
         let kv = KVotes::new(k).expect("odd");
-        configs.push(("TR", k, Rc::new(Traditional::new(kv))));
-        configs.push(("PR", k, Rc::new(Progressive::new(kv))));
+        configs.push(StrategySpec::Traditional(kv));
+        configs.push(StrategySpec::Progressive(kv));
     }
     for d in 1..=6usize {
-        let margin = VoteMargin::new(d).expect("d >= 1");
-        configs.push(("IR", d, Rc::new(Iterative::new(margin))));
+        configs.push(StrategySpec::Iterative(VoteMargin::new(d).expect("d >= 1")));
     }
     configs
 }
 
-/// Runs every configuration at the given scale.
+/// Runs every configuration at the given scale, fanning the configurations
+/// across worker threads.
+///
+/// Each configuration's simulation is seeded from `seed` and its own
+/// parameters only, so the output is identical for any worker count
+/// (including the sequential path) — the CI determinism job relies on this.
 pub fn simulate(scale: Scale, seed: u64) -> Vec<SimPoint> {
-    configurations()
-        .into_iter()
-        .map(|(technique, param, strategy)| {
-            let cfg = DcaConfig::paper_baseline(
-                scale.sim_tasks(),
-                scale.sim_nodes(),
-                0.3,
-                seed ^ (param as u64) << 8 ^ technique.len() as u64,
-            );
-            let report = run(strategy, &cfg).expect("valid config");
-            SimPoint {
-                technique,
-                param,
-                report,
-            }
-        })
-        .collect()
+    let configs = configurations();
+    parallel::map_slice(&configs, Threads::Auto, |_, spec| {
+        let (technique, param) = (spec.label(), spec.param());
+        let cfg = DcaConfig::paper_baseline(
+            scale.sim_tasks(),
+            scale.sim_nodes(),
+            0.3,
+            seed ^ (param as u64) << 8 ^ technique.len() as u64,
+        );
+        let report = run(spec.build(), &cfg).expect("valid config");
+        SimPoint {
+            technique,
+            param,
+            report,
+        }
+    })
 }
 
 /// Renders the Figure 5(a) table.
@@ -110,16 +111,19 @@ mod tests {
         let r = Reliability::new(0.7).unwrap();
         let points: Vec<SimPoint> = configurations()
             .into_iter()
-            .filter(|(technique, param, _)| {
+            .filter(|spec| {
                 // Keep the test fast: one config per technique.
-                matches!((*technique, *param), ("TR", 9) | ("PR", 9) | ("IR", 4))
+                matches!(
+                    (spec.label(), spec.param()),
+                    ("TR", 9) | ("PR", 9) | ("IR", 4)
+                )
             })
-            .map(|(technique, param, strategy)| {
-                let cfg = DcaConfig::paper_baseline(15_000, 300, 0.3, 99 + param as u64);
+            .map(|spec| {
+                let cfg = DcaConfig::paper_baseline(15_000, 300, 0.3, 99 + spec.param() as u64);
                 SimPoint {
-                    technique,
-                    param,
-                    report: run(strategy, &cfg).expect("valid config"),
+                    technique: spec.label(),
+                    param: spec.param(),
+                    report: run(spec.build(), &cfg).expect("valid config"),
                 }
             })
             .collect();

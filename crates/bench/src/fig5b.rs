@@ -6,15 +6,13 @@
 //! effective node reliability of 0.64 < r < 0.67 (§4.2). This module does
 //! the same, including the inference step.
 
-use std::rc::Rc;
-
 use smartred_core::analysis::inference;
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{KVotes, VoteMargin};
-use smartred_core::strategy::{Iterative, Progressive, Traditional};
 use smartred_stats::{Summary, Table};
-use smartred_volunteer::server::{run, SharedStrategy, VolunteerConfig};
+use smartred_volunteer::server::{run, VolunteerConfig};
 
-use crate::Scale;
+use crate::{Scale, StrategySpec};
 
 /// Averaged deployment results for one configuration.
 #[derive(Debug, Clone)]
@@ -33,36 +31,54 @@ pub struct DeployPoint {
 }
 
 /// The deployed configurations.
-pub fn configurations() -> Vec<(&'static str, usize, SharedStrategy)> {
-    let mut configs: Vec<(&'static str, usize, SharedStrategy)> = Vec::new();
+pub fn configurations() -> Vec<StrategySpec> {
+    let mut configs = Vec::new();
     for k in [3usize, 9, 19] {
         let kv = KVotes::new(k).expect("odd");
-        configs.push(("TR", k, Rc::new(Traditional::new(kv))));
-        configs.push(("PR", k, Rc::new(Progressive::new(kv))));
+        configs.push(StrategySpec::Traditional(kv));
+        configs.push(StrategySpec::Progressive(kv));
     }
     for d in [2usize, 4, 6] {
-        let margin = VoteMargin::new(d).expect("d >= 1");
-        configs.push(("IR", d, Rc::new(Iterative::new(margin))));
+        configs.push(StrategySpec::Iterative(VoteMargin::new(d).expect("d >= 1")));
     }
     configs
 }
 
 /// Runs every configuration `scale.deployment_runs()` times with distinct
 /// seeds and aggregates.
+///
+/// The unit of parallelism is one deployment execution — `configurations ×
+/// runs` independent units — so even a single configuration's repeats
+/// spread across workers. Each unit's seed depends only on `seed`, the run
+/// index, and the configuration parameter (the exact formula predates the
+/// parallel engine), and the per-configuration summaries are folded from
+/// the results in run-index order, so the aggregates are bit-identical for
+/// any worker count.
 pub fn deploy(scale: Scale, seed: u64) -> Vec<DeployPoint> {
-    configurations()
-        .into_iter()
-        .map(|(technique, param, strategy)| {
+    let configs = configurations();
+    let runs = scale.deployment_runs();
+    let units: Vec<(StrategySpec, usize)> = configs
+        .iter()
+        .flat_map(|&spec| (0..runs).map(move |run_idx| (spec, run_idx)))
+        .collect();
+    let outcomes = parallel::map_slice(&units, Threads::Auto, |_, &(spec, run_idx)| {
+        let cfg = VolunteerConfig::paper_deployment(
+            scale.sat_vars(),
+            seed.wrapping_mul(1000) + run_idx as u64 * 31 + spec.param() as u64,
+        );
+        let report = run(spec.build(), &cfg).expect("valid config");
+        (report.cost_factor(), report.reliability())
+    });
+    configs
+        .iter()
+        .enumerate()
+        .map(|(cfg_idx, spec)| {
+            let (technique, param) = (spec.label(), spec.param());
             let mut cost = Summary::new();
             let mut reliability = Summary::new();
-            for run_idx in 0..scale.deployment_runs() {
-                let cfg = VolunteerConfig::paper_deployment(
-                    scale.sat_vars(),
-                    seed.wrapping_mul(1000) + run_idx as u64 * 31 + param as u64,
-                );
-                let report = run(strategy.clone(), &cfg).expect("valid config");
-                cost.record(report.cost_factor());
-                reliability.record(report.reliability());
+            for &(c, rel) in &outcomes[cfg_idx * runs..(cfg_idx + 1) * runs] {
+                cost.record(c);
+                reliability.record(rel);
             }
             let inferred_r = match (technique, param) {
                 ("IR", d) => inference::reliability_from_iterative_cost(

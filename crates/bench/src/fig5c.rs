@@ -8,16 +8,16 @@
 //! as `r → 1`, IR ≥ 1.6× near `r = 0.6`, an interior IR peak ≈ 2.8×
 //! around `r ≈ 0.86`, and ≈ 2.4× as `r → 1`.
 
-use std::rc::Rc;
-
 use smartred_core::analysis::improvement::{
     improvement, improvement_sweep, Improvement, MarginMatch,
 };
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{KVotes, Reliability};
-use smartred_core::strategy::{Iterative, Traditional};
 use smartred_dca::config::DcaConfig;
 use smartred_dca::sim::run as run_dca;
 use smartred_stats::Table;
+
+use crate::StrategySpec;
 
 /// The sweep behind the figure: `r ∈ [0.525, 0.995]`.
 pub fn sweep(points: usize) -> Vec<Improvement> {
@@ -68,19 +68,26 @@ pub fn simulated_check(tasks: usize, nodes: usize, seed: u64) -> Table {
         "IR gain (analytic)".into(),
         "IR gain (simulated)".into(),
     ]);
-    for &r in &[0.65, 0.75, 0.86, 0.95] {
+    // Each probed reliability is an independent pair of simulations with a
+    // seed that does not depend on the worker, so the fan-out is
+    // deterministic for any thread count.
+    let probes = [0.65, 0.75, 0.86, 0.95];
+    let rows = parallel::map_slice(&probes, Threads::Auto, |_, &r| {
         let rel = Reliability::new(r).expect("valid");
         let imp = improvement(k, rel, MarginMatch::Nearest).expect("r in range");
         let cfg = DcaConfig::paper_baseline(tasks, nodes, 1.0 - r, seed);
-        let tr = run_dca(Rc::new(Traditional::new(k)), &cfg).expect("valid");
-        let ir = run_dca(Rc::new(Iterative::new(imp.d)), &cfg).expect("valid");
+        let tr = run_dca(StrategySpec::Traditional(k).build(), &cfg).expect("valid");
+        let ir = run_dca(StrategySpec::Iterative(imp.d).build(), &cfg).expect("valid");
         let simulated = tr.cost_factor() / ir.cost_factor();
-        table.push_row(vec![
+        vec![
             format!("{r:.2}"),
             imp.d.get().to_string(),
             format!("{:.2}", imp.ir_ratio()),
             format!("{simulated:.2}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

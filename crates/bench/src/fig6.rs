@@ -7,17 +7,15 @@
 //! wave-DP expectations from `smartred-core::analysis` are printed — the
 //! two should agree, which cross-validates both.
 
-use std::rc::Rc;
-
 use smartred_core::analysis::response::{expected_max_uniform, DEFAULT_JOB_DURATION};
 use smartred_core::analysis::{iterative, progressive};
+use smartred_core::parallel::{self, Threads};
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
-use smartred_core::strategy::{Iterative, Progressive, Traditional};
 use smartred_dca::config::DcaConfig;
-use smartred_dca::sim::{run, SharedStrategy};
+use smartred_dca::sim::run;
 use smartred_stats::Table;
 
-use crate::Scale;
+use crate::{Scale, StrategySpec};
 
 /// One response-time observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,41 +52,37 @@ fn analytic(technique: &str, param: usize, r: Reliability) -> f64 {
     }
 }
 
-/// Simulates the Figure 6 configurations at `r = 0.7`.
+/// Simulates the Figure 6 configurations at `r = 0.7`, fanning the
+/// configurations across worker threads (each seeded independently of the
+/// worker, so the output is thread-count invariant).
 pub fn simulate(scale: Scale, seed: u64) -> Vec<ResponsePoint> {
     let r = Reliability::new(0.7).expect("valid");
-    let mut configs: Vec<(&'static str, usize, SharedStrategy)> = Vec::new();
+    let mut configs = Vec::new();
     for k in [3usize, 9, 19, 25] {
         let kv = KVotes::new(k).expect("odd");
-        configs.push(("TR", k, Rc::new(Traditional::new(kv))));
-        configs.push(("PR", k, Rc::new(Progressive::new(kv))));
+        configs.push(StrategySpec::Traditional(kv));
+        configs.push(StrategySpec::Progressive(kv));
     }
     for d in [2usize, 4, 6, 8, 10] {
-        configs.push((
-            "IR",
-            d,
-            Rc::new(Iterative::new(VoteMargin::new(d).expect("d"))),
-        ));
+        configs.push(StrategySpec::Iterative(VoteMargin::new(d).expect("d")));
     }
-    configs
-        .into_iter()
-        .map(|(technique, param, strategy)| {
-            // Plenty of nodes relative to tasks in flight keeps queueing
-            // delay out of the measurement, isolating wave latency — the
-            // quantity Figure 6 plots.
-            let tasks = scale.sim_tasks() / 4;
-            let nodes = scale.sim_nodes().max(tasks / 20);
-            let cfg = DcaConfig::paper_baseline(tasks, nodes, 0.3, seed + param as u64);
-            let report = run(strategy, &cfg).expect("valid config");
-            ResponsePoint {
-                technique,
-                param,
-                cost: report.cost_factor(),
-                simulated_response: report.mean_response(),
-                analytic_response: analytic(technique, param, r),
-            }
-        })
-        .collect()
+    parallel::map_slice(&configs, Threads::Auto, |_, spec| {
+        let (technique, param) = (spec.label(), spec.param());
+        // Plenty of nodes relative to tasks in flight keeps queueing
+        // delay out of the measurement, isolating wave latency — the
+        // quantity Figure 6 plots.
+        let tasks = scale.sim_tasks() / 4;
+        let nodes = scale.sim_nodes().max(tasks / 20);
+        let cfg = DcaConfig::paper_baseline(tasks, nodes, 0.3, seed + param as u64);
+        let report = run(spec.build(), &cfg).expect("valid config");
+        ResponsePoint {
+            technique,
+            param,
+            cost: report.cost_factor(),
+            simulated_response: report.mean_response(),
+            analytic_response: analytic(technique, param, r),
+        }
+    })
 }
 
 /// Renders the Figure 6 table.

@@ -18,13 +18,99 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+use std::rc::Rc;
+
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Decision, Iterative, Progressive, RedundancyStrategy, Traditional};
+use smartred_core::tally::VoteTally;
+
 pub mod ablations;
 pub mod fig3;
 pub mod fig5a;
 pub mod fig5b;
 pub mod fig5c;
 pub mod fig6;
+pub mod sweep;
 pub mod worked;
+
+/// A value-type description of one benchmark configuration: which technique
+/// at which parameter.
+///
+/// The simulators take `Rc<dyn RedundancyStrategy>` handles, which are not
+/// `Send`, so the parallel fan-out in the figure modules ships these specs
+/// to the workers and materializes the strategy inside each worker with
+/// [`build`](Self::build). The spec also implements [`RedundancyStrategy`]
+/// directly (the three techniques are stateless, so delegation costs one
+/// constructor call per decision), which lets it feed
+/// `smartred_core::monte_carlo::sweep` without boxing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Traditional redundancy at `k` votes.
+    Traditional(KVotes),
+    /// Progressive redundancy at `k` votes.
+    Progressive(KVotes),
+    /// Iterative redundancy at margin `d`.
+    Iterative(VoteMargin),
+}
+
+impl StrategySpec {
+    /// The figure label ("TR", "PR", "IR").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategySpec::Traditional(_) => "TR",
+            StrategySpec::Progressive(_) => "PR",
+            StrategySpec::Iterative(_) => "IR",
+        }
+    }
+
+    /// The technique parameter (`k` or `d`).
+    pub fn param(&self) -> usize {
+        match self {
+            StrategySpec::Traditional(k) | StrategySpec::Progressive(k) => k.get(),
+            StrategySpec::Iterative(d) => d.get(),
+        }
+    }
+
+    /// Materializes the strategy as the shared handle the discrete-event
+    /// and volunteer simulators expect.
+    pub fn build(&self) -> Rc<dyn RedundancyStrategy<bool>> {
+        match *self {
+            StrategySpec::Traditional(k) => Rc::new(Traditional::new(k)),
+            StrategySpec::Progressive(k) => Rc::new(Progressive::new(k)),
+            StrategySpec::Iterative(d) => Rc::new(Iterative::new(d)),
+        }
+    }
+}
+
+impl<V: Ord + Clone> RedundancyStrategy<V> for StrategySpec {
+    fn name(&self) -> &'static str {
+        match *self {
+            StrategySpec::Traditional(k) => RedundancyStrategy::<V>::name(&Traditional::new(k)),
+            StrategySpec::Progressive(k) => RedundancyStrategy::<V>::name(&Progressive::new(k)),
+            StrategySpec::Iterative(d) => RedundancyStrategy::<V>::name(&Iterative::new(d)),
+        }
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        match *self {
+            StrategySpec::Traditional(k) => Traditional::new(k).decide(tally),
+            StrategySpec::Progressive(k) => Progressive::new(k).decide(tally),
+            StrategySpec::Iterative(d) => Iterative::new(d).decide(tally),
+        }
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        match *self {
+            StrategySpec::Traditional(k) => {
+                RedundancyStrategy::<V>::job_bound(&Traditional::new(k))
+            }
+            StrategySpec::Progressive(k) => {
+                RedundancyStrategy::<V>::job_bound(&Progressive::new(k))
+            }
+            StrategySpec::Iterative(d) => RedundancyStrategy::<V>::job_bound(&Iterative::new(d)),
+        }
+    }
+}
 
 /// Experiment scale: `Quick` finishes in seconds for CI and default runs;
 /// `Full` approaches the paper's scale (10⁶ tasks / 10⁴ nodes for the

@@ -1,0 +1,130 @@
+//! The parallel Monte-Carlo sweep behind the determinism CI job and the
+//! `parallel_sweep` timed example.
+//!
+//! One call fans the full Figure 5(a)-sized technique grid (TR/PR at
+//! `k ∈ {3, 5, 9, 13, 19}`, IR at `d ∈ 1..=6`) through
+//! `smartred_core::monte_carlo::sweep`. The engine's determinism contract
+//! — per-task counter-based RNG streams plus exact integer merges — makes
+//! the output (and therefore [`table`]'s CSV rendering) **byte-identical
+//! for every thread count**, which CI checks by diffing the CSV generated
+//! at `SMARTRED_THREADS=1` against `SMARTRED_THREADS=8`.
+
+use smartred_core::monte_carlo::{sweep, MonteCarloConfig, MonteCarloReport, SweepSpec};
+use smartred_core::parallel::Threads;
+use smartred_core::params::Reliability;
+use smartred_stats::{binomial_ci, Table};
+
+use crate::StrategySpec;
+
+/// The technique grid of the sweep — the Figure 5(a) configurations.
+pub fn grid() -> Vec<StrategySpec> {
+    crate::fig5a::configurations()
+}
+
+/// Runs every grid configuration for `tasks` Monte-Carlo tasks at node
+/// reliability `r`, fanned across `threads` workers.
+///
+/// # Panics
+///
+/// Panics if `r` is not a valid probability (callers pass constants).
+pub fn monte_carlo(
+    tasks: usize,
+    r: f64,
+    master_seed: u64,
+    threads: Threads,
+) -> Vec<(StrategySpec, MonteCarloReport)> {
+    let r = Reliability::new(r).expect("valid reliability");
+    let specs: Vec<SweepSpec<StrategySpec>> = grid()
+        .into_iter()
+        .map(|strategy| SweepSpec {
+            strategy,
+            config: MonteCarloConfig::new(tasks, r),
+        })
+        .collect();
+    let reports = sweep(&specs, master_seed, threads);
+    specs
+        .into_iter()
+        .map(|spec| spec.strategy)
+        .zip(reports)
+        .collect()
+}
+
+/// Renders the sweep as a table; `to_csv` on the result is the artifact
+/// the CI determinism job diffs across thread counts.
+pub fn table(tasks: usize, r: f64, master_seed: u64, threads: Threads) -> Table {
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "param".into(),
+        "tasks".into(),
+        "cost factor".into(),
+        "reliability".into(),
+        "95% CI".into(),
+        "mean waves".into(),
+        "max jobs/task".into(),
+    ]);
+    for (spec, report) in monte_carlo(tasks, r, master_seed, threads) {
+        let (lo, hi) = binomial_ci(
+            report.correct_tasks as u64,
+            (report.tasks - report.capped_tasks) as u64,
+            1.96,
+        );
+        table.push_row(vec![
+            spec.label().into(),
+            spec.param().to_string(),
+            report.tasks.to_string(),
+            format!("{:.6}", report.cost_factor()),
+            format!("{:.6}", report.reliability()),
+            format!("[{lo:.6}, {hi:.6}]"),
+            format!("{:.4}", report.mean_waves()),
+            report.max_jobs_single_task.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_is_identical_across_thread_counts() {
+        let one = table(2_000, 0.7, 7, Threads::fixed(1)).to_csv();
+        for workers in [2usize, 8] {
+            let many = table(2_000, 0.7, 7, Threads::fixed(workers)).to_csv();
+            assert_eq!(one, many, "CSV differs at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn sweep_tracks_analysis() {
+        use smartred_core::analysis::{iterative, traditional};
+        let r = Reliability::new(0.7).unwrap();
+        for (spec, report) in monte_carlo(20_000, 0.7, 11, Threads::Auto) {
+            let (cost, rel) = match spec {
+                StrategySpec::Traditional(k) => {
+                    (traditional::cost(k), traditional::reliability(k, r))
+                }
+                // PR cost depends on the vote schedule; reliability matches
+                // TR's by Eq. (4), but skip to keep the test focused.
+                StrategySpec::Progressive(_) => continue,
+                StrategySpec::Iterative(d) => (iterative::cost(d, r), iterative::reliability(d, r)),
+            };
+            assert!(
+                (report.cost_factor() - cost).abs() < 0.25,
+                "{} {}: cost {} vs analytic {}",
+                spec.label(),
+                spec.param(),
+                report.cost_factor(),
+                cost
+            );
+            assert!(
+                (report.reliability() - rel).abs() < 0.02,
+                "{} {}: reliability {} vs analytic {}",
+                spec.label(),
+                spec.param(),
+                report.reliability(),
+                rel
+            );
+        }
+    }
+}

@@ -108,6 +108,74 @@ pub fn margin_confidence(r: Reliability, d: VoteMargin) -> f64 {
     confidence(r, d.get(), 0)
 }
 
+/// A precomputed table of `q(r, a, b)` for one reliability.
+///
+/// By Theorem 1 the confidence depends only on the margin `a − b`, so a
+/// one-dimensional table over signed margins caches every query a
+/// strategy can make. Consumers that evaluate `q` in a per-task, per-wave
+/// loop (the complex iterative algorithm, reliability-aware validators)
+/// build one table up front instead of re-deriving `θ^margin` on every
+/// decision.
+///
+/// Every entry is produced by calling [`confidence`] itself, and queries
+/// beyond the cached margin range fall back to [`confidence`], so the
+/// table is **bit-for-bit equal** to the uncached path — a property test
+/// pins this.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::analysis::confidence::{confidence, ConfidenceTable};
+/// use smartred_core::params::Reliability;
+///
+/// let r = Reliability::new(0.7)?;
+/// let table = ConfidenceTable::new(r, 16);
+/// assert_eq!(table.q(4, 0).to_bits(), confidence(r, 4, 0).to_bits());
+/// assert_eq!(table.q(100, 106).to_bits(), confidence(r, 100, 106).to_bits());
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfidenceTable {
+    r: Reliability,
+    /// `q(r, m, 0)` for signed margins `m ∈ [−cap, cap]`, at index
+    /// `m + cap`.
+    q: Vec<f64>,
+    cap: usize,
+}
+
+impl ConfidenceTable {
+    /// Builds the table for reliability `r`, caching margins up to
+    /// `max_margin` in absolute value.
+    pub fn new(r: Reliability, max_margin: usize) -> Self {
+        let cap = max_margin;
+        let q = (-(cap as i64)..=cap as i64)
+            .map(|m| confidence(r, m.max(0) as usize, (-m).max(0) as usize))
+            .collect();
+        Self { r, q, cap }
+    }
+
+    /// The reliability this table was built for.
+    pub fn reliability(&self) -> Reliability {
+        self.r
+    }
+
+    /// The largest cached margin magnitude.
+    pub fn max_margin(&self) -> usize {
+        self.cap
+    }
+
+    /// `q(r, a, b)` — cached when `|a − b| ≤ max_margin`, computed
+    /// directly (with identical bits) otherwise.
+    pub fn q(&self, a: usize, b: usize) -> f64 {
+        let margin = a as i64 - b as i64;
+        if margin.unsigned_abs() as usize <= self.cap {
+            self.q[(margin + self.cap as i64) as usize]
+        } else {
+            confidence(self.r, a, b)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +261,31 @@ mod tests {
         let d = VoteMargin::new(4).unwrap();
         let expected = 0.7_f64.powi(4) / (0.7_f64.powi(4) + 0.3_f64.powi(4));
         assert!((margin_confidence(r(0.7), d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_is_bitwise_equal_to_confidence() {
+        for &rv in &[0.55, 0.7, 0.9, 0.99, 1.0] {
+            let table = ConfidenceTable::new(r(rv), 12);
+            for a in 0..30usize {
+                for b in 0..30usize {
+                    // Covers both the cached range (|a−b| ≤ 12) and the
+                    // fallback.
+                    assert_eq!(
+                        table.q(a, b).to_bits(),
+                        confidence(r(rv), a, b).to_bits(),
+                        "r = {rv}, a = {a}, b = {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_accessors() {
+        let table = ConfidenceTable::new(r(0.7), 8);
+        assert_eq!(table.reliability().get(), 0.7);
+        assert_eq!(table.max_margin(), 8);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::analysis::{iterative, progressive, traditional};
 use crate::error::ParamError;
+use crate::parallel::{self, Threads};
 use crate::params::{KVotes, Reliability, VoteMargin};
 
 /// How to choose the iterative margin `d` that "matches" `k`-vote
@@ -159,12 +160,15 @@ pub fn improvement_sweep(
             expected: "at least 2",
         });
     }
-    let mut out = Vec::with_capacity(points);
-    for i in 0..points {
+    // Each grid point depends only on its index, so the sweep fans out
+    // across worker threads and reassembles in index order — bit-identical
+    // to the sequential loop for any thread count.
+    parallel::map_indexed(points, Threads::Auto, |i| {
         let r = r_lo + (r_hi - r_lo) * (i as f64) / ((points - 1) as f64);
-        out.push(improvement(k, Reliability::new(r)?, rule)?);
-    }
-    Ok(out)
+        improvement(k, Reliability::new(r)?, rule)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -3,6 +3,24 @@
 //! Everything works in log space so the formulas of the paper remain exact
 //! for large `k` (e.g. `C(199, 100)` overflows `f64` as a plain product but
 //! is unremarkable as a log).
+//!
+//! `ln n!` is memoized in a process-wide table ([`ln_factorial`]): the
+//! per-task hot paths — the wave DP of `analysis::iterative::profile`, the
+//! Eq. (3) series, the first-passage walks — evaluate `binomial_pmf`
+//! thousands of times per parameter point, and each call needs three
+//! factorials. The table is filled with exactly the values the
+//! unmemoized path ([`ln_factorial_direct`]) produces, so memoization is
+//! bit-for-bit invisible; a property test pins that equivalence.
+
+use std::sync::OnceLock;
+
+/// Factorials up to (excluding) this are served from the process-wide
+/// table; larger arguments fall back to the direct Lanczos evaluation.
+/// 4096 entries cover every `k`, `d`, and wave width the analysis ever
+/// sweeps, at 32 KiB.
+const LN_FACTORIAL_TABLE_SIZE: usize = 4096;
+
+static LN_FACTORIALS: OnceLock<Vec<f64>> = OnceLock::new();
 
 /// Lanczos approximation of `ln Γ(x)` for `x > 0`.
 ///
@@ -41,8 +59,12 @@ pub fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
-/// `ln(n!)` via the gamma function.
-pub fn ln_factorial(n: usize) -> f64 {
+/// `ln(n!)` via the gamma function, computed directly (no memoization).
+///
+/// This is the reference implementation; [`ln_factorial`] serves the same
+/// values from a table and is what the hot paths call. Kept public so the
+/// property tests can pin the two bit-for-bit equal.
+pub fn ln_factorial_direct(n: usize) -> f64 {
     if n < 2 {
         0.0
     } else {
@@ -50,7 +72,25 @@ pub fn ln_factorial(n: usize) -> f64 {
     }
 }
 
-/// `ln C(n, k)`, the log of the binomial coefficient.
+/// `ln(n!)`, memoized.
+///
+/// Identical (to the last bit) to [`ln_factorial_direct`]: the table is
+/// populated by calling it. The `OnceLock` initialization is thread-safe,
+/// so the parallel sweep workers share one table.
+pub fn ln_factorial(n: usize) -> f64 {
+    if n < LN_FACTORIAL_TABLE_SIZE {
+        let table = LN_FACTORIALS.get_or_init(|| {
+            (0..LN_FACTORIAL_TABLE_SIZE)
+                .map(ln_factorial_direct)
+                .collect()
+        });
+        table[n]
+    } else {
+        ln_factorial_direct(n)
+    }
+}
+
+/// `ln C(n, k)`, the log of the binomial coefficient (memoized factorials).
 ///
 /// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
 pub fn ln_binomial(n: usize, k: usize) -> f64 {
@@ -61,6 +101,18 @@ pub fn ln_binomial(n: usize, k: usize) -> f64 {
         return 0.0;
     }
     ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln C(n, k)` computed without the factorial table — the reference the
+/// memoized [`ln_binomial`] is property-tested against.
+pub fn ln_binomial_direct(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial_direct(n) - ln_factorial_direct(k) - ln_factorial_direct(n - k)
 }
 
 /// Probability that a `Binomial(n, p)` variable equals `k`.
@@ -118,6 +170,39 @@ mod tests {
         close(ln_factorial(1), 0.0, 1e-15);
         close(ln_factorial(5), 120.0_f64.ln(), 1e-12);
         close(ln_factorial(20), 2.432_902_008_176_64e18_f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn memoized_factorial_is_bitwise_equal_to_direct() {
+        // Spot-check the whole table range plus the fallback boundary.
+        for n in (0..LN_FACTORIAL_TABLE_SIZE)
+            .step_by(37)
+            .chain(LN_FACTORIAL_TABLE_SIZE - 2..LN_FACTORIAL_TABLE_SIZE + 3)
+        {
+            assert_eq!(
+                ln_factorial(n).to_bits(),
+                ln_factorial_direct(n).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_binomial_is_bitwise_equal_to_direct() {
+        for &(n, k) in &[
+            (0usize, 0usize),
+            (19, 10),
+            (199, 100),
+            (4095, 2000),
+            (4100, 2050), // past the table: both go direct
+            (3, 7),       // zero coefficient
+        ] {
+            assert_eq!(
+                ln_binomial(n, k).to_bits(),
+                ln_binomial_direct(n, k).to_bits(),
+                "n = {n}, k = {k}"
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! | [`execution`] | the wave-by-wave driver used by every platform |
 //! | [`analysis`] | Eqs. 1–6 by multiple independent derivations |
 //! | [`monte_carlo`] | direct stochastic validation of the formulas |
+//! | [`parallel`] | deterministic scoped-thread work pool + counter-based RNG streams |
 //! | [`node`], [`reputation`] | node identity and reputation for the baselines |
 //!
 //! The companion crates `smartred-desim`, `smartred-dca`, `smartred-sat`
@@ -70,6 +71,7 @@ pub mod error;
 pub mod execution;
 pub mod monte_carlo;
 pub mod node;
+pub mod parallel;
 pub mod params;
 pub mod reputation;
 pub mod resilience;

@@ -10,9 +10,19 @@
 use rand::Rng;
 
 use crate::error::JobCapExceeded;
-use crate::execution::TaskExecution;
+use crate::execution::{ExecutionReport, TaskExecution};
+use crate::parallel::{self, Threads};
 use crate::params::Reliability;
 use crate::strategy::RedundancyStrategy;
+
+/// Tasks per scheduling chunk in the parallel estimators.
+///
+/// The chunk grid is fixed (it does **not** depend on the thread count) so
+/// partial reports always cover the same task ranges; together with
+/// per-task RNG streams this makes every parallel result bit-identical to
+/// the single-threaded one. The value trades scheduling overhead against
+/// load balance; it has no effect on results.
+const TASK_CHUNK: usize = 1024;
 
 /// Configuration of a Monte-Carlo run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +75,62 @@ pub struct MonteCarloReport {
 }
 
 impl MonteCarloReport {
+    /// A report covering zero tasks — the identity element of [`merge`].
+    ///
+    /// [`merge`]: MonteCarloReport::merge
+    pub fn empty() -> Self {
+        Self {
+            tasks: 0,
+            correct_tasks: 0,
+            total_jobs: 0,
+            max_jobs_single_task: 0,
+            total_waves: 0,
+            max_waves_single_task: 0,
+            capped_tasks: 0,
+        }
+    }
+
+    /// Combines two partial reports covering disjoint task sets.
+    ///
+    /// All fields are sums or maxima of integers, so merging is exact and
+    /// order-independent — the property that lets the parallel estimators
+    /// promise bit-identical output for any thread count.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            tasks: self.tasks + other.tasks,
+            correct_tasks: self.correct_tasks + other.correct_tasks,
+            total_jobs: self.total_jobs + other.total_jobs,
+            max_jobs_single_task: self.max_jobs_single_task.max(other.max_jobs_single_task),
+            total_waves: self.total_waves + other.total_waves,
+            max_waves_single_task: self.max_waves_single_task.max(other.max_waves_single_task),
+            capped_tasks: self.capped_tasks + other.capped_tasks,
+        }
+    }
+
+    /// Folds one task's outcome into the report. `correct` is the value a
+    /// correct verdict must equal.
+    fn absorb<V: PartialEq>(
+        &mut self,
+        outcome: Result<ExecutionReport<V>, JobCapExceeded>,
+        correct: &V,
+    ) {
+        match outcome {
+            Ok(done) => {
+                self.total_jobs += done.jobs;
+                self.total_waves += done.waves;
+                self.max_jobs_single_task = self.max_jobs_single_task.max(done.jobs);
+                self.max_waves_single_task = self.max_waves_single_task.max(done.waves);
+                if done.verdict.as_ref() == Some(correct) {
+                    self.correct_tasks += 1;
+                }
+            }
+            Err(err) => {
+                self.capped_tasks += 1;
+                self.total_jobs += err.deployed;
+            }
+        }
+    }
+
     /// Empirical system reliability: fraction of completed tasks that
     /// accepted the correct result.
     pub fn reliability(&self) -> f64 {
@@ -103,39 +169,31 @@ where
     R: Rng + ?Sized,
 {
     let r = config.reliability.get();
-    let mut report = MonteCarloReport {
-        tasks: config.tasks,
-        correct_tasks: 0,
-        total_jobs: 0,
-        max_jobs_single_task: 0,
-        total_waves: 0,
-        max_waves_single_task: 0,
-        capped_tasks: 0,
-    };
+    let mut report = MonteCarloReport::empty();
+    report.tasks = config.tasks;
     for _ in 0..config.tasks {
-        let mut task = TaskExecution::new(strategy);
-        if let Some(cap) = config.job_cap {
-            task = task.with_job_cap(cap);
-        }
-        let outcome: Result<_, JobCapExceeded> =
-            task.run_with(|n| (0..n).map(|_| rng.gen_bool(r)).collect());
-        match outcome {
-            Ok(done) => {
-                report.total_jobs += done.jobs;
-                report.total_waves += done.waves;
-                report.max_jobs_single_task = report.max_jobs_single_task.max(done.jobs);
-                report.max_waves_single_task = report.max_waves_single_task.max(done.waves);
-                if done.verdict == Some(true) {
-                    report.correct_tasks += 1;
-                }
-            }
-            Err(err) => {
-                report.capped_tasks += 1;
-                report.total_jobs += err.deployed;
-            }
-        }
+        report.absorb(run_binary_task(strategy, &config, r, rng), &true);
     }
     report
+}
+
+/// Executes one binary-model task to completion, drawing job outcomes
+/// from `rng`.
+fn run_binary_task<S, R>(
+    strategy: &S,
+    config: &MonteCarloConfig,
+    r: f64,
+    rng: &mut R,
+) -> Result<ExecutionReport<bool>, JobCapExceeded>
+where
+    S: RedundancyStrategy<bool>,
+    R: Rng + ?Sized,
+{
+    let mut task = TaskExecution::new(strategy);
+    if let Some(cap) = config.job_cap {
+        task = task.with_job_cap(cap);
+    }
+    task.run_with(|n| (0..n).map(|_| rng.gen_bool(r)).collect())
 }
 
 /// Configuration of an n-ary (non-binary) Monte-Carlo run — the §5.3
@@ -197,45 +255,202 @@ where
     R: Rng + ?Sized,
 {
     let r = config.reliability.get();
-    let mut report = MonteCarloReport {
-        tasks: config.tasks,
-        correct_tasks: 0,
-        total_jobs: 0,
-        max_jobs_single_task: 0,
-        total_waves: 0,
-        max_waves_single_task: 0,
-        capped_tasks: 0,
-    };
+    let mut report = MonteCarloReport::empty();
+    report.tasks = config.tasks;
     for _ in 0..config.tasks {
-        let task = TaskExecution::new(strategy);
-        let outcome = task.run_with(|n| {
-            (0..n)
-                .map(|_| {
-                    if rng.gen_bool(r) {
-                        0u32 // the correct value
-                    } else if config.collusion >= 1.0 || rng.gen_bool(config.collusion) {
-                        1u32 // the cartel's designated wrong value
-                    } else {
-                        rng.gen_range(1..=config.wrong_values as u32)
-                    }
-                })
-                .collect()
-        });
-        match outcome {
-            Ok(done) => {
-                report.total_jobs += done.jobs;
-                report.total_waves += done.waves;
-                report.max_jobs_single_task = report.max_jobs_single_task.max(done.jobs);
-                report.max_waves_single_task = report.max_waves_single_task.max(done.waves);
-                if done.verdict == Some(0) {
-                    report.correct_tasks += 1;
+        report.absorb(run_nary_task(strategy, &config, r, rng), &0u32);
+    }
+    report
+}
+
+/// Executes one n-ary-model task to completion, drawing job outcomes from
+/// `rng`.
+fn run_nary_task<S, R>(
+    strategy: &S,
+    config: &NaryConfig,
+    r: f64,
+    rng: &mut R,
+) -> Result<ExecutionReport<u32>, JobCapExceeded>
+where
+    S: RedundancyStrategy<u32>,
+    R: Rng + ?Sized,
+{
+    let task = TaskExecution::new(strategy);
+    task.run_with(|n| {
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(r) {
+                    0u32 // the correct value
+                } else if config.collusion >= 1.0 || rng.gen_bool(config.collusion) {
+                    1u32 // the cartel's designated wrong value
+                } else {
+                    rng.gen_range(1..=config.wrong_values as u32)
                 }
-            }
-            Err(err) => {
-                report.capped_tasks += 1;
-                report.total_jobs += err.deployed;
-            }
+            })
+            .collect()
+    })
+}
+
+/// One configuration of a parallel sweep: a strategy plus its Monte-Carlo
+/// configuration.
+///
+/// All specs of one sweep share a strategy *type*; heterogeneous sweeps
+/// (e.g. the bench figure grids mixing TR/PR/IR) use an enum implementing
+/// [`RedundancyStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSpec<S> {
+    /// The redundancy strategy to simulate.
+    pub strategy: S,
+    /// Task count, reliability, and job cap for this configuration.
+    pub config: MonteCarloConfig,
+}
+
+/// Runs every spec of a sweep across `threads` worker threads and returns
+/// one report per spec, in spec order.
+///
+/// **Determinism contract:** task `i` of spec `s` always draws from the
+/// RNG stream `task_rng(master_seed, s, i)`, and partial reports merge
+/// with exact integer arithmetic, so the returned reports are
+/// **bit-identical for every thread count** (including 1). Scheduling is
+/// fully load-balanced: all specs' task chunks go into one flat unit list
+/// that workers drain dynamically, so one expensive spec cannot serialize
+/// the sweep.
+pub fn sweep<S>(specs: &[SweepSpec<S>], master_seed: u64, threads: Threads) -> Vec<MonteCarloReport>
+where
+    S: RedundancyStrategy<bool> + Sync,
+{
+    // Flat (spec, task-range) unit list on the fixed chunk grid.
+    let mut units: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for (s, spec) in specs.iter().enumerate() {
+        let mut start = 0;
+        while start < spec.config.tasks {
+            let end = (start + TASK_CHUNK).min(spec.config.tasks);
+            units.push((s, start..end));
+            start = end;
         }
+    }
+    let partials = parallel::map_slice(&units, threads, |_, (s, range)| {
+        let spec = &specs[*s];
+        (
+            *s,
+            run_binary_range(
+                &spec.strategy,
+                &spec.config,
+                master_seed,
+                *s as u64,
+                range.clone(),
+            ),
+        )
+    });
+    let mut reports = vec![MonteCarloReport::empty(); specs.len()];
+    for (s, partial) in partials {
+        reports[s] = reports[s].merge(partial);
+    }
+    reports
+}
+
+/// Runs one strategy over many configurations in parallel — the sweep
+/// behind reliability curves (one [`MonteCarloConfig`] per `r` grid
+/// point). Deterministic for any thread count; see [`sweep`].
+pub fn run_many<S>(
+    strategy: &S,
+    configs: &[MonteCarloConfig],
+    master_seed: u64,
+    threads: Threads,
+) -> Vec<MonteCarloReport>
+where
+    S: RedundancyStrategy<bool> + Sync + Clone,
+{
+    let specs: Vec<SweepSpec<S>> = configs
+        .iter()
+        .map(|&config| SweepSpec {
+            strategy: strategy.clone(),
+            config,
+        })
+        .collect();
+    sweep(&specs, master_seed, threads)
+}
+
+/// Parallel, seeded version of [`estimate`]: fans `config.tasks` across
+/// `threads` workers with one counter-based RNG stream per task
+/// (stream 0 of `master_seed`).
+///
+/// Unlike [`estimate`], which threads a single generator through every
+/// task in order, each task here owns the stream
+/// `task_rng(master_seed, 0, task_index)` — that is what makes the result
+/// bit-identical for every thread count. The two functions therefore
+/// produce *statistically* equivalent but not numerically equal reports.
+pub fn estimate_par<S>(
+    strategy: &S,
+    config: MonteCarloConfig,
+    master_seed: u64,
+    threads: Threads,
+) -> MonteCarloReport
+where
+    S: RedundancyStrategy<bool> + Sync,
+{
+    parallel::fold_chunked(
+        config.tasks,
+        TASK_CHUNK,
+        threads,
+        MonteCarloReport::empty(),
+        |range| run_binary_range(strategy, &config, master_seed, 0, range),
+        MonteCarloReport::merge,
+    )
+}
+
+/// Parallel, seeded version of [`estimate_nary`]; the n-ary counterpart
+/// of [`estimate_par`], using the same stream layout (stream 0, one
+/// stream per task). With `collusion = 1.0` each job draws exactly one
+/// random number, just like the binary model, so the report coincides
+/// with [`estimate_par`]'s for the same seed — mirroring the sequential
+/// pair.
+pub fn estimate_nary_par<S>(
+    strategy: &S,
+    config: NaryConfig,
+    master_seed: u64,
+    threads: Threads,
+) -> MonteCarloReport
+where
+    S: RedundancyStrategy<u32> + Sync,
+{
+    let r = config.reliability.get();
+    parallel::fold_chunked(
+        config.tasks,
+        TASK_CHUNK,
+        threads,
+        MonteCarloReport::empty(),
+        |range| {
+            let mut report = MonteCarloReport::empty();
+            report.tasks = range.len();
+            for index in range {
+                let mut rng = parallel::task_rng(master_seed, 0, index as u64);
+                report.absorb(run_nary_task(strategy, &config, r, &mut rng), &0u32);
+            }
+            report
+        },
+        MonteCarloReport::merge,
+    )
+}
+
+/// Runs the binary-model tasks `range` of stream `stream`, one RNG stream
+/// per task index.
+fn run_binary_range<S>(
+    strategy: &S,
+    config: &MonteCarloConfig,
+    master_seed: u64,
+    stream: u64,
+    range: std::ops::Range<usize>,
+) -> MonteCarloReport
+where
+    S: RedundancyStrategy<bool>,
+{
+    let r = config.reliability.get();
+    let mut report = MonteCarloReport::empty();
+    report.tasks = range.len();
+    for index in range {
+        let mut rng = parallel::task_rng(master_seed, stream, index as u64);
+        report.absorb(run_binary_task(strategy, config, r, &mut rng), &true);
     }
     report
 }
@@ -410,6 +625,164 @@ mod tests {
             report.reliability() > 0.85,
             "plurality reliability {}",
             report.reliability()
+        );
+    }
+
+    #[test]
+    fn parallel_estimate_matches_analysis() {
+        let d = VoteMargin::new(4).unwrap();
+        let report = estimate_par(
+            &Iterative::new(d),
+            MonteCarloConfig::new(TASKS, r07()),
+            7,
+            Threads::fixed(4),
+        );
+        let cost = analysis::iterative::cost(d, r07());
+        let rel = analysis::iterative::reliability(d, r07());
+        assert!((report.cost_factor() - cost).abs() < 0.15);
+        assert!((report.reliability() - rel).abs() < 0.01);
+        assert_eq!(report.tasks, TASKS);
+    }
+
+    #[test]
+    fn parallel_estimate_is_thread_count_invariant() {
+        let d = VoteMargin::new(3).unwrap();
+        let config = MonteCarloConfig::new(5_000, r07()).with_job_cap(200);
+        let reference = estimate_par(&Iterative::new(d), config, 99, Threads::fixed(1));
+        for threads in [2usize, 4, 8] {
+            let got = estimate_par(&Iterative::new(d), config, 99, Threads::fixed(threads));
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_estimate_matches_explicit_per_task_loop() {
+        // The engine's contract spelled out: task i draws from
+        // task_rng(seed, 0, i), nothing more, nothing less.
+        let d = VoteMargin::new(3).unwrap();
+        let config = MonteCarloConfig::new(2_000, r07());
+        let engine = estimate_par(&Iterative::new(d), config, 5, Threads::fixed(8));
+        let mut by_hand = MonteCarloReport::empty();
+        by_hand.tasks = config.tasks;
+        let r = config.reliability.get();
+        for i in 0..config.tasks {
+            let mut rng = crate::parallel::task_rng(5, 0, i as u64);
+            by_hand.absorb(
+                run_binary_task(&Iterative::new(d), &config, r, &mut rng),
+                &true,
+            );
+        }
+        assert_eq!(engine, by_hand);
+    }
+
+    #[test]
+    fn sweep_agrees_with_per_spec_estimates_and_is_invariant() {
+        let specs = [
+            SweepSpec {
+                strategy: Iterative::new(VoteMargin::new(2).unwrap()),
+                config: MonteCarloConfig::new(3_000, r07()),
+            },
+            SweepSpec {
+                strategy: Iterative::new(VoteMargin::new(4).unwrap()),
+                config: MonteCarloConfig::new(1_500, Reliability::new(0.9).unwrap()),
+            },
+            SweepSpec {
+                strategy: Iterative::new(VoteMargin::new(1).unwrap()),
+                config: MonteCarloConfig::new(0, r07()),
+            },
+        ];
+        let reference = sweep(&specs, 31, Threads::fixed(1));
+        for threads in [2usize, 8] {
+            assert_eq!(sweep(&specs, 31, Threads::fixed(threads)), reference);
+        }
+        // Spec s is stream s: spec 0 of a one-spec sweep equals estimate_par
+        // (which uses stream 0).
+        let solo = estimate_par(&specs[0].strategy, specs[0].config, 31, Threads::fixed(3));
+        assert_eq!(reference[0], solo);
+        assert_eq!(reference[2], {
+            let mut empty = MonteCarloReport::empty();
+            empty.tasks = 0;
+            empty
+        });
+    }
+
+    #[test]
+    fn run_many_matches_sweep_with_cloned_strategy() {
+        let d = VoteMargin::new(3).unwrap();
+        let configs = [
+            MonteCarloConfig::new(2_000, r07()),
+            MonteCarloConfig::new(2_000, Reliability::new(0.8).unwrap()),
+        ];
+        let many = run_many(&Iterative::new(d), &configs, 17, Threads::fixed(4));
+        let specs: Vec<SweepSpec<Iterative>> = configs
+            .iter()
+            .map(|&config| SweepSpec {
+                strategy: Iterative::new(d),
+                config,
+            })
+            .collect();
+        assert_eq!(many, sweep(&specs, 17, Threads::fixed(1)));
+        assert_eq!(many.len(), 2);
+        // Different reliabilities must genuinely differ.
+        assert!(many[0].total_jobs > many[1].total_jobs);
+    }
+
+    #[test]
+    fn nary_par_with_full_collusion_matches_binary_par() {
+        let d = VoteMargin::new(4).unwrap();
+        let binary = estimate_par(
+            &Iterative::new(d),
+            MonteCarloConfig::new(10_000, r07()),
+            8,
+            Threads::fixed(4),
+        );
+        let nary = estimate_nary_par(
+            &Iterative::new(d),
+            NaryConfig::new(10_000, r07(), 5, 1.0),
+            8,
+            Threads::fixed(2),
+        );
+        assert_eq!(binary.correct_tasks, nary.correct_tasks);
+        assert_eq!(binary.total_jobs, nary.total_jobs);
+        assert_eq!(binary.total_waves, nary.total_waves);
+    }
+
+    #[test]
+    fn nary_par_is_thread_count_invariant() {
+        let d = VoteMargin::new(3).unwrap();
+        let config = NaryConfig::new(4_000, Reliability::new(0.6).unwrap(), 6, 0.3);
+        let reference = estimate_nary_par(&Iterative::new(d), config, 13, Threads::fixed(1));
+        for threads in [2usize, 8] {
+            assert_eq!(
+                estimate_nary_par(&Iterative::new(d), config, 13, Threads::fixed(threads)),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_and_empty_is_identity() {
+        let d = VoteMargin::new(2).unwrap();
+        let a = estimate_par(
+            &Iterative::new(d),
+            MonteCarloConfig::new(500, r07()),
+            1,
+            Threads::fixed(1),
+        );
+        assert_eq!(a.merge(MonteCarloReport::empty()), a);
+        assert_eq!(MonteCarloReport::empty().merge(a), a);
+        let b = estimate_par(
+            &Iterative::new(d),
+            MonteCarloConfig::new(700, r07()),
+            2,
+            Threads::fixed(1),
+        );
+        let ab = a.merge(b);
+        assert_eq!(ab.tasks, 1200);
+        assert_eq!(ab.total_jobs, a.total_jobs + b.total_jobs);
+        assert_eq!(
+            ab.max_jobs_single_task,
+            a.max_jobs_single_task.max(b.max_jobs_single_task)
         );
     }
 

@@ -1,6 +1,6 @@
 //! Iterative redundancy, in both the simple and the complex form (paper §3.3).
 
-use crate::analysis::confidence::{confidence, minimum_margin};
+use crate::analysis::confidence::{minimum_margin, ConfidenceTable};
 use crate::error::ParamError;
 use crate::params::{Confidence, Reliability, VoteMargin};
 use crate::strategy::{deploy, Decision, RedundancyStrategy};
@@ -110,10 +110,24 @@ impl<V: Ord + Clone> RedundancyStrategy<V> for Iterative {
 /// assert_eq!(ir.decide(&VoteTally::<bool>::new()).deploy_count(), Some(4));
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct IterativeComplex {
     r: Reliability,
     target: Confidence,
+    /// Cached `q(r, a, b)` values — `decide` runs in the per-task, per-wave
+    /// hot path of every Monte-Carlo sweep, and each call would otherwise
+    /// re-derive `θ^margin` several times during the majority search. The
+    /// table returns bit-identical values to the uncached
+    /// [`confidence`](crate::analysis::confidence::confidence) function,
+    /// so behavior is unchanged.
+    table: ConfidenceTable,
+}
+
+impl PartialEq for IterativeComplex {
+    fn eq(&self, other: &Self) -> bool {
+        // The table is derived from (r, target); it carries no extra state.
+        self.r == other.r && self.target == other.target
+    }
 }
 
 impl IterativeComplex {
@@ -132,7 +146,13 @@ impl IterativeComplex {
                 expected: "(0.5, 1] for the complex algorithm",
             });
         }
-        Ok(Self { r, target })
+        // Margins queried at runtime never exceed the stopping margin
+        // d(r, R, 0): waves deploy exactly the jobs that would close the
+        // gap, so the tally can only reach — never overshoot — it. A
+        // little slack keeps the (bit-identical) fallback path cold.
+        let d0 = minimum_margin(r, target)?.get();
+        let table = ConfidenceTable::new(r, d0 + 2);
+        Ok(Self { r, target, table })
     }
 
     /// Returns the node reliability this strategy assumes.
@@ -158,7 +178,7 @@ impl IterativeComplex {
         let mut a = b; // q(r, b, b) = 0.5 < R, so start searching above b.
         loop {
             a += 1;
-            if confidence(self.r, a, b) >= self.target.get() {
+            if self.table.q(a, b) >= self.target.get() {
                 return a;
             }
         }
@@ -176,7 +196,7 @@ impl<V: Ord + Clone> RedundancyStrategy<V> for IterativeComplex {
         // worst-case reading (§5.3 shows non-binary can only help).
         let a = tally.leader().map(|(_, count)| count).unwrap_or(0);
         let b = tally.runner_up_count();
-        if a > b && confidence(self.r, a, b) >= self.target.get() {
+        if a > b && self.table.q(a, b) >= self.target.get() {
             let (value, _) = tally.leader().expect("a > b implies a leader");
             return Decision::Accept(value.clone());
         }

@@ -57,6 +57,30 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Renders the table as CSV (header row first).
+    ///
+    /// Cells containing a comma, a double quote, or a newline are wrapped
+    /// in double quotes with internal quotes doubled (RFC 4180), so cells
+    /// like `[0.9, 1.0]` round-trip through CSV tooling. The output is a
+    /// pure function of the cell strings — the CI determinism job diffs two
+    /// of these byte-for-byte.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        for line in std::iter::once(&self.headers).chain(&self.rows) {
+            let cells: Vec<String> = line.iter().map(|c| escape(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -133,6 +157,18 @@ mod tests {
     fn cell_formats_places() {
         assert_eq!(cell(1.23456, 2), "1.23");
         assert_eq!(cell(2.0, 0), "2");
+    }
+
+    #[test]
+    fn csv_quotes_commas_and_doubles_quotes() {
+        let mut t = Table::new(vec!["technique".into(), "95% CI".into()]);
+        t.push_row(vec!["TR".into(), "[0.9123, 0.9456]".into()]);
+        t.push_row(vec!["say \"hi\"".into(), "plain".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "technique,95% CI");
+        assert_eq!(lines[1], "TR,\"[0.9123, 0.9456]\"");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\",plain");
     }
 
     #[test]

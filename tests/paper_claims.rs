@@ -169,6 +169,166 @@ fn section33_cost_optimality_at_k19() {
     }
 }
 
+/// Golden snapshot of the Eq. (1)–(4) outputs (traditional reliability and
+/// cost, progressive reliability and cost) over the `k × r` grid the paper
+/// sweeps.
+///
+/// The constants were generated by evaluating the current implementation
+/// and are pinned to 1e-12: any refactor of the analysis layer (memoized
+/// factorial tables, cached confidence tables, parallel evaluation order)
+/// that drifts the numbers even in the last few bits fails this test. The
+/// values themselves cross-check against the paper: Eq. (4) makes PR
+/// reliability equal TR reliability, and PR cost is strictly below `k`.
+#[test]
+fn golden_eq1_to_eq4_fixed_k_snapshots() {
+    // (k, r, R_TR [Eq. 1], C_TR [Eq. 2], R_PR [Eq. 4], C_PR [Eq. 3])
+    #[allow(clippy::excessive_precision)]
+    const GOLDEN: &[(usize, f64, f64, f64, f64, f64)] = &[
+        (
+            3,
+            0.7,
+            0.7839999999999995,
+            3.0,
+            0.7839999999999995,
+            2.4200000000000004,
+        ),
+        (
+            5,
+            0.7,
+            0.8369200000000019,
+            5.0,
+            0.8369200000000019,
+            3.8945999999999987,
+        ),
+        (
+            15,
+            0.7,
+            0.9499874599462199,
+            15.0,
+            0.9499874599462199,
+            11.263466896103118,
+        ),
+        (
+            3,
+            0.8,
+            0.8959999999999997,
+            3.0,
+            0.8959999999999997,
+            2.3200000000000003,
+        ),
+        (
+            5,
+            0.8,
+            0.9420800000000021,
+            5.0,
+            0.9420800000000021,
+            3.633599999999999,
+        ),
+        (
+            15,
+            0.8,
+            0.9957602502901735,
+            15.0,
+            0.9957602502901735,
+            9.989001918545918,
+        ),
+        (3, 0.9, 0.9719999999999998, 3.0, 0.9719999999999998, 2.18),
+        (
+            5,
+            0.9,
+            0.9914400000000014,
+            5.0,
+            0.9914400000000014,
+            3.3185999999999996,
+        ),
+        (
+            15,
+            0.9,
+            0.9999663751120296,
+            15.0,
+            0.9999663751120296,
+            8.88881771959208,
+        ),
+        (3, 0.99, 0.999702, 3.0, 0.999702, 2.0198),
+        (
+            5,
+            0.99,
+            0.9999901494000001,
+            5.0,
+            0.9999901494000001,
+            3.03028806,
+        ),
+        (
+            15,
+            0.99,
+            0.999999999999395,
+            15.0,
+            0.999999999999395,
+            8.080808080806989,
+        ),
+    ];
+    for &(k, rv, tr_rel, tr_cost, pr_rel, pr_cost) in GOLDEN {
+        let kv = KVotes::new(k).unwrap();
+        let ctx = format!("k = {k}, r = {rv}");
+        assert!(
+            (traditional::reliability(kv, r(rv)) - tr_rel).abs() < 1e-12,
+            "Eq. (1) drifted at {ctx}: {}",
+            traditional::reliability(kv, r(rv))
+        );
+        assert!(
+            (traditional::cost(kv) - tr_cost).abs() < 1e-12,
+            "Eq. (2) drifted at {ctx}"
+        );
+        assert!(
+            (progressive::reliability(kv, r(rv)) - pr_rel).abs() < 1e-12,
+            "Eq. (4) drifted at {ctx}: {}",
+            progressive::reliability(kv, r(rv))
+        );
+        assert!(
+            (progressive::cost_series(kv, r(rv)) - pr_cost).abs() < 1e-12,
+            "Eq. (3) drifted at {ctx}: {}",
+            progressive::cost_series(kv, r(rv))
+        );
+    }
+}
+
+/// Golden snapshot of the Eq. (5)–(6) outputs (iterative cost and
+/// reliability) over the `d × r` grid — same contract as
+/// [`golden_eq1_to_eq4_fixed_k_snapshots`].
+#[test]
+fn golden_eq5_eq6_iterative_snapshots() {
+    // (d, r, R_IR [Eq. 6], C_IR [Eq. 5])
+    #[allow(clippy::excessive_precision)]
+    const GOLDEN: &[(usize, f64, f64, f64)] = &[
+        (3, 0.7, 0.927027027027027, 6.405405405405406),
+        (5, 0.7, 0.9857478005865102, 12.14369501466276),
+        (15, 0.7, 0.9999969776350233, 37.49977332262675),
+        (3, 0.8, 0.9846153846153847, 4.846153846153846),
+        (5, 0.8, 0.9990243902439024, 8.317073170731707),
+        (15, 0.8, 0.9999999990686774, 24.999999953433868),
+        (3, 0.9, 0.9986301369863014, 3.739726027397261),
+        (5, 0.9, 0.9999830651989838, 6.249788314987297),
+        (15, 0.9, 0.9999999999999951, 18.749999999999815),
+        (3, 0.99, 0.99999896939091, 3.0612181799443476),
+        (5, 0.99, 0.9999999998948463, 5.102040815253534),
+        (15, 0.99, 1.0, 15.306122448979592),
+    ];
+    for &(d, rv, ir_rel, ir_cost) in GOLDEN {
+        let dv = VoteMargin::new(d).unwrap();
+        let ctx = format!("d = {d}, r = {rv}");
+        assert!(
+            (iterative::reliability(dv, r(rv)) - ir_rel).abs() < 1e-12,
+            "Eq. (6) drifted at {ctx}: {}",
+            iterative::reliability(dv, r(rv))
+        );
+        assert!(
+            (iterative::cost(dv, r(rv)) - ir_cost).abs() < 1e-12,
+            "Eq. (5) drifted at {ctx}: {}",
+            iterative::cost(dv, r(rv))
+        );
+    }
+}
+
 /// §4.2 (Figure 5(a) text): "iterative redundancy outperforms traditional
 /// and progressive redundancy in the number of jobs AND time to execute the
 /// computation" — with fixed resources, fewer jobs means a shorter

@@ -1,0 +1,131 @@
+//! Property tests for the two invisibility contracts introduced with the
+//! parallel sweep engine:
+//!
+//! 1. **Thread-count invariance** — every parallel estimator returns
+//!    bit-identical reports for any worker count (1, 2, 8), for random
+//!    seeds and configurations. This is the determinism contract the CI
+//!    matrix job checks end-to-end on a generated figure CSV.
+//! 2. **Memoization invisibility** — the memoized `ln_factorial` /
+//!    `ln_binomial` tables and the cached `ConfidenceTable` agree with the
+//!    direct evaluation paths bit-for-bit.
+
+use proptest::prelude::*;
+
+use smartred::core::analysis::confidence::{confidence, ConfidenceTable};
+use smartred::core::analysis::math::{
+    ln_binomial, ln_binomial_direct, ln_factorial, ln_factorial_direct,
+};
+use smartred::core::monte_carlo::{estimate_par, sweep, MonteCarloConfig, SweepSpec};
+use smartred::core::parallel::Threads;
+use smartred::core::params::{KVotes, Reliability, VoteMargin};
+use smartred::core::strategy::{Iterative, Progressive, Traditional};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `estimate_par` is a pure function of `(strategy, config, seed)` —
+    /// the worker count never shows in the output.
+    #[test]
+    fn estimate_par_is_thread_count_invariant(
+        seed in any::<u64>(),
+        tasks in 1usize..5_000,
+        d in 1usize..5,
+        rv in 0.55f64..0.95,
+    ) {
+        let strategy = Iterative::new(VoteMargin::new(d).unwrap());
+        let config = MonteCarloConfig::new(tasks, Reliability::new(rv).unwrap());
+        let reference = estimate_par(&strategy, config, seed, Threads::fixed(1));
+        for workers in [2usize, 8] {
+            let parallel = estimate_par(&strategy, config, seed, Threads::fixed(workers));
+            prop_assert_eq!(reference, parallel, "differs at {} workers", workers);
+        }
+    }
+
+    /// The multi-spec sweep is likewise invariant, including when specs
+    /// have unequal task counts (the flat chunk list shuffles across
+    /// workers differently at every thread count).
+    #[test]
+    fn sweep_is_thread_count_invariant(
+        seed in any::<u64>(),
+        tasks_a in 1usize..3_000,
+        tasks_b in 1usize..3_000,
+        k in 1usize..9,
+        rv in 0.55f64..0.95,
+    ) {
+        let k = KVotes::new(2 * k + 1).unwrap();
+        let r = Reliability::new(rv).unwrap();
+        let specs = [
+            SweepSpec {
+                strategy: Traditional::new(k),
+                config: MonteCarloConfig::new(tasks_a, r),
+            },
+            SweepSpec {
+                strategy: Traditional::new(k),
+                config: MonteCarloConfig::new(tasks_b, r),
+            },
+        ];
+        let reference = sweep(&specs, seed, Threads::fixed(1));
+        for workers in [2usize, 8] {
+            let parallel = sweep(&specs, seed, Threads::fixed(workers));
+            prop_assert_eq!(&reference, &parallel, "differs at {} workers", workers);
+        }
+    }
+
+    /// Progressive redundancy exercises the top-up deployment path; pin
+    /// its invariance separately.
+    #[test]
+    fn progressive_estimate_is_thread_count_invariant(
+        seed in any::<u64>(),
+        tasks in 1usize..4_000,
+        k in 1usize..9,
+        rv in 0.55f64..0.95,
+    ) {
+        let strategy = Progressive::new(KVotes::new(2 * k + 1).unwrap());
+        let config = MonteCarloConfig::new(tasks, Reliability::new(rv).unwrap());
+        let reference = estimate_par(&strategy, config, seed, Threads::fixed(1));
+        let parallel = estimate_par(&strategy, config, seed, Threads::fixed(8));
+        prop_assert_eq!(reference, parallel);
+    }
+}
+
+proptest! {
+    /// The process-wide `ln n!` table serves exactly the bits the direct
+    /// Lanczos path computes, on both sides of the table boundary.
+    #[test]
+    fn memoized_ln_factorial_matches_direct(n in 0usize..5_000) {
+        prop_assert_eq!(
+            ln_factorial(n).to_bits(),
+            ln_factorial_direct(n).to_bits(),
+            "ln_factorial({}) drifted", n
+        );
+    }
+
+    /// Same for `ln C(n, k)`, including `k > n` (both `-inf`) and the
+    /// degenerate edges.
+    #[test]
+    fn memoized_ln_binomial_matches_direct(n in 0usize..4_500, k in 0usize..4_500) {
+        prop_assert_eq!(
+            ln_binomial(n, k).to_bits(),
+            ln_binomial_direct(n, k).to_bits(),
+            "ln_binomial({}, {}) drifted", n, k
+        );
+    }
+
+    /// The cached confidence table is bitwise the uncached `q(r, a, b)`,
+    /// inside and outside the cached margin range.
+    #[test]
+    fn confidence_table_matches_direct(
+        rv in 0.51f64..0.999,
+        cap in 0usize..20,
+        a in 0usize..60,
+        b in 0usize..60,
+    ) {
+        let r = Reliability::new(rv).unwrap();
+        let table = ConfidenceTable::new(r, cap);
+        prop_assert_eq!(
+            table.q(a, b).to_bits(),
+            confidence(r, a, b).to_bits(),
+            "q({}, {}, {}) drifted at cap {}", rv, a, b, cap
+        );
+    }
+}
