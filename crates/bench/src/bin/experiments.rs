@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as plain-text tables.
 //!
 //! ```text
-//! experiments <id> [--full] [--csv]
+//! experiments <id> [--full] [--csv] [--journal <path>]
 //!
 //! ids: fig3 | fig5a | fig5b | fig5c | fig6 | sweep | worked-examples |
 //!      ablation-simple-vs-complex | ablation-waves |
@@ -18,9 +18,20 @@
 //!
 //! `sweep` is the parallel Monte-Carlo sweep over the Figure 5(a) grid;
 //! its output is identical for every `SMARTRED_THREADS` value.
+//!
+//! `--journal <path>` additionally captures the Figure 5(a) flagship run
+//! (iterative redundancy, d = 4) with the event journal enabled and writes
+//! it as JSONL to `path`; the journal digest is printed to stderr so two
+//! captures can be compared at a glance.
+
+use std::rc::Rc;
 
 use smartred_bench::{ablations, fig3, fig5a, fig5b, fig5c, fig6, sweep, worked, Scale};
 use smartred_core::parallel::Threads;
+use smartred_core::params::VoteMargin;
+use smartred_core::strategy::Iterative;
+use smartred_dca::config::DcaConfig;
+use smartred_dca::sim::run_journaled;
 use smartred_stats::Table;
 
 const SEED: u64 = 20110620; // ICDCS 2011 opening day
@@ -29,11 +40,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
+    let journal_path = match args.iter().position(|a| a == "--journal") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("--journal requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let scale = if full { Scale::Full } else { Scale::Quick };
     let id = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--journal"))
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
 
     let known = [
@@ -140,6 +162,21 @@ fn main() {
         emit(
             "Ablation A5 — node churn (Fig. 1 join/leave arrows)",
             &ablations::churn(),
+        );
+    }
+
+    if let Some(path) = journal_path {
+        let cfg = DcaConfig::paper_baseline(scale.sim_tasks(), scale.sim_nodes(), 0.3, SEED);
+        let strategy = Iterative::new(VoteMargin::new(4).expect("d = 4 is valid"));
+        let captured = run_journaled(Rc::new(strategy), &cfg).expect("baseline config is valid");
+        if let Err(e) = std::fs::write(&path, captured.journal.to_jsonl()) {
+            eprintln!("failed to write journal to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "journal: {} events, digest {}, written to {path}",
+            captured.journal.len(),
+            captured.journal.digest_hex()
         );
     }
 }

@@ -177,6 +177,33 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
         self.outstanding
     }
 
+    /// Returns `true` exactly when the current wave has just drained: at
+    /// least one wave was opened, every job of it has reported or been
+    /// abandoned, and no verdict has been accepted yet. Event-driven
+    /// platforms use this to emit one wave-closed journal event per wave
+    /// after each [`record`](Self::record)/[`abandon`](Self::abandon).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smartred_core::execution::{Poll, TaskExecution};
+    /// use smartred_core::params::KVotes;
+    /// use smartred_core::strategy::Traditional;
+    ///
+    /// let mut task = TaskExecution::new(Traditional::new(KVotes::new(3)?));
+    /// assert!(!task.wave_boundary()); // nothing deployed yet
+    /// assert_eq!(task.poll()?, Poll::Deploy(3));
+    /// task.record(true);
+    /// task.record(true);
+    /// assert!(!task.wave_boundary()); // one job still outstanding
+    /// task.record(true);
+    /// assert!(task.wave_boundary()); // wave drained, verdict not yet polled
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn wave_boundary(&self) -> bool {
+        self.outstanding == 0 && self.waves > 0 && self.verdict.is_none()
+    }
+
     /// Returns `true` once a verdict has been accepted.
     pub fn is_complete(&self) -> bool {
         self.verdict.is_some()

@@ -38,9 +38,11 @@ pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod pool;
+pub mod replay;
 pub mod sim;
 
 pub use config::{ChurnConfig, DcaConfig, FailureConfig, PoolConfig, TimeoutPolicy};
 pub use faults::{FaultEvent, FaultPlan};
 pub use metrics::DcaReport;
-pub use sim::{run, SharedStrategy};
+pub use replay::report_from_journal;
+pub use sim::{run, run_journaled, JournaledRun, SharedStrategy};

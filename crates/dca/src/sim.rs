@@ -27,8 +27,10 @@ use smartred_core::params::Reliability;
 use smartred_core::resilience::DisciplineAction;
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
+use smartred_desim::journal::{DepartureReason, FaultKind, Journal, RunEvent};
 use smartred_desim::rng::{backoff_duration, seeded_rng, SimRng};
 use smartred_desim::time::{SimDuration, SimTime};
+use smartred_desim::trace::Trace;
 
 use crate::config::{DcaConfig, FailureConfig, TimeoutPolicy};
 use crate::faults::FaultEvent;
@@ -117,6 +119,9 @@ struct World {
     region_down_until: Vec<SimTime>,
     /// Active fault-plan effects.
     chaos: ChaosState,
+    /// Scheduler load trace (`queue_depth`, `idle_nodes`), sampled at every
+    /// dispatch and resolution. Recorded only for journaled runs.
+    trace: Trace,
 }
 
 type Sim = Simulator<World>;
@@ -147,6 +152,44 @@ type Sim = Simulator<World>;
 /// # Ok::<(), smartred_core::error::ParamError>(())
 /// ```
 pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, ParamError> {
+    run_inner(strategy, config, false).map(|r| r.report)
+}
+
+/// A journaled run: the aggregate report plus the structured event journal
+/// and the scheduler load trace.
+#[derive(Debug)]
+pub struct JournaledRun {
+    /// Aggregate metrics — identical to what [`run`] returns for the same
+    /// configuration (journaling never perturbs the simulation).
+    pub report: DcaReport,
+    /// Every state transition of the run as typed, timestamped events.
+    pub journal: Journal,
+    /// `queue_depth` / `idle_nodes` samples taken at each dispatch and
+    /// resolution.
+    pub trace: Trace,
+}
+
+/// Runs one DCA simulation with event journaling enabled.
+///
+/// The returned [`JournaledRun::report`] is bit-identical to [`run`] on the
+/// same inputs; the journal is a pure observer.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the configuration fails
+/// [`DcaConfig::validate`].
+pub fn run_journaled(
+    strategy: SharedStrategy,
+    config: &DcaConfig,
+) -> Result<JournaledRun, ParamError> {
+    run_inner(strategy, config, true)
+}
+
+fn run_inner(
+    strategy: SharedStrategy,
+    config: &DcaConfig,
+    journaled: bool,
+) -> Result<JournaledRun, ParamError> {
     config.validate()?;
     let mut rng = seeded_rng(config.seed);
     let pool = NodePool::from_config(&config.pool, &mut rng);
@@ -166,8 +209,12 @@ pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, Pa
             _ => Vec::new(),
         },
         chaos: ChaosState::default(),
+        trace: Trace::new(),
     };
     let mut sim = Sim::new();
+    if journaled {
+        sim.enable_journal();
+    }
     if let FailureConfig::RegionalOutages { outage_rate, .. } = config.failure {
         if outage_rate > 0.0 {
             schedule_outage(&mut world, &mut sim);
@@ -203,12 +250,17 @@ pub fn run(strategy: SharedStrategy, config: &DcaConfig) -> Result<DcaReport, Pa
             }
         }
     }
+    sim.emit(RunEvent::RunEnded);
     world.report.tasks_stranded =
         config.tasks - world.report.tasks_completed - world.report.tasks_capped;
     world.report.makespan_units = sim.now().as_units();
     world.report.capacity_node_units = config.pool.size as f64 * world.report.makespan_units;
     audit(&world);
-    Ok(world.report)
+    Ok(JournaledRun {
+        report: world.report,
+        journal: sim.take_journal(),
+        trace: world.trace,
+    })
 }
 
 /// End-of-run consistency audit: no task lost, the pool's idle set intact.
@@ -233,11 +285,24 @@ fn audit(world: &World) {
 /// Applies one fault-plan event to the running world.
 fn inject_fault(world: &mut World, sim: &mut Sim, event: FaultEvent) {
     world.report.faults_injected += 1;
+    sim.emit(RunEvent::FaultInjected {
+        kind: match event {
+            FaultEvent::NodeCrash { .. } => FaultKind::Crash,
+            FaultEvent::HangWindow { .. } => FaultKind::Hang,
+            FaultEvent::Straggler { .. } => FaultKind::Straggler,
+            FaultEvent::CollusionBurst { .. } => FaultKind::Collusion,
+            FaultEvent::Blackout { .. } => FaultKind::Blackout,
+        },
+    });
     let now = sim.now();
     match event {
         FaultEvent::NodeCrash { node, .. } => {
             if world.pool.node(node).alive {
                 world.report.crashes += 1;
+                sim.emit(RunEvent::NodeDeparted {
+                    node: node as u32,
+                    reason: DepartureReason::Crash,
+                });
                 let orphaned = world.pool.depart(node);
                 if let Some(job) = orphaned {
                     // The node vanished mid-job: the server sees a timeout.
@@ -355,6 +420,11 @@ fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
     }
     match world.tasks[t].exec.poll() {
         Ok(Poll::Deploy(n)) => {
+            sim.emit(RunEvent::WaveOpened {
+                task: t as u32,
+                wave: world.tasks[t].exec.waves() as u32,
+                jobs: n as u32,
+            });
             for _ in 0..n {
                 if priority {
                     world.queue.push_front(t);
@@ -363,11 +433,11 @@ fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
                 }
             }
         }
-        Ok(Poll::Complete(v)) => finalize(world, sim, t, Some(v)),
+        Ok(Poll::Complete(v)) => finalize(world, sim, t, Some(v), None),
         Ok(Poll::Pending) => {}
         Err(_capped) => {
             if !(world.cfg.degraded_accept && accept_degraded(world, sim, t)) {
-                finalize(world, sim, t, None);
+                finalize(world, sim, t, None, None);
             }
         }
     }
@@ -396,12 +466,29 @@ fn accept_degraded(world: &mut World, sim: &mut Sim, t: usize) -> bool {
     let q = confidence(r, a, b);
     world.report.tasks_degraded += 1;
     world.report.degraded_confidence.record(q);
-    finalize(world, sim, t, Some(v));
+    finalize(world, sim, t, Some(v), Some(q));
     true
 }
 
-/// Records a task's terminal state in the run metrics.
-fn finalize(world: &mut World, sim: &mut Sim, t: usize, verdict: Option<bool>) {
+/// Records a task's terminal state in the run metrics. `degraded` carries
+/// the Bayesian confidence of a degraded acceptance; `None` means the
+/// verdict (if any) is firm.
+fn finalize(
+    world: &mut World,
+    sim: &mut Sim,
+    t: usize,
+    verdict: Option<bool>,
+    degraded: Option<f64>,
+) {
+    match verdict {
+        Some(v) => sim.emit(RunEvent::VerdictReached {
+            task: t as u32,
+            value: v,
+            degraded: degraded.is_some(),
+            confidence: degraded.unwrap_or(1.0),
+        }),
+        None => sim.emit(RunEvent::TaskCapped { task: t as u32 }),
+    }
     let state = &mut world.tasks[t];
     debug_assert!(!state.finished);
     state.finished = true;
@@ -457,10 +544,12 @@ fn strike_node(world: &mut World, sim: &mut Sim, node: NodeIndex) {
         DisciplineAction::None => {}
         DisciplineAction::Quarantine => {
             world.report.quarantines += 1;
+            sim.emit(RunEvent::NodeQuarantined { node: node as u32 });
             world.pool.quarantine(node);
             sim.schedule_in(
                 SimDuration::from_units(policy.quarantine_units),
                 move |world, sim| {
+                    sim.emit(RunEvent::NodeReleased { node: node as u32 });
                     world.pool.unquarantine(node);
                     pump(world, sim);
                 },
@@ -468,6 +557,10 @@ fn strike_node(world: &mut World, sim: &mut Sim, node: NodeIndex) {
         }
         DisciplineAction::Blacklist => {
             world.report.blacklisted += 1;
+            sim.emit(RunEvent::NodeDeparted {
+                node: node as u32,
+                reason: DepartureReason::Blacklist,
+            });
             let orphaned = world.pool.depart(node);
             if let Some(job) = orphaned {
                 // The blacklisted node's in-flight job (for some other
@@ -508,6 +601,20 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
         SimDuration::from_units(duration_units)
     };
     world.report.busy_node_units += delay.as_units();
+    sim.emit(RunEvent::JobDispatched {
+        job: job.get() as u32,
+        task: task as u32,
+        node: node as u32,
+        eta: sim.now() + delay,
+    });
+    if sim.journal().is_enabled() {
+        world
+            .trace
+            .record(sim.now(), "queue_depth", world.queue.len() as f64);
+        world
+            .trace
+            .record(sim.now(), "idle_nodes", world.pool.idle_count() as f64);
+    }
     sim.schedule_in(delay, move |world, sim| {
         resolve_job(world, sim, job, times_out);
     });
@@ -554,24 +661,74 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
     if !world.tasks[t].finished {
         if timed_out {
             world.report.timeouts += 1;
+            sim.emit(RunEvent::JobTimedOut {
+                job: job.get() as u32,
+                task: t as u32,
+                node: slot.node as u32,
+            });
             strike_node(world, sim, slot.node);
             if !retry_job(world, sim, t) {
                 match world.cfg.timeout_policy {
-                    TimeoutPolicy::CountAsWrong => world.tasks[t].exec.record(false),
+                    TimeoutPolicy::CountAsWrong => {
+                        world.tasks[t].exec.record(false);
+                        emit_tally(world, sim, t, false);
+                    }
                     TimeoutPolicy::Reissue => world.tasks[t].exec.abandon(1),
                 }
+                emit_wave_closed(world, sim, t);
                 poll_task(world, sim, t, /* priority = */ true);
             }
         } else {
             let correct = slot.outcome == JobOutcome::Correct;
+            sim.emit(RunEvent::JobReturned {
+                job: job.get() as u32,
+                task: t as u32,
+                node: slot.node as u32,
+                value: correct,
+            });
             world.tasks[t].exec.record(correct);
+            emit_tally(world, sim, t, correct);
             if world.cfg.quarantine.is_some() {
                 world.tasks[t].votes.push((slot.node, correct));
             }
+            emit_wave_closed(world, sim, t);
             poll_task(world, sim, t, /* priority = */ true);
         }
     }
+    if sim.journal().is_enabled() {
+        world
+            .trace
+            .record(sim.now(), "queue_depth", world.queue.len() as f64);
+        world
+            .trace
+            .record(sim.now(), "idle_nodes", world.pool.idle_count() as f64);
+    }
     pump(world, sim);
+}
+
+/// Emits the vote-tally snapshot after a vote landed in task `t`'s tally.
+fn emit_tally(world: &World, sim: &mut Sim, t: usize, value: bool) {
+    if !sim.journal().is_enabled() {
+        return;
+    }
+    let tally = world.tasks[t].exec.tally();
+    let leader_count = tally.leader().map(|(_, n)| n).unwrap_or(0);
+    sim.emit(RunEvent::VoteTallied {
+        task: t as u32,
+        value,
+        leader_count: leader_count as u32,
+        runner_up: tally.runner_up_count() as u32,
+    });
+}
+
+/// Emits a wave-closed event when task `t`'s current wave has just drained.
+fn emit_wave_closed(world: &World, sim: &mut Sim, t: usize) {
+    if sim.journal().is_enabled() && world.tasks[t].exec.wave_boundary() {
+        sim.emit(RunEvent::WaveClosed {
+            task: t as u32,
+            wave: world.tasks[t].exec.waves() as u32,
+        });
+    }
 }
 
 /// Schedules a backoff-delayed retry of a timed-out job under the retry
@@ -587,10 +744,15 @@ fn retry_job(world: &mut World, sim: &mut Sim, t: usize) -> bool {
     }
     world.tasks[t].retries = attempt + 1;
     world.report.retries += 1;
+    sim.emit(RunEvent::JobRetried {
+        task: t as u32,
+        attempt: attempt + 1,
+    });
     // Strike the timed-out job from the vote and re-deploy after a
     // jittered exponential backoff: the delayed poll re-queues one job
     // with retry priority.
     world.tasks[t].exec.abandon(1);
+    emit_wave_closed(world, sim, t);
     let delay = backoff_duration(
         &mut world.rng,
         policy.base_units,
@@ -624,6 +786,9 @@ fn schedule_outage(world: &mut World, sim: &mut Sim) {
         let region = world.rng.gen_range(0..world.region_down_until.len());
         let until = sim.now() + SimDuration::from_units(outage_duration);
         world.report.outages += 1;
+        sim.emit(RunEvent::OutageStarted {
+            region: region as u32,
+        });
         if until > world.region_down_until[region] {
             world.region_down_until[region] = until;
         }
@@ -647,6 +812,10 @@ fn schedule_departure(world: &mut World, sim: &mut Sim) {
         if let Some(idx) = world.pool.random_alive(&mut world.rng) {
             let orphaned = world.pool.depart(idx);
             world.report.departures += 1;
+            sim.emit(RunEvent::NodeDeparted {
+                node: idx as u32,
+                reason: DepartureReason::Churn,
+            });
             if let Some(job) = orphaned {
                 // The node vanished mid-job: the server sees a timeout.
                 resolve_job(world, sim, job, true);
@@ -665,8 +834,9 @@ fn schedule_arrival(world: &mut World, sim: &mut Sim) {
             return;
         }
         let pool_cfg = world.cfg.pool;
-        world.pool.spawn_node(&pool_cfg, &mut world.rng);
+        let idx = world.pool.spawn_node(&pool_cfg, &mut world.rng);
         world.report.arrivals += 1;
+        sim.emit(RunEvent::NodeJoined { node: idx as u32 });
         pump(world, sim);
         schedule_arrival(world, sim);
     });

@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::journal::{Journal, RunEvent};
 use crate::time::{SimDuration, SimTime};
 
 /// An event handler: mutates the model and schedules follow-up events.
@@ -74,6 +75,7 @@ pub struct Simulator<M> {
     queue: BinaryHeap<Scheduled<M>>,
     next_seq: u64,
     executed: u64,
+    journal: Journal,
 }
 
 impl<M> std::fmt::Debug for Simulator<M> {
@@ -93,19 +95,46 @@ impl<M> Default for Simulator<M> {
 }
 
 impl<M> Simulator<M> {
-    /// Creates a simulator at time zero with an empty queue.
+    /// Creates a simulator at time zero with an empty queue. Journaling is
+    /// off by default; see [`Simulator::enable_journal`].
     pub fn new() -> Self {
         Self {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             next_seq: 0,
             executed: 0,
+            journal: Journal::disabled(),
         }
     }
 
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Turns on event journaling: subsequent [`Simulator::emit`] calls are
+    /// recorded instead of discarded.
+    pub fn enable_journal(&mut self) {
+        if !self.journal.is_enabled() {
+            self.journal = Journal::new();
+        }
+    }
+
+    /// Records `event` in the journal at the current simulated time.
+    /// A single predictable branch when journaling is disabled.
+    pub fn emit(&mut self, event: RunEvent) {
+        self.journal.record(self.now, event);
+    }
+
+    /// The journal recorded so far (empty and disabled unless
+    /// [`Simulator::enable_journal`] was called).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Takes the journal out of the simulator, leaving a disabled one.
+    pub fn take_journal(&mut self) -> Journal {
+        std::mem::replace(&mut self.journal, Journal::disabled())
     }
 
     /// Number of events waiting in the queue.
@@ -286,6 +315,32 @@ mod tests {
         let mut sim: Simulator<()> = Simulator::new();
         assert!(!sim.step(&mut ()));
         assert_eq!(sim.executed(), 0);
+    }
+
+    #[test]
+    fn emit_is_discarded_until_journal_enabled() {
+        use crate::journal::EventKind;
+
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.schedule_at(SimTime::from_units(1.0), |_, sim| {
+            sim.emit(RunEvent::NodeJoined { node: 0 });
+        });
+        sim.run(&mut ());
+        assert!(sim.journal().is_empty());
+
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_journal();
+        sim.schedule_at(SimTime::from_units(1.0), |_, sim| {
+            sim.emit(RunEvent::NodeJoined { node: 0 });
+        });
+        sim.run(&mut ());
+        sim.emit(RunEvent::RunEnded);
+        assert_eq!(sim.journal().len(), 2);
+        assert_eq!(sim.journal().events()[0].at, SimTime::from_units(1.0));
+        let journal = sim.take_journal();
+        assert_eq!(journal.count(EventKind::RunEnded), 1);
+        assert!(sim.journal().is_empty());
+        assert!(!sim.journal().is_enabled());
     }
 
     #[test]

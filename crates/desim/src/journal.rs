@@ -1,0 +1,1354 @@
+//! Structured run journal: a typed, allocation-light event log of one
+//! simulation run.
+//!
+//! The paper's claims (§4–§5) are about *trajectories* — how many jobs each
+//! technique deploys, when waves start, when a verdict fires — not just
+//! end-of-run aggregates. A [`Journal`] records every significant state
+//! transition of a run as a [`RunEvent`], stamped with the simulated time
+//! and a strictly monotone sequence number, so tests can assert behavior
+//! (ordering, causality, invariants) rather than only totals.
+//!
+//! The journal is deliberately simulator-agnostic: the DCA model and the
+//! volunteer-computing server share one event vocabulary, which is what
+//! makes differential trajectory comparisons between the two codepaths
+//! possible.
+//!
+//! Three serialization-adjacent guarantees back the test harness:
+//!
+//! * recording is **deterministic**: the same seeded run produces the same
+//!   event stream, bit for bit;
+//! * [`Journal::digest`] collapses the stream into one 64-bit FNV-1a hash,
+//!   so golden tests can pin a whole trajectory in a single constant;
+//! * [`Journal::to_jsonl`] / [`Journal::from_jsonl`] round-trip the stream
+//!   losslessly for capture, replay, and offline analysis.
+//!
+//! See the [`assert`] submodule for the trace-assertion DSL built on top.
+//!
+//! # Examples
+//!
+//! ```
+//! use smartred_desim::journal::{EventKind, Journal, RunEvent};
+//! use smartred_desim::time::SimTime;
+//!
+//! let mut journal = Journal::new();
+//! journal.record(SimTime::from_units(0.5), RunEvent::WaveOpened { task: 0, wave: 1, jobs: 3 });
+//! journal.record(
+//!     SimTime::from_units(0.5),
+//!     RunEvent::JobDispatched { job: 0, task: 0, node: 7, eta: SimTime::from_units(1.5) },
+//! );
+//! assert_eq!(journal.len(), 2);
+//! assert_eq!(journal.count(EventKind::JobDispatched), 1);
+//! let restored = Journal::from_jsonl(&journal.to_jsonl()).unwrap();
+//! assert_eq!(restored.digest(), journal.digest());
+//! ```
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Why a node left the scheduler's reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepartureReason {
+    /// The volunteer left of its own accord (churn).
+    Churn,
+    /// A fault-plan crash removed the node.
+    Crash,
+    /// The server's discipline permanently blacklisted the node.
+    Blacklist,
+}
+
+impl DepartureReason {
+    fn name(self) -> &'static str {
+        match self {
+            DepartureReason::Churn => "churn",
+            DepartureReason::Crash => "crash",
+            DepartureReason::Blacklist => "blacklist",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "churn" => DepartureReason::Churn,
+            "crash" => DepartureReason::Crash,
+            "blacklist" => DepartureReason::Blacklist,
+            _ => return None,
+        })
+    }
+}
+
+/// Which class of scheduled fault-plan event was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A node crash.
+    Crash,
+    /// A hang window on one node.
+    Hang,
+    /// A straggler (slowdown) window on one node.
+    Straggler,
+    /// A collusion burst across a pool fraction.
+    Collusion,
+    /// A network blackout silencing every node.
+    Blackout,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Hang => "hang",
+            FaultKind::Straggler => "straggler",
+            FaultKind::Collusion => "collusion",
+            FaultKind::Blackout => "blackout",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "crash" => FaultKind::Crash,
+            "hang" => FaultKind::Hang,
+            "straggler" => FaultKind::Straggler,
+            "collusion" => FaultKind::Collusion,
+            "blackout" => FaultKind::Blackout,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured event in a run's trajectory.
+///
+/// Identifiers are the simulators' stable dense indices: `task` is the task
+/// (or workunit) index, `node` the node (or host) index, `job` the
+/// dispatch-order job index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunEvent {
+    /// A job was handed to a node. `eta` is the time at which the server
+    /// will hear back: the job's completion time, or the timeout/deadline
+    /// if the node hangs — so `eta - now` is the node-busy reservation.
+    JobDispatched {
+        /// Dispatch-order job index.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// Node executing the job.
+        node: u32,
+        /// Scheduled resolution time.
+        eta: SimTime,
+    },
+    /// A job returned a result before the timeout.
+    JobReturned {
+        /// Dispatch-order job index.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// Node that executed the job.
+        node: u32,
+        /// The returned vote (in the DCA model `true` = correct value).
+        value: bool,
+    },
+    /// A job missed the server timeout/deadline (hang, blackout, outage,
+    /// straggler overrun, or mid-job node departure).
+    JobTimedOut {
+        /// Dispatch-order job index.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// Node that held the job.
+        node: u32,
+    },
+    /// A timed-out job was hidden from the vote and scheduled for a
+    /// backoff-delayed re-deployment (`attempt` is 1-based).
+    JobRetried {
+        /// Task being retried.
+        task: u32,
+        /// Retry attempt number, starting at 1.
+        attempt: u32,
+    },
+    /// A task's strategy opened deployment wave `wave` of `jobs` jobs.
+    WaveOpened {
+        /// Task index.
+        task: u32,
+        /// Wave number, starting at 1.
+        wave: u32,
+        /// Jobs deployed in this wave.
+        jobs: u32,
+    },
+    /// Every job of the task's current wave has resolved (result, timeout,
+    /// or abandonment); the strategy decides next.
+    WaveClosed {
+        /// Task index.
+        task: u32,
+        /// Wave number that just drained.
+        wave: u32,
+    },
+    /// A vote landed in the task's tally.
+    VoteTallied {
+        /// Task index.
+        task: u32,
+        /// The vote just recorded.
+        value: bool,
+        /// Votes for the current leader after this vote.
+        leader_count: u32,
+        /// Votes for the runner-up after this vote.
+        runner_up: u32,
+    },
+    /// The discipline layer pulled a node from the scheduler for a while.
+    NodeQuarantined {
+        /// Node index.
+        node: u32,
+    },
+    /// A quarantined node rejoined the scheduler.
+    NodeReleased {
+        /// Node index.
+        node: u32,
+    },
+    /// A node joined the pool mid-run (churn arrival).
+    NodeJoined {
+        /// Node index.
+        node: u32,
+    },
+    /// A node left the pool (or the scheduler, permanently).
+    NodeDeparted {
+        /// Node index.
+        node: u32,
+        /// Why it left.
+        reason: DepartureReason,
+    },
+    /// A regional outage started.
+    OutageStarted {
+        /// Region index.
+        region: u32,
+    },
+    /// A scheduled fault-plan event was injected.
+    FaultInjected {
+        /// Which fault class fired.
+        kind: FaultKind,
+    },
+    /// A task reached a verdict. Firm verdicts carry confidence `1.0`;
+    /// degraded verdicts (vote leader accepted at the job cap or at pool
+    /// starvation) carry their Bayesian confidence `q(r, a, b)`.
+    VerdictReached {
+        /// Task index.
+        task: u32,
+        /// The accepted value.
+        value: bool,
+        /// Whether the verdict was accepted degraded.
+        degraded: bool,
+        /// Confidence in the verdict.
+        confidence: f64,
+    },
+    /// A task hit its job cap with no verdict (and no degraded acceptance).
+    TaskCapped {
+        /// Task index.
+        task: u32,
+    },
+    /// The run is over; the event's timestamp is the run's makespan.
+    RunEnded,
+}
+
+/// Fieldless discriminant of [`RunEvent`], for filtering and counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// See [`RunEvent::JobDispatched`].
+    JobDispatched,
+    /// See [`RunEvent::JobReturned`].
+    JobReturned,
+    /// See [`RunEvent::JobTimedOut`].
+    JobTimedOut,
+    /// See [`RunEvent::JobRetried`].
+    JobRetried,
+    /// See [`RunEvent::WaveOpened`].
+    WaveOpened,
+    /// See [`RunEvent::WaveClosed`].
+    WaveClosed,
+    /// See [`RunEvent::VoteTallied`].
+    VoteTallied,
+    /// See [`RunEvent::NodeQuarantined`].
+    NodeQuarantined,
+    /// See [`RunEvent::NodeReleased`].
+    NodeReleased,
+    /// See [`RunEvent::NodeJoined`].
+    NodeJoined,
+    /// See [`RunEvent::NodeDeparted`].
+    NodeDeparted,
+    /// See [`RunEvent::OutageStarted`].
+    OutageStarted,
+    /// See [`RunEvent::FaultInjected`].
+    FaultInjected,
+    /// See [`RunEvent::VerdictReached`].
+    VerdictReached,
+    /// See [`RunEvent::TaskCapped`].
+    TaskCapped,
+    /// See [`RunEvent::RunEnded`].
+    RunEnded,
+}
+
+impl EventKind {
+    /// The kind's stable snake_case name, used in JSONL and digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::JobDispatched => "job_dispatched",
+            EventKind::JobReturned => "job_returned",
+            EventKind::JobTimedOut => "job_timed_out",
+            EventKind::JobRetried => "job_retried",
+            EventKind::WaveOpened => "wave_opened",
+            EventKind::WaveClosed => "wave_closed",
+            EventKind::VoteTallied => "vote_tallied",
+            EventKind::NodeQuarantined => "node_quarantined",
+            EventKind::NodeReleased => "node_released",
+            EventKind::NodeJoined => "node_joined",
+            EventKind::NodeDeparted => "node_departed",
+            EventKind::OutageStarted => "outage_started",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::VerdictReached => "verdict_reached",
+            EventKind::TaskCapped => "task_capped",
+            EventKind::RunEnded => "run_ended",
+        }
+    }
+}
+
+impl RunEvent {
+    /// The event's discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            RunEvent::JobDispatched { .. } => EventKind::JobDispatched,
+            RunEvent::JobReturned { .. } => EventKind::JobReturned,
+            RunEvent::JobTimedOut { .. } => EventKind::JobTimedOut,
+            RunEvent::JobRetried { .. } => EventKind::JobRetried,
+            RunEvent::WaveOpened { .. } => EventKind::WaveOpened,
+            RunEvent::WaveClosed { .. } => EventKind::WaveClosed,
+            RunEvent::VoteTallied { .. } => EventKind::VoteTallied,
+            RunEvent::NodeQuarantined { .. } => EventKind::NodeQuarantined,
+            RunEvent::NodeReleased { .. } => EventKind::NodeReleased,
+            RunEvent::NodeJoined { .. } => EventKind::NodeJoined,
+            RunEvent::NodeDeparted { .. } => EventKind::NodeDeparted,
+            RunEvent::OutageStarted { .. } => EventKind::OutageStarted,
+            RunEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            RunEvent::VerdictReached { .. } => EventKind::VerdictReached,
+            RunEvent::TaskCapped { .. } => EventKind::TaskCapped,
+            RunEvent::RunEnded => EventKind::RunEnded,
+        }
+    }
+
+    /// The task the event concerns, if any.
+    pub fn task(&self) -> Option<u32> {
+        match *self {
+            RunEvent::JobDispatched { task, .. }
+            | RunEvent::JobReturned { task, .. }
+            | RunEvent::JobTimedOut { task, .. }
+            | RunEvent::JobRetried { task, .. }
+            | RunEvent::WaveOpened { task, .. }
+            | RunEvent::WaveClosed { task, .. }
+            | RunEvent::VoteTallied { task, .. }
+            | RunEvent::VerdictReached { task, .. }
+            | RunEvent::TaskCapped { task } => Some(task),
+            _ => None,
+        }
+    }
+
+    /// The node the event concerns, if any.
+    pub fn node(&self) -> Option<u32> {
+        match *self {
+            RunEvent::JobDispatched { node, .. }
+            | RunEvent::JobReturned { node, .. }
+            | RunEvent::JobTimedOut { node, .. }
+            | RunEvent::NodeQuarantined { node }
+            | RunEvent::NodeReleased { node }
+            | RunEvent::NodeJoined { node }
+            | RunEvent::NodeDeparted { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// One journal entry: an event stamped with its simulated time and a
+/// strictly monotone sequence number (total order even within one instant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamped {
+    /// Simulated time at which the event occurred.
+    pub at: SimTime,
+    /// Recording sequence number, strictly increasing across the journal.
+    pub seq: u64,
+    /// The event.
+    pub event: RunEvent,
+}
+
+/// Error returned by [`Journal::from_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+/// An append-only, deterministic event journal of one run.
+///
+/// A disabled journal ([`Journal::disabled`]) drops every record without
+/// allocating, so always-on emission sites cost one predictable branch when
+/// journaling is off.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    enabled: bool,
+    events: Vec<Stamped>,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Creates an enabled, empty journal.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            events: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates a journal that silently discards every record.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            events: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends one event at simulated time `at`. No-op when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if events are recorded out of time order —
+    /// simulation clocks are monotone, so that is a bug at the emission
+    /// site.
+    pub fn record(&mut self, at: SimTime, event: RunEvent) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(
+            self.events.last().map(|e| e.at <= at).unwrap_or(true),
+            "journal recorded out of time order at {at}"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Stamped { at, seq, event });
+    }
+
+    /// All entries, in recording (= time) order.
+    pub fn events(&self) -> &[Stamped] {
+        &self.events
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Entries concerning one task, in order.
+    pub fn for_task(&self, task: u32) -> impl Iterator<Item = &Stamped> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.event.task() == Some(task))
+    }
+
+    /// Entries concerning one node, in order.
+    pub fn for_node(&self, node: u32) -> impl Iterator<Item = &Stamped> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.event.node() == Some(node))
+    }
+
+    /// Entries of one kind, in order.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Stamped> + '_ {
+        self.events.iter().filter(move |e| e.event.kind() == kind)
+    }
+
+    /// Number of entries of one kind.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// The contiguous window of entries with `t0 <= at <= t1` (binary
+    /// search; the journal is time-ordered by construction).
+    pub fn between(&self, t0: SimTime, t1: SimTime) -> &[Stamped] {
+        let lo = self.events.partition_point(|e| e.at < t0);
+        let hi = self.events.partition_point(|e| e.at <= t1);
+        &self.events[lo..hi.max(lo)]
+    }
+
+    /// One task's full timeline: every entry concerning it, in order.
+    pub fn task_timeline(&self, task: u32) -> Vec<&Stamped> {
+        self.for_task(task).collect()
+    }
+
+    /// 64-bit FNV-1a digest of the entire event stream.
+    ///
+    /// The digest covers timestamps, sequence numbers, event kinds, and
+    /// every field (floats by their exact bit pattern), so *any* change to
+    /// the trajectory — reordering, a shifted timestamp, a different vote —
+    /// changes the digest. Golden tests pin a run to one `u64`.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.events {
+            eat(&e.at.as_micros().to_le_bytes());
+            eat(&e.seq.to_le_bytes());
+            eat(e.event.kind().name().as_bytes());
+            match e.event {
+                RunEvent::JobDispatched {
+                    job,
+                    task,
+                    node,
+                    eta,
+                } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
+                    eat(&eta.as_micros().to_le_bytes());
+                }
+                RunEvent::JobReturned {
+                    job,
+                    task,
+                    node,
+                    value,
+                } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
+                    eat(&[value as u8]);
+                }
+                RunEvent::JobTimedOut { job, task, node } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
+                }
+                RunEvent::JobRetried { task, attempt } => {
+                    eat(&task.to_le_bytes());
+                    eat(&attempt.to_le_bytes());
+                }
+                RunEvent::WaveOpened { task, wave, jobs } => {
+                    eat(&task.to_le_bytes());
+                    eat(&wave.to_le_bytes());
+                    eat(&jobs.to_le_bytes());
+                }
+                RunEvent::WaveClosed { task, wave } => {
+                    eat(&task.to_le_bytes());
+                    eat(&wave.to_le_bytes());
+                }
+                RunEvent::VoteTallied {
+                    task,
+                    value,
+                    leader_count,
+                    runner_up,
+                } => {
+                    eat(&task.to_le_bytes());
+                    eat(&[value as u8]);
+                    eat(&leader_count.to_le_bytes());
+                    eat(&runner_up.to_le_bytes());
+                }
+                RunEvent::NodeQuarantined { node }
+                | RunEvent::NodeReleased { node }
+                | RunEvent::NodeJoined { node } => eat(&node.to_le_bytes()),
+                RunEvent::NodeDeparted { node, reason } => {
+                    eat(&node.to_le_bytes());
+                    eat(reason.name().as_bytes());
+                }
+                RunEvent::OutageStarted { region } => eat(&region.to_le_bytes()),
+                RunEvent::FaultInjected { kind } => eat(kind.name().as_bytes()),
+                RunEvent::VerdictReached {
+                    task,
+                    value,
+                    degraded,
+                    confidence,
+                } => {
+                    eat(&task.to_le_bytes());
+                    eat(&[value as u8, degraded as u8]);
+                    eat(&confidence.to_bits().to_le_bytes());
+                }
+                RunEvent::TaskCapped { task } => eat(&task.to_le_bytes()),
+                RunEvent::RunEnded => {}
+            }
+        }
+        hash
+    }
+
+    /// The digest as a fixed-width hex string, convenient for golden tests.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    /// Serializes the journal as JSON Lines: one event object per line,
+    /// fixed key order, byte-deterministic. Floats use Rust's shortest
+    /// round-trip formatting, so [`Journal::from_jsonl`] restores them
+    /// bit-exactly.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            let mut line = format!(
+                "{{\"at\":{},\"seq\":{},\"kind\":\"{}\"",
+                e.at.as_micros(),
+                e.seq,
+                e.event.kind().name()
+            );
+            match e.event {
+                RunEvent::JobDispatched {
+                    job,
+                    task,
+                    node,
+                    eta,
+                } => line.push_str(&format!(
+                    ",\"job\":{job},\"task\":{task},\"node\":{node},\"eta\":{}",
+                    eta.as_micros()
+                )),
+                RunEvent::JobReturned {
+                    job,
+                    task,
+                    node,
+                    value,
+                } => line.push_str(&format!(
+                    ",\"job\":{job},\"task\":{task},\"node\":{node},\"value\":{value}"
+                )),
+                RunEvent::JobTimedOut { job, task, node } => {
+                    line.push_str(&format!(",\"job\":{job},\"task\":{task},\"node\":{node}"))
+                }
+                RunEvent::JobRetried { task, attempt } => {
+                    line.push_str(&format!(",\"task\":{task},\"attempt\":{attempt}"))
+                }
+                RunEvent::WaveOpened { task, wave, jobs } => {
+                    line.push_str(&format!(",\"task\":{task},\"wave\":{wave},\"jobs\":{jobs}"))
+                }
+                RunEvent::WaveClosed { task, wave } => {
+                    line.push_str(&format!(",\"task\":{task},\"wave\":{wave}"))
+                }
+                RunEvent::VoteTallied {
+                    task,
+                    value,
+                    leader_count,
+                    runner_up,
+                } => line.push_str(&format!(
+                    ",\"task\":{task},\"value\":{value},\"leader\":{leader_count},\"runner_up\":{runner_up}"
+                )),
+                RunEvent::NodeQuarantined { node }
+                | RunEvent::NodeReleased { node }
+                | RunEvent::NodeJoined { node } => line.push_str(&format!(",\"node\":{node}")),
+                RunEvent::NodeDeparted { node, reason } => line.push_str(&format!(
+                    ",\"node\":{node},\"reason\":\"{}\"",
+                    reason.name()
+                )),
+                RunEvent::OutageStarted { region } => {
+                    line.push_str(&format!(",\"region\":{region}"))
+                }
+                RunEvent::FaultInjected { kind } => {
+                    line.push_str(&format!(",\"fault\":\"{}\"", kind.name()))
+                }
+                RunEvent::VerdictReached {
+                    task,
+                    value,
+                    degraded,
+                    confidence,
+                } => line.push_str(&format!(
+                    ",\"task\":{task},\"value\":{value},\"degraded\":{degraded},\"confidence\":{confidence:?}"
+                )),
+                RunEvent::TaskCapped { task } => line.push_str(&format!(",\"task\":{task}")),
+                RunEvent::RunEnded => {}
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a journal back from its [`Journal::to_jsonl`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalParseError`] naming the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Self, JournalParseError> {
+        let mut journal = Journal::new();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_object(line).map_err(|message| JournalParseError {
+                line: line_no,
+                message,
+            })?;
+            let err = |message: String| JournalParseError {
+                line: line_no,
+                message,
+            };
+            let get = |key: &str| -> Result<&JsonValue, JournalParseError> {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| err(format!("missing field '{key}'")))
+            };
+            let int = |key: &str| -> Result<u64, JournalParseError> {
+                match get(key)? {
+                    JsonValue::Int(n) => Ok(*n),
+                    other => Err(err(format!("field '{key}' is not an integer: {other:?}"))),
+                }
+            };
+            let narrow = |key: &str| -> Result<u32, JournalParseError> {
+                u32::try_from(int(key)?).map_err(|_| err(format!("field '{key}' exceeds u32")))
+            };
+            let boolean = |key: &str| -> Result<bool, JournalParseError> {
+                match get(key)? {
+                    JsonValue::Bool(b) => Ok(*b),
+                    other => Err(err(format!("field '{key}' is not a bool: {other:?}"))),
+                }
+            };
+            let string = |key: &str| -> Result<&str, JournalParseError> {
+                match get(key)? {
+                    JsonValue::Str(s) => Ok(s.as_str()),
+                    other => Err(err(format!("field '{key}' is not a string: {other:?}"))),
+                }
+            };
+            let float = |key: &str| -> Result<f64, JournalParseError> {
+                match get(key)? {
+                    JsonValue::Float(x) => Ok(*x),
+                    JsonValue::Int(n) => Ok(*n as f64),
+                    other => Err(err(format!("field '{key}' is not a number: {other:?}"))),
+                }
+            };
+
+            let at = SimTime::from_micros(int("at")?);
+            let seq = int("seq")?;
+            let kind = string("kind")?.to_string();
+            let event = match kind.as_str() {
+                "job_dispatched" => RunEvent::JobDispatched {
+                    job: narrow("job")?,
+                    task: narrow("task")?,
+                    node: narrow("node")?,
+                    eta: SimTime::from_micros(int("eta")?),
+                },
+                "job_returned" => RunEvent::JobReturned {
+                    job: narrow("job")?,
+                    task: narrow("task")?,
+                    node: narrow("node")?,
+                    value: boolean("value")?,
+                },
+                "job_timed_out" => RunEvent::JobTimedOut {
+                    job: narrow("job")?,
+                    task: narrow("task")?,
+                    node: narrow("node")?,
+                },
+                "job_retried" => RunEvent::JobRetried {
+                    task: narrow("task")?,
+                    attempt: narrow("attempt")?,
+                },
+                "wave_opened" => RunEvent::WaveOpened {
+                    task: narrow("task")?,
+                    wave: narrow("wave")?,
+                    jobs: narrow("jobs")?,
+                },
+                "wave_closed" => RunEvent::WaveClosed {
+                    task: narrow("task")?,
+                    wave: narrow("wave")?,
+                },
+                "vote_tallied" => RunEvent::VoteTallied {
+                    task: narrow("task")?,
+                    value: boolean("value")?,
+                    leader_count: narrow("leader")?,
+                    runner_up: narrow("runner_up")?,
+                },
+                "node_quarantined" => RunEvent::NodeQuarantined {
+                    node: narrow("node")?,
+                },
+                "node_released" => RunEvent::NodeReleased {
+                    node: narrow("node")?,
+                },
+                "node_joined" => RunEvent::NodeJoined {
+                    node: narrow("node")?,
+                },
+                "node_departed" => RunEvent::NodeDeparted {
+                    node: narrow("node")?,
+                    reason: DepartureReason::from_name(string("reason")?)
+                        .ok_or_else(|| err("unknown departure reason".into()))?,
+                },
+                "outage_started" => RunEvent::OutageStarted {
+                    region: narrow("region")?,
+                },
+                "fault_injected" => RunEvent::FaultInjected {
+                    kind: FaultKind::from_name(string("fault")?)
+                        .ok_or_else(|| err("unknown fault kind".into()))?,
+                },
+                "verdict_reached" => RunEvent::VerdictReached {
+                    task: narrow("task")?,
+                    value: boolean("value")?,
+                    degraded: boolean("degraded")?,
+                    confidence: float("confidence")?,
+                },
+                "task_capped" => RunEvent::TaskCapped {
+                    task: narrow("task")?,
+                },
+                "run_ended" => RunEvent::RunEnded,
+                other => return Err(err(format!("unknown event kind '{other}'"))),
+            };
+            if let Some(last) = journal.events.last() {
+                if at < last.at {
+                    return Err(err(format!(
+                        "events out of time order: {at} after {}",
+                        last.at
+                    )));
+                }
+            }
+            journal.events.push(Stamped { at, seq, event });
+            journal.next_seq = seq + 1;
+        }
+        Ok(journal)
+    }
+}
+
+/// Minimal JSON scalar for the journal's flat single-line objects.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Int(u64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`) with scalar values only —
+/// exactly the shape [`Journal::to_jsonl`] emits. Strings must not contain
+/// escapes (event vocabulary is fixed snake_case names).
+fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut fields = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',');
+        if rest.is_empty() {
+            break;
+        }
+        let rest2 = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected key at: {rest}"))?;
+        let key_end = rest2
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = &rest2[..key_end];
+        let after_key = rest2[key_end + 1..]
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key '{key}'"))?;
+        let (value, remainder) = if let Some(v) = after_key.strip_prefix('"') {
+            let end = v
+                .find('"')
+                .ok_or_else(|| "unterminated string value".to_string())?;
+            (JsonValue::Str(v[..end].to_string()), &v[end + 1..])
+        } else {
+            let end = after_key.find(',').unwrap_or(after_key.len());
+            let raw = &after_key[..end];
+            let value = match raw {
+                "true" => JsonValue::Bool(true),
+                "false" => JsonValue::Bool(false),
+                _ => {
+                    if raw.chars().all(|c| c.is_ascii_digit()) {
+                        JsonValue::Int(
+                            raw.parse::<u64>()
+                                .map_err(|e| format!("bad integer '{raw}': {e}"))?,
+                        )
+                    } else {
+                        JsonValue::Float(
+                            raw.parse::<f64>()
+                                .map_err(|e| format!("bad number '{raw}': {e}"))?,
+                        )
+                    }
+                }
+            };
+            (value, &after_key[end..])
+        };
+        fields.push((key.to_string(), value));
+        rest = remainder;
+    }
+    Ok(fields)
+}
+
+pub mod assert {
+    //! Trace-assertion DSL: behavioral checks over a [`Journal`].
+    //!
+    //! Every method panics with a descriptive message on violation, so the
+    //! DSL composes directly with `#[test]` functions — a failed trajectory
+    //! assertion names the offending event.
+    //!
+    //! # Examples
+    //!
+    //! ```
+    //! use smartred_desim::journal::{EventKind, Journal, RunEvent};
+    //! use smartred_desim::journal::assert::that;
+    //! use smartred_desim::time::SimTime;
+    //!
+    //! let mut j = Journal::new();
+    //! let t = SimTime::from_units(1.0);
+    //! j.record(t, RunEvent::JobTimedOut { job: 0, task: 3, node: 1 });
+    //! j.record(t, RunEvent::JobRetried { task: 3, attempt: 1 });
+    //! that(&j)
+    //!     .time_ordered()
+    //!     .retry_follows_timeout()
+    //!     .count(EventKind::JobRetried)
+    //!     .exactly(1);
+    //! ```
+
+    use super::{EventKind, Journal, RunEvent, Stamped};
+
+    /// Entry point: wraps a journal for chained assertions.
+    pub fn that(journal: &Journal) -> TraceAssert<'_> {
+        TraceAssert { journal }
+    }
+
+    /// Chainable assertion context over one journal.
+    #[derive(Debug, Clone, Copy)]
+    pub struct TraceAssert<'a> {
+        journal: &'a Journal,
+    }
+
+    impl<'a> TraceAssert<'a> {
+        /// The underlying journal.
+        pub fn journal(&self) -> &'a Journal {
+            self.journal
+        }
+
+        /// Asserts timestamps are non-decreasing and sequence numbers
+        /// strictly increasing.
+        pub fn time_ordered(&self) -> &Self {
+            for pair in self.journal.events().windows(2) {
+                assert!(
+                    pair[0].at <= pair[1].at,
+                    "journal out of time order: seq {} at {} precedes seq {} at {}",
+                    pair[0].seq,
+                    pair[0].at,
+                    pair[1].seq,
+                    pair[1].at
+                );
+                assert!(
+                    pair[0].seq < pair[1].seq,
+                    "journal sequence not strictly increasing at seq {}",
+                    pair[1].seq
+                );
+            }
+            self
+        }
+
+        /// Starts a count assertion for one event kind.
+        pub fn count(&self, kind: EventKind) -> CountAssert<'a> {
+            CountAssert {
+                parent: *self,
+                kind,
+                n: self.journal.count(kind),
+            }
+        }
+
+        /// Asserts no event matches `pred`. `desc` names the forbidden
+        /// behavior in the panic message.
+        pub fn never<F>(&self, desc: &str, pred: F) -> &Self
+        where
+            F: Fn(&Stamped) -> bool,
+        {
+            if let Some(e) = self.journal.events().iter().find(|e| pred(e)) {
+                panic!(
+                    "forbidden event ({desc}): seq {} at {} — {:?}",
+                    e.seq, e.at, e.event
+                );
+            }
+            self
+        }
+
+        /// Asserts every event matching `trigger` has a *later or
+        /// simultaneous* event `e2` (greater sequence number) for which
+        /// `response(trigger_event, e2)` holds — the generic
+        /// "B eventually follows A" causality check.
+        pub fn each_followed_by<T, R>(&self, desc: &str, trigger: T, response: R) -> &Self
+        where
+            T: Fn(&Stamped) -> bool,
+            R: Fn(&Stamped, &Stamped) -> bool,
+        {
+            let events = self.journal.events();
+            for (i, e) in events.iter().enumerate() {
+                if trigger(e) && !events[i + 1..].iter().any(|later| response(e, later)) {
+                    panic!(
+                        "unanswered event ({desc}): seq {} at {} — {:?} has no follow-up",
+                        e.seq, e.at, e.event
+                    );
+                }
+            }
+            self
+        }
+
+        /// Asserts every event matching `effect` has an *earlier or
+        /// simultaneous* event `e0` (smaller sequence number) for which
+        /// `cause(e0, effect_event)` holds — "A precedes B" causality.
+        pub fn each_preceded_by<E, C>(&self, desc: &str, effect: E, cause: C) -> &Self
+        where
+            E: Fn(&Stamped) -> bool,
+            C: Fn(&Stamped, &Stamped) -> bool,
+        {
+            let events = self.journal.events();
+            for (i, e) in events.iter().enumerate() {
+                if effect(e) && !events[..i].iter().any(|earlier| cause(earlier, e)) {
+                    panic!(
+                        "uncaused event ({desc}): seq {} at {} — {:?} has no preceding cause",
+                        e.seq, e.at, e.event
+                    );
+                }
+            }
+            self
+        }
+
+        /// Built-in invariant: every [`RunEvent::JobRetried`] is preceded by
+        /// a [`RunEvent::JobTimedOut`] of the same task.
+        pub fn retry_follows_timeout(&self) -> &Self {
+            self.each_preceded_by(
+                "retry follows timeout",
+                |e| matches!(e.event, RunEvent::JobRetried { .. }),
+                |earlier, retry| match (earlier.event, retry.event) {
+                    (RunEvent::JobTimedOut { task, .. }, RunEvent::JobRetried { task: rt, .. }) => {
+                        task == rt
+                    }
+                    _ => false,
+                },
+            )
+        }
+
+        /// Built-in invariant: no job is dispatched to a node that is
+        /// currently quarantined. Walks the stream maintaining the
+        /// quarantine set (quarantine opens it; release or permanent
+        /// departure closes it).
+        pub fn no_dispatch_to_quarantined(&self) -> &Self {
+            let mut quarantined = std::collections::HashSet::new();
+            for e in self.journal.events() {
+                match e.event {
+                    RunEvent::NodeQuarantined { node } => {
+                        quarantined.insert(node);
+                    }
+                    RunEvent::NodeReleased { node } | RunEvent::NodeDeparted { node, .. } => {
+                        quarantined.remove(&node);
+                    }
+                    RunEvent::JobDispatched { node, task, .. } => {
+                        assert!(
+                            !quarantined.contains(&node),
+                            "job for task {task} dispatched to quarantined node {node} \
+                             at {} (seq {})",
+                            e.at,
+                            e.seq
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            self
+        }
+
+        /// Built-in invariant: per task, wave numbers open in order 1, 2, …
+        /// and a wave closes only after it opened.
+        pub fn waves_well_formed(&self) -> &Self {
+            use std::collections::HashMap;
+            let mut opened: HashMap<u32, u32> = HashMap::new();
+            for e in self.journal.events() {
+                match e.event {
+                    RunEvent::WaveOpened { task, wave, .. } => {
+                        let prev = opened.insert(task, wave).unwrap_or(0);
+                        assert!(
+                            wave == prev + 1,
+                            "task {task} opened wave {wave} after wave {prev} at {}",
+                            e.at
+                        );
+                    }
+                    RunEvent::WaveClosed { task, wave } => {
+                        let cur = opened.get(&task).copied().unwrap_or(0);
+                        assert!(
+                            wave <= cur,
+                            "task {task} closed wave {wave} which never opened (last {cur})"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            self
+        }
+    }
+
+    /// Pending count assertion for one event kind.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CountAssert<'a> {
+        parent: TraceAssert<'a>,
+        kind: EventKind,
+        n: usize,
+    }
+
+    impl<'a> CountAssert<'a> {
+        /// Asserts the count equals `expected`.
+        pub fn exactly(&self, expected: usize) -> TraceAssert<'a> {
+            assert!(
+                self.n == expected,
+                "expected exactly {expected} {} events, found {}",
+                self.kind.name(),
+                self.n
+            );
+            self.parent
+        }
+
+        /// Asserts the count is at least `min`.
+        pub fn at_least(&self, min: usize) -> TraceAssert<'a> {
+            assert!(
+                self.n >= min,
+                "expected at least {min} {} events, found {}",
+                self.kind.name(),
+                self.n
+            );
+            self.parent
+        }
+
+        /// Asserts the count is at most `max`.
+        pub fn at_most(&self, max: usize) -> TraceAssert<'a> {
+            assert!(
+                self.n <= max,
+                "expected at most {max} {} events, found {}",
+                self.kind.name(),
+                self.n
+            );
+            self.parent
+        }
+
+        /// The raw count, for ad-hoc arithmetic.
+        pub fn get(&self) -> usize {
+            self.n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(units: f64) -> SimTime {
+        SimTime::from_units(units)
+    }
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            RunEvent::WaveOpened {
+                task: 0,
+                wave: 1,
+                jobs: 3,
+            },
+        );
+        j.record(
+            t(0.0),
+            RunEvent::JobDispatched {
+                job: 0,
+                task: 0,
+                node: 2,
+                eta: t(1.0),
+            },
+        );
+        j.record(
+            t(1.0),
+            RunEvent::JobReturned {
+                job: 0,
+                task: 0,
+                node: 2,
+                value: true,
+            },
+        );
+        j.record(
+            t(1.0),
+            RunEvent::VoteTallied {
+                task: 0,
+                value: true,
+                leader_count: 1,
+                runner_up: 0,
+            },
+        );
+        j.record(
+            t(2.0),
+            RunEvent::JobTimedOut {
+                job: 1,
+                task: 0,
+                node: 3,
+            },
+        );
+        j.record(
+            t(2.0),
+            RunEvent::JobRetried {
+                task: 0,
+                attempt: 1,
+            },
+        );
+        j.record(t(3.0), RunEvent::NodeQuarantined { node: 3 });
+        j.record(t(4.0), RunEvent::NodeReleased { node: 3 });
+        j.record(
+            t(5.0),
+            RunEvent::VerdictReached {
+                task: 0,
+                value: true,
+                degraded: false,
+                confidence: 1.0,
+            },
+        );
+        j.record(t(5.0), RunEvent::RunEnded);
+        j
+    }
+
+    #[test]
+    fn queries_filter_and_window() {
+        let j = sample_journal();
+        assert_eq!(j.len(), 10);
+        assert_eq!(j.for_task(0).count(), 7);
+        assert_eq!(j.for_node(3).count(), 3);
+        assert_eq!(j.count(EventKind::JobRetried), 1);
+        assert_eq!(j.between(t(1.0), t(2.0)).len(), 4);
+        assert_eq!(j.between(t(9.0), t(10.0)).len(), 0);
+        assert_eq!(j.task_timeline(0).len(), 7);
+        assert_eq!(j.task_timeline(5).len(), 0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_losslessly() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let restored = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(restored.events(), j.events());
+        assert_eq!(restored.digest(), j.digest());
+        assert_eq!(restored.to_jsonl(), text);
+    }
+
+    #[test]
+    fn digest_changes_with_any_field() {
+        let j = sample_journal();
+        let mut k = sample_journal();
+        k.record(t(6.0), RunEvent::RunEnded);
+        assert_ne!(j.digest(), k.digest());
+
+        let mut shifted = Journal::new();
+        for e in j.events() {
+            shifted.record(e.at + crate::time::SimDuration::from_micros(1), e.event);
+        }
+        assert_ne!(shifted.digest(), j.digest());
+        assert_eq!(j.digest_hex().len(), 16);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let mut j = Journal::disabled();
+        j.record(t(1.0), RunEvent::RunEnded);
+        assert!(j.is_empty());
+        assert!(!j.is_enabled());
+        assert!(Journal::new().is_enabled());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Journal::from_jsonl("not json").is_err());
+        assert!(Journal::from_jsonl("{\"at\":0,\"seq\":0,\"kind\":\"no_such\"}").is_err());
+        assert!(Journal::from_jsonl("{\"at\":0,\"kind\":\"run_ended\"}").is_err());
+        // Out-of-order times are rejected on load.
+        let bad = "{\"at\":5,\"seq\":0,\"kind\":\"run_ended\"}\n{\"at\":1,\"seq\":1,\"kind\":\"run_ended\"}\n";
+        let err = Journal::from_jsonl(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn assert_dsl_passes_on_well_formed_journal() {
+        let j = sample_journal();
+        assert::that(&j)
+            .time_ordered()
+            .retry_follows_timeout()
+            .no_dispatch_to_quarantined()
+            .waves_well_formed()
+            .count(EventKind::VerdictReached)
+            .exactly(1)
+            .count(EventKind::JobDispatched)
+            .at_least(1)
+            .count(EventKind::TaskCapped)
+            .at_most(0)
+            .never("no joins in this run", |e| {
+                matches!(e.event, RunEvent::NodeJoined { .. })
+            })
+            .each_followed_by(
+                "every dispatch resolves",
+                |e| matches!(e.event, RunEvent::JobDispatched { .. }),
+                |d, later| match (d.event, later.event) {
+                    (
+                        RunEvent::JobDispatched { job, .. },
+                        RunEvent::JobReturned { job: j2, .. },
+                    )
+                    | (
+                        RunEvent::JobDispatched { job, .. },
+                        RunEvent::JobTimedOut { job: j2, .. },
+                    ) => job == j2,
+                    _ => false,
+                },
+            );
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatched to quarantined node")]
+    fn dispatch_to_quarantined_node_is_caught() {
+        let mut j = Journal::new();
+        j.record(t(0.0), RunEvent::NodeQuarantined { node: 4 });
+        j.record(
+            t(1.0),
+            RunEvent::JobDispatched {
+                job: 0,
+                task: 0,
+                node: 4,
+                eta: t(2.0),
+            },
+        );
+        assert::that(&j).no_dispatch_to_quarantined();
+    }
+
+    #[test]
+    #[should_panic(expected = "uncaused event")]
+    fn orphan_retry_is_caught() {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            RunEvent::JobRetried {
+                task: 1,
+                attempt: 1,
+            },
+        );
+        assert::that(&j).retry_follows_timeout();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected exactly")]
+    fn wrong_count_is_caught() {
+        let j = sample_journal();
+        assert::that(&j).count(EventKind::RunEnded).exactly(2);
+    }
+}

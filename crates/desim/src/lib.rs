@@ -41,10 +41,12 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod journal;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::{RunStats, Simulator};
+pub use journal::{EventKind, Journal, RunEvent};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

@@ -81,12 +81,53 @@ impl Trace {
     }
 
     /// The last value of a series, if any.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smartred_desim::time::SimTime;
+    /// use smartred_desim::trace::Trace;
+    ///
+    /// let mut trace = Trace::new();
+    /// trace.record(SimTime::from_units(1.0), "queue_depth", 3.0);
+    /// trace.record(SimTime::from_units(2.0), "queue_depth", 5.0);
+    /// assert_eq!(trace.last("queue_depth"), Some(5.0));
+    /// assert_eq!(trace.last("missing"), None);
+    /// ```
     pub fn last(&self, label: &str) -> Option<f64> {
         self.samples
             .iter()
             .rev()
             .find(|s| s.label == label)
             .map(|s| s.value)
+    }
+
+    /// Iterates the samples of one series within the closed time window
+    /// `[t0, t1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smartred_desim::time::SimTime;
+    /// use smartred_desim::trace::Trace;
+    ///
+    /// let mut trace = Trace::new();
+    /// for i in 0..5 {
+    ///     trace.record(SimTime::from_units(i as f64), "idle", i as f64);
+    /// }
+    /// let window: Vec<f64> = trace
+    ///     .between("idle", SimTime::from_units(1.0), SimTime::from_units(3.0))
+    ///     .map(|s| s.value)
+    ///     .collect();
+    /// assert_eq!(window, vec![1.0, 2.0, 3.0]);
+    /// ```
+    pub fn between<'a>(
+        &'a self,
+        label: &'a str,
+        t0: SimTime,
+        t1: SimTime,
+    ) -> impl Iterator<Item = &'a Sample> + 'a {
+        self.series(label).filter(move |s| s.at >= t0 && s.at <= t1)
     }
 
     /// Time-weighted mean of a step series between its first sample and
@@ -142,6 +183,8 @@ mod tests {
         assert_eq!(trace.labels(), vec!["a", "b"]);
         assert_eq!(trace.last("a"), Some(3.0));
         assert_eq!(trace.last("c"), None);
+        assert_eq!(trace.between("a", t(1.0), t(2.0)).count(), 1);
+        assert_eq!(trace.between("a", t(0.0), t(2.0)).count(), 2);
         assert_eq!(trace.len(), 3);
         assert!(!trace.is_empty());
     }

@@ -1,0 +1,188 @@
+//! Property-based tests of the journal's core contracts: recording keeps
+//! time order, JSONL serialization round-trips losslessly, digests are a
+//! pure function of the event stream (and in particular independent of the
+//! `SMARTRED_THREADS` parallelism knob), and windowing agrees with a naive
+//! filter.
+
+use proptest::prelude::*;
+use smartred_desim::journal::{assert as jassert, EventKind, Journal, RunEvent};
+use smartred_desim::time::SimTime;
+
+/// Builds a deterministic event from generated scalars. `sel` picks the
+/// variant, `a`/`b` fill the integer fields, `v` the booleans; the
+/// confidence float is derived from `a` so it is always finite and in
+/// `[0, 1]`.
+fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
+    match sel % 12 {
+        0 => RunEvent::JobDispatched {
+            job: a,
+            task: b,
+            node: a % 97,
+            eta: SimTime::from_micros(a as u64 * 7 + 1),
+        },
+        1 => RunEvent::JobReturned {
+            job: a,
+            task: b,
+            node: a % 97,
+            value: v,
+        },
+        2 => RunEvent::JobTimedOut {
+            job: a,
+            task: b,
+            node: a % 97,
+        },
+        3 => RunEvent::JobRetried {
+            task: b,
+            attempt: a % 16 + 1,
+        },
+        4 => RunEvent::WaveOpened {
+            task: b,
+            wave: a % 8 + 1,
+            jobs: a % 32 + 1,
+        },
+        5 => RunEvent::WaveClosed {
+            task: b,
+            wave: a % 8 + 1,
+        },
+        6 => RunEvent::VoteTallied {
+            task: b,
+            value: v,
+            leader_count: a % 64,
+            runner_up: a % 17,
+        },
+        7 => RunEvent::NodeQuarantined { node: a % 97 },
+        8 => RunEvent::NodeReleased { node: a % 97 },
+        9 => RunEvent::VerdictReached {
+            task: b,
+            value: v,
+            degraded: a.is_multiple_of(2),
+            confidence: (a % 1001) as f64 / 1000.0,
+        },
+        10 => RunEvent::TaskCapped { task: b },
+        _ => RunEvent::OutageStarted { region: a % 5 },
+    }
+}
+
+/// Records the generated events with non-decreasing timestamps.
+fn build_journal(entries: &[(u64, u8, u32, u32, bool)]) -> Journal {
+    let mut journal = Journal::new();
+    let mut at = 0u64;
+    for &(delta, sel, a, b, v) in entries {
+        at += delta;
+        journal.record(SimTime::from_micros(at), event_from(sel, a, b, v));
+    }
+    journal
+}
+
+proptest! {
+    /// Recording with a monotone clock yields a time-ordered journal with
+    /// strictly increasing sequence numbers.
+    #[test]
+    fn journals_are_time_ordered(
+        entries in proptest::collection::vec(
+            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            1..80,
+        ),
+    ) {
+        let journal = build_journal(&entries);
+        prop_assert_eq!(journal.len(), entries.len());
+        jassert::that(&journal).time_ordered();
+    }
+
+    /// JSONL round-trips losslessly: same events, same digest, and the
+    /// re-serialized text is byte-identical.
+    #[test]
+    fn jsonl_round_trips_losslessly(
+        entries in proptest::collection::vec(
+            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            0..80,
+        ),
+    ) {
+        let journal = build_journal(&entries);
+        let text = journal.to_jsonl();
+        let restored = Journal::from_jsonl(&text).unwrap();
+        prop_assert_eq!(restored.events(), journal.events());
+        prop_assert_eq!(restored.digest(), journal.digest());
+        prop_assert_eq!(restored.to_jsonl(), text);
+    }
+
+    /// The digest is a pure function of the event stream: recomputing it,
+    /// and recomputing it under different `SMARTRED_THREADS` settings,
+    /// always yields the same value — journal recording never consults the
+    /// parallelism knob.
+    #[test]
+    fn digest_is_thread_setting_invariant(
+        entries in proptest::collection::vec(
+            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            0..60,
+        ),
+    ) {
+        let mut digests = Vec::new();
+        for threads in ["1", "8"] {
+            std::env::set_var("SMARTRED_THREADS", threads);
+            let journal = build_journal(&entries);
+            digests.push(journal.digest());
+        }
+        std::env::remove_var("SMARTRED_THREADS");
+        prop_assert_eq!(digests[0], digests[1]);
+        prop_assert_eq!(digests[0], build_journal(&entries).digest());
+    }
+
+    /// `between` returns exactly the events a naive scan selects.
+    #[test]
+    fn windowing_agrees_with_naive_filter(
+        entries in proptest::collection::vec(
+            (0u64..300, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            1..60,
+        ),
+        bounds in (0u64..20_000, 0u64..20_000),
+    ) {
+        let journal = build_journal(&entries);
+        let (a, b) = bounds;
+        let (t0, t1) = (SimTime::from_micros(a.min(b)), SimTime::from_micros(a.max(b)));
+        let window: Vec<_> = journal.between(t0, t1).to_vec();
+        let naive: Vec<_> = journal
+            .events()
+            .iter()
+            .filter(|e| e.at >= t0 && e.at <= t1)
+            .copied()
+            .collect();
+        prop_assert_eq!(window, naive);
+    }
+
+    /// Kind/task/node filters partition consistently with raw counts.
+    #[test]
+    fn filters_are_consistent_with_counts(
+        entries in proptest::collection::vec(
+            (0u64..300, 0u8..12, 0u32..10_000, 0u32..8, proptest::bool::ANY),
+            1..60,
+        ),
+    ) {
+        let journal = build_journal(&entries);
+        let by_kind: usize = [
+            EventKind::JobDispatched,
+            EventKind::JobReturned,
+            EventKind::JobTimedOut,
+            EventKind::JobRetried,
+            EventKind::WaveOpened,
+            EventKind::WaveClosed,
+            EventKind::VoteTallied,
+            EventKind::NodeQuarantined,
+            EventKind::NodeReleased,
+            EventKind::VerdictReached,
+            EventKind::TaskCapped,
+            EventKind::OutageStarted,
+        ]
+        .iter()
+        .map(|&k| journal.count(k))
+        .sum();
+        prop_assert_eq!(by_kind, journal.len());
+        for task in 0..8u32 {
+            let timeline = journal.task_timeline(task);
+            prop_assert_eq!(timeline.len(), journal.for_task(task).count());
+            for e in timeline {
+                prop_assert_eq!(e.event.task(), Some(task));
+            }
+        }
+    }
+}

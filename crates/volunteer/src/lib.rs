@@ -46,5 +46,7 @@ pub mod workunit;
 
 pub use campaign::{run_campaign, AttackModel, CampaignConfig, CampaignReport, Validator};
 pub use host::PlanetLabProfile;
-pub use server::{run, DeadlinePolicy, DeploymentReport, SchedulerPolicy, VolunteerConfig};
+pub use server::{
+    run, run_journaled, DeadlinePolicy, DeploymentReport, SchedulerPolicy, VolunteerConfig,
+};
 pub use workunit::{Workunit, WorkunitId, WorkunitVerdict};

@@ -17,6 +17,7 @@ use smartred_core::execution::{Poll, TaskExecution};
 use smartred_core::resilience::{DisciplineAction, NodeDiscipline, QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
+use smartred_desim::journal::{DepartureReason, Journal, RunEvent};
 use smartred_desim::rng::{backoff_duration, seeded_rng, SimRng};
 use smartred_desim::time::{SimDuration, SimTime};
 use smartred_sat::assignment::decompose;
@@ -280,6 +281,28 @@ pub fn run(
     strategy: SharedStrategy,
     config: &VolunteerConfig,
 ) -> Result<DeploymentReport, ParamError> {
+    run_inner(strategy, config, false).map(|(report, _)| report)
+}
+
+/// Runs one deployment with event journaling enabled, returning the report
+/// and the structured event journal. The report is bit-identical to
+/// [`run`] on the same inputs; the journal is a pure observer.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] for invalid configurations.
+pub fn run_journaled(
+    strategy: SharedStrategy,
+    config: &VolunteerConfig,
+) -> Result<(DeploymentReport, Journal), ParamError> {
+    run_inner(strategy, config, true)
+}
+
+fn run_inner(
+    strategy: SharedStrategy,
+    config: &VolunteerConfig,
+    journaled: bool,
+) -> Result<(DeploymentReport, Journal), ParamError> {
     config.validate()?;
     let mut rng = seeded_rng(config.seed);
 
@@ -349,6 +372,9 @@ pub fn run(
         quarantined: vec![false; config.hosts],
     };
     let mut sim = Sim::new();
+    if journaled {
+        sim.enable_journal();
+    }
 
     // Queue every workunit's first wave, then let the scheduler run.
     for i in 0..world.wus.len() {
@@ -356,6 +382,7 @@ pub fn run(
     }
     pump(&mut world, &mut sim);
     sim.run(&mut world);
+    sim.emit(RunEvent::RunEnded);
 
     // Assemble the report.
     let mut jobs_per_task = Summary::new();
@@ -391,19 +418,22 @@ pub fn run(
         }
     }
 
-    Ok(DeploymentReport {
-        verdicts,
-        completion_units: sim.now().as_units(),
-        total_jobs: world.total_jobs,
-        jobs_per_task,
-        response_time,
-        timeouts: world.timeouts,
-        retries: world.retries,
-        quarantines: world.quarantines,
-        blacklisted: world.blacklisted,
-        instance_satisfiable,
-        reported_satisfiable: if all_completed { Some(any_true) } else { None },
-    })
+    Ok((
+        DeploymentReport {
+            verdicts,
+            completion_units: sim.now().as_units(),
+            total_jobs: world.total_jobs,
+            jobs_per_task,
+            response_time,
+            timeouts: world.timeouts,
+            retries: world.retries,
+            quarantines: world.quarantines,
+            blacklisted: world.blacklisted,
+            instance_satisfiable,
+            reported_satisfiable: if all_completed { Some(any_true) } else { None },
+        },
+        sim.take_journal(),
+    ))
 }
 
 fn pump(world: &mut World, sim: &mut Sim) {
@@ -505,7 +535,38 @@ fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
     } else {
         SimDuration::from_units(duration_units)
     };
+    sim.emit(RunEvent::JobDispatched {
+        job: job as u32,
+        task: wu as u32,
+        node: host as u32,
+        eta: sim.now() + delay,
+    });
     sim.schedule_in(delay, move |world, sim| resolve(world, sim, job, times_out));
+}
+
+/// Emits the vote-tally snapshot after a vote landed in workunit `wu`.
+fn emit_tally(world: &World, sim: &mut Sim, wu: usize, value: bool) {
+    if !sim.journal().is_enabled() {
+        return;
+    }
+    let tally = world.wus[wu].exec.tally();
+    let leader_count = tally.leader().map(|(_, n)| n).unwrap_or(0);
+    sim.emit(RunEvent::VoteTallied {
+        task: wu as u32,
+        value,
+        leader_count: leader_count as u32,
+        runner_up: tally.runner_up_count() as u32,
+    });
+}
+
+/// Emits a wave-closed event when workunit `wu`'s wave has just drained.
+fn emit_wave_closed(world: &World, sim: &mut Sim, wu: usize) {
+    if sim.journal().is_enabled() && world.wus[wu].exec.wave_boundary() {
+        sim.emit(RunEvent::WaveClosed {
+            task: wu as u32,
+            wave: world.wus[wu].exec.waves() as u32,
+        });
+    }
 }
 
 fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
@@ -525,13 +586,22 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
         let truth = world.wus[wu].wu.truth;
         if timed_out {
             world.timeouts += 1;
+            sim.emit(RunEvent::JobTimedOut {
+                job: job as u32,
+                task: wu as u32,
+                node: host as u32,
+            });
             strike_host(world, sim, host);
             if !retry_workunit(world, sim, wu) {
                 match world.cfg.deadline_policy {
                     // The colluding wrong value is the negated truth.
-                    DeadlinePolicy::CountAsWrong => world.wus[wu].exec.record(!truth),
+                    DeadlinePolicy::CountAsWrong => {
+                        world.wus[wu].exec.record(!truth);
+                        emit_tally(world, sim, wu, !truth);
+                    }
                     DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
                 }
+                emit_wave_closed(world, sim, wu);
                 poll_workunit(world, sim, wu, true);
             }
         } else {
@@ -540,7 +610,15 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
                 HostBehavior::Faulty => !truth,
                 HostBehavior::Hung => unreachable!("hangs resolve via timeout"),
             };
+            sim.emit(RunEvent::JobReturned {
+                job: job as u32,
+                task: wu as u32,
+                node: host as u32,
+                value,
+            });
             world.wus[wu].exec.record(value);
+            emit_tally(world, sim, wu, value);
+            emit_wave_closed(world, sim, wu);
             poll_workunit(world, sim, wu, true);
         }
     }
@@ -560,7 +638,12 @@ fn retry_workunit(world: &mut World, sim: &mut Sim, wu: usize) -> bool {
     }
     world.wus[wu].retries = attempt + 1;
     world.retries += 1;
+    sim.emit(RunEvent::JobRetried {
+        task: wu as u32,
+        attempt: attempt + 1,
+    });
     world.wus[wu].exec.abandon(1);
+    emit_wave_closed(world, sim, wu);
     let delay = backoff_duration(
         &mut world.rng,
         policy.base_units,
@@ -586,10 +669,12 @@ fn strike_host(world: &mut World, sim: &mut Sim, host: usize) {
         DisciplineAction::None => {}
         DisciplineAction::Quarantine => {
             world.quarantines += 1;
+            sim.emit(RunEvent::NodeQuarantined { node: host as u32 });
             quarantine_host(world, host);
             sim.schedule_in(
                 SimDuration::from_units(policy.quarantine_units),
                 move |world, sim| {
+                    sim.emit(RunEvent::NodeReleased { node: host as u32 });
                     world.quarantined[host] = false;
                     if !world.hosts[host].busy {
                         world.idle.push(host);
@@ -600,6 +685,12 @@ fn strike_host(world: &mut World, sim: &mut Sim, host: usize) {
         }
         DisciplineAction::Blacklist => {
             world.blacklisted += 1;
+            // The host stays in the host table but leaves the scheduler for
+            // good — from the journal's point of view it has departed.
+            sim.emit(RunEvent::NodeDeparted {
+                node: host as u32,
+                reason: DepartureReason::Blacklist,
+            });
             quarantine_host(world, host);
         }
     }
@@ -621,6 +712,11 @@ fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
     }
     match world.wus[wu].exec.poll() {
         Ok(Poll::Deploy(n)) => {
+            sim.emit(RunEvent::WaveOpened {
+                task: wu as u32,
+                wave: world.wus[wu].exec.waves() as u32,
+                jobs: n as u32,
+            });
             for _ in 0..n {
                 if priority {
                     world.queue.push_front(wu);
@@ -629,12 +725,22 @@ fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
                 }
             }
         }
-        Ok(Poll::Complete(_)) | Err(_) => finalize(world, sim, wu),
+        Ok(Poll::Complete(v)) => finalize(world, sim, wu, Some(v)),
+        Err(_capped) => finalize(world, sim, wu, None),
         Ok(Poll::Pending) => {}
     }
 }
 
-fn finalize(world: &mut World, sim: &mut Sim, wu: usize) {
+fn finalize(world: &mut World, sim: &mut Sim, wu: usize, verdict: Option<bool>) {
+    match verdict {
+        Some(v) => sim.emit(RunEvent::VerdictReached {
+            task: wu as u32,
+            value: v,
+            degraded: false,
+            confidence: 1.0,
+        }),
+        None => sim.emit(RunEvent::TaskCapped { task: wu as u32 }),
+    }
     let state = &mut world.wus[wu];
     debug_assert!(!state.finished);
     state.finished = true;
