@@ -1,0 +1,313 @@
+//! Closed-loop load generator for the live runtime.
+//!
+//! ```text
+//! serve_bench [--smoke] [--tasks N] [--workers N] [--seed N] [--journal <path>]
+//! ```
+//!
+//! Drives the `smartred-runtime` job-serving runtime with a 30%-faulty
+//! worker pool under traditional, progressive, and iterative redundancy at
+//! *matched predicted reliability*, keeping a fixed window of tasks in
+//! flight (closed loop). For each strategy it reports throughput, p50/p99
+//! first-dispatch→verdict latency, jobs per task, achieved reliability,
+//! and the shed rate — the live analogue of the paper's Figure 5 cost
+//! comparison — then asserts the qualitative cost ordering
+//! IR < PR < TR jobs/task and exits non-zero if it fails to hold.
+//!
+//! `--smoke` shrinks the run to a few hundred tasks so the whole binary
+//! finishes within a CI smoke budget (~10 s). `--journal <path>` writes
+//! the iterative run's event journal as JSONL (for artifact upload); every
+//! run is additionally replay-checked by folding its journal back into a
+//! report and requiring exact equality with the live one.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use smartred_core::analysis;
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
+use smartred_runtime::{
+    report_from_journal, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig, RuntimeRun,
+    SubmitOutcome,
+};
+use smartred_sat::{decompose, random_3sat, CnfFormula, ThreeSatConfig};
+
+/// Worker honesty for the whole benchmark: r = 0.7 (30% colluding-wrong),
+/// the paper's canonical hostile regime.
+const WRONG_RATE: f64 = 0.3;
+/// Iterative margin: d = 4 predicts R ≈ 0.967 at r = 0.7 (Eq. 6).
+const MARGIN: usize = 4;
+
+struct Args {
+    tasks: usize,
+    workers: usize,
+    seed: u64,
+    journal: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        tasks: 1000,
+        workers: 8,
+        seed: 20110620,
+        journal: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires an argument", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--smoke" => args.tasks = 200,
+            "--tasks" => {
+                args.tasks = value(i).parse().expect("--tasks N");
+                i += 1;
+            }
+            "--workers" => {
+                args.workers = value(i).parse().expect("--workers N");
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = value(i).parse().expect("--seed N");
+                i += 1;
+            }
+            "--journal" => {
+                args.journal = Some(value(i));
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unknown flag '{other}'; usage: serve_bench [--smoke] [--tasks N] \
+                     [--workers N] [--seed N] [--journal <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+struct Outcome {
+    name: &'static str,
+    run: RuntimeRun,
+    elapsed: Duration,
+    /// Sorted first-dispatch→verdict latencies, in journal units (seconds).
+    latencies: Vec<f64>,
+}
+
+impl Outcome {
+    fn throughput(&self) -> f64 {
+        self.run.report.tasks_completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank =
+            ((p * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
+        self.latencies[rank - 1]
+    }
+}
+
+/// Runs `tasks` 3-SAT block tasks through a fresh runtime under `strategy`,
+/// keeping at most `window` in flight (closed loop, shed-retry on overload).
+fn drive<S>(
+    name: &'static str,
+    strategy: S,
+    formula: &Arc<CnfFormula>,
+    args: &Args,
+    window: usize,
+) -> Outcome
+where
+    S: RedundancyStrategy<bool> + Send + Sync + 'static,
+{
+    let blocks = decompose(formula.num_vars(), args.tasks);
+    let cfg = RuntimeConfig {
+        workers: Some(args.workers),
+        queue_cap: window,
+        max_active: window,
+        deadline: Duration::from_secs(5),
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, strategy, |_| {
+        Box::new(FaultyWorker::new(
+            args.seed,
+            FaultProfile {
+                wrong_rate: WRONG_RATE,
+                hang_rate: 0.0,
+                think: Duration::ZERO,
+            },
+        ))
+    });
+    let client = runtime.client();
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(args.tasks);
+    let mut in_flight = 0usize;
+    for block in blocks {
+        // Closed loop: a full window waits for a verdict before the next
+        // submission, so offered load tracks service capacity.
+        while in_flight >= window {
+            let verdict = client.recv().expect("runtime dropped a verdict");
+            latencies.push(verdict.latency_units);
+            in_flight -= 1;
+        }
+        loop {
+            let outcome = client.submit(Payload::Sat {
+                formula: formula.clone(),
+                block,
+            });
+            if outcome != SubmitOutcome::Shed {
+                break;
+            }
+            // Shed under a race with the drain: back off and retry.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        in_flight += 1;
+    }
+    while in_flight > 0 {
+        let verdict = client.recv().expect("runtime dropped a verdict");
+        latencies.push(verdict.latency_units);
+        in_flight -= 1;
+    }
+    let elapsed = started.elapsed();
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(
+        run.report.tasks_completed, args.tasks,
+        "{name}: every submitted task must reach a verdict"
+    );
+    // Replay cross-check: the journal folds to the identical live report.
+    assert_eq!(
+        report_from_journal(&run.journal),
+        run.report,
+        "{name}: journal replay must reproduce the live report exactly"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Outcome {
+        name,
+        run,
+        elapsed,
+        latencies,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let r = Reliability::new(1.0 - WRONG_RATE).unwrap();
+    let d = VoteMargin::new(MARGIN).unwrap();
+    let target = analysis::iterative::reliability(d, r);
+    // Matched reliability: the smallest odd k whose predicted TR
+    // reliability (Eq. 2) meets what IR's margin predicts. Progressive
+    // with the same k is never less reliable, so one k matches both.
+    let k = (1..=61)
+        .step_by(2)
+        .map(|k| KVotes::new(k).unwrap())
+        .find(|&k| analysis::traditional::reliability(k, r) >= target)
+        .expect("a matching k exists below 61");
+    println!(
+        "serve_bench: {} tasks, {} workers, seed {}, r = {:.2}; IR d = {} vs PR/TR k = {} \
+         (predicted R >= {:.4})",
+        args.tasks,
+        args.workers,
+        args.seed,
+        r.get(),
+        MARGIN,
+        k.get(),
+        target
+    );
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let window = 64;
+
+    let outcomes = [
+        drive("TR", Traditional::new(k), &formula, &args, window),
+        drive("PR", Progressive::new(k), &formula, &args, window),
+        drive("IR", Iterative::new(d), &formula, &args, window),
+    ];
+
+    println!(
+        "{:<4} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "strat", "tasks/s", "p50 ms", "p99 ms", "jobs/task", "reliability", "shed rate"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<4} {:>10.1} {:>12.2} {:>12.2} {:>12.2} {:>12.4} {:>10.4}",
+            o.name,
+            o.throughput(),
+            o.percentile(0.50) * 1e3,
+            o.percentile(0.99) * 1e3,
+            o.run.report.cost_factor(),
+            o.run.report.reliability(),
+            o.run.admission.shed_rate(),
+        );
+    }
+
+    if let Some(path) = &args.journal {
+        let ir = &outcomes[2];
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create journal directory");
+            }
+        }
+        std::fs::write(path, ir.run.journal.to_jsonl()).expect("write journal");
+        eprintln!(
+            "journal: {} events -> {path} (digest {})",
+            ir.run.journal.events().len(),
+            ir.run.journal.digest_hex()
+        );
+    }
+
+    // Figure 5 qualitatively: at matched reliability, iterative redundancy
+    // is the cheapest and traditional the most expensive.
+    let (tr, pr, ir) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+    let mut failed = false;
+    if ir.run.report.cost_factor() >= pr.run.report.cost_factor() {
+        eprintln!(
+            "FAIL: IR jobs/task {:.2} must beat PR {:.2}",
+            ir.run.report.cost_factor(),
+            pr.run.report.cost_factor()
+        );
+        failed = true;
+    }
+    if pr.run.report.cost_factor() >= tr.run.report.cost_factor() {
+        eprintln!(
+            "FAIL: PR jobs/task {:.2} must beat TR {:.2}",
+            pr.run.report.cost_factor(),
+            tr.run.report.cost_factor()
+        );
+        failed = true;
+    }
+    for o in &outcomes {
+        if o.run.report.reliability() < target - 0.05 {
+            eprintln!(
+                "FAIL: {} achieved reliability {:.4} fell far below the {:.4} target",
+                o.name,
+                o.run.report.reliability(),
+                target
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "cost ordering holds: IR {:.2} < PR {:.2} < TR {:.2} jobs/task",
+        ir.run.report.cost_factor(),
+        pr.run.report.cost_factor(),
+        tr.run.report.cost_factor()
+    );
+}

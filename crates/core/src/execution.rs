@@ -23,6 +23,37 @@ pub enum Poll<V> {
     Complete(V),
 }
 
+/// One strategy-decision step, annotated with everything an event-driven
+/// platform needs to act on it (wave number, verdict, cap details).
+///
+/// [`TaskExecution::step_wave`] returns this instead of bare [`Poll`] so
+/// the three execution platforms (DCA simulator, volunteer server, live
+/// runtime) share one wave-sizing / quorum-check / verdict-construction
+/// surface rather than each re-deriving it from `poll()` + accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveStep<V> {
+    /// The strategy opened deployment wave `wave` (1-based) of `jobs` jobs.
+    Wave {
+        /// Wave number just opened, starting at 1.
+        wave: usize,
+        /// Jobs to deploy in this wave.
+        jobs: usize,
+    },
+    /// The quorum check passed: the task completed with this verdict.
+    Verdict(V),
+    /// Deployed jobs are still outstanding; feed results before stepping
+    /// again.
+    Pending,
+    /// The next wave would exceed the configured job cap. The execution
+    /// stays usable (tally inspectable, degraded acceptance possible).
+    Capped {
+        /// The configured cap.
+        cap: usize,
+        /// Jobs already deployed when the cap was hit.
+        deployed: usize,
+    },
+}
+
 /// Summary of a finished (or capped) execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionReport<V> {
@@ -155,6 +186,30 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
             self.outstanding
         );
         self.outstanding -= n;
+    }
+
+    /// Drives the task one strategy decision forward, annotating the
+    /// outcome with the wave number (on deploy) or cap details (on
+    /// overrun). This is the shared decision surface of every execution
+    /// platform: simulators and the live runtime all map [`WaveStep`]
+    /// variants 1:1 onto their wave-opened / verdict / capped events.
+    pub fn step_wave(&mut self) -> WaveStep<V> {
+        match self.poll() {
+            Ok(Poll::Deploy(jobs)) => WaveStep::Wave {
+                wave: self.waves,
+                jobs,
+            },
+            Ok(Poll::Complete(v)) => WaveStep::Verdict(v),
+            Ok(Poll::Pending) => WaveStep::Pending,
+            Err(JobCapExceeded { cap, deployed }) => WaveStep::Capped { cap, deployed },
+        }
+    }
+
+    /// Returns `(leader_count, runner_up_count)` — the vote-tally snapshot
+    /// every platform journals after a vote lands.
+    pub fn leader_counts(&self) -> (usize, usize) {
+        let leader = self.tally.leader().map(|(_, n)| n).unwrap_or(0);
+        (leader, self.tally.runner_up_count())
     }
 
     /// Returns the current tally (for inspection or logging).
@@ -356,6 +411,46 @@ mod tests {
             TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
         let _ = task.poll();
         task.abandon(3);
+    }
+
+    #[test]
+    fn step_wave_mirrors_poll_with_wave_numbers() {
+        let mut task = TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
+        assert_eq!(task.step_wave(), WaveStep::Wave { wave: 1, jobs: 2 });
+        task.record(true);
+        assert_eq!(task.step_wave(), WaveStep::Pending);
+        task.record(false);
+        assert_eq!(task.step_wave(), WaveStep::Wave { wave: 2, jobs: 2 });
+        task.record(true);
+        task.record(true);
+        assert_eq!(task.leader_counts(), (3, 1));
+        assert_eq!(task.step_wave(), WaveStep::Verdict(true));
+    }
+
+    #[test]
+    fn step_wave_reports_cap_details() {
+        let mut task =
+            TaskExecution::new(Iterative::new(VoteMargin::new(4).unwrap())).with_job_cap(6);
+        assert_eq!(task.step_wave(), WaveStep::Wave { wave: 1, jobs: 4 });
+        for v in [true, true, false, false] {
+            task.record(v);
+        }
+        assert_eq!(
+            task.step_wave(),
+            WaveStep::Capped {
+                cap: 6,
+                deployed: 4
+            }
+        );
+        // Still usable after the cap, exactly like poll().
+        assert_eq!(task.leader_counts(), (2, 2));
+    }
+
+    #[test]
+    fn leader_counts_on_empty_tally() {
+        let task: TaskExecution<bool, _> =
+            TaskExecution::new(Iterative::new(VoteMargin::new(2).unwrap()));
+        assert_eq!(task.leader_counts(), (0, 0));
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub mod strategy;
 pub mod tally;
 
 pub use error::ParamError;
-pub use execution::TaskExecution;
+pub use execution::{TaskExecution, WaveStep};
 pub use params::{Confidence, KVotes, Reliability, VoteMargin};
 pub use strategy::{Decision, Iterative, Progressive, RedundancyStrategy, Traditional};
 pub use tally::VoteTally;

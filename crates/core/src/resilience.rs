@@ -157,6 +157,7 @@ pub enum DisciplineAction {
 pub struct NodeDiscipline {
     strikes: u32,
     quarantines: u32,
+    last_strike_micros: u64,
 }
 
 impl NodeDiscipline {
@@ -177,6 +178,30 @@ impl NodeDiscipline {
         } else {
             DisciplineAction::Quarantine
         }
+    }
+
+    /// Records one strike at monotonic time `now_micros`, expiring the
+    /// strike counter first if more than `window_micros` has elapsed since
+    /// the previous strike. The timescale is whatever monotonic clock the
+    /// platform runs on — sim-time micros in the simulators, wall-clock
+    /// micros in the live runtime.
+    ///
+    /// Expiry is *strict*: a strike landing exactly at the window boundary
+    /// (`elapsed == window_micros`) still counts the accumulated strikes;
+    /// only `elapsed > window_micros` forgets them. Quarantine history is
+    /// never forgiven — expiry clears strikes, not quarantines, so a node
+    /// that keeps earning quarantines still marches toward the blacklist.
+    pub fn strike_at(
+        &mut self,
+        now_micros: u64,
+        window_micros: u64,
+        policy: &QuarantinePolicy,
+    ) -> DisciplineAction {
+        if self.strikes > 0 && now_micros.saturating_sub(self.last_strike_micros) > window_micros {
+            self.strikes = 0;
+        }
+        self.last_strike_micros = now_micros;
+        self.strike(policy)
     }
 
     /// Strikes accumulated since the last quarantine.
@@ -283,5 +308,84 @@ mod tests {
         assert_eq!(d.strike(&policy), DisciplineAction::Quarantine);
         assert_eq!(d.strike(&policy), DisciplineAction::Quarantine);
         assert_eq!(d.strike(&policy), DisciplineAction::Blacklist);
+    }
+
+    #[test]
+    fn strike_exactly_at_window_boundary_still_counts() {
+        let policy = QuarantinePolicy {
+            strike_limit: 3,
+            quarantine_units: 5.0,
+            blacklist_after: 3,
+        };
+        let window = 10;
+        let mut d = NodeDiscipline::default();
+        assert_eq!(d.strike_at(0, window, &policy), DisciplineAction::None);
+        assert_eq!(d.strike_at(5, window, &policy), DisciplineAction::None);
+        // Third strike lands with elapsed == window since the second:
+        // boundary is inclusive, so the earlier strikes have NOT expired
+        // and the limit trips.
+        assert_eq!(
+            d.strike_at(15, window, &policy),
+            DisciplineAction::Quarantine
+        );
+        assert_eq!(d.quarantines(), 1);
+    }
+
+    #[test]
+    fn strike_one_past_window_boundary_expires_the_count() {
+        let policy = QuarantinePolicy {
+            strike_limit: 3,
+            quarantine_units: 5.0,
+            blacklist_after: 3,
+        };
+        let window = 10;
+        let mut d = NodeDiscipline::default();
+        assert_eq!(d.strike_at(0, window, &policy), DisciplineAction::None);
+        assert_eq!(d.strike_at(5, window, &policy), DisciplineAction::None);
+        // elapsed == window + 1 — strictly past the boundary, so the two
+        // stale strikes are forgotten and this counts as strike #1.
+        assert_eq!(d.strike_at(16, window, &policy), DisciplineAction::None);
+        assert_eq!(d.strikes(), 1);
+        assert_eq!(d.quarantines(), 0);
+        // The expiry clock restarts from the fresh strike.
+        assert_eq!(d.strike_at(17, window, &policy), DisciplineAction::None);
+        assert_eq!(
+            d.strike_at(18, window, &policy),
+            DisciplineAction::Quarantine
+        );
+    }
+
+    #[test]
+    fn readmitted_node_striking_again_escalates_to_blacklist() {
+        let policy = QuarantinePolicy {
+            strike_limit: 2,
+            quarantine_units: 5.0,
+            blacklist_after: 2,
+        };
+        let window = 100;
+        let mut d = NodeDiscipline::default();
+        // First quarantine.
+        assert_eq!(d.strike_at(0, window, &policy), DisciplineAction::None);
+        assert_eq!(
+            d.strike_at(1, window, &policy),
+            DisciplineAction::Quarantine
+        );
+        assert_eq!(d.strikes(), 0);
+        // The node serves its quarantine (5 units = 5_000_000 micros far
+        // exceeds the strike window) and is re-admitted — the stale-strike
+        // expiry must not wipe its quarantine history.
+        let readmitted_at = 5_000_001;
+        assert_eq!(
+            d.strike_at(readmitted_at, window, &policy),
+            DisciplineAction::None
+        );
+        assert_eq!(d.quarantines(), 1, "quarantine history survives expiry");
+        // Striking again immediately after re-admission escalates straight
+        // to blacklist: second quarantine hits `blacklist_after`.
+        assert_eq!(
+            d.strike_at(readmitted_at + 1, window, &policy),
+            DisciplineAction::Blacklist
+        );
+        assert_eq!(d.quarantines(), 2);
     }
 }

@@ -22,7 +22,7 @@ use std::rc::Rc;
 use rand::Rng;
 use smartred_core::analysis::confidence::confidence;
 use smartred_core::error::ParamError;
-use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::params::Reliability;
 use smartred_core::resilience::DisciplineAction;
 use smartred_core::strategy::RedundancyStrategy;
@@ -418,14 +418,14 @@ fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
     if world.tasks[t].finished {
         return;
     }
-    match world.tasks[t].exec.poll() {
-        Ok(Poll::Deploy(n)) => {
+    match world.tasks[t].exec.step_wave() {
+        WaveStep::Wave { wave, jobs } => {
             sim.emit(RunEvent::WaveOpened {
                 task: t as u32,
-                wave: world.tasks[t].exec.waves() as u32,
-                jobs: n as u32,
+                wave: wave as u32,
+                jobs: jobs as u32,
             });
-            for _ in 0..n {
+            for _ in 0..jobs {
                 if priority {
                     world.queue.push_front(t);
                 } else {
@@ -433,9 +433,9 @@ fn poll_task(world: &mut World, sim: &mut Sim, t: usize, priority: bool) {
                 }
             }
         }
-        Ok(Poll::Complete(v)) => finalize(world, sim, t, Some(v), None),
-        Ok(Poll::Pending) => {}
-        Err(_capped) => {
+        WaveStep::Verdict(v) => finalize(world, sim, t, Some(v), None),
+        WaveStep::Pending => {}
+        WaveStep::Capped { .. } => {
             if !(world.cfg.degraded_accept && accept_degraded(world, sim, t)) {
                 finalize(world, sim, t, None, None);
             }
@@ -711,13 +711,12 @@ fn emit_tally(world: &World, sim: &mut Sim, t: usize, value: bool) {
     if !sim.journal().is_enabled() {
         return;
     }
-    let tally = world.tasks[t].exec.tally();
-    let leader_count = tally.leader().map(|(_, n)| n).unwrap_or(0);
+    let (leader_count, runner_up) = world.tasks[t].exec.leader_counts();
     sim.emit(RunEvent::VoteTallied {
         task: t as u32,
         value,
         leader_count: leader_count as u32,
-        runner_up: tally.runner_up_count() as u32,
+        runner_up: runner_up as u32,
     });
 }
 

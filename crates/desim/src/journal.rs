@@ -895,7 +895,11 @@ fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
 }
 
 pub mod assert {
-    //! Trace-assertion DSL: behavioral checks over a [`Journal`].
+    //! Trace-assertion DSL: behavioral checks over any [`Stamped`] event
+    //! stream — a [`Journal`] from the simulators or a slice captured from
+    //! the live runtime (`smartred-runtime`). The assertions only look at
+    //! event *structure* and ordering, never at absolute timestamps, so
+    //! they hold identically for sim-time and wall-clock sources.
     //!
     //! Every method panics with a descriptive message on violation, so the
     //! DSL composes directly with `#[test]` functions — a failed trajectory
@@ -923,25 +927,31 @@ pub mod assert {
 
     /// Entry point: wraps a journal for chained assertions.
     pub fn that(journal: &Journal) -> TraceAssert<'_> {
-        TraceAssert { journal }
+        events(journal.events())
     }
 
-    /// Chainable assertion context over one journal.
+    /// Entry point for a raw stamped-event slice — the same assertions
+    /// against any event source (e.g. the live runtime's journal export).
+    pub fn events(events: &[Stamped]) -> TraceAssert<'_> {
+        TraceAssert { events }
+    }
+
+    /// Chainable assertion context over one stamped event stream.
     #[derive(Debug, Clone, Copy)]
     pub struct TraceAssert<'a> {
-        journal: &'a Journal,
+        events: &'a [Stamped],
     }
 
     impl<'a> TraceAssert<'a> {
-        /// The underlying journal.
-        pub fn journal(&self) -> &'a Journal {
-            self.journal
+        /// The underlying event stream.
+        pub fn events(&self) -> &'a [Stamped] {
+            self.events
         }
 
         /// Asserts timestamps are non-decreasing and sequence numbers
         /// strictly increasing.
         pub fn time_ordered(&self) -> &Self {
-            for pair in self.journal.events().windows(2) {
+            for pair in self.events.windows(2) {
                 assert!(
                     pair[0].at <= pair[1].at,
                     "journal out of time order: seq {} at {} precedes seq {} at {}",
@@ -964,7 +974,11 @@ pub mod assert {
             CountAssert {
                 parent: *self,
                 kind,
-                n: self.journal.count(kind),
+                n: self
+                    .events
+                    .iter()
+                    .filter(|e| e.event.kind() == kind)
+                    .count(),
             }
         }
 
@@ -974,7 +988,7 @@ pub mod assert {
         where
             F: Fn(&Stamped) -> bool,
         {
-            if let Some(e) = self.journal.events().iter().find(|e| pred(e)) {
+            if let Some(e) = self.events.iter().find(|e| pred(e)) {
                 panic!(
                     "forbidden event ({desc}): seq {} at {} — {:?}",
                     e.seq, e.at, e.event
@@ -992,7 +1006,7 @@ pub mod assert {
             T: Fn(&Stamped) -> bool,
             R: Fn(&Stamped, &Stamped) -> bool,
         {
-            let events = self.journal.events();
+            let events = self.events;
             for (i, e) in events.iter().enumerate() {
                 if trigger(e) && !events[i + 1..].iter().any(|later| response(e, later)) {
                     panic!(
@@ -1012,7 +1026,7 @@ pub mod assert {
             E: Fn(&Stamped) -> bool,
             C: Fn(&Stamped, &Stamped) -> bool,
         {
-            let events = self.journal.events();
+            let events = self.events;
             for (i, e) in events.iter().enumerate() {
                 if effect(e) && !events[..i].iter().any(|earlier| cause(earlier, e)) {
                     panic!(
@@ -1045,7 +1059,7 @@ pub mod assert {
         /// departure closes it).
         pub fn no_dispatch_to_quarantined(&self) -> &Self {
             let mut quarantined = std::collections::HashSet::new();
-            for e in self.journal.events() {
+            for e in self.events {
                 match e.event {
                     RunEvent::NodeQuarantined { node } => {
                         quarantined.insert(node);
@@ -1073,7 +1087,7 @@ pub mod assert {
         pub fn waves_well_formed(&self) -> &Self {
             use std::collections::HashMap;
             let mut opened: HashMap<u32, u32> = HashMap::new();
-            for e in self.journal.events() {
+            for e in self.events {
                 match e.event {
                     RunEvent::WaveOpened { task, wave, .. } => {
                         let prev = opened.insert(task, wave).unwrap_or(0);
@@ -1091,6 +1105,43 @@ pub mod assert {
                         );
                     }
                     _ => {}
+                }
+            }
+            self
+        }
+
+        /// Built-in invariant: every firm (non-degraded)
+        /// [`RunEvent::VerdictReached`] is preceded by at least `quorum`
+        /// [`RunEvent::VoteTallied`] events for the same task carrying the
+        /// accepted value. For traditional redundancy `quorum` is the vote
+        /// threshold ⌈k/2⌉; for iterative redundancy it is the margin `d`
+        /// (the winner leads by `d`, so it holds at least `d` votes).
+        pub fn verdicts_have_quorum(&self, quorum: usize) -> &Self {
+            for (i, e) in self.events.iter().enumerate() {
+                if let RunEvent::VerdictReached {
+                    task,
+                    value,
+                    degraded: false,
+                    ..
+                } = e.event
+                {
+                    let votes = self.events[..i]
+                        .iter()
+                        .filter(|v| {
+                            matches!(
+                                v.event,
+                                RunEvent::VoteTallied { task: vt, value: vv, .. }
+                                    if vt == task && vv == value
+                            )
+                        })
+                        .count();
+                    assert!(
+                        votes >= quorum,
+                        "task {task} reached firm verdict {value} at {} (seq {}) \
+                         with only {votes} matching votes tallied, quorum {quorum}",
+                        e.at,
+                        e.seq
+                    );
                 }
             }
             self
@@ -1350,5 +1401,105 @@ mod tests {
     fn wrong_count_is_caught() {
         let j = sample_journal();
         assert::that(&j).count(EventKind::RunEnded).exactly(2);
+    }
+
+    #[test]
+    fn assert_dsl_accepts_raw_event_slices() {
+        // The same checks against a bare slice — no Journal required, as a
+        // wall-clock event source (the live runtime) would use it.
+        let j = sample_journal();
+        let slice: Vec<Stamped> = j.events().to_vec();
+        assert::events(&slice)
+            .time_ordered()
+            .retry_follows_timeout()
+            .waves_well_formed()
+            .count(EventKind::JobRetried)
+            .exactly(1);
+        assert_eq!(assert::events(&slice).events().len(), j.len());
+    }
+
+    #[test]
+    fn quorum_invariant_accepts_enough_votes() {
+        let mut j = Journal::new();
+        for i in 0..3u32 {
+            j.record(
+                t(f64::from(i)),
+                RunEvent::VoteTallied {
+                    task: 7,
+                    value: true,
+                    leader_count: i + 1,
+                    runner_up: 0,
+                },
+            );
+        }
+        j.record(
+            t(3.0),
+            RunEvent::VerdictReached {
+                task: 7,
+                value: true,
+                degraded: false,
+                confidence: 1.0,
+            },
+        );
+        assert::that(&j).verdicts_have_quorum(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn quorum_invariant_rejects_short_vote_trail() {
+        let mut j = Journal::new();
+        // Two votes for the winning value, one for the loser: quorum 3 fails.
+        j.record(
+            t(0.0),
+            RunEvent::VoteTallied {
+                task: 1,
+                value: true,
+                leader_count: 1,
+                runner_up: 0,
+            },
+        );
+        j.record(
+            t(1.0),
+            RunEvent::VoteTallied {
+                task: 1,
+                value: false,
+                leader_count: 1,
+                runner_up: 1,
+            },
+        );
+        j.record(
+            t(2.0),
+            RunEvent::VoteTallied {
+                task: 1,
+                value: true,
+                leader_count: 2,
+                runner_up: 1,
+            },
+        );
+        j.record(
+            t(3.0),
+            RunEvent::VerdictReached {
+                task: 1,
+                value: true,
+                degraded: false,
+                confidence: 1.0,
+            },
+        );
+        assert::that(&j).verdicts_have_quorum(3);
+    }
+
+    #[test]
+    fn quorum_invariant_skips_degraded_verdicts() {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            RunEvent::VerdictReached {
+                task: 2,
+                value: false,
+                degraded: true,
+                confidence: 0.8,
+            },
+        );
+        assert::that(&j).verdicts_have_quorum(5);
     }
 }

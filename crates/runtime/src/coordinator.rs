@@ -1,0 +1,687 @@
+//! The coordinator: task admission, replica dispatch, vote tallying,
+//! wall-clock deadlines, and verdict delivery.
+//!
+//! One coordinator thread owns all redundancy state and the journal; it is
+//! the only writer of either, which keeps the journal's monotone-time
+//! invariant trivially true under real concurrency. Every channel in the
+//! design is either bounded-and-non-blocking (submission queue, worker
+//! inboxes — `try_send` only) or unbounded (results, verdicts), so no
+//! cycle of blocking sends exists and the runtime cannot deadlock on its
+//! own queues.
+//!
+//! Timeout semantics mirror the simulators' `DeadlinePolicy::Reissue`:
+//! a job that misses its wall-clock deadline is abandoned (its late result,
+//! if any, is ignored) and the strategy reopens a wave for a replacement
+//! replica on a fresh RNG stream.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::parallel::Threads;
+use smartred_core::strategy::RedundancyStrategy;
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::time::{SimDuration, SimTime};
+
+use crate::report::RuntimeReport;
+use crate::worker::{JobAssignment, JobResult, Worker, WorkerPool};
+use crate::workload::Payload;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker-thread count; `None` resolves like the sweep engine's
+    /// [`Threads::Auto`] (the `SMARTRED_THREADS` environment variable,
+    /// falling back to available parallelism).
+    pub workers: Option<usize>,
+    /// Bounded capacity of each worker's inbox.
+    pub inbox_cap: usize,
+    /// Bounded capacity of the submission queue; submissions beyond it are
+    /// shed at the client.
+    pub queue_cap: usize,
+    /// Maximum tasks in flight; submissions past it wait in the queue.
+    pub max_active: usize,
+    /// Wall-clock deadline per job; a miss abandons the job and reissues.
+    pub deadline: Duration,
+    /// Optional cap on total jobs per task; hitting it fails the task.
+    pub job_cap: Option<usize>,
+    /// Whether to record the run journal.
+    pub journal: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            inbox_cap: 64,
+            queue_cap: 256,
+            max_active: 256,
+            deadline: Duration::from_secs(2),
+            job_cap: None,
+            journal: true,
+        }
+    }
+}
+
+/// Admission-control verdict for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted with spare in-flight capacity: dispatch begins immediately.
+    Accepted {
+        /// The task id assigned to the submission.
+        task: u32,
+    },
+    /// Admitted into the bounded submission queue; dispatch starts once
+    /// the in-flight task count drops below the cap. (The capacity read is
+    /// advisory — a concurrent admission may reclassify, but the task is
+    /// admitted either way.)
+    Queued {
+        /// The task id assigned to the submission.
+        task: u32,
+    },
+    /// Load-shed: the submission queue is full (or the runtime has shut
+    /// down). The task was **not** admitted; the caller owns retry policy.
+    Shed,
+}
+
+/// The delivered outcome of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskVerdict {
+    /// The task id from [`SubmitOutcome`].
+    pub task: u32,
+    /// The winning vote (`true` = honest answer); `None` when the task hit
+    /// its job cap without a verdict.
+    pub vote: Option<bool>,
+    /// The answer reported by the winning side, when a verdict was reached.
+    pub answer: Option<bool>,
+    /// First-dispatch → verdict latency, in journal units (seconds).
+    pub latency_units: f64,
+    /// Jobs dispatched for this task.
+    pub jobs: u32,
+}
+
+/// Counts of how submissions fared at admission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Submissions admitted with spare in-flight capacity.
+    pub accepted: u64,
+    /// Submissions admitted into the queue under backpressure.
+    pub queued: u64,
+    /// Submissions shed at a full queue.
+    pub shed: u64,
+}
+
+impl AdmissionStats {
+    /// Total submission attempts.
+    pub fn submitted(&self) -> u64 {
+        self.accepted + self.queued + self.shed
+    }
+
+    /// Fraction of submission attempts shed (0 when nothing submitted).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.submitted();
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionCounters {
+    accepted: AtomicU64,
+    queued: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl AdmissionCounters {
+    fn snapshot(&self) -> AdmissionStats {
+        AdmissionStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted submission, in flight to the coordinator.
+struct Submission {
+    task: u32,
+    payload: Arc<Payload>,
+    verdict_tx: Sender<TaskVerdict>,
+}
+
+/// A submission handle. Clones share the runtime's admission queue but
+/// each clone receives verdicts only for its own submissions.
+#[derive(Debug)]
+pub struct Client {
+    submit_tx: SyncSender<Submission>,
+    verdict_tx: Sender<TaskVerdict>,
+    verdict_rx: Receiver<TaskVerdict>,
+    next_task: Arc<AtomicU32>,
+    active: Arc<AtomicUsize>,
+    max_active: usize,
+    counters: Arc<AdmissionCounters>,
+}
+
+impl Client {
+    /// Submits one task. Never blocks: a full queue sheds the submission
+    /// and returns [`SubmitOutcome::Shed`] (task ids are opaque — an id
+    /// burned by a shed submission is never reused for another task).
+    pub fn submit(&self, payload: Payload) -> SubmitOutcome {
+        let task = self.next_task.fetch_add(1, Ordering::Relaxed);
+        let submission = Submission {
+            task,
+            payload: Arc::new(payload),
+            verdict_tx: self.verdict_tx.clone(),
+        };
+        match self.submit_tx.try_send(submission) {
+            Ok(()) => {
+                if self.active.load(Ordering::Relaxed) < self.max_active {
+                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    SubmitOutcome::Accepted { task }
+                } else {
+                    self.counters.queued.fetch_add(1, Ordering::Relaxed);
+                    SubmitOutcome::Queued { task }
+                }
+            }
+            Err(_) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Shed
+            }
+        }
+    }
+
+    /// Blocks for this client's next verdict; `None` once the runtime has
+    /// shut down and no verdicts remain.
+    pub fn recv(&self) -> Option<TaskVerdict> {
+        self.verdict_rx.recv().ok()
+    }
+
+    /// Like [`recv`](Self::recv) with a timeout; `None` on timeout or
+    /// shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<TaskVerdict> {
+        self.verdict_rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl Clone for Client {
+    fn clone(&self) -> Self {
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+        Self {
+            submit_tx: self.submit_tx.clone(),
+            verdict_tx,
+            verdict_rx,
+            next_task: self.next_task.clone(),
+            active: self.active.clone(),
+            max_active: self.max_active,
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+/// The finished run: live report, admission tally, and the journal.
+#[derive(Debug)]
+pub struct RuntimeRun {
+    /// Metrics accumulated live by the coordinator.
+    pub report: RuntimeReport,
+    /// How submissions fared at admission (client-side; shed submissions
+    /// never reach the coordinator and are not journaled).
+    pub admission: AdmissionStats,
+    /// The recorded event stream (empty when journaling was disabled).
+    pub journal: Journal,
+}
+
+/// A live job-serving runtime: worker pool plus coordinator thread.
+///
+/// Create with [`Runtime::start`], submit through [`Runtime::client`]
+/// handles, then drop every client and call [`Runtime::finish`] — the
+/// coordinator drains in-flight tasks once all submission handles are gone
+/// and `finish` returns the final [`RuntimeRun`].
+#[derive(Debug)]
+pub struct Runtime {
+    submit_tx: Option<SyncSender<Submission>>,
+    handle: JoinHandle<(RuntimeReport, Journal)>,
+    next_task: Arc<AtomicU32>,
+    active: Arc<AtomicUsize>,
+    counters: Arc<AdmissionCounters>,
+    max_active: usize,
+}
+
+impl Runtime {
+    /// Starts the worker pool and coordinator. `make_worker` builds the
+    /// executor for each pool index — use [`crate::worker::FaultyWorker`]
+    /// for seed-reproducible unreliability, or any custom [`Worker`].
+    pub fn start<S, F>(cfg: RuntimeConfig, strategy: S, make_worker: F) -> Self
+    where
+        S: RedundancyStrategy<bool> + Send + Sync + 'static,
+        F: FnMut(u32) -> Box<dyn Worker>,
+    {
+        let worker_count = cfg.workers.unwrap_or_else(|| Threads::Auto.get()).max(1);
+        let (submit_tx, submit_rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        let (result_tx, result_rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(worker_count, cfg.inbox_cap, result_tx, make_worker);
+        let active = Arc::new(AtomicUsize::new(0));
+        let counters = Arc::new(AdmissionCounters::default());
+        let max_active = cfg.max_active.max(1);
+        let coordinator = Coordinator {
+            journal: if cfg.journal {
+                Journal::new()
+            } else {
+                Journal::disabled()
+            },
+            cfg,
+            strategy: Arc::new(strategy),
+            pool,
+            submit_rx,
+            result_rx,
+            start: Instant::now(),
+            report: RuntimeReport::new(),
+            tasks: HashMap::new(),
+            jobs: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            pending: VecDeque::new(),
+            next_job: 0,
+            active: active.clone(),
+            draining: false,
+        };
+        let handle = std::thread::Builder::new()
+            .name("smartred-coordinator".into())
+            .spawn(move || coordinator.run())
+            .expect("spawn coordinator thread");
+        Self {
+            submit_tx: Some(submit_tx),
+            handle,
+            next_task: Arc::new(AtomicU32::new(0)),
+            active,
+            counters,
+            max_active,
+        }
+    }
+
+    /// Creates a submission handle.
+    pub fn client(&self) -> Client {
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+        Client {
+            submit_tx: self.submit_tx.clone().expect("runtime already finished"),
+            verdict_tx,
+            verdict_rx,
+            next_task: self.next_task.clone(),
+            active: self.active.clone(),
+            max_active: self.max_active,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Shuts down: stops accepting submissions, waits for in-flight tasks
+    /// to drain and the pool to join, and returns the run.
+    ///
+    /// Every [`Client`] must be dropped first — the coordinator drains only
+    /// once all submission handles are gone, so `finish` blocks while any
+    /// client could still submit.
+    pub fn finish(mut self) -> RuntimeRun {
+        drop(self.submit_tx.take());
+        let (report, journal) = self.handle.join().expect("coordinator panicked");
+        RuntimeRun {
+            report,
+            admission: self.counters.snapshot(),
+            journal,
+        }
+    }
+}
+
+/// Per-task redundancy state.
+struct TaskState<S> {
+    exec: TaskExecution<bool, Arc<S>>,
+    payload: Arc<Payload>,
+    verdict_tx: Sender<TaskVerdict>,
+    /// Replica indices issued so far (reissues advance it).
+    replicas: u32,
+    /// Timeouts charged so far (1-based retry attempts).
+    timeouts: u32,
+    first_dispatch: Option<SimTime>,
+    /// Last answer reported by a `false`-vote (index 0) / `true`-vote
+    /// (index 1) replica, for verdict delivery.
+    answers: [Option<bool>; 2],
+    /// Dispatched, unresolved job ids.
+    live_jobs: Vec<u32>,
+}
+
+/// A dispatched, unresolved job.
+struct JobInfo {
+    task: u32,
+    worker: u32,
+}
+
+struct Coordinator<S> {
+    cfg: RuntimeConfig,
+    strategy: Arc<S>,
+    pool: WorkerPool,
+    submit_rx: Receiver<Submission>,
+    result_rx: Receiver<JobResult>,
+    start: Instant,
+    journal: Journal,
+    report: RuntimeReport,
+    tasks: HashMap<u32, TaskState<S>>,
+    jobs: HashMap<u32, JobInfo>,
+    deadlines: BinaryHeap<Reverse<(Instant, u32)>>,
+    /// Replicas decided but not yet handed to a worker (all inboxes full).
+    pending: VecDeque<(u32, u32)>,
+    next_job: u32,
+    active: Arc<AtomicUsize>,
+    draining: bool,
+}
+
+/// Poll tick: bounds how long the loop waits before re-checking the
+/// submission queue and parked dispatches.
+const TICK: Duration = Duration::from_millis(1);
+
+impl<S: RedundancyStrategy<bool>> Coordinator<S> {
+    fn run(mut self) -> (RuntimeReport, Journal) {
+        loop {
+            self.admit();
+            self.drain_pending();
+            self.expire_deadlines(Instant::now());
+            if self.draining && self.tasks.is_empty() {
+                break;
+            }
+            if self.tasks.is_empty() {
+                // Nothing in flight: block on the submission queue.
+                match self.submit_rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(sub) => self.admit_one(sub),
+                    Err(RecvTimeoutError::Disconnected) => self.draining = true,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            } else {
+                let wait = match self.deadlines.peek() {
+                    Some(&Reverse((deadline, _))) => {
+                        deadline.saturating_duration_since(Instant::now()).min(TICK)
+                    }
+                    None => TICK,
+                };
+                match self.result_rx.recv_timeout(wait) {
+                    Ok(result) => {
+                        self.on_result(result);
+                        while let Ok(more) = self.result_rx.try_recv() {
+                            self.on_result(more);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    // All workers gone: nothing can resolve; stop.
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        let end = self.stamp();
+        self.journal.record(end, RunEvent::RunEnded);
+        self.report.makespan_units = end.as_units();
+        self.pool.shutdown();
+        (self.report, self.journal)
+    }
+
+    /// Monotone wall-clock stamp: micros since runtime start, so 1 journal
+    /// unit = 1 second of wall time.
+    fn stamp(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn admit(&mut self) {
+        while self.tasks.len() < self.cfg.max_active.max(1) {
+            match self.submit_rx.try_recv() {
+                Ok(sub) => self.admit_one(sub),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.draining = true;
+                    break;
+                }
+            }
+        }
+        self.active.store(self.tasks.len(), Ordering::Relaxed);
+    }
+
+    fn admit_one(&mut self, sub: Submission) {
+        let mut exec = TaskExecution::new(self.strategy.clone());
+        if let Some(cap) = self.cfg.job_cap {
+            exec = exec.with_job_cap(cap);
+        }
+        self.tasks.insert(
+            sub.task,
+            TaskState {
+                exec,
+                payload: sub.payload,
+                verdict_tx: sub.verdict_tx,
+                replicas: 0,
+                timeouts: 0,
+                first_dispatch: None,
+                answers: [None, None],
+                live_jobs: Vec::new(),
+            },
+        );
+        self.active.store(self.tasks.len(), Ordering::Relaxed);
+        let at = self.stamp();
+        self.advance(sub.task, at);
+    }
+
+    /// Steps the task's strategy until it parks (pending/verdict/cap),
+    /// queueing any opened wave's replicas for dispatch.
+    fn advance(&mut self, task: u32, at: SimTime) {
+        loop {
+            let Some(state) = self.tasks.get_mut(&task) else {
+                return;
+            };
+            match state.exec.step_wave() {
+                WaveStep::Wave { wave, jobs } => {
+                    let first_replica = state.replicas;
+                    state.replicas += jobs as u32;
+                    self.journal.record(
+                        at,
+                        RunEvent::WaveOpened {
+                            task,
+                            wave: wave as u32,
+                            jobs: jobs as u32,
+                        },
+                    );
+                    for replica in first_replica..first_replica + jobs as u32 {
+                        self.pending.push_back((task, replica));
+                    }
+                }
+                WaveStep::Pending => return,
+                WaveStep::Verdict(v) => {
+                    self.finalize(task, Some(v), at);
+                    return;
+                }
+                WaveStep::Capped { .. } => {
+                    self.finalize(task, None, at);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hands parked replicas to workers, stopping at the first refusal
+    /// (every inbox full) — the next tick retries.
+    fn drain_pending(&mut self) {
+        while let Some((task, replica)) = self.pending.pop_front() {
+            let Some(state) = self.tasks.get(&task) else {
+                continue;
+            };
+            let job = self.next_job;
+            let assignment = JobAssignment {
+                job,
+                task,
+                replica,
+                payload: state.payload.clone(),
+            };
+            match self.pool.try_dispatch(assignment) {
+                Ok(worker) => {
+                    self.next_job += 1;
+                    let now = Instant::now();
+                    let at = self.stamp();
+                    let eta = at + SimDuration::from_micros(self.cfg.deadline.as_micros() as u64);
+                    self.journal.record(
+                        at,
+                        RunEvent::JobDispatched {
+                            job,
+                            task,
+                            node: worker,
+                            eta,
+                        },
+                    );
+                    self.report.total_jobs += 1;
+                    let state = self.tasks.get_mut(&task).expect("checked above");
+                    if state.first_dispatch.is_none() {
+                        state.first_dispatch = Some(at);
+                    }
+                    state.live_jobs.push(job);
+                    self.jobs.insert(job, JobInfo { task, worker });
+                    self.deadlines.push(Reverse((now + self.cfg.deadline, job)));
+                }
+                Err(assignment) => {
+                    self.pending
+                        .push_front((assignment.task, assignment.replica));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: JobResult) {
+        // A job absent from the live map already timed out (or its task
+        // resolved): the late result is ignored, exactly like the
+        // simulators drop post-timeout returns.
+        let Some(info) = self.jobs.remove(&result.job) else {
+            return;
+        };
+        let task = info.task;
+        let at = self.stamp();
+        let Some(state) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        state.live_jobs.retain(|&j| j != result.job);
+        state.answers[usize::from(result.vote)] = Some(result.answer);
+        state.exec.record(result.vote);
+        self.journal.record(
+            at,
+            RunEvent::JobReturned {
+                job: result.job,
+                task,
+                node: result.worker,
+                value: result.vote,
+            },
+        );
+        let (leader_count, runner_up) = state.exec.leader_counts();
+        self.journal.record(
+            at,
+            RunEvent::VoteTallied {
+                task,
+                value: result.vote,
+                leader_count: leader_count as u32,
+                runner_up: runner_up as u32,
+            },
+        );
+        if state.exec.wave_boundary() {
+            let wave = state.exec.waves() as u32;
+            self.journal.record(at, RunEvent::WaveClosed { task, wave });
+        }
+        self.advance(task, at);
+    }
+
+    fn expire_deadlines(&mut self, now: Instant) {
+        while let Some(&Reverse((deadline, job))) = self.deadlines.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            // Resolved jobs leave stale heap entries; skip them.
+            let Some(info) = self.jobs.remove(&job) else {
+                continue;
+            };
+            let task = info.task;
+            let at = self.stamp();
+            let Some(state) = self.tasks.get_mut(&task) else {
+                continue;
+            };
+            state.live_jobs.retain(|&j| j != job);
+            state.timeouts += 1;
+            let attempt = state.timeouts;
+            state.exec.abandon(1);
+            self.journal.record(
+                at,
+                RunEvent::JobTimedOut {
+                    job,
+                    task,
+                    node: info.worker,
+                },
+            );
+            self.report.timeouts += 1;
+            // Reissue semantics: the abandoned replica is replaced by a
+            // fresh one when the strategy reopens the wave below.
+            self.journal
+                .record(at, RunEvent::JobRetried { task, attempt });
+            self.report.retries += 1;
+            let state = self.tasks.get(&task).expect("checked above");
+            if state.exec.wave_boundary() {
+                let wave = state.exec.waves() as u32;
+                self.journal.record(at, RunEvent::WaveClosed { task, wave });
+            }
+            self.advance(task, at);
+        }
+    }
+
+    fn finalize(&mut self, task: u32, verdict: Option<bool>, at: SimTime) {
+        let state = self.tasks.remove(&task).expect("finalizing a live task");
+        for job in &state.live_jobs {
+            self.jobs.remove(job);
+        }
+        self.active.store(self.tasks.len(), Ordering::Relaxed);
+        let jobs = state.exec.jobs_deployed();
+        let latency = match state.first_dispatch {
+            Some(started) => at.since(started).as_units(),
+            None => 0.0,
+        };
+        match verdict {
+            Some(value) => {
+                self.journal.record(
+                    at,
+                    RunEvent::VerdictReached {
+                        task,
+                        value,
+                        degraded: false,
+                        confidence: 1.0,
+                    },
+                );
+                self.report.tasks_completed += 1;
+                if value {
+                    self.report.tasks_correct += 1;
+                }
+                self.report.jobs_per_task.record(jobs as f64);
+                self.report.waves_per_task.record(state.exec.waves() as f64);
+                self.report.response_time.record(latency);
+                let _ = state.verdict_tx.send(TaskVerdict {
+                    task,
+                    vote: Some(value),
+                    answer: state.answers[usize::from(value)],
+                    latency_units: latency,
+                    jobs: jobs as u32,
+                });
+            }
+            None => {
+                self.journal.record(at, RunEvent::TaskCapped { task });
+                self.report.tasks_capped += 1;
+                let _ = state.verdict_tx.send(TaskVerdict {
+                    task,
+                    vote: None,
+                    answer: None,
+                    latency_units: latency,
+                    jobs: jobs as u32,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! # smartred-runtime — live job serving under smart redundancy
+//!
+//! Everything else in this workspace runs in *simulated* time; this crate
+//! is the real thing: a std-only, wall-clock job-serving runtime that
+//! executes actual workloads (3-SAT assignment blocks, synthetic
+//! busywork) on a pool of OS threads under the traditional, progressive,
+//! and iterative redundancy strategies of `smartred-core`.
+//!
+//! ## Architecture
+//!
+//! * [`worker`] — the pool: per-worker bounded inboxes, a pluggable
+//!   [`Worker`] trait, and [`FaultyWorker`], whose lies and hangs are a
+//!   pure function of `(seed, task, replica)` via the counter-based RNG
+//!   streams of `core::parallel`;
+//! * [`coordinator`] — a single coordinator thread owning all redundancy
+//!   state: it admits submissions (bounded queue, load shedding,
+//!   [`SubmitOutcome`]), sizes waves with the shared
+//!   `core::execution::step_wave` surface, tallies votes, enforces
+//!   wall-clock deadlines with timeout→reissue semantics, and delivers
+//!   [`TaskVerdict`]s;
+//! * [`workload`] — the job payloads replicas execute;
+//! * [`report`] — live metrics plus [`report_from_journal`], the exact
+//!   replay cross-check.
+//!
+//! ## Observability
+//!
+//! The coordinator emits the same typed
+//! [`RunEvent`](smartred_desim::journal::RunEvent) stream as the
+//! simulators, stamped with monotonic wall time (1 unit = 1 second), so
+//! the `journal::assert` DSL, JSONL export, digests, and replay folding
+//! all work unchanged against the live system.
+//!
+//! ## Determinism contract
+//!
+//! Given a seed: votes, verdicts, per-task costs, and per-task journal
+//! *structure* are deterministic (fault draws are keyed by task and
+//! replica, not by worker or schedule) **provided no job misses its
+//! deadline spuriously**. Wall-clock timestamps, cross-task interleaving,
+//! and therefore journal digests are *not* deterministic — see DESIGN.md
+//! §"Live runtime vs simulators".
+//!
+//! ## Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use smartred_core::params::KVotes;
+//! use smartred_core::strategy::Traditional;
+//! use smartred_runtime::{
+//!     FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig, SubmitOutcome,
+//! };
+//!
+//! let cfg = RuntimeConfig {
+//!     workers: Some(2),
+//!     ..RuntimeConfig::default()
+//! };
+//! let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3)?), |_| {
+//!     Box::new(FaultyWorker::new(7, FaultProfile::default()))
+//! });
+//! let client = runtime.client();
+//! let outcome = client.submit(Payload::Synthetic {
+//!     answer: true,
+//!     work: Duration::ZERO,
+//! });
+//! assert!(matches!(outcome, SubmitOutcome::Accepted { .. }));
+//! let verdict = client.recv().expect("a verdict");
+//! assert_eq!(verdict.vote, Some(true));
+//! drop(client);
+//! let run = runtime.finish();
+//! assert_eq!(run.report.tasks_completed, 1);
+//! # Ok::<(), smartred_core::error::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod coordinator;
+pub mod report;
+pub mod worker;
+pub mod workload;
+
+pub use coordinator::{
+    AdmissionStats, Client, Runtime, RuntimeConfig, RuntimeRun, SubmitOutcome, TaskVerdict,
+};
+pub use report::{report_from_journal, RuntimeReport};
+pub use worker::{FaultProfile, FaultyWorker, JobAssignment, JobResult, Worker};
+pub use workload::Payload;

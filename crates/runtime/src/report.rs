@@ -1,0 +1,144 @@
+//! Run metrics and the journal replay cross-check.
+//!
+//! The coordinator builds a [`RuntimeReport`] incrementally as it emits
+//! journal events; [`report_from_journal`] derives the same report purely
+//! from the recorded event stream. Every metric is a fold over events in
+//! stream order — including the order-sensitive Welford summaries — so for
+//! a journaled run the two must agree **exactly** (`==`), the same
+//! contract `dca::replay` enforces for the simulator. Any drift between
+//! the live bookkeeping and the recorded trajectory is a test failure,
+//! not a silent skew.
+
+use std::collections::HashMap;
+
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::time::SimTime;
+use smartred_stats::Summary;
+
+/// Aggregate metrics of one runtime run.
+///
+/// Time-valued fields are in journal units (1 unit = 1 second of wall
+/// time); they are derived from the stamped event times, so live and
+/// replayed reports agree bit for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeReport {
+    /// Tasks that reached a firm verdict.
+    pub tasks_completed: usize,
+    /// Completed tasks whose verdict was the honest answer.
+    pub tasks_correct: usize,
+    /// Tasks abandoned at the job cap without a verdict.
+    pub tasks_capped: usize,
+    /// Jobs dispatched to workers.
+    pub total_jobs: u64,
+    /// Jobs that missed their wall-clock deadline.
+    pub timeouts: u64,
+    /// Timeout-triggered reissues.
+    pub retries: u64,
+    /// Jobs per completed task (the paper's cost factor, measured live).
+    pub jobs_per_task: Summary,
+    /// Deployment waves per completed task.
+    pub waves_per_task: Summary,
+    /// First-dispatch → verdict latency per completed task, in units.
+    pub response_time: Summary,
+    /// Wall-clock run length in units (stamp of the run-ended event).
+    pub makespan_units: f64,
+}
+
+impl RuntimeReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of completed tasks that accepted the honest answer
+    /// (0 when nothing completed).
+    pub fn reliability(&self) -> f64 {
+        if self.tasks_completed == 0 {
+            0.0
+        } else {
+            self.tasks_correct as f64 / self.tasks_completed as f64
+        }
+    }
+
+    /// Mean jobs per completed task.
+    pub fn cost_factor(&self) -> f64 {
+        self.jobs_per_task.mean()
+    }
+}
+
+/// Per-task accumulation while folding over the event stream.
+#[derive(Clone, Copy, Default)]
+struct TaskAcc {
+    first_dispatch: Option<SimTime>,
+    jobs: u64,
+    waves: u32,
+}
+
+/// Recomputes the full [`RuntimeReport`] of a journaled run from its
+/// journal. For any run with journaling enabled, the output equals the
+/// live report exactly.
+pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
+    let mut report = RuntimeReport::new();
+    let mut tasks: HashMap<u32, TaskAcc> = HashMap::new();
+    for e in journal.events() {
+        match e.event {
+            RunEvent::JobDispatched { task, .. } => {
+                report.total_jobs += 1;
+                let acc = tasks.entry(task).or_default();
+                if acc.first_dispatch.is_none() {
+                    acc.first_dispatch = Some(e.at);
+                }
+            }
+            RunEvent::WaveOpened { task, jobs, .. } => {
+                let acc = tasks.entry(task).or_default();
+                acc.jobs += u64::from(jobs);
+                acc.waves += 1;
+            }
+            RunEvent::JobTimedOut { .. } => report.timeouts += 1,
+            RunEvent::JobRetried { .. } => report.retries += 1,
+            RunEvent::VerdictReached { task, value, .. } => {
+                report.tasks_completed += 1;
+                if value {
+                    report.tasks_correct += 1;
+                }
+                let acc = tasks.get(&task).copied().unwrap_or_default();
+                report.jobs_per_task.record(acc.jobs as f64);
+                report.waves_per_task.record(acc.waves as f64);
+                let response = match acc.first_dispatch {
+                    Some(started) => e.at.since(started).as_units(),
+                    None => 0.0,
+                };
+                report.response_time.record(response);
+            }
+            RunEvent::TaskCapped { .. } => report.tasks_capped += 1,
+            RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
+            // The runtime does not emit churn, quarantine, or fault-plan
+            // events; returned jobs, wave closes, and tallies carry no
+            // report-level metric of their own.
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_journal_folds_to_empty_report() {
+        assert_eq!(report_from_journal(&Journal::new()), RuntimeReport::new());
+    }
+
+    #[test]
+    fn reliability_and_cost_read_the_counters() {
+        let mut r = RuntimeReport::new();
+        assert_eq!(r.reliability(), 0.0);
+        r.tasks_completed = 4;
+        r.tasks_correct = 3;
+        r.jobs_per_task.record(10.0);
+        r.jobs_per_task.record(14.0);
+        assert!((r.reliability() - 0.75).abs() < 1e-12);
+        assert!((r.cost_factor() - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! The worker pool: OS threads with per-worker bounded inboxes and a
+//! pluggable, deliberately unreliable [`Worker`] implementation.
+//!
+//! Workers are the live analogue of the DCA node pool: each one actually
+//! executes the payload, then may lie about the result or hang, with the
+//! same failure semantics as `dca`'s node model (`wrong_rate`,
+//! `unresponsive_rate`). Misbehavior is drawn from the counter-based RNG
+//! streams of [`smartred_core::parallel::task_rng`] keyed by
+//! `(seed, task, replica)` — a pure function of the replica's coordinates,
+//! never of which worker ran it or when — so the *votes* of a run are
+//! deterministic given a seed even though its timings are not.
+
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::Rng;
+use smartred_core::parallel::task_rng;
+
+use crate::workload::Payload;
+
+/// One replica job handed to a worker.
+#[derive(Debug, Clone)]
+pub struct JobAssignment {
+    /// Dispatch-order job index (the journal's `job` identifier).
+    pub job: u32,
+    /// Task the replica belongs to.
+    pub task: u32,
+    /// Replica index within the task: 0-based, counting reissues.
+    pub replica: u32,
+    /// The work to execute.
+    pub payload: Arc<Payload>,
+}
+
+/// What a worker sends back for one job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobResult {
+    /// Dispatch-order job index.
+    pub job: u32,
+    /// Task the replica belongs to.
+    pub task: u32,
+    /// Index of the worker that executed the job.
+    pub worker: u32,
+    /// The vote: `true` = the honest answer, `false` = the colluding wrong
+    /// value (the Byzantine worst case of §2.2, where all liars agree).
+    pub vote: bool,
+    /// The answer actually reported: the honest answer, flipped when lying.
+    pub answer: bool,
+}
+
+/// A job executor running on one pool thread.
+pub trait Worker: Send + 'static {
+    /// Executes one assignment. `Some((vote, answer))` reports a result;
+    /// `None` hangs — the worker reports nothing and the coordinator's
+    /// wall-clock deadline eventually fires.
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)>;
+}
+
+/// Fault profile for [`FaultyWorker`]: the live analogue of the DCA node
+/// model's per-job failure rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Per-job probability of reporting the colluding wrong value.
+    pub wrong_rate: f64,
+    /// Per-job probability of hanging (reporting nothing).
+    pub hang_rate: f64,
+    /// Extra wall-clock latency added to every executed job.
+    pub think: Duration,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            wrong_rate: 0.0,
+            hang_rate: 0.0,
+            think: Duration::ZERO,
+        }
+    }
+}
+
+/// A worker whose misbehavior is a pure function of `(seed, task, replica)`.
+///
+/// Every worker of a pool shares the same seed, so a replica's fault draw
+/// is identical no matter which worker picks it up — the property that
+/// makes the runtime's votes and verdicts reproducible across thread
+/// counts and schedules. A reissued replica gets a fresh index and hence a
+/// fresh draw, mirroring the simulators' counter-based streams.
+#[derive(Debug, Clone)]
+pub struct FaultyWorker {
+    seed: u64,
+    profile: FaultProfile,
+}
+
+impl FaultyWorker {
+    /// Creates a worker drawing faults from `seed` under `profile`.
+    pub fn new(seed: u64, profile: FaultProfile) -> Self {
+        Self { seed, profile }
+    }
+}
+
+impl Worker for FaultyWorker {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        if !self.profile.think.is_zero() {
+            std::thread::sleep(self.profile.think);
+        }
+        let honest = job.payload.execute();
+        let mut rng = task_rng(self.seed, u64::from(job.task), u64::from(job.replica));
+        let u: f64 = rng.gen();
+        if u < self.profile.hang_rate {
+            return None;
+        }
+        if u < self.profile.hang_rate + self.profile.wrong_rate {
+            return Some((false, !honest));
+        }
+        Some((true, honest))
+    }
+}
+
+/// The pool: per-worker bounded inboxes plus joinable threads. Internal to
+/// the coordinator, which owns dispatch.
+pub(crate) struct WorkerPool {
+    inboxes: Vec<SyncSender<JobAssignment>>,
+    handles: Vec<JoinHandle<()>>,
+    cursor: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `count` worker threads, each with a bounded inbox of
+    /// `inbox_cap` jobs, reporting results on `results`.
+    pub fn spawn<F>(count: usize, inbox_cap: usize, results: Sender<JobResult>, mut make: F) -> Self
+    where
+        F: FnMut(u32) -> Box<dyn Worker>,
+    {
+        let mut inboxes = Vec::with_capacity(count);
+        let mut handles = Vec::with_capacity(count);
+        for index in 0..count as u32 {
+            let (tx, rx): (SyncSender<JobAssignment>, Receiver<JobAssignment>) =
+                std::sync::mpsc::sync_channel(inbox_cap.max(1));
+            let results = results.clone();
+            let mut worker = make(index);
+            let handle = std::thread::Builder::new()
+                .name(format!("smartred-worker-{index}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        if let Some((vote, answer)) = worker.execute(&job) {
+                            // The results channel is unbounded: workers
+                            // never block reporting, so a stalled
+                            // coordinator cannot deadlock the pool.
+                            let _ = results.send(JobResult {
+                                job: job.job,
+                                task: job.task,
+                                worker: index,
+                                vote,
+                                answer,
+                            });
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            inboxes.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            inboxes,
+            handles,
+            cursor: 0,
+        }
+    }
+
+    /// Hands `job` to the first worker (round-robin) whose inbox has room.
+    /// Never blocks: returns the assignment back on `Err` when every inbox
+    /// is full, so the caller can park it and retry after results drain.
+    pub fn try_dispatch(&mut self, job: JobAssignment) -> Result<u32, JobAssignment> {
+        let n = self.inboxes.len();
+        let mut job = job;
+        for i in 0..n {
+            let w = (self.cursor + i) % n;
+            match self.inboxes[w].try_send(job) {
+                Ok(()) => {
+                    self.cursor = (w + 1) % n;
+                    return Ok(w as u32);
+                }
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    job = back;
+                }
+            }
+        }
+        Err(job)
+    }
+
+    /// Closes every inbox and joins the threads.
+    pub fn shutdown(self) {
+        drop(self.inboxes);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(task: u32, replica: u32) -> JobAssignment {
+        JobAssignment {
+            job: 0,
+            task,
+            replica,
+            payload: Arc::new(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            }),
+        }
+    }
+
+    #[test]
+    fn fault_draw_depends_only_on_task_and_replica() {
+        let profile = FaultProfile {
+            wrong_rate: 0.5,
+            hang_rate: 0.2,
+            think: Duration::ZERO,
+        };
+        let mut a = FaultyWorker::new(9, profile);
+        let mut b = FaultyWorker::new(9, profile);
+        for task in 0..50 {
+            for replica in 0..4 {
+                assert_eq!(
+                    a.execute(&assignment(task, replica)),
+                    b.execute(&assignment(task, replica)),
+                    "draw must be identical across workers for ({task}, {replica})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn honest_worker_votes_true_with_honest_answer() {
+        let mut w = FaultyWorker::new(3, FaultProfile::default());
+        assert_eq!(w.execute(&assignment(0, 0)), Some((true, true)));
+    }
+
+    #[test]
+    fn lying_draw_flips_the_answer_and_votes_false() {
+        let profile = FaultProfile {
+            wrong_rate: 1.0,
+            hang_rate: 0.0,
+            think: Duration::ZERO,
+        };
+        let mut w = FaultyWorker::new(3, profile);
+        assert_eq!(w.execute(&assignment(0, 0)), Some((false, false)));
+    }
+
+    #[test]
+    fn full_inboxes_return_the_job_to_the_caller() {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        // One worker whose single-slot inbox we saturate with a job it
+        // cannot finish quickly.
+        let mut pool = WorkerPool::spawn(1, 1, tx, |_| {
+            Box::new(FaultyWorker::new(
+                0,
+                FaultProfile {
+                    think: Duration::from_millis(50),
+                    ..FaultProfile::default()
+                },
+            ))
+        });
+        // First dispatch is taken by the worker, second sits in the inbox,
+        // third (at the latest) must bounce. Allow a race on the second.
+        let mut bounced = false;
+        for _ in 0..3 {
+            if pool.try_dispatch(assignment(0, 0)).is_err() {
+                bounced = true;
+                break;
+            }
+        }
+        assert!(bounced, "a saturated pool must refuse, not block");
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,88 @@
+//! Job payloads: the real work a replica executes.
+//!
+//! Every replica of a task runs the same payload and votes on its result;
+//! the redundancy layer never inspects the work itself, only the votes.
+//! Two payload kinds cover the paper's deployment workload and load
+//! testing:
+//!
+//! * [`Payload::Sat`] — evaluate one assignment block of a 3-SAT formula,
+//!   the canonical BOINC job of §4.1 ("does this block contain a
+//!   satisfying assignment?");
+//! * [`Payload::Synthetic`] — configurable busywork with a fixed honest
+//!   answer, for benchmarks that need controllable service times.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smartred_sat::{AssignmentBlock, CnfFormula};
+
+/// The work one task's replicas execute.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Evaluate one assignment block of a 3-SAT formula. The honest answer
+    /// is whether the block contains a satisfying assignment.
+    Sat {
+        /// The formula, shared across every block of the decomposition.
+        formula: Arc<CnfFormula>,
+        /// The block of assignments this task tests.
+        block: AssignmentBlock,
+    },
+    /// Synthetic busywork: sleep for `work`, then report `answer`.
+    Synthetic {
+        /// The honest answer.
+        answer: bool,
+        /// Wall-clock service time per execution.
+        work: Duration,
+    },
+}
+
+impl Payload {
+    /// Executes the payload honestly and returns the honest answer.
+    pub fn execute(&self) -> bool {
+        match self {
+            Payload::Sat { formula, block } => block.contains_satisfying(formula),
+            Payload::Synthetic { answer, work } => {
+                if !work.is_zero() {
+                    std::thread::sleep(*work);
+                }
+                *answer
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smartred_sat::{decompose, random_3sat, ThreeSatConfig};
+
+    #[test]
+    fn sat_payload_executes_block_honestly() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let formula = Arc::new(random_3sat(
+            ThreeSatConfig {
+                num_vars: 8,
+                clause_ratio: 4.26,
+            },
+            &mut rng,
+        ));
+        let blocks = decompose(formula.num_vars(), 4);
+        for block in blocks {
+            let payload = Payload::Sat {
+                formula: formula.clone(),
+                block,
+            };
+            assert_eq!(payload.execute(), block.contains_satisfying(&formula));
+        }
+    }
+
+    #[test]
+    fn synthetic_payload_reports_its_answer() {
+        let p = Payload::Synthetic {
+            answer: false,
+            work: Duration::ZERO,
+        };
+        assert!(!p.execute());
+    }
+}

@@ -1,0 +1,360 @@
+//! Integration tests for the live runtime: the IR-vs-TR acceptance run,
+//! replay cross-checks, overload shedding, timeout→reissue, determinism,
+//! and journal invariants — at worker counts 1 and 8.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use smartred_core::analysis;
+use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::strategy::{Iterative, RedundancyStrategy, Traditional};
+use smartred_desim::journal::assert as jassert;
+use smartred_runtime::{
+    report_from_journal, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig, RuntimeRun,
+    SubmitOutcome, TaskVerdict,
+};
+use smartred_sat::{decompose, random_3sat, ThreeSatConfig};
+
+/// Runs `num_tasks` 3-SAT block tasks through a fresh runtime, retrying
+/// shed submissions, and returns the finished run plus every verdict.
+fn run_sat<S>(
+    strategy: S,
+    workers: usize,
+    seed: u64,
+    profile: FaultProfile,
+    num_tasks: usize,
+    deadline: Duration,
+) -> (RuntimeRun, Vec<TaskVerdict>)
+where
+    S: RedundancyStrategy<bool> + Send + Sync + 'static,
+{
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let blocks = decompose(formula.num_vars(), num_tasks);
+    assert_eq!(blocks.len(), num_tasks);
+    let cfg = RuntimeConfig {
+        workers: Some(workers),
+        queue_cap: num_tasks + 8,
+        max_active: 64,
+        deadline,
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, strategy, |_| {
+        Box::new(FaultyWorker::new(seed, profile))
+    });
+    let client = runtime.client();
+    for block in blocks {
+        loop {
+            let outcome = client.submit(Payload::Sat {
+                formula: formula.clone(),
+                block,
+            });
+            if outcome != SubmitOutcome::Shed {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let mut verdicts = Vec::with_capacity(num_tasks);
+    for _ in 0..num_tasks {
+        verdicts.push(client.recv().expect("runtime dropped a verdict"));
+    }
+    drop(client);
+    (runtime.finish(), verdicts)
+}
+
+const THIRTY_PCT_FAULTY: FaultProfile = FaultProfile {
+    wrong_rate: 0.3,
+    hang_rate: 0.0,
+    think: Duration::ZERO,
+};
+
+/// The headline acceptance run: a seeded 30%-faulty pool, 1,000 tasks.
+/// Iterative redundancy must reach the target confidence on ≥ 99% of
+/// them while spending fewer job executions than traditional redundancy
+/// at matched achieved reliability — verified from the live report AND
+/// independently by folding the runtime's journal.
+#[test]
+fn ir_beats_tr_at_matched_reliability_live() {
+    let r = Reliability::new(0.7).unwrap();
+    // Smallest margin whose predicted reliability (Eq. 6) meets the 0.99
+    // target: d = 6 at r = 0.7.
+    let d = (1..=12)
+        .find(|&d| analysis::iterative::reliability(VoteMargin::new(d).unwrap(), r) >= 0.99)
+        .expect("a margin meeting the target exists");
+    let (ir_run, ir_verdicts) = run_sat(
+        Iterative::new(VoteMargin::new(d).unwrap()),
+        8,
+        42,
+        THIRTY_PCT_FAULTY,
+        1000,
+        Duration::from_secs(2),
+    );
+    assert_eq!(ir_run.report.tasks_completed, 1000);
+    assert_eq!(ir_verdicts.len(), 1000);
+    let ir_reliability = ir_run.report.reliability();
+    assert!(
+        ir_reliability >= 0.99,
+        "IR must reach target confidence on ≥ 99% of tasks, got {ir_reliability}"
+    );
+    // Replay cross-check: the journal folds to the identical report.
+    assert_eq!(report_from_journal(&ir_run.journal), ir_run.report);
+
+    // Traditional redundancy at matched reliability: the smallest odd k
+    // whose predicted reliability (Eq. 2) meets what IR achieved.
+    let k = (1..=61)
+        .step_by(2)
+        .find(|&k| analysis::traditional::reliability(KVotes::new(k).unwrap(), r) >= ir_reliability)
+        .unwrap_or(61);
+    let (tr_run, _) = run_sat(
+        Traditional::new(KVotes::new(k).unwrap()),
+        8,
+        42,
+        THIRTY_PCT_FAULTY,
+        1000,
+        Duration::from_secs(2),
+    );
+    assert_eq!(tr_run.report.tasks_completed, 1000);
+    assert_eq!(report_from_journal(&tr_run.journal), tr_run.report);
+    let tr_reliability = tr_run.report.reliability();
+    assert!(
+        tr_reliability >= ir_reliability - 0.005,
+        "TR(k={k}) must match IR reliability: {tr_reliability} vs {ir_reliability}"
+    );
+    assert!(
+        ir_run.report.total_jobs < tr_run.report.total_jobs,
+        "IR must cost fewer jobs: IR {} vs TR(k={k}) {}",
+        ir_run.report.total_jobs,
+        tr_run.report.total_jobs
+    );
+}
+
+/// Same run with a single worker: no deadlocks, same votes as any other
+/// schedule would produce.
+#[test]
+fn single_worker_completes_without_deadlock() {
+    let (run, verdicts) = run_sat(
+        Iterative::new(VoteMargin::new(3).unwrap()),
+        1,
+        7,
+        THIRTY_PCT_FAULTY,
+        100,
+        Duration::from_secs(2),
+    );
+    assert_eq!(run.report.tasks_completed, 100);
+    assert_eq!(verdicts.len(), 100);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// Votes, verdicts, and job counts are a pure function of the seed: two
+/// runs at different worker counts agree on every vote-derived quantity
+/// (timings differ, so only structure is compared).
+#[test]
+fn same_seed_reproduces_votes_across_worker_counts() {
+    let strategy = || Iterative::new(VoteMargin::new(4).unwrap());
+    let (a, va) = run_sat(
+        strategy(),
+        2,
+        99,
+        THIRTY_PCT_FAULTY,
+        150,
+        Duration::from_secs(2),
+    );
+    let (b, vb) = run_sat(
+        strategy(),
+        8,
+        99,
+        THIRTY_PCT_FAULTY,
+        150,
+        Duration::from_secs(2),
+    );
+    assert_eq!(a.report.tasks_correct, b.report.tasks_correct);
+    assert_eq!(a.report.total_jobs, b.report.total_jobs);
+    // (Welford means are fold-order sensitive in the last float bits, so
+    // per-task equality is asserted on the sorted verdicts instead.)
+    let key = |v: &TaskVerdict| (v.task, v.vote, v.answer, v.jobs);
+    let mut ka: Vec<_> = va.iter().map(key).collect();
+    let mut kb: Vec<_> = vb.iter().map(key).collect();
+    ka.sort_unstable();
+    kb.sort_unstable();
+    assert_eq!(ka, kb, "verdicts must not depend on the schedule");
+}
+
+/// Saturating the bounded submission queue sheds instead of blocking or
+/// collapsing, and shed submissions succeed on retry.
+#[test]
+fn saturation_sheds_and_recovers() {
+    let cfg = RuntimeConfig {
+        workers: Some(1),
+        inbox_cap: 1,
+        queue_cap: 2,
+        max_active: 2,
+        deadline: Duration::from_secs(5),
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+        Box::new(FaultyWorker::new(1, FaultProfile::default()))
+    });
+    let client = runtime.client();
+    let total = 60;
+    for _ in 0..total {
+        loop {
+            let outcome = client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::from_millis(2),
+            });
+            if outcome != SubmitOutcome::Shed {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let mut correct = 0;
+    for _ in 0..total {
+        let verdict = client.recv().expect("verdict for every admitted task");
+        if verdict.vote == Some(true) {
+            correct += 1;
+        }
+    }
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(run.report.tasks_completed, total);
+    assert_eq!(correct, total, "honest pool must answer every task");
+    assert!(
+        run.admission.shed > 0,
+        "a 2-deep queue under a 60-task burst must shed (shed {})",
+        run.admission.shed
+    );
+    assert!(run.admission.shed_rate() > 0.0);
+    assert_eq!(
+        run.admission.accepted + run.admission.queued,
+        total as u64,
+        "every task was eventually admitted"
+    );
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// Hung jobs miss their wall-clock deadline, are reissued on fresh RNG
+/// streams, and every task still converges to the honest answer. The
+/// journal witnesses the timeout→retry causality.
+#[test]
+fn hangs_time_out_and_reissue_preserves_correctness() {
+    let profile = FaultProfile {
+        wrong_rate: 0.0,
+        hang_rate: 0.25,
+        think: Duration::ZERO,
+    };
+    let (run, verdicts) = run_sat(
+        Traditional::new(KVotes::new(3).unwrap()),
+        4,
+        13,
+        profile,
+        40,
+        Duration::from_millis(100),
+    );
+    assert_eq!(run.report.tasks_completed, 40);
+    assert!(
+        run.report.timeouts > 0,
+        "a 25% hang rate must produce timeouts"
+    );
+    assert_eq!(run.report.timeouts, run.report.retries);
+    assert_eq!(
+        run.report.tasks_correct, 40,
+        "reissue must preserve correctness with an honest pool"
+    );
+    assert!(verdicts.iter().all(|v| v.answer.is_some()));
+    jassert::events(run.journal.events())
+        .time_ordered()
+        .retry_follows_timeout()
+        .waves_well_formed();
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// The runtime-journal quorum property: every firm verdict is preceded by
+/// at least `quorum` matching votes for that task (quorum = the margin d
+/// for iterative redundancy), alongside the structural DSL invariants —
+/// the same assertions that run against simulator journals.
+#[test]
+fn runtime_journal_satisfies_quorum_and_causality() {
+    let profile = FaultProfile {
+        wrong_rate: 0.3,
+        hang_rate: 0.1,
+        think: Duration::ZERO,
+    };
+    let d = 4;
+    let (run, _) = run_sat(
+        Iterative::new(VoteMargin::new(d).unwrap()),
+        8,
+        21,
+        profile,
+        200,
+        Duration::from_millis(100),
+    );
+    assert_eq!(run.report.tasks_completed, 200);
+    jassert::events(run.journal.events())
+        .time_ordered()
+        .retry_follows_timeout()
+        .waves_well_formed()
+        .verdicts_have_quorum(d);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// A job cap below the first wave fails every task as capped, delivering
+/// vote-less verdicts instead of wedging the runtime.
+#[test]
+fn job_cap_fails_tasks_gracefully() {
+    let cfg = RuntimeConfig {
+        workers: Some(2),
+        job_cap: Some(2),
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+        Box::new(FaultyWorker::new(5, FaultProfile::default()))
+    });
+    let client = runtime.client();
+    for _ in 0..5 {
+        assert_ne!(
+            client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            }),
+            SubmitOutcome::Shed
+        );
+    }
+    for _ in 0..5 {
+        let verdict = client.recv().expect("capped tasks still deliver");
+        assert_eq!(verdict.vote, None);
+        assert_eq!(verdict.jobs, 0);
+    }
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(run.report.tasks_capped, 5);
+    assert_eq!(run.report.tasks_completed, 0);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// The journal round-trips through JSONL so CI can archive live runs and
+/// the digest tooling applies unchanged.
+#[test]
+fn runtime_journal_round_trips_jsonl() {
+    let (run, _) = run_sat(
+        Iterative::new(VoteMargin::new(2).unwrap()),
+        2,
+        3,
+        THIRTY_PCT_FAULTY,
+        20,
+        Duration::from_secs(2),
+    );
+    let text = run.journal.to_jsonl();
+    let restored = smartred_desim::journal::Journal::from_jsonl(&text).unwrap();
+    assert_eq!(restored.events(), run.journal.events());
+    assert_eq!(restored.digest(), run.journal.digest());
+    assert_eq!(report_from_journal(&restored), run.report);
+}

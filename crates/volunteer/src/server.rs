@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use rand::Rng;
 use smartred_core::error::ParamError;
-use smartred_core::execution::{Poll, TaskExecution};
+use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::resilience::{DisciplineAction, NodeDiscipline, QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
@@ -549,13 +549,12 @@ fn emit_tally(world: &World, sim: &mut Sim, wu: usize, value: bool) {
     if !sim.journal().is_enabled() {
         return;
     }
-    let tally = world.wus[wu].exec.tally();
-    let leader_count = tally.leader().map(|(_, n)| n).unwrap_or(0);
+    let (leader_count, runner_up) = world.wus[wu].exec.leader_counts();
     sim.emit(RunEvent::VoteTallied {
         task: wu as u32,
         value,
         leader_count: leader_count as u32,
-        runner_up: tally.runner_up_count() as u32,
+        runner_up: runner_up as u32,
     });
 }
 
@@ -710,14 +709,14 @@ fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
     if world.wus[wu].finished {
         return;
     }
-    match world.wus[wu].exec.poll() {
-        Ok(Poll::Deploy(n)) => {
+    match world.wus[wu].exec.step_wave() {
+        WaveStep::Wave { wave, jobs } => {
             sim.emit(RunEvent::WaveOpened {
                 task: wu as u32,
-                wave: world.wus[wu].exec.waves() as u32,
-                jobs: n as u32,
+                wave: wave as u32,
+                jobs: jobs as u32,
             });
-            for _ in 0..n {
+            for _ in 0..jobs {
                 if priority {
                     world.queue.push_front(wu);
                 } else {
@@ -725,9 +724,9 @@ fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
                 }
             }
         }
-        Ok(Poll::Complete(v)) => finalize(world, sim, wu, Some(v)),
-        Err(_capped) => finalize(world, sim, wu, None),
-        Ok(Poll::Pending) => {}
+        WaveStep::Verdict(v) => finalize(world, sim, wu, Some(v)),
+        WaveStep::Capped { .. } => finalize(world, sim, wu, None),
+        WaveStep::Pending => {}
     }
 }
 

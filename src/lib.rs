@@ -12,6 +12,8 @@
 //! * [`sat`] — the 3-SAT workload substrate of the BOINC experiments;
 //! * [`volunteer`] — the BOINC-like volunteer-computing system with
 //!   PlanetLab-style host profiles, plus adversarial campaigns;
+//! * [`runtime`] — the live wall-clock job-serving runtime (worker pool,
+//!   admission control, journal-compatible observability);
 //! * [`stats`] — summary statistics and table rendering.
 //!
 //! ## Thirty-second tour
@@ -46,6 +48,7 @@
 pub use smartred_core as core;
 pub use smartred_dca as dca;
 pub use smartred_desim as desim;
+pub use smartred_runtime as runtime;
 pub use smartred_sat as sat;
 pub use smartred_stats as stats;
 pub use smartred_volunteer as volunteer;
