@@ -1,7 +1,7 @@
-//! Closed-loop load generator for the live runtime.
+//! Closed-loop load generator and chaos harness for the live runtime.
 //!
 //! ```text
-//! serve_bench [--smoke] [--tasks N] [--workers N] [--seed N] [--journal <path>]
+//! serve_bench [--smoke] [--chaos] [--tasks N] [--workers N] [--seed N] [--journal <path>]
 //! ```
 //!
 //! Drives the `smartred-runtime` job-serving runtime with a 30%-faulty
@@ -13,12 +13,24 @@
 //! comparison — then asserts the qualitative cost ordering
 //! IR < PR < TR jobs/task and exits non-zero if it fails to hold.
 //!
+//! `--chaos` runs the crash-recovery harness instead: a golden
+//! uninterrupted run (with crash-injecting workers) fixes the expected
+//! outcome, then the same workload is re-run with a durable WAL and the
+//! coordinator killed at seeded points; each crashed run is restarted with
+//! `Runtime::recover` and must converge to a final journal whose verdicts,
+//! per-task job counts, and totals equal the golden run's — and whose
+//! folded report equals the live one — exiting non-zero otherwise.
+//!
 //! `--smoke` shrinks the run to a few hundred tasks so the whole binary
 //! finishes within a CI smoke budget (~10 s). `--journal <path>` writes
 //! the iterative run's event journal as JSONL (for artifact upload); every
 //! run is additionally replay-checked by folding its journal back into a
-//! report and requiring exact equality with the live one.
+//! report and requiring exact equality with the live one. Under `--chaos`,
+//! `--journal <path>` names where the WAL of a *failed* recovery round is
+//! preserved for artifact upload.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +38,7 @@ use rand::SeedableRng;
 use smartred_core::analysis;
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
 use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
+use smartred_desim::journal::{Journal, RunEvent};
 use smartred_runtime::{
     report_from_journal, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig, RuntimeRun,
     SubmitOutcome,
@@ -43,6 +56,8 @@ struct Args {
     workers: usize,
     seed: u64,
     journal: Option<String>,
+    smoke: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +67,8 @@ fn parse_args() -> Args {
         workers: 8,
         seed: 20110620,
         journal: None,
+        smoke: false,
+        chaos: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -62,7 +79,11 @@ fn parse_args() -> Args {
             })
         };
         match argv[i].as_str() {
-            "--smoke" => args.tasks = 200,
+            "--smoke" => {
+                args.tasks = 200;
+                args.smoke = true;
+            }
+            "--chaos" => args.chaos = true,
             "--tasks" => {
                 args.tasks = value(i).parse().expect("--tasks N");
                 i += 1;
@@ -81,7 +102,7 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown flag '{other}'; usage: serve_bench [--smoke] [--tasks N] \
+                    "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] [--tasks N] \
                      [--workers N] [--seed N] [--journal <path>]"
                 );
                 std::process::exit(2);
@@ -135,12 +156,14 @@ where
         deadline: Duration::from_secs(5),
         ..RuntimeConfig::default()
     };
-    let runtime = Runtime::start(cfg, strategy, |_| {
+    let seed = args.seed;
+    let runtime = Runtime::start(cfg, strategy, move |_| {
         Box::new(FaultyWorker::new(
-            args.seed,
+            seed,
             FaultProfile {
                 wrong_rate: WRONG_RATE,
                 hang_rate: 0.0,
+                crash_rate: 0.0,
                 think: Duration::ZERO,
             },
         ))
@@ -197,8 +220,240 @@ where
     }
 }
 
+/// Schedule-independent structure of a finished run: everything that must
+/// be bit-identical between an uninterrupted run and one reassembled from
+/// crash + WAL recovery. (Wall-clock stamps and cross-task interleaving
+/// legitimately differ; fault draws, votes, verdicts, and per-task job
+/// counts may not.)
+#[derive(Debug, PartialEq, Eq)]
+struct RunShape {
+    total_jobs: u64,
+    completed: usize,
+    correct: usize,
+    capped: usize,
+    poisoned: usize,
+    /// `(task, verdict vote or None, jobs dispatched)`, sorted by task.
+    /// Failed tasks are tagged by `kind` (0 verdict, 1 capped, 2 poisoned).
+    verdicts: Vec<(u32, u8, Option<bool>, u64)>,
+}
+
+fn shape(journal: &Journal) -> RunShape {
+    let mut jobs: HashMap<u32, u64> = HashMap::new();
+    let mut verdicts: Vec<(u32, u8, Option<bool>)> = Vec::new();
+    let mut s = RunShape {
+        total_jobs: 0,
+        completed: 0,
+        correct: 0,
+        capped: 0,
+        poisoned: 0,
+        verdicts: Vec::new(),
+    };
+    for e in journal.events() {
+        match e.event {
+            RunEvent::JobDispatched { task, .. } => {
+                s.total_jobs += 1;
+                *jobs.entry(task).or_default() += 1;
+            }
+            RunEvent::VerdictReached { task, value, .. } => {
+                s.completed += 1;
+                if value {
+                    s.correct += 1;
+                }
+                verdicts.push((task, 0, Some(value)));
+            }
+            RunEvent::TaskCapped { task } => {
+                s.capped += 1;
+                verdicts.push((task, 1, None));
+            }
+            RunEvent::TaskPoisoned { task, .. } => {
+                s.poisoned += 1;
+                verdicts.push((task, 2, None));
+            }
+            _ => {}
+        }
+    }
+    verdicts.sort_unstable();
+    s.verdicts = verdicts
+        .into_iter()
+        .map(|(task, kind, vote)| (task, kind, vote, jobs.get(&task).copied().unwrap_or(0)))
+        .collect();
+    s
+}
+
+/// Worker profile for chaos runs: lies *and* panics, both drawn purely
+/// from `(seed, task, replica)` so the golden and recovered runs face
+/// byte-identical adversity.
+fn chaos_profile() -> FaultProfile {
+    FaultProfile {
+        wrong_rate: WRONG_RATE,
+        hang_rate: 0.0,
+        crash_rate: 0.05,
+        think: Duration::ZERO,
+    }
+}
+
+fn chaos_cfg(args: &Args, tasks: usize, wal: Option<PathBuf>) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: Some(args.workers),
+        queue_cap: tasks.max(1),
+        max_active: 64,
+        deadline: Duration::from_secs(30),
+        wal,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Submits the whole roster (ids are assigned in submission order, so they
+/// land on the roster's own ids), lets the run finish — or crash at its
+/// chaos point — and returns it.
+fn run_roster(
+    cfg: RuntimeConfig,
+    margin: VoteMargin,
+    seed: u64,
+    roster: &[(u32, Payload)],
+) -> RuntimeRun {
+    let runtime = Runtime::start(cfg, Iterative::new(margin), move |_| {
+        Box::new(FaultyWorker::new(seed, chaos_profile()))
+    });
+    let client = runtime.client();
+    for (task, payload) in roster {
+        match client.submit(payload.clone()) {
+            SubmitOutcome::Shed => panic!("chaos queue_cap admits the whole roster"),
+            SubmitOutcome::Accepted { task: id } | SubmitOutcome::Queued { task: id } => {
+                assert_eq!(id, *task, "submission order must assign roster ids");
+            }
+        }
+    }
+    drop(client);
+    runtime.finish()
+}
+
+/// The chaos harness: golden run, then crash-at-point + recover rounds.
+/// Returns process exit code.
+fn chaos(args: &Args) -> i32 {
+    // Injected worker crashes are supervised and expected by the hundreds;
+    // keep their panic backtraces off stderr, but let real panics through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected worker crash"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let tasks = if args.smoke { 150 } else { args.tasks };
+    let margin = VoteMargin::new(MARGIN).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let roster: Vec<(u32, Payload)> = decompose(formula.num_vars(), tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, block)| {
+            (
+                i as u32,
+                Payload::Sat {
+                    formula: formula.clone(),
+                    block,
+                },
+            )
+        })
+        .collect();
+
+    let golden = run_roster(chaos_cfg(args, tasks, None), margin, args.seed, &roster);
+    assert!(!golden.crashed);
+    let golden_shape = shape(&golden.journal);
+    let golden_events = golden.journal.events().len();
+    println!(
+        "chaos: golden run: {} tasks, {} jobs, {} worker crashes, {} poisoned, {} events",
+        golden.report.tasks_completed,
+        golden.report.total_jobs,
+        golden.report.worker_crashes,
+        golden.report.tasks_poisoned,
+        golden_events,
+    );
+
+    let wal_dir = std::env::temp_dir().join(format!("smartred-chaos-{}", std::process::id()));
+    let mut failed = false;
+    for (round, frac) in [0.2, 0.5, 0.8].into_iter().enumerate() {
+        let crash_at = ((golden_events as f64 * frac) as u64).max(1);
+        let wal = wal_dir.join(format!("round-{round}.wal.jsonl"));
+        let mut cfg = chaos_cfg(args, tasks, Some(wal.clone()));
+        cfg.crash_after_events = Some(crash_at);
+        let crashed = run_roster(cfg, margin, args.seed, &roster);
+        assert!(
+            crashed.crashed,
+            "the coordinator must die at its chaos point"
+        );
+
+        let (runtime, client, rec) = Runtime::recover(
+            chaos_cfg(args, tasks, Some(wal.clone())),
+            Iterative::new(margin),
+            {
+                let seed = args.seed;
+                move |_| Box::new(FaultyWorker::new(seed, chaos_profile()))
+            },
+            &roster,
+        )
+        .expect("WAL recovery");
+        drop(client);
+        let run = runtime.finish();
+        assert!(!run.crashed);
+        assert_eq!(
+            report_from_journal(&run.journal),
+            run.report,
+            "recovered run: journal replay must reproduce the live report exactly"
+        );
+        let recovered_shape = shape(&run.journal);
+        let ok = recovered_shape == golden_shape;
+        println!(
+            "chaos: round {round}: killed coordinator after {crash_at}/{golden_events} events \
+             (torn tail: {}), resumed {} open + {} decided + {} unseen tasks, re-armed {} jobs \
+             -> {}",
+            rec.torn_tail,
+            rec.tasks_resumed,
+            rec.tasks_decided,
+            rec.tasks_seeded,
+            rec.jobs_rearmed,
+            if ok { "matches golden" } else { "MISMATCH" },
+        );
+        if !ok {
+            eprintln!(
+                "FAIL: round {round}: recovered shape diverged from golden\n  golden:    \
+                 {golden_shape:?}\n  recovered: {recovered_shape:?}"
+            );
+            if let Some(path) = &args.journal {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).expect("create journal directory");
+                    }
+                }
+                std::fs::copy(&wal, path).expect("preserve failing WAL");
+                eprintln!("failing WAL preserved at {path}");
+            }
+            failed = true;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    if failed {
+        return 1;
+    }
+    println!("chaos recovery holds: all crash points converge to the golden run");
+    0
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        std::process::exit(chaos(&args));
+    }
     let r = Reliability::new(1.0 - WRONG_RATE).unwrap();
     let d = VoteMargin::new(MARGIN).unwrap();
     let target = analysis::iterative::reliability(d, r);

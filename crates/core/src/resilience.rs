@@ -215,9 +215,86 @@ impl NodeDiscipline {
     }
 }
 
+/// Poison-task policy: a *task* whose payload repeatedly kills the worker
+/// executing it is quarantined (failed without a verdict) instead of being
+/// re-issued forever.
+///
+/// This is orthogonal to [`QuarantinePolicy`]: node discipline punishes a
+/// *node* for misbehaving across tasks; poison discipline withdraws a
+/// *task* that takes down whichever node touches it, so one bad payload
+/// cannot grind the whole pool through crash-restart cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPolicy {
+    /// Worker crashes charged to one task before it is poisoned.
+    pub crash_limit: u32,
+}
+
+impl Default for PoisonPolicy {
+    fn default() -> Self {
+        Self { crash_limit: 3 }
+    }
+}
+
+impl PoisonPolicy {
+    /// Validates the policy's numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] on a zero crash limit (which would poison
+    /// every task at its first crash-free dispatch).
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.crash_limit == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "poison.crash_limit",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-task crash counter (the platform owns one per in-flight task).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskDiscipline {
+    crashes: u32,
+}
+
+impl TaskDiscipline {
+    /// Charges one worker crash to the task; returns `true` when the
+    /// policy's limit is reached and the task must be poisoned.
+    pub fn record_crash(&mut self, policy: &PoisonPolicy) -> bool {
+        self.crashes += 1;
+        self.crashes >= policy.crash_limit
+    }
+
+    /// Crashes charged so far.
+    pub fn crashes(&self) -> u32 {
+        self.crashes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poison_policy_validation() {
+        assert!(PoisonPolicy::default().validate().is_ok());
+        assert!(PoisonPolicy { crash_limit: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn poison_trips_exactly_at_the_crash_limit() {
+        let policy = PoisonPolicy { crash_limit: 3 };
+        let mut d = TaskDiscipline::default();
+        assert!(!d.record_crash(&policy));
+        assert!(!d.record_crash(&policy));
+        assert!(d.record_crash(&policy));
+        assert_eq!(d.crashes(), 3);
+        // Further crashes keep reporting poisoned.
+        assert!(d.record_crash(&policy));
+    }
 
     #[test]
     fn backoff_grows_exponentially() {

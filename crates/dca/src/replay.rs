@@ -108,7 +108,12 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
             RunEvent::JobReturned { .. }
             | RunEvent::WaveClosed { .. }
             | RunEvent::VoteTallied { .. }
-            | RunEvent::NodeReleased { .. } => {}
+            | RunEvent::NodeReleased { .. }
+            | RunEvent::WorkerCrashed { .. }
+            | RunEvent::WorkerRestarted { .. }
+            | RunEvent::TaskPoisoned { .. }
+            | RunEvent::StaleReplyDropped { .. }
+            | RunEvent::EpochAdvanced { .. } => {}
         }
     }
     debug_assert_eq!(

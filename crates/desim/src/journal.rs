@@ -241,6 +241,52 @@ pub enum RunEvent {
         /// Task index.
         task: u32,
     },
+    /// A worker thread died (panicked) while executing a job — live-runtime
+    /// supervision vocabulary.
+    WorkerCrashed {
+        /// Worker (node) index whose thread crashed.
+        node: u32,
+        /// The job it was executing.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+    },
+    /// Supervision brought a crashed or hung worker back into service with
+    /// a fresh executor.
+    WorkerRestarted {
+        /// Worker (node) index restarted.
+        node: u32,
+        /// Restart count for this worker slot, starting at 1.
+        incarnation: u32,
+    },
+    /// A task was quarantined as *poison* after repeatedly killing the
+    /// workers executing it (distinct from node-level strikes).
+    TaskPoisoned {
+        /// Task index.
+        task: u32,
+        /// Worker crashes the task caused before quarantine.
+        crashes: u32,
+    },
+    /// A reply from a superseded replica epoch arrived and was discarded
+    /// instead of being tallied (late answer after reissue or worker
+    /// replacement).
+    StaleReplyDropped {
+        /// The job whose stale reply was dropped.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// The task's current epoch that outranked the reply.
+        epoch: u32,
+    },
+    /// A task's replica epoch advanced: outstanding replicas issued before
+    /// this point are invalidated and any late replies from them will be
+    /// rejected.
+    EpochAdvanced {
+        /// Task index.
+        task: u32,
+        /// The new epoch.
+        epoch: u32,
+    },
     /// The run is over; the event's timestamp is the run's makespan.
     RunEnded,
 }
@@ -278,6 +324,16 @@ pub enum EventKind {
     VerdictReached,
     /// See [`RunEvent::TaskCapped`].
     TaskCapped,
+    /// See [`RunEvent::WorkerCrashed`].
+    WorkerCrashed,
+    /// See [`RunEvent::WorkerRestarted`].
+    WorkerRestarted,
+    /// See [`RunEvent::TaskPoisoned`].
+    TaskPoisoned,
+    /// See [`RunEvent::StaleReplyDropped`].
+    StaleReplyDropped,
+    /// See [`RunEvent::EpochAdvanced`].
+    EpochAdvanced,
     /// See [`RunEvent::RunEnded`].
     RunEnded,
 }
@@ -301,6 +357,11 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::VerdictReached => "verdict_reached",
             EventKind::TaskCapped => "task_capped",
+            EventKind::WorkerCrashed => "worker_crashed",
+            EventKind::WorkerRestarted => "worker_restarted",
+            EventKind::TaskPoisoned => "task_poisoned",
+            EventKind::StaleReplyDropped => "stale_reply_dropped",
+            EventKind::EpochAdvanced => "epoch_advanced",
             EventKind::RunEnded => "run_ended",
         }
     }
@@ -325,6 +386,11 @@ impl RunEvent {
             RunEvent::FaultInjected { .. } => EventKind::FaultInjected,
             RunEvent::VerdictReached { .. } => EventKind::VerdictReached,
             RunEvent::TaskCapped { .. } => EventKind::TaskCapped,
+            RunEvent::WorkerCrashed { .. } => EventKind::WorkerCrashed,
+            RunEvent::WorkerRestarted { .. } => EventKind::WorkerRestarted,
+            RunEvent::TaskPoisoned { .. } => EventKind::TaskPoisoned,
+            RunEvent::StaleReplyDropped { .. } => EventKind::StaleReplyDropped,
+            RunEvent::EpochAdvanced { .. } => EventKind::EpochAdvanced,
             RunEvent::RunEnded => EventKind::RunEnded,
         }
     }
@@ -340,7 +406,11 @@ impl RunEvent {
             | RunEvent::WaveClosed { task, .. }
             | RunEvent::VoteTallied { task, .. }
             | RunEvent::VerdictReached { task, .. }
-            | RunEvent::TaskCapped { task } => Some(task),
+            | RunEvent::TaskCapped { task }
+            | RunEvent::WorkerCrashed { task, .. }
+            | RunEvent::TaskPoisoned { task, .. }
+            | RunEvent::StaleReplyDropped { task, .. }
+            | RunEvent::EpochAdvanced { task, .. } => Some(task),
             _ => None,
         }
     }
@@ -354,7 +424,9 @@ impl RunEvent {
             | RunEvent::NodeQuarantined { node }
             | RunEvent::NodeReleased { node }
             | RunEvent::NodeJoined { node }
-            | RunEvent::NodeDeparted { node, .. } => Some(node),
+            | RunEvent::NodeDeparted { node, .. }
+            | RunEvent::WorkerCrashed { node, .. }
+            | RunEvent::WorkerRestarted { node, .. } => Some(node),
             _ => None,
         }
     }
@@ -370,6 +442,236 @@ pub struct Stamped {
     pub seq: u64,
     /// The event.
     pub event: RunEvent,
+}
+
+impl Stamped {
+    /// Serializes this entry as one JSONL object (no trailing newline) —
+    /// the exact line format [`Journal::to_jsonl`] emits and
+    /// [`Journal::from_jsonl`] parses. [`WalWriter`] appends these lines
+    /// one durable write at a time.
+    pub fn to_jsonl_line(&self) -> String {
+        let mut line = format!(
+            "{{\"at\":{},\"seq\":{},\"kind\":\"{}\"",
+            self.at.as_micros(),
+            self.seq,
+            self.event.kind().name()
+        );
+        match self.event {
+            RunEvent::JobDispatched {
+                job,
+                task,
+                node,
+                eta,
+            } => line.push_str(&format!(
+                ",\"job\":{job},\"task\":{task},\"node\":{node},\"eta\":{}",
+                eta.as_micros()
+            )),
+            RunEvent::JobReturned {
+                job,
+                task,
+                node,
+                value,
+            } => line.push_str(&format!(
+                ",\"job\":{job},\"task\":{task},\"node\":{node},\"value\":{value}"
+            )),
+            RunEvent::JobTimedOut { job, task, node } => {
+                line.push_str(&format!(",\"job\":{job},\"task\":{task},\"node\":{node}"))
+            }
+            RunEvent::JobRetried { task, attempt } => {
+                line.push_str(&format!(",\"task\":{task},\"attempt\":{attempt}"))
+            }
+            RunEvent::WaveOpened { task, wave, jobs } => {
+                line.push_str(&format!(",\"task\":{task},\"wave\":{wave},\"jobs\":{jobs}"))
+            }
+            RunEvent::WaveClosed { task, wave } => {
+                line.push_str(&format!(",\"task\":{task},\"wave\":{wave}"))
+            }
+            RunEvent::VoteTallied {
+                task,
+                value,
+                leader_count,
+                runner_up,
+            } => line.push_str(&format!(
+                ",\"task\":{task},\"value\":{value},\"leader\":{leader_count},\"runner_up\":{runner_up}"
+            )),
+            RunEvent::NodeQuarantined { node }
+            | RunEvent::NodeReleased { node }
+            | RunEvent::NodeJoined { node } => line.push_str(&format!(",\"node\":{node}")),
+            RunEvent::NodeDeparted { node, reason } => line.push_str(&format!(
+                ",\"node\":{node},\"reason\":\"{}\"",
+                reason.name()
+            )),
+            RunEvent::OutageStarted { region } => line.push_str(&format!(",\"region\":{region}")),
+            RunEvent::FaultInjected { kind } => {
+                line.push_str(&format!(",\"fault\":\"{}\"", kind.name()))
+            }
+            RunEvent::VerdictReached {
+                task,
+                value,
+                degraded,
+                confidence,
+            } => line.push_str(&format!(
+                ",\"task\":{task},\"value\":{value},\"degraded\":{degraded},\"confidence\":{confidence:?}"
+            )),
+            RunEvent::TaskCapped { task } => line.push_str(&format!(",\"task\":{task}")),
+            RunEvent::WorkerCrashed { node, job, task } => {
+                line.push_str(&format!(",\"node\":{node},\"job\":{job},\"task\":{task}"))
+            }
+            RunEvent::WorkerRestarted { node, incarnation } => {
+                line.push_str(&format!(",\"node\":{node},\"incarnation\":{incarnation}"))
+            }
+            RunEvent::TaskPoisoned { task, crashes } => {
+                line.push_str(&format!(",\"task\":{task},\"crashes\":{crashes}"))
+            }
+            RunEvent::StaleReplyDropped { job, task, epoch } => {
+                line.push_str(&format!(",\"job\":{job},\"task\":{task},\"epoch\":{epoch}"))
+            }
+            RunEvent::EpochAdvanced { task, epoch } => {
+                line.push_str(&format!(",\"task\":{task},\"epoch\":{epoch}"))
+            }
+            RunEvent::RunEnded => {}
+        }
+        line.push('}');
+        line
+    }
+
+    /// Parses one entry back from its [`to_jsonl_line`](Self::to_jsonl_line)
+    /// form. The error is a bare message; callers attach line numbers.
+    pub fn from_jsonl_line(line: &str) -> Result<Self, String> {
+        let fields = parse_object(line)?;
+        let get = |key: &str| -> Result<&JsonValue, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field '{key}'"))
+        };
+        let int = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                JsonValue::Int(n) => Ok(*n),
+                other => Err(format!("field '{key}' is not an integer: {other:?}")),
+            }
+        };
+        let narrow = |key: &str| -> Result<u32, String> {
+            u32::try_from(int(key)?).map_err(|_| format!("field '{key}' exceeds u32"))
+        };
+        let boolean = |key: &str| -> Result<bool, String> {
+            match get(key)? {
+                JsonValue::Bool(b) => Ok(*b),
+                other => Err(format!("field '{key}' is not a bool: {other:?}")),
+            }
+        };
+        let string = |key: &str| -> Result<&str, String> {
+            match get(key)? {
+                JsonValue::Str(s) => Ok(s.as_str()),
+                other => Err(format!("field '{key}' is not a string: {other:?}")),
+            }
+        };
+        let float = |key: &str| -> Result<f64, String> {
+            match get(key)? {
+                JsonValue::Float(x) => Ok(*x),
+                JsonValue::Int(n) => Ok(*n as f64),
+                other => Err(format!("field '{key}' is not a number: {other:?}")),
+            }
+        };
+
+        let at = SimTime::from_micros(int("at")?);
+        let seq = int("seq")?;
+        let kind = string("kind")?.to_string();
+        let event = match kind.as_str() {
+            "job_dispatched" => RunEvent::JobDispatched {
+                job: narrow("job")?,
+                task: narrow("task")?,
+                node: narrow("node")?,
+                eta: SimTime::from_micros(int("eta")?),
+            },
+            "job_returned" => RunEvent::JobReturned {
+                job: narrow("job")?,
+                task: narrow("task")?,
+                node: narrow("node")?,
+                value: boolean("value")?,
+            },
+            "job_timed_out" => RunEvent::JobTimedOut {
+                job: narrow("job")?,
+                task: narrow("task")?,
+                node: narrow("node")?,
+            },
+            "job_retried" => RunEvent::JobRetried {
+                task: narrow("task")?,
+                attempt: narrow("attempt")?,
+            },
+            "wave_opened" => RunEvent::WaveOpened {
+                task: narrow("task")?,
+                wave: narrow("wave")?,
+                jobs: narrow("jobs")?,
+            },
+            "wave_closed" => RunEvent::WaveClosed {
+                task: narrow("task")?,
+                wave: narrow("wave")?,
+            },
+            "vote_tallied" => RunEvent::VoteTallied {
+                task: narrow("task")?,
+                value: boolean("value")?,
+                leader_count: narrow("leader")?,
+                runner_up: narrow("runner_up")?,
+            },
+            "node_quarantined" => RunEvent::NodeQuarantined {
+                node: narrow("node")?,
+            },
+            "node_released" => RunEvent::NodeReleased {
+                node: narrow("node")?,
+            },
+            "node_joined" => RunEvent::NodeJoined {
+                node: narrow("node")?,
+            },
+            "node_departed" => RunEvent::NodeDeparted {
+                node: narrow("node")?,
+                reason: DepartureReason::from_name(string("reason")?)
+                    .ok_or_else(|| "unknown departure reason".to_string())?,
+            },
+            "outage_started" => RunEvent::OutageStarted {
+                region: narrow("region")?,
+            },
+            "fault_injected" => RunEvent::FaultInjected {
+                kind: FaultKind::from_name(string("fault")?)
+                    .ok_or_else(|| "unknown fault kind".to_string())?,
+            },
+            "verdict_reached" => RunEvent::VerdictReached {
+                task: narrow("task")?,
+                value: boolean("value")?,
+                degraded: boolean("degraded")?,
+                confidence: float("confidence")?,
+            },
+            "task_capped" => RunEvent::TaskCapped {
+                task: narrow("task")?,
+            },
+            "worker_crashed" => RunEvent::WorkerCrashed {
+                node: narrow("node")?,
+                job: narrow("job")?,
+                task: narrow("task")?,
+            },
+            "worker_restarted" => RunEvent::WorkerRestarted {
+                node: narrow("node")?,
+                incarnation: narrow("incarnation")?,
+            },
+            "task_poisoned" => RunEvent::TaskPoisoned {
+                task: narrow("task")?,
+                crashes: narrow("crashes")?,
+            },
+            "stale_reply_dropped" => RunEvent::StaleReplyDropped {
+                job: narrow("job")?,
+                task: narrow("task")?,
+                epoch: narrow("epoch")?,
+            },
+            "epoch_advanced" => RunEvent::EpochAdvanced {
+                task: narrow("task")?,
+                epoch: narrow("epoch")?,
+            },
+            "run_ended" => RunEvent::RunEnded,
+            other => return Err(format!("unknown event kind '{other}'")),
+        };
+        Ok(Stamped { at, seq, event })
+    }
 }
 
 /// Error returned by [`Journal::from_jsonl`].
@@ -589,6 +891,28 @@ impl Journal {
                     eat(&confidence.to_bits().to_le_bytes());
                 }
                 RunEvent::TaskCapped { task } => eat(&task.to_le_bytes()),
+                RunEvent::WorkerCrashed { node, job, task } => {
+                    eat(&node.to_le_bytes());
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                }
+                RunEvent::WorkerRestarted { node, incarnation } => {
+                    eat(&node.to_le_bytes());
+                    eat(&incarnation.to_le_bytes());
+                }
+                RunEvent::TaskPoisoned { task, crashes } => {
+                    eat(&task.to_le_bytes());
+                    eat(&crashes.to_le_bytes());
+                }
+                RunEvent::StaleReplyDropped { job, task, epoch } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&epoch.to_le_bytes());
+                }
+                RunEvent::EpochAdvanced { task, epoch } => {
+                    eat(&task.to_le_bytes());
+                    eat(&epoch.to_le_bytes());
+                }
                 RunEvent::RunEnded => {}
             }
         }
@@ -607,76 +931,7 @@ impl Journal {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 64);
         for e in &self.events {
-            let mut line = format!(
-                "{{\"at\":{},\"seq\":{},\"kind\":\"{}\"",
-                e.at.as_micros(),
-                e.seq,
-                e.event.kind().name()
-            );
-            match e.event {
-                RunEvent::JobDispatched {
-                    job,
-                    task,
-                    node,
-                    eta,
-                } => line.push_str(&format!(
-                    ",\"job\":{job},\"task\":{task},\"node\":{node},\"eta\":{}",
-                    eta.as_micros()
-                )),
-                RunEvent::JobReturned {
-                    job,
-                    task,
-                    node,
-                    value,
-                } => line.push_str(&format!(
-                    ",\"job\":{job},\"task\":{task},\"node\":{node},\"value\":{value}"
-                )),
-                RunEvent::JobTimedOut { job, task, node } => {
-                    line.push_str(&format!(",\"job\":{job},\"task\":{task},\"node\":{node}"))
-                }
-                RunEvent::JobRetried { task, attempt } => {
-                    line.push_str(&format!(",\"task\":{task},\"attempt\":{attempt}"))
-                }
-                RunEvent::WaveOpened { task, wave, jobs } => {
-                    line.push_str(&format!(",\"task\":{task},\"wave\":{wave},\"jobs\":{jobs}"))
-                }
-                RunEvent::WaveClosed { task, wave } => {
-                    line.push_str(&format!(",\"task\":{task},\"wave\":{wave}"))
-                }
-                RunEvent::VoteTallied {
-                    task,
-                    value,
-                    leader_count,
-                    runner_up,
-                } => line.push_str(&format!(
-                    ",\"task\":{task},\"value\":{value},\"leader\":{leader_count},\"runner_up\":{runner_up}"
-                )),
-                RunEvent::NodeQuarantined { node }
-                | RunEvent::NodeReleased { node }
-                | RunEvent::NodeJoined { node } => line.push_str(&format!(",\"node\":{node}")),
-                RunEvent::NodeDeparted { node, reason } => line.push_str(&format!(
-                    ",\"node\":{node},\"reason\":\"{}\"",
-                    reason.name()
-                )),
-                RunEvent::OutageStarted { region } => {
-                    line.push_str(&format!(",\"region\":{region}"))
-                }
-                RunEvent::FaultInjected { kind } => {
-                    line.push_str(&format!(",\"fault\":\"{}\"", kind.name()))
-                }
-                RunEvent::VerdictReached {
-                    task,
-                    value,
-                    degraded,
-                    confidence,
-                } => line.push_str(&format!(
-                    ",\"task\":{task},\"value\":{value},\"degraded\":{degraded},\"confidence\":{confidence:?}"
-                )),
-                RunEvent::TaskCapped { task } => line.push_str(&format!(",\"task\":{task}")),
-                RunEvent::RunEnded => {}
-            }
-            line.push('}');
-            out.push_str(&line);
+            out.push_str(&e.to_jsonl_line());
             out.push('\n');
         }
         out
@@ -694,135 +949,171 @@ impl Journal {
             if line.trim().is_empty() {
                 continue;
             }
-            let fields = parse_object(line).map_err(|message| JournalParseError {
+            let stamped = Stamped::from_jsonl_line(line).map_err(|message| JournalParseError {
                 line: line_no,
                 message,
             })?;
-            let err = |message: String| JournalParseError {
-                line: line_no,
-                message,
-            };
-            let get = |key: &str| -> Result<&JsonValue, JournalParseError> {
-                fields
-                    .iter()
-                    .find(|(k, _)| k == key)
-                    .map(|(_, v)| v)
-                    .ok_or_else(|| err(format!("missing field '{key}'")))
-            };
-            let int = |key: &str| -> Result<u64, JournalParseError> {
-                match get(key)? {
-                    JsonValue::Int(n) => Ok(*n),
-                    other => Err(err(format!("field '{key}' is not an integer: {other:?}"))),
-                }
-            };
-            let narrow = |key: &str| -> Result<u32, JournalParseError> {
-                u32::try_from(int(key)?).map_err(|_| err(format!("field '{key}' exceeds u32")))
-            };
-            let boolean = |key: &str| -> Result<bool, JournalParseError> {
-                match get(key)? {
-                    JsonValue::Bool(b) => Ok(*b),
-                    other => Err(err(format!("field '{key}' is not a bool: {other:?}"))),
-                }
-            };
-            let string = |key: &str| -> Result<&str, JournalParseError> {
-                match get(key)? {
-                    JsonValue::Str(s) => Ok(s.as_str()),
-                    other => Err(err(format!("field '{key}' is not a string: {other:?}"))),
-                }
-            };
-            let float = |key: &str| -> Result<f64, JournalParseError> {
-                match get(key)? {
-                    JsonValue::Float(x) => Ok(*x),
-                    JsonValue::Int(n) => Ok(*n as f64),
-                    other => Err(err(format!("field '{key}' is not a number: {other:?}"))),
-                }
-            };
-
-            let at = SimTime::from_micros(int("at")?);
-            let seq = int("seq")?;
-            let kind = string("kind")?.to_string();
-            let event = match kind.as_str() {
-                "job_dispatched" => RunEvent::JobDispatched {
-                    job: narrow("job")?,
-                    task: narrow("task")?,
-                    node: narrow("node")?,
-                    eta: SimTime::from_micros(int("eta")?),
-                },
-                "job_returned" => RunEvent::JobReturned {
-                    job: narrow("job")?,
-                    task: narrow("task")?,
-                    node: narrow("node")?,
-                    value: boolean("value")?,
-                },
-                "job_timed_out" => RunEvent::JobTimedOut {
-                    job: narrow("job")?,
-                    task: narrow("task")?,
-                    node: narrow("node")?,
-                },
-                "job_retried" => RunEvent::JobRetried {
-                    task: narrow("task")?,
-                    attempt: narrow("attempt")?,
-                },
-                "wave_opened" => RunEvent::WaveOpened {
-                    task: narrow("task")?,
-                    wave: narrow("wave")?,
-                    jobs: narrow("jobs")?,
-                },
-                "wave_closed" => RunEvent::WaveClosed {
-                    task: narrow("task")?,
-                    wave: narrow("wave")?,
-                },
-                "vote_tallied" => RunEvent::VoteTallied {
-                    task: narrow("task")?,
-                    value: boolean("value")?,
-                    leader_count: narrow("leader")?,
-                    runner_up: narrow("runner_up")?,
-                },
-                "node_quarantined" => RunEvent::NodeQuarantined {
-                    node: narrow("node")?,
-                },
-                "node_released" => RunEvent::NodeReleased {
-                    node: narrow("node")?,
-                },
-                "node_joined" => RunEvent::NodeJoined {
-                    node: narrow("node")?,
-                },
-                "node_departed" => RunEvent::NodeDeparted {
-                    node: narrow("node")?,
-                    reason: DepartureReason::from_name(string("reason")?)
-                        .ok_or_else(|| err("unknown departure reason".into()))?,
-                },
-                "outage_started" => RunEvent::OutageStarted {
-                    region: narrow("region")?,
-                },
-                "fault_injected" => RunEvent::FaultInjected {
-                    kind: FaultKind::from_name(string("fault")?)
-                        .ok_or_else(|| err("unknown fault kind".into()))?,
-                },
-                "verdict_reached" => RunEvent::VerdictReached {
-                    task: narrow("task")?,
-                    value: boolean("value")?,
-                    degraded: boolean("degraded")?,
-                    confidence: float("confidence")?,
-                },
-                "task_capped" => RunEvent::TaskCapped {
-                    task: narrow("task")?,
-                },
-                "run_ended" => RunEvent::RunEnded,
-                other => return Err(err(format!("unknown event kind '{other}'"))),
-            };
             if let Some(last) = journal.events.last() {
-                if at < last.at {
-                    return Err(err(format!(
-                        "events out of time order: {at} after {}",
-                        last.at
-                    )));
+                if stamped.at < last.at {
+                    return Err(JournalParseError {
+                        line: line_no,
+                        message: format!(
+                            "events out of time order: {} after {}",
+                            stamped.at, last.at
+                        ),
+                    });
                 }
             }
-            journal.events.push(Stamped { at, seq, event });
-            journal.next_seq = seq + 1;
+            journal.next_seq = stamped.seq + 1;
+            journal.events.push(stamped);
         }
         Ok(journal)
+    }
+
+    /// Reads a journal from possibly crash-truncated WAL bytes.
+    ///
+    /// A writer that dies mid-append leaves a *torn tail*: a final chunk
+    /// with no trailing newline, or a final line cut short so it no longer
+    /// parses. Such a tail is dropped and reported via [`WalPrefix::torn`];
+    /// `valid_bytes` is the length of the longest whole-record prefix, so a
+    /// recovering writer can truncate the file there and resume appending.
+    ///
+    /// # Errors
+    ///
+    /// Malformed records *before* the final one are corruption, not a torn
+    /// write, and still fail with [`JournalParseError`].
+    pub fn from_jsonl_prefix(text: &str) -> Result<WalPrefix, JournalParseError> {
+        let mut journal = Journal::new();
+        let mut torn = false;
+        let mut valid_bytes = 0usize;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while offset < text.len() {
+            line_no += 1;
+            let rest = &text[offset..];
+            let (line, consumed, terminated) = match rest.find('\n') {
+                Some(nl) => (&rest[..nl], nl + 1, true),
+                None => (rest, rest.len(), false),
+            };
+            let end = offset + consumed;
+            let last = end == text.len();
+            if line.trim().is_empty() {
+                if terminated {
+                    valid_bytes = end;
+                }
+                offset = end;
+                continue;
+            }
+            match Stamped::from_jsonl_line(line) {
+                Ok(stamped) => {
+                    if !terminated {
+                        // Parsed, but the newline never hit the disk — the
+                        // record itself may be incomplete (e.g. a truncated
+                        // integer still parses). Only whole lines count.
+                        torn = true;
+                        break;
+                    }
+                    if let Some(prev) = journal.events.last() {
+                        if stamped.at < prev.at {
+                            return Err(JournalParseError {
+                                line: line_no,
+                                message: format!(
+                                    "events out of time order: {} after {}",
+                                    stamped.at, prev.at
+                                ),
+                            });
+                        }
+                    }
+                    journal.next_seq = stamped.seq + 1;
+                    journal.events.push(stamped);
+                    valid_bytes = end;
+                }
+                Err(message) => {
+                    if last {
+                        torn = true;
+                        break;
+                    }
+                    return Err(JournalParseError {
+                        line: line_no,
+                        message,
+                    });
+                }
+            }
+            offset = end;
+        }
+        Ok(WalPrefix {
+            journal,
+            torn,
+            valid_bytes,
+        })
+    }
+}
+
+/// Result of [`Journal::from_jsonl_prefix`]: the longest whole-record
+/// prefix of a write-ahead log, plus what was left behind.
+#[derive(Debug)]
+pub struct WalPrefix {
+    /// Events recovered from the intact prefix.
+    pub journal: Journal,
+    /// True when a torn (unterminated or unparsable) final record was
+    /// dropped.
+    pub torn: bool,
+    /// Byte length of the intact prefix; truncate the file here before
+    /// resuming appends.
+    pub valid_bytes: usize,
+}
+
+/// Durable appender for the JSONL write-ahead log.
+///
+/// Each [`append`](WalWriter::append) writes one complete
+/// `record + '\n'` in a single `write` call and flushes — with
+/// `sync = true` it also `fdatasync`s, so an acknowledged append survives
+/// process death and at most the *final* record of the file can ever be
+/// torn. The file contents stay byte-identical to
+/// [`Journal::to_jsonl`] of the events appended so far.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: std::fs::File,
+    sync: bool,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the WAL at `path`.
+    pub fn create(path: &std::path::Path, sync: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(WalWriter { file, sync })
+    }
+
+    /// Reopens an existing WAL for appending after recovery, truncating a
+    /// torn tail: `valid_bytes` is the intact prefix length reported by
+    /// [`Journal::from_jsonl_prefix`].
+    pub fn resume(path: &std::path::Path, valid_bytes: u64, sync: bool) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        let mut writer = WalWriter { file, sync };
+        use std::io::Seek;
+        writer.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(writer)
+    }
+
+    /// Durably appends one record. Returns only after the bytes are
+    /// flushed (and synced, when enabled) — callers act on the event
+    /// *after* this returns, which is what makes the log write-ahead.
+    pub fn append(&mut self, entry: &Stamped) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut line = entry.to_jsonl_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -1293,6 +1584,130 @@ mod tests {
         assert_eq!(restored.events(), j.events());
         assert_eq!(restored.digest(), j.digest());
         assert_eq!(restored.to_jsonl(), text);
+    }
+
+    fn supervision_journal() -> Journal {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            RunEvent::WorkerCrashed {
+                node: 1,
+                job: 7,
+                task: 3,
+            },
+        );
+        j.record(
+            t(0.5),
+            RunEvent::WorkerRestarted {
+                node: 1,
+                incarnation: 2,
+            },
+        );
+        j.record(t(1.0), RunEvent::EpochAdvanced { task: 3, epoch: 1 });
+        j.record(
+            t(1.5),
+            RunEvent::StaleReplyDropped {
+                job: 7,
+                task: 3,
+                epoch: 0,
+            },
+        );
+        j.record(
+            t(2.0),
+            RunEvent::TaskPoisoned {
+                task: 3,
+                crashes: 3,
+            },
+        );
+        j.record(t(2.0), RunEvent::RunEnded);
+        j
+    }
+
+    #[test]
+    fn supervision_events_round_trip_and_digest() {
+        let j = supervision_journal();
+        let text = j.to_jsonl();
+        let restored = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(restored.events(), j.events());
+        assert_eq!(restored.digest(), j.digest());
+        assert_eq!(j.count(EventKind::WorkerCrashed), 1);
+        assert_eq!(j.count(EventKind::WorkerRestarted), 1);
+        assert_eq!(j.count(EventKind::TaskPoisoned), 1);
+        assert_eq!(j.count(EventKind::StaleReplyDropped), 1);
+        assert_eq!(j.count(EventKind::EpochAdvanced), 1);
+        // Accessors see through the new variants.
+        assert_eq!(j.for_task(3).count(), 4);
+        assert_eq!(j.for_node(1).count(), 2);
+    }
+
+    #[test]
+    fn prefix_parse_drops_only_a_torn_tail() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+
+        // Intact log: nothing torn, everything recovered.
+        let whole = Journal::from_jsonl_prefix(&text).unwrap();
+        assert!(!whole.torn);
+        assert_eq!(whole.valid_bytes, text.len());
+        assert_eq!(whole.journal.events(), j.events());
+
+        // Chop anywhere inside the final record: that record is dropped,
+        // the rest survives, and valid_bytes points at the intact prefix.
+        let last_line_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        for cut in last_line_start + 1..text.len() {
+            let prefix = Journal::from_jsonl_prefix(&text[..cut]).unwrap();
+            assert!(prefix.torn, "cut at {cut} should be torn");
+            assert_eq!(prefix.valid_bytes, last_line_start);
+            assert_eq!(prefix.journal.len(), j.len() - 1);
+        }
+
+        // A complete final record missing only its newline is still torn:
+        // the writer died before the terminator hit the disk.
+        let unterminated = &text[..text.len() - 1];
+        let prefix = Journal::from_jsonl_prefix(unterminated).unwrap();
+        assert!(prefix.torn);
+        assert_eq!(prefix.journal.len(), j.len() - 1);
+
+        // Corruption before the tail is a hard error, not a torn write.
+        let mut corrupt = String::from("garbage\n");
+        corrupt.push_str(&text);
+        assert!(Journal::from_jsonl_prefix(&corrupt).is_err());
+    }
+
+    #[test]
+    fn wal_writer_appends_resume_after_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "smartred-wal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.wal");
+        let j = sample_journal();
+
+        // Append all but the last event durably, then fake a torn tail.
+        let mut w = WalWriter::create(&path, false).unwrap();
+        for e in &j.events()[..j.len() - 1] {
+            w.append(e).unwrap();
+        }
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"at\":9999,\"seq");
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Recover: the torn fragment is dropped, and resume() truncates it.
+        let text = String::from_utf8(bytes).unwrap();
+        let prefix = Journal::from_jsonl_prefix(&text).unwrap();
+        assert!(prefix.torn);
+        assert_eq!(prefix.journal.len(), j.len() - 1);
+        let mut w = WalWriter::resume(&path, prefix.valid_bytes as u64, false).unwrap();
+        w.append(&j.events()[j.len() - 1]).unwrap();
+        drop(w);
+
+        // The healed file is byte-identical to a clean serialization.
+        let healed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(healed, j.to_jsonl());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,7 +13,7 @@ use smartred_desim::time::SimTime;
 /// confidence float is derived from `a` so it is always finite and in
 /// `[0, 1]`.
 fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
-    match sel % 12 {
+    match sel % 17 {
         0 => RunEvent::JobDispatched {
             job: a,
             task: b,
@@ -59,7 +59,29 @@ fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
             confidence: (a % 1001) as f64 / 1000.0,
         },
         10 => RunEvent::TaskCapped { task: b },
-        _ => RunEvent::OutageStarted { region: a % 5 },
+        11 => RunEvent::OutageStarted { region: a % 5 },
+        12 => RunEvent::WorkerCrashed {
+            node: a % 97,
+            job: a,
+            task: b,
+        },
+        13 => RunEvent::WorkerRestarted {
+            node: a % 97,
+            incarnation: a % 16 + 1,
+        },
+        14 => RunEvent::TaskPoisoned {
+            task: b,
+            crashes: a % 8 + 1,
+        },
+        15 => RunEvent::StaleReplyDropped {
+            job: a,
+            task: b,
+            epoch: a % 9,
+        },
+        _ => RunEvent::EpochAdvanced {
+            task: b,
+            epoch: a % 9 + 1,
+        },
     }
 }
 
@@ -80,7 +102,7 @@ proptest! {
     #[test]
     fn journals_are_time_ordered(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..80,
         ),
     ) {
@@ -94,7 +116,7 @@ proptest! {
     #[test]
     fn jsonl_round_trips_losslessly(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..80,
         ),
     ) {
@@ -113,7 +135,7 @@ proptest! {
     #[test]
     fn digest_is_thread_setting_invariant(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..60,
         ),
     ) {
@@ -132,7 +154,7 @@ proptest! {
     #[test]
     fn windowing_agrees_with_naive_filter(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..12, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..300, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..60,
         ),
         bounds in (0u64..20_000, 0u64..20_000),
@@ -154,7 +176,7 @@ proptest! {
     #[test]
     fn filters_are_consistent_with_counts(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..12, 0u32..10_000, 0u32..8, proptest::bool::ANY),
+            (0u64..300, 0u8..17, 0u32..10_000, 0u32..8, proptest::bool::ANY),
             1..60,
         ),
     ) {
@@ -172,6 +194,11 @@ proptest! {
             EventKind::VerdictReached,
             EventKind::TaskCapped,
             EventKind::OutageStarted,
+            EventKind::WorkerCrashed,
+            EventKind::WorkerRestarted,
+            EventKind::TaskPoisoned,
+            EventKind::StaleReplyDropped,
+            EventKind::EpochAdvanced,
         ]
         .iter()
         .map(|&k| journal.count(k))
@@ -184,5 +211,42 @@ proptest! {
                 prop_assert_eq!(e.event.task(), Some(task));
             }
         }
+    }
+
+    /// The WAL torn-tail contract: cutting a serialized journal anywhere
+    /// inside (or just before the newline of) its final record yields a
+    /// prefix parse that recovers every earlier record exactly, flags the
+    /// tail as torn, and reports `valid_bytes` at the last whole-record
+    /// boundary — the truncate-and-resume point. A cut exactly on the
+    /// record boundary is a clean (untorn) shorter journal, and the
+    /// untruncated text parses whole.
+    #[test]
+    fn wal_prefix_survives_any_truncation_of_the_final_record(
+        entries in proptest::collection::vec(
+            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            1..40,
+        ),
+        cut_seed in 0usize..10_000,
+    ) {
+        let journal = build_journal(&entries);
+        let text = journal.to_jsonl();
+        let last_line_start = text[..text.len() - 1].rfind('\n').map_or(0, |i| i + 1);
+        // A cut anywhere from "final record entirely missing" through
+        // "only its trailing newline missing" (JSONL is pure ASCII, so
+        // every byte offset is a char boundary).
+        let cut = last_line_start + cut_seed % (text.len() - last_line_start);
+        let prefix = Journal::from_jsonl_prefix(&text[..cut]).unwrap();
+        prop_assert_eq!(prefix.torn, cut > last_line_start);
+        prop_assert_eq!(prefix.valid_bytes, last_line_start);
+        prop_assert_eq!(
+            prefix.journal.events(),
+            &journal.events()[..journal.len() - 1]
+        );
+        prop_assert_eq!(&prefix.journal.to_jsonl(), &text[..last_line_start]);
+
+        let whole = Journal::from_jsonl_prefix(&text).unwrap();
+        prop_assert!(!whole.torn);
+        prop_assert_eq!(whole.valid_bytes, text.len());
+        prop_assert_eq!(whole.journal.events(), journal.events());
     }
 }

@@ -1,5 +1,6 @@
 //! The coordinator: task admission, replica dispatch, vote tallying,
-//! wall-clock deadlines, and verdict delivery.
+//! wall-clock deadlines, worker supervision, and verdict delivery —
+//! crash-recoverable via a durable write-ahead log.
 //!
 //! One coordinator thread owns all redundancy state and the journal; it is
 //! the only writer of either, which keeps the journal's monotone-time
@@ -9,14 +10,42 @@
 //! cycle of blocking sends exists and the runtime cannot deadlock on its
 //! own queues.
 //!
+//! ## Write-ahead logging
+//!
+//! When [`RuntimeConfig::wal`] is set, every journal record is durably
+//! appended (flushed, and fsync'd under [`RuntimeConfig::wal_sync`])
+//! *before* the coordinator acts on it — in particular before a verdict
+//! is sent or a wave's replicas are queued. [`Runtime::recover`] replays
+//! the surviving WAL prefix (tolerating a torn final record) into a fresh
+//! coordinator that resumes exactly where the dead one stopped: decided
+//! tasks are never re-run or re-delivered, in-flight jobs are re-armed
+//! without new journal records, and replica indices — and hence the
+//! deterministic fault draws keyed by `(seed, task, replica)` — are
+//! preserved.
+//!
+//! ## Supervision and epochs
+//!
+//! Each dispatched job carries its task's *replica epoch*. Replies whose
+//! epoch no longer matches the coordinator's record are rejected
+//! ([`RunEvent::StaleReplyDropped`]) instead of being tallied, which
+//! closes the double-count window when a job is re-dispatched after a
+//! hung-worker respawn, and makes the reissue-after-timeout rejection
+//! explicit. Worker panics are caught in the pool, reported, and healed by
+//! rebuilding the worker; tasks that repeatedly kill workers are poisoned
+//! (failed) under [`smartred_core::resilience::PoisonPolicy`] rather than
+//! re-issued forever. Repeated timeouts and crashes also charge node-level
+//! strikes under the shared
+//! [`smartred_core::resilience::QuarantinePolicy`].
+//!
 //! Timeout semantics mirror the simulators' `DeadlinePolicy::Reissue`:
 //! a job that misses its wall-clock deadline is abandoned (its late result,
-//! if any, is ignored) and the strategy reopens a wave for a replacement
-//! replica on a fresh RNG stream.
+//! if any, is dropped as stale) and the strategy reopens a wave for a
+//! replacement replica on a fresh RNG stream.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,12 +53,16 @@ use std::time::{Duration, Instant};
 
 use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::parallel::Threads;
+use smartred_core::resilience::{
+    DisciplineAction, NodeDiscipline, PoisonPolicy, QuarantinePolicy, TaskDiscipline,
+};
 use smartred_core::strategy::RedundancyStrategy;
-use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::journal::{DepartureReason, Journal, RunEvent, WalWriter};
 use smartred_desim::time::{SimDuration, SimTime};
 
-use crate::report::RuntimeReport;
-use crate::worker::{JobAssignment, JobResult, Worker, WorkerPool};
+use crate::recovery::{self, RecoveryError, RecoveryReport};
+use crate::report::{report_from_journal, RuntimeReport};
+use crate::worker::{JobAssignment, JobResult, PoolEvent, Worker, WorkerPool};
 use crate::workload::Payload;
 
 /// Runtime configuration.
@@ -50,8 +83,34 @@ pub struct RuntimeConfig {
     pub deadline: Duration,
     /// Optional cap on total jobs per task; hitting it fails the task.
     pub job_cap: Option<usize>,
-    /// Whether to record the run journal.
+    /// Whether to record the run journal (forced on when `wal` is set).
     pub journal: bool,
+    /// Durable write-ahead log path. When set, every event is appended to
+    /// this file before the coordinator acts on it, and
+    /// [`Runtime::recover`] can restart the run from it.
+    pub wal: Option<PathBuf>,
+    /// Whether WAL appends `fdatasync` before returning (durable against
+    /// power loss, not just process death). Flush-only (`false`) is
+    /// faster and still survives any in-process crash.
+    pub wal_sync: bool,
+    /// Poison-task policy: tasks whose payload repeatedly crashes workers
+    /// are failed rather than re-issued forever. `None` disables.
+    pub poison: Option<PoisonPolicy>,
+    /// Hung-worker threshold: a worker inside one `execute` call longer
+    /// than this is respawned and its in-flight jobs re-dispatched under a
+    /// fresh epoch. `None` disables hang supervision.
+    pub hang_after: Option<Duration>,
+    /// Node discipline: timeouts and crashes charge strikes; repeated
+    /// strikes quarantine the worker, repeated quarantines blacklist it.
+    /// `None` disables.
+    pub discipline: Option<QuarantinePolicy>,
+    /// Sliding window for strike expiry (see
+    /// [`NodeDiscipline::strike_at`]).
+    pub strike_window: Duration,
+    /// Chaos hook: the coordinator "dies" abruptly after this many journal
+    /// appends — no further events, verdicts, or dispatch bookkeeping —
+    /// leaving the WAL exactly as a real crash would. Test-only.
+    pub crash_after_events: Option<u64>,
 }
 
 impl Default for RuntimeConfig {
@@ -64,11 +123,23 @@ impl Default for RuntimeConfig {
             deadline: Duration::from_secs(2),
             job_cap: None,
             journal: true,
+            wal: None,
+            wal_sync: true,
+            poison: Some(PoisonPolicy::default()),
+            hang_after: None,
+            discipline: None,
+            strike_window: Duration::from_secs(10),
+            crash_after_events: None,
         }
     }
 }
 
 /// Admission-control verdict for one submission.
+///
+/// Marked `#[must_use]`: silently dropping the outcome loses shed
+/// notifications — a [`SubmitOutcome::Shed`] task was **not** admitted and
+/// will never produce a verdict, so the caller must observe it.
+#[must_use = "a Shed outcome means the task was never admitted and will produce no verdict"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
     /// Admitted with spare in-flight capacity: dispatch begins immediately.
@@ -94,11 +165,16 @@ pub enum SubmitOutcome {
 pub struct TaskVerdict {
     /// The task id from [`SubmitOutcome`].
     pub task: u32,
-    /// The winning vote (`true` = honest answer); `None` when the task hit
-    /// its job cap without a verdict.
+    /// The winning vote (`true` = honest answer); `None` when the task
+    /// failed without a verdict (job cap or poisoning).
     pub vote: Option<bool>,
-    /// The answer reported by the winning side, when a verdict was reached.
+    /// The answer reported by the winning side, when a verdict was reached
+    /// (`None` for verdicts resumed across a coordinator restart — votes
+    /// are journaled, raw answers are not).
     pub answer: Option<bool>,
+    /// Whether the task was poisoned (failed for repeatedly crashing its
+    /// workers) rather than capped.
+    pub poisoned: bool,
     /// First-dispatch → verdict latency, in journal units (seconds).
     pub latency_units: f64,
     /// Jobs dispatched for this task.
@@ -236,73 +312,305 @@ pub struct RuntimeRun {
     pub admission: AdmissionStats,
     /// The recorded event stream (empty when journaling was disabled).
     pub journal: Journal,
+    /// Whether the coordinator died at the chaos crash point
+    /// ([`RuntimeConfig::crash_after_events`]) instead of finishing. A
+    /// crashed run's report and journal end mid-stream, exactly as a real
+    /// crash would leave the WAL.
+    pub crashed: bool,
 }
 
 /// A live job-serving runtime: worker pool plus coordinator thread.
 ///
-/// Create with [`Runtime::start`], submit through [`Runtime::client`]
-/// handles, then drop every client and call [`Runtime::finish`] — the
-/// coordinator drains in-flight tasks once all submission handles are gone
-/// and `finish` returns the final [`RuntimeRun`].
+/// Create with [`Runtime::start`] (or [`Runtime::recover`] to resume a
+/// crashed run from its WAL), submit through [`Runtime::client`] handles,
+/// then drop every client and call [`Runtime::finish`] — the coordinator
+/// drains in-flight tasks once all submission handles are gone and
+/// `finish` returns the final [`RuntimeRun`].
 #[derive(Debug)]
 pub struct Runtime {
     submit_tx: Option<SyncSender<Submission>>,
-    handle: JoinHandle<(RuntimeReport, Journal)>,
+    handle: JoinHandle<(RuntimeReport, Journal, bool)>,
     next_task: Arc<AtomicU32>,
     active: Arc<AtomicUsize>,
     counters: Arc<AdmissionCounters>,
     max_active: usize,
+    crashed: Arc<AtomicBool>,
 }
 
 impl Runtime {
     /// Starts the worker pool and coordinator. `make_worker` builds the
     /// executor for each pool index — use [`crate::worker::FaultyWorker`]
-    /// for seed-reproducible unreliability, or any custom [`Worker`].
+    /// for seed-reproducible unreliability, or any custom [`Worker`]. The
+    /// factory is retained: the supervisor calls it again to rebuild
+    /// workers after panics and hung-thread respawns.
     pub fn start<S, F>(cfg: RuntimeConfig, strategy: S, make_worker: F) -> Self
     where
         S: RedundancyStrategy<bool> + Send + Sync + 'static,
-        F: FnMut(u32) -> Box<dyn Worker>,
+        F: Fn(u32) -> Box<dyn Worker> + Send + Sync + 'static,
     {
-        let worker_count = cfg.workers.unwrap_or_else(|| Threads::Auto.get()).max(1);
-        let (submit_tx, submit_rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
-        let (result_tx, result_rx) = mpsc::channel();
-        let pool = WorkerPool::spawn(worker_count, cfg.inbox_cap, result_tx, make_worker);
-        let active = Arc::new(AtomicUsize::new(0));
-        let counters = Arc::new(AdmissionCounters::default());
-        let max_active = cfg.max_active.max(1);
-        let coordinator = Coordinator {
-            journal: if cfg.journal {
-                Journal::new()
-            } else {
-                Journal::disabled()
-            },
-            cfg,
-            strategy: Arc::new(strategy),
+        let journal = if cfg.journal || cfg.wal.is_some() {
+            Journal::new()
+        } else {
+            Journal::disabled()
+        };
+        let wal = cfg
+            .wal
+            .as_ref()
+            .map(|p| WalWriter::create(p, cfg.wal_sync).expect("create WAL file"));
+        let RuntimeParts {
+            worker_count,
             pool,
+            submit_tx,
             submit_rx,
             result_rx,
-            start: Instant::now(),
+            active,
+            crashed,
+            max_active,
+        } = RuntimeParts::build(&cfg, Arc::new(make_worker));
+        let coordinator = Coordinator {
+            journal,
+            wal,
+            strategy: Arc::new(strategy),
+            time_base: 0,
             report: RuntimeReport::new(),
             tasks: HashMap::new(),
             jobs: HashMap::new(),
             deadlines: BinaryHeap::new(),
             pending: VecDeque::new(),
+            rearm: VecDeque::new(),
+            seeded: VecDeque::new(),
+            resume: Vec::new(),
             next_job: 0,
-            active: active.clone(),
             draining: false,
+            events_logged: 0,
+            crashed: false,
+            incarnations: vec![0; worker_count],
+            discipline: vec![NodeDiscipline::default(); worker_count],
+            quarantined_until: vec![None; worker_count],
+            blacklisted: vec![false; worker_count],
+            cfg,
+            pool,
+            submit_rx,
+            result_rx,
+            start: Instant::now(),
+            active: active.clone(),
+            crashed_flag: crashed.clone(),
         };
-        let handle = std::thread::Builder::new()
-            .name("smartred-coordinator".into())
-            .spawn(move || coordinator.run())
-            .expect("spawn coordinator thread");
-        Self {
-            submit_tx: Some(submit_tx),
-            handle,
-            next_task: Arc::new(AtomicU32::new(0)),
+        spawn_runtime(
+            coordinator,
+            submit_tx,
             active,
-            counters,
+            crashed,
             max_active,
+            Arc::new(AtomicU32::new(0)),
+        )
+    }
+
+    /// Restarts a crashed run from its write-ahead log.
+    ///
+    /// The WAL prefix (up to a tolerated torn final record) is replayed
+    /// into full coordinator state — open tasks with their exact vote
+    /// tallies and wave positions, outstanding replicas, admission
+    /// backlog, node strikes, epochs, and poison charges. `roster` maps
+    /// task ids to payloads (payloads are not journaled): ids already
+    /// decided in the WAL are skipped (their verdicts were durable before
+    /// delivery — they are never re-run or re-delivered), open ids resume,
+    /// and unseen ids are admitted fresh under their original numbers so
+    /// the deterministic fault draws keyed by `(seed, task, replica)`
+    /// line up with an uninterrupted run.
+    ///
+    /// Returns the runtime, a [`Client`] that will receive the verdicts of
+    /// resumed and re-admitted tasks, and a [`RecoveryReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] when the config has no WAL path, the file cannot
+    /// be read, a non-final record is malformed, or the event stream
+    /// contradicts the deterministic strategy replay.
+    pub fn recover<S, F>(
+        cfg: RuntimeConfig,
+        strategy: S,
+        make_worker: F,
+        roster: &[(u32, Payload)],
+    ) -> Result<(Self, Client, RecoveryReport), RecoveryError>
+    where
+        S: RedundancyStrategy<bool> + Send + Sync + 'static,
+        F: Fn(u32) -> Box<dyn Worker> + Send + Sync + 'static,
+    {
+        let path = cfg.wal.clone().ok_or(RecoveryError::NoWal)?;
+        let text = std::fs::read_to_string(&path)?;
+        let prefix = Journal::from_jsonl_prefix(&text)?;
+        let strategy = Arc::new(strategy);
+        let rebuilt = recovery::rebuild(&prefix.journal, &cfg, &strategy)?;
+        let wal = WalWriter::resume(&path, prefix.valid_bytes as u64, cfg.wal_sync)?;
+
+        let RuntimeParts {
+            worker_count,
+            mut pool,
+            submit_tx,
+            submit_rx,
+            result_rx,
+            active,
+            crashed,
+            max_active,
+        } = RuntimeParts::build(&cfg, Arc::new(make_worker));
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+
+        let mut tasks = HashMap::new();
+        let mut rearm: VecDeque<(u32, u32, u32, u32)> = VecDeque::new();
+        let mut pending = VecDeque::new();
+        let tasks_decided = rebuilt.decided.len();
+        for (task, rt) in rebuilt.open {
+            let payload = roster
+                .iter()
+                .find(|(id, _)| *id == task)
+                .map(|(_, p)| Arc::new(p.clone()))
+                .ok_or_else(|| {
+                    RecoveryError::Corrupt(format!("open task {task} missing from roster"))
+                })?;
+            for &(job, replica) in &rt.in_flight {
+                rearm.push_back((job, task, replica, rt.epoch));
+            }
+            for replica in rt.dispatched..rt.replicas {
+                pending.push_back((task, replica));
+            }
+            tasks.insert(
+                task,
+                TaskState {
+                    exec: rt.exec,
+                    payload,
+                    verdict_tx: verdict_tx.clone(),
+                    replicas: rt.replicas,
+                    timeouts: rt.timeouts,
+                    first_dispatch: rt.first_dispatch,
+                    answers: [None, None],
+                    live_jobs: rt.in_flight.iter().map(|&(j, _)| j).collect(),
+                    epoch: rt.epoch,
+                    poison: rt.poison,
+                },
+            );
         }
+        recovery::sort_rearm(&mut rearm);
+        let jobs_rearmed = rearm.len();
+        let tasks_resumed = tasks.len();
+        let mut resume: Vec<u32> = tasks.keys().copied().collect();
+        resume.sort_unstable();
+
+        // Replicas parked before the crash dispatch in task order — the
+        // same order a drain would have processed them.
+        let mut pending: Vec<(u32, u32)> = pending.into_iter().collect();
+        pending.sort_unstable();
+        let pending: VecDeque<(u32, u32)> = pending.into_iter().collect();
+
+        // Roster entries the WAL never saw are admitted fresh, under
+        // their original ids, ahead of any new submissions.
+        let mut seeded = VecDeque::new();
+        for (task, payload) in roster {
+            if rebuilt.decided.contains(task) || tasks.contains_key(task) {
+                continue;
+            }
+            seeded.push_back(Submission {
+                task: *task,
+                payload: Arc::new(payload.clone()),
+                verdict_tx: verdict_tx.clone(),
+            });
+        }
+        let tasks_seeded = seeded.len();
+
+        let mut discipline = vec![NodeDiscipline::default(); worker_count];
+        let mut incarnations = vec![0u32; worker_count];
+        let mut quarantined_until = vec![None; worker_count];
+        let mut blacklisted = vec![false; worker_count];
+        for (node, d) in rebuilt.discipline {
+            if let Some(slot) = discipline.get_mut(node as usize) {
+                *slot = d;
+            }
+        }
+        for (node, inc) in rebuilt.incarnations {
+            if let Some(slot) = incarnations.get_mut(node as usize) {
+                *slot = inc;
+            }
+        }
+        for (node, until) in rebuilt.quarantined_until {
+            if let Some(slot) = quarantined_until.get_mut(node as usize) {
+                *slot = Some(until);
+                pool.set_enabled(node, false);
+            }
+        }
+        for node in rebuilt.blacklisted {
+            if let Some(slot) = blacklisted.get_mut(node as usize) {
+                *slot = true;
+                pool.set_enabled(node, false);
+            }
+        }
+
+        let max_roster = roster.iter().map(|&(id, _)| id).max();
+        let next_task = rebuilt
+            .max_task
+            .into_iter()
+            .chain(max_roster)
+            .max()
+            .map_or(0, |m| m + 1);
+
+        let report = report_from_journal(&prefix.journal);
+        let time_base = rebuilt.last_at.as_micros();
+        active.store(tasks.len(), Ordering::Relaxed);
+
+        let coordinator = Coordinator {
+            journal: prefix.journal,
+            wal: Some(wal),
+            strategy,
+            time_base,
+            report,
+            tasks,
+            jobs: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            pending,
+            rearm,
+            seeded,
+            resume,
+            next_job: rebuilt.next_job,
+            draining: false,
+            events_logged: 0,
+            crashed: false,
+            incarnations,
+            discipline,
+            quarantined_until,
+            blacklisted,
+            cfg,
+            pool,
+            submit_rx,
+            result_rx,
+            start: Instant::now(),
+            active: active.clone(),
+            crashed_flag: crashed.clone(),
+        };
+        let report = RecoveryReport {
+            torn_tail: prefix.torn,
+            events_replayed: coordinator.journal.len(),
+            tasks_resumed,
+            tasks_decided,
+            tasks_seeded,
+            jobs_rearmed,
+        };
+        let runtime = spawn_runtime(
+            coordinator,
+            submit_tx,
+            active,
+            crashed,
+            max_active,
+            Arc::new(AtomicU32::new(next_task)),
+        );
+        let client = Client {
+            submit_tx: runtime.submit_tx.clone().expect("runtime just started"),
+            verdict_tx,
+            verdict_rx,
+            next_task: runtime.next_task.clone(),
+            active: runtime.active.clone(),
+            max_active: runtime.max_active,
+            counters: runtime.counters.clone(),
+        };
+        Ok((runtime, client, report))
     }
 
     /// Creates a submission handle.
@@ -319,6 +627,13 @@ impl Runtime {
         }
     }
 
+    /// Whether the coordinator has hit its chaos crash point. Once true,
+    /// submissions go nowhere and [`Runtime::finish`] returns promptly
+    /// with [`RuntimeRun::crashed`] set.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
     /// Shuts down: stops accepting submissions, waits for in-flight tasks
     /// to drain and the pool to join, and returns the run.
     ///
@@ -327,12 +642,71 @@ impl Runtime {
     /// client could still submit.
     pub fn finish(mut self) -> RuntimeRun {
         drop(self.submit_tx.take());
-        let (report, journal) = self.handle.join().expect("coordinator panicked");
+        let (report, journal, crashed) = self.handle.join().expect("coordinator panicked");
         RuntimeRun {
             report,
             admission: self.counters.snapshot(),
             journal,
+            crashed,
         }
+    }
+}
+
+/// The shared channel/pool scaffolding of [`Runtime::start`] and
+/// [`Runtime::recover`].
+struct RuntimeParts {
+    worker_count: usize,
+    pool: WorkerPool,
+    submit_tx: SyncSender<Submission>,
+    submit_rx: Receiver<Submission>,
+    result_rx: Receiver<PoolEvent>,
+    active: Arc<AtomicUsize>,
+    crashed: Arc<AtomicBool>,
+    max_active: usize,
+}
+
+impl RuntimeParts {
+    fn build(
+        cfg: &RuntimeConfig,
+        make_worker: Arc<dyn Fn(u32) -> Box<dyn Worker> + Send + Sync>,
+    ) -> Self {
+        let worker_count = cfg.workers.unwrap_or_else(|| Threads::Auto.get()).max(1);
+        let (submit_tx, submit_rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        let (result_tx, result_rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(worker_count, cfg.inbox_cap, result_tx, make_worker);
+        Self {
+            worker_count,
+            pool,
+            submit_tx,
+            submit_rx,
+            result_rx,
+            active: Arc::new(AtomicUsize::new(0)),
+            crashed: Arc::new(AtomicBool::new(false)),
+            max_active: cfg.max_active.max(1),
+        }
+    }
+}
+
+fn spawn_runtime<S: RedundancyStrategy<bool> + Send + Sync + 'static>(
+    coordinator: Coordinator<S>,
+    submit_tx: SyncSender<Submission>,
+    active: Arc<AtomicUsize>,
+    crashed: Arc<AtomicBool>,
+    max_active: usize,
+    next_task: Arc<AtomicU32>,
+) -> Runtime {
+    let handle = std::thread::Builder::new()
+        .name("smartred-coordinator".into())
+        .spawn(move || coordinator.run())
+        .expect("spawn coordinator thread");
+    Runtime {
+        submit_tx: Some(submit_tx),
+        handle,
+        next_task,
+        active,
+        counters: Arc::new(AdmissionCounters::default()),
+        max_active,
+        crashed,
     }
 }
 
@@ -351,12 +725,27 @@ struct TaskState<S> {
     answers: [Option<bool>; 2],
     /// Dispatched, unresolved job ids.
     live_jobs: Vec<u32>,
+    /// Replica epoch: bumped when in-flight jobs are re-dispatched, so
+    /// replies from the superseded dispatch are rejected as stale.
+    epoch: u32,
+    /// Worker-crash charges toward the poison limit.
+    poison: TaskDiscipline,
 }
 
 /// A dispatched, unresolved job.
 struct JobInfo {
     task: u32,
     worker: u32,
+    replica: u32,
+    epoch: u32,
+}
+
+/// How a task ends.
+#[derive(Clone, Copy)]
+enum Outcome {
+    Verdict(bool),
+    Capped,
+    Poisoned,
 }
 
 struct Coordinator<S> {
@@ -364,18 +753,50 @@ struct Coordinator<S> {
     strategy: Arc<S>,
     pool: WorkerPool,
     submit_rx: Receiver<Submission>,
-    result_rx: Receiver<JobResult>,
+    result_rx: Receiver<PoolEvent>,
     start: Instant,
+    /// Stamp offset in micros: 0 for a fresh run, the last replayed
+    /// event's stamp after recovery, so journal time stays monotone across
+    /// restarts.
+    time_base: u64,
     journal: Journal,
+    wal: Option<WalWriter>,
     report: RuntimeReport,
     tasks: HashMap<u32, TaskState<S>>,
     jobs: HashMap<u32, JobInfo>,
-    deadlines: BinaryHeap<Reverse<(Instant, u32)>>,
+    /// `(deadline, job, epoch)` — an entry whose epoch no longer matches
+    /// the job's record is stale (the job was re-dispatched) and skipped.
+    deadlines: BinaryHeap<Reverse<(Instant, u32, u32)>>,
     /// Replicas decided but not yet handed to a worker (all inboxes full).
     pending: VecDeque<(u32, u32)>,
+    /// In-flight jobs to re-dispatch without new journal records, as
+    /// `(job, task, replica, epoch)` — from hung-worker respawns and WAL
+    /// recovery.
+    rearm: VecDeque<(u32, u32, u32, u32)>,
+    /// Recovered roster tasks awaiting first admission, drained ahead of
+    /// the external submission queue.
+    seeded: VecDeque<Submission>,
+    /// Resumed open tasks to nudge once at startup: a crash can land
+    /// exactly between a recorded vote (or abandon) and the strategy step
+    /// it should have triggered, leaving a task with zero outstanding
+    /// replicas and nothing queued. `advance` is a no-op for tasks whose
+    /// votes are still outstanding, so nudging every resumed task is safe.
+    resume: Vec<u32>,
     next_job: u32,
     active: Arc<AtomicUsize>,
     draining: bool,
+    /// Journal appends so far, for the chaos crash threshold.
+    events_logged: u64,
+    crashed: bool,
+    crashed_flag: Arc<AtomicBool>,
+    /// Per-worker restart counters (crash rebuilds + hang respawns).
+    incarnations: Vec<u32>,
+    /// Per-worker strike state under `cfg.discipline`.
+    discipline: Vec<NodeDiscipline>,
+    /// Release stamps of currently quarantined workers.
+    quarantined_until: Vec<Option<SimTime>>,
+    /// Permanently blacklisted workers.
+    blacklisted: Vec<bool>,
 }
 
 /// Poll tick: bounds how long the loop waits before re-checking the
@@ -383,15 +804,31 @@ struct Coordinator<S> {
 const TICK: Duration = Duration::from_millis(1);
 
 impl<S: RedundancyStrategy<bool>> Coordinator<S> {
-    fn run(mut self) -> (RuntimeReport, Journal) {
-        loop {
-            self.admit();
-            self.drain_pending();
-            self.expire_deadlines(Instant::now());
-            if self.draining && self.tasks.is_empty() {
+    fn run(mut self) -> (RuntimeReport, Journal, bool) {
+        let resume = std::mem::take(&mut self.resume);
+        for task in resume {
+            if self.crashed {
                 break;
             }
-            if self.tasks.is_empty() {
+            let at = self.stamp();
+            self.advance(task, at);
+        }
+        loop {
+            if self.crashed {
+                break;
+            }
+            self.admit();
+            self.supervise_hangs();
+            self.release_quarantines();
+            self.drain_pending();
+            self.expire_deadlines(Instant::now());
+            if self.crashed {
+                break;
+            }
+            if self.draining && self.tasks.is_empty() && self.seeded.is_empty() {
+                break;
+            }
+            if self.tasks.is_empty() && self.seeded.is_empty() {
                 // Nothing in flight: block on the submission queue.
                 match self.submit_rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(sub) => self.admit_one(sub),
@@ -400,16 +837,19 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 }
             } else {
                 let wait = match self.deadlines.peek() {
-                    Some(&Reverse((deadline, _))) => {
+                    Some(&Reverse((deadline, _, _))) => {
                         deadline.saturating_duration_since(Instant::now()).min(TICK)
                     }
                     None => TICK,
                 };
                 match self.result_rx.recv_timeout(wait) {
-                    Ok(result) => {
-                        self.on_result(result);
-                        while let Ok(more) = self.result_rx.try_recv() {
-                            self.on_result(more);
+                    Ok(event) => {
+                        self.on_pool_event(event);
+                        while !self.crashed {
+                            match self.result_rx.try_recv() {
+                                Ok(more) => self.on_pool_event(more),
+                                Err(_) => break,
+                            }
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
@@ -418,21 +858,62 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 }
             }
         }
-        let end = self.stamp();
-        self.journal.record(end, RunEvent::RunEnded);
-        self.report.makespan_units = end.as_units();
+        if !self.crashed {
+            let end = self.stamp();
+            if self.log(end, RunEvent::RunEnded) {
+                self.report.makespan_units = end.as_units();
+            }
+        }
+        let crashed = self.crashed;
         self.pool.shutdown();
-        (self.report, self.journal)
+        (self.report, self.journal, crashed)
     }
 
-    /// Monotone wall-clock stamp: micros since runtime start, so 1 journal
-    /// unit = 1 second of wall time.
+    /// Monotone wall-clock stamp: micros since runtime start (plus the
+    /// recovered base), so 1 journal unit = 1 second of wall time.
     fn stamp(&self) -> SimTime {
-        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+        SimTime::from_micros(self.time_base + self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Records one event: in-memory journal first, then the durable WAL
+    /// append — `log` returns only after the record would survive a crash,
+    /// and callers act on the event *after* it returns (write-ahead).
+    ///
+    /// Returns `false` when the coordinator is dead: either it already
+    /// crashed, or this very append hit the chaos threshold
+    /// ([`RuntimeConfig::crash_after_events`]). A `false` return means the
+    /// event is durable but the caller must not perform its side effects —
+    /// exactly the state a real crash between "append" and "act" leaves.
+    fn log(&mut self, at: SimTime, event: RunEvent) -> bool {
+        if self.crashed {
+            return false;
+        }
+        self.journal.record(at, event);
+        if let Some(wal) = self.wal.as_mut() {
+            let entry = self
+                .journal
+                .events()
+                .last()
+                .expect("journal is enabled whenever a WAL is configured");
+            wal.append(entry).expect("WAL append failed");
+        }
+        self.events_logged += 1;
+        if let Some(limit) = self.cfg.crash_after_events {
+            if self.events_logged >= limit {
+                self.crashed = true;
+                self.crashed_flag.store(true, Ordering::Release);
+                return false;
+            }
+        }
+        true
     }
 
     fn admit(&mut self) {
-        while self.tasks.len() < self.cfg.max_active.max(1) {
+        while self.tasks.len() < self.cfg.max_active.max(1) && !self.crashed {
+            if let Some(sub) = self.seeded.pop_front() {
+                self.admit_one(sub);
+                continue;
+            }
             match self.submit_rx.try_recv() {
                 Ok(sub) => self.admit_one(sub),
                 Err(TryRecvError::Empty) => break,
@@ -461,6 +942,8 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 first_dispatch: None,
                 answers: [None, None],
                 live_jobs: Vec::new(),
+                epoch: 0,
+                poison: TaskDiscipline::default(),
             },
         );
         self.active.store(self.tasks.len(), Ordering::Relaxed);
@@ -472,14 +955,16 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
     /// queueing any opened wave's replicas for dispatch.
     fn advance(&mut self, task: u32, at: SimTime) {
         loop {
-            let Some(state) = self.tasks.get_mut(&task) else {
-                return;
+            let step = {
+                let Some(state) = self.tasks.get_mut(&task) else {
+                    return;
+                };
+                state.exec.step_wave()
             };
-            match state.exec.step_wave() {
+            match step {
                 WaveStep::Wave { wave, jobs } => {
-                    let first_replica = state.replicas;
-                    state.replicas += jobs as u32;
-                    self.journal.record(
+                    // Wave durable before its replicas become dispatchable.
+                    let alive = self.log(
                         at,
                         RunEvent::WaveOpened {
                             task,
@@ -487,17 +972,23 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                             jobs: jobs as u32,
                         },
                     );
+                    if !alive {
+                        return;
+                    }
+                    let state = self.tasks.get_mut(&task).expect("task is live");
+                    let first_replica = state.replicas;
+                    state.replicas += jobs as u32;
                     for replica in first_replica..first_replica + jobs as u32 {
                         self.pending.push_back((task, replica));
                     }
                 }
                 WaveStep::Pending => return,
                 WaveStep::Verdict(v) => {
-                    self.finalize(task, Some(v), at);
+                    self.finalize(task, Outcome::Verdict(v), at);
                     return;
                 }
                 WaveStep::Capped { .. } => {
-                    self.finalize(task, None, at);
+                    self.finalize(task, Outcome::Capped, at);
                     return;
                 }
             }
@@ -505,17 +996,53 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
     }
 
     /// Hands parked replicas to workers, stopping at the first refusal
-    /// (every inbox full) — the next tick retries.
+    /// (every inbox full) — the next tick retries. Re-armed jobs (hung
+    /// respawns, recovery) go first and are *not* re-journaled: they are
+    /// the same logical jobs the log already counted.
     fn drain_pending(&mut self) {
+        while let Some((job, task, replica, epoch)) = self.rearm.pop_front() {
+            let Some(state) = self.tasks.get(&task) else {
+                continue; // task decided (e.g. poisoned) while parked
+            };
+            let assignment = JobAssignment {
+                job,
+                task,
+                replica,
+                epoch,
+                payload: state.payload.clone(),
+            };
+            match self.pool.try_dispatch(assignment) {
+                Ok(worker) => {
+                    self.jobs.insert(
+                        job,
+                        JobInfo {
+                            task,
+                            worker,
+                            replica,
+                            epoch,
+                        },
+                    );
+                    self.deadlines
+                        .push(Reverse((Instant::now() + self.cfg.deadline, job, epoch)));
+                }
+                Err(back) => {
+                    self.rearm
+                        .push_front((back.job, back.task, back.replica, back.epoch));
+                    return;
+                }
+            }
+        }
         while let Some((task, replica)) = self.pending.pop_front() {
             let Some(state) = self.tasks.get(&task) else {
                 continue;
             };
             let job = self.next_job;
+            let epoch = state.epoch;
             let assignment = JobAssignment {
                 job,
                 task,
                 replica,
+                epoch,
                 payload: state.payload.clone(),
             };
             match self.pool.try_dispatch(assignment) {
@@ -524,7 +1051,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                     let now = Instant::now();
                     let at = self.stamp();
                     let eta = at + SimDuration::from_micros(self.cfg.deadline.as_micros() as u64);
-                    self.journal.record(
+                    let alive = self.log(
                         at,
                         RunEvent::JobDispatched {
                             job,
@@ -533,14 +1060,26 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                             eta,
                         },
                     );
+                    if !alive {
+                        return;
+                    }
                     self.report.total_jobs += 1;
                     let state = self.tasks.get_mut(&task).expect("checked above");
                     if state.first_dispatch.is_none() {
                         state.first_dispatch = Some(at);
                     }
                     state.live_jobs.push(job);
-                    self.jobs.insert(job, JobInfo { task, worker });
-                    self.deadlines.push(Reverse((now + self.cfg.deadline, job)));
+                    self.jobs.insert(
+                        job,
+                        JobInfo {
+                            task,
+                            worker,
+                            replica,
+                            epoch,
+                        },
+                    );
+                    self.deadlines
+                        .push(Reverse((now + self.cfg.deadline, job, epoch)));
                 }
                 Err(assignment) => {
                     self.pending
@@ -551,22 +1090,46 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         }
     }
 
+    fn on_pool_event(&mut self, event: PoolEvent) {
+        match event {
+            PoolEvent::Result(result) => self.on_result(result),
+            PoolEvent::Crash {
+                worker,
+                job,
+                task,
+                epoch,
+            } => self.on_crash(worker, job, task, epoch),
+        }
+    }
+
     fn on_result(&mut self, result: JobResult) {
-        // A job absent from the live map already timed out (or its task
-        // resolved): the late result is ignored, exactly like the
-        // simulators drop post-timeout returns.
-        let Some(info) = self.jobs.remove(&result.job) else {
-            return;
-        };
-        let task = info.task;
         let at = self.stamp();
-        let Some(state) = self.tasks.get_mut(&task) else {
+        // The staleness filter: a reply counts only if the job is still
+        // live *and* carries the epoch it was dispatched under. Late
+        // replies after a timeout/verdict, and replies from a replica
+        // superseded by a re-dispatch, are journaled as dropped — never
+        // tallied, so no vote can be counted twice.
+        let fresh = self
+            .jobs
+            .get(&result.job)
+            .is_some_and(|info| info.epoch == result.epoch);
+        if !fresh {
+            let alive = self.log(
+                at,
+                RunEvent::StaleReplyDropped {
+                    job: result.job,
+                    task: result.task,
+                    epoch: result.epoch,
+                },
+            );
+            if alive {
+                self.report.stale_replies += 1;
+            }
             return;
-        };
-        state.live_jobs.retain(|&j| j != result.job);
-        state.answers[usize::from(result.vote)] = Some(result.answer);
-        state.exec.record(result.vote);
-        self.journal.record(
+        }
+        let info = self.jobs.remove(&result.job).expect("fresh job is mapped");
+        let task = info.task;
+        let alive = self.log(
             at,
             RunEvent::JobReturned {
                 job: result.job,
@@ -575,8 +1138,19 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 value: result.vote,
             },
         );
+        if !alive {
+            return;
+        }
+        let Some(state) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        state.live_jobs.retain(|&j| j != result.job);
+        state.answers[usize::from(result.vote)] = Some(result.answer);
+        state.exec.record(result.vote);
         let (leader_count, runner_up) = state.exec.leader_counts();
-        self.journal.record(
+        let boundary = state.exec.wave_boundary();
+        let wave = state.exec.waves() as u32;
+        let alive = self.log(
             at,
             RunEvent::VoteTallied {
                 task,
@@ -585,25 +1159,255 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 runner_up: runner_up as u32,
             },
         );
-        if state.exec.wave_boundary() {
-            let wave = state.exec.waves() as u32;
-            self.journal.record(at, RunEvent::WaveClosed { task, wave });
+        if !alive {
+            return;
+        }
+        if boundary && !self.log(at, RunEvent::WaveClosed { task, wave }) {
+            return;
         }
         self.advance(task, at);
     }
 
+    /// Handles a caught worker panic: journal the crash and the (already
+    /// completed) in-place restart, charge node strikes and the task's
+    /// poison counter, then either poison the task or abandon the dead
+    /// replica and reissue.
+    fn on_crash(&mut self, worker: u32, job: u32, task: u32, epoch: u32) {
+        let at = self.stamp();
+        let fresh = self.jobs.get(&job).is_some_and(|info| info.epoch == epoch);
+        if !fresh {
+            // A detached pre-respawn thread crashed on a superseded job:
+            // stale, like any other late reply. (The pool slot that crash
+            // belonged to was already replaced.)
+            let alive = self.log(at, RunEvent::StaleReplyDropped { job, task, epoch });
+            if alive {
+                self.report.stale_replies += 1;
+            }
+            return;
+        }
+        if !self.log(
+            at,
+            RunEvent::WorkerCrashed {
+                node: worker,
+                job,
+                task,
+            },
+        ) {
+            return;
+        }
+        self.report.worker_crashes += 1;
+        self.incarnations[worker as usize] += 1;
+        let incarnation = self.incarnations[worker as usize];
+        if !self.log(
+            at,
+            RunEvent::WorkerRestarted {
+                node: worker,
+                incarnation,
+            },
+        ) {
+            return;
+        }
+        self.report.worker_restarts += 1;
+        self.strike(worker, at);
+        if self.crashed {
+            return;
+        }
+        self.jobs.remove(&job);
+        let Some(state) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        state.live_jobs.retain(|&j| j != job);
+        let poisoned = match self.cfg.poison {
+            Some(policy) => state.poison.record_crash(&policy),
+            None => {
+                let never = PoisonPolicy {
+                    crash_limit: u32::MAX,
+                };
+                state.poison.record_crash(&never)
+            }
+        };
+        if poisoned {
+            self.finalize(task, Outcome::Poisoned, at);
+            return;
+        }
+        // The replica died without a vote: abandon it and let the
+        // strategy reopen a wave for a fresh replica (a fresh fault draw —
+        // re-running the same replica would crash identically forever).
+        let state = self.tasks.get_mut(&task).expect("task is live");
+        state.exec.abandon(1);
+        let boundary = state.exec.wave_boundary();
+        let wave = state.exec.waves() as u32;
+        if boundary && !self.log(at, RunEvent::WaveClosed { task, wave }) {
+            return;
+        }
+        self.advance(task, at);
+    }
+
+    /// Respawns workers stuck inside one `execute` call past
+    /// [`RuntimeConfig::hang_after`], bumping the epoch of every task with
+    /// jobs lost on that worker and re-arming them.
+    fn supervise_hangs(&mut self) {
+        let Some(limit) = self.cfg.hang_after else {
+            return;
+        };
+        for worker in 0..self.pool.len() as u32 {
+            if self.pool.busy_for(worker).is_some_and(|busy| busy > limit) {
+                self.respawn_worker(worker);
+                if self.crashed {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn respawn_worker(&mut self, worker: u32) {
+        let at = self.stamp();
+        self.incarnations[worker as usize] += 1;
+        let incarnation = self.incarnations[worker as usize];
+        if !self.log(
+            at,
+            RunEvent::WorkerRestarted {
+                node: worker,
+                incarnation,
+            },
+        ) {
+            return;
+        }
+        self.report.worker_restarts += 1;
+        self.pool.respawn(worker);
+        // Everything in flight on that worker — the wedged job plus its
+        // queued inbox — died with it. Bump each affected task's epoch
+        // (so the detached thread's eventual reply is rejected) and
+        // re-dispatch the same jobs under the new epoch, without new
+        // journal records.
+        let lost: Vec<(u32, u32, u32)> = self
+            .jobs
+            .iter()
+            .filter(|(_, info)| info.worker == worker)
+            .map(|(&job, info)| (job, info.task, info.replica))
+            .collect();
+        let mut bumped: HashSet<u32> = HashSet::new();
+        for &(_, task, _) in &lost {
+            if bumped.insert(task) {
+                let Some(state) = self.tasks.get_mut(&task) else {
+                    continue;
+                };
+                let epoch = state.epoch + 1;
+                if !self.log(at, RunEvent::EpochAdvanced { task, epoch }) {
+                    return;
+                }
+                let state = self.tasks.get_mut(&task).expect("task is live");
+                state.epoch = epoch;
+            }
+        }
+        let mut lost = lost;
+        lost.sort_unstable();
+        for (job, task, replica) in lost {
+            self.jobs.remove(&job);
+            let Some(state) = self.tasks.get(&task) else {
+                continue;
+            };
+            self.rearm.push_back((job, task, replica, state.epoch));
+        }
+    }
+
+    /// Charges one node-discipline strike, quarantining or blacklisting
+    /// per policy — but never sidelining the last enabled worker, which
+    /// would livelock the pool.
+    fn strike(&mut self, worker: u32, at: SimTime) {
+        let Some(policy) = self.cfg.discipline else {
+            return;
+        };
+        let slot = worker as usize;
+        if slot >= self.discipline.len() || self.blacklisted[slot] {
+            return;
+        }
+        let window = self.cfg.strike_window.as_micros() as u64;
+        let action = self.discipline[slot].strike_at(at.as_micros(), window, &policy);
+        if action == DisciplineAction::None {
+            return;
+        }
+        if self.pool.enabled_count() <= 1 || !self.pool.is_enabled(worker) {
+            return; // livelock guard / already sidelined
+        }
+        match action {
+            DisciplineAction::None => unreachable!(),
+            DisciplineAction::Quarantine => {
+                if !self.log(at, RunEvent::NodeQuarantined { node: worker }) {
+                    return;
+                }
+                self.pool.set_enabled(worker, false);
+                self.quarantined_until[slot] =
+                    Some(at + SimDuration::from_units(policy.quarantine_units));
+            }
+            DisciplineAction::Blacklist => {
+                let alive = self.log(
+                    at,
+                    RunEvent::NodeDeparted {
+                        node: worker,
+                        reason: DepartureReason::Blacklist,
+                    },
+                );
+                if !alive {
+                    return;
+                }
+                self.pool.set_enabled(worker, false);
+                self.blacklisted[slot] = true;
+                self.quarantined_until[slot] = None;
+            }
+        }
+    }
+
+    /// Re-enables quarantined workers whose sentence has elapsed.
+    fn release_quarantines(&mut self) {
+        if self.cfg.discipline.is_none() {
+            return;
+        }
+        let now = self.stamp();
+        for worker in 0..self.pool.len() as u32 {
+            let slot = worker as usize;
+            if let Some(until) = self.quarantined_until[slot] {
+                if now >= until {
+                    if !self.log(now, RunEvent::NodeReleased { node: worker }) {
+                        return;
+                    }
+                    self.quarantined_until[slot] = None;
+                    self.pool.set_enabled(worker, true);
+                }
+            }
+        }
+    }
+
     fn expire_deadlines(&mut self, now: Instant) {
-        while let Some(&Reverse((deadline, job))) = self.deadlines.peek() {
+        while let Some(&Reverse((deadline, job, epoch))) = self.deadlines.peek() {
             if deadline > now {
                 break;
             }
             self.deadlines.pop();
-            // Resolved jobs leave stale heap entries; skip them.
-            let Some(info) = self.jobs.remove(&job) else {
+            // Resolved jobs leave stale heap entries, and re-dispatched
+            // jobs carry a newer epoch than their old entry; skip both.
+            let still_armed = self.jobs.get(&job).is_some_and(|info| info.epoch == epoch);
+            if !still_armed {
                 continue;
-            };
+            }
+            let info = self.jobs.remove(&job).expect("armed job is mapped");
             let task = info.task;
             let at = self.stamp();
+            if !self.log(
+                at,
+                RunEvent::JobTimedOut {
+                    job,
+                    task,
+                    node: info.worker,
+                },
+            ) {
+                return;
+            }
+            self.report.timeouts += 1;
+            self.strike(info.worker, at);
+            if self.crashed {
+                return;
+            }
             let Some(state) = self.tasks.get_mut(&task) else {
                 continue;
             };
@@ -611,51 +1415,55 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             state.timeouts += 1;
             let attempt = state.timeouts;
             state.exec.abandon(1);
-            self.journal.record(
-                at,
-                RunEvent::JobTimedOut {
-                    job,
-                    task,
-                    node: info.worker,
-                },
-            );
-            self.report.timeouts += 1;
+            let boundary = state.exec.wave_boundary();
+            let wave = state.exec.waves() as u32;
             // Reissue semantics: the abandoned replica is replaced by a
             // fresh one when the strategy reopens the wave below.
-            self.journal
-                .record(at, RunEvent::JobRetried { task, attempt });
+            if !self.log(at, RunEvent::JobRetried { task, attempt }) {
+                return;
+            }
             self.report.retries += 1;
-            let state = self.tasks.get(&task).expect("checked above");
-            if state.exec.wave_boundary() {
-                let wave = state.exec.waves() as u32;
-                self.journal.record(at, RunEvent::WaveClosed { task, wave });
+            if boundary && !self.log(at, RunEvent::WaveClosed { task, wave }) {
+                return;
             }
             self.advance(task, at);
         }
     }
 
-    fn finalize(&mut self, task: u32, verdict: Option<bool>, at: SimTime) {
+    fn finalize(&mut self, task: u32, outcome: Outcome, at: SimTime) {
+        // The decision is WAL-durable before any side effect (report
+        // update, verdict send) — the exactly-once anchor: a recovered
+        // coordinator treats a logged decision as delivered and never
+        // re-runs or re-sends it.
+        let event = match outcome {
+            Outcome::Verdict(value) => RunEvent::VerdictReached {
+                task,
+                value,
+                degraded: false,
+                confidence: 1.0,
+            },
+            Outcome::Capped => RunEvent::TaskCapped { task },
+            Outcome::Poisoned => RunEvent::TaskPoisoned {
+                task,
+                crashes: self.tasks[&task].poison.crashes(),
+            },
+        };
+        let alive = self.log(at, event);
         let state = self.tasks.remove(&task).expect("finalizing a live task");
         for job in &state.live_jobs {
             self.jobs.remove(job);
         }
         self.active.store(self.tasks.len(), Ordering::Relaxed);
+        if !alive {
+            return;
+        }
         let jobs = state.exec.jobs_deployed();
         let latency = match state.first_dispatch {
             Some(started) => at.since(started).as_units(),
             None => 0.0,
         };
-        match verdict {
-            Some(value) => {
-                self.journal.record(
-                    at,
-                    RunEvent::VerdictReached {
-                        task,
-                        value,
-                        degraded: false,
-                        confidence: 1.0,
-                    },
-                );
+        match outcome {
+            Outcome::Verdict(value) => {
                 self.report.tasks_completed += 1;
                 if value {
                     self.report.tasks_correct += 1;
@@ -667,17 +1475,29 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                     task,
                     vote: Some(value),
                     answer: state.answers[usize::from(value)],
+                    poisoned: false,
                     latency_units: latency,
                     jobs: jobs as u32,
                 });
             }
-            None => {
-                self.journal.record(at, RunEvent::TaskCapped { task });
+            Outcome::Capped => {
                 self.report.tasks_capped += 1;
                 let _ = state.verdict_tx.send(TaskVerdict {
                     task,
                     vote: None,
                     answer: None,
+                    poisoned: false,
+                    latency_units: latency,
+                    jobs: jobs as u32,
+                });
+            }
+            Outcome::Poisoned => {
+                self.report.tasks_poisoned += 1;
+                let _ = state.verdict_tx.send(TaskVerdict {
+                    task,
+                    vote: None,
+                    answer: None,
+                    poisoned: true,
                     latency_units: latency,
                     jobs: jobs as u32,
                 });

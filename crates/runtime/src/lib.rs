@@ -20,7 +20,22 @@
 //!   [`TaskVerdict`]s;
 //! * [`workload`] — the job payloads replicas execute;
 //! * [`report`] — live metrics plus [`report_from_journal`], the exact
-//!   replay cross-check.
+//!   replay cross-check;
+//! * [`recovery`] — WAL replay: rebuilds full coordinator state from a
+//!   journal prefix so [`Runtime::recover`] can resume a crashed run.
+//!
+//! ## Crash recovery
+//!
+//! With [`RuntimeConfig::wal`] set, every journal event is durably
+//! appended before the coordinator acts on it. If the coordinator process
+//! dies, [`Runtime::recover`] replays the surviving WAL prefix (tolerating
+//! a torn final record) and resumes: decided tasks are never re-run or
+//! re-delivered, open tasks keep their exact vote tallies and replica
+//! indices, and in-flight jobs are re-armed under a fresh epoch. Worker
+//! threads are supervised at runtime — panics are caught and the worker
+//! rebuilt, hung workers are respawned, late replies from superseded
+//! dispatches are rejected by epoch, and payloads that repeatedly kill
+//! workers are poisoned rather than re-issued forever. See DESIGN.md §9.
 //!
 //! ## Observability
 //!
@@ -75,6 +90,7 @@
 #![forbid(unsafe_code)]
 
 pub mod coordinator;
+pub mod recovery;
 pub mod report;
 pub mod worker;
 pub mod workload;
@@ -82,6 +98,7 @@ pub mod workload;
 pub use coordinator::{
     AdmissionStats, Client, Runtime, RuntimeConfig, RuntimeRun, SubmitOutcome, TaskVerdict,
 };
+pub use recovery::{RecoveryError, RecoveryReport};
 pub use report::{report_from_journal, RuntimeReport};
 pub use worker::{FaultProfile, FaultyWorker, JobAssignment, JobResult, Worker};
 pub use workload::Payload;

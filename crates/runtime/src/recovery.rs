@@ -1,0 +1,372 @@
+//! Coordinator state reconstruction from a write-ahead-log prefix.
+//!
+//! The coordinator journals every event to its WAL *before* acting on it,
+//! so the WAL prefix that survives a crash is a complete record of every
+//! decision the dead coordinator durably made. [`rebuild`] replays that
+//! prefix through the same deterministic strategy machinery
+//! (`core::execution::TaskExecution`) the live coordinator runs, yielding:
+//!
+//! * every still-open task's exact redundancy state — votes tallied,
+//!   replicas abandoned, waves opened — validated against the log (a wave
+//!   the strategy would not reopen identically is reported as corruption,
+//!   not silently patched);
+//! * the set of *decided* tasks (verdict, cap, or poison recorded), which
+//!   a restarted coordinator must never re-run or re-deliver — the
+//!   exactly-once guarantee is "decision events are WAL-durable before any
+//!   side effect";
+//! * in-flight jobs (dispatched, never resolved) to re-arm, and opened
+//!   replicas never dispatched, to dispatch;
+//! * supervision state: per-node strike counters (replayed through
+//!   [`NodeDiscipline::strike_at`] at the logged event times), active
+//!   quarantines, blacklists, worker incarnations, per-task crash charges,
+//!   and replica epochs.
+//!
+//! Replica indices are not journaled; they are recovered as each job's
+//! per-task dispatch ordinal, which is exact because the coordinator
+//! dispatches a task's replicas in index order and never journals a
+//! re-dispatch. Since fault draws are keyed by `(seed, task, replica)`,
+//! a re-armed replica re-executed by the recovered coordinator produces
+//! the same vote the uninterrupted run would have — the invariant the
+//! chaos tests pin.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::resilience::{NodeDiscipline, PoisonPolicy, TaskDiscipline};
+use smartred_core::strategy::RedundancyStrategy;
+use smartred_desim::journal::{Journal, JournalParseError, RunEvent};
+use smartred_desim::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+use crate::coordinator::RuntimeConfig;
+
+/// Why recovery failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The configuration carries no WAL path to recover from.
+    NoWal,
+    /// Reading or reopening the WAL file failed.
+    Io(std::io::Error),
+    /// A record *before* the final one is malformed — file corruption,
+    /// not a torn crash write.
+    Parse(JournalParseError),
+    /// The event stream is internally inconsistent (e.g. a logged wave
+    /// the strategy would not reopen, or an event for a decided task).
+    Corrupt(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NoWal => write!(f, "runtime config has no WAL path"),
+            RecoveryError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            RecoveryError::Parse(e) => write!(f, "WAL corrupt: {e}"),
+            RecoveryError::Corrupt(msg) => write!(f, "WAL replay diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+impl From<JournalParseError> for RecoveryError {
+    fn from(e: JournalParseError) -> Self {
+        RecoveryError::Parse(e)
+    }
+}
+
+/// What [`crate::Runtime::recover`] did, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a torn final record was dropped (and truncated on resume).
+    pub torn_tail: bool,
+    /// Whole events replayed from the WAL prefix.
+    pub events_replayed: usize,
+    /// Open tasks whose redundancy state was rebuilt and resumed.
+    pub tasks_resumed: usize,
+    /// Tasks already decided in the prefix (never re-run or re-delivered).
+    pub tasks_decided: usize,
+    /// Roster tasks absent from the WAL, admitted fresh under their
+    /// original ids.
+    pub tasks_seeded: usize,
+    /// In-flight jobs re-armed for dispatch without new journal records.
+    pub jobs_rearmed: usize,
+}
+
+/// One open task's reconstructed state.
+pub(crate) struct RebuiltTask<S> {
+    /// The strategy execution, replayed to the exact logged point.
+    pub exec: TaskExecution<bool, Arc<S>>,
+    /// Replica indices issued (Σ opened-wave sizes).
+    pub replicas: u32,
+    /// Replicas actually dispatched (per-task `JobDispatched` count);
+    /// indices `dispatched..replicas` are still pending dispatch.
+    pub dispatched: u32,
+    /// Timeouts charged so far (resumes the 1-based retry attempts).
+    pub timeouts: u32,
+    /// Worker-crash charges toward the poison limit.
+    pub poison: TaskDiscipline,
+    /// Current replica epoch (last `EpochAdvanced`, else 0).
+    pub epoch: u32,
+    /// Stamp of the task's first dispatch, for verdict latency.
+    pub first_dispatch: Option<SimTime>,
+    /// Dispatched-but-unresolved jobs as `(job, replica)`, in dispatch
+    /// order — to re-arm without new journal records.
+    pub in_flight: Vec<(u32, u32)>,
+}
+
+/// Everything [`rebuild`] recovers from the WAL prefix.
+pub(crate) struct Rebuilt<S> {
+    /// Open tasks by id.
+    pub open: HashMap<u32, RebuiltTask<S>>,
+    /// Decided task ids (verdict, cap, or poison already durable).
+    pub decided: HashSet<u32>,
+    /// Next fresh job id (max dispatched + 1).
+    pub next_job: u32,
+    /// Highest task id seen, if any.
+    pub max_task: Option<u32>,
+    /// Per-node strike state, replayed at logged event times.
+    pub discipline: HashMap<u32, NodeDiscipline>,
+    /// Per-node restart incarnation high-water marks.
+    pub incarnations: HashMap<u32, u32>,
+    /// Nodes quarantined at the crash point, with their release stamps.
+    pub quarantined_until: HashMap<u32, SimTime>,
+    /// Nodes permanently blacklisted.
+    pub blacklisted: HashSet<u32>,
+    /// Stamp of the last replayed event (the recovered clock base).
+    pub last_at: SimTime,
+}
+
+/// Replays a WAL prefix into coordinator state. See the module docs for
+/// the replay rules; any divergence between the log and what the
+/// deterministic strategy reproduces is [`RecoveryError::Corrupt`].
+pub(crate) fn rebuild<S>(
+    journal: &Journal,
+    cfg: &RuntimeConfig,
+    strategy: &Arc<S>,
+) -> Result<Rebuilt<S>, RecoveryError>
+where
+    S: RedundancyStrategy<bool>,
+{
+    struct Acc<S> {
+        exec: TaskExecution<bool, Arc<S>>,
+        replicas: u32,
+        jobs_dispatched: Vec<u32>,
+        timeouts: u32,
+        poison: TaskDiscipline,
+        epoch: u32,
+        first_dispatch: Option<SimTime>,
+    }
+    // Charge-counting policy: never trips, so replay can count crashes
+    // without re-deciding poisoning (the decision, if made, is in the log
+    // as `TaskPoisoned`).
+    let charge = PoisonPolicy {
+        crash_limit: u32::MAX,
+    };
+    let corrupt = |msg: String| Err(RecoveryError::Corrupt(msg));
+
+    let mut open: HashMap<u32, Acc<S>> = HashMap::new();
+    let mut decided: HashSet<u32> = HashSet::new();
+    let mut job_replica: HashMap<u32, u32> = HashMap::new();
+    let mut resolved: HashSet<u32> = HashSet::new();
+    let mut discipline: HashMap<u32, NodeDiscipline> = HashMap::new();
+    let mut incarnations: HashMap<u32, u32> = HashMap::new();
+    let mut quarantined_until: HashMap<u32, SimTime> = HashMap::new();
+    let mut blacklisted: HashSet<u32> = HashSet::new();
+    let mut next_job: u32 = 0;
+    let mut max_task: Option<u32> = None;
+    let window = cfg.strike_window.as_micros() as u64;
+
+    for e in journal.events() {
+        match e.event {
+            RunEvent::WaveOpened { task, wave, jobs } => {
+                if decided.contains(&task) {
+                    return corrupt(format!("wave opened for decided task {task}"));
+                }
+                max_task = Some(max_task.map_or(task, |m| m.max(task)));
+                let acc = open.entry(task).or_insert_with(|| {
+                    let mut exec = TaskExecution::new(strategy.clone());
+                    if let Some(cap) = cfg.job_cap {
+                        exec = exec.with_job_cap(cap);
+                    }
+                    Acc {
+                        exec,
+                        replicas: 0,
+                        jobs_dispatched: Vec::new(),
+                        timeouts: 0,
+                        poison: TaskDiscipline::default(),
+                        epoch: 0,
+                        first_dispatch: None,
+                    }
+                });
+                let step = acc.exec.step_wave();
+                let matches = matches!(
+                    step,
+                    WaveStep::Wave { wave: w, jobs: j }
+                        if w as u32 == wave && j as u32 == jobs
+                );
+                if !matches {
+                    return corrupt(format!(
+                        "task {task}: logged wave {wave} of {jobs} jobs, but the \
+                         strategy replayed a different step"
+                    ));
+                }
+                acc.replicas += jobs;
+            }
+            RunEvent::JobDispatched { job, task, .. } => {
+                let Some(acc) = open.get_mut(&task) else {
+                    return corrupt(format!("job {job} dispatched for unknown task {task}"));
+                };
+                // Replica index = per-task dispatch ordinal (see module
+                // docs); it must stay within the opened waves.
+                let replica = acc.jobs_dispatched.len() as u32;
+                if replica >= acc.replicas {
+                    return corrupt(format!(
+                        "task {task}: job {job} dispatched beyond the {} opened replicas",
+                        acc.replicas
+                    ));
+                }
+                acc.jobs_dispatched.push(job);
+                job_replica.insert(job, replica);
+                if acc.first_dispatch.is_none() {
+                    acc.first_dispatch = Some(e.at);
+                }
+                next_job = next_job.max(job + 1);
+            }
+            RunEvent::JobReturned {
+                job, task, value, ..
+            } => {
+                let Some(acc) = open.get_mut(&task) else {
+                    return corrupt(format!("job {job} returned for unknown task {task}"));
+                };
+                resolved.insert(job);
+                acc.exec.record(value);
+            }
+            RunEvent::JobTimedOut { job, task, node } => {
+                let Some(acc) = open.get_mut(&task) else {
+                    return corrupt(format!("job {job} timed out for unknown task {task}"));
+                };
+                resolved.insert(job);
+                acc.timeouts += 1;
+                acc.exec.abandon(1);
+                if let Some(policy) = cfg.discipline {
+                    let _ = discipline.entry(node).or_default().strike_at(
+                        e.at.as_micros(),
+                        window,
+                        &policy,
+                    );
+                }
+            }
+            RunEvent::WorkerCrashed { node, job, task } => {
+                // A logged crash always resolved a live job (stale crash
+                // reports are logged as StaleReplyDropped instead).
+                resolved.insert(job);
+                if let Some(acc) = open.get_mut(&task) {
+                    let _ = acc.poison.record_crash(&charge);
+                    acc.exec.abandon(1);
+                }
+                if let Some(policy) = cfg.discipline {
+                    let _ = discipline.entry(node).or_default().strike_at(
+                        e.at.as_micros(),
+                        window,
+                        &policy,
+                    );
+                }
+            }
+            RunEvent::WorkerRestarted { node, incarnation } => {
+                let slot = incarnations.entry(node).or_insert(0);
+                *slot = (*slot).max(incarnation);
+            }
+            RunEvent::EpochAdvanced { task, epoch } => {
+                if let Some(acc) = open.get_mut(&task) {
+                    acc.epoch = epoch;
+                }
+            }
+            RunEvent::VerdictReached { task, .. }
+            | RunEvent::TaskCapped { task }
+            | RunEvent::TaskPoisoned { task, .. } => {
+                open.remove(&task);
+                decided.insert(task);
+                max_task = Some(max_task.map_or(task, |m| m.max(task)));
+            }
+            RunEvent::NodeQuarantined { node } => {
+                if let Some(policy) = cfg.discipline {
+                    quarantined_until.insert(
+                        node,
+                        e.at + SimDuration::from_units(policy.quarantine_units),
+                    );
+                }
+            }
+            RunEvent::NodeReleased { node } => {
+                quarantined_until.remove(&node);
+            }
+            RunEvent::NodeDeparted { node, .. } => {
+                blacklisted.insert(node);
+                quarantined_until.remove(&node);
+            }
+            // Tallies, wave closes, retries, and stale drops carry no
+            // state the strategy replay does not already reproduce; the
+            // runtime never emits churn, outage, or fault-plan events.
+            RunEvent::VoteTallied { .. }
+            | RunEvent::WaveClosed { .. }
+            | RunEvent::JobRetried { .. }
+            | RunEvent::StaleReplyDropped { .. }
+            | RunEvent::NodeJoined { .. }
+            | RunEvent::OutageStarted { .. }
+            | RunEvent::FaultInjected { .. }
+            | RunEvent::RunEnded => {}
+        }
+    }
+
+    let last_at = journal.events().last().map_or(SimTime::ZERO, |e| e.at);
+    let open = open
+        .into_iter()
+        .map(|(task, acc)| {
+            let in_flight: Vec<(u32, u32)> = acc
+                .jobs_dispatched
+                .iter()
+                .filter(|j| !resolved.contains(j))
+                .map(|&j| (j, job_replica[&j]))
+                .collect();
+            (
+                task,
+                RebuiltTask {
+                    exec: acc.exec,
+                    replicas: acc.replicas,
+                    dispatched: acc.jobs_dispatched.len() as u32,
+                    timeouts: acc.timeouts,
+                    poison: acc.poison,
+                    epoch: acc.epoch,
+                    first_dispatch: acc.first_dispatch,
+                    in_flight,
+                },
+            )
+        })
+        .collect();
+
+    Ok(Rebuilt {
+        open,
+        decided,
+        next_job,
+        max_task,
+        discipline,
+        incarnations,
+        quarantined_until,
+        blacklisted,
+        last_at,
+    })
+}
+
+/// Orders re-armed jobs deterministically (ascending job id) regardless of
+/// hash-map iteration order.
+pub(crate) fn sort_rearm(rearm: &mut VecDeque<(u32, u32, u32, u32)>) {
+    let mut v: Vec<_> = rearm.drain(..).collect();
+    v.sort_unstable_by_key(|&(job, ..)| job);
+    rearm.extend(v);
+}

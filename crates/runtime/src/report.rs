@@ -34,6 +34,15 @@ pub struct RuntimeReport {
     pub timeouts: u64,
     /// Timeout-triggered reissues.
     pub retries: u64,
+    /// Worker panics caught and recovered by the supervisor.
+    pub worker_crashes: u64,
+    /// Worker restarts: one per caught panic plus one per hung-worker
+    /// respawn.
+    pub worker_restarts: u64,
+    /// Late or pre-epoch replies rejected by the staleness filter.
+    pub stale_replies: u64,
+    /// Tasks quarantined for repeatedly crashing workers.
+    pub tasks_poisoned: usize,
     /// Jobs per completed task (the paper's cost factor, measured live).
     pub jobs_per_task: Summary,
     /// Deployment waves per completed task.
@@ -111,6 +120,10 @@ pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
                 report.response_time.record(response);
             }
             RunEvent::TaskCapped { .. } => report.tasks_capped += 1,
+            RunEvent::WorkerCrashed { .. } => report.worker_crashes += 1,
+            RunEvent::WorkerRestarted { .. } => report.worker_restarts += 1,
+            RunEvent::StaleReplyDropped { .. } => report.stale_replies += 1,
+            RunEvent::TaskPoisoned { .. } => report.tasks_poisoned += 1,
             RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
             // The runtime does not emit churn, quarantine, or fault-plan
             // events; returned jobs, wave closes, and tallies carry no

@@ -2,18 +2,28 @@
 //! pluggable, deliberately unreliable [`Worker`] implementation.
 //!
 //! Workers are the live analogue of the DCA node pool: each one actually
-//! executes the payload, then may lie about the result or hang, with the
-//! same failure semantics as `dca`'s node model (`wrong_rate`,
+//! executes the payload, then may lie about the result, hang, or crash,
+//! with the same failure semantics as `dca`'s node model (`wrong_rate`,
 //! `unresponsive_rate`). Misbehavior is drawn from the counter-based RNG
 //! streams of [`smartred_core::parallel::task_rng`] keyed by
 //! `(seed, task, replica)` — a pure function of the replica's coordinates,
 //! never of which worker ran it or when — so the *votes* of a run are
 //! deterministic given a seed even though its timings are not.
+//!
+//! The pool is *supervised*: a panic inside [`Worker::execute`] is caught
+//! on the worker thread, reported to the coordinator as
+//! [`PoolEvent::Crash`], and the worker value is rebuilt in place from the
+//! factory, so one poisoned payload never takes a pool slot down. Threads
+//! stuck inside `execute` are detected via per-slot heartbeats and
+//! replaced wholesale with [`WorkerPool::respawn`]; the old thread is
+//! detached and its eventual late reply is rejected by epoch.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::Rng;
 use smartred_core::parallel::task_rng;
@@ -29,6 +39,11 @@ pub struct JobAssignment {
     pub task: u32,
     /// Replica index within the task: 0-based, counting reissues.
     pub replica: u32,
+    /// The task's replica epoch at dispatch time. Replies whose epoch no
+    /// longer matches the coordinator's record for the job are stale —
+    /// the job was re-dispatched after a timeout, crash, or hung-worker
+    /// respawn — and must not be counted.
+    pub epoch: u32,
     /// The work to execute.
     pub payload: Arc<Payload>,
 }
@@ -42,6 +57,9 @@ pub struct JobResult {
     pub task: u32,
     /// Index of the worker that executed the job.
     pub worker: u32,
+    /// Epoch copied from the [`JobAssignment`]; the coordinator's
+    /// staleness filter.
+    pub epoch: u32,
     /// The vote: `true` = the honest answer, `false` = the colluding wrong
     /// value (the Byzantine worst case of §2.2, where all liars agree).
     pub vote: bool,
@@ -49,11 +67,33 @@ pub struct JobResult {
     pub answer: bool,
 }
 
+/// Everything a worker thread can report to the coordinator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PoolEvent {
+    /// A job completed (honestly or not) and reported a result.
+    Result(JobResult),
+    /// [`Worker::execute`] panicked. The thread survived, rebuilt its
+    /// worker from the factory, and is already serving its inbox again;
+    /// the crashed job died with the old worker value and must be
+    /// re-dispatched under a fresh epoch.
+    Crash {
+        /// Pool slot whose worker panicked.
+        worker: u32,
+        /// The job that killed it.
+        job: u32,
+        /// Task the job belonged to.
+        task: u32,
+        /// Epoch the job carried.
+        epoch: u32,
+    },
+}
+
 /// A job executor running on one pool thread.
 pub trait Worker: Send + 'static {
     /// Executes one assignment. `Some((vote, answer))` reports a result;
     /// `None` hangs — the worker reports nothing and the coordinator's
-    /// wall-clock deadline eventually fires.
+    /// wall-clock deadline eventually fires. A panic is a *crash*: the
+    /// supervisor catches it, reports it, and rebuilds the worker.
     fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)>;
 }
 
@@ -65,6 +105,9 @@ pub struct FaultProfile {
     pub wrong_rate: f64,
     /// Per-job probability of hanging (reporting nothing).
     pub hang_rate: f64,
+    /// Per-job probability of panicking mid-execution (killing the worker
+    /// value, exercising the supervisor).
+    pub crash_rate: f64,
     /// Extra wall-clock latency added to every executed job.
     pub think: Duration,
 }
@@ -74,6 +117,7 @@ impl Default for FaultProfile {
         Self {
             wrong_rate: 0.0,
             hang_rate: 0.0,
+            crash_rate: 0.0,
             think: Duration::ZERO,
         }
     }
@@ -113,70 +157,136 @@ impl Worker for FaultyWorker {
         if u < self.profile.hang_rate + self.profile.wrong_rate {
             return Some((false, !honest));
         }
+        if u < self.profile.hang_rate + self.profile.wrong_rate + self.profile.crash_rate {
+            panic!(
+                "injected worker crash (task {}, replica {})",
+                job.task, job.replica
+            );
+        }
         Some((true, honest))
     }
+}
+
+/// The factory the pool rebuilds workers from after crashes and respawns.
+pub(crate) type WorkerFactory = Arc<dyn Fn(u32) -> Box<dyn Worker> + Send + Sync>;
+
+/// One pool slot: the live thread plus its supervision state.
+struct WorkerSlot {
+    inbox: SyncSender<JobAssignment>,
+    handle: Option<JoinHandle<()>>,
+    /// Micros (+1, so 0 means idle) since pool start at which the current
+    /// job began executing. Written by the worker thread, read by the
+    /// coordinator's hang supervisor.
+    busy_since: Arc<AtomicU64>,
+    /// Dispatch eligibility; cleared when node discipline quarantines the
+    /// worker.
+    enabled: bool,
 }
 
 /// The pool: per-worker bounded inboxes plus joinable threads. Internal to
 /// the coordinator, which owns dispatch.
 pub(crate) struct WorkerPool {
-    inboxes: Vec<SyncSender<JobAssignment>>,
-    handles: Vec<JoinHandle<()>>,
+    slots: Vec<WorkerSlot>,
+    events: Sender<PoolEvent>,
+    make: WorkerFactory,
+    inbox_cap: usize,
     cursor: usize,
+    started: Instant,
 }
 
 impl WorkerPool {
     /// Spawns `count` worker threads, each with a bounded inbox of
-    /// `inbox_cap` jobs, reporting results on `results`.
-    pub fn spawn<F>(count: usize, inbox_cap: usize, results: Sender<JobResult>, mut make: F) -> Self
-    where
-        F: FnMut(u32) -> Box<dyn Worker>,
-    {
-        let mut inboxes = Vec::with_capacity(count);
-        let mut handles = Vec::with_capacity(count);
+    /// `inbox_cap` jobs, reporting results and crashes on `events`.
+    pub fn spawn(
+        count: usize,
+        inbox_cap: usize,
+        events: Sender<PoolEvent>,
+        make: WorkerFactory,
+    ) -> Self {
+        let started = Instant::now();
+        let mut pool = Self {
+            slots: Vec::with_capacity(count),
+            events,
+            make,
+            inbox_cap,
+            cursor: 0,
+            started,
+        };
         for index in 0..count as u32 {
-            let (tx, rx): (SyncSender<JobAssignment>, Receiver<JobAssignment>) =
-                std::sync::mpsc::sync_channel(inbox_cap.max(1));
-            let results = results.clone();
-            let mut worker = make(index);
-            let handle = std::thread::Builder::new()
-                .name(format!("smartred-worker-{index}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        if let Some((vote, answer)) = worker.execute(&job) {
-                            // The results channel is unbounded: workers
-                            // never block reporting, so a stalled
-                            // coordinator cannot deadlock the pool.
-                            let _ = results.send(JobResult {
+            let slot = pool.build_slot(index);
+            pool.slots.push(slot);
+        }
+        pool
+    }
+
+    fn build_slot(&self, index: u32) -> WorkerSlot {
+        let (tx, rx): (SyncSender<JobAssignment>, Receiver<JobAssignment>) =
+            std::sync::mpsc::sync_channel(self.inbox_cap.max(1));
+        let events = self.events.clone();
+        let make = self.make.clone();
+        let busy_since = Arc::new(AtomicU64::new(0));
+        let busy = busy_since.clone();
+        let started = self.started;
+        let handle = std::thread::Builder::new()
+            .name(format!("smartred-worker-{index}"))
+            .spawn(move || {
+                let mut worker = make(index);
+                while let Ok(job) = rx.recv() {
+                    let now = started.elapsed().as_micros() as u64;
+                    busy.store(now + 1, Ordering::Release);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| worker.execute(&job)));
+                    busy.store(0, Ordering::Release);
+                    match outcome {
+                        // The events channel is unbounded: workers never
+                        // block reporting, so a stalled coordinator cannot
+                        // deadlock the pool.
+                        Ok(Some((vote, answer))) => {
+                            let _ = events.send(PoolEvent::Result(JobResult {
                                 job: job.job,
                                 task: job.task,
                                 worker: index,
+                                epoch: job.epoch,
                                 vote,
                                 answer,
+                            }));
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            let _ = events.send(PoolEvent::Crash {
+                                worker: index,
+                                job: job.job,
+                                task: job.task,
+                                epoch: job.epoch,
                             });
+                            // The old worker value died with the panic;
+                            // rebuild and keep serving the same inbox.
+                            worker = make(index);
                         }
                     }
-                })
-                .expect("spawn worker thread");
-            inboxes.push(tx);
-            handles.push(handle);
-        }
-        Self {
-            inboxes,
-            handles,
-            cursor: 0,
+                }
+            })
+            .expect("spawn worker thread");
+        WorkerSlot {
+            inbox: tx,
+            handle: Some(handle),
+            busy_since,
+            enabled: true,
         }
     }
 
-    /// Hands `job` to the first worker (round-robin) whose inbox has room.
-    /// Never blocks: returns the assignment back on `Err` when every inbox
-    /// is full, so the caller can park it and retry after results drain.
+    /// Hands `job` to the first enabled worker (round-robin) whose inbox
+    /// has room. Never blocks: returns the assignment back on `Err` when
+    /// every eligible inbox is full, so the caller can park it and retry
+    /// after results drain.
     pub fn try_dispatch(&mut self, job: JobAssignment) -> Result<u32, JobAssignment> {
-        let n = self.inboxes.len();
+        let n = self.slots.len();
         let mut job = job;
         for i in 0..n {
             let w = (self.cursor + i) % n;
-            match self.inboxes[w].try_send(job) {
+            if !self.slots[w].enabled {
+                continue;
+            }
+            match self.slots[w].inbox.try_send(job) {
                 Ok(()) => {
                     self.cursor = (w + 1) % n;
                     return Ok(w as u32);
@@ -189,11 +299,72 @@ impl WorkerPool {
         Err(job)
     }
 
-    /// Closes every inbox and joins the threads.
-    pub fn shutdown(self) {
-        drop(self.inboxes);
-        for handle in self.handles {
-            let _ = handle.join();
+    /// How long worker `index` has been inside `execute`, or `None` when
+    /// idle. The hang supervisor compares this against its threshold.
+    pub fn busy_for(&self, index: u32) -> Option<Duration> {
+        let since = self.slots[index as usize]
+            .busy_since
+            .load(Ordering::Acquire);
+        if since == 0 {
+            return None;
+        }
+        let now = self.started.elapsed().as_micros() as u64;
+        Some(Duration::from_micros(now.saturating_sub(since - 1)))
+    }
+
+    /// Enables or disables dispatch to worker `index`. Disabled workers
+    /// keep draining jobs already in their inbox.
+    pub fn set_enabled(&mut self, index: u32, enabled: bool) {
+        self.slots[index as usize].enabled = enabled;
+    }
+
+    /// Whether worker `index` is eligible for dispatch.
+    pub fn is_enabled(&self, index: u32) -> bool {
+        self.slots[index as usize].enabled
+    }
+
+    /// Number of currently enabled workers.
+    pub fn enabled_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.enabled).count()
+    }
+
+    /// Number of pool slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replaces a hung worker: a fresh thread, worker value, and inbox
+    /// take over slot `index`. The old thread is detached — it exits on
+    /// its own when it escapes `execute` and finds its inbox closed, and
+    /// any late reply it manages to send carries a pre-respawn epoch the
+    /// coordinator rejects. Jobs queued in the old inbox are lost; the
+    /// caller must re-dispatch everything in flight on this worker.
+    pub fn respawn(&mut self, index: u32) {
+        let fresh = self.build_slot(index);
+        let old = std::mem::replace(&mut self.slots[index as usize], fresh);
+        // Preserve the discipline state across the restart.
+        self.slots[index as usize].enabled = old.enabled;
+        drop(old.inbox);
+        drop(old.handle); // detach: never join a thread presumed stuck
+    }
+
+    /// Closes every inbox and joins the threads. Threads caught mid-job
+    /// are detached instead of joined, so a worker hung forever cannot
+    /// wedge shutdown.
+    pub fn shutdown(mut self) {
+        let handles: Vec<(Option<JoinHandle<()>>, Arc<AtomicU64>)> = self
+            .slots
+            .iter_mut()
+            .map(|s| (s.handle.take(), s.busy_since.clone()))
+            .collect();
+        drop(self.slots); // closes all inboxes
+        for (handle, busy) in handles {
+            if let Some(handle) = handle {
+                if busy.load(Ordering::Acquire) == 0 {
+                    let _ = handle.join();
+                }
+                // else: detach; the thread exits once execute returns.
+            }
         }
     }
 }
@@ -207,6 +378,7 @@ mod tests {
             job: 0,
             task,
             replica,
+            epoch: 0,
             payload: Arc::new(Payload::Synthetic {
                 answer: true,
                 work: Duration::ZERO,
@@ -214,12 +386,16 @@ mod tests {
         }
     }
 
+    fn factory(seed: u64, profile: FaultProfile) -> WorkerFactory {
+        Arc::new(move |_| Box::new(FaultyWorker::new(seed, profile)))
+    }
+
     #[test]
     fn fault_draw_depends_only_on_task_and_replica() {
         let profile = FaultProfile {
             wrong_rate: 0.5,
             hang_rate: 0.2,
-            think: Duration::ZERO,
+            ..FaultProfile::default()
         };
         let mut a = FaultyWorker::new(9, profile);
         let mut b = FaultyWorker::new(9, profile);
@@ -244,8 +420,7 @@ mod tests {
     fn lying_draw_flips_the_answer_and_votes_false() {
         let profile = FaultProfile {
             wrong_rate: 1.0,
-            hang_rate: 0.0,
-            think: Duration::ZERO,
+            ..FaultProfile::default()
         };
         let mut w = FaultyWorker::new(3, profile);
         assert_eq!(w.execute(&assignment(0, 0)), Some((false, false)));
@@ -256,15 +431,18 @@ mod tests {
         let (tx, _rx) = std::sync::mpsc::channel();
         // One worker whose single-slot inbox we saturate with a job it
         // cannot finish quickly.
-        let mut pool = WorkerPool::spawn(1, 1, tx, |_| {
-            Box::new(FaultyWorker::new(
+        let mut pool = WorkerPool::spawn(
+            1,
+            1,
+            tx,
+            factory(
                 0,
                 FaultProfile {
                     think: Duration::from_millis(50),
                     ..FaultProfile::default()
                 },
-            ))
-        });
+            ),
+        );
         // First dispatch is taken by the worker, second sits in the inbox,
         // third (at the latest) must bounce. Allow a race on the second.
         let mut bounced = false;
@@ -275,6 +453,96 @@ mod tests {
             }
         }
         assert!(bounced, "a saturated pool must refuse, not block");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn crash_is_reported_and_the_worker_survives_it() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Every job panics under this profile.
+        let mut pool = WorkerPool::spawn(
+            1,
+            4,
+            tx,
+            factory(
+                0,
+                FaultProfile {
+                    crash_rate: 1.0,
+                    ..FaultProfile::default()
+                },
+            ),
+        );
+        let mut job = assignment(0, 0);
+        job.epoch = 5;
+        pool.try_dispatch(job).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            PoolEvent::Crash {
+                worker,
+                job,
+                task,
+                epoch,
+            } => {
+                assert_eq!((worker, job, task, epoch), (0, 0, 0, 5));
+            }
+            PoolEvent::Result(r) => panic!("expected crash, got result {r:?}"),
+        }
+        // The same slot keeps serving after the rebuild.
+        pool.try_dispatch(assignment(1, 0)).unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            PoolEvent::Crash { task: 1, .. }
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn disabled_workers_are_skipped_by_dispatch() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut pool = WorkerPool::spawn(2, 4, tx, factory(0, FaultProfile::default()));
+        pool.set_enabled(0, false);
+        assert_eq!(pool.enabled_count(), 1);
+        for _ in 0..4 {
+            let worker = pool.try_dispatch(assignment(0, 0)).unwrap();
+            assert_eq!(worker, 1, "disabled slot 0 must never be picked");
+        }
+        for _ in 0..4 {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                PoolEvent::Result(r) => assert_eq!(r.worker, 1),
+                PoolEvent::Crash { .. } => panic!("honest worker cannot crash"),
+            }
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawn_replaces_a_stuck_worker() {
+        struct Stuck;
+        impl Worker for Stuck {
+            fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+                if job.task == 0 {
+                    // Park forever: simulates a genuinely wedged thread.
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+                Some((true, true))
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut pool = WorkerPool::spawn(1, 4, tx, Arc::new(|_| Box::new(Stuck)));
+        pool.try_dispatch(assignment(0, 0)).unwrap();
+        // Wait until the supervisor would see the slot busy.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.busy_for(0).is_none() {
+            assert!(Instant::now() < deadline, "worker never started the job");
+            std::thread::yield_now();
+        }
+        pool.respawn(0);
+        // The fresh incarnation serves jobs while the old thread stays
+        // parked (and is detached at shutdown rather than joined).
+        pool.try_dispatch(assignment(1, 0)).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            PoolEvent::Result(r) => assert_eq!(r.task, 1),
+            PoolEvent::Crash { .. } => panic!("unexpected crash"),
+        }
         pool.shutdown();
     }
 }

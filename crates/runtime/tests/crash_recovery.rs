@@ -1,0 +1,590 @@
+//! Chaos tests for the crash-recoverable runtime: coordinator kills at
+//! seeded WAL points, double crashes, torn tails, recovery-from-any-prefix
+//! properties, worker-crash supervision, task poisoning, and hung-worker
+//! respawn with epoch-based stale-reply rejection.
+//!
+//! The golden-comparison tests rely on the determinism contract: fault
+//! draws (lies *and* injected panics) are a pure function of
+//! `(seed, task, replica)`, so an uninterrupted run and a crash+recover
+//! run face identical adversity and must produce identical verdicts and
+//! per-task job counts — only wall-clock stamps and cross-task
+//! interleaving may differ.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::resilience::PoisonPolicy;
+use smartred_core::strategy::{Iterative, Traditional};
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_runtime::{
+    report_from_journal, Client, FaultProfile, FaultyWorker, JobAssignment, Payload, RecoveryError,
+    Runtime, RuntimeConfig, RuntimeRun, SubmitOutcome, TaskVerdict, Worker,
+};
+
+/// Keep injected-panic backtraces out of the test output while letting
+/// real panics (including test assertion failures) through.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected worker crash") || s.starts_with("poison"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn roster(n: usize) -> Vec<(u32, Payload)> {
+    (0..n as u32)
+        .map(|task| {
+            (
+                task,
+                Payload::Synthetic {
+                    answer: true,
+                    work: Duration::ZERO,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Lies and panics, no hangs: hang recovery is schedule-dependent, so the
+/// golden-comparison tests keep deadlines generous and hang_rate zero.
+fn chaos_profile() -> FaultProfile {
+    FaultProfile {
+        wrong_rate: 0.25,
+        hang_rate: 0.0,
+        crash_rate: 0.15,
+        think: Duration::ZERO,
+    }
+}
+
+fn chaos_cfg(wal: Option<PathBuf>) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: None, // honor SMARTRED_THREADS (the CI chaos matrix axis)
+        queue_cap: 512,
+        max_active: 16,
+        deadline: Duration::from_secs(30),
+        poison: Some(PoisonPolicy { crash_limit: 2 }),
+        wal,
+        ..RuntimeConfig::default()
+    }
+}
+
+const SEED: u64 = 0x5eed_cafe;
+const MARGIN: usize = 3;
+
+fn start_chaos(cfg: RuntimeConfig) -> Runtime {
+    Runtime::start(
+        cfg,
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+    )
+}
+
+fn submit_all(client: &Client, tasks: &[(u32, Payload)]) {
+    for (task, payload) in tasks {
+        match client.submit(payload.clone()) {
+            SubmitOutcome::Shed => panic!("queue_cap admits the whole roster"),
+            SubmitOutcome::Accepted { task: id } | SubmitOutcome::Queued { task: id } => {
+                assert_eq!(id, *task, "submission order must assign roster ids");
+            }
+        }
+    }
+}
+
+fn drain_verdicts(client: &Client) -> Vec<TaskVerdict> {
+    let mut verdicts = Vec::new();
+    while let Some(v) = client.recv_timeout(Duration::from_millis(400)) {
+        verdicts.push(v);
+    }
+    verdicts
+}
+
+/// Runs the roster to completion (or to the configured chaos crash),
+/// returning the run and every verdict the client actually received.
+fn run_roster(cfg: RuntimeConfig, tasks: &[(u32, Payload)]) -> (RuntimeRun, Vec<TaskVerdict>) {
+    let runtime = start_chaos(cfg);
+    let client = runtime.client();
+    submit_all(&client, tasks);
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    (runtime.finish(), verdicts)
+}
+
+fn recover_chaos(
+    cfg: RuntimeConfig,
+    tasks: &[(u32, Payload)],
+) -> (
+    RuntimeRun,
+    Vec<TaskVerdict>,
+    smartred_runtime::RecoveryReport,
+) {
+    let (runtime, client, report) = Runtime::recover(
+        cfg,
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+        tasks,
+    )
+    .expect("WAL recovery");
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    (runtime.finish(), verdicts, report)
+}
+
+/// Schedule-independent run structure: `(task, kind, vote, jobs)` sorted
+/// by task, where kind is 0 = verdict, 1 = capped, 2 = poisoned.
+fn shape(journal: &Journal) -> Vec<(u32, u8, Option<bool>, u64)> {
+    let mut jobs: HashMap<u32, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for e in journal.events() {
+        match e.event {
+            RunEvent::JobDispatched { task, .. } => *jobs.entry(task).or_default() += 1,
+            RunEvent::VerdictReached { task, value, .. } => out.push((task, 0, Some(value))),
+            RunEvent::TaskCapped { task } => out.push((task, 1, None)),
+            RunEvent::TaskPoisoned { task, .. } => out.push((task, 2, None)),
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out.into_iter()
+        .map(|(task, kind, vote)| (task, kind, vote, jobs.get(&task).copied().unwrap_or(0)))
+        .collect()
+}
+
+/// How many decision events (verdict, cap, poison) each task has.
+fn decisions_per_task(journal: &Journal) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for e in journal.events() {
+        if let RunEvent::VerdictReached { task, .. }
+        | RunEvent::TaskCapped { task }
+        | RunEvent::TaskPoisoned { task, .. } = e.event
+        {
+            *counts.entry(task).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn wal_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "smartred-crash-recovery-{}-{name}.wal.jsonl",
+        std::process::id()
+    ))
+}
+
+/// The tentpole acceptance test: kill the coordinator at a sweep of
+/// seeded WAL points; recovery must converge to a final journal whose
+/// verdicts and per-task job counts are identical to the uninterrupted
+/// golden run, every task must be decided exactly once across the
+/// combined log, no verdict may be delivered twice, and the on-disk WAL
+/// must equal the final journal byte for byte.
+#[test]
+fn coordinator_killed_at_seeded_points_recovers_to_the_golden_run() {
+    quiet_injected_panics();
+    let tasks = roster(10);
+    let (golden, golden_verdicts) = run_roster(chaos_cfg(None), &tasks);
+    assert!(!golden.crashed);
+    assert_eq!(golden_verdicts.len(), tasks.len());
+    assert_eq!(report_from_journal(&golden.journal), golden.report);
+    let golden_shape = shape(&golden.journal);
+    let events = golden.journal.events().len() as u64;
+
+    let stride = (events / 6).max(1);
+    let mut points: Vec<u64> = (1..events).step_by(stride as usize).collect();
+    points.push(events - 1);
+    for (round, crash_at) in points.into_iter().enumerate() {
+        let wal = wal_path(&format!("sweep-{round}"));
+        let mut cfg = chaos_cfg(Some(wal.clone()));
+        cfg.crash_after_events = Some(crash_at);
+        let runtime = start_chaos(cfg);
+        let client = runtime.client();
+        submit_all(&client, &tasks);
+        let pre_crash_verdicts = drain_verdicts(&client);
+        assert!(runtime.is_crashed(), "crash point {crash_at} must trip");
+        drop(client);
+        let crashed = runtime.finish();
+        assert!(crashed.crashed);
+
+        let (run, post_verdicts, rec) = recover_chaos(chaos_cfg(Some(wal.clone())), &tasks);
+        assert!(!run.crashed);
+        assert!(!rec.torn_tail, "event-boundary crashes leave no torn tail");
+        assert_eq!(rec.events_replayed as u64, crash_at);
+        assert_eq!(
+            report_from_journal(&run.journal),
+            run.report,
+            "crash point {crash_at}: replayed report must equal the live one"
+        );
+        assert_eq!(
+            shape(&run.journal),
+            golden_shape,
+            "crash point {crash_at}: recovered run diverged from golden"
+        );
+        for (task, count) in decisions_per_task(&run.journal) {
+            assert_eq!(count, 1, "task {task} must be decided exactly once");
+        }
+        // Exactly-once delivery across the crash: no task's verdict
+        // reaches a client twice. (A verdict logged right at the crash
+        // boundary may reach *no* client — decisions are exactly-once,
+        // delivery is at-most-once.)
+        let before: HashSet<u32> = pre_crash_verdicts.iter().map(|v| v.task).collect();
+        let after: HashSet<u32> = post_verdicts.iter().map(|v| v.task).collect();
+        assert!(
+            before.is_disjoint(&after),
+            "crash point {crash_at}: tasks {:?} were delivered twice",
+            before.intersection(&after).collect::<Vec<_>>()
+        );
+        // Durable WAL == final journal, byte for byte.
+        let on_disk = std::fs::read_to_string(&wal).unwrap();
+        assert_eq!(on_disk, run.journal.to_jsonl());
+        let _ = std::fs::remove_file(&wal);
+    }
+}
+
+/// A coordinator that crashes *again* during the recovered run is
+/// recovered again, and the twice-interrupted run still converges to the
+/// golden shape.
+#[test]
+fn double_crash_still_converges() {
+    quiet_injected_panics();
+    let tasks = roster(10);
+    let (golden, _) = run_roster(chaos_cfg(None), &tasks);
+    let golden_shape = shape(&golden.journal);
+    let events = golden.journal.events().len() as u64;
+
+    let wal = wal_path("double");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.crash_after_events = Some(events / 4);
+    let (first, _) = run_roster(cfg, &tasks);
+    assert!(first.crashed);
+
+    // Second incarnation: dies again after a quarter of fresh appends.
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.crash_after_events = Some(events / 4);
+    let (second, _, _) = recover_chaos(cfg, &tasks);
+    assert!(second.crashed, "the second chaos point must trip too");
+
+    let (run, _, rec) = recover_chaos(chaos_cfg(Some(wal.clone())), &tasks);
+    assert!(!run.crashed);
+    assert!(rec.events_replayed as u64 >= events / 2);
+    assert_eq!(shape(&run.journal), golden_shape);
+    for (task, count) in decisions_per_task(&run.journal) {
+        assert_eq!(count, 1, "task {task} must be decided exactly once");
+    }
+    assert_eq!(report_from_journal(&run.journal), run.report);
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// A torn final record — the write that was in flight when the process
+/// died — is detected, truncated away, and the run still converges.
+#[test]
+fn torn_wal_tail_is_truncated_and_recovered() {
+    quiet_injected_panics();
+    let tasks = roster(8);
+    let (golden, _) = run_roster(chaos_cfg(None), &tasks);
+    let golden_shape = shape(&golden.journal);
+    let events = golden.journal.events().len() as u64;
+
+    let wal = wal_path("torn");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.crash_after_events = Some(events / 3);
+    let (crashed, _) = run_roster(cfg, &tasks);
+    assert!(crashed.crashed);
+
+    // Simulate the torn in-flight append a real kill would leave.
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    write!(file, "{{\"at\":999999,\"seq\":77,\"kind\":\"job_ret").unwrap();
+    drop(file);
+
+    let (run, _, rec) = recover_chaos(chaos_cfg(Some(wal.clone())), &tasks);
+    assert!(rec.torn_tail, "the partial record must be seen as torn");
+    assert_eq!(rec.events_replayed as u64, events / 3);
+    assert!(!run.crashed);
+    assert_eq!(shape(&run.journal), golden_shape);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+    // The resume truncated the torn bytes: the healed file is valid JSONL.
+    let on_disk = std::fs::read_to_string(&wal).unwrap();
+    assert_eq!(on_disk, run.journal.to_jsonl());
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// Recovery error paths: no WAL configured, a roster missing an open
+/// task's payload, and interior (non-tail) corruption are all reported,
+/// never silently patched.
+#[test]
+fn recovery_rejects_missing_wal_roster_gaps_and_interior_corruption() {
+    quiet_injected_panics();
+    let tasks = roster(6);
+    fn recover_err(cfg: RuntimeConfig, tasks: &[(u32, Payload)]) -> RecoveryError {
+        match Runtime::recover(
+            cfg,
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            |_| Box::new(FaultyWorker::new(SEED, chaos_profile())) as Box<dyn Worker>,
+            tasks,
+        ) {
+            Ok(_) => panic!("recovery was expected to fail"),
+            Err(err) => err,
+        }
+    }
+
+    let err = recover_err(chaos_cfg(None), &tasks);
+    assert!(matches!(err, RecoveryError::NoWal));
+
+    let wal = wal_path("errors");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.crash_after_events = Some(40);
+    let (crashed, _) = run_roster(cfg, &tasks);
+    assert!(crashed.crashed);
+
+    // Every open task's payload is missing from an empty roster.
+    let err = recover_err(chaos_cfg(Some(wal.clone())), &[]);
+    assert!(matches!(err, RecoveryError::Corrupt(_)), "got {err:?}");
+
+    // Interior corruption (not the final record) is a hard parse error.
+    let text = std::fs::read_to_string(&wal).unwrap();
+    let second_line_start = text.find('\n').unwrap() + 1;
+    let mut corrupted = text.clone();
+    corrupted.replace_range(second_line_start..second_line_start + 1, "garbage ");
+    std::fs::write(&wal, corrupted).unwrap();
+    let err = recover_err(chaos_cfg(Some(wal.clone())), &tasks);
+    assert!(matches!(err, RecoveryError::Parse(_)), "got {err:?}");
+    let _ = std::fs::remove_file(&wal);
+}
+
+/// Worker panics are caught and healed in place: with a never-poisoning
+/// policy, a heavily crash-prone pool still completes every task, one
+/// restart per caught panic, and the journal folds to the live report.
+#[test]
+fn worker_crashes_are_supervised_and_every_task_completes() {
+    quiet_injected_panics();
+    let tasks = roster(30);
+    let mut cfg = chaos_cfg(None);
+    cfg.workers = Some(4);
+    cfg.poison = Some(PoisonPolicy {
+        crash_limit: u32::MAX,
+    });
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+        Box::new(FaultyWorker::new(
+            SEED,
+            FaultProfile {
+                wrong_rate: 0.0,
+                hang_rate: 0.0,
+                crash_rate: 0.4,
+                think: Duration::ZERO,
+            },
+        ))
+    });
+    let client = runtime.client();
+    submit_all(&client, &tasks);
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(run.report.tasks_completed, tasks.len());
+    assert_eq!(run.report.tasks_poisoned, 0);
+    assert_eq!(verdicts.len(), tasks.len());
+    assert!(verdicts.iter().all(|v| v.vote == Some(true) && !v.poisoned));
+    assert!(
+        run.report.worker_crashes > 0,
+        "a 40% crash rate must panic some workers"
+    );
+    assert_eq!(run.report.worker_crashes, run.report.worker_restarts);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// A payload that kills every worker that touches it is *poisoned* after
+/// the crash limit — a failed, vote-less, `poisoned` verdict — instead of
+/// being reissued forever; healthy tasks on the same runtime are
+/// untouched.
+#[test]
+fn poison_tasks_fail_fast_with_a_poisoned_verdict() {
+    quiet_injected_panics();
+    struct PanicsOnTaskZero;
+    impl Worker for PanicsOnTaskZero {
+        fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+            assert!(job.payload.execute(), "payload must still be executable");
+            if job.task == 0 {
+                panic!("poisoned payload");
+            }
+            Some((true, true))
+        }
+    }
+    let mut cfg = chaos_cfg(None);
+    cfg.workers = Some(2);
+    cfg.poison = Some(PoisonPolicy { crash_limit: 3 });
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+        Box::new(PanicsOnTaskZero)
+    });
+    let client = runtime.client();
+    let tasks = roster(5);
+    submit_all(&client, &tasks);
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    let run = runtime.finish();
+
+    assert_eq!(verdicts.len(), tasks.len(), "poisoned tasks still deliver");
+    let poisoned: Vec<_> = verdicts.iter().filter(|v| v.poisoned).collect();
+    assert_eq!(poisoned.len(), 1);
+    assert_eq!(poisoned[0].task, 0);
+    assert_eq!(poisoned[0].vote, None);
+    assert_eq!(run.report.tasks_poisoned, 1);
+    assert_eq!(run.report.tasks_completed, tasks.len() - 1);
+    assert_eq!(
+        run.report.worker_crashes, 3,
+        "exactly crash_limit crashes before poisoning"
+    );
+    let has_poison_event = run.journal.events().iter().any(|e| {
+        matches!(
+            e.event,
+            RunEvent::TaskPoisoned {
+                task: 0,
+                crashes: 3
+            }
+        )
+    });
+    assert!(has_poison_event);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// Hung-worker supervision: a thread stuck inside `execute` is respawned,
+/// its in-flight jobs are re-dispatched under a fresh epoch, and the old
+/// thread's eventual late reply is rejected by epoch — never tallied, so
+/// the task still sees exactly k votes.
+#[test]
+fn hung_worker_is_respawned_and_its_late_reply_is_rejected_by_epoch() {
+    quiet_injected_panics();
+    /// The first execution anywhere sleeps far past the hang threshold
+    /// (then answers anyway — the late reply); all later executions,
+    /// including the respawned incarnation's, answer promptly.
+    struct SleepyOnce {
+        slept: Arc<AtomicBool>,
+    }
+    impl Worker for SleepyOnce {
+        fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+            if !self.slept.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            Some((true, job.payload.execute()))
+        }
+    }
+    let slept = Arc::new(AtomicBool::new(false));
+    let k = 3;
+    let mut cfg = chaos_cfg(None);
+    cfg.workers = Some(1);
+    cfg.hang_after = Some(Duration::from_millis(40));
+    cfg.deadline = Duration::from_secs(30); // hang supervision, not timeout
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(k).unwrap()), move |_| {
+        Box::new(SleepyOnce {
+            slept: slept.clone(),
+        })
+    });
+    let client = runtime.client();
+    submit_all(&client, &roster(1));
+    let verdict = client.recv().expect("the task must still complete");
+    assert_eq!(verdict.vote, Some(true));
+
+    // Keep the runtime alive past the sleeper's wake-up so its late reply
+    // is observed (and rejected) rather than lost at shutdown.
+    std::thread::sleep(Duration::from_millis(500));
+    match client.submit(Payload::Synthetic {
+        answer: true,
+        work: Duration::ZERO,
+    }) {
+        SubmitOutcome::Shed => panic!("queue has room"),
+        SubmitOutcome::Accepted { .. } | SubmitOutcome::Queued { .. } => {}
+    }
+    assert_eq!(client.recv().expect("second verdict").vote, Some(true));
+    drop(client);
+    let run = runtime.finish();
+
+    assert!(
+        run.report.worker_restarts >= 1,
+        "the stuck worker must be respawned"
+    );
+    assert_eq!(run.report.worker_crashes, 0, "a hang is not a panic");
+    assert!(
+        run.report.stale_replies >= 1,
+        "the sleeper's late reply must be dropped as stale"
+    );
+    let epoch_advanced = run
+        .journal
+        .events()
+        .iter()
+        .any(|e| matches!(e.event, RunEvent::EpochAdvanced { task: 0, epoch: 1 }));
+    assert!(epoch_advanced, "re-dispatch must bump the task epoch");
+    let tallies = run
+        .journal
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, RunEvent::VoteTallied { task, .. } if task == 0))
+        .count();
+    assert_eq!(tallies, k, "exactly k votes despite the late duplicate");
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+mod prefix_property {
+    //! Property test: recovery from *any* event-stream prefix — not just
+    //! the swept points — yields a coordinator whose continued run matches
+    //! the golden shape and decides every task exactly once.
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    struct GoldenFixture {
+        tasks: Vec<(u32, Payload)>,
+        shape: Vec<(u32, u8, Option<bool>, u64)>,
+        events: u64,
+    }
+
+    fn golden() -> &'static GoldenFixture {
+        static GOLDEN: OnceLock<GoldenFixture> = OnceLock::new();
+        GOLDEN.get_or_init(|| {
+            quiet_injected_panics();
+            let tasks = roster(8);
+            let (run, _) = run_roster(chaos_cfg(None), &tasks);
+            assert!(!run.crashed);
+            GoldenFixture {
+                tasks,
+                shape: shape(&run.journal),
+                events: run.journal.events().len() as u64,
+            }
+        })
+    }
+
+    proptest! {
+        // 12 cases: each is a full crash + recovery run, so this is the
+        // most expensive property in the workspace.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn recovery_from_any_prefix_converges_to_golden(crash_seed in 1u64..10_000) {
+            let fixture = golden();
+            let crash_at = 1 + crash_seed % (fixture.events - 1);
+            let wal = wal_path(&format!("prefix-{crash_at}"));
+            let mut cfg = chaos_cfg(Some(wal.clone()));
+            cfg.crash_after_events = Some(crash_at);
+            let (crashed, _) = run_roster(cfg, &fixture.tasks);
+            prop_assert!(crashed.crashed);
+
+            let (run, _, _) = recover_chaos(chaos_cfg(Some(wal.clone())), &fixture.tasks);
+            prop_assert!(!run.crashed);
+            prop_assert_eq!(shape(&run.journal), fixture.shape.clone());
+            for (task, count) in decisions_per_task(&run.journal) {
+                prop_assert_eq!(count, 1, "task {} decided more than once", task);
+            }
+            prop_assert_eq!(report_from_journal(&run.journal), run.report.clone());
+            let _ = std::fs::remove_file(&wal);
+        }
+    }
+}

@@ -46,7 +46,7 @@ where
         deadline,
         ..RuntimeConfig::default()
     };
-    let runtime = Runtime::start(cfg, strategy, |_| {
+    let runtime = Runtime::start(cfg, strategy, move |_| {
         Box::new(FaultyWorker::new(seed, profile))
     });
     let client = runtime.client();
@@ -73,6 +73,7 @@ where
 const THIRTY_PCT_FAULTY: FaultProfile = FaultProfile {
     wrong_rate: 0.3,
     hang_rate: 0.0,
+    crash_rate: 0.0,
     think: Duration::ZERO,
 };
 
@@ -199,7 +200,7 @@ fn saturation_sheds_and_recovers() {
         deadline: Duration::from_secs(5),
         ..RuntimeConfig::default()
     };
-    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), move |_| {
         Box::new(FaultyWorker::new(1, FaultProfile::default()))
     });
     let client = runtime.client();
@@ -249,6 +250,7 @@ fn hangs_time_out_and_reissue_preserves_correctness() {
     let profile = FaultProfile {
         wrong_rate: 0.0,
         hang_rate: 0.25,
+        crash_rate: 0.0,
         think: Duration::ZERO,
     };
     let (run, verdicts) = run_sat(
@@ -286,6 +288,7 @@ fn runtime_journal_satisfies_quorum_and_causality() {
     let profile = FaultProfile {
         wrong_rate: 0.3,
         hang_rate: 0.1,
+        crash_rate: 0.0,
         think: Duration::ZERO,
     };
     let d = 4;
@@ -315,7 +318,7 @@ fn job_cap_fails_tasks_gracefully() {
         job_cap: Some(2),
         ..RuntimeConfig::default()
     };
-    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), move |_| {
         Box::new(FaultyWorker::new(5, FaultProfile::default()))
     });
     let client = runtime.client();
@@ -337,6 +340,79 @@ fn job_cap_fails_tasks_gracefully() {
     let run = runtime.finish();
     assert_eq!(run.report.tasks_capped, 5);
     assert_eq!(run.report.tasks_completed, 0);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
+/// Regression for the reissue double-count: a reply that lands *after*
+/// its job timed out and was reissued must be journaled as
+/// [`StaleReplyDropped`] and never tallied — previously a late vote could
+/// be counted alongside its replacement's. Every task must tally exactly
+/// k votes, no matter how many late duplicates straggle in.
+#[test]
+fn late_reply_after_reissue_is_dropped_not_double_counted() {
+    use smartred_runtime::{JobAssignment, Worker};
+
+    /// Sleeps far past the deadline on every replica-0 job, then answers
+    /// anyway; all later replicas answer promptly. The replica-0 reply
+    /// therefore always arrives after its timeout reissued the job.
+    struct SlowFirstReplica;
+    impl Worker for SlowFirstReplica {
+        fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+            if job.replica == 0 {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            Some((true, job.payload.execute()))
+        }
+    }
+
+    let k = 3;
+    let cfg = RuntimeConfig {
+        workers: Some(1),
+        deadline: Duration::from_millis(50),
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(k).unwrap()), |_| {
+        Box::new(SlowFirstReplica)
+    });
+    let client = runtime.client();
+    let total = 2;
+    for _ in 0..total {
+        assert_ne!(
+            client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            }),
+            SubmitOutcome::Shed
+        );
+    }
+    for _ in 0..total {
+        let verdict = client.recv().expect("every task still reaches a verdict");
+        assert_eq!(verdict.vote, Some(true));
+    }
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(run.report.tasks_completed, total);
+    assert!(
+        run.report.stale_replies > 0,
+        "the late replica-0 replies must be dropped as stale"
+    );
+    assert_eq!(run.report.timeouts, run.report.retries);
+    let mut tallies = std::collections::HashMap::new();
+    for e in run.journal.events() {
+        if let smartred_desim::journal::RunEvent::VoteTallied { task, .. } = e.event {
+            *tallies.entry(task).or_insert(0u32) += 1;
+        }
+    }
+    for (task, count) in tallies {
+        assert_eq!(
+            count, k as u32,
+            "task {task} must tally exactly k votes — late duplicates never count"
+        );
+    }
+    jassert::events(run.journal.events())
+        .time_ordered()
+        .retry_follows_timeout()
+        .waves_well_formed();
     assert_eq!(report_from_journal(&run.journal), run.report);
 }
 
