@@ -28,6 +28,16 @@
 //! report and requiring exact equality with the live one. Under `--chaos`,
 //! `--journal <path>` names where the WAL of a *failed* recovery round is
 //! preserved for artifact upload.
+//!
+//! `--cartel N` arms an adaptive coalition of the first N workers
+//! (coordinated per-task lies, honest otherwise). Under `--chaos` the
+//! coalition runs against an audit-enabled coordinator, checking that the
+//! new audit events survive crash + WAL recovery. `--audit-demo` runs the
+//! matched-cost acceptance comparison: against the cartel, an
+//! audit-enabled strategy must beat the best audit-free strategy on
+//! measured reliability at no greater total cost (replicas + audits).
+//! `--bench-json <path>` sweeps audit fractions {0, 0.05, 0.2} and writes
+//! the machine-readable throughput baseline (`BENCH_6.json`).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -36,12 +46,14 @@ use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 use smartred_core::analysis;
+use smartred_core::audit::{AuditPolicy, Cartel};
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
+use smartred_core::resilience::QuarantinePolicy;
 use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
 use smartred_desim::journal::{Journal, RunEvent};
 use smartred_runtime::{
-    report_from_journal, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig, RuntimeRun,
-    SubmitOutcome,
+    report_from_journal, CartelWorker, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig,
+    RuntimeRun, SubmitOutcome, Worker,
 };
 use smartred_sat::{decompose, random_3sat, CnfFormula, ThreeSatConfig};
 
@@ -58,6 +70,9 @@ struct Args {
     journal: Option<String>,
     smoke: bool,
     chaos: bool,
+    cartel: u32,
+    audit_demo: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +84,9 @@ fn parse_args() -> Args {
         journal: None,
         smoke: false,
         chaos: false,
+        cartel: 0,
+        audit_demo: false,
+        bench_json: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -84,6 +102,7 @@ fn parse_args() -> Args {
                 args.smoke = true;
             }
             "--chaos" => args.chaos = true,
+            "--audit-demo" => args.audit_demo = true,
             "--tasks" => {
                 args.tasks = value(i).parse().expect("--tasks N");
                 i += 1;
@@ -96,14 +115,23 @@ fn parse_args() -> Args {
                 args.seed = value(i).parse().expect("--seed N");
                 i += 1;
             }
+            "--cartel" => {
+                args.cartel = value(i).parse().expect("--cartel N");
+                i += 1;
+            }
             "--journal" => {
                 args.journal = Some(value(i));
                 i += 1;
             }
+            "--bench-json" => {
+                args.bench_json = Some(value(i));
+                i += 1;
+            }
             other => {
                 eprintln!(
-                    "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] [--tasks N] \
-                     [--workers N] [--seed N] [--journal <path>]"
+                    "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] \
+                     [--audit-demo] [--tasks N] [--workers N] [--seed N] [--cartel N] \
+                     [--journal <path>] [--bench-json <path>]"
                 );
                 std::process::exit(2);
             }
@@ -136,37 +164,73 @@ impl Outcome {
     }
 }
 
+/// Adversary-side configuration of one `drive` run. With `audit` enabled,
+/// spot-checked verdicts are recomputed locally and liars disciplined; with
+/// a `cartel`, the first members of the pool lie in concert (and are
+/// otherwise honest — the coalition is the adversary). A `job_cap` bounds
+/// each task's tally race: a coalition of exactly half the pool turns a
+/// vote-margin race into a fair coin walk with unbounded expected length,
+/// so capped tasks fail (deliver no answer) instead of livelocking the run.
+#[derive(Clone, Copy)]
+struct Regime {
+    audit: AuditPolicy,
+    cartel: Option<Cartel>,
+    job_cap: Option<usize>,
+}
+
+impl Regime {
+    /// Independent 30%-wrong workers, no auditing, no cap — the standard
+    /// benchmark regime.
+    fn honest() -> Self {
+        Regime {
+            audit: AuditPolicy::disabled(),
+            cartel: None,
+            job_cap: None,
+        }
+    }
+}
+
 /// Runs `tasks` 3-SAT block tasks through a fresh runtime under `strategy`,
-/// keeping at most `window` in flight (closed loop, shed-retry on overload).
+/// keeping at most `window` in flight (closed loop, shed-retry on overload),
+/// against the adversary described by `regime`.
 fn drive<S>(
     name: &'static str,
     strategy: S,
     formula: &Arc<CnfFormula>,
     args: &Args,
     window: usize,
+    regime: Regime,
 ) -> Outcome
 where
     S: RedundancyStrategy<bool> + Send + Sync + 'static,
 {
+    let Regime {
+        audit,
+        cartel,
+        job_cap,
+    } = regime;
     let blocks = decompose(formula.num_vars(), args.tasks);
     let cfg = RuntimeConfig {
         workers: Some(args.workers),
         queue_cap: window,
         max_active: window,
         deadline: Duration::from_secs(5),
+        job_cap,
+        discipline: audit.is_enabled().then(QuarantinePolicy::default),
+        audit,
+        audit_seed: args.seed,
         ..RuntimeConfig::default()
     };
     let seed = args.seed;
-    let runtime = Runtime::start(cfg, strategy, move |_| {
-        Box::new(FaultyWorker::new(
-            seed,
-            FaultProfile {
-                wrong_rate: WRONG_RATE,
-                hang_rate: 0.0,
-                crash_rate: 0.0,
-                think: Duration::ZERO,
-            },
-        ))
+    let profile = FaultProfile {
+        wrong_rate: if cartel.is_some() { 0.0 } else { WRONG_RATE },
+        hang_rate: 0.0,
+        crash_rate: 0.0,
+        think: Duration::ZERO,
+    };
+    let runtime = Runtime::start(cfg, strategy, move |index| match cartel {
+        Some(c) => Box::new(CartelWorker::new(index, seed, c, profile)) as Box<dyn Worker>,
+        None => Box::new(FaultyWorker::new(seed, profile)),
     });
     let client = runtime.client();
     let started = Instant::now();
@@ -202,8 +266,9 @@ where
     drop(client);
     let run = runtime.finish();
     assert_eq!(
-        run.report.tasks_completed, args.tasks,
-        "{name}: every submitted task must reach a verdict"
+        run.report.tasks_completed + run.report.tasks_capped,
+        args.tasks,
+        "{name}: every submitted task must reach a verdict or cap out"
     );
     // Replay cross-check: the journal folds to the identical live report.
     assert_eq!(
@@ -293,11 +358,22 @@ fn chaos_profile() -> FaultProfile {
 }
 
 fn chaos_cfg(args: &Args, tasks: usize, wal: Option<PathBuf>) -> RuntimeConfig {
+    // With a cartel armed, the coordinator fights back: spot-checks with
+    // probationary re-admission, weighted strikes, and verdict voiding —
+    // so the crash points land amid live audit state.
+    let audit = if args.cartel > 0 {
+        AuditPolicy::spot(0.2)
+    } else {
+        AuditPolicy::disabled()
+    };
     RuntimeConfig {
         workers: Some(args.workers),
         queue_cap: tasks.max(1),
         max_active: 64,
         deadline: Duration::from_secs(30),
+        discipline: audit.is_enabled().then(QuarantinePolicy::default),
+        audit,
+        audit_seed: args.seed,
         wal,
         ..RuntimeConfig::default()
     }
@@ -310,10 +386,12 @@ fn run_roster(
     cfg: RuntimeConfig,
     margin: VoteMargin,
     seed: u64,
+    cartel: Option<Cartel>,
     roster: &[(u32, Payload)],
 ) -> RuntimeRun {
-    let runtime = Runtime::start(cfg, Iterative::new(margin), move |_| {
-        Box::new(FaultyWorker::new(seed, chaos_profile()))
+    let runtime = Runtime::start(cfg, Iterative::new(margin), move |index| match cartel {
+        Some(c) => Box::new(CartelWorker::new(index, seed, c, chaos_profile())) as Box<dyn Worker>,
+        None => Box::new(FaultyWorker::new(seed, chaos_profile())),
     });
     let client = runtime.client();
     for (task, payload) in roster {
@@ -367,18 +445,35 @@ fn chaos(args: &Args) -> i32 {
         })
         .collect();
 
-    let golden = run_roster(chaos_cfg(args, tasks, None), margin, args.seed, &roster);
+    let cartel = (args.cartel > 0).then(|| Cartel::new(args.cartel, 0.25));
+    let golden = run_roster(
+        chaos_cfg(args, tasks, None),
+        margin,
+        args.seed,
+        cartel,
+        &roster,
+    );
     assert!(!golden.crashed);
     let golden_shape = shape(&golden.journal);
     let golden_events = golden.journal.events().len();
     println!(
-        "chaos: golden run: {} tasks, {} jobs, {} worker crashes, {} poisoned, {} events",
+        "chaos: golden run: {} tasks, {} jobs, {} worker crashes, {} poisoned, {} audits \
+         ({} failed, {} voided), {} events",
         golden.report.tasks_completed,
         golden.report.total_jobs,
         golden.report.worker_crashes,
         golden.report.tasks_poisoned,
+        golden.report.audits,
+        golden.report.audit_failures,
+        golden.report.verdicts_voided,
         golden_events,
     );
+    if cartel.is_some() {
+        assert!(
+            golden.report.audits > 0,
+            "an armed cartel must trigger audits"
+        );
+    }
 
     let wal_dir = std::env::temp_dir().join(format!("smartred-chaos-{}", std::process::id()));
     let mut failed = false;
@@ -387,7 +482,7 @@ fn chaos(args: &Args) -> i32 {
         let wal = wal_dir.join(format!("round-{round}.wal.jsonl"));
         let mut cfg = chaos_cfg(args, tasks, Some(wal.clone()));
         cfg.crash_after_events = Some(crash_at);
-        let crashed = run_roster(cfg, margin, args.seed, &roster);
+        let crashed = run_roster(cfg, margin, args.seed, cartel, &roster);
         assert!(
             crashed.crashed,
             "the coordinator must die at its chaos point"
@@ -398,7 +493,11 @@ fn chaos(args: &Args) -> i32 {
             Iterative::new(margin),
             {
                 let seed = args.seed;
-                move |_| Box::new(FaultyWorker::new(seed, chaos_profile()))
+                move |index| match cartel {
+                    Some(c) => Box::new(CartelWorker::new(index, seed, c, chaos_profile()))
+                        as Box<dyn Worker>,
+                    None => Box::new(FaultyWorker::new(seed, chaos_profile())),
+                }
             },
             &roster,
         )
@@ -411,8 +510,21 @@ fn chaos(args: &Args) -> i32 {
             run.report,
             "recovered run: journal replay must reproduce the live report exactly"
         );
+        // With audits armed, retaliation re-tallies whatever happens to be
+        // open at conviction time, so per-task job counts legitimately
+        // differ across schedules; the invariants are exactly-once
+        // decisions and exact replay. Without audits, the full golden
+        // shape must match bit for bit.
         let recovered_shape = shape(&run.journal);
-        let ok = recovered_shape == golden_shape;
+        let ok = if cartel.is_some() {
+            let mut decisions: HashMap<u32, u32> = HashMap::new();
+            for &(task, _, _, _) in &recovered_shape.verdicts {
+                *decisions.entry(task).or_default() += 1;
+            }
+            roster.len() == decisions.len() && decisions.values().all(|&c| c == 1)
+        } else {
+            recovered_shape == golden_shape
+        };
         println!(
             "chaos: round {round}: killed coordinator after {crash_at}/{golden_events} events \
              (torn tail: {}), resumed {} open + {} decided + {} unseen tasks, re-armed {} jobs \
@@ -449,10 +561,241 @@ fn chaos(args: &Args) -> i32 {
     0
 }
 
+/// The matched-cost acceptance demo: against an adaptive cartel, an
+/// audit-enabled strategy must achieve strictly higher measured
+/// reliability than the best audit-free strategy at no greater total cost
+/// (replicas + audits). Returns process exit code.
+fn audit_demo(args: &Args) -> i32 {
+    let tasks = if args.smoke { 200 } else { 400 };
+    let demo = Args {
+        tasks,
+        workers: args.workers,
+        seed: args.seed,
+        journal: None,
+        smoke: args.smoke,
+        chaos: false,
+        cartel: args.cartel,
+        audit_demo: true,
+        bench_json: None,
+    };
+    // A coalition of half the pool lying in concert on a quarter of the
+    // tasks (and behaving honestly otherwise). On a lied-on task the vote
+    // splits evenly, so *no* replication level fixes it: the margin race
+    // is a fair coin walk that loses half the decided races and has
+    // unbounded expected length besides — which is why every leg runs
+    // under a job cap (a capped task fails, delivering no answer). An
+    // auditor that recomputes one sample convicts the whole coalition.
+    let cartel = Cartel::new(
+        if args.cartel > 0 {
+            args.cartel
+        } else {
+            (args.workers / 2) as u32
+        },
+        0.25,
+    );
+    // Bounds each fair-coin tally race; see `drive`.
+    let cap = Some(64);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(demo.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let window = 64;
+    println!(
+        "audit-demo: {} tasks, {} workers, cartel of {} lying on {:.0}% of tasks",
+        demo.tasks,
+        demo.workers,
+        cartel.size,
+        cartel.lie_rate * 100.0
+    );
+    let d4 = VoteMargin::new(4).unwrap();
+    let d6 = VoteMargin::new(6).unwrap();
+    let outcomes = [
+        drive(
+            "IR-4",
+            Iterative::new(d4),
+            &formula,
+            &demo,
+            window,
+            Regime {
+                audit: AuditPolicy::disabled(),
+                cartel: Some(cartel),
+                job_cap: cap,
+            },
+        ),
+        drive(
+            "IR-6",
+            Iterative::new(d6),
+            &formula,
+            &demo,
+            window,
+            Regime {
+                audit: AuditPolicy::disabled(),
+                cartel: Some(cartel),
+                job_cap: cap,
+            },
+        ),
+        drive(
+            "IR-4+audit",
+            Iterative::new(d4),
+            &formula,
+            &demo,
+            window,
+            Regime {
+                audit: AuditPolicy::spot(0.2),
+                cartel: Some(cartel),
+                job_cap: cap,
+            },
+        ),
+    ];
+    // Delivered reliability: the fraction of *submitted* tasks whose
+    // accepted answer was correct. A capped task delivered nothing, so it
+    // counts against the strategy — unlike `report.reliability()`, which
+    // would quietly drop failed races from the denominator.
+    let delivered = |o: &Outcome| o.run.report.tasks_correct as f64 / demo.tasks as f64;
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12} {:>8} {:>8} {:>12}",
+        "strat", "tasks/s", "jobs/task", "audits", "total cost", "voided", "capped", "delivered"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<12} {:>10.1} {:>12.2} {:>10} {:>12} {:>8} {:>8} {:>12.4}",
+            o.name,
+            o.throughput(),
+            o.run.report.cost_factor(),
+            o.run.report.audits,
+            o.run.report.total_cost(),
+            o.run.report.verdicts_voided,
+            o.run.report.tasks_capped,
+            delivered(o),
+        );
+    }
+    let audited = &outcomes[2];
+    let best_free = outcomes[..2]
+        .iter()
+        .max_by(|a, b| delivered(a).total_cmp(&delivered(b)))
+        .unwrap();
+    let mut failed = false;
+    if audited.run.report.audits == 0 {
+        eprintln!("FAIL: the audit-enabled run never audited anything");
+        failed = true;
+    }
+    if delivered(audited) <= delivered(best_free) {
+        eprintln!(
+            "FAIL: audited delivered reliability {:.4} must strictly beat the best audit-free \
+             ({}) {:.4}",
+            delivered(audited),
+            best_free.name,
+            delivered(best_free)
+        );
+        failed = true;
+    }
+    // Matched cost against the *expensive* audit-free competitor: buying
+    // more replication (IR-6) costs at least as much as IR-4 plus the
+    // audit budget, yet loses on measured reliability.
+    if audited.run.report.total_cost() > outcomes[1].run.report.total_cost() {
+        eprintln!(
+            "FAIL: audited total cost {} must not exceed IR-6's {}",
+            audited.run.report.total_cost(),
+            outcomes[1].run.report.total_cost()
+        );
+        failed = true;
+    }
+    if failed {
+        return 1;
+    }
+    println!(
+        "matched-cost frontier holds: IR-4+audit delivers {:.4} at cost {}, beating {} {:.4} at \
+         cost {}",
+        delivered(audited),
+        audited.run.report.total_cost(),
+        best_free.name,
+        delivered(best_free),
+        outcomes[1].run.report.total_cost(),
+    );
+    0
+}
+
+/// Sweeps audit fractions {0, 0.05, 0.2} under the standard 30%-faulty
+/// pool and writes the machine-readable throughput baseline
+/// (`BENCH_6.json`) so audit overhead and future perf PRs have a
+/// reference point.
+fn bench_json(args: &Args, path: &str) {
+    let d = VoteMargin::new(MARGIN).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let window = 64;
+    let mut rows = Vec::new();
+    for frac in [0.0, 0.05, 0.2] {
+        let audit = if frac > 0.0 {
+            AuditPolicy::spot(frac)
+        } else {
+            AuditPolicy::disabled()
+        };
+        let regime = Regime {
+            audit,
+            ..Regime::honest()
+        };
+        let o = drive("IR", Iterative::new(d), &formula, args, window, regime);
+        println!(
+            "bench-json: audit fraction {frac}: {:.1} tasks/s, {:.2} jobs/task, {} audits, \
+             reliability {:.4}",
+            o.throughput(),
+            o.run.report.cost_factor(),
+            o.run.report.audits,
+            o.run.report.reliability(),
+        );
+        rows.push(format!(
+            "    {{\"audit_fraction\": {frac}, \"tasks_per_sec\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"jobs_per_task\": {:.4}, \"audits\": {}, \"total_cost\": {}, \
+             \"reliability\": {:.4}}}",
+            o.throughput(),
+            o.percentile(0.50) * 1e3,
+            o.percentile(0.99) * 1e3,
+            o.run.report.cost_factor(),
+            o.run.report.audits,
+            o.run.report.total_cost(),
+            o.run.report.reliability(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": 6,\n  \"name\": \"serve_bench audit-fraction sweep\",\n  \"tasks\": \
+         {},\n  \"workers\": {},\n  \"seed\": {},\n  \"wrong_rate\": {WRONG_RATE},\n  \
+         \"margin\": {MARGIN},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        args.tasks,
+        args.workers,
+        args.seed,
+        rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench-json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write bench json");
+    println!("bench-json: wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
         std::process::exit(chaos(&args));
+    }
+    if args.audit_demo {
+        std::process::exit(audit_demo(&args));
+    }
+    if let Some(path) = args.bench_json.clone() {
+        bench_json(&args, &path);
+        return;
     }
     let r = Reliability::new(1.0 - WRONG_RATE).unwrap();
     let d = VoteMargin::new(MARGIN).unwrap();
@@ -488,9 +831,30 @@ fn main() {
     let window = 64;
 
     let outcomes = [
-        drive("TR", Traditional::new(k), &formula, &args, window),
-        drive("PR", Progressive::new(k), &formula, &args, window),
-        drive("IR", Iterative::new(d), &formula, &args, window),
+        drive(
+            "TR",
+            Traditional::new(k),
+            &formula,
+            &args,
+            window,
+            Regime::honest(),
+        ),
+        drive(
+            "PR",
+            Progressive::new(k),
+            &formula,
+            &args,
+            window,
+            Regime::honest(),
+        ),
+        drive(
+            "IR",
+            Iterative::new(d),
+            &formula,
+            &args,
+            window,
+            Regime::honest(),
+        ),
     ];
 
     println!(

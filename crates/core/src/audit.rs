@@ -1,0 +1,279 @@
+//! Coordinator-side auditing and the adaptive-collusion adversary model.
+//!
+//! The paper's redundancy strategies buy correctness only by adding
+//! replicas, under the worst-case assumption that every wrong vote agrees.
+//! Following Rajesh, Karamchandani & Prabhakaran (arXiv:2507.16014), a
+//! coordinator that performs a small number of *local* recomputations
+//! beats pure-replication bounds against colluding adversaries — for our
+//! 3-SAT workload, checking a block is as cheap as one replica, so a
+//! spot-check budget converts directly into reliability.
+//!
+//! Two halves live here, shared by all three execution substrates (DCA
+//! simulator, volunteer server, live runtime):
+//!
+//! * [`AuditPolicy`] — when the coordinator recomputes a task locally and
+//!   cross-checks every recorded result against the honest value. Audit
+//!   selection draws from a dedicated counter stream
+//!   ([`AUDIT_STREAM`]) of [`crate::parallel::task_rng`], keyed by
+//!   `(seed, task)` alone, so the decision to audit a task is a pure
+//!   function of its id: schedule-independent, thread-count-independent,
+//!   and — crucially for crash recovery — reproducible by a restarted
+//!   coordinator replaying its WAL.
+//! * [`Cartel`] — the adversary the audits must beat: a coalition of
+//!   nodes that agree on *per-task* lies drawn from their own counter
+//!   stream ([`CARTEL_STREAM`]), throttled to stay under the strike
+//!   threshold of `core::resilience`. Because every member consults the
+//!   same pure function, the cartel outvotes honest replicas whenever it
+//!   holds a wave majority, without any runtime communication — and the
+//!   simulators can additionally model dormancy (ceasing lies for a
+//!   while) after a member is caught.
+
+use crate::parallel::task_rng;
+use rand::Rng;
+
+/// Dedicated counter-stream index for audit-selection draws, disjoint from
+/// replica fault draws (which use small replica ordinals as the index).
+pub const AUDIT_STREAM: u64 = 0x4155_4449_5453_5452; // "AUDITSTR"
+
+/// Dedicated counter-stream index for cartel per-task lie draws.
+pub const CARTEL_STREAM: u64 = 0x4341_5254_454c_5354; // "CARTELST"
+
+/// When and how hard the coordinator audits completed work.
+///
+/// An *audit* is one local recomputation of a task's payload; every result
+/// recorded for the task so far is compared against the honest value.
+/// Results that contradict it charge their node [`AuditPolicy::strike_weight`]
+/// strikes (feeding the ordinary `core::resilience` discipline), the
+/// tainted verdict is voided before acceptance, and every open task the
+/// liar touched is re-tallied from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditPolicy {
+    /// Baseline fraction of tasks spot-checked at verdict time, in `[0, 1]`.
+    pub spot_rate: f64,
+    /// Spot-check fraction once any audit has caught a liar (suspicion
+    /// escalation). Must be `>= spot_rate` to be meaningful; equal rates
+    /// keep audit selection history-independent (required by the runtime's
+    /// crash-determinism tests).
+    pub escalated_rate: f64,
+    /// Probation length after quarantine release: the node's next `K`
+    /// results each flag their task for a mandatory audit before the
+    /// verdict is accepted.
+    pub probation_audits: u32,
+    /// Strikes charged per result an audit catches (a weight at or above
+    /// `QuarantinePolicy::strike_limit` quarantines in one blow).
+    pub strike_weight: u32,
+}
+
+impl AuditPolicy {
+    /// A policy that never audits (all substrates' default).
+    pub fn disabled() -> Self {
+        Self {
+            spot_rate: 0.0,
+            escalated_rate: 0.0,
+            probation_audits: 0,
+            strike_weight: 0,
+        }
+    }
+
+    /// A spot-check policy auditing `rate` of tasks, with escalation to
+    /// `2 * rate` (capped at 1), 3 probation audits, and quarantine-weight
+    /// strikes.
+    pub fn spot(rate: f64) -> Self {
+        Self {
+            spot_rate: rate,
+            escalated_rate: (2.0 * rate).min(1.0),
+            probation_audits: 3,
+            strike_weight: 3,
+        }
+    }
+
+    /// Whether this policy can ever schedule an audit.
+    pub fn is_enabled(&self) -> bool {
+        self.spot_rate > 0.0 || self.escalated_rate > 0.0 || self.probation_audits > 0
+    }
+
+    /// Validates rates and weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a rate is outside `[0, 1]` or not finite, or
+    /// when the policy can audit but carries a zero strike weight.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("spot_rate", self.spot_rate),
+            ("escalated_rate", self.escalated_rate),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("audit {name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if self.escalated_rate < self.spot_rate {
+            return Err(format!(
+                "audit escalated_rate ({}) must be >= spot_rate ({})",
+                self.escalated_rate, self.spot_rate
+            ));
+        }
+        if self.is_enabled() && self.strike_weight == 0 {
+            return Err("an enabled audit policy needs strike_weight >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Whether the random spot-check selects `task` for audit, at the
+    /// escalated rate once a liar has been caught. One uniform draw from
+    /// the dedicated [`AUDIT_STREAM`] keyed by `(seed, task)` — a pure
+    /// function of the task id, independent of schedule and thread count.
+    pub fn selects(&self, seed: u64, task: u64, escalated: bool) -> bool {
+        let rate = if escalated {
+            self.escalated_rate
+        } else {
+            self.spot_rate
+        };
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut rng = task_rng(seed, task, AUDIT_STREAM);
+        rng.gen::<f64>() < rate
+    }
+}
+
+/// An adaptive colluding coalition: the first [`Cartel::size`] nodes of
+/// the pool, lying in coordination on a throttled fraction of tasks.
+///
+/// Whether the cartel lies on a task is a pure function of
+/// `(seed, task)` drawn from [`CARTEL_STREAM`] — every member computes it
+/// independently and identically, which is exactly what makes coordinated
+/// lying dangerous: when two of a wave's three replicas land on members,
+/// the wrong value *wins the vote* and pure replication accepts it.
+/// Throttling (`lie_rate` well under 1) keeps strike-based discipline from
+/// ever accumulating enough evidence inside its sliding window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cartel {
+    /// Coalition size: nodes `0..size` are members.
+    pub size: u32,
+    /// Fraction of tasks the coalition agrees to lie on, in `[0, 1]`.
+    pub lie_rate: f64,
+}
+
+impl Cartel {
+    /// Creates a cartel of `size` members lying on `lie_rate` of tasks.
+    pub fn new(size: u32, lie_rate: f64) -> Self {
+        Self { size, lie_rate }
+    }
+
+    /// Whether `node` belongs to the coalition.
+    pub fn is_member(&self, node: u32) -> bool {
+        node < self.size
+    }
+
+    /// Whether the coalition lies on `task` — the coordinated per-task
+    /// agreement, identical for every member.
+    pub fn lies_on(&self, seed: u64, task: u64) -> bool {
+        if self.lie_rate <= 0.0 {
+            return false;
+        }
+        if self.lie_rate >= 1.0 {
+            return true;
+        }
+        let mut rng = task_rng(seed, task, CARTEL_STREAM);
+        rng.gen::<f64>() < self.lie_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_selects() {
+        let p = AuditPolicy::disabled();
+        assert!(!p.is_enabled());
+        for task in 0..1000 {
+            assert!(!p.selects(7, task, false));
+            assert!(!p.selects(7, task, true));
+        }
+    }
+
+    #[test]
+    fn selection_matches_the_configured_fraction() {
+        let p = AuditPolicy::spot(0.2);
+        let n = 20_000;
+        let picked = (0..n).filter(|&t| p.selects(42, t, false)).count();
+        let frac = picked as f64 / n as f64;
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "spot fraction drifted: {frac} vs 0.2"
+        );
+        let escalated = (0..n).filter(|&t| p.selects(42, t, true)).count();
+        assert!(
+            escalated > picked,
+            "escalation must audit more tasks than the baseline"
+        );
+    }
+
+    #[test]
+    fn selection_is_a_pure_function_of_seed_and_task() {
+        let p = AuditPolicy::spot(0.3);
+        for task in 0..200 {
+            assert_eq!(p.selects(9, task, false), p.selects(9, task, false));
+        }
+        let other: Vec<bool> = (0..200).map(|t| p.selects(10, t, false)).collect();
+        let base: Vec<bool> = (0..200).map(|t| p.selects(9, t, false)).collect();
+        assert_ne!(base, other, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn audit_draws_do_not_collide_with_replica_draws() {
+        // The audit stream index is disjoint from any realistic replica
+        // ordinal, so auditing a task never perturbs its fault draws.
+        let seed = 11;
+        let mut replica_rng = task_rng(seed, 5, 0);
+        let mut audit_rng = task_rng(seed, 5, AUDIT_STREAM);
+        assert_ne!(replica_rng.gen::<u64>(), audit_rng.gen::<u64>());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates_and_zero_weight() {
+        let mut p = AuditPolicy::spot(0.1);
+        assert!(p.validate().is_ok());
+        p.escalated_rate = 0.05;
+        assert!(p.validate().is_err(), "escalated below spot must fail");
+        p.escalated_rate = 1.5;
+        assert!(p.validate().is_err(), "rate above 1 must fail");
+        let mut p = AuditPolicy::spot(0.1);
+        p.strike_weight = 0;
+        assert!(p.validate().is_err(), "enabled policy needs strikes");
+        assert!(AuditPolicy::disabled().validate().is_ok());
+    }
+
+    #[test]
+    fn cartel_membership_and_lies_are_deterministic() {
+        let c = Cartel::new(3, 0.25);
+        assert!(c.is_member(0) && c.is_member(2) && !c.is_member(3));
+        let n = 20_000;
+        let lies = (0..n).filter(|&t| c.lies_on(5, t)).count();
+        let frac = lies as f64 / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "lie fraction drifted: {frac} vs 0.25"
+        );
+        for task in 0..200 {
+            assert_eq!(c.lies_on(5, task), c.lies_on(5, task));
+        }
+    }
+
+    #[test]
+    fn cartel_lies_are_independent_of_audit_selection() {
+        // Same (seed, task) key, different streams: the adversary's lie
+        // schedule and the coordinator's audit schedule are uncorrelated.
+        let c = Cartel::new(2, 0.5);
+        let p = AuditPolicy::spot(0.5);
+        let agree = (0..1000u64)
+            .filter(|&t| c.lies_on(3, t) == p.selects(3, t, false))
+            .count();
+        assert!((300..700).contains(&agree), "streams look correlated");
+    }
+}

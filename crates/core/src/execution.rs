@@ -172,6 +172,21 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
         self.tally.record(value);
     }
 
+    /// Discards every vote and counter and restarts the execution from
+    /// wave 1, keeping the strategy and job cap. The audit layer calls
+    /// this when a verdict is voided or an open task is re-tallied after
+    /// a caught liar touched it: the tainted tally cannot be trusted, and
+    /// the job budget is refreshed for the fresh attempt. Outstanding
+    /// jobs are forgotten — the platform must drop their late results
+    /// (they would be recorded against the wrong attempt).
+    pub fn reset(&mut self) {
+        self.tally = VoteTally::new();
+        self.outstanding = 0;
+        self.jobs = 0;
+        self.waves = 0;
+        self.verdict = None;
+    }
+
     /// Marks `n` outstanding jobs as lost without a result (e.g. their nodes
     /// left the pool). The strategy will re-deploy as needed on the next
     /// poll.
@@ -312,6 +327,33 @@ mod tests {
     use super::*;
     use crate::params::{KVotes, VoteMargin};
     use crate::strategy::{Iterative, Progressive, Traditional};
+
+    #[test]
+    fn reset_restarts_from_wave_one_with_a_fresh_budget() {
+        let mut task =
+            TaskExecution::new(Traditional::new(KVotes::new(3).unwrap())).with_job_cap(4);
+        assert!(matches!(
+            task.step_wave(),
+            WaveStep::Wave { wave: 1, jobs: 3 }
+        ));
+        task.record(true);
+        task.record(false);
+        task.record(false);
+        assert_eq!(task.step_wave(), WaveStep::Verdict(false));
+        // A void discards the tainted tally and re-runs from scratch.
+        task.reset();
+        assert_eq!(task.jobs_deployed(), 0);
+        assert_eq!(task.outstanding(), 0);
+        assert!(!task.is_complete());
+        assert!(matches!(
+            task.step_wave(),
+            WaveStep::Wave { wave: 1, jobs: 3 }
+        ));
+        task.record(true);
+        task.record(true);
+        task.record(true);
+        assert_eq!(task.step_wave(), WaveStep::Verdict(true));
+    }
 
     #[test]
     fn traditional_runs_one_wave() {

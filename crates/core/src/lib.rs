@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod audit;
 pub mod error;
 pub mod execution;
 pub mod monte_carlo;
@@ -78,6 +79,7 @@ pub mod resilience;
 pub mod strategy;
 pub mod tally;
 
+pub use audit::{AuditPolicy, Cartel};
 pub use error::ParamError;
 pub use execution::{TaskExecution, WaveStep};
 pub use params::{Confidence, KVotes, Reliability, VoteMargin};

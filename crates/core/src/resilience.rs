@@ -158,6 +158,9 @@ pub struct NodeDiscipline {
     strikes: u32,
     quarantines: u32,
     last_strike_micros: u64,
+    /// Mandatory audits remaining before the node regains full trust
+    /// after a quarantine release (see [`NodeDiscipline::begin_probation`]).
+    probation: u32,
 }
 
 impl NodeDiscipline {
@@ -202,6 +205,56 @@ impl NodeDiscipline {
         }
         self.last_strike_micros = now_micros;
         self.strike(policy)
+    }
+
+    /// Records `weight` strikes at once (an audit-caught lie is worth far
+    /// more evidence than a timeout) and returns the most severe action
+    /// demanded — a weight at or above the strike limit quarantines in one
+    /// blow, and can march straight through to blacklist.
+    pub fn strike_weighted_at(
+        &mut self,
+        weight: u32,
+        now_micros: u64,
+        window_micros: u64,
+        policy: &QuarantinePolicy,
+    ) -> DisciplineAction {
+        let mut worst = DisciplineAction::None;
+        for _ in 0..weight {
+            let action = self.strike_at(now_micros, window_micros, policy);
+            worst = match (worst, action) {
+                (_, DisciplineAction::Blacklist) | (DisciplineAction::Blacklist, _) => {
+                    DisciplineAction::Blacklist
+                }
+                (_, DisciplineAction::Quarantine) | (DisciplineAction::Quarantine, _) => {
+                    DisciplineAction::Quarantine
+                }
+                _ => DisciplineAction::None,
+            };
+        }
+        worst
+    }
+
+    /// Puts the node on probation: its next `audits` results each demand a
+    /// mandatory audit before their task's verdict is accepted. Platforms
+    /// call this at quarantine release, so re-admission no longer restores
+    /// full trust instantly.
+    pub fn begin_probation(&mut self, audits: u32) {
+        self.probation = audits;
+    }
+
+    /// Mandatory audits still owed by this node.
+    pub fn probation_remaining(&self) -> u32 {
+        self.probation
+    }
+
+    /// Consumes one probation audit obligation; returns `true` when this
+    /// result must be audited (i.e. the node was still on probation).
+    pub fn consume_probation(&mut self) -> bool {
+        if self.probation == 0 {
+            return false;
+        }
+        self.probation -= 1;
+        true
     }
 
     /// Strikes accumulated since the last quarantine.
@@ -430,6 +483,39 @@ mod tests {
             d.strike_at(18, window, &policy),
             DisciplineAction::Quarantine
         );
+    }
+
+    #[test]
+    fn weighted_strike_quarantines_in_one_blow() {
+        let policy = QuarantinePolicy {
+            strike_limit: 3,
+            quarantine_units: 5.0,
+            blacklist_after: 2,
+        };
+        let mut d = NodeDiscipline::default();
+        assert_eq!(
+            d.strike_weighted_at(3, 0, 100, &policy),
+            DisciplineAction::Quarantine
+        );
+        assert_eq!(d.quarantines(), 1);
+        // A weight spanning two full strike limits marches to blacklist.
+        let mut d = NodeDiscipline::default();
+        assert_eq!(
+            d.strike_weighted_at(6, 0, 100, &policy),
+            DisciplineAction::Blacklist
+        );
+    }
+
+    #[test]
+    fn probation_consumes_exactly_k_results() {
+        let mut d = NodeDiscipline::default();
+        assert!(!d.consume_probation(), "no probation by default");
+        d.begin_probation(2);
+        assert_eq!(d.probation_remaining(), 2);
+        assert!(d.consume_probation());
+        assert!(d.consume_probation());
+        assert_eq!(d.probation_remaining(), 0);
+        assert!(!d.consume_probation(), "probation served");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Configuration of a DCA simulation run.
 
+use smartred_core::audit::AuditPolicy;
 use smartred_core::error::ParamError;
 use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
 
@@ -185,6 +186,51 @@ pub enum FailureConfig {
     },
 }
 
+/// An adaptive colluding cartel: the first `members` initial pool indices
+/// lie in concert on a seeded per-task schedule
+/// ([`Cartel::lies_on`](smartred_core::audit::Cartel::lies_on)), throttled
+/// by `lie_rate` to stay under vote-loser strike thresholds, and go
+/// dormant for `dormancy_units` of simulated time whenever an audit
+/// catches a member — the adversary model the audit layer is measured
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CartelConfig {
+    /// Number of colluding nodes (initial pool indices `0..members`).
+    pub members: usize,
+    /// Fraction of tasks the cartel lies on, in `[0, 1]`.
+    pub lie_rate: f64,
+    /// Simulated time the cartel stays dormant after an audit catches any
+    /// member; `0` disables the adaptation (the cartel never backs off).
+    pub dormancy_units: f64,
+}
+
+impl CartelConfig {
+    fn validate(&self, pool_size: usize) -> Result<(), ParamError> {
+        if self.members > pool_size {
+            return Err(ParamError::OutOfRange {
+                name: "cartel.members",
+                value: self.members as f64,
+                expected: "at most the pool size",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.lie_rate) || !self.lie_rate.is_finite() {
+            return Err(ParamError::OutOfRange {
+                name: "cartel.lie_rate",
+                value: self.lie_rate,
+                expected: "[0, 1]",
+            });
+        }
+        if !(self.dormancy_units.is_finite() && self.dormancy_units >= 0.0) {
+            return Err(ParamError::OutOfRange {
+                name: "cartel.dormancy_units",
+                value: self.dormancy_units,
+                expected: "finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Node churn: volunteers joining and leaving mid-computation (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnConfig {
@@ -229,6 +275,14 @@ pub struct DcaConfig {
     pub degraded_accept: bool,
     /// Optional deterministic fault-injection schedule.
     pub faults: Option<FaultPlan>,
+    /// Coordinator-side audit layer: spot-check fraction, escalation, and
+    /// probation (disabled by default). Firm verdicts are locally
+    /// recomputed when selected; caught liars earn weighted strikes and
+    /// tainted verdicts are voided and re-run.
+    pub audit: AuditPolicy,
+    /// Optional adaptive colluding cartel layered over the pool's base
+    /// fault profile.
+    pub cartel: Option<CartelConfig>,
     /// Root seed for all randomness in the run.
     pub seed: u64,
 }
@@ -251,6 +305,8 @@ impl DcaConfig {
             quarantine: None,
             degraded_accept: false,
             faults: None,
+            audit: AuditPolicy::disabled(),
+            cartel: None,
             seed,
         }
     }
@@ -376,6 +432,16 @@ impl DcaConfig {
         }
         if let Some(faults) = &self.faults {
             faults.validate(self.pool.size)?;
+        }
+        if self.audit.validate().is_err() {
+            return Err(ParamError::OutOfRange {
+                name: "audit",
+                value: self.audit.spot_rate,
+                expected: "rates in [0, 1], escalated_rate >= spot_rate, strike_weight >= 1",
+            });
+        }
+        if let Some(cartel) = self.cartel {
+            cartel.validate(self.pool.size)?;
         }
         Ok(())
     }
@@ -527,6 +593,49 @@ mod tests {
         cfg.faults = Some(FaultPlan::new().crash_at(1.0, 9));
         assert!(cfg.validate().is_ok());
         cfg.faults = Some(FaultPlan::new().crash_at(1.0, 10));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validates_audit_policy_and_cartel() {
+        let mut cfg = DcaConfig::paper_baseline(10, 10, 0.3, 1);
+        cfg.audit = AuditPolicy::spot(0.1);
+        cfg.cartel = Some(CartelConfig {
+            members: 3,
+            lie_rate: 0.2,
+            dormancy_units: 5.0,
+        });
+        assert!(cfg.validate().is_ok());
+        cfg.cartel = Some(CartelConfig {
+            members: 11,
+            lie_rate: 0.2,
+            dormancy_units: 5.0,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.cartel = Some(CartelConfig {
+            members: 3,
+            lie_rate: 1.5,
+            dormancy_units: 5.0,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.cartel = Some(CartelConfig {
+            members: 3,
+            lie_rate: 0.2,
+            dormancy_units: -1.0,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.cartel = None;
+        cfg.audit = AuditPolicy {
+            spot_rate: 2.0,
+            ..AuditPolicy::disabled()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.audit = AuditPolicy {
+            spot_rate: 0.2,
+            escalated_rate: 0.1,
+            probation_audits: 0,
+            strike_weight: 3,
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -40,6 +40,10 @@ pub struct JobSlot {
     pub node: NodeIndex,
     /// The predetermined outcome.
     pub outcome: JobOutcome,
+    /// The task's replica attempt when the job was dispatched; replies
+    /// from attempts superseded by an audit void/re-tally are dropped as
+    /// stale.
+    pub attempt: u32,
     /// Set once the job has been resolved (completion, timeout, or node
     /// departure) so late events for it are ignored.
     pub resolved: bool,
@@ -58,12 +62,19 @@ impl JobRegistry {
     }
 
     /// Registers a dispatched job and returns its id.
-    pub fn dispatch(&mut self, task: usize, node: NodeIndex, outcome: JobOutcome) -> JobId {
+    pub fn dispatch(
+        &mut self,
+        task: usize,
+        node: NodeIndex,
+        outcome: JobOutcome,
+        attempt: u32,
+    ) -> JobId {
         let id = JobId(self.slots.len());
         self.slots.push(JobSlot {
             task,
             node,
             outcome,
+            attempt,
             resolved: false,
         });
         id
@@ -105,10 +116,11 @@ mod tests {
     #[test]
     fn dispatch_assigns_sequential_ids() {
         let mut reg = JobRegistry::new();
-        let a = reg.dispatch(0, 1, JobOutcome::Correct);
-        let b = reg.dispatch(0, 2, JobOutcome::Wrong);
+        let a = reg.dispatch(0, 1, JobOutcome::Correct, 0);
+        let b = reg.dispatch(0, 2, JobOutcome::Wrong, 1);
         assert_eq!(a.get(), 0);
         assert_eq!(b.get(), 1);
+        assert_eq!(reg.get(b).attempt, 1);
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());
     }
@@ -116,7 +128,7 @@ mod tests {
     #[test]
     fn resolve_is_single_shot() {
         let mut reg = JobRegistry::new();
-        let id = reg.dispatch(3, 7, JobOutcome::NoResponse);
+        let id = reg.dispatch(3, 7, JobOutcome::NoResponse, 0);
         let slot = reg.resolve(id).unwrap();
         assert_eq!(slot.task, 3);
         assert_eq!(slot.node, 7);

@@ -52,6 +52,15 @@ pub struct DcaReport {
     pub arrivals: u64,
     /// Regional outages that struck during the run.
     pub outages: u64,
+    /// Local recomputations performed by the audit layer (each costs one
+    /// job-equivalent of coordinator compute).
+    pub audits: u64,
+    /// Results an audit caught contradicting the local recomputation.
+    pub audit_failures: u64,
+    /// Tainted verdicts voided before acceptance (the task re-ran).
+    pub verdicts_voided: u64,
+    /// Open tasks re-tallied because a caught liar had touched them.
+    pub tasks_retallied: u64,
     /// Simulated time at which the last task completed.
     pub makespan_units: f64,
     /// Total node-busy time in unit-seconds (each dispatched job occupies
@@ -84,6 +93,10 @@ impl DcaReport {
             departures: 0,
             arrivals: 0,
             outages: 0,
+            audits: 0,
+            audit_failures: 0,
+            verdicts_voided: 0,
+            tasks_retallied: 0,
             makespan_units: 0.0,
             busy_node_units: 0.0,
             capacity_node_units: 0.0,
@@ -114,6 +127,13 @@ impl DcaReport {
     /// Empirical cost factor: mean jobs per completed task.
     pub fn cost_factor(&self) -> f64 {
         self.jobs_per_task.mean()
+    }
+
+    /// Total work performed, in job-equivalents: dispatched jobs plus the
+    /// audit layer's local recomputations — the basis of matched-cost
+    /// comparisons between audit-enabled and audit-free strategies.
+    pub fn total_cost(&self) -> u64 {
+        self.total_jobs + self.audits
     }
 
     /// Mean response time per task, in time units.

@@ -104,6 +104,23 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
                 report.response_time.record(response);
             }
             RunEvent::TaskCapped { .. } => report.tasks_capped += 1,
+            RunEvent::AuditScheduled { .. } => report.audits += 1,
+            RunEvent::AuditFailed { .. } => report.audit_failures += 1,
+            // A void or re-tally restarts the task from wave 1 with a
+            // fresh budget; only the final attempt's jobs and waves count
+            // in the per-task summaries, mirroring the live bookkeeping.
+            RunEvent::VerdictVoided { task } => {
+                report.verdicts_voided += 1;
+                let acc = &mut tasks[task as usize];
+                acc.jobs = 0;
+                acc.waves = 0;
+            }
+            RunEvent::TaskRetallied { task } => {
+                report.tasks_retallied += 1;
+                let acc = &mut tasks[task as usize];
+                acc.jobs = 0;
+                acc.waves = 0;
+            }
             RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
             RunEvent::JobReturned { .. }
             | RunEvent::WaveClosed { .. }
@@ -113,7 +130,8 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
             | RunEvent::WorkerRestarted { .. }
             | RunEvent::TaskPoisoned { .. }
             | RunEvent::StaleReplyDropped { .. }
-            | RunEvent::EpochAdvanced { .. } => {}
+            | RunEvent::EpochAdvanced { .. }
+            | RunEvent::AuditPassed { .. } => {}
         }
     }
     debug_assert_eq!(
@@ -195,6 +213,33 @@ mod tests {
             journaled.report
         );
         assert!(journaled.report.timeouts > 0);
+    }
+
+    #[test]
+    fn replay_matches_live_report_with_audits_and_cartel() {
+        use smartred_core::audit::AuditPolicy;
+
+        use crate::config::CartelConfig;
+
+        let mut cfg = DcaConfig::paper_baseline(800, 50, 0.2, 35);
+        cfg.pool.unresponsive_rate = 0.05;
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.audit = AuditPolicy::spot(0.2);
+        cfg.cartel = Some(CartelConfig {
+            members: 15,
+            lie_rate: 0.3,
+            dormancy_units: 5.0,
+        });
+        let journaled =
+            run_journaled(Rc::new(Iterative::new(VoteMargin::new(3).unwrap())), &cfg).unwrap();
+        assert!(journaled.report.audits > 0);
+        assert!(journaled.report.verdicts_voided > 0);
+        assert!(journaled.report.tasks_retallied > 0);
+        assert_eq!(
+            report_from_journal(&journaled.journal, &cfg),
+            journaled.report
+        );
     }
 
     #[test]

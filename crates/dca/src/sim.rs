@@ -21,6 +21,7 @@ use std::rc::Rc;
 
 use rand::Rng;
 use smartred_core::analysis::confidence::confidence;
+use smartred_core::audit::Cartel;
 use smartred_core::error::ParamError;
 use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::params::Reliability;
@@ -41,6 +42,11 @@ use crate::pool::{NodeIndex, NodePool};
 /// A shared, immutable redundancy strategy driving every task of a run.
 pub type SharedStrategy = Rc<dyn RedundancyStrategy<bool>>;
 
+/// A task suffers at most this many audit voids: a verdict that
+/// keeps coming back tainted (e.g. a majority cartel with no discipline to
+/// thin it) is eventually accepted as-is rather than looping forever.
+const MAX_TASK_VOIDS: u32 = 4;
+
 struct TaskState {
     exec: TaskExecution<bool, SharedStrategy>,
     started_at: Option<SimTime>,
@@ -49,9 +55,18 @@ struct TaskState {
     finished: bool,
     /// Timed-out jobs retried with backoff so far (`retry` policy).
     retries: u32,
-    /// Recorded `(node, voted_correct)` pairs, kept only under a
-    /// quarantine policy to strike vote-losers at finalization.
+    /// Recorded `(node, voted_correct)` pairs, kept under a quarantine
+    /// policy (to strike vote-losers at finalization) or an audit policy
+    /// (to identify liars at spot-check time).
     votes: Vec<(NodeIndex, bool)>,
+    /// Replica attempt, bumped when an audit voids or re-tallies the task;
+    /// in-flight jobs from older attempts resolve as stale replies.
+    attempt: u32,
+    /// Set when a probation-node result landed: the verdict must be
+    /// audited before acceptance regardless of the spot-check draw.
+    must_audit: bool,
+    /// Audit voids suffered so far (see [`MAX_TASK_VOIDS`]).
+    voids: u32,
 }
 
 /// Active fault-plan effects, updated by injected events and consulted at
@@ -119,6 +134,12 @@ struct World {
     region_down_until: Vec<SimTime>,
     /// Active fault-plan effects.
     chaos: ChaosState,
+    /// The adaptive cartel, prebuilt from `cfg.cartel` (lie schedule is a
+    /// pure function of `(seed, task)`).
+    cartel: Option<Cartel>,
+    /// Cartel dormancy: members answer honestly until this time after an
+    /// audit catches one of them.
+    cartel_dormant_until: SimTime,
     /// Scheduler load trace (`queue_depth`, `idle_nodes`), sampled at every
     /// dispatch and resolution. Recorded only for journaled runs.
     trace: Trace,
@@ -209,11 +230,23 @@ fn run_inner(
             _ => Vec::new(),
         },
         chaos: ChaosState::default(),
+        cartel: config
+            .cartel
+            .map(|c| Cartel::new(c.members as u32, c.lie_rate)),
+        cartel_dormant_until: SimTime::ZERO,
         trace: Trace::new(),
     };
     let mut sim = Sim::new();
     if journaled {
         sim.enable_journal();
+    }
+    if world.cartel.is_some() {
+        // Make the standing adversary visible in the journal (and in
+        // `faults_injected`), like any scheduled fault.
+        world.report.faults_injected += 1;
+        sim.emit(RunEvent::FaultInjected {
+            kind: FaultKind::Cartel,
+        });
     }
     if let FailureConfig::RegionalOutages { outage_rate, .. } = config.failure {
         if outage_rate > 0.0 {
@@ -407,6 +440,9 @@ fn start_next_task(world: &mut World, sim: &mut Sim) -> bool {
         finished: false,
         retries: 0,
         votes: Vec::new(),
+        attempt: 0,
+        must_audit: false,
+        voids: 0,
     });
     let t = world.tasks.len() - 1;
     poll_task(world, sim, t, /* priority = */ false);
@@ -480,6 +516,20 @@ fn finalize(
     verdict: Option<bool>,
     degraded: Option<f64>,
 ) {
+    // Audit gate: a *firm* verdict is spot-checked before acceptance.
+    // Degraded acceptances are never audited — they are already flagged as
+    // low-confidence. A voided verdict restarts the task instead of
+    // finishing it.
+    let mut audited = false;
+    if world.cfg.audit.is_enabled() && degraded.is_none() {
+        if let Some(v) = verdict {
+            match spot_check(world, sim, t, v) {
+                SpotCheck::NotSelected => {}
+                SpotCheck::Accepted => audited = true,
+                SpotCheck::Voided => return,
+            }
+        }
+    }
     match verdict {
         Some(v) => sim.emit(RunEvent::VerdictReached {
             task: t as u32,
@@ -517,8 +567,9 @@ fn finalize(
     }
     // Under a quarantine policy, nodes whose vote lost the election earn a
     // strike: repeated vote-losers are the simulation's stand-in for the
-    // server's result-validation blacklist.
-    if world.cfg.quarantine.is_some() {
+    // server's result-validation blacklist. An audited task already
+    // charged its liars weighted strikes, so it is exempt.
+    if world.cfg.quarantine.is_some() && !audited {
         if let Some(v) = verdict {
             let votes = std::mem::take(&mut world.tasks[t].votes);
             for (node, voted) in votes {
@@ -527,6 +578,129 @@ fn finalize(
                 }
             }
         }
+    }
+}
+
+/// What the audit layer decided about a would-be firm verdict.
+enum SpotCheck {
+    /// The task was not selected for audit; accept normally.
+    NotSelected,
+    /// The task was audited and the verdict may be accepted (clean, or
+    /// liars caught but outvoted).
+    Accepted,
+    /// The audit voided the verdict; the task has been restarted.
+    Voided,
+}
+
+/// Locally recomputes an audited task and acts on what it finds: liars
+/// earn [`AuditPolicy::strike_weight`](smartred_core::audit::AuditPolicy)
+/// strikes, a caught cartel goes dormant, open tasks the liars touched are
+/// re-tallied, and a verdict the liars actually swung is voided and re-run.
+fn spot_check(world: &mut World, sim: &mut Sim, t: usize, v: bool) -> SpotCheck {
+    let policy = world.cfg.audit;
+    let state = &world.tasks[t];
+    // Escalation is a pure function of the report, so replay agrees.
+    let escalated = world.report.audit_failures > 0;
+    let selected = state.must_audit || policy.selects(world.cfg.seed, t as u64, escalated);
+    if !selected || state.voids >= MAX_TASK_VOIDS {
+        return SpotCheck::NotSelected;
+    }
+    sim.emit(RunEvent::AuditScheduled { task: t as u32 });
+    world.report.audits += 1;
+    // The recomputation itself: in this model a recorded vote *is* the
+    // comparison against the honest value, so the liars are exactly the
+    // wrong-voting returns. Timeouts never recorded a value and cannot be
+    // contradicted.
+    let liars: Vec<NodeIndex> = world.tasks[t]
+        .votes
+        .iter()
+        .filter(|&&(_, voted)| !voted)
+        .map(|&(node, _)| node)
+        .collect();
+    if liars.is_empty() && v {
+        sim.emit(RunEvent::AuditPassed { task: t as u32 });
+        world.tasks[t].must_audit = false;
+        return SpotCheck::Accepted;
+    }
+    // Note: `liars` can be empty with `v == false` when every wrong vote
+    // came from a timeout (CountAsWrong). Nobody can be struck, but the
+    // recomputation still contradicts the verdict, so it is voided below.
+    for &node in &liars {
+        sim.emit(RunEvent::AuditFailed {
+            task: t as u32,
+            node: node as u32,
+        });
+        world.report.audit_failures += 1;
+        strike_node_weighted(world, sim, node, policy.strike_weight);
+    }
+    // The cartel notices a member was caught and lies low for a while.
+    if let Some(cartel_cfg) = world.cfg.cartel {
+        if cartel_cfg.dormancy_units > 0.0 && liars.iter().any(|&n| n < cartel_cfg.members) {
+            let until = sim.now() + SimDuration::from_units(cartel_cfg.dormancy_units);
+            if until > world.cartel_dormant_until {
+                world.cartel_dormant_until = until;
+            }
+        }
+    }
+    // Retaliation: every open task a caught liar touched loses its tally
+    // (the liar's other answers are no more trustworthy than this one).
+    let caught: Vec<NodeIndex> = {
+        let mut c = liars.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    for u in 0..world.tasks.len() {
+        if u == t || world.tasks[u].finished {
+            continue;
+        }
+        if !world.tasks[u]
+            .votes
+            .iter()
+            .any(|&(n, _)| caught.contains(&n))
+        {
+            continue;
+        }
+        sim.emit(RunEvent::TaskRetallied { task: u as u32 });
+        world.report.tasks_retallied += 1;
+        restart_task(world, sim, u);
+    }
+    if v {
+        // Liars caught but outvoted: the verdict stands.
+        return SpotCheck::Accepted;
+    }
+    sim.emit(RunEvent::VerdictVoided { task: t as u32 });
+    world.report.verdicts_voided += 1;
+    world.tasks[t].voids += 1;
+    restart_task(world, sim, t);
+    SpotCheck::Voided
+}
+
+/// Discards a task's tally and restarts it from wave 1 under a new
+/// attempt: queued jobs are purged, in-flight jobs become stale, and the
+/// strategy re-deploys with a fresh budget. The task's `started_at` is
+/// kept — response time spans every attempt.
+fn restart_task(world: &mut World, sim: &mut Sim, t: usize) {
+    let state = &mut world.tasks[t];
+    debug_assert!(!state.finished);
+    state.attempt += 1;
+    state.exec.reset();
+    state.votes.clear();
+    state.must_audit = false;
+    sim.emit(RunEvent::EpochAdvanced {
+        task: t as u32,
+        epoch: state.attempt,
+    });
+    world.queue.retain(|&x| x != t);
+    poll_task(world, sim, t, /* priority = */ true);
+}
+
+/// Charges `weight` strikes at once (an audit-caught lie), applying each
+/// action the policy demands as it lands. No-op without a quarantine
+/// policy, like [`strike_node`].
+fn strike_node_weighted(world: &mut World, sim: &mut Sim, node: NodeIndex, weight: u32) {
+    for _ in 0..weight.max(1) {
+        strike_node(world, sim, node);
     }
 }
 
@@ -551,6 +725,15 @@ fn strike_node(world: &mut World, sim: &mut Sim, node: NodeIndex) {
                 move |world, sim| {
                     sim.emit(RunEvent::NodeReleased { node: node as u32 });
                     world.pool.unquarantine(node);
+                    // Re-admission is probationary: the node's next results
+                    // each flag their task for a mandatory audit.
+                    if world.cfg.audit.is_enabled() {
+                        world
+                            .pool
+                            .node_mut(node)
+                            .discipline
+                            .begin_probation(world.cfg.audit.probation_audits);
+                    }
                     pump(world, sim);
                 },
             );
@@ -585,7 +768,9 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
     let duration_units =
         base * world.pool.node(node).speed * world.chaos.slow_factor(node, sim.now());
 
-    let job = world.jobs.dispatch(task, node, outcome);
+    let job = world
+        .jobs
+        .dispatch(task, node, outcome, world.tasks[task].attempt);
     world.pool.node_mut(node).current_job = Some(job);
     world.report.total_jobs += 1;
     let state = &mut world.tasks[task];
@@ -635,6 +820,14 @@ fn draw_outcome(world: &mut World, now: SimTime, task: usize, node: NodeIndex) -
     if world.chaos.is_colluding(node, now) {
         return JobOutcome::Wrong;
     }
+    if let Some(cartel) = world.cartel {
+        if cartel.is_member(node as u32)
+            && now >= world.cartel_dormant_until
+            && cartel.lies_on(world.cfg.seed, task as u64)
+        {
+            return JobOutcome::Wrong;
+        }
+    }
     let n = world.pool.node(node);
     if world.tasks[task].shocked && n.wrong_rate > 0.0 {
         return JobOutcome::Wrong;
@@ -659,7 +852,16 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
     world.pool.release(slot.node);
     let t = slot.task;
     if !world.tasks[t].finished {
-        if timed_out {
+        if slot.attempt != world.tasks[t].attempt {
+            // The job predates an audit void/re-tally of its task: its
+            // reply (or timeout) belongs to a discarded tally and is
+            // dropped without a vote, a strike, or a retry.
+            sim.emit(RunEvent::StaleReplyDropped {
+                job: job.get() as u32,
+                task: t as u32,
+                epoch: world.tasks[t].attempt,
+            });
+        } else if timed_out {
             world.report.timeouts += 1;
             sim.emit(RunEvent::JobTimedOut {
                 job: job.get() as u32,
@@ -688,8 +890,17 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
             });
             world.tasks[t].exec.record(correct);
             emit_tally(world, sim, t, correct);
-            if world.cfg.quarantine.is_some() {
+            if world.cfg.quarantine.is_some() || world.cfg.audit.is_enabled() {
                 world.tasks[t].votes.push((slot.node, correct));
+            }
+            if world.cfg.audit.is_enabled()
+                && world
+                    .pool
+                    .node_mut(slot.node)
+                    .discipline
+                    .consume_probation()
+            {
+                world.tasks[t].must_audit = true;
             }
             emit_wave_closed(world, sim, t);
             poll_task(world, sim, t, /* priority = */ true);
@@ -1267,6 +1478,157 @@ mod tests {
         let b = run(s(), &cfg).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.faults_injected, 5);
+    }
+
+    #[test]
+    fn audit_catches_cartel_that_replication_misses() {
+        use smartred_core::audit::AuditPolicy;
+
+        use crate::config::CartelConfig;
+
+        // Honest nodes are perfect; the only wrong votes come from a 40%
+        // coalition lying in concert on a quarter of the tasks — rarely
+        // enough that vote-loser discipline cannot pin down who lied
+        // (when the cartel wins the vote, the honest voters are the ones
+        // struck).
+        let base_cfg = |audit: AuditPolicy| {
+            let mut cfg = DcaConfig::paper_baseline(2_000, 50, 0.0, 40);
+            cfg.cartel = Some(CartelConfig {
+                members: 20,
+                lie_rate: 0.25,
+                dormancy_units: 10.0,
+            });
+            cfg.quarantine = Some(QuarantinePolicy::default());
+            cfg.audit = audit;
+            cfg
+        };
+        let s = || Rc::new(Traditional::new(KVotes::new(3).unwrap()));
+        let unaudited = run(s(), &base_cfg(AuditPolicy::disabled())).unwrap();
+        assert_eq!(unaudited.audits, 0);
+        assert_eq!(unaudited.verdicts_voided, 0);
+        assert!(
+            unaudited.reliability() < 0.97,
+            "the cartel should swing verdicts, got {}",
+            unaudited.reliability()
+        );
+
+        let audited = run(s(), &base_cfg(AuditPolicy::spot(0.15))).unwrap();
+        assert!(audited.audits > 0);
+        assert!(audited.audit_failures > 0);
+        assert!(audited.verdicts_voided > 0);
+        assert!(
+            audited.reliability() > unaudited.reliability() + 0.02,
+            "audited {} !> unaudited {} + margin",
+            audited.reliability(),
+            unaudited.reliability()
+        );
+
+        // Matched cost: raising replication instead (TR-5, audit-free)
+        // costs more than TR-3 plus a 15% audit budget, yet the coalition
+        // still beats it — the audit layer wins the frontier.
+        let tr5 = run(
+            Rc::new(Traditional::new(KVotes::new(5).unwrap())),
+            &base_cfg(AuditPolicy::disabled()),
+        )
+        .unwrap();
+        assert!(
+            audited.total_cost() <= tr5.total_cost(),
+            "audited cost {} !<= TR-5 cost {}",
+            audited.total_cost(),
+            tr5.total_cost()
+        );
+        assert!(
+            audited.reliability() > tr5.reliability(),
+            "audited {} !> TR-5 {}",
+            audited.reliability(),
+            tr5.reliability()
+        );
+    }
+
+    #[test]
+    fn probation_forces_audits_after_quarantine_release() {
+        use smartred_core::audit::AuditPolicy;
+
+        // spot_rate 0: every audit on the report must come from a
+        // probation flag. Timeout strikes quarantine hangers; releases put
+        // them on probation; their next results force audits.
+        let mut cfg = DcaConfig::paper_baseline(2_000, 40, 0.0, 41);
+        cfg.pool.unresponsive_rate = 0.2;
+        cfg.quarantine = Some(QuarantinePolicy {
+            strike_limit: 2,
+            quarantine_units: 1.0,
+            blacklist_after: 1_000,
+        });
+        cfg.audit = AuditPolicy {
+            spot_rate: 0.0,
+            escalated_rate: 0.0,
+            probation_audits: 2,
+            strike_weight: 3,
+        };
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert!(report.quarantines > 0);
+        assert!(
+            report.audits > 0,
+            "probationary results must flag their tasks for audit"
+        );
+        // Hangs never record a value, so no one can be convicted of lying
+        // — but audits still void verdicts that timeouts swung to wrong
+        // (CountAsWrong), rescuing those tasks.
+        assert_eq!(report.audit_failures, 0);
+        assert!(report.verdicts_voided > 0);
+    }
+
+    #[test]
+    fn caught_cartel_dormancy_evades_further_detection() {
+        use smartred_core::audit::AuditPolicy;
+
+        use crate::config::CartelConfig;
+
+        let run_with_dormancy = |dormancy_units: f64| {
+            let mut cfg = DcaConfig::paper_baseline(2_000, 50, 0.0, 42);
+            cfg.cartel = Some(CartelConfig {
+                members: 20,
+                lie_rate: 0.3,
+                dormancy_units,
+            });
+            cfg.quarantine = Some(QuarantinePolicy::default());
+            cfg.audit = AuditPolicy::spot(0.2);
+            run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap()
+        };
+        let brazen = run_with_dormancy(0.0);
+        let adaptive = run_with_dormancy(30.0);
+        // An adaptive cartel that lies low after a member is caught gives
+        // the auditor far less evidence than one that keeps lying.
+        assert!(brazen.audit_failures > 0);
+        assert!(
+            adaptive.audit_failures < brazen.audit_failures,
+            "adaptive {} !< brazen {}",
+            adaptive.audit_failures,
+            brazen.audit_failures
+        );
+    }
+
+    #[test]
+    fn audited_runs_are_deterministic() {
+        use smartred_core::audit::AuditPolicy;
+
+        use crate::config::CartelConfig;
+
+        let mut cfg = DcaConfig::paper_baseline(800, 60, 0.2, 43);
+        cfg.pool.unresponsive_rate = 0.05;
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.audit = AuditPolicy::spot(0.2);
+        cfg.cartel = Some(CartelConfig {
+            members: 15,
+            lie_rate: 0.3,
+            dormancy_units: 5.0,
+        });
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(a.audits > 0);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub enum FaultKind {
     Collusion,
     /// A network blackout silencing every node.
     Blackout,
+    /// An adaptive cartel formed: colluding nodes coordinate per-task lies
+    /// at a throttled rate and go dormant when a member is caught.
+    Cartel,
 }
 
 impl FaultKind {
@@ -99,6 +102,7 @@ impl FaultKind {
             FaultKind::Straggler => "straggler",
             FaultKind::Collusion => "collusion",
             FaultKind::Blackout => "blackout",
+            FaultKind::Cartel => "cartel",
         }
     }
 
@@ -109,6 +113,7 @@ impl FaultKind {
             "straggler" => FaultKind::Straggler,
             "collusion" => FaultKind::Collusion,
             "blackout" => FaultKind::Blackout,
+            "cartel" => FaultKind::Cartel,
             _ => return None,
         })
     }
@@ -287,6 +292,37 @@ pub enum RunEvent {
         /// The new epoch.
         epoch: u32,
     },
+    /// The coordinator scheduled a local recomputation (audit) of a task's
+    /// payload, to cross-check every result recorded for it so far.
+    AuditScheduled {
+        /// Task index being audited.
+        task: u32,
+    },
+    /// An audit recomputed the task and every checked result matched.
+    AuditPassed {
+        /// Task index that was audited.
+        task: u32,
+    },
+    /// An audit caught one node's result contradicting the local
+    /// recomputation; the node is charged high-weight strikes.
+    AuditFailed {
+        /// Task index that was audited.
+        task: u32,
+        /// Node whose result the recomputation contradicted.
+        node: u32,
+    },
+    /// An audit voided a tainted verdict before acceptance: the task's
+    /// tally is discarded and the task re-executes from wave 1.
+    VerdictVoided {
+        /// Task index whose would-be verdict was voided.
+        task: u32,
+    },
+    /// An open task touched by a caught liar had its tally discarded and
+    /// restarted from wave 1 (in-flight replies become stale).
+    TaskRetallied {
+        /// Task index whose tally was reset.
+        task: u32,
+    },
     /// The run is over; the event's timestamp is the run's makespan.
     RunEnded,
 }
@@ -334,6 +370,16 @@ pub enum EventKind {
     StaleReplyDropped,
     /// See [`RunEvent::EpochAdvanced`].
     EpochAdvanced,
+    /// See [`RunEvent::AuditScheduled`].
+    AuditScheduled,
+    /// See [`RunEvent::AuditPassed`].
+    AuditPassed,
+    /// See [`RunEvent::AuditFailed`].
+    AuditFailed,
+    /// See [`RunEvent::VerdictVoided`].
+    VerdictVoided,
+    /// See [`RunEvent::TaskRetallied`].
+    TaskRetallied,
     /// See [`RunEvent::RunEnded`].
     RunEnded,
 }
@@ -362,6 +408,11 @@ impl EventKind {
             EventKind::TaskPoisoned => "task_poisoned",
             EventKind::StaleReplyDropped => "stale_reply_dropped",
             EventKind::EpochAdvanced => "epoch_advanced",
+            EventKind::AuditScheduled => "audit_scheduled",
+            EventKind::AuditPassed => "audit_passed",
+            EventKind::AuditFailed => "audit_failed",
+            EventKind::VerdictVoided => "verdict_voided",
+            EventKind::TaskRetallied => "task_retallied",
             EventKind::RunEnded => "run_ended",
         }
     }
@@ -391,6 +442,11 @@ impl RunEvent {
             RunEvent::TaskPoisoned { .. } => EventKind::TaskPoisoned,
             RunEvent::StaleReplyDropped { .. } => EventKind::StaleReplyDropped,
             RunEvent::EpochAdvanced { .. } => EventKind::EpochAdvanced,
+            RunEvent::AuditScheduled { .. } => EventKind::AuditScheduled,
+            RunEvent::AuditPassed { .. } => EventKind::AuditPassed,
+            RunEvent::AuditFailed { .. } => EventKind::AuditFailed,
+            RunEvent::VerdictVoided { .. } => EventKind::VerdictVoided,
+            RunEvent::TaskRetallied { .. } => EventKind::TaskRetallied,
             RunEvent::RunEnded => EventKind::RunEnded,
         }
     }
@@ -410,7 +466,12 @@ impl RunEvent {
             | RunEvent::WorkerCrashed { task, .. }
             | RunEvent::TaskPoisoned { task, .. }
             | RunEvent::StaleReplyDropped { task, .. }
-            | RunEvent::EpochAdvanced { task, .. } => Some(task),
+            | RunEvent::EpochAdvanced { task, .. }
+            | RunEvent::AuditScheduled { task }
+            | RunEvent::AuditPassed { task }
+            | RunEvent::AuditFailed { task, .. }
+            | RunEvent::VerdictVoided { task }
+            | RunEvent::TaskRetallied { task } => Some(task),
             _ => None,
         }
     }
@@ -426,7 +487,8 @@ impl RunEvent {
             | RunEvent::NodeJoined { node }
             | RunEvent::NodeDeparted { node, .. }
             | RunEvent::WorkerCrashed { node, .. }
-            | RunEvent::WorkerRestarted { node, .. } => Some(node),
+            | RunEvent::WorkerRestarted { node, .. }
+            | RunEvent::AuditFailed { node, .. } => Some(node),
             _ => None,
         }
     }
@@ -528,6 +590,13 @@ impl Stamped {
             }
             RunEvent::EpochAdvanced { task, epoch } => {
                 line.push_str(&format!(",\"task\":{task},\"epoch\":{epoch}"))
+            }
+            RunEvent::AuditScheduled { task }
+            | RunEvent::AuditPassed { task }
+            | RunEvent::VerdictVoided { task }
+            | RunEvent::TaskRetallied { task } => line.push_str(&format!(",\"task\":{task}")),
+            RunEvent::AuditFailed { task, node } => {
+                line.push_str(&format!(",\"task\":{task},\"node\":{node}"))
             }
             RunEvent::RunEnded => {}
         }
@@ -666,6 +735,22 @@ impl Stamped {
             "epoch_advanced" => RunEvent::EpochAdvanced {
                 task: narrow("task")?,
                 epoch: narrow("epoch")?,
+            },
+            "audit_scheduled" => RunEvent::AuditScheduled {
+                task: narrow("task")?,
+            },
+            "audit_passed" => RunEvent::AuditPassed {
+                task: narrow("task")?,
+            },
+            "audit_failed" => RunEvent::AuditFailed {
+                task: narrow("task")?,
+                node: narrow("node")?,
+            },
+            "verdict_voided" => RunEvent::VerdictVoided {
+                task: narrow("task")?,
+            },
+            "task_retallied" => RunEvent::TaskRetallied {
+                task: narrow("task")?,
             },
             "run_ended" => RunEvent::RunEnded,
             other => return Err(format!("unknown event kind '{other}'")),
@@ -912,6 +997,14 @@ impl Journal {
                 RunEvent::EpochAdvanced { task, epoch } => {
                     eat(&task.to_le_bytes());
                     eat(&epoch.to_le_bytes());
+                }
+                RunEvent::AuditScheduled { task }
+                | RunEvent::AuditPassed { task }
+                | RunEvent::VerdictVoided { task }
+                | RunEvent::TaskRetallied { task } => eat(&task.to_le_bytes()),
+                RunEvent::AuditFailed { task, node } => {
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
                 }
                 RunEvent::RunEnded => {}
             }

@@ -5,7 +5,7 @@
 //! filter.
 
 use proptest::prelude::*;
-use smartred_desim::journal::{assert as jassert, EventKind, Journal, RunEvent};
+use smartred_desim::journal::{assert as jassert, EventKind, FaultKind, Journal, RunEvent};
 use smartred_desim::time::SimTime;
 
 /// Builds a deterministic event from generated scalars. `sel` picks the
@@ -13,7 +13,7 @@ use smartred_desim::time::SimTime;
 /// confidence float is derived from `a` so it is always finite and in
 /// `[0, 1]`.
 fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
-    match sel % 17 {
+    match sel % 23 {
         0 => RunEvent::JobDispatched {
             job: a,
             task: b,
@@ -78,9 +78,27 @@ fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
             task: b,
             epoch: a % 9,
         },
-        _ => RunEvent::EpochAdvanced {
+        16 => RunEvent::EpochAdvanced {
             task: b,
             epoch: a % 9 + 1,
+        },
+        17 => RunEvent::AuditScheduled { task: b },
+        18 => RunEvent::AuditPassed { task: b },
+        19 => RunEvent::AuditFailed {
+            task: b,
+            node: a % 97,
+        },
+        20 => RunEvent::VerdictVoided { task: b },
+        21 => RunEvent::TaskRetallied { task: b },
+        _ => RunEvent::FaultInjected {
+            kind: match a % 6 {
+                0 => FaultKind::Crash,
+                1 => FaultKind::Hang,
+                2 => FaultKind::Straggler,
+                3 => FaultKind::Collusion,
+                4 => FaultKind::Blackout,
+                _ => FaultKind::Cartel,
+            },
         },
     }
 }
@@ -102,7 +120,7 @@ proptest! {
     #[test]
     fn journals_are_time_ordered(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..80,
         ),
     ) {
@@ -116,7 +134,7 @@ proptest! {
     #[test]
     fn jsonl_round_trips_losslessly(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..80,
         ),
     ) {
@@ -135,7 +153,7 @@ proptest! {
     #[test]
     fn digest_is_thread_setting_invariant(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..60,
         ),
     ) {
@@ -154,7 +172,7 @@ proptest! {
     #[test]
     fn windowing_agrees_with_naive_filter(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..300, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..60,
         ),
         bounds in (0u64..20_000, 0u64..20_000),
@@ -176,7 +194,7 @@ proptest! {
     #[test]
     fn filters_are_consistent_with_counts(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..17, 0u32..10_000, 0u32..8, proptest::bool::ANY),
+            (0u64..300, 0u8..23, 0u32..10_000, 0u32..8, proptest::bool::ANY),
             1..60,
         ),
     ) {
@@ -199,6 +217,12 @@ proptest! {
             EventKind::TaskPoisoned,
             EventKind::StaleReplyDropped,
             EventKind::EpochAdvanced,
+            EventKind::AuditScheduled,
+            EventKind::AuditPassed,
+            EventKind::AuditFailed,
+            EventKind::VerdictVoided,
+            EventKind::TaskRetallied,
+            EventKind::FaultInjected,
         ]
         .iter()
         .map(|&k| journal.count(k))
@@ -223,7 +247,7 @@ proptest! {
     #[test]
     fn wal_prefix_survives_any_truncation_of_the_final_record(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..17, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..40,
         ),
         cut_seed in 0usize..10_000,

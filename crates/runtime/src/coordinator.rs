@@ -51,6 +51,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use smartred_core::audit::AuditPolicy;
 use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::parallel::Threads;
 use smartred_core::resilience::{
@@ -107,6 +108,13 @@ pub struct RuntimeConfig {
     /// Sliding window for strike expiry (see
     /// [`NodeDiscipline::strike_at`]).
     pub strike_window: Duration,
+    /// Audit policy: spot-check verdicts against a local recomputation,
+    /// charge weighted strikes for caught lies, void tainted verdicts, and
+    /// re-tally open tasks the liar touched. Disabled by default.
+    pub audit: AuditPolicy,
+    /// Seed for the audit-selection counter stream (independent of worker
+    /// fault seeds — see [`smartred_core::audit::AUDIT_STREAM`]).
+    pub audit_seed: u64,
     /// Chaos hook: the coordinator "dies" abruptly after this many journal
     /// appends — no further events, verdicts, or dispatch bookkeeping —
     /// leaving the WAL exactly as a real crash would. Test-only.
@@ -129,6 +137,8 @@ impl Default for RuntimeConfig {
             hang_after: None,
             discipline: None,
             strike_window: Duration::from_secs(10),
+            audit: AuditPolicy::disabled(),
+            audit_seed: 0,
             crash_after_events: None,
         }
     }
@@ -388,6 +398,7 @@ impl Runtime {
             discipline: vec![NodeDiscipline::default(); worker_count],
             quarantined_until: vec![None; worker_count],
             blacklisted: vec![false; worker_count],
+            escalated: false,
             cfg,
             pool,
             submit_rx,
@@ -487,6 +498,8 @@ impl Runtime {
                     live_jobs: rt.in_flight.iter().map(|&(j, _)| j).collect(),
                     epoch: rt.epoch,
                     poison: rt.poison,
+                    returns: rt.returns,
+                    must_audit: rt.must_audit,
                 },
             );
         }
@@ -553,6 +566,7 @@ impl Runtime {
             .map_or(0, |m| m + 1);
 
         let report = report_from_journal(&prefix.journal);
+        let escalated = report.audit_failures > 0;
         let time_base = rebuilt.last_at.as_micros();
         active.store(tasks.len(), Ordering::Relaxed);
 
@@ -577,6 +591,7 @@ impl Runtime {
             discipline,
             quarantined_until,
             blacklisted,
+            escalated,
             cfg,
             pool,
             submit_rx,
@@ -730,6 +745,12 @@ struct TaskState<S> {
     epoch: u32,
     /// Worker-crash charges toward the poison limit.
     poison: TaskDiscipline,
+    /// Every tallied return as `(job, node, vote)`, the audit layer's
+    /// evidence: which node claimed what. Cleared on void/re-tally.
+    returns: Vec<(u32, u32, bool)>,
+    /// Set when a probationary node (fresh out of quarantine) contributed
+    /// a result: the verdict must be audited regardless of the spot draw.
+    must_audit: bool,
 }
 
 /// A dispatched, unresolved job.
@@ -797,6 +818,10 @@ struct Coordinator<S> {
     quarantined_until: Vec<Option<SimTime>>,
     /// Permanently blacklisted workers.
     blacklisted: Vec<bool>,
+    /// Whether any audit has ever caught a liar — switches spot-checking
+    /// to [`AuditPolicy::escalated_rate`]. Rebuilt from the journal on
+    /// recovery (`report.audit_failures > 0`).
+    escalated: bool,
 }
 
 /// Poll tick: bounds how long the loop waits before re-checking the
@@ -944,6 +969,8 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 live_jobs: Vec::new(),
                 epoch: 0,
                 poison: TaskDiscipline::default(),
+                returns: Vec::new(),
+                must_audit: false,
             },
         );
         self.active.store(self.tasks.len(), Ordering::Relaxed);
@@ -1147,6 +1174,17 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         state.live_jobs.retain(|&j| j != result.job);
         state.answers[usize::from(result.vote)] = Some(result.answer);
         state.exec.record(result.vote);
+        state.returns.push((result.job, result.worker, result.vote));
+        // A result from a probationary node (fresh out of quarantine)
+        // burns one probation slot and forces an audit of this task's
+        // verdict, whatever the spot draw says.
+        if self.cfg.audit.is_enabled() {
+            if let Some(d) = self.discipline.get_mut(result.worker as usize) {
+                if d.consume_probation() {
+                    state.must_audit = true;
+                }
+            }
+        }
         let (leader_count, runner_up) = state.exec.leader_counts();
         let boundary = state.exec.wave_boundary();
         let wave = state.exec.waves() as u32;
@@ -1324,6 +1362,37 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         }
         let window = self.cfg.strike_window.as_micros() as u64;
         let action = self.discipline[slot].strike_at(at.as_micros(), window, &policy);
+        self.enact(worker, action, at, policy);
+    }
+
+    /// Charges [`AuditPolicy::strike_weight`] strikes in one blow — an
+    /// audit catching a lie is direct evidence, not a noisy signal like a
+    /// timeout, so it can quarantine immediately.
+    fn strike_weighted(&mut self, worker: u32, at: SimTime) {
+        let Some(policy) = self.cfg.discipline else {
+            return;
+        };
+        let slot = worker as usize;
+        if slot >= self.discipline.len() || self.blacklisted[slot] {
+            return;
+        }
+        let window = self.cfg.strike_window.as_micros() as u64;
+        let weight = self.cfg.audit.strike_weight.max(1);
+        let action =
+            self.discipline[slot].strike_weighted_at(weight, at.as_micros(), window, &policy);
+        self.enact(worker, action, at, policy);
+    }
+
+    /// Enacts a discipline action, never sidelining the last enabled
+    /// worker (which would livelock the pool).
+    fn enact(
+        &mut self,
+        worker: u32,
+        action: DisciplineAction,
+        at: SimTime,
+        policy: QuarantinePolicy,
+    ) {
+        let slot = worker as usize;
         if action == DisciplineAction::None {
             return;
         }
@@ -1373,6 +1442,11 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                     }
                     self.quarantined_until[slot] = None;
                     self.pool.set_enabled(worker, true);
+                    // Probationary re-admission: the node's next results
+                    // force audits until it has proven itself again.
+                    if self.cfg.audit.is_enabled() {
+                        self.discipline[slot].begin_probation(self.cfg.audit.probation_audits);
+                    }
                 }
             }
         }
@@ -1430,7 +1504,128 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         }
     }
 
+    /// Runs one audit group on `task` at verdict time: log the schedule,
+    /// recompute the payload locally, and compare every recorded return
+    /// against the honest value. Returns `true` when the verdict stands;
+    /// `false` when the caller must not finalize — the coordinator died
+    /// mid-group, or the verdict was voided and the task restarted.
+    fn run_audit(&mut self, task: u32, value: bool, at: SimTime) -> bool {
+        if !self.log(at, RunEvent::AuditScheduled { task }) {
+            return false;
+        }
+        self.report.audits += 1;
+        // The local recomputation costs one job-equivalent of coordinator
+        // compute (counted in `report.audits`, and in `total_cost()` for
+        // matched-cost comparisons). A recorded vote is the server-checked
+        // claim "my answer equals the honest value", so each return's
+        // comparison against the recomputation is exactly its vote bit —
+        // which keeps audit outcomes a pure function of the journaled
+        // stream, replayable after a crash.
+        let state = self.tasks.get(&task).expect("auditing a live task");
+        let _honest = state.payload.execute();
+        let liars: Vec<(u32, u32)> = state
+            .returns
+            .iter()
+            .filter(|&&(_, _, vote)| !vote)
+            .map(|&(job, node, _)| (job, node))
+            .collect();
+        if liars.is_empty() {
+            if !self.log(at, RunEvent::AuditPassed { task }) {
+                return false;
+            }
+            let state = self.tasks.get_mut(&task).expect("task is live");
+            state.must_audit = false;
+            return true;
+        }
+        for &(_, node) in &liars {
+            if !self.log(at, RunEvent::AuditFailed { task, node }) {
+                return false;
+            }
+            self.report.audit_failures += 1;
+            self.escalated = true;
+            self.strike_weighted(node, at);
+            if self.crashed {
+                return false;
+            }
+        }
+        // Retaliation: the caught liars' other open work can no longer be
+        // trusted — re-tally every open task they touched from scratch.
+        let caught: HashSet<u32> = liars.iter().map(|&(_, node)| node).collect();
+        let mut touched: Vec<u32> = self
+            .tasks
+            .iter()
+            .filter(|(&t, s)| t != task && s.returns.iter().any(|&(_, n, _)| caught.contains(&n)))
+            .map(|(&t, _)| t)
+            .collect();
+        touched.sort_unstable();
+        for t in touched {
+            if !self.log(at, RunEvent::TaskRetallied { task: t }) {
+                return false;
+            }
+            self.report.tasks_retallied += 1;
+            self.purge_and_reset(t);
+            self.advance(t, at);
+            if self.crashed {
+                return false;
+            }
+        }
+        if value {
+            // Liars voted, but the tally's winner matches the
+            // recomputation: the verdict stands. (The task leaves `tasks`
+            // at finalize, so its `must_audit` flag dies with it.)
+            return true;
+        }
+        // The coalition won the tally: the would-be verdict contradicts
+        // the recomputation. Void it before acceptance and re-run the
+        // task — no `VerdictReached` is ever logged for this attempt.
+        if !self.log(at, RunEvent::VerdictVoided { task }) {
+            return false;
+        }
+        self.report.verdicts_voided += 1;
+        self.purge_and_reset(task);
+        self.advance(task, at);
+        false
+    }
+
+    /// Voids a task's accumulated evidence: drops its in-flight jobs
+    /// (their late replies become stale via the job-map freshness check),
+    /// resets the strategy state to wave 1 with a fresh job budget, and
+    /// forgets recorded returns. Replica ordinals and epochs stay monotone
+    /// so fault draws never repeat across attempts.
+    fn purge_and_reset(&mut self, task: u32) {
+        let live: Vec<u32> = match self.tasks.get_mut(&task) {
+            Some(state) => state.live_jobs.drain(..).collect(),
+            None => return,
+        };
+        for job in live {
+            self.jobs.remove(&job);
+        }
+        let state = self.tasks.get_mut(&task).expect("checked above");
+        state.exec.reset();
+        state.returns.clear();
+        state.answers = [None, None];
+        state.must_audit = false;
+        self.pending.retain(|&(t, _)| t != task);
+        self.rearm.retain(|&(_, t, _, _)| t != task);
+    }
+
     fn finalize(&mut self, task: u32, outcome: Outcome, at: SimTime) {
+        // Verdicts pass through the audit layer before they are accepted:
+        // a spot-checked (or probation-flagged) task is recomputed
+        // locally, and a tainted verdict is voided instead of delivered.
+        if let Outcome::Verdict(value) = outcome {
+            if self.cfg.audit.is_enabled() {
+                let flagged = self.tasks.get(&task).is_some_and(|s| s.must_audit);
+                let selected = flagged
+                    || self
+                        .cfg
+                        .audit
+                        .selects(self.cfg.audit_seed, u64::from(task), self.escalated);
+                if selected && !self.run_audit(task, value, at) {
+                    return;
+                }
+            }
+        }
         // The decision is WAL-durable before any side effect (report
         // update, verdict send) — the exactly-once anchor: a recovered
         // coordinator treats a logged decision as delivered and never

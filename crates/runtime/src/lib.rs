@@ -100,5 +100,5 @@ pub use coordinator::{
 };
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use report::{report_from_journal, RuntimeReport};
-pub use worker::{FaultProfile, FaultyWorker, JobAssignment, JobResult, Worker};
+pub use worker::{CartelWorker, FaultProfile, FaultyWorker, JobAssignment, JobResult, Worker};
 pub use workload::Payload;

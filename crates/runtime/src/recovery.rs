@@ -105,8 +105,10 @@ pub(crate) struct RebuiltTask<S> {
     pub exec: TaskExecution<bool, Arc<S>>,
     /// Replica indices issued (Σ opened-wave sizes).
     pub replicas: u32,
-    /// Replicas actually dispatched (per-task `JobDispatched` count);
-    /// indices `dispatched..replicas` are still pending dispatch.
+    /// The dispatch cursor: the replica ordinal the next dispatch will
+    /// use; indices `dispatched..replicas` are still pending dispatch.
+    /// (A void/re-tally jumps the cursor past its purged pending indices
+    /// so ordinals — and hence fault draws — never repeat.)
     pub dispatched: u32,
     /// Timeouts charged so far (resumes the 1-based retry attempts).
     pub timeouts: u32,
@@ -119,6 +121,12 @@ pub(crate) struct RebuiltTask<S> {
     /// Dispatched-but-unresolved jobs as `(job, replica)`, in dispatch
     /// order — to re-arm without new journal records.
     pub in_flight: Vec<(u32, u32)>,
+    /// Tallied returns of the current attempt as `(job, node, vote)` —
+    /// the audit layer's evidence, cleared by a replayed void/re-tally.
+    pub returns: Vec<(u32, u32, bool)>,
+    /// Whether a probationary node's result has flagged the task for a
+    /// mandatory audit that has not yet concluded clean.
+    pub must_audit: bool,
 }
 
 /// Everything [`rebuild`] recovers from the WAL prefix.
@@ -158,10 +166,16 @@ where
         exec: TaskExecution<bool, Arc<S>>,
         replicas: u32,
         jobs_dispatched: Vec<u32>,
+        /// Replica ordinal of the next dispatch. Normally the dispatch
+        /// count, but a void/re-tally jumps it to `replicas` (the purged
+        /// pending indices are burned, never dispatched).
+        next_replica: u32,
         timeouts: u32,
         poison: TaskDiscipline,
         epoch: u32,
         first_dispatch: Option<SimTime>,
+        returns: Vec<(u32, u32, bool)>,
+        must_audit: bool,
     }
     // Charge-counting policy: never trips, so replay can count crashes
     // without re-deciding poisoning (the decision, if made, is in the log
@@ -199,10 +213,13 @@ where
                         exec,
                         replicas: 0,
                         jobs_dispatched: Vec::new(),
+                        next_replica: 0,
                         timeouts: 0,
                         poison: TaskDiscipline::default(),
                         epoch: 0,
                         first_dispatch: None,
+                        returns: Vec::new(),
+                        must_audit: false,
                     }
                 });
                 let step = acc.exec.step_wave();
@@ -223,15 +240,16 @@ where
                 let Some(acc) = open.get_mut(&task) else {
                     return corrupt(format!("job {job} dispatched for unknown task {task}"));
                 };
-                // Replica index = per-task dispatch ordinal (see module
+                // Replica index = the per-task dispatch cursor (see module
                 // docs); it must stay within the opened waves.
-                let replica = acc.jobs_dispatched.len() as u32;
+                let replica = acc.next_replica;
                 if replica >= acc.replicas {
                     return corrupt(format!(
                         "task {task}: job {job} dispatched beyond the {} opened replicas",
                         acc.replicas
                     ));
                 }
+                acc.next_replica += 1;
                 acc.jobs_dispatched.push(job);
                 job_replica.insert(job, replica);
                 if acc.first_dispatch.is_none() {
@@ -240,13 +258,23 @@ where
                 next_job = next_job.max(job + 1);
             }
             RunEvent::JobReturned {
-                job, task, value, ..
+                job,
+                task,
+                node,
+                value,
             } => {
                 let Some(acc) = open.get_mut(&task) else {
                     return corrupt(format!("job {job} returned for unknown task {task}"));
                 };
                 resolved.insert(job);
                 acc.exec.record(value);
+                acc.returns.push((job, node, value));
+                // Mirror the live probation rule: a result from a node
+                // fresh out of quarantine flags the task for audit.
+                if cfg.audit.is_enabled() && discipline.entry(node).or_default().consume_probation()
+                {
+                    acc.must_audit = true;
+                }
             }
             RunEvent::JobTimedOut { job, task, node } => {
                 let Some(acc) = open.get_mut(&task) else {
@@ -305,10 +333,56 @@ where
             }
             RunEvent::NodeReleased { node } => {
                 quarantined_until.remove(&node);
+                if cfg.audit.is_enabled() {
+                    discipline
+                        .entry(node)
+                        .or_default()
+                        .begin_probation(cfg.audit.probation_audits);
+                }
             }
             RunEvent::NodeDeparted { node, .. } => {
                 blacklisted.insert(node);
                 quarantined_until.remove(&node);
+            }
+            // An audit schedule carries no state of its own: whether the
+            // recovered coordinator must re-run an interrupted audit is
+            // re-derived at finalize time (selection is a pure function of
+            // the seed and task id, plus the replayed `must_audit` flag).
+            RunEvent::AuditScheduled { .. } => {}
+            RunEvent::AuditPassed { task } => {
+                // A clean conclusion releases the probation flag. (A
+                // failed group keeps it set, so a crash mid-group
+                // re-audits on resume rather than skipping the check.)
+                if let Some(acc) = open.get_mut(&task) {
+                    acc.must_audit = false;
+                }
+            }
+            RunEvent::AuditFailed { node, .. } => {
+                if let Some(policy) = cfg.discipline {
+                    let weight = cfg.audit.strike_weight.max(1);
+                    let _ = discipline.entry(node).or_default().strike_weighted_at(
+                        weight,
+                        e.at.as_micros(),
+                        window,
+                        &policy,
+                    );
+                }
+            }
+            RunEvent::VerdictVoided { task } | RunEvent::TaskRetallied { task } => {
+                let Some(acc) = open.get_mut(&task) else {
+                    return corrupt(format!("void/re-tally for unknown task {task}"));
+                };
+                // The attempt's evidence is burned: its dispatched jobs
+                // are dead (late replies drop as stale), its purged
+                // pending ordinals never dispatch, and the strategy
+                // restarts from wave 1 with a fresh budget.
+                for &job in &acc.jobs_dispatched {
+                    resolved.insert(job);
+                }
+                acc.exec.reset();
+                acc.returns.clear();
+                acc.must_audit = false;
+                acc.next_replica = acc.replicas;
             }
             // Tallies, wave closes, retries, and stale drops carry no
             // state the strategy replay does not already reproduce; the
@@ -339,12 +413,14 @@ where
                 RebuiltTask {
                     exec: acc.exec,
                     replicas: acc.replicas,
-                    dispatched: acc.jobs_dispatched.len() as u32,
+                    dispatched: acc.next_replica,
                     timeouts: acc.timeouts,
                     poison: acc.poison,
                     epoch: acc.epoch,
                     first_dispatch: acc.first_dispatch,
                     in_flight,
+                    returns: acc.returns,
+                    must_audit: acc.must_audit,
                 },
             )
         })

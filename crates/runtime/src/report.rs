@@ -43,6 +43,16 @@ pub struct RuntimeReport {
     pub stale_replies: u64,
     /// Tasks quarantined for repeatedly crashing workers.
     pub tasks_poisoned: usize,
+    /// Local recomputations performed by the audit layer (each costs one
+    /// job-equivalent of coordinator compute).
+    pub audits: u64,
+    /// Results an audit caught contradicting the local recomputation.
+    pub audit_failures: u64,
+    /// Tainted verdicts voided before acceptance (task re-ran from
+    /// scratch).
+    pub verdicts_voided: u64,
+    /// Open tasks re-tallied because a caught liar had touched them.
+    pub tasks_retallied: u64,
     /// Jobs per completed task (the paper's cost factor, measured live).
     pub jobs_per_task: Summary,
     /// Deployment waves per completed task.
@@ -72,6 +82,14 @@ impl RuntimeReport {
     /// Mean jobs per completed task.
     pub fn cost_factor(&self) -> f64 {
         self.jobs_per_task.mean()
+    }
+
+    /// Total work performed, in job-equivalents: dispatched jobs plus the
+    /// audit layer's local recomputations. The matched-cost comparisons of
+    /// audit-enabled vs audit-free strategies use this, not `total_jobs`,
+    /// so auditing is never "free".
+    pub fn total_cost(&self) -> u64 {
+        self.total_jobs + self.audits
     }
 }
 
@@ -120,6 +138,23 @@ pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
                 report.response_time.record(response);
             }
             RunEvent::TaskCapped { .. } => report.tasks_capped += 1,
+            RunEvent::AuditScheduled { .. } => report.audits += 1,
+            RunEvent::AuditFailed { .. } => report.audit_failures += 1,
+            // A void or re-tally restarts the task from wave 1 with a
+            // fresh job budget; only the final attempt's waves count in
+            // the per-task summaries, mirroring the live bookkeeping.
+            RunEvent::VerdictVoided { task } => {
+                report.verdicts_voided += 1;
+                let acc = tasks.entry(task).or_default();
+                acc.jobs = 0;
+                acc.waves = 0;
+            }
+            RunEvent::TaskRetallied { task } => {
+                report.tasks_retallied += 1;
+                let acc = tasks.entry(task).or_default();
+                acc.jobs = 0;
+                acc.waves = 0;
+            }
             RunEvent::WorkerCrashed { .. } => report.worker_crashes += 1,
             RunEvent::WorkerRestarted { .. } => report.worker_restarts += 1,
             RunEvent::StaleReplyDropped { .. } => report.stale_replies += 1,

@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rand::Rng;
+use smartred_core::audit::Cartel;
 use smartred_core::parallel::task_rng;
 
 use crate::workload::Payload;
@@ -164,6 +165,58 @@ impl Worker for FaultyWorker {
             );
         }
         Some((true, honest))
+    }
+}
+
+/// A worker belonging (or not) to an adaptive colluding coalition.
+///
+/// Members of the [`Cartel`] lie *in coordination*: whether the coalition
+/// lies on a task is the pure function [`Cartel::lies_on`] of
+/// `(seed, task)`, so every member reports the same wrong value on the
+/// same tasks with no runtime communication — the adversary strategy
+/// replication alone cannot defeat, because a wave whose replicas mostly
+/// land on members loses the vote honestly counted. The lie rate is
+/// throttled (kept small) so per-event strike discipline never
+/// accumulates enough evidence; only an audit's recomputation catches the
+/// coalition. Non-members behave as a plain [`FaultyWorker`] under
+/// `profile`.
+///
+/// Unlike `FaultyWorker`, a cartel vote depends on *which worker* served
+/// the replica, so cartel runs are schedule-dependent by construction —
+/// they exercise reliability comparisons, not the byte-determinism
+/// fixtures. (The DCA simulator's cartel additionally models dormancy
+/// after a member is caught; the live pool has no feedback channel to its
+/// workers, so the live cartel never stands down.)
+#[derive(Debug, Clone)]
+pub struct CartelWorker {
+    index: u32,
+    seed: u64,
+    cartel: Cartel,
+    inner: FaultyWorker,
+}
+
+impl CartelWorker {
+    /// Creates pool worker `index` colluding under `cartel`, drawing its
+    /// coordinated lies from `seed`, and otherwise behaving as a
+    /// [`FaultyWorker`] with `profile`.
+    pub fn new(index: u32, seed: u64, cartel: Cartel, profile: FaultProfile) -> Self {
+        Self {
+            index,
+            seed,
+            cartel,
+            inner: FaultyWorker::new(seed, profile),
+        }
+    }
+}
+
+impl Worker for CartelWorker {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        if self.cartel.is_member(self.index) && self.cartel.lies_on(self.seed, u64::from(job.task))
+        {
+            let honest = job.payload.execute();
+            return Some((false, !honest));
+        }
+        self.inner.execute(job)
     }
 }
 

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rand::Rng;
+use smartred_core::audit::{AuditPolicy, Cartel};
 use smartred_core::error::ParamError;
 use smartred_core::execution::{TaskExecution, WaveStep};
 use smartred_core::resilience::{DisciplineAction, NodeDiscipline, QuarantinePolicy, RetryPolicy};
@@ -86,6 +87,15 @@ pub struct VolunteerConfig {
     /// quarantined (pulled from the scheduler), and repeat offenders are
     /// blacklisted permanently.
     pub quarantine: Option<QuarantinePolicy>,
+    /// Server-side audit layer: accepted verdicts are spot-checked against
+    /// the cached ground truth, liars earn weighted strikes, tainted
+    /// verdicts are voided and re-run, and quarantine-released hosts serve
+    /// probation. Disabled by default.
+    pub audit: AuditPolicy,
+    /// Optional colluding cartel: hosts `0..size` return the negated truth
+    /// on the coalition's seeded per-workunit lie schedule, overriding
+    /// their drawn behavior.
+    pub cartel: Option<Cartel>,
     /// Root seed.
     pub seed: u64,
 }
@@ -107,6 +117,8 @@ impl VolunteerConfig {
             job_cap: None,
             retry: None,
             quarantine: None,
+            audit: AuditPolicy::disabled(),
+            cartel: None,
             seed,
         }
     }
@@ -147,6 +159,21 @@ impl VolunteerConfig {
         if let Some(quarantine) = &self.quarantine {
             quarantine.validate()?;
         }
+        if self.audit.validate().is_err() {
+            return fail(
+                "audit",
+                self.audit.spot_rate,
+                "rates in [0, 1], escalated_rate >= spot_rate, strike_weight >= 1",
+            );
+        }
+        if let Some(cartel) = &self.cartel {
+            if cartel.size as usize > self.hosts {
+                return fail("cartel.size", cartel.size as f64, "at most the host count");
+            }
+            if !(0.0..=1.0).contains(&cartel.lie_rate) || !cartel.lie_rate.is_finite() {
+                return fail("cartel.lie_rate", cartel.lie_rate, "[0, 1]");
+            }
+        }
         Ok(())
     }
 }
@@ -174,6 +201,15 @@ pub struct DeploymentReport {
     /// Hosts permanently removed from the scheduler after repeated
     /// quarantines.
     pub blacklisted: u64,
+    /// Local recomputations performed by the audit layer (each costs one
+    /// job-equivalent of server compute).
+    pub audits: u64,
+    /// Results an audit caught contradicting the recomputation.
+    pub audit_failures: u64,
+    /// Tainted verdicts voided before acceptance (the workunit re-ran).
+    pub verdicts_voided: u64,
+    /// Open workunits re-tallied because a caught liar had touched them.
+    pub wus_retallied: u64,
     /// Whether the generated instance is satisfiable (ground truth via
     /// DPLL).
     pub instance_satisfiable: bool,
@@ -206,10 +242,22 @@ impl DeploymentReport {
     pub fn computation_correct(&self) -> bool {
         self.reported_satisfiable == Some(self.instance_satisfiable)
     }
+
+    /// Total work performed, in job-equivalents: dispatched jobs plus the
+    /// audit layer's local recomputations — the basis of matched-cost
+    /// comparisons between audit-enabled and audit-free strategies.
+    pub fn total_cost(&self) -> u64 {
+        self.total_jobs + self.audits
+    }
 }
 
 /// A shared, immutable strategy validating every workunit.
 pub type SharedStrategy = Rc<dyn RedundancyStrategy<bool>>;
+
+/// A workunit suffers at most this many audit voids before its verdict is
+/// accepted as-is (guards against a standing majority cartel looping a
+/// task forever when no discipline thins it).
+const MAX_WU_VOIDS: u32 = 4;
 
 struct WuState {
     wu: Workunit,
@@ -219,12 +267,25 @@ struct WuState {
     finished: bool,
     /// Deadline misses retried with backoff so far (`retry` policy).
     retries: u32,
+    /// Recorded `(host, value_was_truth)` pairs, kept under an audit
+    /// policy to identify liars at spot-check time.
+    votes: Vec<(usize, bool)>,
+    /// Replica attempt, bumped when an audit voids or re-tallies the
+    /// workunit; in-flight jobs from older attempts resolve as stale.
+    attempt: u32,
+    /// Set when a probation-host result landed: the verdict must be
+    /// audited before acceptance regardless of the spot-check draw.
+    must_audit: bool,
+    /// Audit voids suffered so far (see [`MAX_WU_VOIDS`]).
+    voids: u32,
 }
 
 struct JobSlot {
     wu: usize,
     host: usize,
     behavior: HostBehavior,
+    /// The workunit's replica attempt at dispatch (stale detection).
+    attempt: u32,
     resolved: bool,
 }
 
@@ -241,6 +302,10 @@ struct World {
     retries: u64,
     quarantines: u64,
     blacklisted: u64,
+    audits: u64,
+    audit_failures: u64,
+    verdicts_voided: u64,
+    wus_retallied: u64,
     unfinished: usize,
     /// Per-workunit response time in units, filled at finalization.
     response_units: Vec<f64>,
@@ -339,6 +404,10 @@ fn run_inner(
                 started_at: None,
                 finished: false,
                 retries: 0,
+                votes: Vec::new(),
+                attempt: 0,
+                must_audit: false,
+                voids: 0,
             }
         })
         .collect();
@@ -366,6 +435,10 @@ fn run_inner(
         retries: 0,
         quarantines: 0,
         blacklisted: 0,
+        audits: 0,
+        audit_failures: 0,
+        verdicts_voided: 0,
+        wus_retallied: 0,
         unfinished: config.tasks,
         response_units: vec![0.0; config.tasks],
         discipline: vec![NodeDiscipline::default(); config.hosts],
@@ -429,6 +502,10 @@ fn run_inner(
             retries: world.retries,
             quarantines: world.quarantines,
             blacklisted: world.blacklisted,
+            audits: world.audits,
+            audit_failures: world.audit_failures,
+            verdicts_voided: world.verdicts_voided,
+            wus_retallied: world.wus_retallied,
             instance_satisfiable,
             reported_satisfiable: if all_completed { Some(any_true) } else { None },
         },
@@ -521,6 +598,7 @@ fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
         wu,
         host,
         behavior,
+        attempt: world.wus[wu].attempt,
         resolved: false,
     });
     world.total_jobs += 1;
@@ -583,7 +661,15 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
     }
     if !world.wus[wu].finished {
         let truth = world.wus[wu].wu.truth;
-        if timed_out {
+        if world.jobs[job].attempt != world.wus[wu].attempt {
+            // The job predates an audit void/re-tally of its workunit: its
+            // reply (or miss) belongs to a discarded tally and is dropped.
+            sim.emit(RunEvent::StaleReplyDropped {
+                job: job as u32,
+                task: wu as u32,
+                epoch: world.wus[wu].attempt,
+            });
+        } else if timed_out {
             world.timeouts += 1;
             sim.emit(RunEvent::JobTimedOut {
                 job: job as u32,
@@ -604,11 +690,18 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
                 poll_workunit(world, sim, wu, true);
             }
         } else {
-            let value = match behavior {
+            let mut value = match behavior {
                 HostBehavior::Honest => truth,
                 HostBehavior::Faulty => !truth,
                 HostBehavior::Hung => unreachable!("hangs resolve via timeout"),
             };
+            // A colluding host overrides its drawn behavior on the
+            // coalition's per-workunit lie schedule.
+            if let Some(cartel) = world.cfg.cartel {
+                if cartel.is_member(host as u32) && cartel.lies_on(world.cfg.seed, wu as u64) {
+                    value = !truth;
+                }
+            }
             sim.emit(RunEvent::JobReturned {
                 job: job as u32,
                 task: wu as u32,
@@ -617,6 +710,12 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
             });
             world.wus[wu].exec.record(value);
             emit_tally(world, sim, wu, value);
+            if world.cfg.audit.is_enabled() {
+                world.wus[wu].votes.push((host, value == truth));
+                if world.discipline[host].consume_probation() {
+                    world.wus[wu].must_audit = true;
+                }
+            }
             emit_wave_closed(world, sim, wu);
             poll_workunit(world, sim, wu, true);
         }
@@ -675,6 +774,11 @@ fn strike_host(world: &mut World, sim: &mut Sim, host: usize) {
                 move |world, sim| {
                     sim.emit(RunEvent::NodeReleased { node: host as u32 });
                     world.quarantined[host] = false;
+                    // Re-admission is probationary: the host's next results
+                    // each flag their workunit for a mandatory audit.
+                    if world.cfg.audit.is_enabled() {
+                        world.discipline[host].begin_probation(world.cfg.audit.probation_audits);
+                    }
                     if !world.hosts[host].busy {
                         world.idle.push(host);
                     }
@@ -731,6 +835,16 @@ fn poll_workunit(world: &mut World, sim: &mut Sim, wu: usize, priority: bool) {
 }
 
 fn finalize(world: &mut World, sim: &mut Sim, wu: usize, verdict: Option<bool>) {
+    // Audit gate: an accepted verdict is spot-checked against the cached
+    // ground truth before acceptance; a voided verdict restarts the
+    // workunit instead of finishing it.
+    if world.cfg.audit.is_enabled() {
+        if let Some(v) = verdict {
+            if !spot_check(world, sim, wu, v) {
+                return;
+            }
+        }
+    }
     match verdict {
         Some(v) => sim.emit(RunEvent::VerdictReached {
             task: wu as u32,
@@ -749,6 +863,92 @@ fn finalize(world: &mut World, sim: &mut Sim, wu: usize, verdict: Option<bool>) 
         .map(|s| sim.now().since(s).as_units())
         .unwrap_or(0.0);
     world.response_units[wu] = units;
+}
+
+/// Locally recomputes an audited workunit (the truth is cached, so the
+/// check is a comparison per recorded result) and acts on what it finds:
+/// liars earn weighted strikes, open workunits they touched are
+/// re-tallied, and a verdict they actually swung is voided and re-run.
+/// Returns whether the verdict may be accepted.
+fn spot_check(world: &mut World, sim: &mut Sim, wu: usize, v: bool) -> bool {
+    let policy = world.cfg.audit;
+    let state = &world.wus[wu];
+    // Escalation is a pure function of the counters, deterministic by seed.
+    let escalated = world.audit_failures > 0;
+    let selected = state.must_audit || policy.selects(world.cfg.seed, wu as u64, escalated);
+    if !selected || state.voids >= MAX_WU_VOIDS {
+        return true;
+    }
+    sim.emit(RunEvent::AuditScheduled { task: wu as u32 });
+    world.audits += 1;
+    let truth = world.wus[wu].wu.truth;
+    let liars: Vec<usize> = world.wus[wu]
+        .votes
+        .iter()
+        .filter(|&&(_, was_truth)| !was_truth)
+        .map(|&(host, _)| host)
+        .collect();
+    if liars.is_empty() && v == truth {
+        sim.emit(RunEvent::AuditPassed { task: wu as u32 });
+        world.wus[wu].must_audit = false;
+        return true;
+    }
+    for &host in &liars {
+        sim.emit(RunEvent::AuditFailed {
+            task: wu as u32,
+            node: host as u32,
+        });
+        world.audit_failures += 1;
+        for _ in 0..policy.strike_weight.max(1) {
+            strike_host(world, sim, host);
+        }
+    }
+    // Retaliation: every open workunit a caught liar touched loses its
+    // tally.
+    let caught: Vec<usize> = {
+        let mut c = liars;
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    for u in 0..world.wus.len() {
+        if u == wu || world.wus[u].finished {
+            continue;
+        }
+        if !world.wus[u].votes.iter().any(|&(h, _)| caught.contains(&h)) {
+            continue;
+        }
+        sim.emit(RunEvent::TaskRetallied { task: u as u32 });
+        world.wus_retallied += 1;
+        restart_workunit(world, sim, u);
+    }
+    if v == truth {
+        // Liars caught but outvoted: the verdict stands.
+        return true;
+    }
+    sim.emit(RunEvent::VerdictVoided { task: wu as u32 });
+    world.verdicts_voided += 1;
+    world.wus[wu].voids += 1;
+    restart_workunit(world, sim, wu);
+    false
+}
+
+/// Discards a workunit's tally and restarts it from wave 1 under a new
+/// attempt: queued jobs are purged, in-flight jobs become stale, and the
+/// strategy re-deploys with a fresh budget.
+fn restart_workunit(world: &mut World, sim: &mut Sim, wu: usize) {
+    let state = &mut world.wus[wu];
+    debug_assert!(!state.finished);
+    state.attempt += 1;
+    state.exec.reset();
+    state.votes.clear();
+    state.must_audit = false;
+    sim.emit(RunEvent::EpochAdvanced {
+        task: wu as u32,
+        epoch: state.attempt,
+    });
+    world.queue.retain(|&x| x != wu);
+    poll_workunit(world, sim, wu, /* priority = */ true);
 }
 
 #[cfg(test)]
@@ -906,6 +1106,74 @@ mod tests {
         let a = run(s(), &cfg).unwrap();
         let b = run(s(), &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audit_layer_beats_replication_against_a_cartel() {
+        use smartred_core::audit::{AuditPolicy, Cartel};
+
+        // A 40% coalition lying on a quarter of the workunits. Plain
+        // replication accepts whatever the coalition swings; the audit
+        // layer recomputes a sample, convicts the liars, and voids the
+        // verdicts they carried.
+        let base = |audit: AuditPolicy| {
+            let mut cfg = small_config(40);
+            cfg.tasks = 800;
+            cfg.cartel = Some(Cartel::new(24, 0.25));
+            cfg.quarantine = Some(QuarantinePolicy::default());
+            cfg.audit = audit;
+            cfg
+        };
+        let s = || Rc::new(Traditional::new(KVotes::new(3).unwrap()));
+        let plain = run(s(), &base(AuditPolicy::disabled())).unwrap();
+        assert_eq!(plain.audits, 0);
+        assert_eq!(plain.verdicts_voided, 0);
+
+        let audited = run(s(), &base(AuditPolicy::spot(0.15))).unwrap();
+        assert!(audited.audits > 0);
+        assert!(audited.audit_failures > 0);
+        assert!(audited.verdicts_voided > 0);
+        assert!(
+            audited.reliability() > plain.reliability(),
+            "audited {} !> plain {}",
+            audited.reliability(),
+            plain.reliability()
+        );
+
+        // Matched cost: buying more replication instead (TR-5, no audits)
+        // costs at least as much yet stays below the audited reliability.
+        let tr5 = run(
+            Rc::new(Traditional::new(KVotes::new(5).unwrap())),
+            &base(AuditPolicy::disabled()),
+        )
+        .unwrap();
+        assert!(
+            audited.total_cost() <= tr5.total_cost(),
+            "audited cost {} !<= TR-5 cost {}",
+            audited.total_cost(),
+            tr5.total_cost()
+        );
+        assert!(
+            audited.reliability() > tr5.reliability(),
+            "audited {} !> TR-5 {}",
+            audited.reliability(),
+            tr5.reliability()
+        );
+    }
+
+    #[test]
+    fn audited_deployments_are_deterministic() {
+        use smartred_core::audit::{AuditPolicy, Cartel};
+
+        let mut cfg = small_config(41);
+        cfg.cartel = Some(Cartel::new(20, 0.3));
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.audit = AuditPolicy::spot(0.2);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        let b = run(s(), &cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(a.audits > 0);
     }
 
     #[test]
