@@ -38,6 +38,17 @@
 //! measured reliability at no greater total cost (replicas + audits).
 //! `--bench-json <path>` sweeps audit fractions {0, 0.05, 0.2} and writes
 //! the machine-readable throughput baseline (`BENCH_6.json`).
+//!
+//! `--shards N` runs the whole serving comparison on the sharded
+//! multi-coordinator runtime (`ShardedRuntime`): tasks hash to one of N
+//! coordinators with disjoint WAL segments and worker sub-pools behind a
+//! router that owns admission. Combined with `--bench-json <path>` it
+//! instead sweeps shard counts {1, 2, 4, …, N} under a durable
+//! per-event-fsync WAL and writes the throughput-vs-shards baseline
+//! (`BENCH_7.json`);
+//! the sweep is coordination-bound (zero-work payloads) so it measures
+//! exactly what sharding scales — the coordinator/WAL plane, at matched
+//! verdict reliability across shard counts.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -52,8 +63,9 @@ use smartred_core::resilience::QuarantinePolicy;
 use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
 use smartred_desim::journal::{Journal, RunEvent};
 use smartred_runtime::{
-    report_from_journal, CartelWorker, FaultProfile, FaultyWorker, Payload, Runtime, RuntimeConfig,
-    RuntimeRun, SubmitOutcome, Worker,
+    report_from_journal, CartelWorker, Client, FaultProfile, FaultyWorker, Payload, Runtime,
+    RuntimeConfig, RuntimeRun, ShardedClient, ShardedConfig, ShardedRuntime, SubmitOutcome,
+    TaskVerdict, Worker,
 };
 use smartred_sat::{decompose, random_3sat, CnfFormula, ThreeSatConfig};
 
@@ -67,6 +79,7 @@ struct Args {
     tasks: usize,
     workers: usize,
     seed: u64,
+    shards: usize,
     journal: Option<String>,
     smoke: bool,
     chaos: bool,
@@ -81,6 +94,7 @@ fn parse_args() -> Args {
         tasks: 1000,
         workers: 8,
         seed: 20110620,
+        shards: 1,
         journal: None,
         smoke: false,
         chaos: false,
@@ -115,6 +129,11 @@ fn parse_args() -> Args {
                 args.seed = value(i).parse().expect("--seed N");
                 i += 1;
             }
+            "--shards" => {
+                args.shards = value(i).parse().expect("--shards N");
+                args.shards = args.shards.max(1);
+                i += 1;
+            }
             "--cartel" => {
                 args.cartel = value(i).parse().expect("--cartel N");
                 i += 1;
@@ -130,8 +149,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] \
-                     [--audit-demo] [--tasks N] [--workers N] [--seed N] [--cartel N] \
-                     [--journal <path>] [--bench-json <path>]"
+                     [--audit-demo] [--tasks N] [--workers N] [--seed N] [--shards N] \
+                     [--cartel N] [--journal <path>] [--bench-json <path>]"
                 );
                 std::process::exit(2);
             }
@@ -190,9 +209,62 @@ impl Regime {
     }
 }
 
+/// Either serving runtime behind one submit/recv surface, so the whole
+/// benchmark (and its closed loop) runs unchanged under `--shards N`.
+enum AnyRuntime {
+    One(Runtime),
+    Sharded(ShardedRuntime),
+}
+
+enum AnyClient {
+    One(Client),
+    Sharded(ShardedClient),
+}
+
+impl AnyRuntime {
+    fn client(&self) -> AnyClient {
+        match self {
+            AnyRuntime::One(r) => AnyClient::One(r.client()),
+            AnyRuntime::Sharded(r) => AnyClient::Sharded(r.client()),
+        }
+    }
+
+    fn finish(self) -> RuntimeRun {
+        match self {
+            AnyRuntime::One(r) => r.finish(),
+            AnyRuntime::Sharded(r) => {
+                let run = r.finish();
+                RuntimeRun {
+                    report: run.report,
+                    admission: run.admission,
+                    journal: run.journal,
+                    crashed: run.crashed,
+                }
+            }
+        }
+    }
+}
+
+impl AnyClient {
+    fn submit(&self, payload: Payload) -> SubmitOutcome {
+        match self {
+            AnyClient::One(c) => c.submit(payload),
+            AnyClient::Sharded(c) => c.submit(payload),
+        }
+    }
+
+    fn recv(&self) -> Option<TaskVerdict> {
+        match self {
+            AnyClient::One(c) => c.recv(),
+            AnyClient::Sharded(c) => c.recv(),
+        }
+    }
+}
+
 /// Runs `tasks` 3-SAT block tasks through a fresh runtime under `strategy`,
 /// keeping at most `window` in flight (closed loop, shed-retry on overload),
-/// against the adversary described by `regime`.
+/// against the adversary described by `regime`. With `args.shards > 1` the
+/// tasks serve on the sharded multi-coordinator runtime instead.
 fn drive<S>(
     name: &'static str,
     strategy: S,
@@ -202,7 +274,7 @@ fn drive<S>(
     regime: Regime,
 ) -> Outcome
 where
-    S: RedundancyStrategy<bool> + Send + Sync + 'static,
+    S: RedundancyStrategy<bool> + Clone + Send + Sync + 'static,
 {
     let Regime {
         audit,
@@ -228,10 +300,25 @@ where
         crash_rate: 0.0,
         think: Duration::ZERO,
     };
-    let runtime = Runtime::start(cfg, strategy, move |index| match cartel {
+    let make_worker = move |index: u32| match cartel {
         Some(c) => Box::new(CartelWorker::new(index, seed, c, profile)) as Box<dyn Worker>,
         None => Box::new(FaultyWorker::new(seed, profile)),
-    });
+    };
+    let runtime = if args.shards > 1 {
+        AnyRuntime::Sharded(ShardedRuntime::start(
+            ShardedConfig {
+                base: cfg,
+                shards: args.shards,
+                wal_dir: None,
+                admission_cap: window,
+                crash_after: None,
+            },
+            strategy,
+            make_worker,
+        ))
+    } else {
+        AnyRuntime::One(Runtime::start(cfg, strategy, make_worker))
+    };
     let client = runtime.client();
     let started = Instant::now();
     let mut latencies = Vec::with_capacity(args.tasks);
@@ -571,6 +658,7 @@ fn audit_demo(args: &Args) -> i32 {
         tasks,
         workers: args.workers,
         seed: args.seed,
+        shards: 1,
         journal: None,
         smoke: args.smoke,
         chaos: false,
@@ -785,6 +873,155 @@ fn bench_json(args: &Args, path: &str) {
     println!("bench-json: wrote {path}");
 }
 
+/// One leg of the shard sweep: a closed-loop run of zero-work synthetic
+/// tasks on the sharded runtime with a durable per-event-fsync WAL, so
+/// the measurement isolates the coordination plane — the thing sharding
+/// scales — rather than worker arithmetic. Each shard's fsync stream is
+/// serialized by its coordinator; N shards overlap N streams.
+fn measure_shards(args: &Args, shards: usize, window: usize) -> Outcome {
+    let wal_dir =
+        std::env::temp_dir().join(format!("smartred-bench7-{}-{shards}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("create bench WAL directory");
+    let cfg = ShardedConfig {
+        base: RuntimeConfig {
+            workers: Some(args.workers),
+            queue_cap: window,
+            max_active: window,
+            deadline: Duration::from_secs(5),
+            wal_batch: 1,
+            ..RuntimeConfig::default()
+        },
+        shards,
+        wal_dir: Some(wal_dir.clone()),
+        admission_cap: window,
+        crash_after: None,
+    };
+    let seed = args.seed;
+    let profile = FaultProfile {
+        wrong_rate: WRONG_RATE,
+        hang_rate: 0.0,
+        crash_rate: 0.0,
+        think: Duration::ZERO,
+    };
+    let runtime = ShardedRuntime::start(
+        cfg,
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        move |_| Box::new(FaultyWorker::new(seed, profile)),
+    );
+    let client = runtime.client();
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(args.tasks);
+    let mut in_flight = 0usize;
+    for _ in 0..args.tasks {
+        while in_flight >= window {
+            let verdict = client.recv().expect("runtime dropped a verdict");
+            latencies.push(verdict.latency_units);
+            in_flight -= 1;
+        }
+        loop {
+            let outcome = client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            });
+            if outcome != SubmitOutcome::Shed {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        in_flight += 1;
+    }
+    while in_flight > 0 {
+        let verdict = client.recv().expect("runtime dropped a verdict");
+        latencies.push(verdict.latency_units);
+        in_flight -= 1;
+    }
+    let elapsed = started.elapsed();
+    drop(client);
+    let sharded = runtime.finish();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    assert_eq!(
+        sharded.report.tasks_completed, args.tasks,
+        "shards {shards}: every task must reach a verdict"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Outcome {
+        name: "IR",
+        run: RuntimeRun {
+            report: sharded.report,
+            admission: sharded.admission,
+            journal: sharded.journal,
+            crashed: sharded.crashed,
+        },
+        elapsed,
+        latencies,
+    }
+}
+
+/// Sweeps shard counts {1, 2, 4, …, `--shards N`} at fixed total worker
+/// count and admission capacity, and writes the machine-readable
+/// throughput-vs-shards baseline (`BENCH_7.json`). Verdict reliability is
+/// matched across rows by construction — fault draws are keyed by
+/// `(seed, task, replica)`, so shard count cannot change a single vote.
+fn bench7_json(args: &Args, path: &str) {
+    let mut counts: Vec<usize> = [1, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c <= args.shards)
+        .collect();
+    if !counts.contains(&args.shards) {
+        counts.push(args.shards);
+    }
+    let window = 64;
+    let mut rows = Vec::new();
+    let mut jobs_per_sec = Vec::new();
+    for &shards in &counts {
+        let o = measure_shards(args, shards, window);
+        let jps = o.run.report.total_jobs as f64 / o.elapsed.as_secs_f64();
+        println!(
+            "bench-json: {shards} shard(s): {:.1} tasks/s, {:.1} jobs/s, {:.2} jobs/task, \
+             reliability {:.4}",
+            o.throughput(),
+            jps,
+            o.run.report.cost_factor(),
+            o.run.report.reliability(),
+        );
+        rows.push(format!(
+            "    {{\"shards\": {shards}, \"tasks_per_sec\": {:.2}, \"jobs_per_sec\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"jobs_per_task\": {:.4}, \
+             \"reliability\": {:.4}}}",
+            o.throughput(),
+            jps,
+            o.percentile(0.50) * 1e3,
+            o.percentile(0.99) * 1e3,
+            o.run.report.cost_factor(),
+            o.run.report.reliability(),
+        ));
+        jobs_per_sec.push(jps);
+    }
+    let speedup = jobs_per_sec.last().unwrap() / jobs_per_sec[0];
+    println!(
+        "bench-json: {}-shard speedup over 1 shard: {speedup:.2}x jobs/s",
+        counts.last().unwrap()
+    );
+    let json = format!(
+        "{{\n  \"bench\": 7,\n  \"name\": \"serve_bench throughput-vs-shards sweep\",\n  \
+         \"tasks\": {},\n  \"workers\": {},\n  \"seed\": {},\n  \"wrong_rate\": {WRONG_RATE},\n  \
+         \"margin\": {MARGIN},\n  \"wal_batch\": 1,\n  \"speedup_max_over_one\": {speedup:.2},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        args.tasks,
+        args.workers,
+        args.seed,
+        rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench-json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write bench json");
+    println!("bench-json: wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
@@ -794,7 +1031,11 @@ fn main() {
         std::process::exit(audit_demo(&args));
     }
     if let Some(path) = args.bench_json.clone() {
-        bench_json(&args, &path);
+        if args.shards > 1 {
+            bench7_json(&args, &path);
+        } else {
+            bench_json(&args, &path);
+        }
         return;
     }
     let r = Reliability::new(1.0 - WRONG_RATE).unwrap();
@@ -809,10 +1050,11 @@ fn main() {
         .find(|&k| analysis::traditional::reliability(k, r) >= target)
         .expect("a matching k exists below 61");
     println!(
-        "serve_bench: {} tasks, {} workers, seed {}, r = {:.2}; IR d = {} vs PR/TR k = {} \
-         (predicted R >= {:.4})",
+        "serve_bench: {} tasks, {} workers, {} shard(s), seed {}, r = {:.2}; IR d = {} vs \
+         PR/TR k = {} (predicted R >= {:.4})",
         args.tasks,
         args.workers,
+        args.shards,
         args.seed,
         r.get(),
         MARGIN,

@@ -11,6 +11,67 @@ use crate::error::JobCapExceeded;
 use crate::strategy::{Decision, RedundancyStrategy};
 use crate::tally::VoteTally;
 
+/// Routes a task id to one of `shards` coordinator shards.
+///
+/// The assignment is a pure function of `(task, shards)` — a multiplicative
+/// (Fibonacci) hash of the id, reduced modulo the shard count — so every
+/// component of a sharded deployment (router, recovery, tests) derives the
+/// same owner without coordination, and sequentially-issued ids spread
+/// evenly instead of striping. One shard is the identity routing: a sharded
+/// runtime with `shards == 1` takes exactly the single-coordinator path.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::execution::shard_of;
+///
+/// assert_eq!(shard_of(42, 1), 0);
+/// let k = shard_of(42, 4);
+/// assert!(k < 4);
+/// assert_eq!(k, shard_of(42, 4)); // stable
+/// ```
+pub fn shard_of(task: u32, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    // Knuth's multiplicative hash: odd constant ≈ 2^64 / φ. The high half
+    // of the product mixes every input bit, unlike a bare `id % shards`
+    // which would map the round-robin ids of a submission loop onto a
+    // fixed stripe pattern.
+    let mixed = u64::from(task).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((mixed >> 32) as usize) % shards
+}
+
+/// Splits a worker pool of `total` slots across `shards` sub-pools,
+/// returning shard `k`'s `(node_base, count)`.
+///
+/// Sub-pools are contiguous id ranges — shard k owns global node ids
+/// `node_base .. node_base + count` — sized within one of each other
+/// (the first `total % shards` shards take the extra worker). Every shard
+/// gets at least one worker even when `total < shards`, so a sharded
+/// runtime never spawns a shard that cannot serve jobs; global node ids
+/// stay disjoint regardless.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::execution::shard_worker_span;
+///
+/// assert_eq!(shard_worker_span(8, 4, 0), (0, 2));
+/// assert_eq!(shard_worker_span(8, 4, 3), (6, 2));
+/// assert_eq!(shard_worker_span(5, 2, 0), (0, 3));
+/// assert_eq!(shard_worker_span(5, 2, 1), (3, 2));
+/// ```
+pub fn shard_worker_span(total: usize, shards: usize, k: usize) -> (u32, usize) {
+    assert!(shards > 0, "at least one shard");
+    assert!(k < shards, "shard index {k} out of {shards}");
+    let per = (total / shards).max(1);
+    let extra = if total > shards { total % shards } else { 0 };
+    let count = per + usize::from(k < extra);
+    let base = k * per + k.min(extra);
+    (base as u32, count)
+}
+
 /// What the driver should do next for this task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Poll<V> {
@@ -327,6 +388,49 @@ mod tests {
     use super::*;
     use crate::params::{KVotes, VoteMargin};
     use crate::strategy::{Iterative, Progressive, Traditional};
+
+    #[test]
+    fn shard_of_is_identity_for_one_shard_and_bounded_otherwise() {
+        for task in 0..1000 {
+            assert_eq!(shard_of(task, 1), 0);
+            for shards in [2usize, 3, 4, 8, 16] {
+                assert!(shard_of(task, shards) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_ids_roughly_evenly() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for task in 0..8000u32 {
+            counts[shard_of(task, shards)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {k} got {c} of 8000 sequential ids — hash is striping"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_spans_are_disjoint_and_cover_the_pool() {
+        for total in [1usize, 2, 5, 8, 9, 16] {
+            for shards in [1usize, 2, 4, 8] {
+                let mut next = 0u32;
+                for k in 0..shards {
+                    let (base, count) = shard_worker_span(total, shards, k);
+                    assert!(count >= 1, "shard {k} of {shards} over {total} is empty");
+                    assert_eq!(base, next, "spans must be contiguous");
+                    next = base + count as u32;
+                }
+                if total >= shards {
+                    assert_eq!(next as usize, total, "spans must cover the pool exactly");
+                }
+            }
+        }
+    }
 
     #[test]
     fn reset_restarts_from_wave_one_with_a_fresh_budget() {

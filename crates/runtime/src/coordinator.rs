@@ -119,6 +119,20 @@ pub struct RuntimeConfig {
     /// appends — no further events, verdicts, or dispatch bookkeeping —
     /// leaving the WAL exactly as a real crash would. Test-only.
     pub crash_after_events: Option<u64>,
+    /// First global node id of this coordinator's worker pool. A sharded
+    /// runtime gives each shard's sub-pool a disjoint id span (see
+    /// [`smartred_core::execution::shard_worker_span`]) so journal events
+    /// and discipline records from different shards never collide; a
+    /// standalone runtime leaves it 0.
+    pub node_base: u32,
+    /// Group-commit batch: `fdatasync` the WAL every this-many appends
+    /// instead of after every one. Decision events (verdicts, caps,
+    /// poisonings) and shutdown always force a commit before their side
+    /// effects, so exactly-once delivery is unaffected; only
+    /// not-yet-committed *non*-decision tail events can be lost to power
+    /// failure, which recovery handles identically to crashing earlier.
+    /// `1` — the default — is the classic sync-every-append WAL.
+    pub wal_batch: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -140,6 +154,8 @@ impl Default for RuntimeConfig {
             audit: AuditPolicy::disabled(),
             audit_seed: 0,
             crash_after_events: None,
+            node_base: 0,
+            wal_batch: 1,
         }
     }
 }
@@ -220,14 +236,14 @@ impl AdmissionStats {
 }
 
 #[derive(Debug, Default)]
-struct AdmissionCounters {
-    accepted: AtomicU64,
-    queued: AtomicU64,
-    shed: AtomicU64,
+pub(crate) struct AdmissionCounters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) queued: AtomicU64,
+    pub(crate) shed: AtomicU64,
 }
 
 impl AdmissionCounters {
-    fn snapshot(&self) -> AdmissionStats {
+    pub(crate) fn snapshot(&self) -> AdmissionStats {
         AdmissionStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed),
@@ -237,10 +253,10 @@ impl AdmissionCounters {
 }
 
 /// One admitted submission, in flight to the coordinator.
-struct Submission {
-    task: u32,
-    payload: Arc<Payload>,
-    verdict_tx: Sender<TaskVerdict>,
+pub(crate) struct Submission {
+    pub(crate) task: u32,
+    pub(crate) payload: Arc<Payload>,
+    pub(crate) verdict_tx: Sender<TaskVerdict>,
 }
 
 /// A submission handle. Clones share the runtime's admission queue but
@@ -338,9 +354,9 @@ pub struct RuntimeRun {
 /// `finish` returns the final [`RuntimeRun`].
 #[derive(Debug)]
 pub struct Runtime {
-    submit_tx: Option<SyncSender<Submission>>,
+    pub(crate) submit_tx: Option<SyncSender<Submission>>,
     handle: JoinHandle<(RuntimeReport, Journal, bool)>,
-    next_task: Arc<AtomicU32>,
+    pub(crate) next_task: Arc<AtomicU32>,
     active: Arc<AtomicUsize>,
     counters: Arc<AdmissionCounters>,
     max_active: usize,
@@ -363,10 +379,11 @@ impl Runtime {
         } else {
             Journal::disabled()
         };
-        let wal = cfg
-            .wal
-            .as_ref()
-            .map(|p| WalWriter::create(p, cfg.wal_sync).expect("create WAL file"));
+        let wal = cfg.wal.as_ref().map(|p| {
+            WalWriter::create(p, cfg.wal_sync)
+                .expect("create WAL file")
+                .with_batch(cfg.wal_batch)
+        });
         let RuntimeParts {
             worker_count,
             pool,
@@ -377,6 +394,10 @@ impl Runtime {
             crashed,
             max_active,
         } = RuntimeParts::build(&cfg, Arc::new(make_worker));
+        // Per-node vectors are indexed by *global* node id, so they span
+        // `0..node_base + worker_count`; slots below the base belong to
+        // other shards and stay untouched defaults.
+        let node_span = cfg.node_base as usize + worker_count;
         let coordinator = Coordinator {
             journal,
             wal,
@@ -394,10 +415,10 @@ impl Runtime {
             draining: false,
             events_logged: 0,
             crashed: false,
-            incarnations: vec![0; worker_count],
-            discipline: vec![NodeDiscipline::default(); worker_count],
-            quarantined_until: vec![None; worker_count],
-            blacklisted: vec![false; worker_count],
+            incarnations: vec![0; node_span],
+            discipline: vec![NodeDiscipline::default(); node_span],
+            quarantined_until: vec![None; node_span],
+            blacklisted: vec![false; node_span],
             escalated: false,
             cfg,
             pool,
@@ -448,12 +469,43 @@ impl Runtime {
         S: RedundancyStrategy<bool> + Send + Sync + 'static,
         F: Fn(u32) -> Box<dyn Worker> + Send + Sync + 'static,
     {
+        let (verdict_tx, verdict_rx) = mpsc::channel();
+        let (runtime, report) =
+            Self::recover_with(cfg, strategy, make_worker, roster, &verdict_tx)?;
+        let client = Client {
+            submit_tx: runtime.submit_tx.clone().expect("runtime just started"),
+            verdict_tx,
+            verdict_rx,
+            next_task: runtime.next_task.clone(),
+            active: runtime.active.clone(),
+            max_active: runtime.max_active,
+            counters: runtime.counters.clone(),
+        };
+        Ok((runtime, client, report))
+    }
+
+    /// [`Runtime::recover`] with the verdict channel supplied by the
+    /// caller: the sharded runtime recovers every shard into one shared
+    /// verdict stream. Verdicts of resumed and re-admitted tasks arrive on
+    /// `verdict_tx`'s receiver.
+    pub(crate) fn recover_with<S, F>(
+        cfg: RuntimeConfig,
+        strategy: S,
+        make_worker: F,
+        roster: &[(u32, Payload)],
+        verdict_tx: &Sender<TaskVerdict>,
+    ) -> Result<(Self, RecoveryReport), RecoveryError>
+    where
+        S: RedundancyStrategy<bool> + Send + Sync + 'static,
+        F: Fn(u32) -> Box<dyn Worker> + Send + Sync + 'static,
+    {
         let path = cfg.wal.clone().ok_or(RecoveryError::NoWal)?;
         let text = std::fs::read_to_string(&path)?;
         let prefix = Journal::from_jsonl_prefix(&text)?;
         let strategy = Arc::new(strategy);
         let rebuilt = recovery::rebuild(&prefix.journal, &cfg, &strategy)?;
-        let wal = WalWriter::resume(&path, prefix.valid_bytes as u64, cfg.wal_sync)?;
+        let wal = WalWriter::resume(&path, prefix.valid_bytes as u64, cfg.wal_sync)?
+            .with_batch(cfg.wal_batch);
 
         let RuntimeParts {
             worker_count,
@@ -465,7 +517,7 @@ impl Runtime {
             crashed,
             max_active,
         } = RuntimeParts::build(&cfg, Arc::new(make_worker));
-        let (verdict_tx, verdict_rx) = mpsc::channel();
+        let node_span = cfg.node_base as usize + worker_count;
 
         let mut tasks = HashMap::new();
         let mut rearm: VecDeque<(u32, u32, u32, u32)> = VecDeque::new();
@@ -530,10 +582,10 @@ impl Runtime {
         }
         let tasks_seeded = seeded.len();
 
-        let mut discipline = vec![NodeDiscipline::default(); worker_count];
-        let mut incarnations = vec![0u32; worker_count];
-        let mut quarantined_until = vec![None; worker_count];
-        let mut blacklisted = vec![false; worker_count];
+        let mut discipline = vec![NodeDiscipline::default(); node_span];
+        let mut incarnations = vec![0u32; node_span];
+        let mut quarantined_until = vec![None; node_span];
+        let mut blacklisted = vec![false; node_span];
         for (node, d) in rebuilt.discipline {
             if let Some(slot) = discipline.get_mut(node as usize) {
                 *slot = d;
@@ -545,14 +597,14 @@ impl Runtime {
             }
         }
         for (node, until) in rebuilt.quarantined_until {
-            if let Some(slot) = quarantined_until.get_mut(node as usize) {
-                *slot = Some(until);
+            if pool.node_ids().contains(&node) {
+                quarantined_until[node as usize] = Some(until);
                 pool.set_enabled(node, false);
             }
         }
         for node in rebuilt.blacklisted {
-            if let Some(slot) = blacklisted.get_mut(node as usize) {
-                *slot = true;
+            if pool.node_ids().contains(&node) {
+                blacklisted[node as usize] = true;
                 pool.set_enabled(node, false);
             }
         }
@@ -616,16 +668,7 @@ impl Runtime {
             max_active,
             Arc::new(AtomicU32::new(next_task)),
         );
-        let client = Client {
-            submit_tx: runtime.submit_tx.clone().expect("runtime just started"),
-            verdict_tx,
-            verdict_rx,
-            next_task: runtime.next_task.clone(),
-            active: runtime.active.clone(),
-            max_active: runtime.max_active,
-            counters: runtime.counters.clone(),
-        };
-        Ok((runtime, client, report))
+        Ok((runtime, report))
     }
 
     /// Creates a submission handle.
@@ -688,7 +731,13 @@ impl RuntimeParts {
         let worker_count = cfg.workers.unwrap_or_else(|| Threads::Auto.get()).max(1);
         let (submit_tx, submit_rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
         let (result_tx, result_rx) = mpsc::channel();
-        let pool = WorkerPool::spawn(worker_count, cfg.inbox_cap, result_tx, make_worker);
+        let pool = WorkerPool::spawn(
+            worker_count,
+            cfg.node_base,
+            cfg.inbox_cap,
+            result_tx,
+            make_worker,
+        );
         Self {
             worker_count,
             pool,
@@ -886,6 +935,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         if !self.crashed {
             let end = self.stamp();
             if self.log(end, RunEvent::RunEnded) {
+                self.commit_wal();
                 self.report.makespan_units = end.as_units();
             }
         }
@@ -901,8 +951,12 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
     }
 
     /// Records one event: in-memory journal first, then the durable WAL
-    /// append — `log` returns only after the record would survive a crash,
-    /// and callers act on the event *after* it returns (write-ahead).
+    /// append — `log` returns only after the record would survive a
+    /// process crash, and callers act on the event *after* it returns
+    /// (write-ahead). Under group commit (`RuntimeConfig::wal_batch`
+    /// above 1) the append is flushed but possibly not yet fsync'd;
+    /// decision events call [`Self::commit_wal`] before their side
+    /// effects to close the power-failure window.
     ///
     /// Returns `false` when the coordinator is dead: either it already
     /// crashed, or this very append hit the chaos threshold
@@ -931,6 +985,15 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             }
         }
         true
+    }
+
+    /// Forces the WAL's pending group-commit batch to disk. The barrier
+    /// between logging a decision event and performing its side effects:
+    /// a verdict is never delivered before it is fsync-durable.
+    fn commit_wal(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.commit().expect("WAL commit failed");
+        }
     }
 
     fn admit(&mut self) {
@@ -1288,7 +1351,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         let Some(limit) = self.cfg.hang_after else {
             return;
         };
-        for worker in 0..self.pool.len() as u32 {
+        for worker in self.pool.node_ids() {
             if self.pool.busy_for(worker).is_some_and(|busy| busy > limit) {
                 self.respawn_worker(worker);
                 if self.crashed {
@@ -1433,7 +1496,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             return;
         }
         let now = self.stamp();
-        for worker in 0..self.pool.len() as u32 {
+        for worker in self.pool.node_ids() {
             let slot = worker as usize;
             if let Some(until) = self.quarantined_until[slot] {
                 if now >= until {
@@ -1644,6 +1707,11 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             },
         };
         let alive = self.log(at, event);
+        if alive {
+            // The decision must be fsync-durable before any side effect,
+            // whatever the group-commit batch says.
+            self.commit_wal();
+        }
         let state = self.tasks.remove(&task).expect("finalizing a live task");
         for job in &state.live_jobs {
             self.jobs.remove(job);

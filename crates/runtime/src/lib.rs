@@ -22,7 +22,12 @@
 //! * [`report`] — live metrics plus [`report_from_journal`], the exact
 //!   replay cross-check;
 //! * [`recovery`] — WAL replay: rebuilds full coordinator state from a
-//!   journal prefix so [`Runtime::recover`] can resume a crashed run.
+//!   journal prefix so [`Runtime::recover`] can resume a crashed run;
+//! * [`shard`] — the sharded multi-coordinator runtime: tasks hash by id
+//!   to one of N coordinators (disjoint WAL segments and worker
+//!   sub-pools) behind a router thread that owns admission control;
+//!   per-shard journals merge deterministically and shard WALs recover
+//!   in parallel.
 //!
 //! ## Crash recovery
 //!
@@ -92,6 +97,7 @@
 pub mod coordinator;
 pub mod recovery;
 pub mod report;
+pub mod shard;
 pub mod worker;
 pub mod workload;
 
@@ -100,5 +106,6 @@ pub use coordinator::{
 };
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use report::{report_from_journal, RuntimeReport};
+pub use shard::{ShardedClient, ShardedConfig, ShardedRun, ShardedRuntime};
 pub use worker::{CartelWorker, FaultProfile, FaultyWorker, JobAssignment, JobResult, Worker};
 pub use workload::Payload;

@@ -238,6 +238,13 @@ struct WorkerSlot {
 
 /// The pool: per-worker bounded inboxes plus joinable threads. Internal to
 /// the coordinator, which owns dispatch.
+///
+/// Every worker carries a *global* node id `base + slot`: a sharded
+/// runtime gives each shard's sub-pool a disjoint id span (see
+/// [`smartred_core::execution::shard_worker_span`]), so journal events,
+/// discipline records, and cartel membership all speak one id space no
+/// matter how the pool is partitioned. All public methods take and return
+/// global node ids.
 pub(crate) struct WorkerPool {
     slots: Vec<WorkerSlot>,
     events: Sender<PoolEvent>,
@@ -245,13 +252,16 @@ pub(crate) struct WorkerPool {
     inbox_cap: usize,
     cursor: usize,
     started: Instant,
+    base: u32,
 }
 
 impl WorkerPool {
-    /// Spawns `count` worker threads, each with a bounded inbox of
+    /// Spawns `count` worker threads with global node ids
+    /// `node_base..node_base + count`, each with a bounded inbox of
     /// `inbox_cap` jobs, reporting results and crashes on `events`.
     pub fn spawn(
         count: usize,
+        node_base: u32,
         inbox_cap: usize,
         events: Sender<PoolEvent>,
         make: WorkerFactory,
@@ -264,12 +274,28 @@ impl WorkerPool {
             inbox_cap,
             cursor: 0,
             started,
+            base: node_base,
         };
-        for index in 0..count as u32 {
-            let slot = pool.build_slot(index);
+        for slot in 0..count as u32 {
+            let slot = pool.build_slot(node_base + slot);
             pool.slots.push(slot);
         }
         pool
+    }
+
+    fn slot_of(&self, node: u32) -> usize {
+        debug_assert!(
+            node >= self.base && ((node - self.base) as usize) < self.slots.len(),
+            "node {node} outside pool span {}..{}",
+            self.base,
+            self.base as usize + self.slots.len(),
+        );
+        (node - self.base) as usize
+    }
+
+    /// The global node ids this pool owns.
+    pub fn node_ids(&self) -> std::ops::Range<u32> {
+        self.base..self.base + self.slots.len() as u32
     }
 
     fn build_slot(&self, index: u32) -> WorkerSlot {
@@ -328,9 +354,9 @@ impl WorkerPool {
     }
 
     /// Hands `job` to the first enabled worker (round-robin) whose inbox
-    /// has room. Never blocks: returns the assignment back on `Err` when
-    /// every eligible inbox is full, so the caller can park it and retry
-    /// after results drain.
+    /// has room, returning its global node id. Never blocks: returns the
+    /// assignment back on `Err` when every eligible inbox is full, so the
+    /// caller can park it and retry after results drain.
     pub fn try_dispatch(&mut self, job: JobAssignment) -> Result<u32, JobAssignment> {
         let n = self.slots.len();
         let mut job = job;
@@ -342,7 +368,7 @@ impl WorkerPool {
             match self.slots[w].inbox.try_send(job) {
                 Ok(()) => {
                     self.cursor = (w + 1) % n;
-                    return Ok(w as u32);
+                    return Ok(self.base + w as u32);
                 }
                 Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
                     job = back;
@@ -352,10 +378,10 @@ impl WorkerPool {
         Err(job)
     }
 
-    /// How long worker `index` has been inside `execute`, or `None` when
+    /// How long node `node` has been inside `execute`, or `None` when
     /// idle. The hang supervisor compares this against its threshold.
-    pub fn busy_for(&self, index: u32) -> Option<Duration> {
-        let since = self.slots[index as usize]
+    pub fn busy_for(&self, node: u32) -> Option<Duration> {
+        let since = self.slots[self.slot_of(node)]
             .busy_since
             .load(Ordering::Acquire);
         if since == 0 {
@@ -365,15 +391,16 @@ impl WorkerPool {
         Some(Duration::from_micros(now.saturating_sub(since - 1)))
     }
 
-    /// Enables or disables dispatch to worker `index`. Disabled workers
+    /// Enables or disables dispatch to node `node`. Disabled workers
     /// keep draining jobs already in their inbox.
-    pub fn set_enabled(&mut self, index: u32, enabled: bool) {
-        self.slots[index as usize].enabled = enabled;
+    pub fn set_enabled(&mut self, node: u32, enabled: bool) {
+        let slot = self.slot_of(node);
+        self.slots[slot].enabled = enabled;
     }
 
-    /// Whether worker `index` is eligible for dispatch.
-    pub fn is_enabled(&self, index: u32) -> bool {
-        self.slots[index as usize].enabled
+    /// Whether node `node` is eligible for dispatch.
+    pub fn is_enabled(&self, node: u32) -> bool {
+        self.slots[self.slot_of(node)].enabled
     }
 
     /// Number of currently enabled workers.
@@ -381,22 +408,18 @@ impl WorkerPool {
         self.slots.iter().filter(|s| s.enabled).count()
     }
 
-    /// Number of pool slots.
-    pub fn len(&self) -> usize {
-        self.slots.len()
-    }
-
     /// Replaces a hung worker: a fresh thread, worker value, and inbox
-    /// take over slot `index`. The old thread is detached — it exits on
-    /// its own when it escapes `execute` and finds its inbox closed, and
+    /// take over node `node`'s slot. The old thread is detached — it exits
+    /// on its own when it escapes `execute` and finds its inbox closed, and
     /// any late reply it manages to send carries a pre-respawn epoch the
     /// coordinator rejects. Jobs queued in the old inbox are lost; the
     /// caller must re-dispatch everything in flight on this worker.
-    pub fn respawn(&mut self, index: u32) {
-        let fresh = self.build_slot(index);
-        let old = std::mem::replace(&mut self.slots[index as usize], fresh);
+    pub fn respawn(&mut self, node: u32) {
+        let slot = self.slot_of(node);
+        let fresh = self.build_slot(node);
+        let old = std::mem::replace(&mut self.slots[slot], fresh);
         // Preserve the discipline state across the restart.
-        self.slots[index as usize].enabled = old.enabled;
+        self.slots[slot].enabled = old.enabled;
         drop(old.inbox);
         drop(old.handle); // detach: never join a thread presumed stuck
     }
@@ -486,6 +509,7 @@ mod tests {
         // cannot finish quickly.
         let mut pool = WorkerPool::spawn(
             1,
+            0,
             1,
             tx,
             factory(
@@ -515,6 +539,7 @@ mod tests {
         // Every job panics under this profile.
         let mut pool = WorkerPool::spawn(
             1,
+            0,
             4,
             tx,
             factory(
@@ -551,7 +576,7 @@ mod tests {
     #[test]
     fn disabled_workers_are_skipped_by_dispatch() {
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut pool = WorkerPool::spawn(2, 4, tx, factory(0, FaultProfile::default()));
+        let mut pool = WorkerPool::spawn(2, 0, 4, tx, factory(0, FaultProfile::default()));
         pool.set_enabled(0, false);
         assert_eq!(pool.enabled_count(), 1);
         for _ in 0..4 {
@@ -580,7 +605,7 @@ mod tests {
             }
         }
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut pool = WorkerPool::spawn(1, 4, tx, Arc::new(|_| Box::new(Stuck)));
+        let mut pool = WorkerPool::spawn(1, 0, 4, tx, Arc::new(|_| Box::new(Stuck)));
         pool.try_dispatch(assignment(0, 0)).unwrap();
         // Wait until the supervisor would see the slot busy.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -596,6 +621,33 @@ mod tests {
             PoolEvent::Result(r) => assert_eq!(r.task, 1),
             PoolEvent::Crash { .. } => panic!("unexpected crash"),
         }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pools_with_a_node_base_speak_global_ids() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut pool = WorkerPool::spawn(2, 10, 4, tx, factory(0, FaultProfile::default()));
+        assert_eq!(pool.node_ids(), 10..12);
+        // Dispatch returns global ids, and results carry them too.
+        let first = pool.try_dispatch(assignment(0, 0)).unwrap();
+        assert!(pool.node_ids().contains(&first));
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            PoolEvent::Result(r) => assert_eq!(r.worker, first),
+            PoolEvent::Crash { .. } => panic!("honest worker cannot crash"),
+        }
+        // Discipline and supervision address slots by global id.
+        pool.set_enabled(10, false);
+        assert!(!pool.is_enabled(10));
+        assert!(pool.is_enabled(11));
+        assert_eq!(pool.enabled_count(), 1);
+        assert_eq!(pool.try_dispatch(assignment(1, 0)).unwrap(), 11);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            PoolEvent::Result(JobResult { worker: 11, .. })
+        ));
+        pool.respawn(11);
+        assert!(pool.busy_for(11).is_none());
         pool.shutdown();
     }
 }

@@ -759,3 +759,179 @@ mod prefix_property {
         }
     }
 }
+
+mod sharded_crash_matrix {
+    //! Crash-point matrix for the sharded runtime: kill all N=4 shard
+    //! coordinators at 20/50/80% of each shard's golden event count —
+    //! with torn tails injected on *two different* shard WAL segments
+    //! simultaneously — and require parallel recovery to converge to the
+    //! golden verdicts with exactly-once decisions per shard.
+
+    use super::*;
+    use smartred_core::execution::shard_of;
+    use smartred_runtime::{ShardedClient, ShardedConfig, ShardedRun, ShardedRuntime};
+
+    /// Shard count under test: the CI `shard-chaos` matrix axis
+    /// (`SMARTRED_SHARDS` ∈ {1, 4}), defaulting to 4.
+    fn shard_count() -> usize {
+        std::env::var("SMARTRED_SHARDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(4)
+    }
+
+    fn sharded_chaos_cfg(wal_dir: Option<PathBuf>) -> ShardedConfig {
+        ShardedConfig {
+            base: chaos_cfg(None),
+            shards: shard_count(),
+            wal_dir,
+            admission_cap: 512,
+            crash_after: None,
+        }
+    }
+
+    fn start_sharded(cfg: ShardedConfig) -> ShardedRuntime {
+        ShardedRuntime::start(
+            cfg,
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+        )
+    }
+
+    fn drain_sharded(client: &ShardedClient) -> Vec<TaskVerdict> {
+        let mut verdicts = Vec::new();
+        while let Some(v) = client.recv_timeout(Duration::from_millis(400)) {
+            verdicts.push(v);
+        }
+        verdicts
+    }
+
+    fn run_sharded(cfg: ShardedConfig, tasks: &[(u32, Payload)]) -> (ShardedRun, Vec<TaskVerdict>) {
+        let runtime = start_sharded(cfg);
+        let client = runtime.client();
+        for (task, payload) in tasks {
+            match client.submit(payload.clone()) {
+                SubmitOutcome::Shed => panic!("admission_cap admits the whole roster"),
+                SubmitOutcome::Accepted { task: id } | SubmitOutcome::Queued { task: id } => {
+                    assert_eq!(id, *task, "submission order must assign roster ids");
+                }
+            }
+        }
+        let verdicts = drain_sharded(&client);
+        drop(client);
+        (runtime.finish(), verdicts)
+    }
+
+    /// WAL directories live under `target/tmp` so a failing CI run can
+    /// upload the per-shard segments as artifacts (they are removed on
+    /// success).
+    fn wal_dir(name: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("smartred-sharded-crash-{name}"))
+    }
+
+    /// The matrix itself. Each round kills every shard coordinator at
+    /// `pct`% of that shard's golden event count, injects torn tails on
+    /// the WAL segments of shards 0 and 2 simultaneously, and recovers
+    /// all shards in parallel.
+    #[test]
+    fn shards_killed_at_matrix_points_recover_to_the_golden_run() {
+        quiet_injected_panics();
+        let shards = shard_count();
+        // With N=1 both torn tails land on the only segment; the torn
+        // set still describes which *segments* end mid-record.
+        let torn_shards: HashSet<usize> = [0, 2 % shards].into_iter().collect();
+        let tasks = roster(24);
+        let (golden, golden_verdicts) = run_sharded(sharded_chaos_cfg(None), &tasks);
+        assert!(!golden.crashed);
+        assert_eq!(golden_verdicts.len(), tasks.len());
+        let golden_shape = shape(&golden.journal);
+        let per_shard_events: Vec<u64> = golden
+            .shards
+            .iter()
+            .map(|s| s.journal.events().len() as u64)
+            .collect();
+        assert!(per_shard_events.iter().all(|&n| n > 1), "every shard works");
+
+        for pct in [20u64, 50, 80] {
+            let dir = wal_dir(&format!("pct-{pct}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut cfg = sharded_chaos_cfg(Some(dir.clone()));
+            cfg.crash_after = Some(
+                per_shard_events
+                    .iter()
+                    .map(|&n| Some((n * pct / 100).max(1)))
+                    .collect(),
+            );
+            let (crashed, pre_verdicts) = run_sharded(cfg, &tasks);
+            assert!(crashed.crashed, "pct {pct}: at least one shard must trip");
+
+            // A real kill tears whatever appends were in flight — on two
+            // *different* shard segments at once.
+            use std::io::Write;
+            for &torn in &torn_shards {
+                let path = ShardedConfig::wal_segment(&dir, torn);
+                let mut file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .unwrap();
+                write!(file, "{{\"at\":999999,\"seq\":77,\"kind\":\"job_ret").unwrap();
+            }
+
+            let (runtime, client, reports) = ShardedRuntime::recover(
+                sharded_chaos_cfg(Some(dir.clone())),
+                Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+                |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+                &tasks,
+            )
+            .expect("parallel shard recovery");
+            let post_verdicts = drain_sharded(&client);
+            drop(client);
+            let run = runtime.finish();
+            assert!(!run.crashed);
+
+            assert_eq!(reports.len(), shards);
+            for (k, rec) in reports.iter().enumerate() {
+                assert_eq!(
+                    rec.torn_tail,
+                    torn_shards.contains(&k),
+                    "pct {pct}: only segments {torn_shards:?} were torn, shard {k} disagrees"
+                );
+            }
+
+            // Convergence: the merged recovered journal carries the
+            // golden verdicts and per-task job counts.
+            assert_eq!(
+                shape(&run.journal),
+                golden_shape,
+                "pct {pct}: recovered run diverged from golden"
+            );
+            assert_eq!(report_from_journal(&run.journal), run.report);
+
+            // Exactly-once decisions, globally and per shard — and every
+            // decision lives in its owning shard's journal.
+            for (task, count) in decisions_per_task(&run.journal) {
+                assert_eq!(count, 1, "pct {pct}: task {task} decided more than once");
+            }
+            for (k, shard_run) in run.shards.iter().enumerate() {
+                for (task, count) in decisions_per_task(&shard_run.journal) {
+                    assert_eq!(shard_of(task, shards), k, "decision routed to wrong shard");
+                    assert_eq!(count, 1, "pct {pct}: shard {k} re-decided task {task}");
+                }
+            }
+
+            // At-most-once delivery across the crash: no verdict reaches
+            // a client twice (a verdict logged right at a crash boundary
+            // may reach no client at all).
+            let before: HashSet<u32> = pre_verdicts.iter().map(|v| v.task).collect();
+            let after: HashSet<u32> = post_verdicts.iter().map(|v| v.task).collect();
+            assert!(
+                before.is_disjoint(&after),
+                "pct {pct}: a verdict was delivered both before and after the crash"
+            );
+
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

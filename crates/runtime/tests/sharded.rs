@@ -1,0 +1,457 @@
+//! Cross-shard test battery for the sharded multi-coordinator runtime:
+//! N=1 identity against the unsharded runtime, shard-count equivalence of
+//! verdicts (property), router-level shed accounting independence
+//! (differential), and the audit re-tally shard-routing regression.
+//!
+//! The equivalence tests lean on the determinism contract: fault draws
+//! are a pure function of `(seed, task, replica)`, so which shard — and
+//! which worker — serves a replica cannot change its vote, and the merged
+//! journal of an N-shard run must carry the same verdicts and per-task
+//! job counts as the single-shard run at the same seed.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smartred_core::audit::{AuditPolicy, Cartel};
+use smartred_core::execution::shard_of;
+use smartred_core::params::VoteMargin;
+use smartred_core::resilience::PoisonPolicy;
+use smartred_core::strategy::Iterative;
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_runtime::{
+    report_from_journal, CartelWorker, FaultProfile, FaultyWorker, JobAssignment, Payload, Runtime,
+    RuntimeConfig, ShardedClient, ShardedConfig, ShardedRuntime, SubmitOutcome, TaskVerdict,
+    Worker,
+};
+
+const SEED: u64 = 0x5eed_beef;
+const MARGIN: usize = 3;
+
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected worker crash"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn roster(n: usize) -> Vec<(u32, Payload)> {
+    (0..n as u32)
+        .map(|task| {
+            (
+                task,
+                Payload::Synthetic {
+                    answer: true,
+                    work: Duration::ZERO,
+                },
+            )
+        })
+        .collect()
+}
+
+fn chaos_profile() -> FaultProfile {
+    FaultProfile {
+        wrong_rate: 0.25,
+        hang_rate: 0.0,
+        crash_rate: 0.15,
+        think: Duration::ZERO,
+    }
+}
+
+fn base_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        workers: Some(8),
+        queue_cap: 512,
+        max_active: 16,
+        deadline: Duration::from_secs(30),
+        poison: Some(PoisonPolicy { crash_limit: 2 }),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn sharded_cfg(shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        base: base_cfg(),
+        shards,
+        wal_dir: None,
+        admission_cap: 512,
+        crash_after: None,
+    }
+}
+
+fn submit_all(client: &ShardedClient, tasks: &[(u32, Payload)]) {
+    for (task, payload) in tasks {
+        match client.submit(payload.clone()) {
+            SubmitOutcome::Shed => panic!("admission_cap admits the whole roster"),
+            SubmitOutcome::Accepted { task: id } | SubmitOutcome::Queued { task: id } => {
+                assert_eq!(id, *task, "submission order must assign roster ids");
+            }
+        }
+    }
+}
+
+fn drain(client: &ShardedClient) -> Vec<TaskVerdict> {
+    let mut verdicts = Vec::new();
+    while let Some(v) = client.recv_timeout(Duration::from_millis(400)) {
+        verdicts.push(v);
+    }
+    verdicts
+}
+
+/// Schedule-independent run structure: `(task, kind, vote, jobs)` sorted
+/// by task, where kind is 0 = verdict, 1 = capped, 2 = poisoned.
+fn shape(journal: &Journal) -> Vec<(u32, u8, Option<bool>, u64)> {
+    let mut jobs: HashMap<u32, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for e in journal.events() {
+        match e.event {
+            RunEvent::JobDispatched { task, .. } => *jobs.entry(task).or_default() += 1,
+            RunEvent::VerdictReached { task, value, .. } => out.push((task, 0, Some(value))),
+            RunEvent::TaskCapped { task } => out.push((task, 1, None)),
+            RunEvent::TaskPoisoned { task, .. } => out.push((task, 2, None)),
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out.into_iter()
+        .map(|(task, kind, vote)| (task, kind, vote, jobs.get(&task).copied().unwrap_or(0)))
+        .collect()
+}
+
+fn run_sharded(shards: usize, tasks: &[(u32, Payload)]) -> smartred_runtime::ShardedRun {
+    let runtime = ShardedRuntime::start(
+        sharded_cfg(shards),
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+    );
+    let client = runtime.client();
+    submit_all(&client, tasks);
+    let verdicts = drain(&client);
+    assert_eq!(verdicts.len(), tasks.len());
+    drop(client);
+    runtime.finish()
+}
+
+/// With one shard the runtime *is* the unsharded runtime: the merge is
+/// the identity (same digest as the shard's own journal), and the run
+/// reaches the same verdicts and per-task job counts as `Runtime` under
+/// the same seed and config.
+#[test]
+fn one_shard_is_identical_to_the_unsharded_runtime() {
+    quiet_injected_panics();
+    let tasks = roster(12);
+
+    let unsharded = Runtime::start(
+        base_cfg(),
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+    );
+    let client = unsharded.client();
+    for (_, payload) in &tasks {
+        let _ = client.submit(payload.clone());
+    }
+    let mut got = 0;
+    while got < tasks.len() {
+        client.recv().expect("unsharded verdict");
+        got += 1;
+    }
+    drop(client);
+    let golden = unsharded.finish();
+
+    let run = run_sharded(1, &tasks);
+    assert_eq!(run.shards.len(), 1);
+    // Bit-identical merge: with one shard, the merged journal is the
+    // shard's journal, digest and all.
+    assert_eq!(run.journal.digest(), run.shards[0].journal.digest());
+    assert_eq!(run.journal.events(), run.shards[0].journal.events());
+    // Same verdicts and job counts as the unsharded runtime.
+    assert_eq!(shape(&run.journal), shape(&golden.journal));
+    // The merged journal replays to the merged report exactly.
+    assert_eq!(report_from_journal(&run.journal), run.report);
+    assert_eq!(run.report, run.shards[0].report);
+}
+
+/// The merged journal of any shard count replays through
+/// `report_from_journal` to a report equal to the sum of its parts, and
+/// decision events stay exactly-once per task.
+#[test]
+fn merged_journal_replays_to_the_merged_report() {
+    quiet_injected_panics();
+    for shards in [2usize, 4] {
+        let tasks = roster(20);
+        let run = run_sharded(shards, &tasks);
+        assert_eq!(report_from_journal(&run.journal), run.report);
+        assert_eq!(
+            run.report.tasks_completed + run.report.tasks_capped + run.report.tasks_poisoned,
+            tasks.len()
+        );
+        // Per-shard journals carry only their own tasks.
+        for (k, shard_run) in run.shards.iter().enumerate() {
+            for e in shard_run.journal.events() {
+                if let Some(task) = e.event.task() {
+                    assert_eq!(
+                        shard_of(task, shards),
+                        k,
+                        "task {task} leaked into shard {k}'s journal"
+                    );
+                }
+            }
+        }
+        // Merge order: time-sorted, re-sequenced.
+        assert!(run.journal.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let mut decided: HashMap<u32, u32> = HashMap::new();
+        for e in run.journal.events() {
+            if let RunEvent::VerdictReached { task, .. }
+            | RunEvent::TaskCapped { task }
+            | RunEvent::TaskPoisoned { task, .. } = e.event
+            {
+                *decided.entry(task).or_insert(0) += 1;
+            }
+        }
+        for (task, count) in decided {
+            assert_eq!(count, 1, "task {task} must be decided exactly once");
+        }
+    }
+}
+
+/// A worker that spins until the test opens the gate, then answers
+/// honestly — the overload fixture for the shed-differential test.
+struct Gated {
+    open: Arc<AtomicBool>,
+}
+
+impl Worker for Gated {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        while !self.open.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Some((true, job.payload.execute()))
+    }
+}
+
+/// Differential satellite: under overload, the router's admission gate
+/// sheds exactly `submitted - admission_cap` submissions — the same count
+/// for every shard count at matched capacity, because shedding is decided
+/// by the global outstanding counter before any task id is routed.
+#[test]
+fn shed_count_at_matched_capacity_is_independent_of_shard_count() {
+    const CAP: usize = 24;
+    const SUBMITTED: usize = 80;
+    let mut shed_counts = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let open = Arc::new(AtomicBool::new(false));
+        let gate = open.clone();
+        let mut cfg = sharded_cfg(shards);
+        cfg.admission_cap = CAP;
+        let runtime = ShardedRuntime::start(
+            cfg,
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            move |_| Box::new(Gated { open: gate.clone() }),
+        );
+        let client = runtime.client();
+        let mut shed = 0u64;
+        for i in 0..SUBMITTED {
+            match client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            }) {
+                SubmitOutcome::Shed => shed += 1,
+                SubmitOutcome::Accepted { task } | SubmitOutcome::Queued { task } => {
+                    assert!(
+                        (task as usize) < CAP,
+                        "admitted task ids stay dense (submission {i})"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            shed,
+            (SUBMITTED - CAP) as u64,
+            "{shards} shard(s): gate must shed exactly the overflow"
+        );
+        // Release the gate; every admitted task must resolve.
+        open.store(true, Ordering::Release);
+        for _ in 0..CAP {
+            client.recv().expect("admitted task must deliver a verdict");
+        }
+        drop(client);
+        let run = runtime.finish();
+        assert_eq!(run.admission.shed, shed);
+        assert_eq!(run.admission.accepted + run.admission.queued, CAP as u64);
+        assert_eq!(run.report.tasks_completed, CAP);
+        shed_counts.push(shed);
+    }
+    assert!(
+        shed_counts.windows(2).all(|w| w[0] == w[1]),
+        "shed counts diverged across shard counts: {shed_counts:?}"
+    );
+}
+
+/// Regression satellite: audit-triggered re-tallies and voided verdicts
+/// route through the owning shard's WAL — a cartel conviction on shard k
+/// voids only shard-k verdicts, and no decision event ever lands in
+/// another shard's segment.
+#[test]
+fn cartel_conviction_on_one_shard_only_voids_that_shards_verdicts() {
+    quiet_injected_panics();
+    const SHARDS: usize = 4;
+    const WORKERS: usize = 16; // span of 4 per shard
+                               // Members 0..2 sit inside shard 0's node span (0..4): every
+                               // coordinated lie — and every conviction — belongs to shard 0.
+    let cartel = Cartel::new(2, 0.4);
+    let wal_dir =
+        std::env::temp_dir().join(format!("smartred-shard-retally-{}", std::process::id()));
+    std::fs::create_dir_all(&wal_dir).unwrap();
+
+    let mut cfg = sharded_cfg(SHARDS);
+    cfg.base.workers = Some(WORKERS);
+    cfg.base.poison = None;
+    cfg.base.audit = AuditPolicy {
+        spot_rate: 1.0,
+        escalated_rate: 1.0,
+        probation_audits: 0,
+        strike_weight: 3,
+    };
+    cfg.base.audit_seed = SEED;
+    cfg.wal_dir = Some(wal_dir.clone());
+    let honest = FaultProfile::default();
+    let runtime = ShardedRuntime::start(
+        cfg,
+        Iterative::new(VoteMargin::new(2).unwrap()),
+        move |node| Box::new(CartelWorker::new(node, SEED, cartel, honest)),
+    );
+    let client = runtime.client();
+    let tasks = roster(60);
+    submit_all(&client, &tasks);
+    let mut got = 0;
+    while got < tasks.len() {
+        client.recv().expect("every task must survive the cartel");
+        got += 1;
+    }
+    drop(client);
+    let run = runtime.finish();
+
+    assert!(
+        run.report.audit_failures > 0,
+        "spot-rate 1.0 must catch the cartel lying"
+    );
+    let mut convicted_nodes = HashSet::new();
+    for e in run.journal.events() {
+        match e.event {
+            RunEvent::AuditFailed { task, node } => {
+                convicted_nodes.insert(node);
+                assert_eq!(
+                    shard_of(task, SHARDS),
+                    0,
+                    "conviction for task {task} outside the cartel's shard"
+                );
+            }
+            RunEvent::VerdictVoided { task } | RunEvent::TaskRetallied { task } => {
+                assert_eq!(
+                    shard_of(task, SHARDS),
+                    0,
+                    "shard-0 conviction voided/re-tallied task {task} of another shard"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        convicted_nodes.iter().all(|&n| cartel.is_member(n)),
+        "only cartel members can be convicted, got {convicted_nodes:?}"
+    );
+    assert!(
+        run.report.verdicts_voided > 0,
+        "a half-span cartel must swing (and void) some tallies"
+    );
+
+    // The routing pin itself: each decision/audit event lives in its
+    // owning shard's WAL segment, never a global stream.
+    for k in 0..SHARDS {
+        let path = ShardedConfig::wal_segment(&wal_dir, k);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let wal = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(wal.events(), run.shards[k].journal.events());
+        for e in wal.events() {
+            if let Some(task) = e.event.task() {
+                assert_eq!(
+                    shard_of(task, SHARDS),
+                    k,
+                    "task {task} event in wal-shard-{k}.jsonl"
+                );
+            }
+            if k != 0 {
+                assert!(
+                    !matches!(
+                        e.event,
+                        RunEvent::VerdictVoided { .. }
+                            | RunEvent::TaskRetallied { .. }
+                            | RunEvent::AuditFailed { .. }
+                    ),
+                    "shard {k} carries a shard-0 audit consequence"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+mod equivalence_property {
+    //! Property satellite: for random workload sizes, seeds, and any
+    //! shard count in {1, 2, 4, 8}, the merged sharded journal carries
+    //! verdicts identical to the single-shard run at the same seed.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run_with(
+        shards: usize,
+        seed: u64,
+        tasks: &[(u32, Payload)],
+    ) -> Vec<(u32, u8, Option<bool>, u64)> {
+        let runtime = ShardedRuntime::start(
+            sharded_cfg(shards),
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            move |_| Box::new(FaultyWorker::new(seed, chaos_profile())),
+        );
+        let client = runtime.client();
+        submit_all(&client, tasks);
+        let verdicts = drain(&client);
+        assert_eq!(verdicts.len(), tasks.len());
+        drop(client);
+        let run = runtime.finish();
+        assert!(!run.crashed);
+        assert_eq!(report_from_journal(&run.journal), run.report);
+        shape(&run.journal)
+    }
+
+    proptest! {
+        // Each case runs two full runtimes; keep the count modest.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn any_shard_count_matches_the_single_shard_run(
+            seed in 1u64..1_000_000,
+            n_tasks in 4usize..24,
+            shard_pick in 0usize..3,
+        ) {
+            quiet_injected_panics();
+            let shards = [2usize, 4, 8][shard_pick];
+            let tasks = roster(n_tasks);
+            let single = run_with(1, seed, &tasks);
+            let sharded = run_with(shards, seed, &tasks);
+            prop_assert_eq!(single, sharded);
+        }
+    }
+}
