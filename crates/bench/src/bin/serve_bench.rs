@@ -49,6 +49,16 @@
 //! the sweep is coordination-bound (zero-work payloads) so it measures
 //! exactly what sharding scales — the coordinator/WAL plane, at matched
 //! verdict reliability across shard counts.
+//!
+//! `--hedge` arms straggler-aware hedging (quantile-triggered duplicate
+//! replicas; the first pair member to answer supplies the vote) and
+//! `--assignment <random|round-robin|least-loaded>` picks the replica
+//! placement policy. Combined with `--bench-json <path>` it runs TR/PR/IR
+//! hedged and unhedged on a straggler-prone pool and writes the
+//! latency-vs-cost frontier (`BENCH_8.json`), exiting non-zero unless
+//! hedging cuts TR's p99 latency at bit-identical verdicts. Combined with
+//! `--chaos` it runs the crash-recovery harness with hedge pairs live at
+//! every crash point.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -58,14 +68,16 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use smartred_core::analysis;
 use smartred_core::audit::{AuditPolicy, Cartel};
+use smartred_core::execution::Assignment;
+use smartred_core::hedge::HedgePolicy;
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
 use smartred_core::resilience::QuarantinePolicy;
 use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
 use smartred_desim::journal::{Journal, RunEvent};
 use smartred_runtime::{
-    report_from_journal, CartelWorker, Client, FaultProfile, FaultyWorker, Payload, Runtime,
-    RuntimeConfig, RuntimeRun, ShardedClient, ShardedConfig, ShardedRuntime, SubmitOutcome,
-    TaskVerdict, Worker,
+    report_from_journal, CartelWorker, Client, FaultProfile, FaultyWorker, JobAssignment, Payload,
+    Runtime, RuntimeConfig, RuntimeRun, ShardedClient, ShardedConfig, ShardedRuntime,
+    SubmitOutcome, TaskVerdict, Worker,
 };
 use smartred_sat::{decompose, random_3sat, CnfFormula, ThreeSatConfig};
 
@@ -75,6 +87,7 @@ const WRONG_RATE: f64 = 0.3;
 /// Iterative margin: d = 4 predicts R ≈ 0.967 at r = 0.7 (Eq. 6).
 const MARGIN: usize = 4;
 
+#[derive(Clone)]
 struct Args {
     tasks: usize,
     workers: usize,
@@ -86,6 +99,8 @@ struct Args {
     cartel: u32,
     audit_demo: bool,
     bench_json: Option<String>,
+    hedge: bool,
+    assignment: Assignment,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +116,8 @@ fn parse_args() -> Args {
         cartel: 0,
         audit_demo: false,
         bench_json: None,
+        hedge: false,
+        assignment: Assignment::Random,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -146,11 +163,23 @@ fn parse_args() -> Args {
                 args.bench_json = Some(value(i));
                 i += 1;
             }
+            "--hedge" => args.hedge = true,
+            "--assignment" => {
+                let name = value(i);
+                args.assignment = Assignment::parse(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "--assignment {name}: unknown policy (random | round-robin | least-loaded)"
+                    );
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] \
                      [--audit-demo] [--tasks N] [--workers N] [--seed N] [--shards N] \
-                     [--cartel N] [--journal <path>] [--bench-json <path>]"
+                     [--cartel N] [--hedge] [--assignment <policy>] [--journal <path>] \
+                     [--bench-json <path>]"
                 );
                 std::process::exit(2);
             }
@@ -183,6 +212,71 @@ impl Outcome {
     }
 }
 
+/// The `--hedge` trigger: once 10 latency samples are in, a job that
+/// outlives 3× the online p90 estimate gets a twin on another worker, up
+/// to four per task epoch (TR's wide waves can straggle several replicas
+/// of one task at once). On the straggler pool the p90 sits in the fast
+/// mode, so the threshold is a few fast service times — well under the
+/// deadline.
+fn hedge_policy() -> HedgePolicy {
+    HedgePolicy {
+        quantile: 0.9,
+        min_samples: 10,
+        multiplier: 3.0,
+        max_per_task: 4,
+    }
+}
+
+/// A worker whose *vote* is the pure `(seed, task, replica)` draw of the
+/// wrapped [`FaultyWorker`] but whose *service time* additionally depends
+/// on the worker index: a seeded 1% of `(worker, task, replica)` triples
+/// take 100 ms, the rest 1 ms. Slowness is a property of the placement,
+/// so a hedge twin redraws the delay on its new worker while voting
+/// bit-identically to its origin — hedging changes latency, never votes.
+/// The slow rate is deliberately low twice over: the online p90 must sit
+/// in the fast mode or the trigger's threshold would chase the stragglers
+/// instead of catching them, and a task whose twin is *itself* slow (the
+/// one tail hedging cannot remove, since a paired origin is never
+/// re-hedged) must stay rarer than 1% of tasks or it pins the p99.
+struct StragglerWorker {
+    index: u32,
+    seed: u64,
+    inner: FaultyWorker,
+}
+
+impl StragglerWorker {
+    fn new(index: u32, seed: u64, profile: FaultProfile) -> Self {
+        Self {
+            index,
+            seed,
+            inner: FaultyWorker::new(seed, profile),
+        }
+    }
+
+    fn delay(&self, task: u32, replica: u32) -> Duration {
+        let mut x = self
+            .seed
+            .wrapping_add(u64::from(self.index) << 32)
+            .wrapping_add(u64::from(task) << 16)
+            .wrapping_add(u64::from(replica));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        if (x >> 11) as f64 / ((1u64 << 53) as f64) < 0.01 {
+            Duration::from_millis(100)
+        } else {
+            Duration::from_millis(1)
+        }
+    }
+}
+
+impl Worker for StragglerWorker {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        std::thread::sleep(self.delay(job.task, job.replica));
+        self.inner.execute(job)
+    }
+}
+
 /// Adversary-side configuration of one `drive` run. With `audit` enabled,
 /// spot-checked verdicts are recomputed locally and liars disciplined; with
 /// a `cartel`, the first members of the pool lie in concert (and are
@@ -195,6 +289,9 @@ struct Regime {
     audit: AuditPolicy,
     cartel: Option<Cartel>,
     job_cap: Option<usize>,
+    /// Run the pool as [`StragglerWorker`]s (the `--hedge` latency mix)
+    /// instead of uniformly fast workers.
+    straggle: bool,
 }
 
 impl Regime {
@@ -205,6 +302,7 @@ impl Regime {
             audit: AuditPolicy::disabled(),
             cartel: None,
             job_cap: None,
+            straggle: false,
         }
     }
 }
@@ -280,6 +378,7 @@ where
         audit,
         cartel,
         job_cap,
+        straggle,
     } = regime;
     let blocks = decompose(formula.num_vars(), args.tasks);
     let cfg = RuntimeConfig {
@@ -291,6 +390,8 @@ where
         discipline: audit.is_enabled().then(QuarantinePolicy::default),
         audit,
         audit_seed: args.seed,
+        hedge: args.hedge.then(hedge_policy),
+        assignment: args.assignment,
         ..RuntimeConfig::default()
     };
     let seed = args.seed;
@@ -302,6 +403,7 @@ where
     };
     let make_worker = move |index: u32| match cartel {
         Some(c) => Box::new(CartelWorker::new(index, seed, c, profile)) as Box<dyn Worker>,
+        None if straggle => Box::new(StragglerWorker::new(index, seed, profile)),
         None => Box::new(FaultyWorker::new(seed, profile)),
     };
     let runtime = if args.shards > 1 {
@@ -461,6 +563,11 @@ fn chaos_cfg(args: &Args, tasks: usize, wal: Option<PathBuf>) -> RuntimeConfig {
         discipline: audit.is_enabled().then(QuarantinePolicy::default),
         audit,
         audit_seed: args.seed,
+        // With `--hedge`, every chaos leg (golden, crashed, recovered)
+        // arms the same quantile trigger, so crash points land amid live
+        // hedge pairs and HedgeLaunched events must survive the WAL.
+        hedge: args.hedge.then(hedge_policy),
+        assignment: args.assignment,
         wal,
         ..RuntimeConfig::default()
     }
@@ -474,10 +581,12 @@ fn run_roster(
     margin: VoteMargin,
     seed: u64,
     cartel: Option<Cartel>,
+    straggle: bool,
     roster: &[(u32, Payload)],
 ) -> RuntimeRun {
     let runtime = Runtime::start(cfg, Iterative::new(margin), move |index| match cartel {
         Some(c) => Box::new(CartelWorker::new(index, seed, c, chaos_profile())) as Box<dyn Worker>,
+        None if straggle => Box::new(StragglerWorker::new(index, seed, chaos_profile())),
         None => Box::new(FaultyWorker::new(seed, chaos_profile())),
     });
     let client = runtime.client();
@@ -538,6 +647,7 @@ fn chaos(args: &Args) -> i32 {
         margin,
         args.seed,
         cartel,
+        args.hedge,
         &roster,
     );
     assert!(!golden.crashed);
@@ -545,7 +655,7 @@ fn chaos(args: &Args) -> i32 {
     let golden_events = golden.journal.events().len();
     println!(
         "chaos: golden run: {} tasks, {} jobs, {} worker crashes, {} poisoned, {} audits \
-         ({} failed, {} voided), {} events",
+         ({} failed, {} voided), {} hedges, {} events",
         golden.report.tasks_completed,
         golden.report.total_jobs,
         golden.report.worker_crashes,
@@ -553,8 +663,15 @@ fn chaos(args: &Args) -> i32 {
         golden.report.audits,
         golden.report.audit_failures,
         golden.report.verdicts_voided,
+        golden.report.hedges_launched,
         golden_events,
     );
+    if args.hedge {
+        assert!(
+            golden.report.hedges_launched > 0,
+            "the hedged chaos pool must actually fire hedges"
+        );
+    }
     if cartel.is_some() {
         assert!(
             golden.report.audits > 0,
@@ -569,7 +686,7 @@ fn chaos(args: &Args) -> i32 {
         let wal = wal_dir.join(format!("round-{round}.wal.jsonl"));
         let mut cfg = chaos_cfg(args, tasks, Some(wal.clone()));
         cfg.crash_after_events = Some(crash_at);
-        let crashed = run_roster(cfg, margin, args.seed, cartel, &roster);
+        let crashed = run_roster(cfg, margin, args.seed, cartel, args.hedge, &roster);
         assert!(
             crashed.crashed,
             "the coordinator must die at its chaos point"
@@ -580,9 +697,13 @@ fn chaos(args: &Args) -> i32 {
             Iterative::new(margin),
             {
                 let seed = args.seed;
+                let straggle = args.hedge;
                 move |index| match cartel {
                     Some(c) => Box::new(CartelWorker::new(index, seed, c, chaos_profile()))
                         as Box<dyn Worker>,
+                    None if straggle => {
+                        Box::new(StragglerWorker::new(index, seed, chaos_profile()))
+                    }
                     None => Box::new(FaultyWorker::new(seed, chaos_profile())),
                 }
             },
@@ -656,15 +777,12 @@ fn audit_demo(args: &Args) -> i32 {
     let tasks = if args.smoke { 200 } else { 400 };
     let demo = Args {
         tasks,
-        workers: args.workers,
-        seed: args.seed,
         shards: 1,
         journal: None,
-        smoke: args.smoke,
         chaos: false,
-        cartel: args.cartel,
         audit_demo: true,
         bench_json: None,
+        ..args.clone()
     };
     // A coalition of half the pool lying in concert on a quarter of the
     // tasks (and behaving honestly otherwise). On a lied-on task the vote
@@ -712,6 +830,7 @@ fn audit_demo(args: &Args) -> i32 {
                 audit: AuditPolicy::disabled(),
                 cartel: Some(cartel),
                 job_cap: cap,
+                ..Regime::honest()
             },
         ),
         drive(
@@ -724,6 +843,7 @@ fn audit_demo(args: &Args) -> i32 {
                 audit: AuditPolicy::disabled(),
                 cartel: Some(cartel),
                 job_cap: cap,
+                ..Regime::honest()
             },
         ),
         drive(
@@ -736,6 +856,7 @@ fn audit_demo(args: &Args) -> i32 {
                 audit: AuditPolicy::spot(0.2),
                 cartel: Some(cartel),
                 job_cap: cap,
+                ..Regime::honest()
             },
         ),
     ];
@@ -1022,6 +1143,191 @@ fn bench7_json(args: &Args, path: &str) {
     println!("bench-json: wrote {path}");
 }
 
+/// Sweeps TR/PR/IR at matched predicted reliability, hedging off vs on,
+/// on a straggler-prone pool (1% of placements take 100× the fast service
+/// time) and writes the latency-vs-cost frontier (`BENCH_8.json`): p50/p99
+/// first-dispatch→verdict latency against jobs per task and hedge cost.
+/// Returns non-zero unless hedging cuts TR's p99 while changing not a
+/// single verdict (matched reliability is exact, not statistical: votes
+/// are pure in `(seed, task, replica)`, so the hedged leg of each pair
+/// delivers bit-identical correctness).
+fn bench8_json(args: &Args, path: &str) -> i32 {
+    let r = Reliability::new(1.0 - WRONG_RATE).unwrap();
+    let d = VoteMargin::new(MARGIN).unwrap();
+    let target = analysis::iterative::reliability(d, r);
+    let k = (1..=61)
+        .step_by(2)
+        .map(|k| KVotes::new(k).unwrap())
+        .find(|&k| analysis::traditional::reliability(k, r) >= target)
+        .expect("a matching k exists below 61");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    // One task in flight, and a pool at least as wide as TR's burst of k
+    // replicas, keeps queueing delay out of the measurement entirely: a
+    // job's elapsed time is its service time, so the quantile trigger
+    // fires on true execution-time stragglers rather than on jobs stuck
+    // behind one. (With a pool narrower than the wave, queue wait counts
+    // as "elapsed", spurious twins fire on queued-but-fast jobs, and the
+    // added load *raises* the tail — the classic hedging failure mode.)
+    // Throughput is sacrificed knowingly: this sweep measures the latency
+    // frontier, BENCH_6/7 own the throughput story.
+    let window = 1;
+    let workers = args.workers.max(k.get() + 5);
+    let regime = Regime {
+        straggle: true,
+        ..Regime::honest()
+    };
+    let mut plain = args.clone();
+    plain.hedge = false;
+    plain.workers = workers;
+    let mut hedged = args.clone();
+    hedged.hedge = true;
+    hedged.workers = workers;
+    println!(
+        "bench-json: straggler frontier: {} tasks, {} workers, assignment {}, IR d = {} vs \
+         PR/TR k = {}",
+        args.tasks,
+        workers,
+        args.assignment.name(),
+        MARGIN,
+        k.get(),
+    );
+    let pairs = [
+        (
+            "TR",
+            drive("TR", Traditional::new(k), &formula, &plain, window, regime),
+            drive("TR+h", Traditional::new(k), &formula, &hedged, window, regime),
+        ),
+        (
+            "PR",
+            drive("PR", Progressive::new(k), &formula, &plain, window, regime),
+            drive("PR+h", Progressive::new(k), &formula, &hedged, window, regime),
+        ),
+        (
+            "IR",
+            drive("IR", Iterative::new(d), &formula, &plain, window, regime),
+            drive("IR+h", Iterative::new(d), &formula, &hedged, window, regime),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut failed = false;
+    println!(
+        "{:<6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>6} {:>8} {:>12}",
+        "strat", "hedge", "tasks/s", "p50 ms", "p99 ms", "jobs/task", "hedges", "won", "cost", "reliability"
+    );
+    for (name, off, on) in &pairs {
+        // Verdict invariance at the shared seed: the hedged leg must buy
+        // its latency with twins alone, never with a changed answer.
+        if off.run.report.tasks_correct != on.run.report.tasks_correct
+            || off.run.report.total_jobs != on.run.report.total_jobs
+        {
+            eprintln!(
+                "FAIL: {name}: hedging moved a verdict or wave job ({} vs {} correct, {} vs {} \
+                 jobs)",
+                off.run.report.tasks_correct,
+                on.run.report.tasks_correct,
+                off.run.report.total_jobs,
+                on.run.report.total_jobs,
+            );
+            failed = true;
+        }
+        if on.run.report.hedges_launched
+            != on.run.report.hedges_won + on.run.report.hedges_wasted
+        {
+            eprintln!("FAIL: {name}: a launched twin escaped settlement");
+            failed = true;
+        }
+        for o in [off, on] {
+            let is_hedged = !std::ptr::eq(o, off);
+            println!(
+                "{:<6} {:>6} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>8} {:>6} {:>8} {:>12.4}",
+                name,
+                if is_hedged { "on" } else { "off" },
+                o.throughput(),
+                o.percentile(0.50) * 1e3,
+                o.percentile(0.99) * 1e3,
+                o.run.report.cost_factor(),
+                o.run.report.hedges_launched,
+                o.run.report.hedges_won,
+                o.run.report.total_cost(),
+                o.run.report.reliability(),
+            );
+            rows.push(format!(
+                "    {{\"strategy\": \"{name}\", \"hedged\": {is_hedged}, \"tasks_per_sec\": \
+                 {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"jobs_per_task\": {:.4}, \
+                 \"hedges_launched\": {}, \"hedges_won\": {}, \"hedges_wasted\": {}, \
+                 \"total_cost\": {}, \"reliability\": {:.4}}}",
+                o.throughput(),
+                o.percentile(0.50) * 1e3,
+                o.percentile(0.99) * 1e3,
+                o.run.report.cost_factor(),
+                o.run.report.hedges_launched,
+                o.run.report.hedges_won,
+                o.run.report.hedges_wasted,
+                o.run.report.total_cost(),
+                o.run.report.reliability(),
+            ));
+        }
+    }
+    let (_, tr_off, tr_on) = &pairs[0];
+    if tr_on.run.report.hedges_launched == 0 {
+        eprintln!("FAIL: a 1% straggler rate must trigger hedges under TR");
+        failed = true;
+    }
+    let (p99_off, p99_on) = (tr_off.percentile(0.99), tr_on.percentile(0.99));
+    if p99_on >= p99_off {
+        eprintln!(
+            "FAIL: hedging must cut TR's p99 at matched reliability: {:.2} ms vs {:.2} ms",
+            p99_on * 1e3,
+            p99_off * 1e3,
+        );
+        failed = true;
+    }
+    let policy = hedge_policy();
+    let json = format!(
+        "{{\n  \"bench\": 8,\n  \"name\": \"serve_bench straggler hedging frontier\",\n  \
+         \"tasks\": {},\n  \"workers\": {},\n  \"seed\": {},\n  \"wrong_rate\": {WRONG_RATE},\n  \
+         \"margin\": {MARGIN},\n  \"k\": {},\n  \"assignment\": \"{}\",\n  \"window\": \
+         {window},\n  \"hedge_quantile\": {},\n  \"hedge_multiplier\": {},\n  \
+         \"hedge_max_per_task\": {},\n  \"slow_ms\": 100,\n  \"fast_ms\": 1,\n  \"slow_rate\": \
+         0.01,\n  \"tr_p99_ms_unhedged\": {:.3},\n  \"tr_p99_ms_hedged\": {:.3},\n  \"runs\": \
+         [\n{}\n  ]\n}}\n",
+        args.tasks,
+        workers,
+        args.seed,
+        k.get(),
+        args.assignment.name(),
+        policy.quantile,
+        policy.multiplier,
+        policy.max_per_task,
+        p99_off * 1e3,
+        p99_on * 1e3,
+        rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench-json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write bench json");
+    println!("bench-json: wrote {path}");
+    if failed {
+        return 1;
+    }
+    println!(
+        "hedging frontier holds: TR p99 {:.2} ms -> {:.2} ms at bit-identical verdicts",
+        p99_off * 1e3,
+        p99_on * 1e3,
+    );
+    0
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
@@ -1031,7 +1337,9 @@ fn main() {
         std::process::exit(audit_demo(&args));
     }
     if let Some(path) = args.bench_json.clone() {
-        if args.shards > 1 {
+        if args.hedge {
+            std::process::exit(bench8_json(&args, &path));
+        } else if args.shards > 1 {
             bench7_json(&args, &path);
         } else {
             bench_json(&args, &path);

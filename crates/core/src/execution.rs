@@ -72,6 +72,86 @@ pub fn shard_worker_span(total: usize, shards: usize, k: usize) -> (u32, usize) 
     (base as u32, count)
 }
 
+/// How a platform picks the worker for the next job (arXiv:1808.02838).
+///
+/// Behrouzi-Far & Soljanin's task-to-worker assignment study shows that at
+/// fixed redundancy, the *placement* rule materially shifts the
+/// completion-time distribution: random placement maximizes diversity,
+/// round-robin equalizes queue lengths on homogeneous pools, and
+/// load-based placement wins once service times are skewed. Every
+/// execution platform threads one of these through its dispatch path, and
+/// [`Assignment::pick`] is the shared, pure selection rule — so, given the
+/// same candidate set and state, the DCA simulator, the volunteer server,
+/// and the live runtime choose identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Assignment {
+    /// Uniformly random eligible worker — the paper's model (its
+    /// independence assumptions rely on it) and the default.
+    #[default]
+    Random,
+    /// Cyclic next eligible worker after the previous pick.
+    RoundRobin,
+    /// Eligible worker with the least load (ties to the lowest id).
+    LeastLoaded,
+}
+
+impl Assignment {
+    /// Every policy, in the order benches sweep them.
+    pub const ALL: [Assignment; 3] = [
+        Assignment::Random,
+        Assignment::RoundRobin,
+        Assignment::LeastLoaded,
+    ];
+
+    /// The policy's canonical flag/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Assignment::Random => "random",
+            Assignment::RoundRobin => "round-robin",
+            Assignment::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Parses a canonical name (as accepted by bench `--assignment`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "random" => Some(Assignment::Random),
+            "round-robin" | "roundrobin" | "rr" => Some(Assignment::RoundRobin),
+            "least-loaded" | "leastloaded" | "ll" => Some(Assignment::LeastLoaded),
+            _ => None,
+        }
+    }
+
+    /// Picks a position within `eligible` (parallel to `loads`).
+    ///
+    /// Pure in all inputs: platforms supply the eligible worker ids, their
+    /// current loads, the round-robin `cursor` (one past the previously
+    /// picked id), and a pre-drawn `random_pos` (only consumed by
+    /// [`Assignment::Random`], so the other policies never disturb a
+    /// platform's RNG stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligible` is empty or `loads` has a different length.
+    pub fn pick(self, eligible: &[u32], loads: &[u64], cursor: u32, random_pos: usize) -> usize {
+        assert!(!eligible.is_empty(), "no eligible workers");
+        assert_eq!(eligible.len(), loads.len(), "loads must parallel eligible");
+        match self {
+            Assignment::Random => random_pos % eligible.len(),
+            Assignment::RoundRobin => {
+                // Smallest cyclic distance from the cursor; ids are unique
+                // so the minimum is too.
+                (0..eligible.len())
+                    .min_by_key(|&i| eligible[i].wrapping_sub(cursor))
+                    .expect("non-empty")
+            }
+            Assignment::LeastLoaded => (0..eligible.len())
+                .min_by_key(|&i| (loads[i], eligible[i]))
+                .expect("non-empty"),
+        }
+    }
+}
+
 /// What the driver should do next for this task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Poll<V> {
@@ -150,6 +230,7 @@ pub struct TaskExecution<V: Ord + Clone, S> {
     outstanding: usize,
     jobs: usize,
     waves: usize,
+    hedges: usize,
     verdict: Option<V>,
     job_cap: Option<usize>,
 }
@@ -163,6 +244,7 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
             outstanding: 0,
             jobs: 0,
             waves: 0,
+            hedges: 0,
             verdict: None,
             job_cap: None,
         }
@@ -245,6 +327,7 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
         self.outstanding = 0;
         self.jobs = 0;
         self.waves = 0;
+        self.hedges = 0;
         self.verdict = None;
     }
 
@@ -306,6 +389,23 @@ impl<V: Ord + Clone, S: RedundancyStrategy<V>> TaskExecution<V, S> {
     /// Jobs deployed but not yet reported or abandoned.
     pub fn outstanding(&self) -> usize {
         self.outstanding
+    }
+
+    /// Notes one hedge launched against an outstanding replica of this
+    /// task in the current epoch. Hedge twins are duplicates of logical
+    /// replicas — they never touch the tally, the wave counters, or the
+    /// job cap — but each one costs a real job, so platforms charge them
+    /// here and enforce
+    /// [`HedgePolicy::max_per_task`](crate::hedge::HedgePolicy) against
+    /// [`hedges_launched`](Self::hedges_launched). [`reset`](Self::reset)
+    /// clears the count: a voided epoch restores the hedge budget.
+    pub fn note_hedge(&mut self) {
+        self.hedges += 1;
+    }
+
+    /// Hedge twins launched in the current epoch.
+    pub fn hedges_launched(&self) -> usize {
+        self.hedges
     }
 
     /// Returns `true` exactly when the current wave has just drained: at

@@ -1,0 +1,220 @@
+//! Straggler-aware hedging: quantile-triggered duplicate replicas.
+//!
+//! The paper's strategies decide *how many* replicas a task needs;
+//! Behrouzi-Far & Soljanin (arXiv:2006.02318) show *when* to launch them
+//! matters just as much for the completion-time tail: issuing a duplicate
+//! only once a job has outlived a high quantile of the observed
+//! completion-time distribution buys most of the p99 improvement of
+//! up-front replication at a fraction of the job cost.
+//!
+//! This module is the shared decision surface: every substrate (the DCA
+//! simulator, the volunteer server, the live runtime) owns one
+//! [`HedgeTrigger`] per coordinator, feeds it completed-job latencies, and
+//! asks the same pure question — *has this job outlived the threshold?* —
+//! so the hedging decision rule is identical everywhere even when the
+//! clocks differ (sim-time vs wall-clock).
+//!
+//! A hedge duplicates an **outstanding replica**, it does not open a new
+//! one: the twin carries the same task/replica coordinates, the first copy
+//! to report supplies the replica's vote, and the loser is discarded. In
+//! the live runtime, where votes are pure functions of
+//! `(seed, task, replica)`, this makes hedging *verdict-invariant*: it can
+//! change when a verdict arrives, never what it says.
+
+use crate::error::ParamError;
+use smartred_stats::P2Quantile;
+
+/// Configuration of the straggler-triggered hedging layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Latency quantile that arms the trigger (e.g. `0.95`): a job that
+    /// outlives this quantile of observed completion times is hedged.
+    pub quantile: f64,
+    /// Completed-job latencies to observe before hedging at all — the
+    /// estimator's warm-up, below which the trigger never fires.
+    pub min_samples: u64,
+    /// Multiplier applied to the quantile estimate to form the threshold
+    /// (`1.0` = hedge exactly at the quantile; larger is more conservative).
+    pub multiplier: f64,
+    /// Hedges allowed per task epoch. An epoch reset (audit void,
+    /// re-tally) restores the budget; a reissued replica does not.
+    pub max_per_task: u32,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            quantile: 0.95,
+            min_samples: 20,
+            multiplier: 1.0,
+            max_per_task: 1,
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// A policy hedging at latency quantile `q` with the remaining fields
+    /// at their defaults.
+    pub fn at_quantile(q: f64) -> Self {
+        Self {
+            quantile: q,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::OutOfRange`] when the quantile leaves `(0, 1)`, the
+    /// multiplier is not at least 1, or the per-task budget is zero.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.quantile.is_finite() && 0.0 < self.quantile && self.quantile < 1.0) {
+            return Err(ParamError::OutOfRange {
+                name: "hedge.quantile",
+                value: self.quantile,
+                expected: "strictly inside (0, 1)",
+            });
+        }
+        if !(self.multiplier.is_finite() && self.multiplier >= 1.0) {
+            return Err(ParamError::OutOfRange {
+                name: "hedge.multiplier",
+                value: self.multiplier,
+                expected: "at least 1",
+            });
+        }
+        if self.max_per_task == 0 {
+            return Err(ParamError::OutOfRange {
+                name: "hedge.max_per_task",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The online hedging trigger: a [`P2Quantile`] latency estimator plus the
+/// threshold rule.
+///
+/// Deterministic by construction — the trigger state is a pure fold over
+/// the sequence of observed latencies, so two coordinators fed the same
+/// latency stream agree on every hedging decision bit for bit.
+#[derive(Debug, Clone)]
+pub struct HedgeTrigger {
+    policy: HedgePolicy,
+    estimator: P2Quantile,
+}
+
+impl HedgeTrigger {
+    /// Creates a trigger under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HedgePolicy::validate`].
+    pub fn new(policy: HedgePolicy) -> Result<Self, ParamError> {
+        policy.validate()?;
+        Ok(Self {
+            policy,
+            estimator: P2Quantile::new(policy.quantile),
+        })
+    }
+
+    /// The policy this trigger runs.
+    pub fn policy(&self) -> HedgePolicy {
+        self.policy
+    }
+
+    /// Feeds one completed-job latency (any time unit, as long as callers
+    /// are consistent). Non-finite and negative values are ignored.
+    pub fn observe(&mut self, latency: f64) {
+        if latency.is_finite() && latency >= 0.0 {
+            self.estimator.observe(latency);
+        }
+    }
+
+    /// Latencies observed so far.
+    pub fn observations(&self) -> u64 {
+        self.estimator.count()
+    }
+
+    /// The current hedging threshold: quantile estimate × multiplier, or
+    /// `None` while still warming up (fewer than `min_samples`
+    /// observations — the trigger never fires cold).
+    pub fn threshold(&self) -> Option<f64> {
+        if self.estimator.count() < self.policy.min_samples.max(5) {
+            return None;
+        }
+        self.estimator.estimate().map(|q| q * self.policy.multiplier)
+    }
+
+    /// Whether a job that has been outstanding for `elapsed` should be
+    /// hedged. `false` during warm-up; at steady state, `true` exactly
+    /// when `elapsed` exceeds the quantile threshold.
+    pub fn should_hedge(&self, elapsed: f64) -> bool {
+        match self.threshold() {
+            Some(t) => elapsed > t,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        assert!(HedgePolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_quantiles_are_rejected() {
+        for q in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(HedgePolicy::at_quantile(q).validate().is_err(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn trigger_stays_cold_until_min_samples() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            min_samples: 10,
+            ..HedgePolicy::default()
+        })
+        .unwrap();
+        for _ in 0..9 {
+            t.observe(1.0);
+            assert_eq!(t.threshold(), None);
+            assert!(!t.should_hedge(1e9));
+        }
+        t.observe(1.0);
+        assert_eq!(t.threshold(), Some(1.0));
+        assert!(t.should_hedge(1.1));
+        assert!(!t.should_hedge(0.9));
+    }
+
+    #[test]
+    fn multiplier_scales_the_threshold() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            min_samples: 5,
+            multiplier: 2.0,
+            ..HedgePolicy::default()
+        })
+        .unwrap();
+        for _ in 0..5 {
+            t.observe(3.0);
+        }
+        assert_eq!(t.threshold(), Some(6.0));
+    }
+
+    #[test]
+    fn negative_latencies_are_ignored() {
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            min_samples: 5,
+            ..HedgePolicy::default()
+        })
+        .unwrap();
+        t.observe(-1.0);
+        assert_eq!(t.observations(), 0);
+    }
+}

@@ -70,6 +70,7 @@ pub mod analysis;
 pub mod audit;
 pub mod error;
 pub mod execution;
+pub mod hedge;
 pub mod monte_carlo;
 pub mod node;
 pub mod parallel;

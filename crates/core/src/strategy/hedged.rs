@@ -1,0 +1,94 @@
+//! The straggler-aware hedged variant of any base strategy.
+
+use crate::hedge::HedgePolicy;
+use crate::strategy::{Decision, RedundancyStrategy};
+use crate::tally::VoteTally;
+
+/// A base strategy plus a straggler-hedging policy.
+///
+/// `Hedged` changes nothing about the *voting* decision procedure — it
+/// delegates [`decide`](RedundancyStrategy::decide) and
+/// [`job_bound`](RedundancyStrategy::job_bound) to the wrapped strategy
+/// unchanged, so reliability analysis, cost formulas, and verdict streams
+/// are those of the base technique. What it adds is the
+/// [`HedgePolicy`] the execution platform reads to arm its
+/// quantile-triggered duplicate replicas: a job that outlives the online
+/// latency-quantile estimate gets a twin on another worker, the first copy
+/// to answer supplies the replica's vote, and the loser is discarded
+/// (journalled as wasted). The split of concerns is deliberate: *what to
+/// accept* stays a pure function of the tally, *when to duplicate* is a
+/// function of elapsed time that only platforms can evaluate.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_core::hedge::HedgePolicy;
+/// use smartred_core::params::KVotes;
+/// use smartred_core::strategy::{Hedged, RedundancyStrategy, Traditional};
+/// use smartred_core::tally::VoteTally;
+///
+/// let hedged = Hedged::new(Traditional::new(KVotes::new(3)?), HedgePolicy::default());
+/// assert_eq!(RedundancyStrategy::<bool>::name(&hedged), "hedged");
+/// // The voting decision is the base strategy's, untouched.
+/// let tally: VoteTally<bool> = VoteTally::new();
+/// assert_eq!(hedged.decide(&tally).deploy_count(), Some(3));
+/// # Ok::<(), smartred_core::error::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hedged<S> {
+    inner: S,
+    policy: HedgePolicy,
+}
+
+impl<S> Hedged<S> {
+    /// Wraps `inner` with hedging under `policy`.
+    pub fn new(inner: S, policy: HedgePolicy) -> Self {
+        Self { inner, policy }
+    }
+
+    /// The hedging policy platforms arm their triggers with.
+    pub fn policy(&self) -> HedgePolicy {
+        self.policy
+    }
+
+    /// The wrapped base strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<V: Ord + Clone, S: RedundancyStrategy<V>> RedundancyStrategy<V> for Hedged<S> {
+    fn name(&self) -> &'static str {
+        "hedged"
+    }
+
+    fn decide(&self, tally: &VoteTally<V>) -> Decision<V> {
+        self.inner.decide(tally)
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        self.inner.job_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VoteMargin;
+    use crate::strategy::Iterative;
+
+    #[test]
+    fn hedged_delegates_decisions_to_the_base_strategy() {
+        let base = Iterative::new(VoteMargin::new(2).unwrap());
+        let hedged = Hedged::new(base, HedgePolicy::default());
+        let mut tally = VoteTally::new();
+        assert_eq!(hedged.decide(&tally), base.decide(&tally));
+        tally.record(true);
+        tally.record(true);
+        assert_eq!(hedged.decide(&tally), Decision::Accept(true));
+        assert_eq!(
+            RedundancyStrategy::<bool>::job_bound(&hedged),
+            RedundancyStrategy::<bool>::job_bound(&base)
+        );
+    }
+}

@@ -17,6 +17,7 @@
 mod adaptive;
 mod budgeted;
 mod credibility;
+mod hedged;
 mod iterative;
 mod progressive;
 mod traditional;
@@ -25,6 +26,7 @@ mod weighted;
 pub use adaptive::AdaptiveReplication;
 pub use budgeted::Budgeted;
 pub use credibility::CredibilityVoting;
+pub use hedged::Hedged;
 pub use iterative::{Iterative, IterativeComplex};
 pub use progressive::Progressive;
 pub use traditional::Traditional;

@@ -336,3 +336,93 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The hedge trigger never fires before its warm-up completes,
+    /// whatever latencies it has seen and however extreme the elapsed
+    /// time — the "never hedges cold" half of the steady-state contract.
+    #[test]
+    fn trigger_never_fires_before_min_samples(
+        min_samples in 5u64..50,
+        latencies in proptest::collection::vec(0.0f64..1.0e4, 0..49),
+        elapsed in 0.0f64..1.0e9,
+    ) {
+        use smartred_core::hedge::{HedgePolicy, HedgeTrigger};
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            min_samples,
+            ..HedgePolicy::default()
+        })
+        .unwrap();
+        for &l in latencies.iter().take((min_samples - 1) as usize) {
+            t.observe(l);
+        }
+        prop_assert!(t.observations() < min_samples);
+        prop_assert_eq!(t.threshold(), None);
+        prop_assert!(!t.should_hedge(elapsed));
+    }
+
+    /// At steady state the trigger never hedges before the configured
+    /// quantile: the threshold is bounded below by `multiplier` × the
+    /// smallest observed latency and above by `multiplier` × the largest,
+    /// so a job is only ever hedged after outliving a latency some worker
+    /// actually exhibited (scaled by the safety multiplier) — and any
+    /// elapsed time at or below the min-latency threshold never fires.
+    #[test]
+    fn steady_state_threshold_is_bounded_by_observed_latencies(
+        quantile in 0.05f64..0.95,
+        multiplier in 1.0f64..4.0,
+        latencies in proptest::collection::vec(0.001f64..1.0e4, 20..120),
+    ) {
+        use smartred_core::hedge::{HedgePolicy, HedgeTrigger};
+        let mut t = HedgeTrigger::new(HedgePolicy {
+            quantile,
+            min_samples: 20,
+            multiplier,
+            max_per_task: 1,
+        })
+        .unwrap();
+        for &l in &latencies {
+            t.observe(l);
+        }
+        let lo = latencies.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let threshold = t.threshold().expect("past warm-up");
+        prop_assert!(
+            (lo * multiplier..=hi * multiplier).contains(&threshold),
+            "threshold {threshold} escaped [{}, {}]",
+            lo * multiplier,
+            hi * multiplier
+        );
+        prop_assert!(!t.should_hedge(lo * multiplier));
+        prop_assert!(t.should_hedge(hi * multiplier + 1.0));
+    }
+
+    /// The trigger is a pure fold over the latency stream: two triggers
+    /// fed the same stream agree on every threshold and every hedging
+    /// decision bit for bit — the property that keeps DCA, volunteer, and
+    /// live-runtime hedging decisions identical at matched parameters.
+    #[test]
+    fn identical_streams_yield_identical_decisions(
+        quantile in 0.05f64..0.95,
+        latencies in proptest::collection::vec(0.0f64..1.0e4, 0..100),
+        probes in proptest::collection::vec(0.0f64..2.0e4, 1..20),
+    ) {
+        use smartred_core::hedge::{HedgePolicy, HedgeTrigger};
+        let policy = HedgePolicy {
+            quantile,
+            min_samples: 10,
+            multiplier: 1.5,
+            max_per_task: 2,
+        };
+        let mut a = HedgeTrigger::new(policy).unwrap();
+        let mut b = HedgeTrigger::new(policy).unwrap();
+        for &l in &latencies {
+            a.observe(l);
+            b.observe(l);
+        }
+        prop_assert_eq!(a.threshold(), b.threshold());
+        for &e in &probes {
+            prop_assert_eq!(a.should_hedge(e), b.should_hedge(e));
+        }
+    }
+}

@@ -2,6 +2,8 @@
 
 use smartred_core::audit::AuditPolicy;
 use smartred_core::error::ParamError;
+use smartred_core::execution::Assignment;
+use smartred_core::hedge::HedgePolicy;
 use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
 
 use crate::faults::FaultPlan;
@@ -283,6 +285,14 @@ pub struct DcaConfig {
     /// Optional adaptive colluding cartel layered over the pool's base
     /// fault profile.
     pub cartel: Option<CartelConfig>,
+    /// Optional straggler hedging: a job that outlives the online
+    /// latency-quantile estimate gets a duplicate twin on another node, and
+    /// the first copy to answer supplies the replica's vote.
+    pub hedge: Option<HedgePolicy>,
+    /// Node-assignment policy for job dispatch. `Random` reproduces the
+    /// paper's uniform pick (and the golden journals); the alternatives
+    /// trade randomness for spread or load balance.
+    pub assignment: Assignment,
     /// Root seed for all randomness in the run.
     pub seed: u64,
 }
@@ -307,6 +317,8 @@ impl DcaConfig {
             faults: None,
             audit: AuditPolicy::disabled(),
             cartel: None,
+            hedge: None,
+            assignment: Assignment::Random,
             seed,
         }
     }
@@ -442,6 +454,9 @@ impl DcaConfig {
         }
         if let Some(cartel) = self.cartel {
             cartel.validate(self.pool.size)?;
+        }
+        if let Some(hedge) = self.hedge {
+            hedge.validate()?;
         }
         Ok(())
     }

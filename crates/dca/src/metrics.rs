@@ -61,6 +61,14 @@ pub struct DcaReport {
     pub verdicts_voided: u64,
     /// Open tasks re-tallied because a caught liar had touched them.
     pub tasks_retallied: u64,
+    /// Hedge twins launched for straggling jobs (quantile-triggered
+    /// duplicates; not counted in `total_jobs` or the wave accounting).
+    pub hedges_launched: u64,
+    /// Hedge twins that beat their straggling origin and supplied the vote.
+    pub hedges_won: u64,
+    /// Hedge twins whose work was discarded (origin answered first, or the
+    /// twin itself lapsed).
+    pub hedges_wasted: u64,
     /// Simulated time at which the last task completed.
     pub makespan_units: f64,
     /// Total node-busy time in unit-seconds (each dispatched job occupies
@@ -97,6 +105,9 @@ impl DcaReport {
             audit_failures: 0,
             verdicts_voided: 0,
             tasks_retallied: 0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            hedges_wasted: 0,
             makespan_units: 0.0,
             busy_node_units: 0.0,
             capacity_node_units: 0.0,
@@ -130,10 +141,10 @@ impl DcaReport {
     }
 
     /// Total work performed, in job-equivalents: dispatched jobs plus the
-    /// audit layer's local recomputations — the basis of matched-cost
-    /// comparisons between audit-enabled and audit-free strategies.
+    /// audit layer's local recomputations plus hedge twins — the basis of
+    /// matched-cost comparisons between strategies.
     pub fn total_cost(&self) -> u64 {
-        self.total_jobs + self.audits
+        self.total_jobs + self.audits + self.hedges_launched
     }
 
     /// Mean response time per task, in time units.

@@ -2,6 +2,7 @@
 //! and churn.
 
 use rand::Rng;
+use smartred_core::execution::Assignment;
 use smartred_core::node::NodeId;
 use smartred_core::resilience::NodeDiscipline;
 
@@ -29,6 +30,9 @@ pub struct Node {
     pub discipline: NodeDiscipline,
     /// The job currently executing on this node, if any.
     pub current_job: Option<JobId>,
+    /// Jobs ever assigned to this node — the load signal the
+    /// least-loaded assignment policy balances on.
+    pub assigned: u64,
 }
 
 impl Node {
@@ -51,6 +55,8 @@ pub struct NodePool {
     idle_pos: Vec<Option<usize>>,
     alive_count: usize,
     next_id: u64,
+    /// Round-robin dispatch cursor (node index of the next preferred pick).
+    rr_cursor: u32,
 }
 
 impl NodePool {
@@ -63,6 +69,7 @@ impl NodePool {
             idle_pos: Vec::with_capacity(config.size),
             alive_count: 0,
             next_id: 0,
+            rr_cursor: 0,
         };
         for _ in 0..config.size {
             pool.spawn_node(config, rng);
@@ -110,6 +117,7 @@ impl NodePool {
             quarantined: false,
             discipline: NodeDiscipline::default(),
             current_job: None,
+            assigned: 0,
         });
         self.next_id += 1;
         self.idle_pos.push(None);
@@ -194,6 +202,7 @@ impl NodePool {
             if waive_exclusion || !exclude.contains(&candidate) {
                 self.remove_idle(candidate);
                 self.nodes[candidate].current_job = None;
+                self.nodes[candidate].assigned += 1;
                 return Some(candidate);
             }
         }
@@ -205,10 +214,59 @@ impl NodePool {
             if waive_exclusion || !exclude.contains(&candidate) {
                 self.remove_idle(candidate);
                 self.nodes[candidate].current_job = None;
+                self.nodes[candidate].assigned += 1;
                 return Some(candidate);
             }
         }
         None
+    }
+
+    /// Selects an idle node under the given assignment `policy`, marks it
+    /// busy, and returns it.
+    ///
+    /// [`Assignment::Random`] takes the exact
+    /// [`claim_random_idle`](Self::claim_random_idle) code path — same RNG
+    /// draws, same probe sequence — so runs configured with the default
+    /// policy reproduce the historical (golden) journals bit for bit. The
+    /// deterministic policies never touch `rng` at all, so layers that
+    /// share the stream (fault plans, vote draws) are likewise undisturbed.
+    pub fn claim_idle<R: Rng + ?Sized>(
+        &mut self,
+        policy: Assignment,
+        exclude: &[NodeIndex],
+        rng: &mut R,
+    ) -> Option<NodeIndex> {
+        if policy == Assignment::Random {
+            return self.claim_random_idle(exclude, rng);
+        }
+        if self.idle.is_empty() {
+            return None;
+        }
+        let waive_exclusion = exclude.len() >= self.alive_count;
+        let mut eligible: Vec<u32> = self
+            .idle
+            .iter()
+            .copied()
+            .filter(|i| waive_exclusion || !exclude.contains(i))
+            .map(|i| i as u32)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Sort so the pick is a function of the eligible *set*, not of the
+        // incidental order of the swap-remove idle list.
+        eligible.sort_unstable();
+        let loads: Vec<u64> = eligible
+            .iter()
+            .map(|&i| self.nodes[i as usize].assigned)
+            .collect();
+        let pos = policy.pick(&eligible, &loads, self.rr_cursor, 0);
+        let candidate = eligible[pos] as usize;
+        self.rr_cursor = eligible[pos].wrapping_add(1);
+        self.remove_idle(candidate);
+        self.nodes[candidate].current_job = None;
+        self.nodes[candidate].assigned += 1;
+        Some(candidate)
     }
 
     /// Returns a node to the idle set after it finishes (or abandons) a
@@ -504,6 +562,7 @@ mod tests {
             quarantined: false,
             discipline: NodeDiscipline::default(),
             current_job: None,
+            assigned: 0,
         };
         assert!((node.reliability() - 0.7).abs() < 1e-12);
     }
@@ -550,6 +609,68 @@ mod tests {
         assert_eq!(p.idle_count(), 2);
         assert_eq!(p.alive_count(), 2);
         p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_policy_matches_claim_random_idle_exactly() {
+        // Same seed, same call sequence → identical picks: the Random
+        // branch of claim_idle must be the claim_random_idle code path.
+        let (mut a, mut rng_a) = pool(10);
+        let (mut b, mut rng_b) = pool(10);
+        for _ in 0..5 {
+            let x = a.claim_random_idle(&[2], &mut rng_a).unwrap();
+            let y = b.claim_idle(Assignment::Random, &[2], &mut rng_b).unwrap();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_through_the_pool() {
+        let (mut p, mut rng) = pool(4);
+        let picks: Vec<_> = (0..4)
+            .map(|_| p.claim_idle(Assignment::RoundRobin, &[], &mut rng).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3]);
+        for i in picks {
+            p.release(i);
+        }
+        // The cursor wraps: the next pick starts the cycle over.
+        assert_eq!(p.claim_idle(Assignment::RoundRobin, &[], &mut rng), Some(0));
+    }
+
+    #[test]
+    fn round_robin_respects_exclusion() {
+        let (mut p, mut rng) = pool(3);
+        let n = p
+            .claim_idle(Assignment::RoundRobin, &[0], &mut rng)
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn least_loaded_balances_assignments() {
+        let (mut p, mut rng) = pool(3);
+        // Pre-load node 0 heavily; least-loaded must prefer the others.
+        p.node_mut(0).assigned = 5;
+        let a = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        p.release(a);
+        let b = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        p.release(b);
+        assert_eq!((a, b), (1, 2));
+        // Ties break by lowest index.
+        let c = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn deterministic_policies_do_not_touch_the_rng() {
+        use rand::RngCore;
+        let (mut p, mut rng) = pool(4);
+        let mut probe = rng.clone();
+        let expected = probe.next_u64();
+        p.claim_idle(Assignment::RoundRobin, &[], &mut rng).unwrap();
+        p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        assert_eq!(rng.next_u64(), expected);
     }
 
     #[test]

@@ -104,6 +104,9 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
                 report.response_time.record(response);
             }
             RunEvent::TaskCapped { .. } => report.tasks_capped += 1,
+            RunEvent::HedgeLaunched { .. } => report.hedges_launched += 1,
+            RunEvent::HedgeWon { .. } => report.hedges_won += 1,
+            RunEvent::HedgeWasted { .. } => report.hedges_wasted += 1,
             RunEvent::AuditScheduled { .. } => report.audits += 1,
             RunEvent::AuditFailed { .. } => report.audit_failures += 1,
             // A void or re-tally restarts the task from wave 1 with a

@@ -16,7 +16,7 @@
 //!   timeout is indistinguishable from a hang, so it resolves via the
 //!   timeout path.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use rand::Rng;
@@ -24,6 +24,7 @@ use smartred_core::analysis::confidence::confidence;
 use smartred_core::audit::Cartel;
 use smartred_core::error::ParamError;
 use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::hedge::HedgeTrigger;
 use smartred_core::params::Reliability;
 use smartred_core::resilience::DisciplineAction;
 use smartred_core::strategy::RedundancyStrategy;
@@ -143,6 +144,17 @@ struct World {
     /// Scheduler load trace (`queue_depth`, `idle_nodes`), sampled at every
     /// dispatch and resolution. Recorded only for journaled runs.
     trace: Trace,
+    /// Online latency-quantile trigger for straggler hedging (`cfg.hedge`).
+    hedge: Option<HedgeTrigger>,
+    /// Dispatch time of every job ever registered, indexed by job id —
+    /// feeds the hedge trigger's latency estimator at resolution.
+    dispatched_at: Vec<SimTime>,
+    /// Active hedge pairs, both directions: each member maps to its racing
+    /// partner until the pair dissolves (first resolution).
+    hedge_pair: HashMap<JobId, JobId>,
+    /// Which jobs are hedge twins (mapped to their origin), kept until the
+    /// twin settles as won or wasted.
+    twin_origin: HashMap<JobId, JobId>,
 }
 
 type Sim = Simulator<World>;
@@ -235,6 +247,12 @@ fn run_inner(
             .map(|c| Cartel::new(c.members as u32, c.lie_rate)),
         cartel_dormant_until: SimTime::ZERO,
         trace: Trace::new(),
+        hedge: config
+            .hedge
+            .map(|p| HedgeTrigger::new(p).expect("hedge policy validated above")),
+        dispatched_at: Vec::new(),
+        hedge_pair: HashMap::new(),
+        twin_origin: HashMap::new(),
     };
     let mut sim = Sim::new();
     if journaled {
@@ -401,9 +419,11 @@ fn pump(world: &mut World, sim: &mut Sim) {
                 !world.tasks[task].finished,
                 "finished task left jobs queued"
             );
-            let node = world
-                .pool
-                .claim_random_idle(&world.tasks[task].used_nodes, &mut world.rng);
+            let node = world.pool.claim_idle(
+                world.cfg.assignment,
+                &world.tasks[task].used_nodes,
+                &mut world.rng,
+            );
             match node {
                 Some(node) => {
                     dispatch_job(world, sim, task, node);
@@ -771,6 +791,8 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
     let job = world
         .jobs
         .dispatch(task, node, outcome, world.tasks[task].attempt);
+    debug_assert_eq!(world.dispatched_at.len(), job.get());
+    world.dispatched_at.push(sim.now());
     world.pool.node_mut(node).current_job = Some(job);
     world.report.total_jobs += 1;
     let state = &mut world.tasks[task];
@@ -803,6 +825,114 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
     sim.schedule_in(delay, move |world, sim| {
         resolve_job(world, sim, job, times_out);
     });
+    // Straggler hedging: once the latency estimator is warm, arm a check at
+    // the quantile threshold. An armed check carries the dispatch epoch so
+    // a void/re-tally between arming and firing disarms it — the same
+    // guard that keeps audit re-execution and deadline reissue from
+    // double-firing hedges for one task epoch.
+    if let Some(trigger) = &world.hedge {
+        if let Some(threshold) = trigger.threshold() {
+            if threshold < world.cfg.timeout_units {
+                let epoch = world.tasks[task].attempt;
+                sim.schedule_in(SimDuration::from_units(threshold), move |world, sim| {
+                    hedge_check(world, sim, job, task, epoch);
+                });
+            }
+        }
+    }
+}
+
+/// Fires when a dispatched job reaches the hedge threshold still
+/// unresolved: launches a twin of the same logical replica on another
+/// node. The twin bypasses the wave/job accounting entirely — the first
+/// pair member to genuinely resolve supplies the replica's vote and the
+/// loser is discarded.
+fn hedge_check(world: &mut World, sim: &mut Sim, origin: JobId, t: usize, epoch: u32) {
+    if world.jobs.get(origin).resolved
+        || world.tasks[t].finished
+        || world.tasks[t].attempt != epoch
+    {
+        return;
+    }
+    let Some(trigger) = &world.hedge else {
+        return;
+    };
+    let policy = trigger.policy();
+    if world.tasks[t].exec.hedges_launched() >= policy.max_per_task as usize {
+        return;
+    }
+    let Some(node) = world.pool.claim_idle(
+        world.cfg.assignment,
+        &world.tasks[t].used_nodes,
+        &mut world.rng,
+    ) else {
+        // No idle node to duplicate onto: hedging is best-effort.
+        return;
+    };
+    let outcome = draw_outcome(world, sim.now(), t, node);
+    let (lo, hi) = world.cfg.duration_window;
+    let base = if lo == hi {
+        lo
+    } else {
+        world.rng.gen_range(lo..=hi)
+    };
+    let duration_units =
+        base * world.pool.node(node).speed * world.chaos.slow_factor(node, sim.now());
+    let twin = world.jobs.dispatch(t, node, outcome, epoch);
+    debug_assert_eq!(world.dispatched_at.len(), twin.get());
+    world.dispatched_at.push(sim.now());
+    world.pool.node_mut(node).current_job = Some(twin);
+    world.tasks[t].used_nodes.push(node);
+    world.tasks[t].exec.note_hedge();
+    world.report.hedges_launched += 1;
+    world.hedge_pair.insert(origin, twin);
+    world.hedge_pair.insert(twin, origin);
+    world.twin_origin.insert(twin, origin);
+    // The twin's launch event replaces JobDispatched (its busy time is
+    // likewise excluded from `busy_node_units` — hedge cost is tracked by
+    // the hedge counters and `total_cost`, not the utilization metric).
+    sim.emit(RunEvent::HedgeLaunched {
+        job: twin.get() as u32,
+        task: t as u32,
+        origin: origin.get() as u32,
+        epoch,
+    });
+    let times_out = outcome == JobOutcome::NoResponse || duration_units > world.cfg.timeout_units;
+    let delay = if times_out {
+        SimDuration::from_units(world.cfg.timeout_units)
+    } else {
+        SimDuration::from_units(duration_units)
+    };
+    sim.schedule_in(delay, move |world, sim| {
+        resolve_job(world, sim, twin, times_out);
+    });
+}
+
+/// Settles a hedge twin exactly once: `won` means its result supplied the
+/// replica's vote; otherwise its work was discarded.
+fn settle_twin(world: &mut World, sim: &mut Sim, twin: JobId, t: usize, won: bool) {
+    let removed = world.twin_origin.remove(&twin);
+    debug_assert!(removed.is_some(), "twin settled twice");
+    if won {
+        world.report.hedges_won += 1;
+        sim.emit(RunEvent::HedgeWon {
+            job: twin.get() as u32,
+            task: t as u32,
+        });
+    } else {
+        world.report.hedges_wasted += 1;
+        sim.emit(RunEvent::HedgeWasted {
+            job: twin.get() as u32,
+            task: t as u32,
+        });
+    }
+}
+
+/// Feeds a genuinely resolved job's latency to the hedge estimator.
+fn observe_latency(world: &mut World, now: SimTime, job: JobId) {
+    if let Some(trigger) = world.hedge.as_mut() {
+        trigger.observe(now.since(world.dispatched_at[job.get()]).as_units());
+    }
 }
 
 /// Draws a job's outcome from the node's fault parameters, the task's
@@ -851,17 +981,47 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
     };
     world.pool.release(slot.node);
     let t = slot.task;
-    if !world.tasks[t].finished {
-        if slot.attempt != world.tasks[t].attempt {
-            // The job predates an audit void/re-tally of its task: its
-            // reply (or timeout) belongs to a discarded tally and is
-            // dropped without a vote, a strike, or a retry.
+    // Hedge-pair bookkeeping: dissolve this job's pairing (if any) up
+    // front so exactly one pair member ever records a vote, a strike, or a
+    // timeout for the shared logical replica.
+    let is_twin = world.twin_origin.contains_key(&job);
+    let partner = world.hedge_pair.remove(&job);
+    if let Some(p) = partner {
+        world.hedge_pair.remove(&p);
+    }
+    let partner_pending = partner.is_some_and(|p| !world.jobs.get(p).resolved);
+    if world.tasks[t].finished {
+        // Other replicas settled the task while this pair raced; any twin
+        // still owes its terminal hedge event.
+        if is_twin {
+            settle_twin(world, sim, job, t, false);
+        }
+    } else if slot.attempt != world.tasks[t].attempt {
+        // The job predates an audit void/re-tally of its task: its
+        // reply (or timeout) belongs to a discarded tally and is
+        // dropped without a vote, a strike, or a retry.
+        if is_twin {
+            settle_twin(world, sim, job, t, false);
+        } else {
             sim.emit(RunEvent::StaleReplyDropped {
                 job: job.get() as u32,
                 task: t as u32,
                 epoch: world.tasks[t].attempt,
             });
-        } else if timed_out {
+        }
+    } else if timed_out {
+        if partner_pending {
+            // Suppressed: the partner is still racing for this replica's
+            // vote, so the lapse charges no timeout, strike, or vote —
+            // the surviving member carries the replica alone.
+            if is_twin {
+                settle_twin(world, sim, job, t, false);
+            }
+        } else {
+            observe_latency(world, sim.now(), job);
+            if is_twin {
+                settle_twin(world, sim, job, t, false);
+            }
             world.report.timeouts += 1;
             sim.emit(RunEvent::JobTimedOut {
                 job: job.get() as u32,
@@ -880,31 +1040,45 @@ fn resolve_job(world: &mut World, sim: &mut Sim, job: JobId, timed_out: bool) {
                 emit_wave_closed(world, sim, t);
                 poll_task(world, sim, t, /* priority = */ true);
             }
-        } else {
-            let correct = slot.outcome == JobOutcome::Correct;
-            sim.emit(RunEvent::JobReturned {
-                job: job.get() as u32,
-                task: t as u32,
-                node: slot.node as u32,
-                value: correct,
-            });
-            world.tasks[t].exec.record(correct);
-            emit_tally(world, sim, t, correct);
-            if world.cfg.quarantine.is_some() || world.cfg.audit.is_enabled() {
-                world.tasks[t].votes.push((slot.node, correct));
-            }
-            if world.cfg.audit.is_enabled()
-                && world
-                    .pool
-                    .node_mut(slot.node)
-                    .discipline
-                    .consume_probation()
-            {
-                world.tasks[t].must_audit = true;
-            }
-            emit_wave_closed(world, sim, t);
-            poll_task(world, sim, t, /* priority = */ true);
         }
+    } else {
+        observe_latency(world, sim.now(), job);
+        if partner_pending {
+            // This copy won the race: cancel the loser and free its node
+            // (its scheduled resolution will find it already resolved).
+            let p = partner.expect("partner_pending implies a partner");
+            let pslot = world.jobs.resolve(p).expect("partner was pending");
+            world.pool.release(pslot.node);
+            if !is_twin {
+                settle_twin(world, sim, p, t, false);
+            }
+        }
+        let correct = slot.outcome == JobOutcome::Correct;
+        sim.emit(RunEvent::JobReturned {
+            job: job.get() as u32,
+            task: t as u32,
+            node: slot.node as u32,
+            value: correct,
+        });
+        if is_twin {
+            settle_twin(world, sim, job, t, true);
+        }
+        world.tasks[t].exec.record(correct);
+        emit_tally(world, sim, t, correct);
+        if world.cfg.quarantine.is_some() || world.cfg.audit.is_enabled() {
+            world.tasks[t].votes.push((slot.node, correct));
+        }
+        if world.cfg.audit.is_enabled()
+            && world
+                .pool
+                .node_mut(slot.node)
+                .discipline
+                .consume_probation()
+        {
+            world.tasks[t].must_audit = true;
+        }
+        emit_wave_closed(world, sim, t);
+        poll_task(world, sim, t, /* priority = */ true);
     }
     if sim.journal().is_enabled() {
         world
@@ -1125,6 +1299,92 @@ mod tests {
         let a = run(s(), &cfg).unwrap();
         let b = run(s(), &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// A config with enough node-speed spread to make stragglers, and a
+    /// hedge trigger warm enough to fire on them.
+    fn hedged_config(seed: u64) -> DcaConfig {
+        use smartred_core::hedge::HedgePolicy;
+        let mut cfg = DcaConfig::paper_baseline(300, 60, 0.3, seed);
+        cfg.pool.speed_window = (1.0, 4.0);
+        cfg.timeout_units = 10.0;
+        cfg.hedge = Some(HedgePolicy {
+            quantile: 0.7,
+            min_samples: 10,
+            multiplier: 1.0,
+            max_per_task: 2,
+        });
+        cfg
+    }
+
+    #[test]
+    fn hedging_fires_and_every_twin_settles() {
+        let cfg = hedged_config(21);
+        let report = run(Rc::new(Iterative::new(VoteMargin::new(3).unwrap())), &cfg).unwrap();
+        assert_eq!(report.tasks_completed, 300);
+        assert!(report.hedges_launched > 0, "no hedges fired");
+        assert_eq!(
+            report.hedges_launched,
+            report.hedges_won + report.hedges_wasted,
+            "every launched twin must settle exactly once"
+        );
+        assert!(report.total_cost() >= report.total_jobs + report.hedges_launched);
+    }
+
+    #[test]
+    fn hedged_journal_replays_to_identical_report() {
+        let cfg = hedged_config(22);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let run_a = run_journaled(s(), &cfg).unwrap();
+        assert!(run_a.report.hedges_launched > 0);
+        assert_eq!(
+            crate::replay::report_from_journal(&run_a.journal, &cfg),
+            run_a.report
+        );
+        // Journaling is a pure observer even with hedging enabled.
+        assert_eq!(run(s(), &cfg).unwrap(), run_a.report);
+        // The hedged journal round-trips through JSONL bit for bit.
+        let restored =
+            smartred_desim::journal::Journal::from_jsonl(&run_a.journal.to_jsonl()).unwrap();
+        assert_eq!(restored.digest(), run_a.journal.digest());
+    }
+
+    #[test]
+    fn hedging_never_fires_before_the_estimator_warms() {
+        use smartred_core::hedge::HedgePolicy;
+        let mut cfg = hedged_config(23);
+        // More samples demanded than the run can ever produce.
+        cfg.hedge = Some(HedgePolicy {
+            min_samples: u64::MAX,
+            ..HedgePolicy::default()
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert_eq!(report.hedges_launched, 0);
+        assert_eq!(report.cost_factor(), 3.0);
+    }
+
+    #[test]
+    fn assignment_policies_preserve_verdict_metrics() {
+        use smartred_core::execution::Assignment;
+        let k = KVotes::new(5).unwrap();
+        for policy in Assignment::ALL {
+            let mut cfg = DcaConfig::paper_baseline(200, 40, 0.3, 31);
+            cfg.assignment = policy;
+            let s = || Rc::new(Traditional::new(k));
+            let a = run(s(), &cfg).unwrap();
+            // Deterministic per policy, cost structure untouched.
+            assert_eq!(a, run(s(), &cfg).unwrap(), "{}", policy.name());
+            assert_eq!(a.tasks_completed, 200, "{}", policy.name());
+            assert_eq!(a.cost_factor(), 5.0, "{}", policy.name());
+            // Replay agrees under every policy.
+            let journaled = run_journaled(s(), &cfg).unwrap();
+            assert_eq!(
+                crate::replay::report_from_journal(&journaled.journal, &cfg),
+                journaled.report,
+                "{}",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use std::rc::Rc;
 
+use smartred_core::execution::Assignment;
+use smartred_core::hedge::HedgePolicy;
 use smartred_core::params::{KVotes, VoteMargin};
 use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::{Iterative, Progressive, Traditional};
@@ -59,6 +61,43 @@ const GOLDEN_TR_K3: &str = "8d18bdabc015bf33";
 const GOLDEN_PR_K9: &str = "6a79ae91648bc670";
 const GOLDEN_IR_D4: &str = "d4aa2935481055e1";
 
+/// The hedged-run golden config: the base chaotic knobs on a roomier pool
+/// (hedging is best-effort and only duplicates onto *idle* nodes, so the
+/// saturated 20-node pool of `golden_config` never fires a twin), plus a
+/// hedge policy whose threshold (q70 of the duration window, ×1.0) lands
+/// well inside the deadline. Every pinned journal contains launched
+/// twins, and the won/wasted split is covered by the settlement identity.
+fn hedged_golden_config(assignment: Assignment) -> DcaConfig {
+    let mut cfg = DcaConfig::paper_baseline(120, 60, 0.3, SEED);
+    cfg.pool.unresponsive_rate = 0.05;
+    cfg.retry = Some(RetryPolicy::default());
+    cfg.quarantine = Some(QuarantinePolicy::default());
+    cfg.hedge = Some(HedgePolicy {
+        quantile: 0.7,
+        min_samples: 20,
+        multiplier: 1.0,
+        max_per_task: 1,
+    });
+    cfg.assignment = assignment;
+    cfg
+}
+
+/// One pinned hedged run per assignment policy, all on the same seeded
+/// strategy: the digests separate the three placement algorithms at event
+/// granularity, so a silent change to any one of them fails exactly its
+/// own pin.
+fn hedged_golden_cases() -> Vec<(Assignment, &'static str)> {
+    vec![
+        (Assignment::Random, GOLDEN_HEDGED_RANDOM),
+        (Assignment::RoundRobin, GOLDEN_HEDGED_ROUND_ROBIN),
+        (Assignment::LeastLoaded, GOLDEN_HEDGED_LEAST_LOADED),
+    ]
+}
+
+const GOLDEN_HEDGED_RANDOM: &str = "5df6a6f6d48785aa";
+const GOLDEN_HEDGED_ROUND_ROBIN: &str = "b4b5635f11e0f001";
+const GOLDEN_HEDGED_LEAST_LOADED: &str = "5868d11323eb2a8c";
+
 /// Dumps a journal under `target/journal-artifacts/` so digest mismatches
 /// leave an inspectable artifact (CI uploads the directory on failure).
 fn dump_artifact(name: &str, journal: &Journal) -> String {
@@ -88,6 +127,88 @@ fn journal_digests_match_pinned_golden_values() {
             );
         }
     }
+}
+
+#[test]
+fn hedged_journal_digests_match_pinned_values_per_assignment_policy() {
+    let strategy = || Rc::new(Iterative::new(VoteMargin::new(4).unwrap())) as SharedStrategy;
+    for (assignment, expected) in hedged_golden_cases() {
+        let cfg = hedged_golden_config(assignment);
+        let run = run_journaled(strategy(), &cfg).unwrap();
+        // Every pinned journal must actually exercise the hedging
+        // vocabulary, or the digest pins nothing interesting.
+        assert!(
+            run.journal.count(EventKind::HedgeLaunched) > 0,
+            "{}: pinned run launched no hedges",
+            assignment.name()
+        );
+        assert_eq!(
+            run.report.hedges_launched,
+            run.report.hedges_won + run.report.hedges_wasted,
+            "{}: every launched twin settles exactly once",
+            assignment.name()
+        );
+        let digest = run.journal.digest_hex();
+        if digest != expected {
+            let path = dump_artifact(&format!("hedged-{}", assignment.name()), &run.journal);
+            panic!(
+                "hedged journal digest drift for {}: expected {expected}, got {digest} \
+                 ({} events; journal dumped to {path})",
+                assignment.name(),
+                run.journal.len()
+            );
+        }
+        // Hedged journals replay to the live report like everything else.
+        assert_eq!(
+            report_from_journal(&run.journal, &cfg),
+            run.report,
+            "replayed hedged report drifted from live report for {}",
+            assignment.name()
+        );
+    }
+}
+
+#[test]
+fn explicit_random_assignment_preserves_the_unhedged_goldens() {
+    // `Assignment::Random` routes through the historical dispatch path, so
+    // setting it explicitly (without a hedge policy) must reproduce the
+    // original pinned digests bit-for-bit: the assignment feature cannot
+    // perturb pre-existing runs.
+    for (name, strategy, expected) in golden_cases() {
+        let mut cfg = golden_config();
+        cfg.assignment = Assignment::Random;
+        let run = run_journaled(strategy, &cfg).unwrap();
+        assert_eq!(
+            run.journal.digest_hex(),
+            expected,
+            "explicit Random assignment perturbed the golden journal for {name}"
+        );
+    }
+}
+
+#[test]
+fn hedged_golden_digests_are_invariant_across_thread_settings() {
+    let strategy = || Rc::new(Iterative::new(VoteMargin::new(4).unwrap())) as SharedStrategy;
+    let mut digests: Vec<Vec<String>> = Vec::new();
+    for threads in ["1", "8"] {
+        std::env::set_var("SMARTRED_THREADS", threads);
+        digests.push(
+            hedged_golden_cases()
+                .into_iter()
+                .map(|(assignment, _)| {
+                    run_journaled(strategy(), &hedged_golden_config(assignment))
+                        .unwrap()
+                        .journal
+                        .digest_hex()
+                })
+                .collect(),
+        );
+    }
+    std::env::remove_var("SMARTRED_THREADS");
+    assert_eq!(
+        digests[0], digests[1],
+        "hedged journal digests drifted between SMARTRED_THREADS=1 and =8"
+    );
 }
 
 #[test]
@@ -207,6 +328,20 @@ fn print_golden_digests() {
             "{name}: {} ({} events)",
             run.journal.digest_hex(),
             run.journal.len()
+        );
+    }
+    for (assignment, _) in hedged_golden_cases() {
+        let run = run_journaled(
+            Rc::new(Iterative::new(VoteMargin::new(4).unwrap())),
+            &hedged_golden_config(assignment),
+        )
+        .unwrap();
+        println!(
+            "hedged-{}: {} ({} events, {} hedges)",
+            assignment.name(),
+            run.journal.digest_hex(),
+            run.journal.len(),
+            run.report.hedges_launched
         );
     }
 }

@@ -292,6 +292,38 @@ pub enum RunEvent {
         /// The new epoch.
         epoch: u32,
     },
+    /// A straggling job outlived the online latency-quantile threshold and
+    /// a hedge twin was launched: a duplicate of the same logical replica
+    /// on another worker. The first copy to report supplies the replica's
+    /// vote; hedge twins never touch the wave accounting or the job cap.
+    HedgeLaunched {
+        /// The hedge twin's own job index.
+        job: u32,
+        /// Task the hedged replica belongs to.
+        task: u32,
+        /// The straggling job the twin duplicates.
+        origin: u32,
+        /// The task's replica epoch at launch; a check armed before an
+        /// epoch bump must not fire after it.
+        epoch: u32,
+    },
+    /// A hedge twin beat its straggling origin: the twin's result supplied
+    /// the replica's vote (journalled as the origin job's return) and the
+    /// origin was discarded.
+    HedgeWon {
+        /// The winning hedge twin's job index.
+        job: u32,
+        /// Task the hedged replica belongs to.
+        task: u32,
+    },
+    /// A hedge twin's work was discarded: its origin reported first (or
+    /// the twin timed out), so the duplicate bought nothing this time.
+    HedgeWasted {
+        /// The wasted hedge twin's job index.
+        job: u32,
+        /// Task the hedged replica belongs to.
+        task: u32,
+    },
     /// The coordinator scheduled a local recomputation (audit) of a task's
     /// payload, to cross-check every result recorded for it so far.
     AuditScheduled {
@@ -370,6 +402,12 @@ pub enum EventKind {
     StaleReplyDropped,
     /// See [`RunEvent::EpochAdvanced`].
     EpochAdvanced,
+    /// See [`RunEvent::HedgeLaunched`].
+    HedgeLaunched,
+    /// See [`RunEvent::HedgeWon`].
+    HedgeWon,
+    /// See [`RunEvent::HedgeWasted`].
+    HedgeWasted,
     /// See [`RunEvent::AuditScheduled`].
     AuditScheduled,
     /// See [`RunEvent::AuditPassed`].
@@ -408,6 +446,9 @@ impl EventKind {
             EventKind::TaskPoisoned => "task_poisoned",
             EventKind::StaleReplyDropped => "stale_reply_dropped",
             EventKind::EpochAdvanced => "epoch_advanced",
+            EventKind::HedgeLaunched => "hedge_launched",
+            EventKind::HedgeWon => "hedge_won",
+            EventKind::HedgeWasted => "hedge_wasted",
             EventKind::AuditScheduled => "audit_scheduled",
             EventKind::AuditPassed => "audit_passed",
             EventKind::AuditFailed => "audit_failed",
@@ -442,6 +483,9 @@ impl RunEvent {
             RunEvent::TaskPoisoned { .. } => EventKind::TaskPoisoned,
             RunEvent::StaleReplyDropped { .. } => EventKind::StaleReplyDropped,
             RunEvent::EpochAdvanced { .. } => EventKind::EpochAdvanced,
+            RunEvent::HedgeLaunched { .. } => EventKind::HedgeLaunched,
+            RunEvent::HedgeWon { .. } => EventKind::HedgeWon,
+            RunEvent::HedgeWasted { .. } => EventKind::HedgeWasted,
             RunEvent::AuditScheduled { .. } => EventKind::AuditScheduled,
             RunEvent::AuditPassed { .. } => EventKind::AuditPassed,
             RunEvent::AuditFailed { .. } => EventKind::AuditFailed,
@@ -467,6 +511,9 @@ impl RunEvent {
             | RunEvent::TaskPoisoned { task, .. }
             | RunEvent::StaleReplyDropped { task, .. }
             | RunEvent::EpochAdvanced { task, .. }
+            | RunEvent::HedgeLaunched { task, .. }
+            | RunEvent::HedgeWon { task, .. }
+            | RunEvent::HedgeWasted { task, .. }
             | RunEvent::AuditScheduled { task }
             | RunEvent::AuditPassed { task }
             | RunEvent::AuditFailed { task, .. }
@@ -590,6 +637,17 @@ impl Stamped {
             }
             RunEvent::EpochAdvanced { task, epoch } => {
                 line.push_str(&format!(",\"task\":{task},\"epoch\":{epoch}"))
+            }
+            RunEvent::HedgeLaunched {
+                job,
+                task,
+                origin,
+                epoch,
+            } => line.push_str(&format!(
+                ",\"job\":{job},\"task\":{task},\"origin\":{origin},\"epoch\":{epoch}"
+            )),
+            RunEvent::HedgeWon { job, task } | RunEvent::HedgeWasted { job, task } => {
+                line.push_str(&format!(",\"job\":{job},\"task\":{task}"))
             }
             RunEvent::AuditScheduled { task }
             | RunEvent::AuditPassed { task }
@@ -735,6 +793,20 @@ impl Stamped {
             "epoch_advanced" => RunEvent::EpochAdvanced {
                 task: narrow("task")?,
                 epoch: narrow("epoch")?,
+            },
+            "hedge_launched" => RunEvent::HedgeLaunched {
+                job: narrow("job")?,
+                task: narrow("task")?,
+                origin: narrow("origin")?,
+                epoch: narrow("epoch")?,
+            },
+            "hedge_won" => RunEvent::HedgeWon {
+                job: narrow("job")?,
+                task: narrow("task")?,
+            },
+            "hedge_wasted" => RunEvent::HedgeWasted {
+                job: narrow("job")?,
+                task: narrow("task")?,
             },
             "audit_scheduled" => RunEvent::AuditScheduled {
                 task: narrow("task")?,
@@ -997,6 +1069,21 @@ impl Journal {
                 RunEvent::EpochAdvanced { task, epoch } => {
                     eat(&task.to_le_bytes());
                     eat(&epoch.to_le_bytes());
+                }
+                RunEvent::HedgeLaunched {
+                    job,
+                    task,
+                    origin,
+                    epoch,
+                } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&origin.to_le_bytes());
+                    eat(&epoch.to_le_bytes());
+                }
+                RunEvent::HedgeWon { job, task } | RunEvent::HedgeWasted { job, task } => {
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
                 }
                 RunEvent::AuditScheduled { task }
                 | RunEvent::AuditPassed { task }

@@ -13,7 +13,7 @@ use smartred_desim::time::SimTime;
 /// confidence float is derived from `a` so it is always finite and in
 /// `[0, 1]`.
 fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
-    match sel % 23 {
+    match sel % 26 {
         0 => RunEvent::JobDispatched {
             job: a,
             task: b,
@@ -90,6 +90,14 @@ fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
         },
         20 => RunEvent::VerdictVoided { task: b },
         21 => RunEvent::TaskRetallied { task: b },
+        22 => RunEvent::HedgeLaunched {
+            job: a,
+            task: b,
+            origin: a / 2,
+            epoch: a % 9,
+        },
+        23 => RunEvent::HedgeWon { job: a, task: b },
+        24 => RunEvent::HedgeWasted { job: a, task: b },
         _ => RunEvent::FaultInjected {
             kind: match a % 6 {
                 0 => FaultKind::Crash,
@@ -120,7 +128,7 @@ proptest! {
     #[test]
     fn journals_are_time_ordered(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..80,
         ),
     ) {
@@ -134,7 +142,7 @@ proptest! {
     #[test]
     fn jsonl_round_trips_losslessly(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..80,
         ),
     ) {
@@ -153,7 +161,7 @@ proptest! {
     #[test]
     fn digest_is_thread_setting_invariant(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..60,
         ),
     ) {
@@ -172,7 +180,7 @@ proptest! {
     #[test]
     fn windowing_agrees_with_naive_filter(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..300, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..60,
         ),
         bounds in (0u64..20_000, 0u64..20_000),
@@ -194,7 +202,7 @@ proptest! {
     #[test]
     fn filters_are_consistent_with_counts(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..23, 0u32..10_000, 0u32..8, proptest::bool::ANY),
+            (0u64..300, 0u8..26, 0u32..10_000, 0u32..8, proptest::bool::ANY),
             1..60,
         ),
     ) {
@@ -222,6 +230,9 @@ proptest! {
             EventKind::AuditFailed,
             EventKind::VerdictVoided,
             EventKind::TaskRetallied,
+            EventKind::HedgeLaunched,
+            EventKind::HedgeWon,
+            EventKind::HedgeWasted,
             EventKind::FaultInjected,
         ]
         .iter()
@@ -247,7 +258,7 @@ proptest! {
     #[test]
     fn wal_prefix_survives_any_truncation_of_the_final_record(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..23, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..40,
         ),
         cut_seed in 0usize..10_000,

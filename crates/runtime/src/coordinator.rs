@@ -52,7 +52,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smartred_core::audit::AuditPolicy;
-use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::execution::{Assignment, TaskExecution, WaveStep};
+use smartred_core::hedge::{HedgePolicy, HedgeTrigger};
 use smartred_core::parallel::Threads;
 use smartred_core::resilience::{
     DisciplineAction, NodeDiscipline, PoisonPolicy, QuarantinePolicy, TaskDiscipline,
@@ -133,6 +134,18 @@ pub struct RuntimeConfig {
     /// failure, which recovery handles identically to crashing earlier.
     /// `1` — the default — is the classic sync-every-append WAL.
     pub wal_batch: u64,
+    /// Straggler hedging: a job that outlives the online latency-quantile
+    /// estimate gets a duplicate twin on another worker; the first copy to
+    /// report supplies the replica's vote and the loser is discarded.
+    /// Verdict-invariant (votes are pure functions of
+    /// `(seed, task, replica)`), so hedging changes *when* verdicts arrive,
+    /// never what they say. `None` disables.
+    pub hedge: Option<HedgePolicy>,
+    /// Worker-assignment policy for dispatch. `Random` keeps the pool's
+    /// historical round-robin-from-cursor scan; the deterministic
+    /// alternatives order eligible workers through
+    /// [`Assignment::pick`] before dispatch.
+    pub assignment: Assignment,
 }
 
 impl Default for RuntimeConfig {
@@ -156,6 +169,8 @@ impl Default for RuntimeConfig {
             crash_after_events: None,
             node_base: 0,
             wal_batch: 1,
+            hedge: None,
+            assignment: Assignment::Random,
         }
     }
 }
@@ -420,6 +435,14 @@ impl Runtime {
             quarantined_until: vec![None; node_span],
             blacklisted: vec![false; node_span],
             escalated: false,
+            hedge: cfg
+                .hedge
+                .map(|p| HedgeTrigger::new(p).expect("invalid hedge policy")),
+            hedge_checks: BinaryHeap::new(),
+            hedge_pair: HashMap::new(),
+            twin_origin: HashMap::new(),
+            worker_loads: vec![0; node_span],
+            assign_cursor: cfg.node_base,
             cfg,
             pool,
             submit_rx,
@@ -644,6 +667,14 @@ impl Runtime {
             quarantined_until,
             blacklisted,
             escalated,
+            hedge: cfg
+                .hedge
+                .map(|p| HedgeTrigger::new(p).expect("invalid hedge policy")),
+            hedge_checks: BinaryHeap::new(),
+            hedge_pair: HashMap::new(),
+            twin_origin: HashMap::new(),
+            worker_loads: vec![0; node_span],
+            assign_cursor: cfg.node_base,
             cfg,
             pool,
             submit_rx,
@@ -808,6 +839,9 @@ struct JobInfo {
     worker: u32,
     replica: u32,
     epoch: u32,
+    /// Stamp of this dispatch, feeding the hedge trigger's latency
+    /// estimator when the job genuinely resolves.
+    dispatched_at: SimTime,
 }
 
 /// How a task ends.
@@ -871,6 +905,28 @@ struct Coordinator<S> {
     /// to [`AuditPolicy::escalated_rate`]. Rebuilt from the journal on
     /// recovery (`report.audit_failures > 0`).
     escalated: bool,
+    /// The straggler-hedging trigger (shared decision surface with the
+    /// simulators). Estimator state is not journaled: a recovered
+    /// coordinator re-warms from scratch, which only delays hedging and
+    /// never changes a vote.
+    hedge: Option<HedgeTrigger>,
+    /// Armed hedge checks as `(fire_at, origin job, dispatch epoch)`. An
+    /// entry whose origin has resolved, been superseded (epoch mismatch),
+    /// or whose task moved to a new epoch is skipped — the double-fire
+    /// guard against audit voids and deadline reissues.
+    hedge_checks: BinaryHeap<Reverse<(Instant, u32, u32)>>,
+    /// Live hedge pairs, both directions (origin ↔ twin).
+    hedge_pair: HashMap<u32, u32>,
+    /// Twin → origin, held until the twin settles; terminal journal
+    /// events of a pair always carry the *origin* job id (see
+    /// [`Self::fire_hedges`]), so recovery replays the pair as one
+    /// logical replica.
+    twin_origin: HashMap<u32, u32>,
+    /// Per-worker dispatch counts, indexed by global node id — the load
+    /// signal of [`Assignment::LeastLoaded`].
+    worker_loads: Vec<u64>,
+    /// Rotation cursor of [`Assignment::RoundRobin`].
+    assign_cursor: u32,
 }
 
 /// Poll tick: bounds how long the loop waits before re-checking the
@@ -895,6 +951,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             self.supervise_hangs();
             self.release_quarantines();
             self.drain_pending();
+            self.fire_hedges(Instant::now());
             self.expire_deadlines(Instant::now());
             if self.crashed {
                 break;
@@ -1085,6 +1142,83 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         }
     }
 
+    /// Hands an assignment to a worker under the configured assignment
+    /// policy. `avoid` — a hedge twin's origin worker — is excluded unless
+    /// it is the only enabled worker. [`Assignment::Random`] with no
+    /// exclusion delegates to the pool's historical round-robin scan, so
+    /// the default configuration's dispatch order is untouched.
+    fn dispatch_to_pool(
+        &mut self,
+        assignment: JobAssignment,
+        avoid: Option<u32>,
+    ) -> Result<u32, JobAssignment> {
+        if self.cfg.assignment == Assignment::Random && avoid.is_none() {
+            return self.pool.try_dispatch(assignment).map(|worker| {
+                self.worker_loads[worker as usize] += 1;
+                worker
+            });
+        }
+        let mut eligible: Vec<u32> = self
+            .pool
+            .node_ids()
+            .filter(|&n| self.pool.is_enabled(n) && Some(n) != avoid)
+            .collect();
+        if eligible.is_empty() {
+            // Only the avoided worker remains enabled: waive the exclusion.
+            eligible = self
+                .pool
+                .node_ids()
+                .filter(|&n| self.pool.is_enabled(n))
+                .collect();
+        }
+        if eligible.is_empty() {
+            return Err(assignment);
+        }
+        // `node_ids()` yields ascending ids, so `eligible` is sorted and
+        // the pick is a pure function of the eligible set.
+        let order: Vec<u32> = if self.cfg.assignment == Assignment::Random {
+            eligible
+        } else {
+            let loads: Vec<u64> = eligible
+                .iter()
+                .map(|&n| self.worker_loads[n as usize])
+                .collect();
+            let at = self
+                .cfg
+                .assignment
+                .pick(&eligible, &loads, self.assign_cursor, 0);
+            let mut order = Vec::with_capacity(eligible.len());
+            order.extend_from_slice(&eligible[at..]);
+            order.extend_from_slice(&eligible[..at]);
+            order
+        };
+        match self.pool.try_dispatch_ordered(assignment, &order) {
+            Ok(worker) => {
+                self.assign_cursor = worker.wrapping_add(1);
+                self.worker_loads[worker as usize] += 1;
+                Ok(worker)
+            }
+            Err(back) => Err(back),
+        }
+    }
+
+    /// Arms a hedge check for a just-dispatched job, if the trigger is
+    /// warm and the threshold beats the deadline (hedging past the
+    /// deadline would duplicate a job the timeout path is about to
+    /// abandon anyway).
+    fn arm_hedge(&mut self, job: u32, epoch: u32, dispatched: Instant) {
+        let Some(threshold) = self.hedge.as_ref().and_then(|t| t.threshold()) else {
+            return;
+        };
+        if threshold < self.cfg.deadline.as_secs_f64() {
+            self.hedge_checks.push(Reverse((
+                dispatched + Duration::from_secs_f64(threshold),
+                job,
+                epoch,
+            )));
+        }
+    }
+
     /// Hands parked replicas to workers, stopping at the first refusal
     /// (every inbox full) — the next tick retries. Re-armed jobs (hung
     /// respawns, recovery) go first and are *not* re-journaled: they are
@@ -1101,8 +1235,9 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 epoch,
                 payload: state.payload.clone(),
             };
-            match self.pool.try_dispatch(assignment) {
+            match self.dispatch_to_pool(assignment, None) {
                 Ok(worker) => {
+                    let now = Instant::now();
                     self.jobs.insert(
                         job,
                         JobInfo {
@@ -1110,10 +1245,12 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                             worker,
                             replica,
                             epoch,
+                            dispatched_at: self.stamp(),
                         },
                     );
                     self.deadlines
-                        .push(Reverse((Instant::now() + self.cfg.deadline, job, epoch)));
+                        .push(Reverse((now + self.cfg.deadline, job, epoch)));
+                    self.arm_hedge(job, epoch, now);
                 }
                 Err(back) => {
                     self.rearm
@@ -1135,7 +1272,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 epoch,
                 payload: state.payload.clone(),
             };
-            match self.pool.try_dispatch(assignment) {
+            match self.dispatch_to_pool(assignment, None) {
                 Ok(worker) => {
                     self.next_job += 1;
                     let now = Instant::now();
@@ -1166,10 +1303,12 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                             worker,
                             replica,
                             epoch,
+                            dispatched_at: at,
                         },
                     );
                     self.deadlines
                         .push(Reverse((now + self.cfg.deadline, job, epoch)));
+                    self.arm_hedge(job, epoch, now);
                 }
                 Err(assignment) => {
                     self.pending
@@ -1178,6 +1317,113 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 }
             }
         }
+    }
+
+    /// Launches hedge twins for armed checks whose origin job is still
+    /// outstanding. The twin re-runs the *same* `(task, replica)` under
+    /// the same epoch — its fault draw, and hence its vote, is identical
+    /// to the origin's — on a different worker when one is available.
+    /// Twins bypass the wave/job accounting entirely: their launch event
+    /// replaces `JobDispatched`, and every terminal journal event of the
+    /// pair carries the origin's job id, so WAL recovery replays the pair
+    /// as one logical replica.
+    fn fire_hedges(&mut self, now: Instant) {
+        let Some(policy) = self.hedge.as_ref().map(|t| t.policy()) else {
+            return;
+        };
+        while let Some(&Reverse((fire_at, origin, epoch))) = self.hedge_checks.peek() {
+            if fire_at > now || self.crashed {
+                break;
+            }
+            self.hedge_checks.pop();
+            // Double-fire guards: the origin must still be outstanding
+            // under the armed epoch (a timeout reissue or audit void
+            // removed it or bumped the epoch), unhedged, and within the
+            // task's per-epoch budget.
+            let Some(info) = self.jobs.get(&origin) else {
+                continue;
+            };
+            if info.epoch != epoch || self.hedge_pair.contains_key(&origin) {
+                continue;
+            }
+            let (task, origin_worker, replica) = (info.task, info.worker, info.replica);
+            let Some(state) = self.tasks.get(&task) else {
+                continue;
+            };
+            if state.epoch != epoch
+                || state.exec.hedges_launched() >= policy.max_per_task as usize
+            {
+                continue;
+            }
+            let twin = self.next_job;
+            let assignment = JobAssignment {
+                job: twin,
+                task,
+                replica,
+                epoch,
+                payload: state.payload.clone(),
+            };
+            match self.dispatch_to_pool(assignment, Some(origin_worker)) {
+                Ok(worker) => {
+                    self.next_job += 1;
+                    let at = self.stamp();
+                    let alive = self.log(
+                        at,
+                        RunEvent::HedgeLaunched {
+                            job: twin,
+                            task,
+                            origin,
+                            epoch,
+                        },
+                    );
+                    if !alive {
+                        return;
+                    }
+                    self.report.hedges_launched += 1;
+                    let state = self.tasks.get_mut(&task).expect("checked above");
+                    state.exec.note_hedge();
+                    state.live_jobs.push(twin);
+                    self.jobs.insert(
+                        twin,
+                        JobInfo {
+                            task,
+                            worker,
+                            replica,
+                            epoch,
+                            dispatched_at: at,
+                        },
+                    );
+                    self.hedge_pair.insert(origin, twin);
+                    self.hedge_pair.insert(twin, origin);
+                    self.twin_origin.insert(twin, origin);
+                    self.deadlines
+                        .push(Reverse((Instant::now() + self.cfg.deadline, twin, epoch)));
+                }
+                // Best-effort: every inbox is full, skip this hedge.
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Logs a twin's terminal hedge event exactly once: `won` means its
+    /// result supplied the replica's vote. Returns `log`'s aliveness.
+    fn settle_twin(&mut self, twin: u32, task: u32, won: bool, at: SimTime) -> bool {
+        let removed = self.twin_origin.remove(&twin);
+        debug_assert!(removed.is_some(), "twin settled twice");
+        let event = if won {
+            RunEvent::HedgeWon { job: twin, task }
+        } else {
+            RunEvent::HedgeWasted { job: twin, task }
+        };
+        if !self.log(at, event) {
+            return false;
+        }
+        if won {
+            self.report.hedges_won += 1;
+        } else {
+            self.report.hedges_wasted += 1;
+        }
+        true
     }
 
     fn on_pool_event(&mut self, event: PoolEvent) {
@@ -1219,10 +1465,39 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         }
         let info = self.jobs.remove(&result.job).expect("fresh job is mapped");
         let task = info.task;
+        // Hedge-pair dissolution happens up front: whichever member
+        // resolves first dissolves the pair, and the terminal journal
+        // event below carries the ORIGIN's job id, so WAL recovery
+        // replays the pair as one logical replica.
+        let partner = self.hedge_pair.remove(&result.job);
+        if let Some(p) = partner {
+            self.hedge_pair.remove(&p);
+        }
+        let is_twin = self.twin_origin.contains_key(&result.job);
+        let origin_id = self
+            .twin_origin
+            .get(&result.job)
+            .copied()
+            .unwrap_or(result.job);
+        // A genuine resolution feeds the straggler estimator.
+        if let Some(trigger) = self.hedge.as_mut() {
+            trigger.observe(at.since(info.dispatched_at).as_units());
+        }
+        // Cancel the losing partner: its worker keeps computing, but the
+        // job leaves the map, so its eventual reply drops as stale.
+        if let Some(p) = partner.filter(|p| self.jobs.contains_key(p)) {
+            self.jobs.remove(&p);
+            if let Some(state) = self.tasks.get_mut(&task) {
+                state.live_jobs.retain(|&j| j != p);
+            }
+            if !is_twin && !self.settle_twin(p, task, false, at) {
+                return;
+            }
+        }
         let alive = self.log(
             at,
             RunEvent::JobReturned {
-                job: result.job,
+                job: origin_id,
                 task,
                 node: result.worker,
                 value: result.vote,
@@ -1231,13 +1506,16 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         if !alive {
             return;
         }
+        if is_twin && !self.settle_twin(result.job, task, true, at) {
+            return;
+        }
         let Some(state) = self.tasks.get_mut(&task) else {
             return;
         };
         state.live_jobs.retain(|&j| j != result.job);
         state.answers[usize::from(result.vote)] = Some(result.answer);
         state.exec.record(result.vote);
-        state.returns.push((result.job, result.worker, result.vote));
+        state.returns.push((origin_id, result.worker, result.vote));
         // A result from a probationary node (fresh out of quarantine)
         // burns one probation slot and forces an audit of this task's
         // verdict, whatever the spot draw says.
@@ -1286,11 +1564,50 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             }
             return;
         }
+        // Pair dissolution first: the pair's terminal event carries the
+        // origin's job id.
+        let partner = self.hedge_pair.remove(&job);
+        if let Some(p) = partner {
+            self.hedge_pair.remove(&p);
+        }
+        let is_twin = self.twin_origin.contains_key(&job);
+        let origin_id = self.twin_origin.get(&job).copied().unwrap_or(job);
+        if partner.is_some_and(|p| self.jobs.contains_key(&p)) {
+            // Suppressed crash: the hedge partner is still flying and will
+            // supply the pair's single terminal event, so no
+            // `WorkerCrashed` is journaled — recovery strikes, poisons,
+            // and abandons only on that event, and a lapse the live run
+            // absorbed must not do any of those on replay. The in-place
+            // restart is real, though: log it.
+            self.jobs.remove(&job);
+            if let Some(state) = self.tasks.get_mut(&task) {
+                state.live_jobs.retain(|&j| j != job);
+            }
+            self.incarnations[worker as usize] += 1;
+            let incarnation = self.incarnations[worker as usize];
+            if !self.log(
+                at,
+                RunEvent::WorkerRestarted {
+                    node: worker,
+                    incarnation,
+                },
+            ) {
+                return;
+            }
+            self.report.worker_restarts += 1;
+            if is_twin {
+                let _ = self.settle_twin(job, task, false, at);
+            }
+            return;
+        }
+        if is_twin && !self.settle_twin(job, task, false, at) {
+            return;
+        }
         if !self.log(
             at,
             RunEvent::WorkerCrashed {
                 node: worker,
-                job,
+                job: origin_id,
                 task,
             },
         ) {
@@ -1404,7 +1721,35 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         let mut lost = lost;
         lost.sort_unstable();
         for (job, task, replica) in lost {
-            self.jobs.remove(&job);
+            if self.jobs.remove(&job).is_none() {
+                continue; // canceled while handling an earlier pair member
+            }
+            if let Some(p) = self.hedge_pair.remove(&job) {
+                self.hedge_pair.remove(&p);
+                if self.twin_origin.contains_key(&job) {
+                    // A hedge twin died with its worker: settle it and let
+                    // the origin keep flying — recovery never re-arms
+                    // twins, so the live run must not either.
+                    if let Some(state) = self.tasks.get_mut(&task) {
+                        state.live_jobs.retain(|&j| j != job);
+                    }
+                    if !self.settle_twin(job, task, false, at) {
+                        return;
+                    }
+                    continue;
+                }
+                // A hedged origin is re-armed below; its twin is canceled
+                // (its late reply drops as stale) so the re-armed origin
+                // stays the pair's sole voter.
+                if self.jobs.remove(&p).is_some() {
+                    if let Some(state) = self.tasks.get_mut(&task) {
+                        state.live_jobs.retain(|&j| j != p);
+                    }
+                    if !self.settle_twin(p, task, false, at) {
+                        return;
+                    }
+                }
+            }
             let Some(state) = self.tasks.get(&task) else {
                 continue;
             };
@@ -1530,10 +1875,37 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             let info = self.jobs.remove(&job).expect("armed job is mapped");
             let task = info.task;
             let at = self.stamp();
+            // Pair dissolution first: a lapse with the hedge partner still
+            // flying is absorbed silently — no journal event, no strike,
+            // no abandon — because the partner will supply the pair's
+            // single terminal event under the origin's id.
+            let partner = self.hedge_pair.remove(&job);
+            if let Some(p) = partner {
+                self.hedge_pair.remove(&p);
+            }
+            let is_twin = self.twin_origin.contains_key(&job);
+            let origin_id = self.twin_origin.get(&job).copied().unwrap_or(job);
+            if partner.is_some_and(|p| self.jobs.contains_key(&p)) {
+                if let Some(state) = self.tasks.get_mut(&task) {
+                    state.live_jobs.retain(|&j| j != job);
+                }
+                if is_twin && !self.settle_twin(job, task, false, at) {
+                    return;
+                }
+                continue;
+            }
+            // A solo lapse is a genuine deadline miss: it feeds the
+            // estimator and takes the normal timeout path.
+            if let Some(trigger) = self.hedge.as_mut() {
+                trigger.observe(at.since(info.dispatched_at).as_units());
+            }
+            if is_twin && !self.settle_twin(job, task, false, at) {
+                return;
+            }
             if !self.log(
                 at,
                 RunEvent::JobTimedOut {
-                    job,
+                    job: origin_id,
                     task,
                     node: info.worker,
                 },
@@ -1626,7 +1998,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 return false;
             }
             self.report.tasks_retallied += 1;
-            self.purge_and_reset(t);
+            self.purge_and_reset(t, at);
             self.advance(t, at);
             if self.crashed {
                 return false;
@@ -1645,7 +2017,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             return false;
         }
         self.report.verdicts_voided += 1;
-        self.purge_and_reset(task);
+        self.purge_and_reset(task, at);
         self.advance(task, at);
         false
     }
@@ -1655,13 +2027,19 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
     /// resets the strategy state to wave 1 with a fresh job budget, and
     /// forgets recorded returns. Replica ordinals and epochs stay monotone
     /// so fault draws never repeat across attempts.
-    fn purge_and_reset(&mut self, task: u32) {
+    fn purge_and_reset(&mut self, task: u32, at: SimTime) {
         let live: Vec<u32> = match self.tasks.get_mut(&task) {
             Some(state) => state.live_jobs.drain(..).collect(),
             None => return,
         };
         for job in live {
             self.jobs.remove(&job);
+            if let Some(p) = self.hedge_pair.remove(&job) {
+                self.hedge_pair.remove(&p);
+            }
+            if self.twin_origin.contains_key(&job) && !self.settle_twin(job, task, false, at) {
+                return;
+            }
         }
         let state = self.tasks.get_mut(&task).expect("checked above");
         state.exec.reset();
@@ -1713,8 +2091,14 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             self.commit_wal();
         }
         let state = self.tasks.remove(&task).expect("finalizing a live task");
-        for job in &state.live_jobs {
-            self.jobs.remove(job);
+        for &job in &state.live_jobs {
+            self.jobs.remove(&job);
+            if let Some(p) = self.hedge_pair.remove(&job) {
+                self.hedge_pair.remove(&p);
+            }
+            if alive && self.twin_origin.contains_key(&job) {
+                let _ = self.settle_twin(job, task, false, at);
+            }
         }
         self.active.store(self.tasks.len(), Ordering::Relaxed);
         if !alive {

@@ -384,6 +384,16 @@ where
                 acc.must_audit = false;
                 acc.next_replica = acc.replicas;
             }
+            // Hedge twins live outside the replica accounting: their
+            // launch only burns a job id (kept out of the dispatch cursor
+            // so replica ordinals replay unchanged), and a win already
+            // journalled the vote as the origin job's return. A twin that
+            // was still racing at the crash simply dies with the crash —
+            // the origin replica is re-armed by the normal in-flight path.
+            RunEvent::HedgeLaunched { job, .. } => {
+                next_job = next_job.max(job + 1);
+            }
+            RunEvent::HedgeWon { .. } | RunEvent::HedgeWasted { .. } => {}
             // Tallies, wave closes, retries, and stale drops carry no
             // state the strategy replay does not already reproduce; the
             // runtime never emits churn, outage, or fault-plan events.

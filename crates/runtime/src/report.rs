@@ -53,6 +53,14 @@ pub struct RuntimeReport {
     pub verdicts_voided: u64,
     /// Open tasks re-tallied because a caught liar had touched them.
     pub tasks_retallied: u64,
+    /// Hedge twins launched for straggling jobs (quantile-triggered
+    /// duplicates; not counted in `total_jobs` or the wave accounting).
+    pub hedges_launched: u64,
+    /// Hedge twins that beat their straggling origin and supplied the vote.
+    pub hedges_won: u64,
+    /// Hedge twins whose work was discarded (origin answered first, or the
+    /// twin itself lapsed).
+    pub hedges_wasted: u64,
     /// Jobs per completed task (the paper's cost factor, measured live).
     pub jobs_per_task: Summary,
     /// Deployment waves per completed task.
@@ -87,9 +95,9 @@ impl RuntimeReport {
     /// Total work performed, in job-equivalents: dispatched jobs plus the
     /// audit layer's local recomputations. The matched-cost comparisons of
     /// audit-enabled vs audit-free strategies use this, not `total_jobs`,
-    /// so auditing is never "free".
+    /// so neither auditing nor hedging is ever "free".
     pub fn total_cost(&self) -> u64 {
-        self.total_jobs + self.audits
+        self.total_jobs + self.audits + self.hedges_launched
     }
 }
 
@@ -159,6 +167,9 @@ pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
             RunEvent::WorkerRestarted { .. } => report.worker_restarts += 1,
             RunEvent::StaleReplyDropped { .. } => report.stale_replies += 1,
             RunEvent::TaskPoisoned { .. } => report.tasks_poisoned += 1,
+            RunEvent::HedgeLaunched { .. } => report.hedges_launched += 1,
+            RunEvent::HedgeWon { .. } => report.hedges_won += 1,
+            RunEvent::HedgeWasted { .. } => report.hedges_wasted += 1,
             RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
             // The runtime does not emit churn, quarantine, or fault-plan
             // events; returned jobs, wave closes, and tallies carry no

@@ -378,6 +378,32 @@ impl WorkerPool {
         Err(job)
     }
 
+    /// Like [`Self::try_dispatch`], but tries workers in the caller-given
+    /// global-id order instead of the pool's round-robin cursor — the hook
+    /// the coordinator's assignment policies and hedge dispatch use.
+    /// Disabled workers are skipped; the round-robin cursor is untouched,
+    /// so ordered dispatch never perturbs the default policy's rotation.
+    pub fn try_dispatch_ordered(
+        &mut self,
+        job: JobAssignment,
+        order: &[u32],
+    ) -> Result<u32, JobAssignment> {
+        let mut job = job;
+        for &node in order {
+            let w = self.slot_of(node);
+            if !self.slots[w].enabled {
+                continue;
+            }
+            match self.slots[w].inbox.try_send(job) {
+                Ok(()) => return Ok(node),
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    job = back;
+                }
+            }
+        }
+        Err(job)
+    }
+
     /// How long node `node` has been inside `execute`, or `None` when
     /// idle. The hang supervisor compares this against its threshold.
     pub fn busy_for(&self, node: u32) -> Option<Duration> {

@@ -416,6 +416,120 @@ fn late_reply_after_reissue_is_dropped_not_double_counted() {
     assert_eq!(report_from_journal(&run.journal), run.report);
 }
 
+/// Regression for hedge double-firing on the reissue paths: a replica
+/// that straggles past its deadline is reissued under a bumped epoch, and
+/// the hedge check armed at its dispatch fires *after* the timeout — the
+/// stale arm must be skipped (origin gone / epoch advanced), never
+/// launching a twin for a resolved job or exceeding the per-epoch budget.
+/// Runs alongside the `StaleReplyDropped` late-reply regression above:
+/// both guard the same staleness discipline, one for votes, one for
+/// hedges.
+#[test]
+fn deadline_reissue_never_double_fires_hedges() {
+    use smartred_core::hedge::HedgePolicy;
+    use smartred_desim::journal::RunEvent;
+    use smartred_runtime::{JobAssignment, Worker};
+
+    /// Replica 0 of every task straggles far past the deadline (on every
+    /// worker — the twin straggles too, so the pair lapses and the
+    /// timeout path reissues); later replicas answer promptly, warming
+    /// the estimator fast.
+    struct SlowFirstReplica;
+    impl Worker for SlowFirstReplica {
+        fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+            if job.replica == 0 {
+                std::thread::sleep(Duration::from_millis(160));
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some((true, job.payload.execute()))
+        }
+    }
+
+    let policy = HedgePolicy {
+        quantile: 0.5,
+        min_samples: 5,
+        multiplier: 2.0,
+        max_per_task: 1,
+    };
+    let cfg = RuntimeConfig {
+        workers: Some(4),
+        deadline: Duration::from_millis(60),
+        hedge: Some(policy),
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::start(cfg, Traditional::new(KVotes::new(3).unwrap()), |_| {
+        Box::new(SlowFirstReplica)
+    });
+    let client = runtime.client();
+    let total = 12;
+    for _ in 0..total {
+        loop {
+            let outcome = client.submit(Payload::Synthetic {
+                answer: true,
+                work: Duration::ZERO,
+            });
+            if outcome != SubmitOutcome::Shed {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    for _ in 0..total {
+        let verdict = client.recv().expect("every task still reaches a verdict");
+        assert_eq!(verdict.vote, Some(true));
+    }
+    drop(client);
+    let run = runtime.finish();
+    assert_eq!(run.report.tasks_completed, total);
+    assert!(
+        run.report.timeouts > 0,
+        "the straggling first replicas must lapse and reissue"
+    );
+    assert_eq!(
+        run.report.hedges_launched,
+        run.report.hedges_won + run.report.hedges_wasted,
+        "every launched twin settles exactly once"
+    );
+    // The double-fire guards, observed end-to-end in the journal: no twin
+    // for a resolved origin, and at most `max_per_task` launches per task
+    // epoch, across both the deadline-reissue and stale-arm paths.
+    let mut resolved = std::collections::HashSet::new();
+    let mut per_epoch: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for e in run.journal.events() {
+        match e.event {
+            RunEvent::HedgeLaunched {
+                task,
+                origin,
+                epoch,
+                ..
+            } => {
+                assert!(
+                    !resolved.contains(&origin),
+                    "twin launched for already-resolved origin {origin}"
+                );
+                let slot = per_epoch.entry((task, epoch)).or_insert(0);
+                *slot += 1;
+                assert!(
+                    *slot <= policy.max_per_task,
+                    "task {task} epoch {epoch} exceeded the hedge budget"
+                );
+            }
+            RunEvent::JobReturned { job, .. }
+            | RunEvent::JobTimedOut { job, .. }
+            | RunEvent::WorkerCrashed { job, .. } => {
+                resolved.insert(job);
+            }
+            _ => {}
+        }
+    }
+    jassert::events(run.journal.events())
+        .time_ordered()
+        .retry_follows_timeout()
+        .waves_well_formed();
+    assert_eq!(report_from_journal(&run.journal), run.report);
+}
+
 /// The journal round-trips through JSONL so CI can archive live runs and
 /// the digest tooling applies unchanged.
 #[test]

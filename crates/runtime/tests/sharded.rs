@@ -15,7 +15,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use smartred_core::audit::{AuditPolicy, Cartel};
-use smartred_core::execution::shard_of;
+use smartred_core::execution::{shard_of, Assignment};
+use smartred_core::hedge::HedgePolicy;
 use smartred_core::params::VoteMargin;
 use smartred_core::resilience::PoisonPolicy;
 use smartred_core::strategy::Iterative;
@@ -405,6 +406,112 @@ fn cartel_conviction_on_one_shard_only_voids_that_shards_verdicts() {
         }
     }
     let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// A worker whose vote is the pure `(seed, task, replica)` draw of
+/// [`FaultyWorker`] but whose service time additionally depends on the
+/// worker index: a seeded 8% of `(worker, task, replica)` triples
+/// straggle for 40 ms while the rest answer in 1 ms. Slowness is a
+/// property of the placement, so a hedge twin on another worker redraws
+/// the delay while voting bit-identically to its origin.
+struct StragglerWorker {
+    index: u32,
+    inner: FaultyWorker,
+}
+
+impl StragglerWorker {
+    fn new(index: u32, seed: u64) -> Self {
+        let profile = FaultProfile {
+            wrong_rate: 0.25,
+            hang_rate: 0.0,
+            // No crashes: whether a crash strike is suppressed depends on
+            // whether a twin happens to be pending at crash time — a
+            // wall-clock race — so poisoning under hedged crashes is not
+            // a shard-count-invariant quantity. Votes are.
+            crash_rate: 0.0,
+            think: Duration::ZERO,
+        };
+        Self {
+            index,
+            inner: FaultyWorker::new(seed, profile),
+        }
+    }
+
+    fn delay(&self, task: u32, replica: u32) -> Duration {
+        let mut x = SEED
+            .wrapping_add(u64::from(self.index) << 32)
+            .wrapping_add(u64::from(task) << 16)
+            .wrapping_add(u64::from(replica));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        if (x >> 11) as f64 / ((1u64 << 53) as f64) < 0.08 {
+            Duration::from_millis(40)
+        } else {
+            Duration::from_millis(1)
+        }
+    }
+}
+
+impl Worker for StragglerWorker {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        std::thread::sleep(self.delay(job.task, job.replica));
+        self.inner.execute(job)
+    }
+}
+
+/// Shard-count equivalence of hedging decisions: with hedging enabled on
+/// a straggler-prone pool, every shard count in {1, 2, 4, 8} reaches the
+/// same verdicts, votes, and per-task job counts — placement and twin
+/// races are wall-clock noise, votes are pure in `(seed, task, replica)`
+/// — and each run keeps the twin-settlement and replay invariants.
+#[test]
+fn hedging_decisions_are_equivalent_across_shard_counts() {
+    let tasks = roster(60);
+    let mut shapes = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut cfg = sharded_cfg(shards);
+        cfg.base.poison = None;
+        cfg.base.hedge = Some(HedgePolicy {
+            quantile: 0.9,
+            min_samples: 10,
+            multiplier: 3.0,
+            max_per_task: 2,
+        });
+        cfg.base.assignment = Assignment::LeastLoaded;
+        let runtime = ShardedRuntime::start(
+            cfg,
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            |index| Box::new(StragglerWorker::new(index, SEED)),
+        );
+        let client = runtime.client();
+        submit_all(&client, &tasks);
+        let verdicts = drain(&client);
+        assert_eq!(verdicts.len(), tasks.len(), "{shards} shard(s)");
+        drop(client);
+        let run = runtime.finish();
+        assert_eq!(
+            run.report.hedges_launched,
+            run.report.hedges_won + run.report.hedges_wasted,
+            "{shards} shard(s): every launched twin settles exactly once"
+        );
+        // The merged hedged journal replays to the merged report exactly.
+        assert_eq!(report_from_journal(&run.journal), run.report);
+        if shards == 1 {
+            assert!(
+                run.report.hedges_launched > 0,
+                "an 8% straggler rate on 8 workers must trigger hedges"
+            );
+        }
+        shapes.push((shards, shape(&run.journal)));
+    }
+    for pair in shapes.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "hedging decisions diverged between {} and {} shard(s)",
+            pair[0].0, pair[1].0
+        );
+    }
 }
 
 mod equivalence_property {

@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 
 pub mod histogram;
+pub mod quantile;
 pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
+pub use quantile::P2Quantile;
 pub use summary::{binomial_ci, two_proportion_z, Summary};
 pub use table::Table;

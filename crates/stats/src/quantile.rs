@@ -1,0 +1,256 @@
+//! Streaming quantile estimation via the P² algorithm (Jain & Chlamtac,
+//! CACM 1985).
+//!
+//! The estimator maintains five markers whose heights track the running
+//! minimum, the target quantile, the quantile's two neighbours, and the
+//! running maximum, adjusting marker positions with a piecewise-parabolic
+//! (P²) interpolation on every observation. It uses O(1) memory and no
+//! allocation after construction, is fully deterministic (a pure fold over
+//! the observation stream), and never leaves the observed value range —
+//! the properties the hedging layer's trigger logic and its proptests rely
+//! on.
+
+/// A streaming estimator of a single quantile using constant memory.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_stats::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=100 {
+///     q.observe(i as f64);
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 50.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    /// The target quantile, in (0, 1).
+    q: f64,
+    /// Marker heights (estimates of min, q/2-ish, q, (1+q)/2-ish, max).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator of quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1` and `q` is finite.
+    pub fn new(q: f64) -> Self {
+        assert!(
+            q.is_finite() && 0.0 < q && q < 1.0,
+            "quantile must lie strictly inside (0, 1), got {q}"
+        );
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation into the estimate. Non-finite values are
+    /// ignored (a NaN latency must never poison the marker state).
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            // Warm-up: collect the first five observations sorted.
+            let n = self.count as usize;
+            self.heights[n] = x;
+            self.count += 1;
+            let filled = self.count as usize;
+            self.heights[..filled].sort_by(|a, b| a.total_cmp(b));
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with heights[k] <= x < heights[k+1], updating
+        // the extreme markers when x falls outside the current range.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            while cell < 3 && x >= self.heights[cell + 1] {
+                cell += 1;
+            }
+            cell
+        };
+        for marker in (k + 1)..5 {
+            self.positions[marker] += 1.0;
+        }
+        for marker in 0..5 {
+            self.desired[marker] += self.increments[marker];
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let below = self.positions[i] - self.positions[i - 1];
+            let above = self.positions[i + 1] - self.positions[i];
+            if (d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let adjusted = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = adjusted;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction would break marker
+    /// height monotonicity.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate, or `None` before five observations.
+    ///
+    /// The estimate always lies within the closed range of observed values.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count >= 5 {
+            return Some(self.heights[2]);
+        }
+        if self.count == 0 {
+            return None;
+        }
+        // Fewer than five samples: read the target rank off the sorted
+        // warm-up buffer (nearest-rank, deterministic).
+        let n = self.count as usize;
+        let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.heights[rank - 1])
+    }
+
+    /// The observed minimum, or `None` before any observation.
+    pub fn min_seen(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.heights[0])
+    }
+
+    /// The observed maximum, or `None` before any observation.
+    pub fn max_seen(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => Some(self.heights[n as usize - 1]),
+            _ => Some(self.heights[4]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.observe(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.observe(1.0);
+        q.observe(2.0);
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_ramp_converges() {
+        let mut q = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            q.observe((i % 1000) as f64);
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 500.0).abs() < 25.0, "median estimate {m} off");
+    }
+
+    #[test]
+    fn p99_of_heavy_tail_lands_in_the_tail() {
+        let mut q = P2Quantile::new(0.99);
+        // 99% of mass at 1.0, 1% at 100.0, interleaved deterministically.
+        for i in 0..10_000 {
+            q.observe(if i % 100 == 7 { 100.0 } else { 1.0 });
+        }
+        let p99 = q.estimate().unwrap();
+        assert!(p99 >= 1.0, "p99 {p99} fell below the body");
+    }
+
+    #[test]
+    fn estimate_is_bounded_by_observations() {
+        let mut q = P2Quantile::new(0.9);
+        let xs = [5.0, 1.0, 9.0, 2.0, 7.0, 3.0, 8.0, 0.5, 6.0, 4.0];
+        for &x in &xs {
+            q.observe(x);
+            let e = q.estimate().unwrap();
+            assert!((0.5..=9.0).contains(&e), "estimate {e} escaped the data");
+        }
+    }
+
+    #[test]
+    fn constant_stream_estimates_the_constant() {
+        let mut q = P2Quantile::new(0.95);
+        for _ in 0..100 {
+            q.observe(2.5);
+        }
+        assert_eq!(q.estimate(), Some(2.5));
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..10 {
+            q.observe(1.0);
+        }
+        q.observe(f64::NAN);
+        q.observe(f64::INFINITY);
+        assert_eq!(q.count(), 10);
+        assert_eq!(q.estimate(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside (0, 1)")]
+    fn rejects_quantile_of_one() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

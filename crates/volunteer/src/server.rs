@@ -8,13 +8,14 @@
 //! host speeds, seeded faults, platform faults, and hangs drawn from a
 //! [`crate::host::PlanetLabProfile`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use rand::Rng;
 use smartred_core::audit::{AuditPolicy, Cartel};
 use smartred_core::error::ParamError;
-use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::execution::{Assignment, TaskExecution, WaveStep};
+use smartred_core::hedge::{HedgePolicy, HedgeTrigger};
 use smartred_core::resilience::{DisciplineAction, NodeDiscipline, QuarantinePolicy, RetryPolicy};
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
@@ -96,6 +97,14 @@ pub struct VolunteerConfig {
     /// on the coalition's seeded per-workunit lie schedule, overriding
     /// their drawn behavior.
     pub cartel: Option<Cartel>,
+    /// Optional straggler hedging: a job that outlives the online
+    /// latency-quantile estimate gets a duplicate twin on another host, and
+    /// the first copy to answer supplies the replica's vote.
+    pub hedge: Option<HedgePolicy>,
+    /// Host-assignment policy for job dispatch. `Random` reproduces the
+    /// historical scheduler (and composes with [`SchedulerPolicy`]); the
+    /// deterministic alternatives bypass the random pick entirely.
+    pub assignment: Assignment,
     /// Root seed.
     pub seed: u64,
 }
@@ -119,6 +128,8 @@ impl VolunteerConfig {
             quarantine: None,
             audit: AuditPolicy::disabled(),
             cartel: None,
+            hedge: None,
+            assignment: Assignment::Random,
             seed,
         }
     }
@@ -174,6 +185,9 @@ impl VolunteerConfig {
                 return fail("cartel.lie_rate", cartel.lie_rate, "[0, 1]");
             }
         }
+        if let Some(hedge) = &self.hedge {
+            hedge.validate()?;
+        }
         Ok(())
     }
 }
@@ -210,6 +224,14 @@ pub struct DeploymentReport {
     pub verdicts_voided: u64,
     /// Open workunits re-tallied because a caught liar had touched them.
     pub wus_retallied: u64,
+    /// Hedge twins launched for straggling jobs (quantile-triggered
+    /// duplicates; not counted in `total_jobs` or the wave accounting).
+    pub hedges_launched: u64,
+    /// Hedge twins that beat their straggling origin and supplied the vote.
+    pub hedges_won: u64,
+    /// Hedge twins whose work was discarded (origin answered first, or the
+    /// twin itself lapsed).
+    pub hedges_wasted: u64,
     /// Whether the generated instance is satisfiable (ground truth via
     /// DPLL).
     pub instance_satisfiable: bool,
@@ -244,10 +266,10 @@ impl DeploymentReport {
     }
 
     /// Total work performed, in job-equivalents: dispatched jobs plus the
-    /// audit layer's local recomputations — the basis of matched-cost
-    /// comparisons between audit-enabled and audit-free strategies.
+    /// audit layer's local recomputations plus hedge twins — the basis of
+    /// matched-cost comparisons between strategies.
     pub fn total_cost(&self) -> u64 {
-        self.total_jobs + self.audits
+        self.total_jobs + self.audits + self.hedges_launched
     }
 }
 
@@ -313,6 +335,23 @@ struct World {
     discipline: Vec<NodeDiscipline>,
     /// Hosts currently out of the scheduler (quarantined or blacklisted).
     quarantined: Vec<bool>,
+    /// Online latency-quantile trigger for straggler hedging (`cfg.hedge`).
+    hedge: Option<HedgeTrigger>,
+    /// Dispatch time of every job, indexed by job id — feeds the hedge
+    /// trigger's latency estimator at resolution.
+    dispatched_at: Vec<SimTime>,
+    /// Active hedge pairs, both directions, until the first resolution.
+    hedge_pair: HashMap<usize, usize>,
+    /// Which jobs are hedge twins (mapped to their origin), kept until the
+    /// twin settles as won or wasted.
+    twin_origin: HashMap<usize, usize>,
+    hedges_launched: u64,
+    hedges_won: u64,
+    hedges_wasted: u64,
+    /// Round-robin dispatch cursor (host index of the next preferred pick).
+    rr_cursor: u32,
+    /// Jobs ever assigned per host — the least-loaded policy's signal.
+    host_loads: Vec<u64>,
 }
 
 type Sim = Simulator<World>;
@@ -443,6 +482,17 @@ fn run_inner(
         response_units: vec![0.0; config.tasks],
         discipline: vec![NodeDiscipline::default(); config.hosts],
         quarantined: vec![false; config.hosts],
+        hedge: config
+            .hedge
+            .map(|p| HedgeTrigger::new(p).expect("hedge policy validated above")),
+        dispatched_at: Vec::new(),
+        hedge_pair: HashMap::new(),
+        twin_origin: HashMap::new(),
+        hedges_launched: 0,
+        hedges_won: 0,
+        hedges_wasted: 0,
+        rr_cursor: 0,
+        host_loads: vec![0; config.hosts],
     };
     let mut sim = Sim::new();
     if journaled {
@@ -506,6 +556,9 @@ fn run_inner(
             audit_failures: world.audit_failures,
             verdicts_voided: world.verdicts_voided,
             wus_retallied: world.wus_retallied,
+            hedges_launched: world.hedges_launched,
+            hedges_won: world.hedges_won,
+            hedges_wasted: world.hedges_wasted,
             instance_satisfiable,
             reported_satisfiable: if all_completed { Some(any_true) } else { None },
         },
@@ -549,6 +602,42 @@ fn claim_host(world: &mut World, wu: usize) -> Option<usize> {
     }
     let used = &world.wus[wu].used_hosts;
     let waive = used.len() >= world.hosts.len();
+    // The deterministic assignment policies bypass the random pick
+    // entirely (no RNG draws), so layers that share the stream — behavior
+    // draws, durations — are undisturbed relative to a Random run of the
+    // same shape. `Random` falls through to the historical scheduler.
+    if world.cfg.assignment != Assignment::Random {
+        let mut eligible: Vec<u32> = world
+            .idle
+            .iter()
+            .copied()
+            .filter(|h| waive || !used.contains(h))
+            .map(|h| h as u32)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        eligible.sort_unstable();
+        let loads: Vec<u64> = eligible
+            .iter()
+            .map(|&h| world.host_loads[h as usize])
+            .collect();
+        let at = world
+            .cfg
+            .assignment
+            .pick(&eligible, &loads, world.rr_cursor, 0);
+        let host = eligible[at] as usize;
+        world.rr_cursor = eligible[at].wrapping_add(1);
+        let pos = world
+            .idle
+            .iter()
+            .position(|&h| h == host)
+            .expect("picked host is idle");
+        world.idle.swap_remove(pos);
+        world.hosts[host].busy = true;
+        world.host_loads[host] += 1;
+        return Some(host);
+    }
     let mut pick = None;
     for _ in 0..8 {
         let pos = world.rng.gen_range(0..world.idle.len());
@@ -581,6 +670,7 @@ fn claim_host(world: &mut World, wu: usize) -> Option<usize> {
     }
     let host = world.idle.swap_remove(pos);
     world.hosts[host].busy = true;
+    world.host_loads[host] += 1;
     Some(host)
 }
 
@@ -601,6 +691,8 @@ fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
         attempt: world.wus[wu].attempt,
         resolved: false,
     });
+    debug_assert_eq!(world.dispatched_at.len(), job);
+    world.dispatched_at.push(sim.now());
     world.total_jobs += 1;
     let state = &mut world.wus[wu];
     state.used_hosts.push(host);
@@ -620,6 +712,109 @@ fn dispatch(world: &mut World, sim: &mut Sim, wu: usize, host: usize) {
         eta: sim.now() + delay,
     });
     sim.schedule_in(delay, move |world, sim| resolve(world, sim, job, times_out));
+    // Straggler hedging: once the latency estimator is warm, arm a check
+    // at the quantile threshold. The armed check carries the dispatch
+    // epoch so an audit void/re-tally between arming and firing disarms it
+    // — hedges never double-fire for a superseded task epoch.
+    if let Some(trigger) = &world.hedge {
+        if let Some(threshold) = trigger.threshold() {
+            if threshold < world.cfg.deadline_units {
+                let epoch = world.wus[wu].attempt;
+                sim.schedule_in(SimDuration::from_units(threshold), move |world, sim| {
+                    hedge_check(world, sim, job, wu, epoch);
+                });
+            }
+        }
+    }
+}
+
+/// Fires when a dispatched job reaches the hedge threshold still
+/// unresolved: launches a twin of the same logical replica on another
+/// host. The twin bypasses the wave/job accounting — the first pair member
+/// to genuinely resolve supplies the replica's vote; the loser is
+/// discarded.
+fn hedge_check(world: &mut World, sim: &mut Sim, origin: usize, wu: usize, epoch: u32) {
+    if world.jobs[origin].resolved || world.wus[wu].finished || world.wus[wu].attempt != epoch {
+        return;
+    }
+    let Some(trigger) = &world.hedge else {
+        return;
+    };
+    let policy = trigger.policy();
+    if world.wus[wu].exec.hedges_launched() >= policy.max_per_task as usize {
+        return;
+    }
+    let Some(host) = claim_host(world, wu) else {
+        // No idle host to duplicate onto: hedging is best-effort.
+        return;
+    };
+    let behavior = draw_behavior(&world.cfg.profile, &mut world.rng);
+    let (lo, hi) = world.cfg.duration_window;
+    let base = if lo == hi {
+        lo
+    } else {
+        world.rng.gen_range(lo..=hi)
+    };
+    let duration_units = base * world.hosts[host].speed;
+    let twin = world.jobs.len();
+    world.jobs.push(JobSlot {
+        wu,
+        host,
+        behavior,
+        attempt: epoch,
+        resolved: false,
+    });
+    debug_assert_eq!(world.dispatched_at.len(), twin);
+    world.dispatched_at.push(sim.now());
+    world.wus[wu].used_hosts.push(host);
+    world.wus[wu].exec.note_hedge();
+    world.hedges_launched += 1;
+    world.hedge_pair.insert(origin, twin);
+    world.hedge_pair.insert(twin, origin);
+    world.twin_origin.insert(twin, origin);
+    // The twin's launch event replaces JobDispatched: it never enters the
+    // wave accounting, so the journal's dispatch count still equals the
+    // strategy's deploys on replay.
+    sim.emit(RunEvent::HedgeLaunched {
+        job: twin as u32,
+        task: wu as u32,
+        origin: origin as u32,
+        epoch,
+    });
+    let times_out = behavior == HostBehavior::Hung || duration_units > world.cfg.deadline_units;
+    let delay = if times_out {
+        SimDuration::from_units(world.cfg.deadline_units)
+    } else {
+        SimDuration::from_units(duration_units)
+    };
+    sim.schedule_in(delay, move |world, sim| resolve(world, sim, twin, times_out));
+}
+
+/// Settles a hedge twin exactly once: `won` means its result supplied the
+/// replica's vote; otherwise its work was discarded.
+fn settle_twin(world: &mut World, sim: &mut Sim, twin: usize, wu: usize, won: bool) {
+    let removed = world.twin_origin.remove(&twin);
+    debug_assert!(removed.is_some(), "twin settled twice");
+    if won {
+        world.hedges_won += 1;
+        sim.emit(RunEvent::HedgeWon {
+            job: twin as u32,
+            task: wu as u32,
+        });
+    } else {
+        world.hedges_wasted += 1;
+        sim.emit(RunEvent::HedgeWasted {
+            job: twin as u32,
+            task: wu as u32,
+        });
+    }
+}
+
+/// Feeds a genuinely resolved job's latency to the hedge estimator.
+fn observe_latency(world: &mut World, now: SimTime, job: usize) {
+    if let Some(trigger) = world.hedge.as_mut() {
+        trigger.observe(now.since(world.dispatched_at[job]).as_units());
+    }
 }
 
 /// Emits the vote-tally snapshot after a vote landed in workunit `wu`.
@@ -659,37 +854,84 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
     if !world.quarantined[host] {
         world.idle.push(host);
     }
-    if !world.wus[wu].finished {
+    // Hedge-pair bookkeeping: dissolve this job's pairing (if any) up
+    // front so exactly one pair member ever records a vote, a strike, or a
+    // deadline miss for the shared logical replica.
+    let is_twin = world.twin_origin.contains_key(&job);
+    let partner = world.hedge_pair.remove(&job);
+    if let Some(p) = partner {
+        world.hedge_pair.remove(&p);
+    }
+    let partner_pending = partner.is_some_and(|p| !world.jobs[p].resolved);
+    if world.wus[wu].finished {
+        // Other replicas settled the workunit while this pair raced; any
+        // twin still owes its terminal hedge event.
+        if is_twin {
+            settle_twin(world, sim, job, wu, false);
+        }
+    } else {
         let truth = world.wus[wu].wu.truth;
         if world.jobs[job].attempt != world.wus[wu].attempt {
             // The job predates an audit void/re-tally of its workunit: its
             // reply (or miss) belongs to a discarded tally and is dropped.
-            sim.emit(RunEvent::StaleReplyDropped {
-                job: job as u32,
-                task: wu as u32,
-                epoch: world.wus[wu].attempt,
-            });
+            if is_twin {
+                settle_twin(world, sim, job, wu, false);
+            } else {
+                sim.emit(RunEvent::StaleReplyDropped {
+                    job: job as u32,
+                    task: wu as u32,
+                    epoch: world.wus[wu].attempt,
+                });
+            }
         } else if timed_out {
-            world.timeouts += 1;
-            sim.emit(RunEvent::JobTimedOut {
-                job: job as u32,
-                task: wu as u32,
-                node: host as u32,
-            });
-            strike_host(world, sim, host);
-            if !retry_workunit(world, sim, wu) {
-                match world.cfg.deadline_policy {
-                    // The colluding wrong value is the negated truth.
-                    DeadlinePolicy::CountAsWrong => {
-                        world.wus[wu].exec.record(!truth);
-                        emit_tally(world, sim, wu, !truth);
-                    }
-                    DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
+            if partner_pending {
+                // Suppressed: the partner is still racing for this
+                // replica's vote, so the lapse charges no miss, strike,
+                // or vote — the surviving member carries the replica.
+                if is_twin {
+                    settle_twin(world, sim, job, wu, false);
                 }
-                emit_wave_closed(world, sim, wu);
-                poll_workunit(world, sim, wu, true);
+            } else {
+                observe_latency(world, sim.now(), job);
+                if is_twin {
+                    settle_twin(world, sim, job, wu, false);
+                }
+                world.timeouts += 1;
+                sim.emit(RunEvent::JobTimedOut {
+                    job: job as u32,
+                    task: wu as u32,
+                    node: host as u32,
+                });
+                strike_host(world, sim, host);
+                if !retry_workunit(world, sim, wu) {
+                    match world.cfg.deadline_policy {
+                        // The colluding wrong value is the negated truth.
+                        DeadlinePolicy::CountAsWrong => {
+                            world.wus[wu].exec.record(!truth);
+                            emit_tally(world, sim, wu, !truth);
+                        }
+                        DeadlinePolicy::Reissue => world.wus[wu].exec.abandon(1),
+                    }
+                    emit_wave_closed(world, sim, wu);
+                    poll_workunit(world, sim, wu, true);
+                }
             }
         } else {
+            observe_latency(world, sim.now(), job);
+            if partner_pending {
+                // This copy won the race: cancel the loser and free its
+                // host (its scheduled resolution will find it resolved).
+                let p = partner.expect("partner_pending implies a partner");
+                world.jobs[p].resolved = true;
+                let ph = world.jobs[p].host;
+                world.hosts[ph].busy = false;
+                if !world.quarantined[ph] {
+                    world.idle.push(ph);
+                }
+                if !is_twin {
+                    settle_twin(world, sim, p, wu, false);
+                }
+            }
             let mut value = match behavior {
                 HostBehavior::Honest => truth,
                 HostBehavior::Faulty => !truth,
@@ -708,6 +950,9 @@ fn resolve(world: &mut World, sim: &mut Sim, job: usize, timed_out: bool) {
                 node: host as u32,
                 value,
             });
+            if is_twin {
+                settle_twin(world, sim, job, wu, true);
+            }
             world.wus[wu].exec.record(value);
             emit_tally(world, sim, wu, value);
             if world.cfg.audit.is_enabled() {
@@ -1194,5 +1439,111 @@ mod tests {
             slow.completion_units
         );
         assert!(fast.timeouts <= slow.timeouts);
+    }
+
+    fn hedged_config(seed: u64) -> VolunteerConfig {
+        let mut cfg = small_config(seed);
+        // A wide speed spread makes genuine stragglers: the slowest hosts
+        // run jobs 4x longer than the fastest, well past the p70 latency.
+        cfg.profile.speed_window = (1.0, 4.0);
+        cfg.deadline_units = 8.0;
+        cfg.hedge = Some(HedgePolicy {
+            quantile: 0.7,
+            min_samples: 10,
+            multiplier: 1.0,
+            max_per_task: 2,
+        });
+        cfg
+    }
+
+    #[test]
+    fn hedging_fires_and_every_twin_settles() {
+        let cfg = hedged_config(50);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let report = run(s(), &cfg).unwrap();
+        assert!(report.verdicts.iter().all(|v| v.accepted.is_some()));
+        assert!(report.hedges_launched > 0, "no hedges fired");
+        assert_eq!(
+            report.hedges_launched,
+            report.hedges_won + report.hedges_wasted,
+            "every launched twin must settle exactly once"
+        );
+        assert!(report.hedges_won > 0, "no twin ever beat its straggler");
+        // Hedging is paid work: the cost metric must include it.
+        assert_eq!(
+            report.total_cost(),
+            report.total_jobs + report.audits + report.hedges_launched
+        );
+        assert_eq!(run(s(), &cfg).unwrap(), report, "hedged run must be deterministic");
+    }
+
+    #[test]
+    fn hedged_journal_matches_report_counters() {
+        use smartred_desim::journal::EventKind;
+        let cfg = hedged_config(51);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let (report, journal) = run_journaled(s(), &cfg).unwrap();
+        assert!(report.hedges_launched > 0);
+        let count = |kind: EventKind| {
+            journal
+                .events()
+                .iter()
+                .filter(|e| e.event.kind() == kind)
+                .count() as u64
+        };
+        assert_eq!(count(EventKind::HedgeLaunched), report.hedges_launched);
+        assert_eq!(count(EventKind::HedgeWon), report.hedges_won);
+        assert_eq!(count(EventKind::HedgeWasted), report.hedges_wasted);
+        // Journaling is a pure observer even with hedging enabled.
+        assert_eq!(run(s(), &cfg).unwrap(), report);
+        // The hedged journal round-trips through JSONL bit for bit.
+        let restored =
+            smartred_desim::journal::Journal::from_jsonl(&journal.to_jsonl()).unwrap();
+        assert_eq!(restored.digest(), journal.digest());
+    }
+
+    #[test]
+    fn hedging_never_fires_before_the_estimator_warms() {
+        let mut cfg = hedged_config(52);
+        // More samples demanded than the run can ever produce.
+        cfg.hedge = Some(HedgePolicy {
+            min_samples: u64::MAX,
+            ..HedgePolicy::default()
+        });
+        let report = run(Rc::new(Traditional::new(KVotes::new(3).unwrap())), &cfg).unwrap();
+        assert_eq!(report.hedges_launched, 0);
+        assert_eq!(report.cost_factor(), 3.0);
+    }
+
+    #[test]
+    fn assignment_policies_preserve_verdict_metrics() {
+        for policy in Assignment::ALL {
+            let mut cfg = small_config(53);
+            cfg.assignment = policy;
+            let s = || Rc::new(Traditional::new(KVotes::new(3).unwrap()));
+            let a = run(s(), &cfg).unwrap();
+            let b = run(s(), &cfg).unwrap();
+            assert_eq!(a, b, "{} must be deterministic", policy.name());
+            assert!(
+                a.verdicts.iter().all(|v| v.accepted.is_some()),
+                "{} left workunits unfinished",
+                policy.name()
+            );
+            assert_eq!(a.cost_factor(), 3.0, "{} altered the cost", policy.name());
+        }
+    }
+
+    #[test]
+    fn hedging_composes_with_audits_without_double_counting() {
+        use smartred_core::audit::{AuditPolicy, Cartel};
+        let mut cfg = hedged_config(54);
+        cfg.cartel = Some(Cartel::new(15, 0.3));
+        cfg.quarantine = Some(QuarantinePolicy::default());
+        cfg.audit = AuditPolicy::spot(0.2);
+        let s = || Rc::new(Iterative::new(VoteMargin::new(3).unwrap()));
+        let a = run(s(), &cfg).unwrap();
+        assert_eq!(a, run(s(), &cfg).unwrap());
+        assert!(a.audits > 0);
+        assert_eq!(a.hedges_launched, a.hedges_won + a.hedges_wasted);
     }
 }

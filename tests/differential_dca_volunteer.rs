@@ -7,6 +7,8 @@
 
 use std::rc::Rc;
 
+use smartred::core::execution::Assignment;
+use smartred::core::hedge::HedgePolicy;
 use smartred::core::params::{KVotes, VoteMargin};
 use smartred::core::strategy::{Iterative, Traditional};
 use smartred::dca::config::DcaConfig;
@@ -117,6 +119,155 @@ fn iterative_d4_agrees_across_platforms() {
         m.dca_rel,
         m.vol_rel
     );
+}
+
+/// A hedge policy whose threshold (q70 of U[0.5, 1.5] ≈ 1.2, ×1.0) falls
+/// well inside the 3-unit deadline on both platforms, so slow jobs are
+/// hedged while fast ones are not.
+fn matched_hedge() -> HedgePolicy {
+    HedgePolicy {
+        quantile: 0.7,
+        min_samples: 20,
+        multiplier: 1.0,
+        max_per_task: 1,
+    }
+}
+
+fn hedged_matched_runs<S>(strategy: S, assignment: Assignment) -> Matched
+where
+    S: RedundancyStrategy<bool> + Clone + 'static,
+{
+    let mut dca_cfg = dca_config();
+    dca_cfg.hedge = Some(matched_hedge());
+    dca_cfg.assignment = assignment;
+    let mut vol_cfg = volunteer_config();
+    vol_cfg.hedge = Some(matched_hedge());
+    vol_cfg.assignment = assignment;
+    let dca = run_dca_journaled(Rc::new(strategy.clone()), &dca_cfg).unwrap();
+    let (vol, vol_journal) = run_volunteer_journaled(Rc::new(strategy), &vol_cfg).unwrap();
+    // The twin-settlement invariant and the journal-as-pure-observer
+    // contract hold on both substrates, whatever the assignment policy.
+    assert_eq!(
+        dca.report.hedges_launched,
+        dca.report.hedges_won + dca.report.hedges_wasted,
+        "dca: every launched twin settles exactly once"
+    );
+    assert_eq!(
+        vol.hedges_launched,
+        vol.hedges_won + vol.hedges_wasted,
+        "volunteer: every launched twin settles exactly once"
+    );
+    for (name, journal, launched, won, wasted) in [
+        (
+            "dca",
+            &dca.journal,
+            dca.report.hedges_launched,
+            dca.report.hedges_won,
+            dca.report.hedges_wasted,
+        ),
+        (
+            "volunteer",
+            &vol_journal,
+            vol.hedges_launched,
+            vol.hedges_won,
+            vol.hedges_wasted,
+        ),
+    ] {
+        assert_eq!(
+            journal.count(EventKind::HedgeLaunched) as u64,
+            launched,
+            "{name}"
+        );
+        assert_eq!(journal.count(EventKind::HedgeWon) as u64, won, "{name}");
+        assert_eq!(journal.count(EventKind::HedgeWasted) as u64, wasted, "{name}");
+    }
+    Matched {
+        dca_cost: dca.report.jobs_per_task.mean(),
+        dca_rel: dca.report.reliability(),
+        vol_cost: vol.cost_factor(),
+        vol_rel: vol.reliability(),
+        dca_journal: dca.journal,
+        vol_journal,
+        dca_timeouts: dca.report.timeouts,
+        vol_timeouts: vol.timeouts,
+    }
+}
+
+/// Hedged traditional redundancy at matched parameters: hedging fires on
+/// both platforms, changes no verdict (TR cost stays exactly k, the
+/// reliability match is as tight as the unhedged run's), and both
+/// journals keep the structural contract.
+#[test]
+fn hedged_traditional_k3_agrees_across_platforms() {
+    let m = hedged_matched_runs(
+        Traditional::new(KVotes::new(3).unwrap()),
+        Assignment::Random,
+    );
+    // Hedging is verdict-invariant: replica votes, and hence TR's exact
+    // cost-of-k and expected reliability, are untouched.
+    assert_eq!(m.dca_cost, 3.0, "DCA hedged TR cost must stay exactly k");
+    assert_eq!(m.vol_cost, 3.0, "volunteer hedged TR cost must stay exactly k");
+    assert_eq!(m.dca_timeouts, 0);
+    assert_eq!(m.vol_timeouts, 0);
+    let dca_hedges = m.dca_journal.count(EventKind::HedgeLaunched);
+    let vol_hedges = m.vol_journal.count(EventKind::HedgeLaunched);
+    assert!(dca_hedges > 0, "a q70 trigger must fire on U[0.5,1.5] jobs");
+    assert!(vol_hedges > 0, "a q70 trigger must fire on U[0.5,1.5] jobs");
+    assert!(
+        (m.dca_rel - m.vol_rel).abs() < 0.035,
+        "hedged TR reliability diverged: dca {} vs volunteer {}",
+        m.dca_rel,
+        m.vol_rel
+    );
+    assert!((m.dca_rel - 0.784).abs() < 0.03);
+    assert!((m.vol_rel - 0.784).abs() < 0.03);
+    for (name, journal) in [("dca", &m.dca_journal), ("volunteer", &m.vol_journal)] {
+        jassert::that(journal)
+            .time_ordered()
+            .waves_well_formed()
+            .retry_follows_timeout()
+            .count(EventKind::VerdictReached)
+            .exactly(TASKS);
+        assert_eq!(
+            journal.count(EventKind::JobDispatched),
+            3 * TASKS,
+            "{name}: twins ride replica slots, never wave slots"
+        );
+        assert_eq!(journal.count(EventKind::VoteTallied), 3 * TASKS, "{name}");
+    }
+}
+
+/// Every assignment policy produces the same statistical agreement under
+/// hedged iterative redundancy: placement never moves votes, on either
+/// platform.
+#[test]
+fn hedged_assignment_policies_agree_across_platforms() {
+    for assignment in Assignment::ALL {
+        let m = hedged_matched_runs(Iterative::new(VoteMargin::new(4).unwrap()), assignment);
+        assert_eq!(m.dca_timeouts, 0, "{}", assignment.name());
+        assert_eq!(m.vol_timeouts, 0, "{}", assignment.name());
+        let rel_diff = (m.dca_cost - m.vol_cost).abs() / m.dca_cost;
+        assert!(
+            rel_diff < 0.05,
+            "{}: hedged IR cost diverged: dca {} vs volunteer {} ({}%)",
+            assignment.name(),
+            m.dca_cost,
+            m.vol_cost,
+            rel_diff * 100.0
+        );
+        assert!(
+            m.dca_rel > 0.95 && m.vol_rel > 0.95,
+            "{}: hedged IR must keep IR reliability",
+            assignment.name()
+        );
+        assert!(
+            (m.dca_rel - m.vol_rel).abs() < 0.02,
+            "{}: hedged IR reliability diverged: dca {} vs volunteer {}",
+            assignment.name(),
+            m.dca_rel,
+            m.vol_rel
+        );
+    }
 }
 
 #[test]
