@@ -59,6 +59,18 @@
 //! hedging cuts TR's p99 latency at bit-identical verdicts. Combined with
 //! `--chaos` it runs the crash-recovery harness with hedge pairs live at
 //! every crash point.
+//!
+//! `--dag` runs the network-aware DAG pipeline comparison instead
+//! (`smartred-dag`): a map→shuffle→reduce pipeline over a transfer-charged
+//! simulated pool, attacked by a seeded adversary that targets the wide
+//! map cut. A per-stage strategy *mix* (strong iterative redundancy on the
+//! attacked stage, cheap strategies elsewhere) runs against uniform TR,
+//! PR, and IR calibrated to spend at least the mix's measured job budget,
+//! and `BENCH_9.json` records poison-escape rate, total cost, and
+//! makespan (simulated units only — the file is bit-identical across
+//! `SMARTRED_THREADS` settings). Exits non-zero unless the mix beats
+//! every budget-matched uniform on escape rate and each policy's journal
+//! replays to its live report exactly.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -101,6 +113,7 @@ struct Args {
     bench_json: Option<String>,
     hedge: bool,
     assignment: Assignment,
+    dag: bool,
 }
 
 fn parse_args() -> Args {
@@ -118,6 +131,7 @@ fn parse_args() -> Args {
         bench_json: None,
         hedge: false,
         assignment: Assignment::Random,
+        dag: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -164,6 +178,7 @@ fn parse_args() -> Args {
                 i += 1;
             }
             "--hedge" => args.hedge = true,
+            "--dag" => args.dag = true,
             "--assignment" => {
                 let name = value(i);
                 args.assignment = Assignment::parse(&name).unwrap_or_else(|| {
@@ -177,7 +192,7 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] \
-                     [--audit-demo] [--tasks N] [--workers N] [--seed N] [--shards N] \
+                     [--audit-demo] [--dag] [--tasks N] [--workers N] [--seed N] [--shards N] \
                      [--cartel N] [--hedge] [--assignment <policy>] [--journal <path>] \
                      [--bench-json <path>]"
                 );
@@ -203,12 +218,7 @@ impl Outcome {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let rank =
-            ((p * self.latencies.len() as f64).ceil() as usize).clamp(1, self.latencies.len());
-        self.latencies[rank - 1]
+        smartred_stats::percentile_nearest_rank(&self.latencies, p)
     }
 }
 
@@ -1202,12 +1212,26 @@ fn bench8_json(args: &Args, path: &str) -> i32 {
         (
             "TR",
             drive("TR", Traditional::new(k), &formula, &plain, window, regime),
-            drive("TR+h", Traditional::new(k), &formula, &hedged, window, regime),
+            drive(
+                "TR+h",
+                Traditional::new(k),
+                &formula,
+                &hedged,
+                window,
+                regime,
+            ),
         ),
         (
             "PR",
             drive("PR", Progressive::new(k), &formula, &plain, window, regime),
-            drive("PR+h", Progressive::new(k), &formula, &hedged, window, regime),
+            drive(
+                "PR+h",
+                Progressive::new(k),
+                &formula,
+                &hedged,
+                window,
+                regime,
+            ),
         ),
         (
             "IR",
@@ -1219,7 +1243,16 @@ fn bench8_json(args: &Args, path: &str) -> i32 {
     let mut failed = false;
     println!(
         "{:<6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>8} {:>6} {:>8} {:>12}",
-        "strat", "hedge", "tasks/s", "p50 ms", "p99 ms", "jobs/task", "hedges", "won", "cost", "reliability"
+        "strat",
+        "hedge",
+        "tasks/s",
+        "p50 ms",
+        "p99 ms",
+        "jobs/task",
+        "hedges",
+        "won",
+        "cost",
+        "reliability"
     );
     for (name, off, on) in &pairs {
         // Verdict invariance at the shared seed: the hedged leg must buy
@@ -1237,9 +1270,7 @@ fn bench8_json(args: &Args, path: &str) -> i32 {
             );
             failed = true;
         }
-        if on.run.report.hedges_launched
-            != on.run.report.hedges_won + on.run.report.hedges_wasted
-        {
+        if on.run.report.hedges_launched != on.run.report.hedges_won + on.run.report.hedges_wasted {
             eprintln!("FAIL: {name}: a launched twin escaped settlement");
             failed = true;
         }
@@ -1328,8 +1359,487 @@ fn bench8_json(args: &Args, path: &str) -> i32 {
     0
 }
 
+/// Workers for the DAG chaos harness: collude unanimously on one runtime
+/// task id (so exactly that task accepts a wrong verdict and poisons its
+/// descendants deterministically) and answer honestly everywhere else.
+struct DagColluder {
+    target: u32,
+}
+
+impl Worker for DagColluder {
+    fn execute(&mut self, job: &JobAssignment) -> Option<(bool, bool)> {
+        let honest = job.payload.execute();
+        if job.task == self.target {
+            Some((false, !honest))
+        } else {
+            Some((true, honest))
+        }
+    }
+}
+
+/// The DAG crash-point harness (`--dag --chaos`): a live map→shuffle→
+/// reduce pipeline with a colluder poisoning one map task, run once
+/// uninterrupted (golden) and then re-run with a durable WAL and the
+/// coordinator killed at seeded points. Each crashed run's WAL must
+/// tolerant-parse (torn tails included) into a journal whose DAG
+/// annotation stream — `StageDecided` per decided stage, `PoisonPropagated`
+/// per poisoned task — is an exact prefix of the golden run's. With
+/// `--shards N` the legs run on the sharded runtime (shard 0 crashes) and
+/// the check applies to the deterministic merge of all shard WAL segments.
+/// Returns process exit code.
+fn dag_chaos(args: &Args) -> i32 {
+    use smartred_dag::{annotations_from_journal, run_dag_with, DagSpec, StageStrategy};
+
+    let spec = DagSpec::map_shuffle_reduce(
+        8,
+        2,
+        StageStrategy::ir(2).unwrap(),
+        StageStrategy::ir(2).unwrap(),
+        StageStrategy::ir(2).unwrap(),
+    )
+    .expect("static pipeline spec is valid");
+    let total = spec.total_tasks() as usize;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x5eed);
+    let formula = Arc::new(random_3sat(
+        ThreeSatConfig {
+            num_vars: 16,
+            clause_ratio: 4.26,
+        },
+        &mut rng,
+    ));
+    let payloads: Vec<Payload> = decompose(formula.num_vars(), total)
+        .into_iter()
+        .map(|block| Payload::Sat {
+            formula: formula.clone(),
+            block,
+        })
+        .collect();
+    // The driver submits sequentially into a fresh runtime each leg, so
+    // runtime ids equal DAG ids: target map task 3, which poisons its
+    // pairwise combine child (11) and, through the shuffle, both sinks.
+    let target = 3;
+    // Live stages decide in milliseconds; the patience only pays out on
+    // the crashed legs, where it is pure added wall time.
+    let patience = Duration::from_secs(2);
+
+    let leg = |wal: Option<PathBuf>,
+               crash_at: Option<u64>|
+     -> (smartred_dag::LiveDagReport, RuntimeRun) {
+        if args.shards > 1 {
+            let mut crash = vec![None; args.shards];
+            crash[0] = crash_at;
+            let cfg = ShardedConfig {
+                base: RuntimeConfig {
+                    workers: Some(args.workers),
+                    journal: true,
+                    queue_cap: total,
+                    max_active: total,
+                    ..RuntimeConfig::default()
+                },
+                shards: args.shards,
+                wal_dir: wal,
+                admission_cap: total,
+                crash_after: crash_at.map(|_| crash),
+            };
+            let rt = ShardedRuntime::start(cfg, StageStrategy::ir(2).unwrap(), move |_| {
+                Box::new(DagColluder { target }) as Box<dyn Worker>
+            });
+            let client = rt.client();
+            let report = run_dag_with(&client, &spec, &payloads, patience);
+            drop(client);
+            let run = rt.finish();
+            (
+                report,
+                RuntimeRun {
+                    report: run.report,
+                    admission: run.admission,
+                    journal: run.journal,
+                    crashed: run.crashed,
+                },
+            )
+        } else {
+            let cfg = RuntimeConfig {
+                workers: Some(args.workers),
+                journal: true,
+                queue_cap: total,
+                max_active: total,
+                wal: wal.map(|d| d.join("dag.wal.jsonl")),
+                crash_after_events: crash_at,
+                ..RuntimeConfig::default()
+            };
+            let rt = Runtime::start(cfg, StageStrategy::ir(2).unwrap(), move |_| {
+                Box::new(DagColluder { target }) as Box<dyn Worker>
+            });
+            let client = rt.client();
+            let report = run_dag_with(&client, &spec, &payloads, patience);
+            drop(client);
+            (report, rt.finish())
+        }
+    };
+
+    let (golden_report, golden_run) = leg(None, None);
+    assert!(!golden_report.crashed && !golden_run.crashed);
+    let golden_ann = annotations_from_journal(&golden_run.journal);
+    let mut golden_stages = golden_ann.stages.clone();
+    golden_stages.sort_unstable();
+    assert_eq!(
+        golden_stages,
+        vec![(0, 7, 1), (1, 7, 1), (2, 0, 2)],
+        "golden DAG run: one poisoned map task must corrupt both sinks"
+    );
+    assert_eq!(golden_ann.poisoned_tasks, 3);
+    let golden_events = golden_run.journal.events().len();
+    println!(
+        "dag-chaos: golden pipeline: {} tasks, {} jobs, {} poisoned, stages {:?}, {} events, \
+         {} shard(s)",
+        total,
+        golden_report.jobs,
+        golden_report.poisoned_tasks,
+        golden_ann.stages,
+        golden_events,
+        args.shards,
+    );
+
+    let wal_dir = std::env::temp_dir().join(format!("smartred-dagchaos-{}", std::process::id()));
+    let mut failed = false;
+    for (round, frac) in [0.25, 0.6, 0.9].into_iter().enumerate() {
+        // Per-coordinator crash point: the sharded legs kill shard 0 after
+        // its share of the golden stream.
+        let stream = golden_events / args.shards.max(1);
+        let crash_at = ((stream as f64 * frac) as u64).max(1);
+        let dir = wal_dir.join(format!("round-{round}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create dag-chaos WAL directory");
+        let (report, run) = leg(Some(dir.clone()), Some(crash_at));
+        assert!(
+            report.crashed && run.crashed,
+            "round {round}: the coordinator must die at its chaos point"
+        );
+        // Reassemble whatever reached disk: tolerant-parse each WAL
+        // segment (the killed shard's tail may be torn mid-record) and
+        // merge them deterministically.
+        let mut parts = Vec::new();
+        let mut torn = false;
+        let segments: Vec<PathBuf> = if args.shards > 1 {
+            (0..args.shards)
+                .map(|k| ShardedConfig::wal_segment(&dir, k))
+                .collect()
+        } else {
+            vec![dir.join("dag.wal.jsonl")]
+        };
+        for seg in &segments {
+            let text = std::fs::read_to_string(seg).expect("read WAL segment");
+            let prefix = Journal::from_jsonl_prefix(&text).expect("WAL prefix parses");
+            torn |= prefix.torn;
+            parts.push(prefix.journal);
+        }
+        let merged = Journal::merge_sharded(&parts);
+        let ann = annotations_from_journal(&merged);
+        // Durability contract: the WAL's annotation stream is an exact
+        // prefix of the golden one — never a reordering, never a stage the
+        // run hadn't decided, and no poison marks beyond the golden count.
+        let ok = ann.stages.len() <= golden_ann.stages.len()
+            && ann.stages[..] == golden_ann.stages[..ann.stages.len()]
+            && ann.poisoned_tasks <= golden_ann.poisoned_tasks;
+        println!(
+            "dag-chaos: round {round}: killed after {crash_at}/{stream} events (torn: {torn}), \
+             WAL holds {} events, {} of {} stage verdicts, {} poison marks -> {}",
+            merged.len(),
+            ann.stages.len(),
+            golden_ann.stages.len(),
+            ann.poisoned_tasks,
+            if ok { "prefix of golden" } else { "MISMATCH" },
+        );
+        if !ok {
+            eprintln!(
+                "FAIL: round {round}: WAL annotations diverged from golden\n  golden: {:?} / {} \
+                 poisoned\n  walled: {:?} / {} poisoned",
+                golden_ann.stages, golden_ann.poisoned_tasks, ann.stages, ann.poisoned_tasks
+            );
+            if let Some(path) = &args.journal {
+                if let Some(parent) = std::path::Path::new(path).parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent).expect("create journal directory");
+                    }
+                }
+                std::fs::copy(&segments[0], path).expect("preserve failing WAL");
+                eprintln!("failing WAL preserved at {path}");
+            }
+            failed = true;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    if failed {
+        return 1;
+    }
+    println!("dag-chaos holds: every crash point leaves a WAL prefix of the golden annotations");
+    0
+}
+
+/// One policy of the DAG comparison: a label plus the per-stage strategy
+/// assignment baked into its spec.
+struct DagPolicy {
+    label: String,
+    spec: smartred_dag::DagSpec,
+    /// `true` for the per-stage mixes, `false` for the uniform baselines.
+    mix: bool,
+}
+
+/// Everything BENCH_9 records about one policy.
+struct DagRow {
+    policy: DagPolicy,
+    stats: smartred_dag::DagStats,
+    /// Nearest-rank percentiles of per-instance makespans, in sim units.
+    p50_makespan: f64,
+    p99_makespan: f64,
+    /// Journal digest of the instance-0 run (replay-checked).
+    digest: String,
+    /// Hedge twins launched in the instance-0 run.
+    hedge_jobs: u64,
+}
+
+/// Measures `policy` over `runs` Monte-Carlo instances: aggregate stats
+/// through [`smartred_dag::monte_carlo`] (honoring `SMARTRED_THREADS` —
+/// the index-ordered fold is bit-identical at every thread count), plus a
+/// journaled instance-0 run that must replay to its live report exactly.
+fn measure_dag(policy: DagPolicy, cfg: &smartred_dag::DagSimConfig, runs: usize) -> DagRow {
+    use smartred_core::parallel::Threads;
+    use smartred_dag::{instance_seed, monte_carlo, run, run_journaled};
+
+    let stats = monte_carlo(&policy.spec, cfg, runs, Threads::Auto);
+    let mut makespans: Vec<f64> = (0..runs)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = instance_seed(cfg.seed, i as u64);
+            run(&policy.spec, &c).makespan_units
+        })
+        .collect();
+    makespans.sort_by(|a, b| a.partial_cmp(b).expect("makespans are finite"));
+    let mut c0 = cfg.clone();
+    c0.seed = instance_seed(cfg.seed, 0);
+    let (live, journal) = run_journaled(&policy.spec, &c0);
+    assert_eq!(
+        smartred_dag::report_from_journal(&journal, &policy.spec),
+        live,
+        "{}: DAG journal replay must reproduce the live report exactly",
+        policy.label
+    );
+    DagRow {
+        stats,
+        p50_makespan: smartred_stats::percentile_nearest_rank(&makespans, 0.50),
+        p99_makespan: smartred_stats::percentile_nearest_rank(&makespans, 0.99),
+        digest: journal.digest_hex(),
+        hedge_jobs: live.hedge_jobs,
+        policy,
+    }
+}
+
+/// The `--dag` comparison: per-stage strategy mixes vs budget-matched
+/// uniform strategies on a poisoned map→shuffle→reduce pipeline, written
+/// as `BENCH_9.json`. Returns process exit code.
+///
+/// The adversary corrupts the wide map cut hard and everything else only
+/// lightly, so redundancy bought *uniformly* is mostly wasted on stages
+/// nobody attacks while the attacked stage stays under-defended. Each
+/// uniform family (TR, PR, IR) is calibrated empirically to the cheapest
+/// parameter whose measured mean job cost meets the mix's budget — the
+/// uniform spends at least as much and must still let more poison escape.
+fn bench9_json(args: &Args, path: &str) -> i32 {
+    use smartred_dag::{DagSimConfig, DagSpec, PoisonAdversary, StageStrategy};
+
+    /// Map width; the attacked cut. Combine matches it pairwise.
+    const WIDTH: u32 = 16;
+    /// Reduce fan-in width — the pipeline's sink stage.
+    const REDUCE: u32 = 2;
+    /// Wrong-vote rate on the targeted map stage.
+    const TARGETED: f64 = 0.3;
+    /// Background wrong-vote rate everywhere else.
+    const BACKGROUND: f64 = 0.02;
+
+    let runs = if args.smoke { 160 } else { 400 };
+    let cfg = DagSimConfig {
+        seed: args.seed,
+        adversary: PoisonAdversary::targeting(0, TARGETED, BACKGROUND),
+        // Service draws are U[0.5, 1.5] × node speed; the default 1.3×
+        // trigger leaves a twin almost no room to win the race, so the
+        // hedged row would only ever show the cost side. 1.0× lets twins
+        // beat genuine slow draws and actually trim the stage tail.
+        hedge_after_units: 1.0,
+        ..DagSimConfig::default()
+    };
+
+    let pipeline = |map: StageStrategy, combine: StageStrategy, reduce: StageStrategy, mix| {
+        let spec = DagSpec::map_shuffle_reduce(WIDTH, REDUCE, map, combine, reduce)
+            .expect("static pipeline spec is valid");
+        DagPolicy {
+            label: format!("{}/{}/{}", map.label(), combine.label(), reduce.label()),
+            spec,
+            mix,
+        }
+    };
+    let uniform = |s: StageStrategy| pipeline(s, s, s, false);
+
+    println!(
+        "bench-json: DAG pipeline: map {WIDTH} -> combine {WIDTH} -> reduce {REDUCE}, \
+         adversary {TARGETED} on map / {BACKGROUND} background, {runs} runs, seed {}",
+        args.seed
+    );
+    // The mix: heavy IR on the attacked cut, light IR elsewhere (enough to
+    // absorb background noise), and a hedged variant of the same votes.
+    let ir = |d: usize| StageStrategy::ir(d).unwrap();
+    let mix = measure_dag(pipeline(ir(8), ir(2), ir(2), true), &cfg, runs);
+    let hedged_mix = measure_dag(
+        pipeline(StageStrategy::hir(8).unwrap(), ir(2), ir(2), true),
+        &cfg,
+        runs,
+    );
+    let budget = mix.stats.mean_cost;
+
+    // Calibration: walk each uniform family upward and keep the first
+    // parameter whose measured budget reaches the mix's. Cost is monotone
+    // in the parameter, so the walk stops at the matched point; a short
+    // Monte-Carlo (cost concentrates fast) keeps calibration cheap.
+    let calibrate = |candidates: Vec<StageStrategy>| -> DagPolicy {
+        use smartred_core::parallel::Threads;
+        let calibration_runs = 60;
+        let mut last = None;
+        for s in candidates {
+            let p = uniform(s);
+            let cost =
+                smartred_dag::monte_carlo(&p.spec, &cfg, calibration_runs, Threads::Auto).mean_cost;
+            let done = cost >= budget;
+            last = Some(p);
+            if done {
+                break;
+            }
+        }
+        last.expect("candidate list is nonempty")
+    };
+    let tr_uniform = calibrate(
+        (1..=31)
+            .step_by(2)
+            .map(|k| StageStrategy::tr(k).unwrap())
+            .collect(),
+    );
+    let pr_uniform = calibrate(
+        (1..=31)
+            .step_by(2)
+            .map(|k| StageStrategy::pr(k).unwrap())
+            .collect(),
+    );
+    let ir_uniform = calibrate((1..=12).map(|d| StageStrategy::ir(d).unwrap()).collect());
+
+    let rows = [
+        mix,
+        hedged_mix,
+        measure_dag(tr_uniform, &cfg, runs),
+        measure_dag(pr_uniform, &cfg, runs),
+        measure_dag(ir_uniform, &cfg, runs),
+    ];
+
+    println!(
+        "{:<16} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "mix", "escape", "cost", "makespan", "p50 mk", "p99 mk", "poisoned"
+    );
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>10.4} {:>10.1} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
+            r.policy.label,
+            if r.policy.mix { "yes" } else { "no" },
+            r.stats.escape_rate,
+            r.stats.mean_cost,
+            r.stats.mean_makespan,
+            r.p50_makespan,
+            r.p99_makespan,
+            r.stats.mean_poisoned,
+        );
+        json_rows.push(format!(
+            "    {{\"policy\": \"{}\", \"mix\": {}, \"escape_rate\": {:.6}, \"mean_cost\": \
+             {:.4}, \"mean_makespan\": {:.4}, \"p50_makespan\": {:.4}, \"p99_makespan\": \
+             {:.4}, \"mean_poisoned\": {:.4}, \"journal_digest\": \"{}\"}}",
+            r.policy.label,
+            r.policy.mix,
+            r.stats.escape_rate,
+            r.stats.mean_cost,
+            r.stats.mean_makespan,
+            r.p50_makespan,
+            r.p99_makespan,
+            r.stats.mean_poisoned,
+            r.digest,
+        ));
+    }
+
+    let mut failed = false;
+    let (mix, hedged_mix, uniforms) = (&rows[0], &rows[1], &rows[2..]);
+    for u in uniforms {
+        if u.stats.mean_cost < budget * 0.98 {
+            eprintln!(
+                "FAIL: uniform {} calibrated below the mix budget ({:.1} vs {:.1} jobs)",
+                u.policy.label, u.stats.mean_cost, budget
+            );
+            failed = true;
+        }
+        if mix.stats.escape_rate >= u.stats.escape_rate {
+            eprintln!(
+                "FAIL: mix {} escape {:.4} must beat uniform {} escape {:.4} at matched cost \
+                 ({:.1} vs {:.1} jobs)",
+                mix.policy.label,
+                mix.stats.escape_rate,
+                u.policy.label,
+                u.stats.escape_rate,
+                budget,
+                u.stats.mean_cost,
+            );
+            failed = true;
+        }
+    }
+    if hedged_mix.hedge_jobs == 0 {
+        eprintln!("FAIL: the hedged mix never launched a twin");
+        failed = true;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": 9,\n  \"name\": \"serve_bench DAG per-stage strategy mix\",\n  \
+         \"width\": {WIDTH},\n  \"reduce_width\": {REDUCE},\n  \"nodes\": {},\n  \"seed\": \
+         {},\n  \"runs\": {runs},\n  \"targeted_wrong\": {TARGETED},\n  \"background_wrong\": \
+         {BACKGROUND},\n  \"link_bandwidth\": {},\n  \"runs_detail\": \"all quantities in \
+         simulated units; bit-identical across SMARTRED_THREADS\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        cfg.nodes,
+        args.seed,
+        cfg.link.bandwidth,
+        json_rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench-json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write bench json");
+    println!("bench-json: wrote {path}");
+    if failed {
+        return 1;
+    }
+    println!(
+        "per-stage frontier holds: mix {} escapes {:.4} at {:.1} jobs; every budget-matched \
+         uniform escapes more",
+        mix.policy.label, mix.stats.escape_rate, budget
+    );
+    0
+}
+
 fn main() {
     let args = parse_args();
+    if args.dag {
+        if args.chaos {
+            std::process::exit(dag_chaos(&args));
+        }
+        let path = args
+            .bench_json
+            .clone()
+            .unwrap_or_else(|| "BENCH_9.json".into());
+        std::process::exit(bench9_json(&args, &path));
+    }
     if args.chaos {
         std::process::exit(chaos(&args));
     }

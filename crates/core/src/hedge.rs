@@ -145,7 +145,9 @@ impl HedgeTrigger {
         if self.estimator.count() < self.policy.min_samples.max(5) {
             return None;
         }
-        self.estimator.estimate().map(|q| q * self.policy.multiplier)
+        self.estimator
+            .estimate()
+            .map(|q| q * self.policy.multiplier)
     }
 
     /// Whether a job that has been outstanding for `elapsed` should be

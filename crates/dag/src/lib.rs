@@ -1,0 +1,44 @@
+//! # smartred-dag — network-aware DAG workloads with per-stage redundancy
+//!
+//! The paper's redundancy strategies treat tasks as independent, but the
+//! regime where smart redundancy matters most is a *pipeline*: a wrong
+//! accepted intermediate poisons everything computed from it. This crate
+//! adds that workload layer on top of the existing decision surface:
+//!
+//! * [`spec`] — typed DAGs of stages with data dependencies, each stage
+//!   under its own strategy ([`StageStrategy`]: TR/PR/IR/hedged-IR);
+//! * [`sim`] — a transfer-charged discrete-event simulation: replicas pay
+//!   their stage's payload transfer through
+//!   [`smartred_desim::network::NetworkModel`] before service, stage
+//!   verdicts gate dependent dispatch, and poison propagates along data
+//!   edges (journaled as `TransferStarted` / `TransferCompleted` /
+//!   `StageDecided` / `PoisonPropagated` events);
+//! * [`replay`] — exact report reconstruction from the journal;
+//! * [`live`] — stage-gated submission against the live (wall-clock)
+//!   runtime, with DAG events journaled durably into its WAL.
+//!
+//! The motivating trade-off (Peng, Soljanin & Whiting, arXiv:2010.02147;
+//! Rajesh, Karamchandani & Prabhakaran, arXiv:2507.16014): data-movement
+//! cost penalizes redundancy *uniformly*, while verification gates make
+//! redundancy most valuable on the stages an adversary actually attacks —
+//! so placing strategies per stage beats any uniform choice at matched
+//! total job cost.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod live;
+pub mod replay;
+pub mod sim;
+pub mod spec;
+
+pub use live::{
+    annotations_from_journal, run_dag, run_dag_with, DagAnnotations, DagClient, LiveDagReport,
+};
+pub use replay::report_from_journal;
+pub use sim::{
+    instance_seed, monte_carlo, run, run_journaled, DagRunReport, DagSimConfig, DagStats,
+    PoisonAdversary,
+};
+pub use spec::{DagSpec, DagSpecError, DepKind, StageDep, StageSpec, StageStrategy};

@@ -1,0 +1,127 @@
+//! Rebuilds a [`DagRunReport`] from a journaled event stream.
+//!
+//! The fold is exact: replaying the journal of [`crate::sim::run_journaled`]
+//! must reproduce the live report bit-for-bit, which makes the journal (and
+//! any WAL prefix of it that re-reaches `RunEnded`) a complete record of
+//! the run. Tests assert equality on every scenario.
+
+use smartred_desim::journal::{EventKind, Journal, RunEvent};
+
+use crate::sim::DagRunReport;
+use crate::spec::DagSpec;
+
+/// Folds `journal` into the report its run produced.
+///
+/// Only DAG-relevant events contribute: dispatches (per-stage job counts),
+/// transfers, hedge launches, stage verdicts, poison marks, and the final
+/// `RunEnded` makespan stamp. Everything else (votes, waves, verdicts) is
+/// already summarized by the `StageDecided` stream.
+///
+/// # Panics
+///
+/// Panics if an event references a task or stage outside `spec` — that
+/// journal belongs to a different spec.
+pub fn report_from_journal(journal: &Journal, spec: &DagSpec) -> DagRunReport {
+    let mut report = DagRunReport {
+        makespan_units: 0.0,
+        jobs: 0,
+        hedge_jobs: 0,
+        transfers: 0,
+        bytes_moved: 0,
+        stage_jobs: vec![0; spec.len()],
+        stage_correct: vec![0; spec.len()],
+        stage_wrong: vec![0; spec.len()],
+        poisoned_tasks: 0,
+    };
+    for e in journal.events() {
+        match e.event {
+            RunEvent::JobDispatched { task, .. } => {
+                report.jobs += 1;
+                report.stage_jobs[spec.stage_of(task) as usize] += 1;
+            }
+            RunEvent::TransferStarted { bytes, .. } => {
+                report.transfers += 1;
+                report.bytes_moved += bytes;
+            }
+            RunEvent::HedgeLaunched { .. } => report.hedge_jobs += 1,
+            RunEvent::StageDecided {
+                stage,
+                correct,
+                wrong,
+            } => {
+                report.stage_correct[stage as usize] = correct;
+                report.stage_wrong[stage as usize] = wrong;
+            }
+            RunEvent::PoisonPropagated { .. } => report.poisoned_tasks += 1,
+            RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
+            _ => {}
+        }
+    }
+    debug_assert_eq!(
+        journal.count(EventKind::RunEnded),
+        1,
+        "a complete DAG journal carries exactly one run-ended event"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_journaled, DagSimConfig, PoisonAdversary};
+    use crate::spec::{DagSpec, StageStrategy};
+
+    fn spec() -> DagSpec {
+        DagSpec::map_shuffle_reduce(
+            4,
+            1,
+            StageStrategy::ir(2).unwrap(),
+            StageStrategy::pr(3).unwrap(),
+            StageStrategy::tr(3).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_report_exactly() {
+        for (targeted, background) in [(0.0, 0.0), (0.35, 0.02)] {
+            let cfg = DagSimConfig {
+                adversary: PoisonAdversary::targeting(0, targeted, background),
+                ..DagSimConfig::default()
+            };
+            let (live, journal) = run_journaled(&spec(), &cfg);
+            assert_eq!(report_from_journal(&journal, &spec()), live);
+        }
+    }
+
+    #[test]
+    fn replay_survives_jsonl_round_trip() {
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.4, 0.05),
+            ..DagSimConfig::default()
+        };
+        let (live, journal) = run_journaled(&spec(), &cfg);
+        let restored = Journal::from_jsonl(&journal.to_jsonl()).expect("round trip");
+        assert_eq!(restored.digest(), journal.digest());
+        assert_eq!(report_from_journal(&restored, &spec()), live);
+    }
+
+    #[test]
+    fn replay_of_hedged_runs_counts_twins() {
+        let spec = DagSpec::map_shuffle_reduce(
+            6,
+            1,
+            StageStrategy::hir(2).unwrap(),
+            StageStrategy::ir(1).unwrap(),
+            StageStrategy::tr(3).unwrap(),
+        )
+        .unwrap();
+        let cfg = DagSimConfig {
+            hedge_after_units: 0.8,
+            ..DagSimConfig::default()
+        };
+        let (live, journal) = run_journaled(&spec, &cfg);
+        assert!(live.hedge_jobs > 0);
+        assert_eq!(report_from_journal(&journal, &spec), live);
+    }
+}

@@ -1,0 +1,763 @@
+//! Transfer-charged discrete-event simulation of a DAG pipeline.
+//!
+//! Each task runs its stage's [`StageStrategy`] through the shared
+//! [`TaskExecution`] decision surface; every replica pays its stage's
+//! payload transfer (via [`NetworkModel`]) before service may start; a
+//! stage's verdicts gate dispatch of its dependents; and a wrong accepted
+//! intermediate poisons every downstream task that reads it.
+//!
+//! ## Determinism contract
+//!
+//! Every stochastic draw — replica node choice, vote correctness, service
+//! time, hedge-twin draws, node speeds — is a pure function of
+//! `(seed, task, replica)` via counter-based RNG streams
+//! ([`smartred_core::parallel::task_rng`]), so votes and verdicts are
+//! schedule-independent and journals are bit-identical across thread
+//! counts and repeat runs.
+
+use smartred_core::execution::{TaskExecution, WaveStep};
+use smartred_core::parallel::{map_indexed, task_rng, Threads};
+use smartred_desim::engine::Simulator;
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::network::{LinkSpec, NetworkModel};
+use smartred_desim::rng::sample;
+use smartred_desim::time::{SimDuration, SimTime};
+
+use crate::spec::{DagSpec, DepKind, StageStrategy};
+
+/// RNG stream offset separating hedge-twin draws from origin-replica draws
+/// (task ids are `u32`, so `task` and `HEDGE_STREAM | task` never collide).
+const HEDGE_STREAM: u64 = 1 << 32;
+/// RNG stream offset for per-node speed factors.
+const NODE_STREAM: u64 = 2 << 32;
+
+/// A seeded poisoning adversary that targets one stage.
+///
+/// Colluding nodes corrupt the stage where a wrong value is cheapest to
+/// slip through and most damaging downstream (typically the wide map cut),
+/// while staying near-honest elsewhere to avoid detection. Modeled as a
+/// per-replica wrong-vote rate that depends only on the task's stage, so
+/// draws stay schedule-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoisonAdversary {
+    /// The stage whose replicas are attacked (`None` = no targeting).
+    pub target_stage: Option<u32>,
+    /// Wrong-vote probability for replicas of the targeted stage.
+    pub targeted_wrong: f64,
+    /// Wrong-vote probability everywhere else (background noise).
+    pub background_wrong: f64,
+}
+
+impl PoisonAdversary {
+    /// No adversary: every replica votes correctly.
+    pub fn honest() -> Self {
+        Self {
+            target_stage: None,
+            targeted_wrong: 0.0,
+            background_wrong: 0.0,
+        }
+    }
+
+    /// An adversary lying at rate `targeted` on `stage`'s replicas and
+    /// `background` elsewhere.
+    pub fn targeting(stage: u32, targeted: f64, background: f64) -> Self {
+        Self {
+            target_stage: Some(stage),
+            targeted_wrong: targeted,
+            background_wrong: background,
+        }
+    }
+
+    /// The wrong-vote probability for one replica of `stage`.
+    pub fn wrong_rate(&self, stage: u32) -> f64 {
+        if self.target_stage == Some(stage) {
+            self.targeted_wrong
+        } else {
+            self.background_wrong
+        }
+    }
+}
+
+/// Configuration of one DAG pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSimConfig {
+    /// Worker nodes available (each with its own speed and link budget).
+    pub nodes: usize,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Default link budget (override per node on the model if needed).
+    pub link: LinkSpec,
+    /// Node speed factors are uniform in `[1 − spread, 1 + spread]`
+    /// (multiplying service time; must be in `[0, 1)`).
+    pub speed_spread: f64,
+    /// The poisoning adversary in play.
+    pub adversary: PoisonAdversary,
+    /// Optional per-task job cap ([`TaskExecution::with_job_cap`]); a
+    /// capped task counts as a wrong effective output.
+    pub job_cap: Option<usize>,
+    /// Hedged stages launch a twin when a replica's service draw exceeds
+    /// this multiple of the stage's `service_units`.
+    pub hedge_after_units: f64,
+}
+
+impl Default for DagSimConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 24,
+            seed: 11,
+            link: LinkSpec::new(64 * 1024, SimDuration::from_units(0.05)),
+            speed_spread: 0.2,
+            adversary: PoisonAdversary::honest(),
+            job_cap: None,
+            hedge_after_units: 1.3,
+        }
+    }
+}
+
+/// Per-run outcome of one DAG pipeline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagRunReport {
+    /// End-to-end completion time of the whole pipeline, in units.
+    pub makespan_units: f64,
+    /// Vote-carrying jobs dispatched (excludes hedge twins).
+    pub jobs: u64,
+    /// Hedge twins launched (each costs a real job but the pair casts one
+    /// vote).
+    pub hedge_jobs: u64,
+    /// Payload transfers charged.
+    pub transfers: u64,
+    /// Total payload bytes moved.
+    pub bytes_moved: u64,
+    /// Vote-carrying jobs per stage.
+    pub stage_jobs: Vec<u64>,
+    /// Per stage: tasks whose *effective* output is correct.
+    pub stage_correct: Vec<u32>,
+    /// Per stage: tasks whose effective output is wrong (own wrong accept
+    /// or upstream poison).
+    pub stage_wrong: Vec<u32>,
+    /// Downstream tasks poisoned by a wrong accepted intermediate.
+    pub poisoned_tasks: u64,
+}
+
+impl DagRunReport {
+    fn empty(stages: usize) -> Self {
+        Self {
+            makespan_units: 0.0,
+            jobs: 0,
+            hedge_jobs: 0,
+            transfers: 0,
+            bytes_moved: 0,
+            stage_jobs: vec![0; stages],
+            stage_correct: vec![0; stages],
+            stage_wrong: vec![0; stages],
+            poisoned_tasks: 0,
+        }
+    }
+
+    /// Total job cost of the run: vote jobs plus hedge twins.
+    pub fn total_cost(&self) -> u64 {
+        self.jobs + self.hedge_jobs
+    }
+
+    /// Wrong effective outputs across `spec`'s sink stages.
+    pub fn sink_wrong(&self, spec: &DagSpec) -> u32 {
+        spec.sinks()
+            .iter()
+            .map(|&s| self.stage_wrong[s as usize])
+            .sum()
+    }
+
+    /// Fraction of sink outputs whose effective value is wrong — the run's
+    /// poison-escape rate (every wrong sink output was *accepted*, so it
+    /// escaped the redundancy checks).
+    pub fn escape_rate(&self, spec: &DagSpec) -> f64 {
+        f64::from(self.sink_wrong(spec)) / f64::from(spec.sink_tasks())
+    }
+}
+
+struct TaskState {
+    exec: TaskExecution<bool, StageStrategy>,
+    /// Per-task replica dispatch cursor (indexes the RNG stream).
+    replicas: u32,
+    /// Lowest-id wrong upstream dependency, if any.
+    poisoned_by: Option<u32>,
+    /// Whether the task's *effective* output is correct (set at settle).
+    effective: Option<bool>,
+}
+
+struct World {
+    spec: DagSpec,
+    cfg: DagSimConfig,
+    network: NetworkModel,
+    tasks: Vec<TaskState>,
+    /// Undecided tasks per stage.
+    stage_remaining: Vec<u32>,
+    /// Undecided dependency edges per stage.
+    deps_unmet: Vec<u32>,
+    /// stage → stages that depend on it (one entry per edge).
+    dependents: Vec<Vec<u32>>,
+    node_speed: Vec<f64>,
+    next_job: u32,
+    stages_done: usize,
+    report: DagRunReport,
+}
+
+impl World {
+    fn new(spec: &DagSpec, cfg: &DagSimConfig) -> Self {
+        assert!(cfg.nodes > 0, "need at least one node");
+        assert!(
+            (0.0..1.0).contains(&cfg.speed_spread),
+            "speed spread must be in [0, 1)"
+        );
+        let stages = spec.len();
+        let mut deps_unmet = vec![0u32; stages];
+        let mut dependents = vec![Vec::new(); stages];
+        for (i, stage) in spec.stages().iter().enumerate() {
+            deps_unmet[i] = stage.deps.len() as u32;
+            for dep in &stage.deps {
+                dependents[dep.on as usize].push(i as u32);
+            }
+        }
+        let tasks = (0..spec.total_tasks())
+            .map(|t| {
+                let strategy = spec.stages()[spec.stage_of(t) as usize].strategy;
+                let mut exec = TaskExecution::new(strategy);
+                if let Some(cap) = cfg.job_cap {
+                    exec = exec.with_job_cap(cap);
+                }
+                TaskState {
+                    exec,
+                    replicas: 0,
+                    poisoned_by: None,
+                    effective: None,
+                }
+            })
+            .collect();
+        let node_speed = (0..cfg.nodes)
+            .map(|n| {
+                let u: f64 = sample(&mut task_rng(cfg.seed, NODE_STREAM, n as u64), 0.0..1.0);
+                1.0 + cfg.speed_spread * (2.0 * u - 1.0)
+            })
+            .collect();
+        Self {
+            network: NetworkModel::uniform(cfg.link),
+            tasks,
+            stage_remaining: spec.stages().iter().map(|s| s.width).collect(),
+            deps_unmet,
+            dependents,
+            node_speed,
+            next_job: 0,
+            stages_done: 0,
+            report: DagRunReport::empty(stages),
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+        }
+    }
+}
+
+/// Opens `stage`: marks poisoned tasks (journaling one
+/// [`RunEvent::PoisonPropagated`] per poisoned task, `from` = its
+/// lowest-id wrong upstream) and starts every task's first wave.
+fn open_stage(w: &mut World, sim: &mut Simulator<World>, stage: u32) {
+    let range = w.spec.tasks(stage);
+    for t in range.clone() {
+        let offset = t - w.spec.base(stage);
+        let mut from: Option<u32> = None;
+        for dep in &w.spec.stages()[stage as usize].deps {
+            let bad = match dep.kind {
+                DepKind::All => w
+                    .spec
+                    .tasks(dep.on)
+                    .find(|&u| w.tasks[u as usize].effective == Some(false)),
+                DepKind::Pairwise => {
+                    let u = w.spec.base(dep.on) + offset;
+                    (w.tasks[u as usize].effective == Some(false)).then_some(u)
+                }
+            };
+            if let Some(u) = bad {
+                from = Some(from.map_or(u, |f| f.min(u)));
+            }
+        }
+        if let Some(u) = from {
+            w.tasks[t as usize].poisoned_by = Some(u);
+            w.report.poisoned_tasks += 1;
+            sim.emit(RunEvent::PoisonPropagated {
+                task: t,
+                stage,
+                from: u,
+            });
+        }
+    }
+    for t in range {
+        advance_task(w, sim, t);
+    }
+}
+
+/// Steps one task's strategy: opens the next wave, or settles the task on
+/// a verdict or job-cap overrun.
+fn advance_task(w: &mut World, sim: &mut Simulator<World>, t: u32) {
+    match w.tasks[t as usize].exec.step_wave() {
+        WaveStep::Wave { wave, jobs } => {
+            sim.emit(RunEvent::WaveOpened {
+                task: t,
+                wave: wave as u32,
+                jobs: jobs as u32,
+            });
+            for _ in 0..jobs {
+                dispatch_replica(w, sim, t);
+            }
+        }
+        WaveStep::Verdict(v) => {
+            sim.emit(RunEvent::VerdictReached {
+                task: t,
+                value: v,
+                degraded: false,
+                confidence: 1.0,
+            });
+            settle_task(w, sim, t, Some(v));
+        }
+        WaveStep::Capped { .. } => {
+            sim.emit(RunEvent::TaskCapped { task: t });
+            settle_task(w, sim, t, None);
+        }
+        WaveStep::Pending => {}
+    }
+}
+
+/// Dispatches one replica: draws its node, vote, and service time from the
+/// `(seed, task, replica)` stream, charges the payload transfer, then runs
+/// service (with an optional hedge twin on hedged stages).
+fn dispatch_replica(w: &mut World, sim: &mut Simulator<World>, t: u32) {
+    let stage = w.spec.stage_of(t);
+    let s = &w.spec.stages()[stage as usize];
+    let (payload, service_units, hedged) = (s.payload_bytes, s.service_units, s.strategy.hedged());
+    let r = w.tasks[t as usize].replicas;
+    w.tasks[t as usize].replicas += 1;
+    let job = w.next_job;
+    w.next_job += 1;
+
+    let mut rng = task_rng(w.cfg.seed, u64::from(t), u64::from(r));
+    let node = sample(&mut rng, 0..w.cfg.nodes as u32);
+    let wrong = sample(&mut rng, 0.0..1.0f64) < w.cfg.adversary.wrong_rate(stage);
+    let draw: f64 = sample(&mut rng, 0.5..1.5f64);
+    let service = SimDuration::from_units(draw * service_units * w.node_speed[node as usize]);
+    let value = !wrong;
+    let hedge_after = SimDuration::from_units(w.cfg.hedge_after_units * service_units);
+    let trigger = hedged && service > hedge_after;
+
+    // Twin draws come from a disjoint stream so arming/removing hedges
+    // never perturbs origin-replica votes.
+    let twin = trigger.then(|| {
+        let mut rng = task_rng(w.cfg.seed, HEDGE_STREAM | u64::from(t), u64::from(r));
+        let node = sample(&mut rng, 0..w.cfg.nodes as u32);
+        let wrong = sample(&mut rng, 0.0..1.0f64) < w.cfg.adversary.wrong_rate(stage);
+        let draw: f64 = sample(&mut rng, 0.5..1.5f64);
+        let service = SimDuration::from_units(draw * service_units * w.node_speed[node as usize]);
+        (node, !wrong, service)
+    });
+
+    w.report.transfers += 1;
+    w.report.bytes_moved += payload;
+    w.network.begin(sim, job, t, node, payload, move |w, sim| {
+        sim.emit(RunEvent::JobDispatched {
+            job,
+            task: t,
+            node,
+            eta: sim.now() + service,
+        });
+        w.report.jobs += 1;
+        w.report.stage_jobs[stage as usize] += 1;
+        match twin {
+            None => sim.schedule_in(service, move |w, sim| {
+                complete_replica(w, sim, t, job, node, value);
+            }),
+            Some((twin_node, twin_value, twin_service)) => {
+                // The twin launches when the origin outlives the hedge
+                // threshold; its input replica is already staged on the
+                // pool (the transfer above replicated it), so it pays no
+                // fresh WAN transfer. The first copy to finish casts the
+                // replica's vote under the origin job id.
+                let twin_job = w.next_job;
+                w.next_job += 1;
+                w.report.hedge_jobs += 1;
+                sim.schedule_in(hedge_after, move |_, sim| {
+                    sim.emit(RunEvent::HedgeLaunched {
+                        job: twin_job,
+                        task: t,
+                        origin: job,
+                        epoch: 0,
+                    });
+                });
+                if hedge_after + twin_service < service {
+                    sim.schedule_in(hedge_after + twin_service, move |w, sim| {
+                        sim.emit(RunEvent::HedgeWon {
+                            job: twin_job,
+                            task: t,
+                        });
+                        complete_replica(w, sim, t, job, twin_node, twin_value);
+                    });
+                } else {
+                    sim.schedule_in(service, move |w, sim| {
+                        sim.emit(RunEvent::HedgeWasted {
+                            job: twin_job,
+                            task: t,
+                        });
+                        complete_replica(w, sim, t, job, node, value);
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// Records one replica's vote and advances the task at wave boundaries.
+fn complete_replica(
+    w: &mut World,
+    sim: &mut Simulator<World>,
+    t: u32,
+    job: u32,
+    node: u32,
+    value: bool,
+) {
+    sim.emit(RunEvent::JobReturned {
+        job,
+        task: t,
+        node,
+        value,
+    });
+    let task = &mut w.tasks[t as usize];
+    task.exec.record(value);
+    let (leader, runner_up) = task.exec.leader_counts();
+    sim.emit(RunEvent::VoteTallied {
+        task: t,
+        value,
+        leader_count: leader as u32,
+        runner_up: runner_up as u32,
+    });
+    if task.exec.outstanding() == 0 {
+        advance_task(w, sim, t);
+    }
+}
+
+/// Settles a decided (or capped) task and, when its stage completes,
+/// journals the stage verdict and releases dependent stages.
+fn settle_task(w: &mut World, sim: &mut Simulator<World>, t: u32, verdict: Option<bool>) {
+    let effective = verdict == Some(true) && w.tasks[t as usize].poisoned_by.is_none();
+    w.tasks[t as usize].effective = Some(effective);
+    let stage = w.spec.stage_of(t);
+    w.stage_remaining[stage as usize] -= 1;
+    if w.stage_remaining[stage as usize] > 0 {
+        return;
+    }
+    let correct = w
+        .spec
+        .tasks(stage)
+        .filter(|&u| w.tasks[u as usize].effective == Some(true))
+        .count() as u32;
+    let wrong = w.spec.stages()[stage as usize].width - correct;
+    w.report.stage_correct[stage as usize] = correct;
+    w.report.stage_wrong[stage as usize] = wrong;
+    sim.emit(RunEvent::StageDecided {
+        stage,
+        correct,
+        wrong,
+    });
+    w.stages_done += 1;
+    if w.stages_done == w.spec.len() {
+        w.report.makespan_units = sim.now().as_units();
+        sim.emit(RunEvent::RunEnded);
+        return;
+    }
+    for i in 0..w.dependents[stage as usize].len() {
+        let d = w.dependents[stage as usize][i];
+        w.deps_unmet[d as usize] -= 1;
+        if w.deps_unmet[d as usize] == 0 {
+            open_stage(w, sim, d);
+        }
+    }
+}
+
+fn run_sim(spec: &DagSpec, cfg: &DagSimConfig, journal: bool) -> (DagRunReport, Journal) {
+    let mut world = World::new(spec, cfg);
+    let mut sim: Simulator<World> = Simulator::new();
+    if journal {
+        sim.enable_journal();
+    }
+    let ready: Vec<u32> = (0..spec.len() as u32)
+        .filter(|&s| world.deps_unmet[s as usize] == 0)
+        .collect();
+    sim.schedule_at(SimTime::ZERO, move |w, sim| {
+        for s in ready {
+            open_stage(w, sim, s);
+        }
+    });
+    sim.run(&mut world);
+    assert_eq!(
+        world.stages_done,
+        spec.len(),
+        "pipeline stalled: {} of {} stages decided",
+        world.stages_done,
+        spec.len()
+    );
+    let journal = sim.take_journal();
+    (world.report, journal)
+}
+
+/// Runs one DAG pipeline without journaling (Monte-Carlo inner loop).
+pub fn run(spec: &DagSpec, cfg: &DagSimConfig) -> DagRunReport {
+    run_sim(spec, cfg, false).0
+}
+
+/// Runs one DAG pipeline with full event journaling.
+pub fn run_journaled(spec: &DagSpec, cfg: &DagSimConfig) -> (DagRunReport, Journal) {
+    run_sim(spec, cfg, true)
+}
+
+/// SplitMix64-style instance seed so Monte-Carlo runs use decorrelated
+/// master seeds while staying a pure function of `(seed, instance)`.
+pub fn instance_seed(seed: u64, instance: u64) -> u64 {
+    let mut z = seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Monte-Carlo aggregate over many independent pipeline instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagStats {
+    /// Instances simulated.
+    pub runs: usize,
+    /// Mean per-run poison-escape rate over the sink stages.
+    pub escape_rate: f64,
+    /// Mean total job cost per run (vote jobs + hedge twins).
+    pub mean_cost: f64,
+    /// Mean end-to-end makespan per run, in units.
+    pub mean_makespan: f64,
+    /// Mean poisoned downstream tasks per run.
+    pub mean_poisoned: f64,
+}
+
+/// Simulates `runs` independent instances of `(spec, cfg)` (instance `i`
+/// reseeds with [`instance_seed`]) and averages. Results are bit-identical
+/// for every thread count: each instance is a pure function of its index
+/// and the fold runs in index order.
+pub fn monte_carlo(spec: &DagSpec, cfg: &DagSimConfig, runs: usize, threads: Threads) -> DagStats {
+    assert!(runs > 0, "need at least one run");
+    let reports = map_indexed(runs, threads, |i| {
+        let mut cfg = cfg.clone();
+        cfg.seed = instance_seed(cfg.seed, i as u64);
+        run(spec, &cfg)
+    });
+    let n = runs as f64;
+    let mut escape = 0.0;
+    let mut cost = 0.0;
+    let mut makespan = 0.0;
+    let mut poisoned = 0.0;
+    for r in &reports {
+        escape += r.escape_rate(spec);
+        cost += r.total_cost() as f64;
+        makespan += r.makespan_units;
+        poisoned += r.poisoned_tasks as f64;
+    }
+    DagStats {
+        runs,
+        escape_rate: escape / n,
+        mean_cost: cost / n,
+        mean_makespan: makespan / n,
+        mean_poisoned: poisoned / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StageSpec;
+    use smartred_desim::journal::EventKind;
+
+    fn small_spec(map: &str, combine: &str, reduce: &str) -> DagSpec {
+        DagSpec::map_shuffle_reduce(
+            4,
+            1,
+            StageStrategy::parse(map).unwrap(),
+            StageStrategy::parse(combine).unwrap(),
+            StageStrategy::parse(reduce).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn honest_pipeline_is_fully_correct() {
+        let spec = small_spec("ir1", "ir1", "tr3");
+        let cfg = DagSimConfig::default();
+        let (report, journal) = run_journaled(&spec, &cfg);
+        assert_eq!(report.stage_wrong, vec![0, 0, 0]);
+        assert_eq!(report.stage_correct, vec![4, 4, 1]);
+        assert_eq!(report.poisoned_tasks, 0);
+        assert_eq!(report.escape_rate(&spec), 0.0);
+        // Every replica paid a transfer before dispatch.
+        assert_eq!(report.transfers, report.jobs);
+        assert_eq!(
+            journal.count(EventKind::TransferStarted) as u64,
+            report.jobs
+        );
+        assert_eq!(
+            journal.count(EventKind::TransferCompleted),
+            journal.count(EventKind::TransferStarted)
+        );
+        assert_eq!(journal.count(EventKind::StageDecided), 3);
+        assert_eq!(journal.count(EventKind::PoisonPropagated), 0);
+        assert_eq!(journal.count(EventKind::RunEnded), 1);
+        assert!(report.makespan_units > 0.0);
+    }
+
+    #[test]
+    fn transfers_complete_before_dispatch() {
+        let spec = small_spec("ir1", "ir1", "tr3");
+        let (_, journal) = run_journaled(&spec, &DagSimConfig::default());
+        // For each job, TransferStarted < TransferCompleted <= JobDispatched.
+        for e in journal.events() {
+            if let RunEvent::JobDispatched { job, .. } = e.event {
+                let started = journal
+                    .events()
+                    .iter()
+                    .find(
+                        |s| matches!(s.event, RunEvent::TransferStarted { job: j, .. } if j == job),
+                    )
+                    .expect("every dispatch was preceded by a transfer");
+                assert!(
+                    started.at < e.at,
+                    "job {job}: transfer must precede dispatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_adversary_poisons_descendants() {
+        let spec = small_spec("tr1", "tr1", "tr1");
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.9, 0.0),
+            ..DagSimConfig::default()
+        };
+        let (report, journal) = run_journaled(&spec, &cfg);
+        // With 90% wrong single votes on the map cut, poison must flow.
+        assert!(report.stage_wrong[0] > 0, "map stage should go wrong");
+        assert!(report.poisoned_tasks > 0);
+        assert_eq!(
+            journal.count(EventKind::PoisonPropagated) as u64,
+            report.poisoned_tasks
+        );
+        // Sink reads every combine output: it is poisoned too.
+        assert_eq!(report.stage_wrong[2], 1);
+        assert_eq!(report.escape_rate(&spec), 1.0);
+    }
+
+    #[test]
+    fn stronger_redundancy_on_the_targeted_stage_blocks_poison() {
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.25, 0.0),
+            ..DagSimConfig::default()
+        };
+        let weak = monte_carlo(
+            &small_spec("ir1", "ir1", "ir1"),
+            &cfg,
+            60,
+            Threads::fixed(2),
+        );
+        let strong = monte_carlo(
+            &small_spec("ir5", "ir1", "ir1"),
+            &cfg,
+            60,
+            Threads::fixed(2),
+        );
+        assert!(
+            strong.escape_rate < weak.escape_rate,
+            "ir5 on the attacked stage should escape less ({} vs {})",
+            strong.escape_rate,
+            weak.escape_rate
+        );
+    }
+
+    #[test]
+    fn journaled_runs_are_deterministic() {
+        let spec = small_spec("ir2", "pr3", "tr3");
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.3, 0.02),
+            ..DagSimConfig::default()
+        };
+        let (r1, j1) = run_journaled(&spec, &cfg);
+        let (r2, j2) = run_journaled(&spec, &cfg);
+        assert_eq!(r1, r2);
+        assert_eq!(j1.digest(), j2.digest());
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        let (_, j3) = run_journaled(&spec, &other);
+        assert_ne!(j1.digest(), j3.digest());
+    }
+
+    #[test]
+    fn hedged_stages_launch_and_settle_twins() {
+        let spec = DagSpec::new(vec![StageSpec::new(
+            "map",
+            8,
+            1024,
+            1.0,
+            StageStrategy::hir(2).unwrap(),
+        )])
+        .unwrap();
+        let cfg = DagSimConfig {
+            hedge_after_units: 0.7, // ~80% of U[0.5,1.5] draws trigger
+            ..DagSimConfig::default()
+        };
+        let (report, journal) = run_journaled(&spec, &cfg);
+        assert!(report.hedge_jobs > 0, "low threshold must trigger twins");
+        assert_eq!(
+            journal.count(EventKind::HedgeLaunched) as u64,
+            report.hedge_jobs
+        );
+        assert_eq!(
+            journal.count(EventKind::HedgeWon) + journal.count(EventKind::HedgeWasted),
+            journal.count(EventKind::HedgeLaunched)
+        );
+        // Exactly one vote per logical replica regardless of twins.
+        assert_eq!(journal.count(EventKind::JobReturned) as u64, report.jobs);
+    }
+
+    #[test]
+    fn monte_carlo_is_thread_invariant() {
+        let spec = small_spec("ir2", "ir1", "tr3");
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.3, 0.02),
+            ..DagSimConfig::default()
+        };
+        let a = monte_carlo(&spec, &cfg, 48, Threads::fixed(1));
+        let b = monte_carlo(&spec, &cfg, 48, Threads::fixed(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn job_cap_counts_as_wrong_effective_output() {
+        let spec = DagSpec::new(vec![StageSpec::new(
+            "only",
+            2,
+            0,
+            1.0,
+            StageStrategy::ir(3).unwrap(),
+        )])
+        .unwrap();
+        let cfg = DagSimConfig {
+            adversary: PoisonAdversary::targeting(0, 0.5, 0.5),
+            job_cap: Some(3),
+            ..DagSimConfig::default()
+        };
+        let (report, journal) = run_journaled(&spec, &cfg);
+        assert_eq!(
+            report.stage_correct[0] + report.stage_wrong[0],
+            2,
+            "every task settles"
+        );
+        if journal.count(EventKind::TaskCapped) > 0 {
+            assert!(report.stage_wrong[0] > 0);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Typed DAG workload specifications.
+//!
+//! A [`DagSpec`] is an ordered list of [`StageSpec`]s with data
+//! dependencies on earlier stages. Each stage runs `width` tasks under its
+//! own [`StageStrategy`]; a task may start only after every stage it
+//! depends on has decided all of its tasks, and a wrong accepted upstream
+//! output poisons the dependent task's result no matter how its own
+//! replicas vote.
+//!
+//! Task ids are dense and global: stage `i`'s tasks occupy
+//! `base(i) .. base(i) + width(i)` in spec order, so the sharded runtime's
+//! `shard_of` routing and the journal's per-task queries work unchanged.
+
+use std::fmt;
+use std::ops::Range;
+
+use smartred_core::error::ParamError;
+use smartred_core::params::{KVotes, VoteMargin};
+use smartred_core::strategy::{Decision, Iterative, Progressive, RedundancyStrategy, Traditional};
+use smartred_core::tally::VoteTally;
+
+/// One stage's redundancy technique, selectable per stage.
+///
+/// `HedgedIterative` votes exactly like [`Iterative`] (hedging never
+/// touches the tally) but tells the platform to arm straggler twins for
+/// this stage's replicas.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_dag::StageStrategy;
+///
+/// let s = StageStrategy::parse("ir3").unwrap();
+/// assert_eq!(s.label(), "ir3");
+/// assert!(!s.hedged());
+/// assert!(StageStrategy::parse("hir2").unwrap().hedged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageStrategy {
+    /// Traditional `k`-vote (paper §3.1).
+    Traditional(Traditional),
+    /// Progressive `k`-vote (paper §3.2).
+    Progressive(Progressive),
+    /// Iterative with vote margin `d` (paper §3.3).
+    Iterative(Iterative),
+    /// Iterative voting plus straggler-hedged replicas.
+    HedgedIterative(Iterative),
+}
+
+impl StageStrategy {
+    /// Traditional redundancy with `k` votes (`k` odd).
+    pub fn tr(k: usize) -> Result<Self, ParamError> {
+        Ok(StageStrategy::Traditional(Traditional::new(KVotes::new(
+            k,
+        )?)))
+    }
+
+    /// Progressive redundancy with `k` votes (`k` odd).
+    pub fn pr(k: usize) -> Result<Self, ParamError> {
+        Ok(StageStrategy::Progressive(Progressive::new(KVotes::new(
+            k,
+        )?)))
+    }
+
+    /// Iterative redundancy with vote margin `d`.
+    pub fn ir(d: usize) -> Result<Self, ParamError> {
+        Ok(StageStrategy::Iterative(Iterative::new(VoteMargin::new(
+            d,
+        )?)))
+    }
+
+    /// Hedged iterative redundancy with vote margin `d`.
+    pub fn hir(d: usize) -> Result<Self, ParamError> {
+        Ok(StageStrategy::HedgedIterative(Iterative::new(
+            VoteMargin::new(d)?,
+        )))
+    }
+
+    /// Whether the platform should arm straggler twins for this stage.
+    pub fn hedged(self) -> bool {
+        matches!(self, StageStrategy::HedgedIterative(_))
+    }
+
+    /// Canonical compact label: `tr3`, `pr5`, `ir4`, `hir4`.
+    pub fn label(self) -> String {
+        match self {
+            StageStrategy::Traditional(t) => format!("tr{}", t.k()),
+            StageStrategy::Progressive(p) => format!("pr{}", p.k()),
+            StageStrategy::Iterative(i) => format!("ir{}", i.d()),
+            StageStrategy::HedgedIterative(i) => format!("hir{}", i.d()),
+        }
+    }
+
+    /// Parses a compact label as produced by [`label`](Self::label).
+    pub fn parse(s: &str) -> Option<Self> {
+        let with = |digits: &str, make: fn(usize) -> Result<Self, ParamError>| {
+            digits.parse::<usize>().ok().and_then(|n| make(n).ok())
+        };
+        if let Some(rest) = s.strip_prefix("hir") {
+            with(rest, Self::hir)
+        } else if let Some(rest) = s.strip_prefix("tr") {
+            with(rest, Self::tr)
+        } else if let Some(rest) = s.strip_prefix("pr") {
+            with(rest, Self::pr)
+        } else if let Some(rest) = s.strip_prefix("ir") {
+            with(rest, Self::ir)
+        } else {
+            None
+        }
+    }
+}
+
+impl RedundancyStrategy<bool> for StageStrategy {
+    fn name(&self) -> &'static str {
+        match self {
+            StageStrategy::Traditional(t) => RedundancyStrategy::<bool>::name(t),
+            StageStrategy::Progressive(p) => RedundancyStrategy::<bool>::name(p),
+            StageStrategy::Iterative(i) => RedundancyStrategy::<bool>::name(i),
+            StageStrategy::HedgedIterative(_) => "hedged-iterative",
+        }
+    }
+
+    fn decide(&self, tally: &VoteTally<bool>) -> Decision<bool> {
+        match self {
+            StageStrategy::Traditional(t) => t.decide(tally),
+            StageStrategy::Progressive(p) => p.decide(tally),
+            StageStrategy::Iterative(i) | StageStrategy::HedgedIterative(i) => i.decide(tally),
+        }
+    }
+
+    fn job_bound(&self) -> Option<usize> {
+        match self {
+            StageStrategy::Traditional(t) => RedundancyStrategy::<bool>::job_bound(t),
+            StageStrategy::Progressive(p) => RedundancyStrategy::<bool>::job_bound(p),
+            StageStrategy::Iterative(i) | StageStrategy::HedgedIterative(i) => {
+                RedundancyStrategy::<bool>::job_bound(i)
+            }
+        }
+    }
+}
+
+/// How a dependent stage's tasks wire to an upstream stage's outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Shuffle edge: every dependent task reads every upstream output, so
+    /// one wrong upstream output poisons the whole dependent stage.
+    All,
+    /// Chain edge: dependent task `i` reads only upstream task `i`'s
+    /// output (stages must have equal width).
+    Pairwise,
+}
+
+/// One data dependency of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDep {
+    /// Index of the upstream stage (must precede the dependent stage).
+    pub on: u32,
+    /// How outputs wire to the dependent stage's tasks.
+    pub kind: DepKind,
+}
+
+/// One pipeline stage: `width` parallel tasks of identical shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Human-readable stage name (report/bench labels).
+    pub name: String,
+    /// Number of parallel tasks in this stage.
+    pub width: u32,
+    /// Input payload bytes each replica must receive before starting.
+    pub payload_bytes: u64,
+    /// Mean service time scale in simulated units (replica durations are
+    /// `U[0.5, 1.5] × service_units`, the paper's window).
+    pub service_units: f64,
+    /// The redundancy technique this stage's tasks run under.
+    pub strategy: StageStrategy,
+    /// Upstream stages whose verdicts gate this stage's dispatch.
+    pub deps: Vec<StageDep>,
+}
+
+impl StageSpec {
+    /// A stage with no dependencies (callers chain [`after`](Self::after)).
+    pub fn new(
+        name: impl Into<String>,
+        width: u32,
+        payload_bytes: u64,
+        service_units: f64,
+        strategy: StageStrategy,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            payload_bytes,
+            service_units,
+            strategy,
+            deps: Vec::new(),
+        }
+    }
+
+    /// Adds a shuffle (all-to-all) dependency on `stage`.
+    pub fn after(mut self, stage: u32) -> Self {
+        self.deps.push(StageDep {
+            on: stage,
+            kind: DepKind::All,
+        });
+        self
+    }
+
+    /// Adds a pairwise (task-`i`-to-task-`i`) dependency on `stage`.
+    pub fn after_pairwise(mut self, stage: u32) -> Self {
+        self.deps.push(StageDep {
+            on: stage,
+            kind: DepKind::Pairwise,
+        });
+        self
+    }
+}
+
+/// Why a [`DagSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagSpecError {
+    /// The spec has no stages.
+    Empty,
+    /// A stage has zero tasks.
+    EmptyStage(u32),
+    /// A stage's service scale is non-positive or not finite.
+    BadService(u32),
+    /// A dependency points at the stage itself or a later stage.
+    ForwardDep {
+        /// The dependent stage.
+        stage: u32,
+        /// The (invalid) upstream index.
+        on: u32,
+    },
+    /// A pairwise dependency joins stages of different widths.
+    WidthMismatch {
+        /// The dependent stage.
+        stage: u32,
+        /// The upstream stage.
+        on: u32,
+    },
+}
+
+impl fmt::Display for DagSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagSpecError::Empty => write!(f, "a DAG needs at least one stage"),
+            DagSpecError::EmptyStage(s) => write!(f, "stage {s} has zero tasks"),
+            DagSpecError::BadService(s) => {
+                write!(f, "stage {s} has a non-positive service scale")
+            }
+            DagSpecError::ForwardDep { stage, on } => write!(
+                f,
+                "stage {stage} depends on stage {on}, which does not precede it"
+            ),
+            DagSpecError::WidthMismatch { stage, on } => write!(
+                f,
+                "pairwise dependency of stage {stage} on stage {on} joins different widths"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagSpecError {}
+
+/// A validated DAG of stages (dependencies always point backwards, so the
+/// spec order is a topological order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSpec {
+    stages: Vec<StageSpec>,
+    /// `base[i]` = first global task id of stage `i`; one extra entry
+    /// holds the total task count.
+    base: Vec<u32>,
+}
+
+impl DagSpec {
+    /// Validates and freezes a stage list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty specs, empty stages, non-positive service scales,
+    /// forward/self dependencies, and pairwise width mismatches.
+    pub fn new(stages: Vec<StageSpec>) -> Result<Self, DagSpecError> {
+        if stages.is_empty() {
+            return Err(DagSpecError::Empty);
+        }
+        let mut base = Vec::with_capacity(stages.len() + 1);
+        let mut next = 0u32;
+        for (i, stage) in stages.iter().enumerate() {
+            let i = i as u32;
+            if stage.width == 0 {
+                return Err(DagSpecError::EmptyStage(i));
+            }
+            if !(stage.service_units.is_finite() && stage.service_units > 0.0) {
+                return Err(DagSpecError::BadService(i));
+            }
+            for dep in &stage.deps {
+                if dep.on >= i {
+                    return Err(DagSpecError::ForwardDep {
+                        stage: i,
+                        on: dep.on,
+                    });
+                }
+                if dep.kind == DepKind::Pairwise && stages[dep.on as usize].width != stage.width {
+                    return Err(DagSpecError::WidthMismatch {
+                        stage: i,
+                        on: dep.on,
+                    });
+                }
+            }
+            base.push(next);
+            next += stage.width;
+        }
+        base.push(next);
+        Ok(Self { stages, base })
+    }
+
+    /// The classic 3-stage map → shuffle/combine → reduce pipeline over
+    /// 3-SAT assignment blocks: `width` map tasks, `width` pairwise
+    /// combine tasks, and one narrow reduce stage of `reduce_width` tasks
+    /// reading every combine output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DagSpec::new`] validation.
+    pub fn map_shuffle_reduce(
+        width: u32,
+        reduce_width: u32,
+        map: StageStrategy,
+        combine: StageStrategy,
+        reduce: StageStrategy,
+    ) -> Result<Self, DagSpecError> {
+        Self::new(vec![
+            StageSpec::new("map", width, 64 * 1024, 1.0, map),
+            StageSpec::new("combine", width, 8 * 1024, 0.5, combine).after_pairwise(0),
+            StageSpec::new("reduce", reduce_width, 2 * 1024, 0.75, reduce).after(1),
+        ])
+    }
+
+    /// The stages, in topological (spec) order.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the spec has no stages (never true for a validated spec).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Total tasks across all stages.
+    pub fn total_tasks(&self) -> u32 {
+        *self.base.last().expect("base always has len+1 entries")
+    }
+
+    /// First global task id of `stage`.
+    pub fn base(&self, stage: u32) -> u32 {
+        self.base[stage as usize]
+    }
+
+    /// Global task-id range of `stage`.
+    pub fn tasks(&self, stage: u32) -> Range<u32> {
+        self.base[stage as usize]..self.base[stage as usize + 1]
+    }
+
+    /// The stage that owns global task id `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn stage_of(&self, task: u32) -> u32 {
+        assert!(task < self.total_tasks(), "task {task} out of range");
+        // base is sorted; partition_point returns the first stage whose
+        // base exceeds `task`.
+        (self.base.partition_point(|&b| b <= task) - 1) as u32
+    }
+
+    /// Sink stages: those no other stage depends on. The pipeline's
+    /// poison-escape rate is measured over their effective outputs.
+    pub fn sinks(&self) -> Vec<u32> {
+        let mut depended: Vec<bool> = vec![false; self.stages.len()];
+        for stage in &self.stages {
+            for dep in &stage.deps {
+                depended[dep.on as usize] = true;
+            }
+        }
+        (0..self.stages.len() as u32)
+            .filter(|&i| !depended[i as usize])
+            .collect()
+    }
+
+    /// Total tasks across the sink stages.
+    pub fn sink_tasks(&self) -> u32 {
+        self.sinks()
+            .iter()
+            .map(|&s| self.stages[s as usize].width)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir1() -> StageStrategy {
+        StageStrategy::ir(1).unwrap()
+    }
+
+    #[test]
+    fn strategy_labels_round_trip() {
+        for label in ["tr3", "pr5", "ir2", "hir4"] {
+            let s = StageStrategy::parse(label).unwrap();
+            assert_eq!(s.label(), label);
+        }
+        assert!(StageStrategy::parse("xx3").is_none());
+        assert!(StageStrategy::parse("tr4").is_none()); // even k
+        assert!(StageStrategy::parse("ir0").is_none());
+    }
+
+    #[test]
+    fn strategy_votes_delegate() {
+        use smartred_core::strategy::Decision;
+        let mut tally = VoteTally::new();
+        assert_eq!(
+            StageStrategy::tr(3).unwrap().decide(&tally).deploy_count(),
+            Some(3)
+        );
+        tally.record(true);
+        tally.record(true);
+        assert_eq!(
+            StageStrategy::ir(2).unwrap().decide(&tally),
+            Decision::Accept(true)
+        );
+        // Hedged votes exactly like its inner iterative.
+        assert_eq!(
+            StageStrategy::hir(2).unwrap().decide(&tally),
+            StageStrategy::ir(2).unwrap().decide(&tally)
+        );
+        assert_eq!(
+            RedundancyStrategy::<bool>::job_bound(&StageStrategy::tr(5).unwrap()),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn task_id_layout_is_dense_per_stage() {
+        let spec = DagSpec::map_shuffle_reduce(6, 2, ir1(), ir1(), ir1()).unwrap();
+        assert_eq!(spec.total_tasks(), 14);
+        assert_eq!(spec.tasks(0), 0..6);
+        assert_eq!(spec.tasks(1), 6..12);
+        assert_eq!(spec.tasks(2), 12..14);
+        assert_eq!(spec.stage_of(0), 0);
+        assert_eq!(spec.stage_of(5), 0);
+        assert_eq!(spec.stage_of(6), 1);
+        assert_eq!(spec.stage_of(13), 2);
+        assert_eq!(spec.sinks(), vec![2]);
+        assert_eq!(spec.sink_tasks(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert_eq!(DagSpec::new(vec![]), Err(DagSpecError::Empty));
+        assert_eq!(
+            DagSpec::new(vec![StageSpec::new("a", 0, 0, 1.0, ir1())]),
+            Err(DagSpecError::EmptyStage(0))
+        );
+        assert_eq!(
+            DagSpec::new(vec![StageSpec::new("a", 1, 0, 0.0, ir1())]),
+            Err(DagSpecError::BadService(0))
+        );
+        assert_eq!(
+            DagSpec::new(vec![StageSpec::new("a", 1, 0, 1.0, ir1()).after(0)]),
+            Err(DagSpecError::ForwardDep { stage: 0, on: 0 })
+        );
+        assert_eq!(
+            DagSpec::new(vec![
+                StageSpec::new("a", 2, 0, 1.0, ir1()),
+                StageSpec::new("b", 3, 0, 1.0, ir1()).after_pairwise(0),
+            ]),
+            Err(DagSpecError::WidthMismatch { stage: 1, on: 0 })
+        );
+        // Errors render.
+        assert!(DagSpecError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn multi_sink_dags_are_allowed() {
+        let spec = DagSpec::new(vec![
+            StageSpec::new("root", 2, 0, 1.0, ir1()),
+            StageSpec::new("left", 2, 0, 1.0, ir1()).after_pairwise(0),
+            StageSpec::new("right", 1, 0, 1.0, ir1()).after(0),
+        ])
+        .unwrap();
+        assert_eq!(spec.sinks(), vec![1, 2]);
+        assert_eq!(spec.sink_tasks(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden journal digests for seeded DAG pipeline runs.
+//!
+//! One pinned digest per per-stage strategy mix. These pins freeze the
+//! complete observable behavior of the DAG simulator — every event, field,
+//! and timestamp — under a fixed seed and config: any change to replica
+//! scheduling, transfer charging, vote draws, hedge arming, poison
+//! propagation, or JSONL encoding shows up as a digest mismatch here
+//! before it silently shifts published results. The digests must also be
+//! invariant under `SMARTRED_THREADS`, because a journaled run is a pure
+//! single-threaded fold no matter what the parallelism knob says.
+//!
+//! If a PR changes these digests *intentionally* (new event fields, a
+//! different draw order), re-pin them and say so in the PR description.
+
+use smartred_dag::{run_journaled, DagSimConfig, DagSpec, PoisonAdversary, StageStrategy};
+use smartred_desim::network::LinkSpec;
+use smartred_desim::time::SimDuration;
+
+/// The pinned config: explicit in every field so a change to
+/// `DagSimConfig::default()` cannot silently re-seed the goldens.
+fn golden_cfg() -> DagSimConfig {
+    DagSimConfig {
+        nodes: 24,
+        seed: 20110620,
+        link: LinkSpec::new(64 * 1024, SimDuration::from_units(0.05)),
+        speed_spread: 0.2,
+        adversary: PoisonAdversary::targeting(0, 0.3, 0.02),
+        job_cap: None,
+        hedge_after_units: 1.0,
+    }
+}
+
+fn golden_spec(map: &str, combine: &str, reduce: &str) -> DagSpec {
+    DagSpec::map_shuffle_reduce(
+        8,
+        2,
+        StageStrategy::parse(map).unwrap(),
+        StageStrategy::parse(combine).unwrap(),
+        StageStrategy::parse(reduce).unwrap(),
+    )
+    .unwrap()
+}
+
+/// `(map, combine, reduce) -> journal digest` for the pinned seed.
+const PINS: &[(&str, &str, &str, &str)] = &[
+    ("ir4", "ir2", "tr3", "a3c42b3db3a8d545"),
+    ("tr3", "tr3", "tr3", "3da1bca96db5d74e"),
+    ("pr5", "ir1", "tr3", "61b1c5e7fa3b5059"),
+    ("hir4", "ir2", "tr3", "4a21948fe6257882"),
+];
+
+#[test]
+fn seeded_dag_runs_match_their_pinned_digests() {
+    let cfg = golden_cfg();
+    for &(map, combine, reduce, pin) in PINS {
+        let (_, journal) = run_journaled(&golden_spec(map, combine, reduce), &cfg);
+        assert_eq!(
+            journal.digest_hex(),
+            pin,
+            "digest drifted for mix {map}/{combine}/{reduce}"
+        );
+    }
+}
+
+#[test]
+fn pinned_digests_are_thread_setting_invariant() {
+    let cfg = golden_cfg();
+    let spec = golden_spec("ir4", "ir2", "tr3");
+    let mut digests = Vec::new();
+    for threads in ["1", "8"] {
+        std::env::set_var("SMARTRED_THREADS", threads);
+        let (_, journal) = run_journaled(&spec, &cfg);
+        digests.push(journal.digest_hex());
+    }
+    std::env::remove_var("SMARTRED_THREADS");
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], PINS[0].3);
+}
+
+#[test]
+fn a_different_seed_moves_every_pin() {
+    let mut cfg = golden_cfg();
+    cfg.seed ^= 1;
+    for &(map, combine, reduce, pin) in PINS {
+        let (_, journal) = run_journaled(&golden_spec(map, combine, reduce), &cfg);
+        assert_ne!(
+            journal.digest_hex(),
+            pin,
+            "mix {map}/{combine}/{reduce}: digest ignored the seed"
+        );
+    }
+}

@@ -5,6 +5,7 @@ use smartred_core::error::ParamError;
 use smartred_core::execution::Assignment;
 use smartred_core::hedge::HedgePolicy;
 use smartred_core::resilience::{QuarantinePolicy, RetryPolicy};
+use smartred_desim::network::LinkSpec;
 
 use crate::faults::FaultPlan;
 
@@ -233,6 +234,20 @@ impl CartelConfig {
     }
 }
 
+/// Network/resource model: every dispatched job must receive its input
+/// payload over the node's link before service begins (see
+/// [`smartred_desim::network::NetworkModel`]). Transfers are journaled as
+/// `TransferStarted`/`TransferCompleted` pairs and charged to node busy
+/// time; the job's timeout and hedge clocks start only once the payload
+/// has landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Uniform link budget for every node.
+    pub link: LinkSpec,
+    /// Input payload bytes each job moves before starting.
+    pub payload_bytes: u64,
+}
+
 /// Node churn: volunteers joining and leaving mid-computation (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnConfig {
@@ -293,6 +308,10 @@ pub struct DcaConfig {
     /// paper's uniform pick (and the golden journals); the alternatives
     /// trade randomness for spread or load balance.
     pub assignment: Assignment,
+    /// Optional network model: when present, each job pays its input
+    /// transfer before service. `None` (the default) keeps communication
+    /// free and event streams bit-identical to earlier versions.
+    pub network: Option<NetworkConfig>,
     /// Root seed for all randomness in the run.
     pub seed: u64,
 }
@@ -319,6 +338,7 @@ impl DcaConfig {
             cartel: None,
             hedge: None,
             assignment: Assignment::Random,
+            network: None,
             seed,
         }
     }

@@ -69,6 +69,11 @@ pub struct DcaReport {
     /// Hedge twins whose work was discarded (origin answered first, or the
     /// twin itself lapsed).
     pub hedges_wasted: u64,
+    /// Input-payload transfers charged (zero unless `DcaConfig::network`
+    /// is set; hedge twins pay their own transfer).
+    pub transfers: u64,
+    /// Total payload bytes moved by those transfers.
+    pub bytes_moved: u64,
     /// Simulated time at which the last task completed.
     pub makespan_units: f64,
     /// Total node-busy time in unit-seconds (each dispatched job occupies
@@ -108,6 +113,8 @@ impl DcaReport {
             hedges_launched: 0,
             hedges_won: 0,
             hedges_wasted: 0,
+            transfers: 0,
+            bytes_moved: 0,
             makespan_units: 0.0,
             busy_node_units: 0.0,
             capacity_node_units: 0.0,

@@ -652,13 +652,19 @@ mod tests {
         let (mut p, mut rng) = pool(3);
         // Pre-load node 0 heavily; least-loaded must prefer the others.
         p.node_mut(0).assigned = 5;
-        let a = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        let a = p
+            .claim_idle(Assignment::LeastLoaded, &[], &mut rng)
+            .unwrap();
         p.release(a);
-        let b = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        let b = p
+            .claim_idle(Assignment::LeastLoaded, &[], &mut rng)
+            .unwrap();
         p.release(b);
         assert_eq!((a, b), (1, 2));
         // Ties break by lowest index.
-        let c = p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        let c = p
+            .claim_idle(Assignment::LeastLoaded, &[], &mut rng)
+            .unwrap();
         assert_eq!(c, 1);
     }
 
@@ -669,7 +675,8 @@ mod tests {
         let mut probe = rng.clone();
         let expected = probe.next_u64();
         p.claim_idle(Assignment::RoundRobin, &[], &mut rng).unwrap();
-        p.claim_idle(Assignment::LeastLoaded, &[], &mut rng).unwrap();
+        p.claim_idle(Assignment::LeastLoaded, &[], &mut rng)
+            .unwrap();
         assert_eq!(rng.next_u64(), expected);
     }
 

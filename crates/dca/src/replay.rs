@@ -124,6 +124,10 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
                 acc.jobs = 0;
                 acc.waves = 0;
             }
+            RunEvent::TransferStarted { bytes, .. } => {
+                report.transfers += 1;
+                report.bytes_moved += bytes;
+            }
             RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
             RunEvent::JobReturned { .. }
             | RunEvent::WaveClosed { .. }
@@ -134,6 +138,9 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
             | RunEvent::TaskPoisoned { .. }
             | RunEvent::StaleReplyDropped { .. }
             | RunEvent::EpochAdvanced { .. }
+            | RunEvent::TransferCompleted { .. }
+            | RunEvent::StageDecided { .. }
+            | RunEvent::PoisonPropagated { .. }
             | RunEvent::AuditPassed { .. } => {}
         }
     }
@@ -243,6 +250,47 @@ mod tests {
             report_from_journal(&journaled.journal, &cfg),
             journaled.report
         );
+    }
+
+    #[test]
+    fn replay_matches_live_report_with_network_charges() {
+        use smartred_core::hedge::HedgePolicy;
+        use smartred_desim::network::LinkSpec;
+        use smartred_desim::time::SimDuration;
+
+        use crate::config::NetworkConfig;
+
+        let mut cfg = DcaConfig::paper_baseline(300, 40, 0.25, 36);
+        cfg.network = Some(NetworkConfig {
+            link: LinkSpec::new(48 * 1024, SimDuration::from_units(0.05)),
+            payload_bytes: 16 * 1024,
+        });
+        cfg.hedge = Some(HedgePolicy::default());
+        let journaled =
+            run_journaled(Rc::new(Iterative::new(VoteMargin::new(3).unwrap())), &cfg).unwrap();
+        // Every vote job and every hedge twin paid a transfer.
+        assert_eq!(
+            journaled.report.transfers,
+            journaled.report.total_jobs + journaled.report.hedges_launched
+        );
+        assert_eq!(
+            journaled.report.bytes_moved,
+            journaled.report.transfers * 16 * 1024
+        );
+        assert_eq!(
+            report_from_journal(&journaled.journal, &cfg),
+            journaled.report
+        );
+        // Transfers lengthen the run relative to free communication.
+        let free = run(
+            Rc::new(Iterative::new(VoteMargin::new(3).unwrap())),
+            &DcaConfig {
+                network: None,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert!(journaled.report.makespan_units > free.makespan_units);
     }
 
     #[test]

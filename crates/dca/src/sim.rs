@@ -30,6 +30,7 @@ use smartred_core::resilience::DisciplineAction;
 use smartred_core::strategy::RedundancyStrategy;
 use smartred_desim::engine::Simulator;
 use smartred_desim::journal::{DepartureReason, FaultKind, Journal, RunEvent};
+use smartred_desim::network::NetworkModel;
 use smartred_desim::rng::{backoff_duration, seeded_rng, SimRng};
 use smartred_desim::time::{SimDuration, SimTime};
 use smartred_desim::trace::Trace;
@@ -155,6 +156,10 @@ struct World {
     /// Which jobs are hedge twins (mapped to their origin), kept until the
     /// twin settles as won or wasted.
     twin_origin: HashMap<JobId, JobId>,
+    /// Transfer-charging network model (`cfg.network`); `None` keeps
+    /// communication free and the event stream bit-identical to runs
+    /// predating the model.
+    network: Option<NetworkModel>,
 }
 
 type Sim = Simulator<World>;
@@ -253,6 +258,7 @@ fn run_inner(
         dispatched_at: Vec::new(),
         hedge_pair: HashMap::new(),
         twin_origin: HashMap::new(),
+        network: config.network.map(|n| NetworkModel::uniform(n.link)),
     };
     let mut sim = Sim::new();
     if journaled {
@@ -807,12 +813,16 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
     } else {
         SimDuration::from_units(duration_units)
     };
-    world.report.busy_node_units += delay.as_units();
+    // Input transfer precedes service: the job's timeout and hedge clocks
+    // start only once the payload has landed, and the node is busy (and
+    // charged) for the transfer as well as the service window.
+    let lead = charge_transfer(world, sim, job, task, node);
+    world.report.busy_node_units += (lead + delay).as_units();
     sim.emit(RunEvent::JobDispatched {
         job: job.get() as u32,
         task: task as u32,
         node: node as u32,
-        eta: sim.now() + delay,
+        eta: sim.now() + lead + delay,
     });
     if sim.journal().is_enabled() {
         world
@@ -822,7 +832,7 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
             .trace
             .record(sim.now(), "idle_nodes", world.pool.idle_count() as f64);
     }
-    sim.schedule_in(delay, move |world, sim| {
+    sim.schedule_in(lead + delay, move |world, sim| {
         resolve_job(world, sim, job, times_out);
     });
     // Straggler hedging: once the latency estimator is warm, arm a check at
@@ -834,12 +844,48 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
         if let Some(threshold) = trigger.threshold() {
             if threshold < world.cfg.timeout_units {
                 let epoch = world.tasks[task].attempt;
-                sim.schedule_in(SimDuration::from_units(threshold), move |world, sim| {
-                    hedge_check(world, sim, job, task, epoch);
-                });
+                sim.schedule_in(
+                    lead + SimDuration::from_units(threshold),
+                    move |world, sim| {
+                        hedge_check(world, sim, job, task, epoch);
+                    },
+                );
             }
         }
     }
+}
+
+/// Charges `job`'s input transfer to `node` when a network model is
+/// configured, journaling the `TransferStarted`/`TransferCompleted` pair,
+/// and returns the transfer duration (zero without a network — the legacy
+/// free-communication event stream, bit for bit).
+fn charge_transfer(
+    world: &mut World,
+    sim: &mut Sim,
+    job: JobId,
+    task: usize,
+    node: NodeIndex,
+) -> SimDuration {
+    let Some(net) = world.network.as_mut() else {
+        return SimDuration::ZERO;
+    };
+    let bytes = world
+        .cfg
+        .network
+        .expect("network model exists only when configured")
+        .payload_bytes;
+    let start = sim.now();
+    let eta = net.begin(
+        sim,
+        job.get() as u32,
+        task as u32,
+        node as u32,
+        bytes,
+        |_, _| {},
+    );
+    world.report.transfers += 1;
+    world.report.bytes_moved += bytes;
+    eta.since(start)
 }
 
 /// Fires when a dispatched job reaches the hedge threshold still
@@ -848,9 +894,7 @@ fn dispatch_job(world: &mut World, sim: &mut Sim, task: usize, node: NodeIndex) 
 /// pair member to genuinely resolve supplies the replica's vote and the
 /// loser is discarded.
 fn hedge_check(world: &mut World, sim: &mut Sim, origin: JobId, t: usize, epoch: u32) {
-    if world.jobs.get(origin).resolved
-        || world.tasks[t].finished
-        || world.tasks[t].attempt != epoch
+    if world.jobs.get(origin).resolved || world.tasks[t].finished || world.tasks[t].attempt != epoch
     {
         return;
     }
@@ -903,7 +947,11 @@ fn hedge_check(world: &mut World, sim: &mut Sim, origin: JobId, t: usize, epoch:
     } else {
         SimDuration::from_units(duration_units)
     };
-    sim.schedule_in(delay, move |world, sim| {
+    // The twin runs on a different node, so it pays its own input
+    // transfer — hedging under a network model races transfer + service
+    // against the straggler's remaining service.
+    let lead = charge_transfer(world, sim, twin, t, node);
+    sim.schedule_in(lead + delay, move |world, sim| {
         resolve_job(world, sim, twin, times_out);
     });
 }

@@ -355,6 +355,58 @@ pub enum RunEvent {
         /// Task index whose tally was reset.
         task: u32,
     },
+    /// A job's input payload started moving across the network to its
+    /// node. The replica may not begin service until the transfer
+    /// completes; `eta` is the deterministic completion time charged by
+    /// the network model (latency + bytes / bandwidth).
+    TransferStarted {
+        /// Transfer index, dense in start order.
+        xfer: u32,
+        /// The job whose input is being moved.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// Destination node.
+        node: u32,
+        /// Payload size being moved.
+        bytes: u64,
+        /// Scheduled transfer-completion time.
+        eta: SimTime,
+    },
+    /// A payload transfer finished; the job's service may begin.
+    TransferCompleted {
+        /// Transfer index (matches its [`RunEvent::TransferStarted`]).
+        xfer: u32,
+        /// The job whose input arrived.
+        job: u32,
+        /// Task the job belongs to.
+        task: u32,
+        /// Destination node.
+        node: u32,
+    },
+    /// Every task of DAG stage `stage` reached its decision; the verdict
+    /// gates dispatch of dependent stages. `correct`/`wrong` count the
+    /// stage's *effective* outputs: a task's output is wrong when its own
+    /// accepted value is wrong or any upstream input was poisoned.
+    StageDecided {
+        /// Stage index in the DAG spec.
+        stage: u32,
+        /// Tasks whose effective output is correct.
+        correct: u32,
+        /// Tasks whose effective output is wrong.
+        wrong: u32,
+    },
+    /// A wrong accepted intermediate poisoned a downstream task: the
+    /// descendant computes on bad data, so its output is wrong no matter
+    /// how its own replicas vote.
+    PoisonPropagated {
+        /// The downstream (poisoned) task.
+        task: u32,
+        /// Stage of the downstream task.
+        stage: u32,
+        /// The upstream task whose wrong accepted output caused it.
+        from: u32,
+    },
     /// The run is over; the event's timestamp is the run's makespan.
     RunEnded,
 }
@@ -418,6 +470,14 @@ pub enum EventKind {
     VerdictVoided,
     /// See [`RunEvent::TaskRetallied`].
     TaskRetallied,
+    /// See [`RunEvent::TransferStarted`].
+    TransferStarted,
+    /// See [`RunEvent::TransferCompleted`].
+    TransferCompleted,
+    /// See [`RunEvent::StageDecided`].
+    StageDecided,
+    /// See [`RunEvent::PoisonPropagated`].
+    PoisonPropagated,
     /// See [`RunEvent::RunEnded`].
     RunEnded,
 }
@@ -454,6 +514,10 @@ impl EventKind {
             EventKind::AuditFailed => "audit_failed",
             EventKind::VerdictVoided => "verdict_voided",
             EventKind::TaskRetallied => "task_retallied",
+            EventKind::TransferStarted => "transfer_started",
+            EventKind::TransferCompleted => "transfer_completed",
+            EventKind::StageDecided => "stage_decided",
+            EventKind::PoisonPropagated => "poison_propagated",
             EventKind::RunEnded => "run_ended",
         }
     }
@@ -491,6 +555,10 @@ impl RunEvent {
             RunEvent::AuditFailed { .. } => EventKind::AuditFailed,
             RunEvent::VerdictVoided { .. } => EventKind::VerdictVoided,
             RunEvent::TaskRetallied { .. } => EventKind::TaskRetallied,
+            RunEvent::TransferStarted { .. } => EventKind::TransferStarted,
+            RunEvent::TransferCompleted { .. } => EventKind::TransferCompleted,
+            RunEvent::StageDecided { .. } => EventKind::StageDecided,
+            RunEvent::PoisonPropagated { .. } => EventKind::PoisonPropagated,
             RunEvent::RunEnded => EventKind::RunEnded,
         }
     }
@@ -518,7 +586,10 @@ impl RunEvent {
             | RunEvent::AuditPassed { task }
             | RunEvent::AuditFailed { task, .. }
             | RunEvent::VerdictVoided { task }
-            | RunEvent::TaskRetallied { task } => Some(task),
+            | RunEvent::TaskRetallied { task }
+            | RunEvent::TransferStarted { task, .. }
+            | RunEvent::TransferCompleted { task, .. }
+            | RunEvent::PoisonPropagated { task, .. } => Some(task),
             _ => None,
         }
     }
@@ -535,7 +606,9 @@ impl RunEvent {
             | RunEvent::NodeDeparted { node, .. }
             | RunEvent::WorkerCrashed { node, .. }
             | RunEvent::WorkerRestarted { node, .. }
-            | RunEvent::AuditFailed { node, .. } => Some(node),
+            | RunEvent::AuditFailed { node, .. }
+            | RunEvent::TransferStarted { node, .. }
+            | RunEvent::TransferCompleted { node, .. } => Some(node),
             _ => None,
         }
     }
@@ -655,6 +728,35 @@ impl Stamped {
             | RunEvent::TaskRetallied { task } => line.push_str(&format!(",\"task\":{task}")),
             RunEvent::AuditFailed { task, node } => {
                 line.push_str(&format!(",\"task\":{task},\"node\":{node}"))
+            }
+            RunEvent::TransferStarted {
+                xfer,
+                job,
+                task,
+                node,
+                bytes,
+                eta,
+            } => line.push_str(&format!(
+                ",\"xfer\":{xfer},\"job\":{job},\"task\":{task},\"node\":{node},\"bytes\":{bytes},\"eta\":{}",
+                eta.as_micros()
+            )),
+            RunEvent::TransferCompleted {
+                xfer,
+                job,
+                task,
+                node,
+            } => line.push_str(&format!(
+                ",\"xfer\":{xfer},\"job\":{job},\"task\":{task},\"node\":{node}"
+            )),
+            RunEvent::StageDecided {
+                stage,
+                correct,
+                wrong,
+            } => line.push_str(&format!(
+                ",\"stage\":{stage},\"correct\":{correct},\"wrong\":{wrong}"
+            )),
+            RunEvent::PoisonPropagated { task, stage, from } => {
+                line.push_str(&format!(",\"task\":{task},\"stage\":{stage},\"from\":{from}"))
             }
             RunEvent::RunEnded => {}
         }
@@ -823,6 +925,30 @@ impl Stamped {
             },
             "task_retallied" => RunEvent::TaskRetallied {
                 task: narrow("task")?,
+            },
+            "transfer_started" => RunEvent::TransferStarted {
+                xfer: narrow("xfer")?,
+                job: narrow("job")?,
+                task: narrow("task")?,
+                node: narrow("node")?,
+                bytes: int("bytes")?,
+                eta: SimTime::from_micros(int("eta")?),
+            },
+            "transfer_completed" => RunEvent::TransferCompleted {
+                xfer: narrow("xfer")?,
+                job: narrow("job")?,
+                task: narrow("task")?,
+                node: narrow("node")?,
+            },
+            "stage_decided" => RunEvent::StageDecided {
+                stage: narrow("stage")?,
+                correct: narrow("correct")?,
+                wrong: narrow("wrong")?,
+            },
+            "poison_propagated" => RunEvent::PoisonPropagated {
+                task: narrow("task")?,
+                stage: narrow("stage")?,
+                from: narrow("from")?,
             },
             "run_ended" => RunEvent::RunEnded,
             other => return Err(format!("unknown event kind '{other}'")),
@@ -1092,6 +1218,46 @@ impl Journal {
                 RunEvent::AuditFailed { task, node } => {
                     eat(&task.to_le_bytes());
                     eat(&node.to_le_bytes());
+                }
+                RunEvent::TransferStarted {
+                    xfer,
+                    job,
+                    task,
+                    node,
+                    bytes,
+                    eta,
+                } => {
+                    eat(&xfer.to_le_bytes());
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
+                    eat(&bytes.to_le_bytes());
+                    eat(&eta.as_micros().to_le_bytes());
+                }
+                RunEvent::TransferCompleted {
+                    xfer,
+                    job,
+                    task,
+                    node,
+                } => {
+                    eat(&xfer.to_le_bytes());
+                    eat(&job.to_le_bytes());
+                    eat(&task.to_le_bytes());
+                    eat(&node.to_le_bytes());
+                }
+                RunEvent::StageDecided {
+                    stage,
+                    correct,
+                    wrong,
+                } => {
+                    eat(&stage.to_le_bytes());
+                    eat(&correct.to_le_bytes());
+                    eat(&wrong.to_le_bytes());
+                }
+                RunEvent::PoisonPropagated { task, stage, from } => {
+                    eat(&task.to_le_bytes());
+                    eat(&stage.to_le_bytes());
+                    eat(&from.to_le_bytes());
                 }
                 RunEvent::RunEnded => {}
             }

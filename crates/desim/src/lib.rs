@@ -42,11 +42,13 @@
 
 pub mod engine;
 pub mod journal;
+pub mod network;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::{RunStats, Simulator};
 pub use journal::{EventKind, Journal, RunEvent};
+pub use network::{LinkSpec, NetworkModel};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

@@ -1,0 +1,281 @@
+//! Network and resource model: per-node link budgets and transfer charging.
+//!
+//! The base DCA model treats communication as free: a dispatched replica
+//! starts service immediately. Real distributed pipelines move input data
+//! first, and replication's diversity/parallelism trade-off is governed by
+//! service *and* data-movement time. This module adds that axis to the DES
+//! engine as an event class: a [`NetworkModel`] charges each job a
+//! deterministic transfer delay (link latency plus payload size over link
+//! bandwidth) before its service may begin, journaling a
+//! [`RunEvent::TransferStarted`]/[`RunEvent::TransferCompleted`] pair per
+//! transfer.
+//!
+//! Transfer completion times are exact integer microunits (ceiling
+//! division), so event ordering — and therefore journals and digests —
+//! stays bit-deterministic.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//! begin(job, task, node, bytes, then)
+//!   ├─ emit TransferStarted { xfer, job, task, node, bytes, eta }   at t
+//!   └─ schedule at eta = t + latency + ceil(bytes / bandwidth):
+//!        ├─ emit TransferCompleted { xfer, job, task, node }
+//!        └─ run `then` (service dispatch continuation)
+//! ```
+
+use crate::engine::Simulator;
+use crate::journal::RunEvent;
+use crate::time::{SimDuration, SimTime, MICROS_PER_UNIT};
+
+/// One node's link budget: how fast payload bytes reach it.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_desim::network::LinkSpec;
+/// use smartred_desim::time::SimDuration;
+///
+/// // 10 kB per time unit, 0.05 units of latency.
+/// let link = LinkSpec::new(10_000, SimDuration::from_units(0.05));
+/// // 25 kB ⇒ 0.05 + 2.5 = 2.55 units.
+/// assert_eq!(link.transfer_duration(25_000), SimDuration::from_units(2.55));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Payload bytes the link moves per simulated time unit.
+    pub bandwidth: u64,
+    /// Fixed per-transfer setup latency, paid even for empty payloads.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// Creates a link budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero — a link that moves nothing would
+    /// stall the simulation forever.
+    pub fn new(bandwidth: u64, latency: SimDuration) -> Self {
+        assert!(bandwidth > 0, "link bandwidth must be positive");
+        Self { bandwidth, latency }
+    }
+
+    /// The exact time to move `bytes` over this link: latency plus the
+    /// serialization delay, rounded *up* to the next microunit so a
+    /// transfer never completes early.
+    pub fn transfer_duration(&self, bytes: u64) -> SimDuration {
+        let micros = bytes
+            .saturating_mul(MICROS_PER_UNIT)
+            .div_ceil(self.bandwidth);
+        self.latency + SimDuration::from_micros(micros)
+    }
+}
+
+/// The network event class: charges transfers and journals their lifecycle.
+///
+/// Owns a dense transfer-id counter so every
+/// [`RunEvent::TransferStarted`]/[`RunEvent::TransferCompleted`] pair is
+/// correlated by `xfer` in start order, plus per-node link overrides on top
+/// of a uniform default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkModel {
+    default: LinkSpec,
+    /// Sparse per-node overrides, sorted by node id for O(log n) lookup.
+    overrides: Vec<(u32, LinkSpec)>,
+    next_xfer: u32,
+    transfers: u64,
+    bytes_moved: u64,
+}
+
+impl NetworkModel {
+    /// A network where every node shares the same link budget.
+    pub fn uniform(link: LinkSpec) -> Self {
+        Self {
+            default: link,
+            overrides: Vec::new(),
+            next_xfer: 0,
+            transfers: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Overrides one node's link budget (e.g. a slow edge node). Later
+    /// overrides for the same node replace earlier ones.
+    pub fn with_node_link(mut self, node: u32, link: LinkSpec) -> Self {
+        match self.overrides.binary_search_by_key(&node, |&(n, _)| n) {
+            Ok(i) => self.overrides[i].1 = link,
+            Err(i) => self.overrides.insert(i, (node, link)),
+        }
+        self
+    }
+
+    /// The link budget `node` transfers over.
+    pub fn link(&self, node: u32) -> LinkSpec {
+        match self.overrides.binary_search_by_key(&node, |&(n, _)| n) {
+            Ok(i) => self.overrides[i].1,
+            Err(_) => self.default,
+        }
+    }
+
+    /// The exact transfer delay for moving `bytes` to `node`.
+    pub fn transfer_duration(&self, node: u32, bytes: u64) -> SimDuration {
+        self.link(node).transfer_duration(bytes)
+    }
+
+    /// Transfers started so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total payload bytes charged so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Starts moving `job`'s input payload to `node`: journals
+    /// [`RunEvent::TransferStarted`] now and schedules a deterministic
+    /// completion event at `eta` that journals
+    /// [`RunEvent::TransferCompleted`] and then runs `then` — the service
+    /// dispatch continuation. Returns `eta`.
+    pub fn begin<M, F>(
+        &mut self,
+        sim: &mut Simulator<M>,
+        job: u32,
+        task: u32,
+        node: u32,
+        bytes: u64,
+        then: F,
+    ) -> SimTime
+    where
+        F: FnOnce(&mut M, &mut Simulator<M>) + 'static,
+    {
+        let xfer = self.next_xfer;
+        self.next_xfer += 1;
+        self.transfers += 1;
+        self.bytes_moved += bytes;
+        let eta = sim.now() + self.transfer_duration(node, bytes);
+        sim.emit(RunEvent::TransferStarted {
+            xfer,
+            job,
+            task,
+            node,
+            bytes,
+            eta,
+        });
+        sim.schedule_at(eta, move |model, sim| {
+            sim.emit(RunEvent::TransferCompleted {
+                xfer,
+                job,
+                task,
+                node,
+            });
+            then(model, sim);
+        });
+        eta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::EventKind;
+
+    fn link(bw: u64, lat: f64) -> LinkSpec {
+        LinkSpec::new(bw, SimDuration::from_units(lat))
+    }
+
+    #[test]
+    fn transfer_duration_rounds_up() {
+        // 3 bytes at 7 bytes/unit: 3_000_000 / 7 = 428571.42… → 428572.
+        let l = link(7, 0.0);
+        assert_eq!(l.transfer_duration(3), SimDuration::from_micros(428_572));
+        // Exact divisions don't round.
+        assert_eq!(
+            link(2, 0.0).transfer_duration(4),
+            SimDuration::from_units(2.0)
+        );
+        // Empty payloads still pay latency.
+        assert_eq!(
+            link(10, 0.25).transfer_duration(0),
+            SimDuration::from_units(0.25)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        LinkSpec::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_overrides_shadow_the_default() {
+        let net = NetworkModel::uniform(link(100, 0.0))
+            .with_node_link(3, link(10, 0.5))
+            .with_node_link(3, link(20, 0.5));
+        assert_eq!(net.link(0), link(100, 0.0));
+        assert_eq!(net.link(3), link(20, 0.5));
+        assert_eq!(net.transfer_duration(3, 40), SimDuration::from_units(2.5));
+    }
+
+    #[test]
+    fn begin_journals_started_and_completed_pair() {
+        let mut sim: Simulator<Vec<u32>> = Simulator::new();
+        sim.enable_journal();
+        let mut net = NetworkModel::uniform(link(10, 0.1));
+        let eta = net.begin(&mut sim, 7, 2, 4, 30, |done, sim| {
+            done.push(sim.now().as_micros() as u32);
+        });
+        assert_eq!(eta, SimTime::from_units(3.1));
+        assert_eq!(net.transfers(), 1);
+        assert_eq!(net.bytes_moved(), 30);
+
+        let mut done = Vec::new();
+        sim.run(&mut done);
+        // The continuation ran exactly at the completion time.
+        assert_eq!(done, vec![3_100_000]);
+
+        let j = sim.take_journal();
+        assert_eq!(j.count(EventKind::TransferStarted), 1);
+        assert_eq!(j.count(EventKind::TransferCompleted), 1);
+        let started = &j.events()[0];
+        assert_eq!(started.at, SimTime::ZERO);
+        assert!(matches!(
+            started.event,
+            RunEvent::TransferStarted { xfer: 0, job: 7, task: 2, node: 4, bytes: 30, eta }
+                if eta == SimTime::from_units(3.1)
+        ));
+        let completed = &j.events()[1];
+        assert_eq!(completed.at, SimTime::from_units(3.1));
+        assert!(matches!(
+            completed.event,
+            RunEvent::TransferCompleted {
+                xfer: 0,
+                job: 7,
+                task: 2,
+                node: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn transfer_ids_are_dense_in_start_order() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.enable_journal();
+        let mut net = NetworkModel::uniform(link(1, 0.0));
+        for job in 0..3 {
+            net.begin(&mut sim, job, 0, job, u64::from(job) + 1, |_, _| {});
+        }
+        sim.run(&mut ());
+        let j = sim.take_journal();
+        let started: Vec<u32> = j
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                RunEvent::TransferStarted { xfer, .. } => Some(xfer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, vec![0, 1, 2]);
+    }
+}

@@ -13,7 +13,7 @@ use smartred_desim::time::SimTime;
 /// confidence float is derived from `a` so it is always finite and in
 /// `[0, 1]`.
 fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
-    match sel % 26 {
+    match sel % 30 {
         0 => RunEvent::JobDispatched {
             job: a,
             task: b,
@@ -98,6 +98,30 @@ fn event_from(sel: u8, a: u32, b: u32, v: bool) -> RunEvent {
         },
         23 => RunEvent::HedgeWon { job: a, task: b },
         24 => RunEvent::HedgeWasted { job: a, task: b },
+        25 => RunEvent::TransferStarted {
+            xfer: a,
+            job: a / 2,
+            task: b,
+            node: a % 97,
+            bytes: u64::from(a) * 512,
+            eta: SimTime::from_micros(a as u64 * 13 + 1),
+        },
+        26 => RunEvent::TransferCompleted {
+            xfer: a,
+            job: a / 2,
+            task: b,
+            node: a % 97,
+        },
+        27 => RunEvent::StageDecided {
+            stage: a % 9,
+            correct: a % 33,
+            wrong: a % 7,
+        },
+        28 => RunEvent::PoisonPropagated {
+            task: b,
+            stage: a % 9 + 1,
+            from: a % 10_000,
+        },
         _ => RunEvent::FaultInjected {
             kind: match a % 6 {
                 0 => FaultKind::Crash,
@@ -128,7 +152,7 @@ proptest! {
     #[test]
     fn journals_are_time_ordered(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..30, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..80,
         ),
     ) {
@@ -142,7 +166,7 @@ proptest! {
     #[test]
     fn jsonl_round_trips_losslessly(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..30, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..80,
         ),
     ) {
@@ -161,7 +185,7 @@ proptest! {
     #[test]
     fn digest_is_thread_setting_invariant(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..30, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             0..60,
         ),
     ) {
@@ -180,7 +204,7 @@ proptest! {
     #[test]
     fn windowing_agrees_with_naive_filter(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..300, 0u8..30, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..60,
         ),
         bounds in (0u64..20_000, 0u64..20_000),
@@ -202,7 +226,7 @@ proptest! {
     #[test]
     fn filters_are_consistent_with_counts(
         entries in proptest::collection::vec(
-            (0u64..300, 0u8..26, 0u32..10_000, 0u32..8, proptest::bool::ANY),
+            (0u64..300, 0u8..30, 0u32..10_000, 0u32..8, proptest::bool::ANY),
             1..60,
         ),
     ) {
@@ -233,6 +257,10 @@ proptest! {
             EventKind::HedgeLaunched,
             EventKind::HedgeWon,
             EventKind::HedgeWasted,
+            EventKind::TransferStarted,
+            EventKind::TransferCompleted,
+            EventKind::StageDecided,
+            EventKind::PoisonPropagated,
             EventKind::FaultInjected,
         ]
         .iter()
@@ -258,7 +286,7 @@ proptest! {
     #[test]
     fn wal_prefix_survives_any_truncation_of_the_final_record(
         entries in proptest::collection::vec(
-            (0u64..500, 0u8..26, 0u32..10_000, 0u32..64, proptest::bool::ANY),
+            (0u64..500, 0u8..30, 0u32..10_000, 0u32..64, proptest::bool::ANY),
             1..40,
         ),
         cut_seed in 0usize..10_000,

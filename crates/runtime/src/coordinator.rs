@@ -274,11 +274,19 @@ pub(crate) struct Submission {
     pub(crate) verdict_tx: Sender<TaskVerdict>,
 }
 
+/// One client → coordinator message: a task submission, or a durable
+/// annotation event to journal into the WAL (workload bookkeeping such
+/// as DAG stage verdicts — no tally state, but crash-recoverable).
+pub(crate) enum ClientOp {
+    Submit(Submission),
+    Annotate(RunEvent),
+}
+
 /// A submission handle. Clones share the runtime's admission queue but
 /// each clone receives verdicts only for its own submissions.
 #[derive(Debug)]
 pub struct Client {
-    submit_tx: SyncSender<Submission>,
+    submit_tx: SyncSender<ClientOp>,
     verdict_tx: Sender<TaskVerdict>,
     verdict_rx: Receiver<TaskVerdict>,
     next_task: Arc<AtomicU32>,
@@ -298,7 +306,7 @@ impl Client {
             payload: Arc::new(payload),
             verdict_tx: self.verdict_tx.clone(),
         };
-        match self.submit_tx.try_send(submission) {
+        match self.submit_tx.try_send(ClientOp::Submit(submission)) {
             Ok(()) => {
                 if self.active.load(Ordering::Relaxed) < self.max_active {
                     self.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +321,17 @@ impl Client {
                 SubmitOutcome::Shed
             }
         }
+    }
+
+    /// Journals `event` durably into the coordinator's WAL. Annotations
+    /// carry no tally state — recovery preserves and ignores them — but
+    /// they share the WAL's ordering and fsync guarantees, so workload
+    /// layers (e.g. DAG stage verdicts) can reconstruct their own
+    /// bookkeeping from the same crash-consistent stream. Blocks if the
+    /// admission queue is full (annotations are never shed); returns
+    /// `false` once the runtime has shut down or crashed.
+    pub fn annotate(&self, event: RunEvent) -> bool {
+        self.submit_tx.send(ClientOp::Annotate(event)).is_ok()
     }
 
     /// Blocks for this client's next verdict; `None` once the runtime has
@@ -369,7 +388,7 @@ pub struct RuntimeRun {
 /// `finish` returns the final [`RuntimeRun`].
 #[derive(Debug)]
 pub struct Runtime {
-    pub(crate) submit_tx: Option<SyncSender<Submission>>,
+    pub(crate) submit_tx: Option<SyncSender<ClientOp>>,
     handle: JoinHandle<(RuntimeReport, Journal, bool)>,
     pub(crate) next_task: Arc<AtomicU32>,
     active: Arc<AtomicUsize>,
@@ -746,8 +765,8 @@ impl Runtime {
 struct RuntimeParts {
     worker_count: usize,
     pool: WorkerPool,
-    submit_tx: SyncSender<Submission>,
-    submit_rx: Receiver<Submission>,
+    submit_tx: SyncSender<ClientOp>,
+    submit_rx: Receiver<ClientOp>,
     result_rx: Receiver<PoolEvent>,
     active: Arc<AtomicUsize>,
     crashed: Arc<AtomicBool>,
@@ -784,7 +803,7 @@ impl RuntimeParts {
 
 fn spawn_runtime<S: RedundancyStrategy<bool> + Send + Sync + 'static>(
     coordinator: Coordinator<S>,
-    submit_tx: SyncSender<Submission>,
+    submit_tx: SyncSender<ClientOp>,
     active: Arc<AtomicUsize>,
     crashed: Arc<AtomicBool>,
     max_active: usize,
@@ -856,7 +875,7 @@ struct Coordinator<S> {
     cfg: RuntimeConfig,
     strategy: Arc<S>,
     pool: WorkerPool,
-    submit_rx: Receiver<Submission>,
+    submit_rx: Receiver<ClientOp>,
     result_rx: Receiver<PoolEvent>,
     start: Instant,
     /// Stamp offset in micros: 0 for a fresh run, the last replayed
@@ -962,7 +981,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             if self.tasks.is_empty() && self.seeded.is_empty() {
                 // Nothing in flight: block on the submission queue.
                 match self.submit_rx.recv_timeout(Duration::from_millis(5)) {
-                    Ok(sub) => self.admit_one(sub),
+                    Ok(op) => self.admit_op(op),
                     Err(RecvTimeoutError::Disconnected) => self.draining = true,
                     Err(RecvTimeoutError::Timeout) => {}
                 }
@@ -1060,7 +1079,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 continue;
             }
             match self.submit_rx.try_recv() {
-                Ok(sub) => self.admit_one(sub),
+                Ok(op) => self.admit_op(op),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     self.draining = true;
@@ -1069,6 +1088,20 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             }
         }
         self.active.store(self.tasks.len(), Ordering::Relaxed);
+    }
+
+    fn admit_op(&mut self, op: ClientOp) {
+        match op {
+            ClientOp::Submit(sub) => self.admit_one(sub),
+            ClientOp::Annotate(event) => {
+                // Write-ahead like any decision event: durable before the
+                // caller can observe the annotation took effect.
+                let at = self.stamp();
+                if self.log(at, event) {
+                    self.commit_wal();
+                }
+            }
+        }
     }
 
     fn admit_one(&mut self, sub: Submission) {
@@ -1153,9 +1186,8 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         avoid: Option<u32>,
     ) -> Result<u32, JobAssignment> {
         if self.cfg.assignment == Assignment::Random && avoid.is_none() {
-            return self.pool.try_dispatch(assignment).map(|worker| {
+            return self.pool.try_dispatch(assignment).inspect(|&worker| {
                 self.worker_loads[worker as usize] += 1;
-                worker
             });
         }
         let mut eligible: Vec<u32> = self
@@ -1350,8 +1382,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
             let Some(state) = self.tasks.get(&task) else {
                 continue;
             };
-            if state.epoch != epoch
-                || state.exec.hedges_launched() >= policy.max_per_task as usize
+            if state.epoch != epoch || state.exec.hedges_launched() >= policy.max_per_task as usize
             {
                 continue;
             }
@@ -1363,44 +1394,41 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 epoch,
                 payload: state.payload.clone(),
             };
-            match self.dispatch_to_pool(assignment, Some(origin_worker)) {
-                Ok(worker) => {
-                    self.next_job += 1;
-                    let at = self.stamp();
-                    let alive = self.log(
-                        at,
-                        RunEvent::HedgeLaunched {
-                            job: twin,
-                            task,
-                            origin,
-                            epoch,
-                        },
-                    );
-                    if !alive {
-                        return;
-                    }
-                    self.report.hedges_launched += 1;
-                    let state = self.tasks.get_mut(&task).expect("checked above");
-                    state.exec.note_hedge();
-                    state.live_jobs.push(twin);
-                    self.jobs.insert(
-                        twin,
-                        JobInfo {
-                            task,
-                            worker,
-                            replica,
-                            epoch,
-                            dispatched_at: at,
-                        },
-                    );
-                    self.hedge_pair.insert(origin, twin);
-                    self.hedge_pair.insert(twin, origin);
-                    self.twin_origin.insert(twin, origin);
-                    self.deadlines
-                        .push(Reverse((Instant::now() + self.cfg.deadline, twin, epoch)));
+            // Best-effort: on Err (every inbox full) the hedge is skipped.
+            if let Ok(worker) = self.dispatch_to_pool(assignment, Some(origin_worker)) {
+                self.next_job += 1;
+                let at = self.stamp();
+                let alive = self.log(
+                    at,
+                    RunEvent::HedgeLaunched {
+                        job: twin,
+                        task,
+                        origin,
+                        epoch,
+                    },
+                );
+                if !alive {
+                    return;
                 }
-                // Best-effort: every inbox is full, skip this hedge.
-                Err(_) => {}
+                self.report.hedges_launched += 1;
+                let state = self.tasks.get_mut(&task).expect("checked above");
+                state.exec.note_hedge();
+                state.live_jobs.push(twin);
+                self.jobs.insert(
+                    twin,
+                    JobInfo {
+                        task,
+                        worker,
+                        replica,
+                        epoch,
+                        dispatched_at: at,
+                    },
+                );
+                self.hedge_pair.insert(origin, twin);
+                self.hedge_pair.insert(twin, origin);
+                self.twin_origin.insert(twin, origin);
+                self.deadlines
+                    .push(Reverse((Instant::now() + self.cfg.deadline, twin, epoch)));
             }
         }
     }

@@ -397,6 +397,9 @@ where
             // Tallies, wave closes, retries, and stale drops carry no
             // state the strategy replay does not already reproduce; the
             // runtime never emits churn, outage, or fault-plan events.
+            // DAG annotations (transfers, stage verdicts, poison marks)
+            // are caller-journaled workload bookkeeping: recovery
+            // preserves them in the WAL but they drive no tally state.
             RunEvent::VoteTallied { .. }
             | RunEvent::WaveClosed { .. }
             | RunEvent::JobRetried { .. }
@@ -404,6 +407,10 @@ where
             | RunEvent::NodeJoined { .. }
             | RunEvent::OutageStarted { .. }
             | RunEvent::FaultInjected { .. }
+            | RunEvent::TransferStarted { .. }
+            | RunEvent::TransferCompleted { .. }
+            | RunEvent::StageDecided { .. }
+            | RunEvent::PoisonPropagated { .. }
             | RunEvent::RunEnded => {}
         }
     }

@@ -53,10 +53,10 @@ use std::time::Duration;
 use smartred_core::execution::{shard_of, shard_worker_span};
 use smartred_core::parallel::{map_indexed, Threads};
 use smartred_core::strategy::RedundancyStrategy;
-use smartred_desim::journal::Journal;
+use smartred_desim::journal::{Journal, RunEvent};
 
 use crate::coordinator::{
-    AdmissionCounters, AdmissionStats, Runtime, RuntimeConfig, RuntimeRun, Submission,
+    AdmissionCounters, AdmissionStats, ClientOp, Runtime, RuntimeConfig, RuntimeRun, Submission,
     SubmitOutcome, TaskVerdict,
 };
 use crate::recovery::{RecoveryError, RecoveryReport};
@@ -162,7 +162,7 @@ pub struct ShardedRun {
 #[derive(Debug)]
 pub struct ShardedRuntime {
     shards: Vec<Runtime>,
-    router_tx: Option<SyncSender<Submission>>,
+    router_tx: Option<SyncSender<ClientOp>>,
     router: Option<JoinHandle<()>>,
     next_task: Arc<AtomicU32>,
     outstanding: Arc<AtomicUsize>,
@@ -269,7 +269,7 @@ impl ShardedRuntime {
     ) -> Self {
         let admission_cap = cfg.admission_cap.max(1);
         let (router_tx, router_rx) = mpsc::sync_channel(admission_cap);
-        let shard_txs: Vec<SyncSender<Submission>> = runtimes
+        let shard_txs: Vec<SyncSender<ClientOp>> = runtimes
             .iter()
             .map(|r| r.submit_tx.clone().expect("shard just started"))
             .collect();
@@ -348,17 +348,21 @@ impl ShardedRuntime {
 /// gate bounds outstanding submissions at the shard queues' capacity, so
 /// the blocking `send` below can always make progress; it errors (and the
 /// router exits) only when a shard is gone — shutdown or crash.
-fn spawn_router(
-    rx: Receiver<Submission>,
-    shard_txs: Vec<SyncSender<Submission>>,
-) -> JoinHandle<()> {
+fn spawn_router(rx: Receiver<ClientOp>, shard_txs: Vec<SyncSender<ClientOp>>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("smartred-router".into())
         .spawn(move || {
             let shards = shard_txs.len();
-            while let Ok(sub) = rx.recv() {
-                let k = shard_of(sub.task, shards);
-                if shard_txs[k].send(sub).is_err() {
+            while let Ok(op) = rx.recv() {
+                // Submissions route by task id; annotations follow the
+                // task they reference (so merge_sharded keeps them next to
+                // that task's events) and fall back to shard 0 for
+                // task-less events such as stage verdicts.
+                let k = match &op {
+                    ClientOp::Submit(sub) => shard_of(sub.task, shards),
+                    ClientOp::Annotate(event) => event.task().map_or(0, |t| shard_of(t, shards)),
+                };
+                if shard_txs[k].send(op).is_err() {
                     return;
                 }
             }
@@ -371,7 +375,7 @@ fn spawn_router(
 /// the router's global gate before routing.
 #[derive(Debug)]
 pub struct ShardedClient {
-    router_tx: SyncSender<Submission>,
+    router_tx: SyncSender<ClientOp>,
     verdict_tx: Sender<TaskVerdict>,
     verdict_rx: Receiver<TaskVerdict>,
     next_task: Arc<AtomicU32>,
@@ -403,7 +407,7 @@ impl ShardedClient {
             payload: Arc::new(payload),
             verdict_tx: self.verdict_tx.clone(),
         };
-        match self.router_tx.try_send(submission) {
+        match self.router_tx.try_send(ClientOp::Submit(submission)) {
             Ok(()) => {
                 if prev < self.accept_below {
                     self.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -421,6 +425,15 @@ impl ShardedClient {
                 SubmitOutcome::Shed
             }
         }
+    }
+
+    /// Journals `event` durably into the owning shard's WAL (routed like
+    /// a submission: by the task the event references, shard 0 for
+    /// task-less events). Annotations bypass the admission gate — they
+    /// resolve no verdict — and block rather than shed; returns `false`
+    /// once the runtime has shut down or crashed.
+    pub fn annotate(&self, event: RunEvent) -> bool {
+        self.router_tx.send(ClientOp::Annotate(event)).is_ok()
     }
 
     /// Blocks for this client's next verdict; `None` once the runtime

@@ -221,7 +221,10 @@ fn hedged_journal_replays_and_round_trips() {
         count(&run.journal, EventKind::HedgeLaunched),
         run.report.hedges_launched
     );
-    assert_eq!(count(&run.journal, EventKind::HedgeWon), run.report.hedges_won);
+    assert_eq!(
+        count(&run.journal, EventKind::HedgeWon),
+        run.report.hedges_won
+    );
     assert_eq!(
         count(&run.journal, EventKind::HedgeWasted),
         run.report.hedges_wasted

@@ -495,7 +495,8 @@ fn deadline_reissue_never_double_fires_hedges() {
     // for a resolved origin, and at most `max_per_task` launches per task
     // epoch, across both the deadline-reissue and stale-arm paths.
     let mut resolved = std::collections::HashSet::new();
-    let mut per_epoch: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    let mut per_epoch: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::new();
     for e in run.journal.events() {
         match e.event {
             RunEvent::HedgeLaunched {

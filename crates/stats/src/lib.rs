@@ -14,6 +14,6 @@ pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
-pub use quantile::P2Quantile;
+pub use quantile::{percentile_nearest_rank, P2Quantile};
 pub use summary::{binomial_ci, two_proportion_z, Summary};
 pub use table::Table;

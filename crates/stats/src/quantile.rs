@@ -10,6 +10,41 @@
 //! the properties the hedging layer's trigger logic and its proptests rely
 //! on.
 
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// Returns the element at rank `⌈p·n⌉` (1-based, clamped to `[1, n]`) —
+/// the classic nearest-rank definition, which always returns an actual
+/// observation and never interpolates. Returns `0.0` for an empty sample.
+/// `p` outside `[0, 1]` clamps to the extremes.
+///
+/// The caller sorts; benchmarks typically take several percentiles off one
+/// sorted latency vector, so sorting inside the helper would waste work.
+///
+/// # Examples
+///
+/// ```
+/// use smartred_stats::percentile_nearest_rank;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_nearest_rank(&sorted, 0.50), 2.0);
+/// assert_eq!(percentile_nearest_rank(&sorted, 0.99), 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Debug builds panic if `sorted` is not ascending.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_nearest_rank needs an ascending-sorted sample"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// A streaming estimator of a single quantile using constant memory.
 ///
 /// # Examples
@@ -183,6 +218,24 @@ impl P2Quantile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_ranks() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&sorted, -1.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 2.0), 100.0);
+    }
+
+    #[test]
+    fn nearest_rank_of_empty_and_singleton() {
+        assert_eq!(percentile_nearest_rank(&[], 0.5), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.5], 0.01), 7.5);
+        assert_eq!(percentile_nearest_rank(&[7.5], 0.99), 7.5);
+    }
 
     #[test]
     fn exact_below_five_samples() {

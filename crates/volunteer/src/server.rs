@@ -787,7 +787,9 @@ fn hedge_check(world: &mut World, sim: &mut Sim, origin: usize, wu: usize, epoch
     } else {
         SimDuration::from_units(duration_units)
     };
-    sim.schedule_in(delay, move |world, sim| resolve(world, sim, twin, times_out));
+    sim.schedule_in(delay, move |world, sim| {
+        resolve(world, sim, twin, times_out)
+    });
 }
 
 /// Settles a hedge twin exactly once: `won` means its result supplied the
@@ -1474,7 +1476,11 @@ mod tests {
             report.total_cost(),
             report.total_jobs + report.audits + report.hedges_launched
         );
-        assert_eq!(run(s(), &cfg).unwrap(), report, "hedged run must be deterministic");
+        assert_eq!(
+            run(s(), &cfg).unwrap(),
+            report,
+            "hedged run must be deterministic"
+        );
     }
 
     #[test]
@@ -1497,8 +1503,7 @@ mod tests {
         // Journaling is a pure observer even with hedging enabled.
         assert_eq!(run(s(), &cfg).unwrap(), report);
         // The hedged journal round-trips through JSONL bit for bit.
-        let restored =
-            smartred_desim::journal::Journal::from_jsonl(&journal.to_jsonl()).unwrap();
+        let restored = smartred_desim::journal::Journal::from_jsonl(&journal.to_jsonl()).unwrap();
         assert_eq!(restored.digest(), journal.digest());
     }
 

@@ -14,6 +14,8 @@
 //!   PlanetLab-style host profiles, plus adversarial campaigns;
 //! * [`runtime`] — the live wall-clock job-serving runtime (worker pool,
 //!   admission control, journal-compatible observability);
+//! * [`dag`] — network-charged DAG pipelines with per-stage redundancy
+//!   and poison propagation from wrong accepted intermediates;
 //! * [`stats`] — summary statistics and table rendering.
 //!
 //! ## Thirty-second tour
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub use smartred_core as core;
+pub use smartred_dag as dag;
 pub use smartred_dca as dca;
 pub use smartred_desim as desim;
 pub use smartred_runtime as runtime;

@@ -179,7 +179,11 @@ where
             "{name}"
         );
         assert_eq!(journal.count(EventKind::HedgeWon) as u64, won, "{name}");
-        assert_eq!(journal.count(EventKind::HedgeWasted) as u64, wasted, "{name}");
+        assert_eq!(
+            journal.count(EventKind::HedgeWasted) as u64,
+            wasted,
+            "{name}"
+        );
     }
     Matched {
         dca_cost: dca.report.jobs_per_task.mean(),
@@ -206,7 +210,10 @@ fn hedged_traditional_k3_agrees_across_platforms() {
     // Hedging is verdict-invariant: replica votes, and hence TR's exact
     // cost-of-k and expected reliability, are untouched.
     assert_eq!(m.dca_cost, 3.0, "DCA hedged TR cost must stay exactly k");
-    assert_eq!(m.vol_cost, 3.0, "volunteer hedged TR cost must stay exactly k");
+    assert_eq!(
+        m.vol_cost, 3.0,
+        "volunteer hedged TR cost must stay exactly k"
+    );
     assert_eq!(m.dca_timeouts, 0);
     assert_eq!(m.vol_timeouts, 0);
     let dca_hedges = m.dca_journal.count(EventKind::HedgeLaunched);
