@@ -71,6 +71,23 @@
 //! `SMARTRED_THREADS` settings). Exits non-zero unless the mix beats
 //! every budget-matched uniform on escape rate and each policy's journal
 //! replays to its live report exactly.
+//!
+//! `--disk-chaos` runs the durable-storage chaos harness: the same
+//! workload re-runs with fault-injecting disks mounted under the
+//! coordinator's WAL (failed fsync, short write, power-loss torn write).
+//! Each detectable fault must crash the coordinator — fail-stop, never
+//! limping on over a disk it cannot trust — and `Runtime::recover` on a
+//! healthy disk must converge to the golden journal shape. The final leg
+//! arms checksummed framing against silent in-place bit rot and requires
+//! recovery to refuse and quarantine the rotten segment rather than
+//! replay a corrupt record. Combined with `--bench-json <path>` it
+//! instead measures the three durable-storage costs and writes
+//! `BENCH_10.json`: WAL append throughput across sync x batch settings,
+//! replay rate with and without checksums, and recovery time vs uptime —
+//! full-WAL replay grows linearly while checkpointed recovery replays
+//! only the suffix past the last seal, and the binary exits non-zero
+//! unless the checkpointed leg replays well under half the events of the
+//! full-replay leg at the longest uptime.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -85,11 +102,13 @@ use smartred_core::hedge::HedgePolicy;
 use smartred_core::params::{KVotes, Reliability, VoteMargin};
 use smartred_core::resilience::QuarantinePolicy;
 use smartred_core::strategy::{Iterative, Progressive, RedundancyStrategy, Traditional};
-use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::disk::DiskFaultPlan;
+use smartred_desim::journal::{Journal, RunEvent, WalWriter};
+use smartred_desim::time::SimTime;
 use smartred_runtime::{
     report_from_journal, CartelWorker, Client, FaultProfile, FaultyWorker, JobAssignment, Payload,
-    Runtime, RuntimeConfig, RuntimeRun, ShardedClient, ShardedConfig, ShardedRuntime,
-    SubmitOutcome, TaskVerdict, Worker,
+    RecoveryError, Runtime, RuntimeConfig, RuntimeRun, ShardedClient, ShardedConfig,
+    ShardedRuntime, SubmitOutcome, TaskVerdict, Worker,
 };
 use smartred_sat::{decompose, random_3sat, CnfFormula, ThreeSatConfig};
 
@@ -114,6 +133,7 @@ struct Args {
     hedge: bool,
     assignment: Assignment,
     dag: bool,
+    disk_chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -132,6 +152,7 @@ fn parse_args() -> Args {
         hedge: false,
         assignment: Assignment::Random,
         dag: false,
+        disk_chaos: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -179,6 +200,7 @@ fn parse_args() -> Args {
             }
             "--hedge" => args.hedge = true,
             "--dag" => args.dag = true,
+            "--disk-chaos" => args.disk_chaos = true,
             "--assignment" => {
                 let name = value(i);
                 args.assignment = Assignment::parse(&name).unwrap_or_else(|| {
@@ -192,9 +214,9 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown flag '{other}'; usage: serve_bench [--smoke] [--chaos] \
-                     [--audit-demo] [--dag] [--tasks N] [--workers N] [--seed N] [--shards N] \
-                     [--cartel N] [--hedge] [--assignment <policy>] [--journal <path>] \
-                     [--bench-json <path>]"
+                     [--audit-demo] [--dag] [--disk-chaos] [--tasks N] [--workers N] [--seed N] \
+                     [--shards N] [--cartel N] [--hedge] [--assignment <policy>] \
+                     [--journal <path>] [--bench-json <path>]"
                 );
                 std::process::exit(2);
             }
@@ -938,6 +960,18 @@ fn audit_demo(args: &Args) -> i32 {
     0
 }
 
+/// Writes one bench-JSON document, creating parent directories as
+/// needed — the single emitter shared by every `--bench-json` mode.
+fn write_bench_json(path: &str, json: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create bench-json directory");
+        }
+    }
+    std::fs::write(path, json).expect("write bench json");
+    println!("bench-json: wrote {path}");
+}
+
 /// Sweeps audit fractions {0, 0.05, 0.2} under the standard 30%-faulty
 /// pool and writes the machine-readable throughput baseline
 /// (`BENCH_6.json`) so audit overhead and future perf PRs have a
@@ -995,13 +1029,7 @@ fn bench_json(args: &Args, path: &str) {
         args.seed,
         rows.join(",\n")
     );
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create bench-json directory");
-        }
-    }
-    std::fs::write(path, json).expect("write bench json");
-    println!("bench-json: wrote {path}");
+    write_bench_json(path, &json);
 }
 
 /// One leg of the shard sweep: a closed-loop run of zero-work synthetic
@@ -1144,13 +1172,7 @@ fn bench7_json(args: &Args, path: &str) {
         args.seed,
         rows.join(",\n")
     );
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create bench-json directory");
-        }
-    }
-    std::fs::write(path, json).expect("write bench json");
-    println!("bench-json: wrote {path}");
+    write_bench_json(path, &json);
 }
 
 /// Sweeps TR/PR/IR at matched predicted reliability, hedging off vs on,
@@ -1341,13 +1363,7 @@ fn bench8_json(args: &Args, path: &str) -> i32 {
         p99_on * 1e3,
         rows.join(",\n")
     );
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create bench-json directory");
-        }
-    }
-    std::fs::write(path, json).expect("write bench json");
-    println!("bench-json: wrote {path}");
+    write_bench_json(path, &json);
     if failed {
         return 1;
     }
@@ -1810,13 +1826,7 @@ fn bench9_json(args: &Args, path: &str) -> i32 {
         cfg.link.bandwidth,
         json_rows.join(",\n")
     );
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create bench-json directory");
-        }
-    }
-    std::fs::write(path, json).expect("write bench json");
-    println!("bench-json: wrote {path}");
+    write_bench_json(path, &json);
     if failed {
         return 1;
     }
@@ -1825,6 +1835,365 @@ fn bench9_json(args: &Args, path: &str) -> i32 {
          uniform escapes more",
         mix.policy.label, mix.stats.escape_rate, budget
     );
+    0
+}
+
+/// The durable-storage chaos harness (`--disk-chaos`): reruns a golden
+/// workload with fault-injecting disks mounted under the coordinator's
+/// WAL. Every *detectable* fault (failed fsync, short write, power-loss
+/// torn write) must crash the coordinator mid-run, and `Runtime::recover`
+/// on a healthy disk must converge to the golden journal shape with an
+/// exact report replay. Silent bit rot is the one fault a crash cannot
+/// flag, so the final leg arms checksummed framing and requires recovery
+/// to *refuse* the rotten segment (quarantining it) rather than replay a
+/// corrupt record. Returns process exit code.
+fn disk_chaos_mode(args: &Args) -> i32 {
+    // Injected worker crashes are supervised and expected; keep their
+    // panic backtraces off stderr, but let real panics through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected worker crash"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let tasks = if args.smoke { 24 } else { 48 };
+    let margin = VoteMargin::new(MARGIN).unwrap();
+    let roster: Vec<(u32, Payload)> = (0..tasks)
+        .map(|i| {
+            (
+                i as u32,
+                Payload::Synthetic {
+                    answer: i % 2 == 0,
+                    work: Duration::ZERO,
+                },
+            )
+        })
+        .collect();
+    let seed = args.seed;
+    let factory = move |_| Box::new(FaultyWorker::new(seed, chaos_profile())) as Box<dyn Worker>;
+
+    let golden = run_roster(
+        chaos_cfg(args, tasks, None),
+        margin,
+        seed,
+        None,
+        false,
+        &roster,
+    );
+    assert!(!golden.crashed);
+    let golden_shape = shape(&golden.journal);
+    println!(
+        "disk-chaos: golden run: {} tasks, {} jobs, {} events",
+        golden.report.tasks_completed,
+        golden.report.total_jobs,
+        golden.journal.events().len(),
+    );
+
+    let dir = std::env::temp_dir().join(format!("smartred-disk-chaos-{}", std::process::id()));
+    let mut failed = false;
+
+    // Detectable faults: each must crash the coordinator (fail-stop, never
+    // limp on over a disk it cannot trust), then recover cleanly.
+    type ArmFault = fn(&mut DiskFaultPlan);
+    let legs: [(&str, ArmFault); 3] = [
+        ("failed-fsync", |p| p.fail_fsync_at = Some(20)),
+        ("short-write", |p| p.short_write_at = Some(30)),
+        ("power-loss", |p| p.crash_after_writes = Some(40)),
+    ];
+    for (name, arm) in legs {
+        let wal = dir.join(format!("{name}.wal.jsonl"));
+        let mut cfg = chaos_cfg(args, tasks, Some(wal.clone()));
+        let mut plan = DiskFaultPlan::none(seed ^ 0xd15c);
+        arm(&mut plan);
+        cfg.disk_faults = Some(plan);
+        let crashed = run_roster(cfg, margin, seed, None, false, &roster);
+        if !crashed.crashed {
+            eprintln!("FAIL: {name}: injected disk fault did not crash the coordinator");
+            failed = true;
+            continue;
+        }
+        let (runtime, client, rec) = Runtime::recover(
+            chaos_cfg(args, tasks, Some(wal.clone())),
+            Iterative::new(margin),
+            factory,
+            &roster,
+        )
+        .expect("recovery from a healthy disk");
+        drop(client);
+        let run = runtime.finish();
+        assert!(!run.crashed);
+        let replay_ok = report_from_journal(&run.journal) == run.report;
+        let shape_ok = shape(&run.journal) == golden_shape;
+        println!(
+            "disk-chaos: {name}: coordinator died mid-run (torn tail: {}), resumed {} open + \
+             {} decided + {} unseen tasks -> {}",
+            rec.torn_tail,
+            rec.tasks_resumed,
+            rec.tasks_decided,
+            rec.tasks_seeded,
+            if replay_ok && shape_ok {
+                "matches golden"
+            } else {
+                "MISMATCH"
+            },
+        );
+        if !replay_ok || !shape_ok {
+            eprintln!("FAIL: {name}: recovered run diverged from golden (replay {replay_ok}, shape {shape_ok})");
+            failed = true;
+        }
+    }
+
+    // Silent bit rot: the disk flips one bit in place after the 25th
+    // write, the run completes none the wiser, and checksummed recovery
+    // must refuse the segment instead of replaying a corrupt record.
+    let wal = dir.join("bit-rot.wal.jsonl");
+    let mut cfg = chaos_cfg(args, tasks, Some(wal.clone()));
+    cfg.wal_checksum = true;
+    let mut plan = DiskFaultPlan::none(seed ^ 0xb17);
+    plan.flip_bit_after = Some(25);
+    cfg.disk_faults = Some(plan);
+    let run = run_roster(cfg, margin, seed, None, false, &roster);
+    assert!(!run.crashed, "bit rot is silent: the run must complete");
+    let mut clean = chaos_cfg(args, tasks, Some(wal.clone()));
+    clean.wal_checksum = true;
+    match Runtime::recover(clean, Iterative::new(margin), factory, &roster) {
+        Err(RecoveryError::Parse(e)) => {
+            let quarantined = wal.with_extension("jsonl.quarantined").exists()
+                || std::path::Path::new(&format!("{}.quarantined", wal.display())).exists();
+            println!("disk-chaos: bit-rot: refused and quarantined ({e})");
+            if !quarantined {
+                eprintln!("FAIL: bit-rot: no quarantined segment left behind");
+                failed = true;
+            }
+        }
+        Ok((runtime, client, _)) => {
+            eprintln!("FAIL: bit-rot: checksummed recovery accepted a corrupt segment");
+            drop(client);
+            let _ = runtime.finish();
+            failed = true;
+        }
+        Err(other) => {
+            eprintln!("FAIL: bit-rot: expected a parse refusal, got: {other}");
+            failed = true;
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if failed {
+        return 1;
+    }
+    println!("disk-chaos holds: detectable faults crash and recover; silent rot is refused");
+    0
+}
+
+/// `--disk-chaos --bench-json <path>`: measures the three durable-storage
+/// costs and writes `BENCH_10.json` — WAL append+fsync throughput across
+/// sync x batch settings, recovery replay rate (events/sec parsed back
+/// from disk, with and without checksums), and recovery time vs uptime
+/// with and without checkpoints. The exit-code check is structural, not
+/// timing-based (CI machines vary): at the longest uptime, checkpointed
+/// recovery must replay well under half the events of full-WAL replay.
+fn bench10_json(args: &Args, path: &str) -> i32 {
+    let n: usize = if args.smoke { 4_000 } else { 20_000 };
+    let mut journal = Journal::new();
+    for i in 0..n as u64 {
+        let event = if i % 4 == 3 {
+            RunEvent::JobReturned {
+                job: i as u32,
+                task: (i / 4) as u32,
+                node: (i % 8) as u32,
+                value: true,
+            }
+        } else {
+            RunEvent::JobDispatched {
+                job: i as u32,
+                task: (i / 4) as u32,
+                node: (i % 8) as u32,
+                eta: SimTime::from_micros(i + 10),
+            }
+        };
+        journal.record(SimTime::from_micros(i), event);
+    }
+    let dir = std::env::temp_dir().join(format!("smartred-bench10-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench10 dir");
+
+    // 1) Append + fsync cost across the sync x batch grid (checksummed
+    //    framing, the hardened default for new WALs).
+    let mut append_rows = Vec::new();
+    for sync in [false, true] {
+        for batch in [1u64, 16, 64] {
+            let wal = dir.join(format!("append-{sync}-{batch}.wal.jsonl"));
+            let mut w = WalWriter::create(&wal, sync)
+                .expect("wal create")
+                .with_batch(batch)
+                .with_checksums(true);
+            let start = Instant::now();
+            for e in journal.events() {
+                w.append(e).expect("wal append");
+            }
+            w.commit().expect("wal commit");
+            let secs = start.elapsed().as_secs_f64();
+            let per_event_us = secs * 1e6 / n as f64;
+            println!(
+                "bench10: append sync={sync} batch={batch}: {:.2} us/event, {:.0} events/s",
+                per_event_us,
+                n as f64 / secs,
+            );
+            append_rows.push(format!(
+                "    {{\"sync\": {sync}, \"batch\": {batch}, \"micros_per_event\": {:.3}, \
+                 \"events_per_sec\": {:.0}}}",
+                per_event_us,
+                n as f64 / secs,
+            ));
+        }
+    }
+
+    // 2) Replay rate: parse the full segment back, plain vs checksummed.
+    let mut replay_rows = Vec::new();
+    for checksums in [false, true] {
+        let wal = dir.join(format!("replay-{checksums}.wal.jsonl"));
+        let mut w = WalWriter::create(&wal, false)
+            .expect("wal create")
+            .with_batch(64)
+            .with_checksums(checksums);
+        for e in journal.events() {
+            w.append(e).expect("wal append");
+        }
+        w.commit().expect("wal commit");
+        let text = std::fs::read_to_string(&wal).expect("read wal");
+        let start = Instant::now();
+        let prefix = Journal::from_jsonl_prefix(&text).expect("replay parse");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(prefix.journal.events().len(), n);
+        assert!(!prefix.torn);
+        println!(
+            "bench10: replay checksums={checksums}: {:.0} events/s ({:.1} ms total)",
+            n as f64 / secs,
+            secs * 1e3,
+        );
+        replay_rows.push(format!(
+            "    {{\"checksums\": {checksums}, \"events_per_sec\": {:.0}, \"ms_total\": {:.2}}}",
+            n as f64 / secs,
+            secs * 1e3,
+        ));
+    }
+
+    // 3) Recovery time vs uptime: live runs of 1, 2, and 4 quiescent
+    //    bursts, recovered with and without checkpoints armed. Full-WAL
+    //    replay grows linearly with uptime; checkpointed recovery replays
+    //    only the suffix past the last seal and stays flat-ish.
+    let burst = if args.smoke { 30 } else { 80 };
+    let margin = VoteMargin::new(MARGIN).unwrap();
+    let seed = args.seed;
+    let mut recovery_rows = Vec::new();
+    let mut replayed_at_max: HashMap<bool, usize> = HashMap::new();
+    for checkpoints in [false, true] {
+        for bursts in [1usize, 2, 4] {
+            let wal = dir.join(format!("recover-{checkpoints}-{bursts}.wal.jsonl"));
+            let tasks = burst * bursts;
+            let cfg = RuntimeConfig {
+                workers: Some(args.workers),
+                queue_cap: tasks,
+                max_active: 64,
+                deadline: Duration::from_secs(30),
+                wal: Some(wal.clone()),
+                wal_sync: false,
+                checkpoint_every: checkpoints.then_some(64),
+                ..RuntimeConfig::default()
+            };
+            let honest = move |_| {
+                Box::new(FaultyWorker::new(seed, FaultProfile::default())) as Box<dyn Worker>
+            };
+            let runtime = Runtime::start(cfg.clone(), Iterative::new(margin), honest);
+            let client = runtime.client();
+            for _ in 0..bursts {
+                for i in 0..burst {
+                    match client.submit(Payload::Synthetic {
+                        answer: i % 2 == 0,
+                        work: Duration::ZERO,
+                    }) {
+                        SubmitOutcome::Shed => panic!("bench10 queue admits every burst"),
+                        SubmitOutcome::Accepted { .. } | SubmitOutcome::Queued { .. } => {}
+                    }
+                }
+                for _ in 0..burst {
+                    client.recv().expect("bench10 verdict");
+                }
+                // A quiescent window between bursts, so the checkpointed
+                // legs actually seal and truncate.
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            drop(client);
+            let run = runtime.finish();
+            assert!(!run.crashed);
+            let wal_events = std::fs::read_to_string(&wal)
+                .expect("read wal")
+                .lines()
+                .count();
+            let roster: Vec<(u32, Payload)> = (0..tasks)
+                .map(|i| {
+                    (
+                        i as u32,
+                        Payload::Synthetic {
+                            answer: i % 2 == 0,
+                            work: Duration::ZERO,
+                        },
+                    )
+                })
+                .collect();
+            let start = Instant::now();
+            let (recovered, client, rec) =
+                Runtime::recover(cfg, Iterative::new(margin), honest, &roster)
+                    .expect("bench10 recovery");
+            let recover_ms = start.elapsed().as_secs_f64() * 1e3;
+            drop(client);
+            let rerun = recovered.finish();
+            assert!(!rerun.crashed);
+            assert_eq!(rec.tasks_decided, tasks);
+            if bursts == 4 {
+                replayed_at_max.insert(checkpoints, rec.events_replayed);
+            }
+            println!(
+                "bench10: recovery checkpoints={checkpoints} bursts={bursts}: {wal_events} \
+                 on-disk events, {} replayed ({} in checkpoint), {recover_ms:.2} ms",
+                rec.events_replayed, rec.checkpoint_events,
+            );
+            recovery_rows.push(format!(
+                "    {{\"checkpoints\": {checkpoints}, \"bursts\": {bursts}, \"tasks\": {tasks}, \
+                 \"wal_events\": {wal_events}, \"events_replayed\": {}, \"checkpoint_events\": \
+                 {}, \"recover_ms\": {recover_ms:.2}}}",
+                rec.events_replayed, rec.checkpoint_events,
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"bench\": 10,\n  \"name\": \"serve_bench durable-storage costs\",\n  \
+         \"events\": {n},\n  \"workers\": {},\n  \"seed\": {},\n  \"append\": [\n{}\n  ],\n  \
+         \"replay\": [\n{}\n  ],\n  \"recovery\": [\n{}\n  ]\n}}\n",
+        args.workers,
+        args.seed,
+        append_rows.join(",\n"),
+        replay_rows.join(",\n"),
+        recovery_rows.join(",\n"),
+    );
+    write_bench_json(path, &json);
+
+    let full = replayed_at_max[&false];
+    let ckpt = replayed_at_max[&true];
+    println!("bench10: at max uptime, full replay walks {full} events vs {ckpt} past the seal");
+    if ckpt * 2 >= full {
+        eprintln!(
+            "FAIL: checkpointed recovery replayed {ckpt} events, not well under half of the \
+             full-WAL {full}"
+        );
+        return 1;
+    }
     0
 }
 
@@ -1839,6 +2208,12 @@ fn main() {
             .clone()
             .unwrap_or_else(|| "BENCH_9.json".into());
         std::process::exit(bench9_json(&args, &path));
+    }
+    if args.disk_chaos {
+        if let Some(path) = args.bench_json.clone() {
+            std::process::exit(bench10_json(&args, &path));
+        }
+        std::process::exit(disk_chaos_mode(&args));
     }
     if args.chaos {
         std::process::exit(chaos(&args));

@@ -266,6 +266,35 @@ impl NodeDiscipline {
     pub fn quarantines(&self) -> u32 {
         self.quarantines
     }
+
+    /// Decomposes the counters into raw parts
+    /// `(strikes, quarantines, last_strike_micros, probation)` for
+    /// checkpoint persistence.
+    pub fn to_parts(&self) -> (u32, u32, u64, u32) {
+        (
+            self.strikes,
+            self.quarantines,
+            self.last_strike_micros,
+            self.probation,
+        )
+    }
+
+    /// Reassembles the counters from [`NodeDiscipline::to_parts`] output,
+    /// so a restored node resumes its strike window and probation debt
+    /// exactly where the snapshot left them.
+    pub fn from_parts(
+        strikes: u32,
+        quarantines: u32,
+        last_strike_micros: u64,
+        probation: u32,
+    ) -> Self {
+        Self {
+            strikes,
+            quarantines,
+            last_strike_micros,
+            probation,
+        }
+    }
 }
 
 /// Poison-task policy: a *task* whose payload repeatedly kills the worker
@@ -516,6 +545,29 @@ mod tests {
         assert!(d.consume_probation());
         assert_eq!(d.probation_remaining(), 0);
         assert!(!d.consume_probation(), "probation served");
+    }
+
+    #[test]
+    fn discipline_parts_round_trip_preserves_the_strike_window() {
+        let policy = QuarantinePolicy {
+            strike_limit: 3,
+            quarantine_units: 5.0,
+            blacklist_after: 3,
+        };
+        let window = 10;
+        let mut d = NodeDiscipline::default();
+        assert_eq!(d.strike_at(4, window, &policy), DisciplineAction::None);
+        d.begin_probation(2);
+        let (strikes, quarantines, last, probation) = d.to_parts();
+        let mut r = NodeDiscipline::from_parts(strikes, quarantines, last, probation);
+        assert_eq!(r, d);
+        // The restored node remembers when its last strike landed: one
+        // more strike inside the window keeps counting, while the same
+        // strike on a default-initialized node would also count from
+        // zero — so check window expiry semantics survive too.
+        assert_eq!(r.strike_at(20, window, &policy), DisciplineAction::None);
+        assert_eq!(r.strikes(), 1, "stale strike expired, fresh one counted");
+        assert_eq!(r.probation_remaining(), 2);
     }
 
     #[test]

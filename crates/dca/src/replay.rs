@@ -141,7 +141,11 @@ pub fn report_from_journal(journal: &Journal, cfg: &DcaConfig) -> DcaReport {
             | RunEvent::TransferCompleted { .. }
             | RunEvent::StageDecided { .. }
             | RunEvent::PoisonPropagated { .. }
-            | RunEvent::AuditPassed { .. } => {}
+            | RunEvent::AuditPassed { .. }
+            // Checkpoint seals are a WAL-compaction artifact of the live
+            // runtime; simulator journals never carry one, and a seal
+            // contributes nothing to the simulated metrics.
+            | RunEvent::CheckpointTaken { .. } => {}
         }
     }
     debug_assert_eq!(

@@ -407,6 +407,18 @@ pub enum RunEvent {
         /// The upstream task whose wrong accepted output caused it.
         from: u32,
     },
+    /// A durable coordinator snapshot was taken at a quiescent point: the
+    /// first `events` records of the run are now summarized by an
+    /// on-disk checkpoint and the WAL was truncated, so this record seals
+    /// the start of a fresh segment. Its own `seq` equals `events` —
+    /// recovery uses that to pair segment and snapshot.
+    CheckpointTaken {
+        /// Events covered by the snapshot (= this record's seq).
+        events: u64,
+        /// FNV-1a digest of the serialized snapshot, cross-checked
+        /// against the snapshot file at recovery.
+        digest: u64,
+    },
     /// The run is over; the event's timestamp is the run's makespan.
     RunEnded,
 }
@@ -478,6 +490,8 @@ pub enum EventKind {
     StageDecided,
     /// See [`RunEvent::PoisonPropagated`].
     PoisonPropagated,
+    /// See [`RunEvent::CheckpointTaken`].
+    CheckpointTaken,
     /// See [`RunEvent::RunEnded`].
     RunEnded,
 }
@@ -518,6 +532,7 @@ impl EventKind {
             EventKind::TransferCompleted => "transfer_completed",
             EventKind::StageDecided => "stage_decided",
             EventKind::PoisonPropagated => "poison_propagated",
+            EventKind::CheckpointTaken => "checkpoint_taken",
             EventKind::RunEnded => "run_ended",
         }
     }
@@ -559,6 +574,7 @@ impl RunEvent {
             RunEvent::TransferCompleted { .. } => EventKind::TransferCompleted,
             RunEvent::StageDecided { .. } => EventKind::StageDecided,
             RunEvent::PoisonPropagated { .. } => EventKind::PoisonPropagated,
+            RunEvent::CheckpointTaken { .. } => EventKind::CheckpointTaken,
             RunEvent::RunEnded => EventKind::RunEnded,
         }
     }
@@ -758,15 +774,52 @@ impl Stamped {
             RunEvent::PoisonPropagated { task, stage, from } => {
                 line.push_str(&format!(",\"task\":{task},\"stage\":{stage},\"from\":{from}"))
             }
+            RunEvent::CheckpointTaken { events, digest } => {
+                line.push_str(&format!(",\"events\":{events},\"digest\":{digest}"))
+            }
             RunEvent::RunEnded => {}
         }
         line.push('}');
         line
     }
 
+    /// Serializes this entry with a trailing per-record checksum field:
+    /// the canonical [`to_jsonl_line`](Self::to_jsonl_line) form with
+    /// `,"crc":"<16 hex>"` spliced in before the closing brace, where the
+    /// checksum is the FNV-1a hash of the canonical line's bytes. The
+    /// result is still one flat JSON object, so checksummed and legacy
+    /// records interleave freely in one WAL; [`from_jsonl_line`]
+    /// (Self::from_jsonl_line) verifies and strips the field.
+    pub fn to_jsonl_line_checksummed(&self) -> String {
+        let mut line = self.to_jsonl_line();
+        let crc = fnv1a_64(line.as_bytes());
+        line.pop(); // the closing '}'
+        line.push_str(&format!(",\"crc\":\"{crc:016x}\"}}"));
+        line
+    }
+
     /// Parses one entry back from its [`to_jsonl_line`](Self::to_jsonl_line)
+    /// or [`to_jsonl_line_checksummed`](Self::to_jsonl_line_checksummed)
     /// form. The error is a bare message; callers attach line numbers.
+    ///
+    /// Two corruption guards run on every line. A checksummed record's
+    /// trailer is verified against the FNV-1a hash of its canonical bytes,
+    /// so any in-place mutation of the content is reported as a checksum
+    /// mismatch. And — checksummed or not — the parsed record must
+    /// re-serialize to exactly the canonical bytes it was parsed from, so
+    /// a mutation that still parses (a damaged key name the flat parser
+    /// would otherwise skip as unknown, a re-ordered field) can never be
+    /// silently accepted as a different valid event.
     pub fn from_jsonl_line(line: &str) -> Result<Self, String> {
+        let canonical = strip_verified_checksum(line.trim())?;
+        let stamped = Self::parse_canonical(&canonical)?;
+        if stamped.to_jsonl_line() != canonical.as_ref() {
+            return Err("record is not in canonical form (corruption suspected)".to_string());
+        }
+        Ok(stamped)
+    }
+
+    fn parse_canonical(line: &str) -> Result<Self, String> {
         let fields = parse_object(line)?;
         let get = |key: &str| -> Result<&JsonValue, String> {
             fields
@@ -950,6 +1003,10 @@ impl Stamped {
                 stage: narrow("stage")?,
                 from: narrow("from")?,
             },
+            "checkpoint_taken" => RunEvent::CheckpointTaken {
+                events: int("events")?,
+                digest: int("digest")?,
+            },
             "run_ended" => RunEvent::RunEnded,
             other => return Err(format!("unknown event kind '{other}'")),
         };
@@ -957,18 +1014,80 @@ impl Stamped {
     }
 }
 
+/// 64-bit FNV-1a over raw bytes — the per-record WAL checksum. (The same
+/// constants as [`Journal::digest`], but over serialized line bytes rather
+/// than decoded fields.)
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Detects and verifies the `,"crc":"<16 hex>"` trailer of a checksummed
+/// record, returning the canonical (trailer-free) line. A line without the
+/// trailer is returned as-is — legacy WALs keep parsing. A present-but-
+/// wrong trailer (bad shape, non-hex digits, or a hash that does not match
+/// the canonical bytes) is corruption.
+fn strip_verified_checksum(line: &str) -> Result<std::borrow::Cow<'_, str>, String> {
+    const TAG: &str = ",\"crc\":\"";
+    let Some(idx) = line.rfind(TAG) else {
+        return Ok(std::borrow::Cow::Borrowed(line));
+    };
+    let trailer = &line[idx + TAG.len()..];
+    let hex = trailer
+        .strip_suffix("\"}")
+        .filter(|h| h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()))
+        .ok_or_else(|| "malformed checksum trailer".to_string())?;
+    let stated = u64::from_str_radix(hex, 16).expect("16 hex digits fit u64");
+    let mut canonical = line[..idx].to_string();
+    canonical.push('}');
+    let actual = fnv1a_64(canonical.as_bytes());
+    if stated != actual {
+        return Err(format!(
+            "checksum mismatch: record states {stated:016x} but content hashes to {actual:016x}"
+        ));
+    }
+    Ok(std::borrow::Cow::Owned(canonical))
+}
+
+/// Best-effort extraction of the `"seq"` field from a raw (possibly
+/// corrupt) WAL line, so parse errors can name the damaged record even
+/// when it no longer parses as a whole.
+fn sniff_seq(line: &str) -> Option<u64> {
+    let idx = line.find("\"seq\":")?;
+    let rest = &line[idx + 6..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Error returned by [`Journal::from_jsonl`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// Byte offset of the start of the offending line within the input.
+    pub offset: usize,
+    /// The damaged record's sequence number, when it could still be
+    /// sniffed out of the corrupt line.
+    pub seq: Option<u64>,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for JournalParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "journal line {}: {}", self.line, self.message)
+        write!(f, "journal line {} at byte {}", self.line, self.offset)?;
+        if let Some(seq) = self.seq {
+            write!(f, " (record seq {seq})")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -1003,6 +1122,25 @@ impl Journal {
             events: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// Creates an enabled, empty journal whose next recorded event gets
+    /// sequence number `next_seq` — the resume point after a checkpoint
+    /// truncated the history the sequence numbers continue from.
+    pub fn resume_at(next_seq: u64) -> Self {
+        Self {
+            enabled: true,
+            events: Vec::new(),
+            next_seq,
+        }
+    }
+
+    /// The sequence number the next recorded event will get. Since
+    /// sequence numbers are dense, this is also the total number of events
+    /// ever recorded into this stream — including any prefix compacted
+    /// away by a checkpoint (see [`Journal::resume_at`]).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Whether records are being kept.
@@ -1259,6 +1397,10 @@ impl Journal {
                     eat(&stage.to_le_bytes());
                     eat(&from.to_le_bytes());
                 }
+                RunEvent::CheckpointTaken { events, digest } => {
+                    eat(&events.to_le_bytes());
+                    eat(&digest.to_le_bytes());
+                }
                 RunEvent::RunEnded => {}
             }
         }
@@ -1290,19 +1432,26 @@ impl Journal {
     /// Returns [`JournalParseError`] naming the first malformed line.
     pub fn from_jsonl(text: &str) -> Result<Self, JournalParseError> {
         let mut journal = Journal::new();
+        let mut offset = 0usize;
         for (i, line) in text.lines().enumerate() {
             let line_no = i + 1;
+            let line_start = offset;
+            offset += line.len() + 1;
             if line.trim().is_empty() {
                 continue;
             }
             let stamped = Stamped::from_jsonl_line(line).map_err(|message| JournalParseError {
                 line: line_no,
+                offset: line_start,
+                seq: sniff_seq(line),
                 message,
             })?;
             if let Some(last) = journal.events.last() {
                 if stamped.at < last.at {
                     return Err(JournalParseError {
                         line: line_no,
+                        offset: line_start,
+                        seq: Some(stamped.seq),
                         message: format!(
                             "events out of time order: {} after {}",
                             stamped.at, last.at
@@ -1319,15 +1468,19 @@ impl Journal {
     /// Reads a journal from possibly crash-truncated WAL bytes.
     ///
     /// A writer that dies mid-append leaves a *torn tail*: a final chunk
-    /// with no trailing newline, or a final line cut short so it no longer
-    /// parses. Such a tail is dropped and reported via [`WalPrefix::torn`];
+    /// with no trailing newline (whether or not the truncated bytes still
+    /// parse). Such a tail is dropped and reported via [`WalPrefix::torn`];
     /// `valid_bytes` is the length of the longest whole-record prefix, so a
     /// recovering writer can truncate the file there and resume appending.
     ///
     /// # Errors
     ///
-    /// Malformed records *before* the final one are corruption, not a torn
-    /// write, and still fail with [`JournalParseError`].
+    /// A malformed record on any *newline-terminated* line — including the
+    /// final one — is in-place corruption of a fully-written record, not a
+    /// torn write (each append writes `record + '\n'` in one call, so a
+    /// partial append can never include the newline). That fails with
+    /// [`JournalParseError`], carrying the line's byte offset and, when it
+    /// can still be sniffed from the damaged bytes, the record's seq.
     pub fn from_jsonl_prefix(text: &str) -> Result<WalPrefix, JournalParseError> {
         let mut journal = Journal::new();
         let mut torn = false;
@@ -1363,6 +1516,8 @@ impl Journal {
                         if stamped.at < prev.at {
                             return Err(JournalParseError {
                                 line: line_no,
+                                offset,
+                                seq: Some(stamped.seq),
                                 message: format!(
                                     "events out of time order: {} after {}",
                                     stamped.at, prev.at
@@ -1375,12 +1530,21 @@ impl Journal {
                     valid_bytes = end;
                 }
                 Err(message) => {
-                    if last {
+                    if last && !terminated {
+                        // A torn append: the writer died before the
+                        // newline hit the disk, so the record was never
+                        // acknowledged — drop it and resume.
                         torn = true;
                         break;
                     }
+                    // A terminated line was fully written in one append
+                    // (the newline is its last byte), so a parse or
+                    // checksum failure here is in-place corruption of an
+                    // acknowledged record — refuse, never resume past it.
                     return Err(JournalParseError {
                         line: line_no,
+                        offset,
+                        seq: sniff_seq(line),
                         message,
                     });
                 }
@@ -1456,7 +1620,8 @@ pub struct WalPrefix {
 /// `sync = true` it also `fdatasync`s, so an acknowledged append survives
 /// process death and at most the *final* record of the file can ever be
 /// torn. The file contents stay byte-identical to
-/// [`Journal::to_jsonl`] of the events appended so far.
+/// [`Journal::to_jsonl`] of the events appended so far (or its
+/// checksummed equivalent under [`with_checksums`](WalWriter::with_checksums)).
 ///
 /// ## Group commit
 ///
@@ -1468,17 +1633,43 @@ pub struct WalPrefix {
 /// its side effect" — force the sync early with
 /// [`commit`](WalWriter::commit). The default batch of 1 is the original
 /// sync-every-append behavior.
+///
+/// ## Poisoning
+///
+/// Any I/O error — a failed write, flush, or `fdatasync` — permanently
+/// poisons the writer: every later [`append`](WalWriter::append),
+/// [`commit`](WalWriter::commit), or [`truncate`](WalWriter::truncate)
+/// fails fast with the original error's message. A failed fsync in
+/// particular leaves the kernel free to have *dropped* the dirty pages
+/// (the fsyncgate failure class), so retrying the sync and continuing
+/// would silently lose acknowledged records; the only safe recovery is to
+/// reread the file through [`Journal::from_jsonl_prefix`].
 #[derive(Debug)]
 pub struct WalWriter {
-    file: std::fs::File,
+    disk: Box<dyn crate::disk::Disk>,
     sync: bool,
     /// Appends per fdatasync under group commit; 1 = sync every append.
     batch: u64,
     /// Appends since the last sync.
     pending: u64,
+    /// Write per-record checksums (see [`Stamped::to_jsonl_line_checksummed`]).
+    checksum: bool,
+    /// The first I/O error message, once anything failed.
+    poisoned: Option<String>,
 }
 
 impl WalWriter {
+    fn over(disk: Box<dyn crate::disk::Disk>, sync: bool) -> Self {
+        WalWriter {
+            disk,
+            sync,
+            batch: 1,
+            pending: 0,
+            checksum: false,
+            poisoned: None,
+        }
+    }
+
     /// Creates (or truncates) the WAL at `path`.
     pub fn create(path: &std::path::Path, sync: bool) -> std::io::Result<Self> {
         if let Some(dir) = path.parent() {
@@ -1487,12 +1678,14 @@ impl WalWriter {
             }
         }
         let file = std::fs::File::create(path)?;
-        Ok(WalWriter {
-            file,
-            sync,
-            batch: 1,
-            pending: 0,
-        })
+        Ok(Self::over(Box::new(crate::disk::RealDisk::new(file)), sync))
+    }
+
+    /// Creates a writer over an arbitrary [`Disk`](crate::disk::Disk) —
+    /// the seam the fault-injection harness uses to place a
+    /// [`FaultyDisk`](crate::disk::FaultyDisk) under the log.
+    pub fn with_disk(disk: Box<dyn crate::disk::Disk>, sync: bool) -> Self {
+        Self::over(disk, sync)
     }
 
     /// Reopens an existing WAL for appending after recovery, truncating a
@@ -1500,15 +1693,9 @@ impl WalWriter {
     /// [`Journal::from_jsonl_prefix`].
     pub fn resume(path: &std::path::Path, valid_bytes: u64, sync: bool) -> std::io::Result<Self> {
         let file = std::fs::OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_bytes)?;
-        let mut writer = WalWriter {
-            file,
-            sync,
-            batch: 1,
-            pending: 0,
-        };
-        use std::io::Seek;
-        writer.file.seek(std::io::SeekFrom::End(0))?;
+        let mut writer = Self::over(Box::new(crate::disk::RealDisk::new(file)), sync);
+        writer.disk.set_len(valid_bytes)?;
+        writer.disk.seek_end()?;
         Ok(writer)
     }
 
@@ -1520,22 +1707,60 @@ impl WalWriter {
         self
     }
 
+    /// Enables (or disables) per-record checksums on appended lines.
+    /// Checksummed and legacy records may interleave in one file; readers
+    /// verify whatever framing each line carries.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksum = on;
+        self
+    }
+
+    fn guard(&self) -> std::io::Result<()> {
+        match &self.poisoned {
+            Some(original) => Err(std::io::Error::other(format!(
+                "WAL writer poisoned by earlier I/O error: {original}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn poisoning<T>(&mut self, result: std::io::Result<T>) -> std::io::Result<T> {
+        if let Err(err) = &result {
+            self.poisoned = Some(err.to_string());
+        }
+        result
+    }
+
     /// Appends one record: a single complete-line write plus flush, and —
     /// when syncing is enabled — an `fdatasync` once the group-commit
     /// batch fills. Callers act on the event *after* this returns, which
     /// is what makes the log write-ahead; under a batch > 1 the durability
     /// boundary against power loss is the batch, not the append, and
     /// decision points call [`commit`](WalWriter::commit) to tighten it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the underlying I/O error, after which the writer is
+    /// permanently poisoned — see the type docs.
     pub fn append(&mut self, entry: &Stamped) -> std::io::Result<()> {
-        use std::io::Write;
-        let mut line = entry.to_jsonl_line();
+        self.guard()?;
+        let mut line = if self.checksum {
+            entry.to_jsonl_line_checksummed()
+        } else {
+            entry.to_jsonl_line()
+        };
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        let result = self.append_bytes(line.as_bytes());
+        self.poisoning(result)
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.disk.write_all(bytes)?;
+        self.disk.flush()?;
         if self.sync {
             self.pending += 1;
             if self.pending >= self.batch {
-                self.file.sync_data()?;
+                self.disk.sync_data()?;
                 self.pending = 0;
             }
         }
@@ -1545,12 +1770,37 @@ impl WalWriter {
     /// Forces the group-commit batch to disk now. A no-op when nothing is
     /// pending (in particular under the default batch of 1, where every
     /// append already synced).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the underlying I/O error, after which the writer is
+    /// permanently poisoned — see the type docs.
     pub fn commit(&mut self) -> std::io::Result<()> {
+        self.guard()?;
         if self.sync && self.pending > 0 {
-            self.file.sync_data()?;
+            let result = self.disk.sync_data();
+            self.poisoning(result)?;
             self.pending = 0;
         }
         Ok(())
+    }
+
+    /// Truncates the log to zero length — the compaction step after a
+    /// checkpoint snapshot has been durably written elsewhere. The next
+    /// append starts a fresh segment.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the underlying I/O error, after which the writer is
+    /// permanently poisoned — see the type docs.
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.guard()?;
+        let result = match self.disk.set_len(0) {
+            Ok(()) => self.disk.seek_end().map(|_| ()),
+            Err(err) => Err(err),
+        };
+        self.pending = 0;
+        self.poisoning(result)
     }
 }
 
@@ -2237,6 +2487,200 @@ mod tests {
         let healed = std::fs::read_to_string(&path).unwrap();
         assert_eq!(healed, j.to_jsonl());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksummed_lines_round_trip_and_interleave_with_legacy() {
+        let j = sample_journal();
+        let mut text = String::new();
+        for (i, e) in j.events().iter().enumerate() {
+            // Alternate framings in one stream: readers verify whatever
+            // each line carries.
+            if i % 2 == 0 {
+                text.push_str(&e.to_jsonl_line_checksummed());
+            } else {
+                text.push_str(&e.to_jsonl_line());
+            }
+            text.push('\n');
+        }
+        let restored = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(restored.events(), j.events());
+        let prefix = Journal::from_jsonl_prefix(&text).unwrap();
+        assert!(!prefix.torn);
+        assert_eq!(prefix.journal.events(), j.events());
+    }
+
+    #[test]
+    fn checksum_mismatch_names_the_stated_and_actual_hashes() {
+        let e = sample_journal().events()[0];
+        let line = e.to_jsonl_line_checksummed();
+        // Corrupt one content byte while keeping the line structurally
+        // valid JSON: flip a digit of the "at" value.
+        let tampered = line.replacen("\"at\":0", "\"at\":1", 1);
+        assert_ne!(tampered, line);
+        let err = Stamped::from_jsonl_line(&tampered).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // A damaged trailer is also refused, not skipped as unknown.
+        let clipped = line.replace("\"crc\":\"", "\"crx\":\"");
+        let err = Stamped::from_jsonl_line(&clipped).unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+    }
+
+    #[test]
+    fn interior_corruption_reports_byte_offset_and_seq() {
+        let j = sample_journal();
+        let mut text = String::new();
+        for e in j.events() {
+            text.push_str(&e.to_jsonl_line_checksummed());
+            text.push('\n');
+        }
+        // Damage the third record (seq 2) in place.
+        let lines: Vec<&str> = text.lines().collect();
+        let expected_offset = lines[0].len() + lines[1].len() + 2;
+        let damaged = text.replacen("\"value\":true", "\"value\":false", 1);
+        assert_ne!(damaged, text, "sample journal has a value field");
+        let err = Journal::from_jsonl_prefix(&damaged).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.offset, expected_offset);
+        assert_eq!(err.seq, Some(2));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(
+            shown.contains(&format!("byte {expected_offset}")),
+            "{shown}"
+        );
+        assert!(shown.contains("seq 2"), "{shown}");
+    }
+
+    #[test]
+    fn corrupt_final_terminated_record_is_refused_not_torn() {
+        let j = sample_journal();
+        let mut text = String::new();
+        for e in j.events() {
+            text.push_str(&e.to_jsonl_line_checksummed());
+            text.push('\n');
+        }
+        // Flip content inside the FINAL record but keep its newline: the
+        // record was fully written and then damaged in place, which must
+        // be corruption — only a missing newline may be treated as torn.
+        let last_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        let mut damaged = text.clone();
+        // RunEnded's checksummed line ends ...,"crc":"<hex>"}; flip one
+        // hex digit's case-insensitive value by replacing the at field.
+        damaged.replace_range(last_start + 7..last_start + 8, "9");
+        assert_ne!(damaged, text);
+        let err = Journal::from_jsonl_prefix(&damaged).unwrap_err();
+        assert_eq!(err.line, j.len());
+        // Without the trailing newline the same damage is a torn tail.
+        let torn_text = &damaged[..damaged.len() - 1];
+        let prefix = Journal::from_jsonl_prefix(torn_text).unwrap();
+        assert!(prefix.torn);
+        assert_eq!(prefix.journal.len(), j.len() - 1);
+    }
+
+    #[test]
+    fn fsync_failure_poisons_the_writer_for_good() {
+        use crate::disk::{DiskFaultPlan, FaultyDisk};
+        let path =
+            std::env::temp_dir().join(format!("smartred-wal-poison-{}.jsonl", std::process::id()));
+        let plan = DiskFaultPlan {
+            seed: 5,
+            fail_fsync_at: Some(2),
+            ..DiskFaultPlan::default()
+        };
+        let disk = Box::new(FaultyDisk::create(&path, plan).unwrap());
+        let mut w = WalWriter::with_disk(disk, true);
+        let j = sample_journal();
+        w.append(&j.events()[0]).unwrap();
+        let err = w.append(&j.events()[1]).unwrap_err();
+        assert!(err.to_string().contains("injected disk fault"), "{err}");
+        // Every later operation fails fast with the original cause —
+        // the disk itself recovered, but the writer must never trust it
+        // again (the failed fsync may have dropped acknowledged pages).
+        for e in &j.events()[2..] {
+            let err = w.append(e).unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            assert!(err.to_string().contains("injected disk fault"), "{err}");
+        }
+        assert!(w.commit().unwrap_err().to_string().contains("poisoned"));
+        assert!(w.truncate().unwrap_err().to_string().contains("poisoned"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_boundary_crash_never_surfaces_a_mid_batch_prefix_as_clean() {
+        // Group commit with batch 16: records 1..=16 were fsynced, 17..24
+        // were written + flushed but NOT synced when the process dies.
+        // Power loss may then keep any byte prefix of the unsynced tail.
+        // The torn-tail contract must hold at every such cut: recovery
+        // returns exactly the whole records before the cut, reports torn
+        // for any mid-record cut, and never resumes past a partial
+        // record — a mid-batch prefix is only "clean" at a record
+        // boundary.
+        let path = std::env::temp_dir().join(format!(
+            "smartred-wal-batch-tear-{}.jsonl",
+            std::process::id()
+        ));
+        let mut w = WalWriter::create(&path, true).unwrap().with_batch(16);
+        let mut j = Journal::new();
+        for i in 0..24u64 {
+            j.record(
+                SimTime::from_micros(i),
+                RunEvent::WaveOpened {
+                    task: i as u32,
+                    wave: 1,
+                    jobs: 3,
+                },
+            );
+        }
+        for e in j.events() {
+            w.append(e).unwrap();
+        }
+        drop(w); // crash between flush and the batch's fsync
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, j.to_jsonl(), "every record was written + flushed");
+        let synced_boundary: usize = text.lines().take(16).map(|l| l.len() + 1).sum();
+        let mut boundaries = vec![0usize];
+        let mut acc = 0usize;
+        for l in text.lines() {
+            acc += l.len() + 1;
+            boundaries.push(acc);
+        }
+        for cut in synced_boundary..=text.len() {
+            let prefix = Journal::from_jsonl_prefix(&text[..cut]).unwrap();
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            let at_boundary = boundaries.contains(&cut);
+            assert_eq!(prefix.journal.len(), whole, "cut at {cut}");
+            assert_eq!(prefix.torn, !at_boundary, "cut at {cut}");
+            assert_eq!(
+                prefix.valid_bytes,
+                *boundaries.iter().rfind(|&&b| b <= cut).unwrap(),
+                "cut at {cut}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_starts_a_fresh_segment() {
+        let path = std::env::temp_dir().join(format!(
+            "smartred-wal-truncate-{}.jsonl",
+            std::process::id()
+        ));
+        let j = sample_journal();
+        let mut w = WalWriter::create(&path, true).unwrap().with_checksums(true);
+        for e in &j.events()[..4] {
+            w.append(e).unwrap();
+        }
+        w.truncate().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        // Appends after truncation land at offset zero, not at the old
+        // end-of-file position.
+        w.append(&j.events()[4]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let restored = Journal::from_jsonl(&text).unwrap();
+        assert_eq!(restored.events(), &j.events()[4..5]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

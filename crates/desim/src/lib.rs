@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod disk;
 pub mod engine;
 pub mod journal;
 pub mod network;
@@ -47,6 +48,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use disk::{Disk, DiskFaultPlan, FaultyDisk, RealDisk};
 pub use engine::{RunStats, Simulator};
 pub use journal::{EventKind, Journal, RunEvent};
 pub use network::{LinkSpec, NetworkModel};

@@ -59,11 +59,13 @@ use smartred_core::resilience::{
     DisciplineAction, NodeDiscipline, PoisonPolicy, QuarantinePolicy, TaskDiscipline,
 };
 use smartred_core::strategy::RedundancyStrategy;
+use smartred_desim::disk::{DiskFaultPlan, FaultyDisk};
 use smartred_desim::journal::{DepartureReason, Journal, RunEvent, WalWriter};
 use smartred_desim::time::{SimDuration, SimTime};
 
+use crate::checkpoint::{checkpoint_path, CheckpointState};
 use crate::recovery::{self, RecoveryError, RecoveryReport};
-use crate::report::{report_from_journal, RuntimeReport};
+use crate::report::{fold_into, report_from_journal, RuntimeReport};
 use crate::worker::{JobAssignment, JobResult, PoolEvent, Worker, WorkerPool};
 use crate::workload::Payload;
 
@@ -146,6 +148,30 @@ pub struct RuntimeConfig {
     /// alternatives order eligible workers through
     /// [`Assignment::pick`] before dispatch.
     pub assignment: Assignment,
+    /// Per-record WAL checksums: each appended line carries an FNV-1a
+    /// checksum of its canonical form, so recovery distinguishes a torn
+    /// tail (dropped, resumed) from mid-file corruption (refused, with
+    /// the damaged record's byte offset and seq). Off by default — a
+    /// checksum-free WAL is byte-identical to the in-memory journal's
+    /// JSONL and remains readable by older tooling.
+    pub wal_checksum: bool,
+    /// Checkpoint + compaction: once this many events have accumulated
+    /// since the last checkpoint, the coordinator — at its next quiescent
+    /// point (no open tasks, jobs, or parked work) — snapshots its state
+    /// next to the WAL, truncates the log, and seals the fresh segment
+    /// with a [`RunEvent::CheckpointTaken`] record. Recovery then replays
+    /// snapshot + suffix instead of the whole history, so recovery time
+    /// is bounded by the checkpoint interval, not uptime. `None`
+    /// disables.
+    pub checkpoint_every: Option<u64>,
+    /// Disk-fault injection under the WAL file handle (seeded,
+    /// deterministic): short writes, fsync failures, write-crash points,
+    /// read-back bit flips. A WAL I/O error permanently poisons the
+    /// writer and crashes the coordinator — recovery then proceeds from
+    /// the durable prefix exactly as after a real power loss. Applies to
+    /// the writer created by [`Runtime::start`]; [`Runtime::recover`]
+    /// always reopens the real file. Test/bench only. `None` disables.
+    pub disk_faults: Option<DiskFaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -171,6 +197,9 @@ impl Default for RuntimeConfig {
             wal_batch: 1,
             hedge: None,
             assignment: Assignment::Random,
+            wal_checksum: false,
+            checkpoint_every: None,
+            disk_faults: None,
         }
     }
 }
@@ -413,11 +442,10 @@ impl Runtime {
         } else {
             Journal::disabled()
         };
-        let wal = cfg.wal.as_ref().map(|p| {
-            WalWriter::create(p, cfg.wal_sync)
-                .expect("create WAL file")
-                .with_batch(cfg.wal_batch)
-        });
+        let wal = cfg
+            .wal
+            .as_ref()
+            .map(|p| build_wal(p, &cfg).expect("create WAL file"));
         let RuntimeParts {
             worker_count,
             pool,
@@ -449,6 +477,8 @@ impl Runtime {
             draining: false,
             events_logged: 0,
             crashed: false,
+            decided: HashSet::new(),
+            last_ckpt_events: 0,
             incarnations: vec![0; node_span],
             discipline: vec![NodeDiscipline::default(); node_span],
             quarantined_until: vec![None; node_span],
@@ -542,12 +572,101 @@ impl Runtime {
         F: Fn(u32) -> Box<dyn Worker> + Send + Sync + 'static,
     {
         let path = cfg.wal.clone().ok_or(RecoveryError::NoWal)?;
-        let text = std::fs::read_to_string(&path)?;
-        let prefix = Journal::from_jsonl_prefix(&text)?;
+        // Read as bytes: an injected bit flip can break UTF-8 itself, and
+        // that too must surface as corruption, not an unreadable file.
+        let bytes = std::fs::read(&path)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let prefix = match Journal::from_jsonl_prefix(&text) {
+            Ok(prefix) => prefix,
+            Err(err) => {
+                // In-place corruption of an acknowledged record: recovery
+                // must never resume past it. Quarantine the damaged
+                // segment for forensics so a retry cannot silently
+                // re-trip — the error names the byte offset and seq.
+                let mut quarantined = path.clone().into_os_string();
+                quarantined.push(".quarantined");
+                let _ = std::fs::rename(&path, PathBuf::from(quarantined));
+                return Err(RecoveryError::Parse(err));
+            }
+        };
+
+        // Disambiguate the segment: a WAL beginning with a
+        // `CheckpointTaken` seal replays snapshot + suffix; one beginning
+        // at seq 0 is the full history (any snapshot beside it is a
+        // leftover from a crash before truncation — redundant, ignored);
+        // an *empty* segment next to a valid snapshot is a crash between
+        // truncation and the seal record, healed from the snapshot alone.
+        let ckpt = checkpoint_path(&path);
+        let mut heal_seal = false;
+        let base: Option<CheckpointState> = match prefix.journal.events().first() {
+            Some(first) => match first.event {
+                RunEvent::CheckpointTaken { events, digest } => {
+                    if first.seq != events {
+                        return Err(RecoveryError::Corrupt(format!(
+                            "checkpoint record seq {} does not match its \
+                             event count {events}",
+                            first.seq
+                        )));
+                    }
+                    let snap = CheckpointState::load(&ckpt).map_err(|msg| {
+                        RecoveryError::Corrupt(format!(
+                            "WAL begins at checkpoint {events} but its \
+                             snapshot is unusable: {msg}"
+                        ))
+                    })?;
+                    if snap.events != events || snap.digest() != digest {
+                        return Err(RecoveryError::Corrupt(format!(
+                            "snapshot does not match the WAL's checkpoint \
+                             record (snapshot {}/{:016x}, record \
+                             {events}/{digest:016x})",
+                            snap.events,
+                            snap.digest()
+                        )));
+                    }
+                    Some(snap)
+                }
+                _ if first.seq == 0 => None,
+                _ => {
+                    return Err(RecoveryError::Corrupt(format!(
+                        "WAL segment starts mid-stream at seq {} with no \
+                         checkpoint record",
+                        first.seq
+                    )));
+                }
+            },
+            None if ckpt.exists() => {
+                let snap = CheckpointState::load(&ckpt).map_err(|msg| {
+                    RecoveryError::Corrupt(format!(
+                        "empty WAL segment with an unusable snapshot: {msg}"
+                    ))
+                })?;
+                heal_seal = true;
+                Some(snap)
+            }
+            None => None,
+        };
+
         let strategy = Arc::new(strategy);
-        let rebuilt = recovery::rebuild(&prefix.journal, &cfg, &strategy)?;
-        let wal = WalWriter::resume(&path, prefix.valid_bytes as u64, cfg.wal_sync)?
-            .with_batch(cfg.wal_batch);
+        let rebuilt = recovery::rebuild(&prefix.journal, &cfg, &strategy, base.as_ref())?;
+        let mut wal = WalWriter::resume(&path, prefix.valid_bytes as u64, cfg.wal_sync)?
+            .with_batch(cfg.wal_batch)
+            .with_checksums(cfg.wal_checksum);
+        let events_replayed = prefix.journal.len();
+        let mut journal = prefix.journal;
+        if heal_seal {
+            let snap = base.as_ref().expect("healing implies a snapshot");
+            journal = Journal::resume_at(snap.events);
+            journal.record(
+                snap.last_at,
+                RunEvent::CheckpointTaken {
+                    events: snap.events,
+                    digest: snap.digest(),
+                },
+            );
+            let entry = journal.events().last().expect("just recorded");
+            wal.append(entry)?;
+            wal.commit()?;
+        }
 
         let RuntimeParts {
             worker_count,
@@ -659,13 +778,25 @@ impl Runtime {
             .max()
             .map_or(0, |m| m + 1);
 
-        let report = report_from_journal(&prefix.journal);
+        let report = match &base {
+            Some(snap) => {
+                // Snapshot + suffix fold: checkpoints happen only at
+                // quiescence, so no per-task accumulator straddles the
+                // boundary and the continued fold is bit-identical to a
+                // full-history fold.
+                let mut report = snap.report.clone();
+                fold_into(&mut report, journal.events());
+                report
+            }
+            None => report_from_journal(&journal),
+        };
         let escalated = report.audit_failures > 0;
         let time_base = rebuilt.last_at.as_micros();
+        let last_ckpt_events = journal.next_seq();
         active.store(tasks.len(), Ordering::Relaxed);
 
         let coordinator = Coordinator {
-            journal: prefix.journal,
+            journal,
             wal: Some(wal),
             strategy,
             time_base,
@@ -681,6 +812,8 @@ impl Runtime {
             draining: false,
             events_logged: 0,
             crashed: false,
+            decided: rebuilt.decided,
+            last_ckpt_events,
             incarnations,
             discipline,
             quarantined_until,
@@ -704,11 +837,13 @@ impl Runtime {
         };
         let report = RecoveryReport {
             torn_tail: prefix.torn,
-            events_replayed: coordinator.journal.len(),
+            events_replayed,
+            checkpoint_events: base.as_ref().map_or(0, |s| s.events),
             tasks_resumed,
             tasks_decided,
             tasks_seeded,
             jobs_rearmed,
+            report: coordinator.report.clone(),
         };
         let runtime = spawn_runtime(
             coordinator,
@@ -799,6 +934,25 @@ impl RuntimeParts {
             max_active: cfg.max_active.max(1),
         }
     }
+}
+
+/// Builds the WAL writer of a fresh run: the real file, or a
+/// fault-injecting [`FaultyDisk`] under it when
+/// [`RuntimeConfig::disk_faults`] is set, with the configured group-commit
+/// batch and checksum framing.
+fn build_wal(path: &std::path::Path, cfg: &RuntimeConfig) -> std::io::Result<WalWriter> {
+    let writer = match cfg.disk_faults {
+        Some(plan) => {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            WalWriter::with_disk(Box::new(FaultyDisk::create(path, plan)?), cfg.wal_sync)
+        }
+        None => WalWriter::create(path, cfg.wal_sync)?,
+    };
+    Ok(writer
+        .with_batch(cfg.wal_batch)
+        .with_checksums(cfg.wal_checksum))
 }
 
 fn spawn_runtime<S: RedundancyStrategy<bool> + Send + Sync + 'static>(
@@ -912,6 +1066,12 @@ struct Coordinator<S> {
     events_logged: u64,
     crashed: bool,
     crashed_flag: Arc<AtomicBool>,
+    /// Every task ever decided (verdict, cap, or poison durable) — the
+    /// exactly-once set a checkpoint snapshot carries forward.
+    decided: HashSet<u32>,
+    /// `Journal::next_seq` at the last checkpoint (or recovery), for the
+    /// [`RuntimeConfig::checkpoint_every`] accumulation threshold.
+    last_ckpt_events: u64,
     /// Per-worker restart counters (crash rebuilds + hang respawns).
     incarnations: Vec<u32>,
     /// Per-worker strike state under `cfg.discipline`.
@@ -979,6 +1139,10 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 break;
             }
             if self.tasks.is_empty() && self.seeded.is_empty() {
+                self.maybe_checkpoint();
+                if self.crashed {
+                    break;
+                }
                 // Nothing in flight: block on the submission queue.
                 match self.submit_rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(op) => self.admit_op(op),
@@ -1050,7 +1214,16 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 .events()
                 .last()
                 .expect("journal is enabled whenever a WAL is configured");
-            wal.append(entry).expect("WAL append failed");
+            if wal.append(entry).is_err() {
+                // The record may not be durable, so the coordinator must
+                // not act on it. A disk fault is a coordinator crash: the
+                // writer is poisoned (a failed fsync can silently drop
+                // acknowledged pages), and recovery resumes from the
+                // WAL's durable prefix exactly as after a power loss.
+                self.crashed = true;
+                self.crashed_flag.store(true, Ordering::Release);
+                return false;
+            }
         }
         self.events_logged += 1;
         if let Some(limit) = self.cfg.crash_after_events {
@@ -1067,9 +1240,121 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
     /// between logging a decision event and performing its side effects:
     /// a verdict is never delivered before it is fsync-durable.
     fn commit_wal(&mut self) {
-        if let Some(wal) = self.wal.as_mut() {
-            wal.commit().expect("WAL commit failed");
+        if self.crashed {
+            return;
         }
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.commit().is_err() {
+                // Same contract as a failed append: the batch may not be
+                // durable, so whatever side effect this commit was
+                // guarding must not happen. Die; recover from the prefix.
+                self.crashed = true;
+                self.crashed_flag.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Takes a checkpoint when one is due and the coordinator is
+    /// quiescent — no open tasks, no in-flight jobs, nothing parked — so
+    /// the snapshot needs no open-task state and the suffix fold starts
+    /// from a clean slate.
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.cfg.checkpoint_every else {
+            return;
+        };
+        if self.crashed || self.wal.is_none() {
+            return;
+        }
+        let quiescent = self.tasks.is_empty()
+            && self.seeded.is_empty()
+            && self.pending.is_empty()
+            && self.rearm.is_empty()
+            && self.jobs.is_empty();
+        if !quiescent {
+            return;
+        }
+        if self
+            .journal
+            .next_seq()
+            .saturating_sub(self.last_ckpt_events)
+            < every.max(1)
+        {
+            return;
+        }
+        self.take_checkpoint();
+    }
+
+    /// Commits the WAL, atomically stores the snapshot, truncates the
+    /// segment, and seals the fresh segment with a
+    /// [`RunEvent::CheckpointTaken`] record whose `seq` equals the
+    /// compacted event count. Every crash window inside this sequence is
+    /// recoverable — see the `checkpoint` module docs; an I/O failure
+    /// either leaves the old segment intact (snapshot store) or poisons
+    /// the writer and crashes the coordinator (truncate/seal).
+    fn take_checkpoint(&mut self) {
+        self.commit_wal();
+        if self.crashed {
+            return;
+        }
+        let Some(path) = self.cfg.wal.clone() else {
+            return;
+        };
+        let at = self.stamp();
+        let events = self.journal.next_seq();
+        let mut decided: Vec<u32> = self.decided.iter().copied().collect();
+        decided.sort_unstable();
+        let blacklisted: Vec<u32> = (0..self.blacklisted.len() as u32)
+            .filter(|&n| self.blacklisted[n as usize])
+            .collect();
+        let incarnations: Vec<(u32, u32)> = self
+            .incarnations
+            .iter()
+            .enumerate()
+            .filter(|&(_, &inc)| inc > 0)
+            .map(|(n, &inc)| (n as u32, inc))
+            .collect();
+        let quarantines: Vec<(u32, u64)> = self
+            .quarantined_until
+            .iter()
+            .enumerate()
+            .filter_map(|(n, until)| until.map(|t| (n as u32, t.as_micros())))
+            .collect();
+        let discipline: Vec<(u32, (u32, u32, u64, u32))> = self
+            .discipline
+            .iter()
+            .enumerate()
+            .map(|(n, d)| (n as u32, d.to_parts()))
+            .filter(|&(_, parts)| parts != NodeDiscipline::default().to_parts())
+            .collect();
+        let state = CheckpointState {
+            events,
+            last_at: at,
+            next_job: self.next_job,
+            decided,
+            blacklisted,
+            incarnations,
+            quarantines,
+            discipline,
+            report: self.report.clone(),
+        };
+        let digest = state.digest();
+        if state.store(&checkpoint_path(&path)).is_err() {
+            // The old WAL is fully intact — skip this checkpoint and try
+            // again only after another interval's worth of events.
+            self.last_ckpt_events = events;
+            return;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.truncate().is_err() {
+                self.crashed = true;
+                self.crashed_flag.store(true, Ordering::Release);
+                return;
+            }
+        }
+        if self.log(at, RunEvent::CheckpointTaken { events, digest }) {
+            self.commit_wal();
+        }
+        self.last_ckpt_events = self.journal.next_seq();
     }
 
     fn admit(&mut self) {
@@ -2112,11 +2397,14 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
                 crashes: self.tasks[&task].poison.crashes(),
             },
         };
-        let alive = self.log(at, event);
+        let mut alive = self.log(at, event);
         if alive {
             // The decision must be fsync-durable before any side effect,
-            // whatever the group-commit batch says.
+            // whatever the group-commit batch says. A failed commit kills
+            // the coordinator, and the decision must then not be
+            // delivered — recovery re-runs the task from the prefix.
             self.commit_wal();
+            alive = !self.crashed;
         }
         let state = self.tasks.remove(&task).expect("finalizing a live task");
         for &job in &state.live_jobs {
@@ -2132,6 +2420,7 @@ impl<S: RedundancyStrategy<bool>> Coordinator<S> {
         if !alive {
             return;
         }
+        self.decided.insert(task);
         let jobs = state.exec.jobs_deployed();
         let latency = match state.first_dispatch {
             Some(started) => at.since(started).as_units(),

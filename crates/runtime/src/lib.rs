@@ -23,6 +23,9 @@
 //!   replay cross-check;
 //! * [`recovery`] — WAL replay: rebuilds full coordinator state from a
 //!   journal prefix so [`Runtime::recover`] can resume a crashed run;
+//! * [`checkpoint`] — checksummed coordinator snapshots taken at
+//!   quiescence so recovery replays snapshot + WAL suffix instead of the
+//!   whole history, and old WAL segments can be truncated;
 //! * [`shard`] — the sharded multi-coordinator runtime: tasks hash by id
 //!   to one of N coordinators (disjoint WAL segments and worker
 //!   sub-pools) behind a router thread that owns admission control;
@@ -94,6 +97,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod coordinator;
 pub mod recovery;
 pub mod report;
@@ -101,6 +105,7 @@ pub mod shard;
 pub mod worker;
 pub mod workload;
 
+pub use checkpoint::checkpoint_path;
 pub use coordinator::{
     AdmissionStats, Client, Runtime, RuntimeConfig, RuntimeRun, SubmitOutcome, TaskVerdict,
 };

@@ -39,7 +39,9 @@ use smartred_desim::journal::{Journal, JournalParseError, RunEvent};
 use smartred_desim::time::{SimDuration, SimTime};
 use std::sync::Arc;
 
+use crate::checkpoint::CheckpointState;
 use crate::coordinator::RuntimeConfig;
+use crate::report::RuntimeReport;
 
 /// Why recovery failed.
 #[derive(Debug)]
@@ -48,8 +50,11 @@ pub enum RecoveryError {
     NoWal,
     /// Reading or reopening the WAL file failed.
     Io(std::io::Error),
-    /// A record *before* the final one is malformed — file corruption,
-    /// not a torn crash write.
+    /// A newline-terminated record is malformed — in-place file
+    /// corruption, not a torn crash write (only an *unterminated* final
+    /// chunk can be a torn append). The damaged segment is renamed to
+    /// `<wal>.quarantined` before this is returned; the error carries the
+    /// record's line, byte offset, and — when still sniffable — seq.
     Parse(JournalParseError),
     /// The event stream is internally inconsistent (e.g. a logged wave
     /// the strategy would not reopen, or an event for a decided task).
@@ -82,21 +87,32 @@ impl From<JournalParseError> for RecoveryError {
 }
 
 /// What [`crate::Runtime::recover`] did, for observability and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
     /// Whether a torn final record was dropped (and truncated on resume).
     pub torn_tail: bool,
-    /// Whole events replayed from the WAL prefix.
+    /// Whole events replayed from the WAL prefix (the suffix only, when
+    /// a checkpoint bounded the replay).
     pub events_replayed: usize,
+    /// Events restored from the checkpoint snapshot instead of replayed
+    /// (0 for a full-WAL replay). Checkpointed recovery keeps
+    /// `events_replayed` bounded by the checkpoint interval no matter how
+    /// long the run was up.
+    pub checkpoint_events: u64,
     /// Open tasks whose redundancy state was rebuilt and resumed.
     pub tasks_resumed: usize,
-    /// Tasks already decided in the prefix (never re-run or re-delivered).
+    /// Tasks already decided in the snapshot + prefix (never re-run or
+    /// re-delivered).
     pub tasks_decided: usize,
     /// Roster tasks absent from the WAL, admitted fresh under their
     /// original ids.
     pub tasks_seeded: usize,
     /// In-flight jobs re-armed for dispatch without new journal records.
     pub jobs_rearmed: usize,
+    /// The recovered coordinator's starting [`RuntimeReport`] —
+    /// snapshot + suffix fold, bit-identical to folding the full
+    /// pre-crash history.
+    pub report: RuntimeReport,
 }
 
 /// One open task's reconstructed state.
@@ -154,10 +170,18 @@ pub(crate) struct Rebuilt<S> {
 /// Replays a WAL prefix into coordinator state. See the module docs for
 /// the replay rules; any divergence between the log and what the
 /// deterministic strategy reproduces is [`RecoveryError::Corrupt`].
+///
+/// When `base` carries a checkpoint snapshot, the closed-state
+/// accumulators (decided set, node discipline, incarnations,
+/// quarantines, blacklist, job counter) start from the snapshot instead
+/// of empty, and `journal` is the post-checkpoint suffix. Checkpoints
+/// are only taken at quiescence, so the snapshot never contributes open
+/// tasks or in-flight jobs.
 pub(crate) fn rebuild<S>(
     journal: &Journal,
     cfg: &RuntimeConfig,
     strategy: &Arc<S>,
+    base: Option<&CheckpointState>,
 ) -> Result<Rebuilt<S>, RecoveryError>
 where
     S: RedundancyStrategy<bool>,
@@ -186,15 +210,24 @@ where
     let corrupt = |msg: String| Err(RecoveryError::Corrupt(msg));
 
     let mut open: HashMap<u32, Acc<S>> = HashMap::new();
-    let mut decided: HashSet<u32> = HashSet::new();
+    let mut decided: HashSet<u32> =
+        base.map_or_else(HashSet::new, |s| s.decided.iter().copied().collect());
     let mut job_replica: HashMap<u32, u32> = HashMap::new();
     let mut resolved: HashSet<u32> = HashSet::new();
-    let mut discipline: HashMap<u32, NodeDiscipline> = HashMap::new();
-    let mut incarnations: HashMap<u32, u32> = HashMap::new();
-    let mut quarantined_until: HashMap<u32, SimTime> = HashMap::new();
-    let mut blacklisted: HashSet<u32> = HashSet::new();
-    let mut next_job: u32 = 0;
-    let mut max_task: Option<u32> = None;
+    let mut discipline: HashMap<u32, NodeDiscipline> =
+        base.map_or_else(HashMap::new, CheckpointState::discipline_map);
+    let mut incarnations: HashMap<u32, u32> =
+        base.map_or_else(HashMap::new, |s| s.incarnations.iter().copied().collect());
+    let mut quarantined_until: HashMap<u32, SimTime> = base.map_or_else(HashMap::new, |s| {
+        s.quarantines
+            .iter()
+            .map(|&(n, us)| (n, SimTime::from_micros(us)))
+            .collect()
+    });
+    let mut blacklisted: HashSet<u32> =
+        base.map_or_else(HashSet::new, |s| s.blacklisted.iter().copied().collect());
+    let mut next_job: u32 = base.map_or(0, |s| s.next_job);
+    let mut max_task: Option<u32> = base.and_then(|s| s.decided.iter().max().copied());
     let window = cfg.strike_window.as_micros() as u64;
 
     for e in journal.events() {
@@ -412,10 +445,16 @@ where
             | RunEvent::StageDecided { .. }
             | RunEvent::PoisonPropagated { .. }
             | RunEvent::RunEnded => {}
+            // A checkpoint seal carries no replayable state — everything
+            // it summarizes was seeded from the snapshot before replay.
+            RunEvent::CheckpointTaken { .. } => {}
         }
     }
 
-    let last_at = journal.events().last().map_or(SimTime::ZERO, |e| e.at);
+    let last_at = journal
+        .events()
+        .last()
+        .map_or(base.map_or(SimTime::ZERO, |s| s.last_at), |e| e.at);
     let open = open
         .into_iter()
         .map(|(task, acc)| {

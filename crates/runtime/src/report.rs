@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use smartred_desim::journal::{Journal, RunEvent};
+use smartred_desim::journal::{Journal, RunEvent, Stamped};
 use smartred_desim::time::SimTime;
 use smartred_stats::Summary;
 
@@ -114,8 +114,19 @@ struct TaskAcc {
 /// live report exactly.
 pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
     let mut report = RuntimeReport::new();
+    fold_into(&mut report, journal.events());
+    report
+}
+
+/// Folds an event stream into an existing report — the continuation used
+/// by checkpointed recovery, where the snapshot supplies the base report
+/// and the WAL suffix is folded on top. The per-task accumulation starts
+/// fresh, which is sound because checkpoints are only taken at
+/// quiescence: no task in the suffix has pre-checkpoint dispatches, and
+/// task ids are never reused.
+pub(crate) fn fold_into(report: &mut RuntimeReport, events: &[Stamped]) {
     let mut tasks: HashMap<u32, TaskAcc> = HashMap::new();
-    for e in journal.events() {
+    for e in events {
         match e.event {
             RunEvent::JobDispatched { task, .. } => {
                 report.total_jobs += 1;
@@ -172,12 +183,11 @@ pub fn report_from_journal(journal: &Journal) -> RuntimeReport {
             RunEvent::HedgeWasted { .. } => report.hedges_wasted += 1,
             RunEvent::RunEnded => report.makespan_units = e.at.as_units(),
             // The runtime does not emit churn, quarantine, or fault-plan
-            // events; returned jobs, wave closes, and tallies carry no
-            // report-level metric of their own.
+            // events; returned jobs, wave closes, tallies, and checkpoint
+            // seals carry no report-level metric of their own.
             _ => {}
         }
     }
-    report
 }
 
 #[cfg(test)]

@@ -144,8 +144,19 @@ pub struct ShardedRun {
     /// The deterministic merge of the per-shard journals (by sim-time,
     /// then shard id, then seq) — the stream [`report_from_journal`]
     /// replays to the same report shape as a single-coordinator run.
+    ///
+    /// For a run recovered from *checkpointed* shard WALs this merge
+    /// covers only the post-seal suffixes (each shard's in-memory
+    /// journal resumes at its snapshot seq), so it is a partial history
+    /// by design — the pre-checkpoint events live in the snapshots, not
+    /// the segments.
     pub journal: Journal,
     /// The merged report, replayed from [`ShardedRun::journal`].
+    ///
+    /// Same caveat: after a checkpointed recovery this fold sees only
+    /// the suffix, so the authoritative full-history totals are the
+    /// per-shard [`RecoveryReport::report`]s carried forward by each
+    /// coordinator, not this merge.
     pub report: RuntimeReport,
     /// Router-level admission tally (sheds never reach any shard and are
     /// not journaled).

@@ -1,0 +1,752 @@
+//! Storage-fault chaos for the durable runtime: injected disk failures
+//! (failed fsync, short writes, power loss mid-append, silent bit rot)
+//! under the seeded [`DiskFaultPlan`], plus the checkpoint/compaction
+//! matrix — snapshot + WAL-suffix recovery must produce reports
+//! bit-identical to a full-history replay at 1 and 4 shards.
+//!
+//! WAL segments and snapshots live under `target/tmp` so a failing CI
+//! `disk-chaos` job can upload them as artifacts; they are removed on
+//! success.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use smartred_core::params::VoteMargin;
+use smartred_core::resilience::PoisonPolicy;
+use smartred_core::strategy::Iterative;
+use smartred_desim::disk::DiskFaultPlan;
+use smartred_desim::journal::{Journal, RunEvent};
+use smartred_runtime::{
+    checkpoint_path, report_from_journal, Client, FaultProfile, FaultyWorker, Payload,
+    RecoveryError, Runtime, RuntimeConfig, RuntimeRun, SubmitOutcome, TaskVerdict, Worker,
+};
+
+const SEED: u64 = 0xd15c_cafe;
+const MARGIN: usize = 3;
+
+/// Keep injected-panic backtraces out of the test output while letting
+/// real panics (including test assertion failures) through.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected worker crash"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn roster(n: usize) -> Vec<(u32, Payload)> {
+    (0..n as u32)
+        .map(|task| {
+            (
+                task,
+                Payload::Synthetic {
+                    answer: true,
+                    work: Duration::ZERO,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Lies and panics, no hangs — the same schedule-independent chaos the
+/// crash-recovery suite uses, so fault draws line up across runs.
+fn chaos_profile() -> FaultProfile {
+    FaultProfile {
+        wrong_rate: 0.25,
+        hang_rate: 0.0,
+        crash_rate: 0.15,
+        think: Duration::ZERO,
+    }
+}
+
+fn chaos_cfg(wal: Option<PathBuf>) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: None, // honor SMARTRED_THREADS (the CI disk-chaos matrix axis)
+        queue_cap: 512,
+        max_active: 16,
+        deadline: Duration::from_secs(30),
+        poison: Some(PoisonPolicy { crash_limit: 2 }),
+        wal,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn start_chaos(cfg: RuntimeConfig) -> Runtime {
+    Runtime::start(
+        cfg,
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+    )
+}
+
+fn submit_all(client: &Client, tasks: &[(u32, Payload)]) {
+    for (task, payload) in tasks {
+        match client.submit(payload.clone()) {
+            SubmitOutcome::Shed => panic!("queue_cap admits the whole roster"),
+            SubmitOutcome::Accepted { task: id } | SubmitOutcome::Queued { task: id } => {
+                assert_eq!(id, *task, "submission order must assign roster ids");
+            }
+        }
+    }
+}
+
+fn drain_verdicts(client: &Client) -> Vec<TaskVerdict> {
+    let mut verdicts = Vec::new();
+    while let Some(v) = client.recv_timeout(Duration::from_millis(400)) {
+        verdicts.push(v);
+    }
+    verdicts
+}
+
+fn run_roster(cfg: RuntimeConfig, tasks: &[(u32, Payload)]) -> (RuntimeRun, Vec<TaskVerdict>) {
+    let runtime = start_chaos(cfg);
+    let client = runtime.client();
+    submit_all(&client, tasks);
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    (runtime.finish(), verdicts)
+}
+
+fn recover_chaos(
+    cfg: RuntimeConfig,
+    tasks: &[(u32, Payload)],
+) -> (
+    RuntimeRun,
+    Vec<TaskVerdict>,
+    smartred_runtime::RecoveryReport,
+) {
+    let (runtime, client, report) = Runtime::recover(
+        cfg,
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+        tasks,
+    )
+    .expect("WAL recovery");
+    let verdicts = drain_verdicts(&client);
+    drop(client);
+    (runtime.finish(), verdicts, report)
+}
+
+/// `task → vote` of every delivered verdict, asserting no duplicates.
+fn votes(verdicts: &[TaskVerdict]) -> HashMap<u32, Option<bool>> {
+    let mut map = HashMap::new();
+    for v in verdicts {
+        assert!(
+            map.insert(v.task, v.vote).is_none(),
+            "task {} delivered twice",
+            v.task
+        );
+    }
+    map
+}
+
+/// Exactly-once delivery and golden agreement across a crash: the two
+/// delivery sets are disjoint, every delivered vote matches the golden
+/// run, and at most `slack` verdicts were lost to the crash boundary (a
+/// decision that became durable in the instant the coordinator died is
+/// never re-delivered — decisions are exactly-once, delivery at-most-once).
+fn assert_delivery(
+    ctx: &str,
+    pre: &[TaskVerdict],
+    post: &[TaskVerdict],
+    golden: &HashMap<u32, Option<bool>>,
+    slack: usize,
+) {
+    let pre = votes(pre);
+    let post = votes(post);
+    for task in pre.keys() {
+        assert!(
+            !post.contains_key(task),
+            "{ctx}: task {task} delivered on both sides of the crash"
+        );
+    }
+    let mut all = pre;
+    all.extend(post);
+    for (task, vote) in &all {
+        assert_eq!(
+            golden.get(task),
+            Some(vote),
+            "{ctx}: task {task} diverged from the golden run"
+        );
+    }
+    assert!(
+        all.len() + slack >= golden.len(),
+        "{ctx}: {} verdicts delivered, expected at least {}",
+        all.len(),
+        golden.len() - slack
+    );
+}
+
+/// Schedule-independent run structure: `(task, kind, vote)` sorted by
+/// task, where kind is 0 = verdict, 1 = capped, 2 = poisoned.
+fn shape(journal: &Journal) -> Vec<(u32, u8, Option<bool>)> {
+    let mut out = Vec::new();
+    for e in journal.events() {
+        match e.event {
+            RunEvent::VerdictReached { task, value, .. } => out.push((task, 0, Some(value))),
+            RunEvent::TaskCapped { task } => out.push((task, 1, None)),
+            RunEvent::TaskPoisoned { task, .. } => out.push((task, 2, None)),
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn wal_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "smartred-disk-chaos-{}-{name}.wal.jsonl",
+        std::process::id()
+    ))
+}
+
+fn cleanup(wal: &PathBuf) {
+    let _ = std::fs::remove_file(wal);
+    let _ = std::fs::remove_file(checkpoint_path(wal));
+    let mut quarantined = wal.clone().into_os_string();
+    quarantined.push(".quarantined");
+    let _ = std::fs::remove_file(PathBuf::from(quarantined));
+}
+
+/// The disk-fault half of the matrix: each injected storage failure must
+/// crash the coordinator (never limp on over a disk it cannot trust),
+/// and recovery on a healthy disk must converge to the golden verdicts
+/// with every delivery exactly-once across the crash.
+#[test]
+fn injected_disk_faults_crash_the_coordinator_and_recovery_converges() {
+    quiet_injected_panics();
+    let tasks = roster(8);
+    let (golden, golden_verdicts) = run_roster(chaos_cfg(None), &tasks);
+    assert!(!golden.crashed);
+    let golden_votes = votes(&golden_verdicts);
+    assert_eq!(golden_votes.len(), tasks.len());
+    let golden_shape = shape(&golden.journal);
+
+    let plans: Vec<(&str, DiskFaultPlan)> = vec![
+        (
+            "fsync-early",
+            DiskFaultPlan {
+                seed: SEED,
+                fail_fsync_at: Some(3),
+                ..DiskFaultPlan::default()
+            },
+        ),
+        (
+            "fsync-late",
+            DiskFaultPlan {
+                seed: SEED ^ 1,
+                fail_fsync_at: Some(25),
+                ..DiskFaultPlan::default()
+            },
+        ),
+        (
+            "short-write",
+            DiskFaultPlan {
+                seed: SEED ^ 2,
+                short_write_at: Some(12),
+                ..DiskFaultPlan::default()
+            },
+        ),
+        (
+            "power-loss",
+            DiskFaultPlan {
+                seed: SEED ^ 3,
+                crash_after_writes: Some(18),
+                ..DiskFaultPlan::default()
+            },
+        ),
+    ];
+    for (name, plan) in plans {
+        let wal = wal_path(name);
+        let mut cfg = chaos_cfg(Some(wal.clone()));
+        cfg.disk_faults = Some(plan);
+        let (crashed, pre_verdicts) = run_roster(cfg, &tasks);
+        assert!(crashed.crashed, "{name}: the injected fault must crash");
+
+        // Recovery reopens the real (now healthy) file; torn iff the
+        // fault persisted a partial final record without its newline.
+        let bytes = std::fs::read(&wal).unwrap();
+        let expect_torn = !bytes.is_empty() && !bytes.ends_with(b"\n");
+        let (run, post_verdicts, rec) = recover_chaos(chaos_cfg(Some(wal.clone())), &tasks);
+        assert!(!run.crashed, "{name}: recovery must complete");
+        assert_eq!(rec.torn_tail, expect_torn, "{name}: torn-tail detection");
+        assert_eq!(report_from_journal(&run.journal), run.report);
+
+        // The recovered journal carries the full history, so the strong
+        // convergence check applies: every task decided, golden outcome.
+        assert_eq!(
+            shape(&run.journal),
+            golden_shape,
+            "{name}: recovered run diverged from golden"
+        );
+        assert_delivery(name, &pre_verdicts, &post_verdicts, &golden_votes, 1);
+        cleanup(&wal);
+    }
+}
+
+/// Silent single-bit rot in a checksummed WAL is *detected* at recovery —
+/// named with its byte offset (and seq when sniffable), never parsed as a
+/// different valid event — and the damaged segment is quarantined so a
+/// blind retry cannot silently re-trip.
+#[test]
+fn bit_rot_in_a_checksummed_wal_is_refused_and_quarantined() {
+    quiet_injected_panics();
+    let tasks = roster(8);
+    let wal = wal_path("bit-rot");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.wal_checksum = true;
+    // Flip one seeded bit after the 10th write: the rot lands strictly
+    // before later appends, so the damaged record is newline-terminated —
+    // in-place corruption, not a torn tail.
+    cfg.disk_faults = Some(DiskFaultPlan {
+        seed: SEED ^ 4,
+        flip_bit_after: Some(10),
+        ..DiskFaultPlan::default()
+    });
+    let (run, verdicts) = run_roster(cfg, &tasks);
+    assert!(!run.crashed, "bit rot is silent — the run completes");
+    assert_eq!(verdicts.len(), tasks.len());
+
+    let err = match Runtime::recover(
+        chaos_cfg(Some(wal.clone())),
+        Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+        |_| Box::new(FaultyWorker::new(SEED, chaos_profile())) as Box<dyn Worker>,
+        &tasks,
+    ) {
+        Ok(_) => panic!("corrupt WAL must not recover"),
+        Err(err) => err,
+    };
+    let RecoveryError::Parse(parse) = &err else {
+        panic!("expected a parse refusal, got {err:?}");
+    };
+    let shown = parse.to_string();
+    assert!(shown.contains("byte"), "no byte offset in: {shown}");
+
+    // The segment was quarantined for forensics; the original path is
+    // gone, so a retry fails on the missing file instead of re-tripping.
+    let mut quarantined = wal.clone().into_os_string();
+    quarantined.push(".quarantined");
+    let quarantined = PathBuf::from(quarantined);
+    assert!(quarantined.exists(), "damaged segment must be quarantined");
+    assert!(!wal.exists());
+    cleanup(&wal);
+}
+
+/// Without checksums the WAL format is unchanged — no `crc` field — and
+/// a crashed unchecksummed run recovers with the on-disk segment equal
+/// to the final journal byte for byte, pinning the legacy format.
+#[test]
+fn legacy_unchecksummed_wal_recovers_byte_identically() {
+    quiet_injected_panics();
+    let tasks = roster(6);
+    let wal = wal_path("legacy");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.crash_after_events = Some(30);
+    let (crashed, _) = run_roster(cfg, &tasks);
+    assert!(crashed.crashed);
+    let text = std::fs::read_to_string(&wal).unwrap();
+    assert!(
+        !text.contains("\"crc\":"),
+        "checksums are opt-in; the default format must not change"
+    );
+
+    let (run, _, _) = recover_chaos(chaos_cfg(Some(wal.clone())), &tasks);
+    assert!(!run.crashed);
+    let on_disk = std::fs::read_to_string(&wal).unwrap();
+    assert_eq!(on_disk, run.journal.to_jsonl());
+    cleanup(&wal);
+}
+
+/// A checksummed run survives the same crash sweep: every on-disk line
+/// carries its `crc` trailer, and recovery converges.
+#[test]
+fn checksummed_wal_round_trips_through_crash_and_recovery() {
+    quiet_injected_panics();
+    let tasks = roster(6);
+    let wal = wal_path("checksummed");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.wal_checksum = true;
+    cfg.crash_after_events = Some(30);
+    let (crashed, pre) = run_roster(cfg, &tasks);
+    assert!(crashed.crashed);
+    let text = std::fs::read_to_string(&wal).unwrap();
+    assert!(text.lines().all(|l| l.contains("\"crc\":\"")));
+
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.wal_checksum = true;
+    let (run, post, rec) = recover_chaos(cfg, &tasks);
+    assert!(!run.crashed);
+    assert!(!rec.torn_tail);
+    assert_eq!(report_from_journal(&run.journal), run.report);
+    let decided = shape(&run.journal);
+    assert_eq!(decided.len(), tasks.len(), "every task must be decided");
+    // Capped and poisoned tasks deliver vote-less verdicts.
+    let golden: HashMap<u32, Option<bool>> = decided
+        .iter()
+        .map(|&(task, _, vote)| (task, vote))
+        .collect();
+    assert_delivery("checksummed", &pre, &post, &golden, 1);
+    let on_disk = std::fs::read_to_string(&wal).unwrap();
+    assert!(on_disk.lines().all(|l| l.contains("\"crc\":\"")));
+    cleanup(&wal);
+}
+
+mod checkpoint_matrix {
+    //! The checkpoint/compaction half of the tentpole: snapshot + suffix
+    //! recovery must produce a starting report bit-identical to a full
+    //! replay of the crashed run's complete in-memory history, at 1 and
+    //! 4 shards, across a sweep of crash points.
+
+    use super::*;
+    use smartred_runtime::{ShardedClient, ShardedConfig, ShardedRuntime};
+
+    const EVERY: u64 = 20;
+
+    fn ckpt_cfg(wal: Option<PathBuf>) -> RuntimeConfig {
+        let mut cfg = chaos_cfg(wal);
+        cfg.checkpoint_every = Some(EVERY);
+        cfg
+    }
+
+    /// Three submission bursts with a drained quiescent window between
+    /// them — the idle gaps where the coordinator takes checkpoints.
+    fn run_bursts(runtime: &Runtime, tasks: &[(u32, Payload)]) -> Vec<TaskVerdict> {
+        let client = runtime.client();
+        let mut verdicts = Vec::new();
+        for burst in tasks.chunks(tasks.len().div_ceil(3)) {
+            submit_all(&client, burst);
+            verdicts.extend(drain_verdicts(&client));
+            if runtime.is_crashed() {
+                break;
+            }
+        }
+        verdicts
+    }
+
+    /// Kill a checkpointing coordinator across a sweep of points; each
+    /// recovery's starting report must equal a full-history fold of the
+    /// crashed run's in-memory journal (which is never compacted), and
+    /// the continued run must converge to the golden verdicts.
+    #[test]
+    fn snapshot_plus_suffix_equals_full_replay_across_the_crash_sweep() {
+        quiet_injected_panics();
+        let tasks = roster(12);
+        let (golden, golden_verdicts) = run_roster(chaos_cfg(None), &tasks);
+        let golden_votes = votes(&golden_verdicts);
+        let events = golden.journal.events().len() as u64;
+
+        let mut saw_checkpointed_recovery = false;
+        for pct in [30u64, 60, 90] {
+            let crash_at = (events * pct / 100).max(1);
+            let wal = wal_path(&format!("ckpt-sweep-{pct}"));
+            let mut cfg = ckpt_cfg(Some(wal.clone()));
+            cfg.crash_after_events = Some(crash_at);
+            let runtime = start_chaos(cfg);
+            let pre_verdicts = run_bursts(&runtime, &tasks);
+            assert!(runtime.is_crashed(), "pct {pct}: crash point must trip");
+            let crashed = runtime.finish();
+            assert!(crashed.crashed);
+
+            let (run, post_verdicts, rec) = recover_chaos(ckpt_cfg(Some(wal.clone())), &tasks);
+            assert!(!run.crashed);
+            // The acceptance bar: snapshot + suffix == full replay, bit
+            // for bit — the crashed run's in-memory journal holds the
+            // complete history even though its WAL was compacted.
+            assert_eq!(
+                rec.report,
+                report_from_journal(&crashed.journal),
+                "pct {pct}: snapshot+suffix fold diverged from full replay"
+            );
+            if rec.checkpoint_events > 0 {
+                saw_checkpointed_recovery = true;
+                assert!(
+                    (rec.events_replayed as u64) < crash_at,
+                    "pct {pct}: a checkpoint must bound the replayed suffix"
+                );
+            }
+
+            assert_delivery(
+                &format!("pct {pct}"),
+                &pre_verdicts,
+                &post_verdicts,
+                &golden_votes,
+                1,
+            );
+            cleanup(&wal);
+        }
+        assert!(
+            saw_checkpointed_recovery,
+            "the sweep never exercised a snapshot+suffix recovery — \
+             lower EVERY or move the crash points"
+        );
+    }
+
+    /// An uninterrupted checkpointing run compacts its WAL: the final
+    /// on-disk segment is a checkpoint seal plus a bounded suffix, far
+    /// shorter than the full history, and recovery from it self-heals.
+    #[test]
+    fn compaction_bounds_the_on_disk_segment() {
+        quiet_injected_panics();
+        let tasks = roster(12);
+        let wal = wal_path("compaction");
+        let runtime = start_chaos(ckpt_cfg(Some(wal.clone())));
+        let verdicts = run_bursts(&runtime, &tasks);
+        assert_eq!(votes(&verdicts).len(), tasks.len());
+        let run = runtime.finish();
+        assert!(!run.crashed);
+
+        let text = std::fs::read_to_string(&wal).unwrap();
+        let on_disk_lines = text.lines().count();
+        assert!(
+            on_disk_lines < run.journal.events().len(),
+            "no compaction: {on_disk_lines} on-disk lines vs {} events",
+            run.journal.events().len()
+        );
+        assert!(
+            text.starts_with("{\"at\":")
+                && text.lines().next().unwrap().contains("checkpoint_taken"),
+            "a compacted segment must begin with its checkpoint seal"
+        );
+        assert!(checkpoint_path(&wal).exists());
+        cleanup(&wal);
+    }
+
+    /// The empty-suffix crash window — died after truncating the WAL but
+    /// before sealing it — heals from the snapshot alone: recovery
+    /// replays nothing, re-seals the segment, and re-delivers nothing.
+    #[test]
+    fn empty_suffix_window_heals_from_the_snapshot_alone() {
+        quiet_injected_panics();
+        let tasks = roster(12);
+        let wal = wal_path("heal");
+        let runtime = start_chaos(ckpt_cfg(Some(wal.clone())));
+        let verdicts = run_bursts(&runtime, &tasks);
+        assert_eq!(votes(&verdicts).len(), tasks.len());
+        let run = runtime.finish();
+        assert!(!run.crashed);
+        let snapshot_decided: usize = {
+            // Count decisions sealed by the last checkpoint: all of them,
+            // since the final drain left a quiescent window.
+            tasks.len()
+        };
+
+        // Simulate the crash window: the truncate landed, the seal never
+        // did.
+        std::fs::write(&wal, b"").unwrap();
+        let (run, post_verdicts, rec) = recover_chaos(ckpt_cfg(Some(wal.clone())), &tasks);
+        assert!(!run.crashed);
+        assert_eq!(rec.events_replayed, 0, "nothing to replay after a heal");
+        assert!(rec.checkpoint_events > 0);
+        assert_eq!(rec.tasks_decided, snapshot_decided);
+        assert_eq!(rec.tasks_resumed, 0);
+        assert_eq!(rec.tasks_seeded, 0, "decided tasks must not re-run");
+        assert!(
+            post_verdicts.is_empty(),
+            "healing must not re-deliver verdicts"
+        );
+        // The heal re-sealed the segment.
+        let text = std::fs::read_to_string(&wal).unwrap();
+        assert!(text.lines().next().unwrap().contains("checkpoint_taken"));
+        cleanup(&wal);
+    }
+
+    /// A WAL segment that starts mid-stream with no checkpoint seal (a
+    /// stale snapshot cannot vouch for it) is corrupt, not recoverable.
+    #[test]
+    fn mid_stream_segment_without_a_seal_is_refused() {
+        quiet_injected_panics();
+        let tasks = roster(6);
+        let wal = wal_path("mid-stream");
+        let mut cfg = chaos_cfg(Some(wal.clone()));
+        cfg.crash_after_events = Some(30);
+        let (crashed, _) = run_roster(cfg, &tasks);
+        assert!(crashed.crashed);
+
+        // Drop the first record: the segment now starts at seq 1.
+        let text = std::fs::read_to_string(&wal).unwrap();
+        let rest = &text[text.find('\n').unwrap() + 1..];
+        std::fs::write(&wal, rest).unwrap();
+        let err = match Runtime::recover(
+            chaos_cfg(Some(wal.clone())),
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            |_| Box::new(FaultyWorker::new(SEED, chaos_profile())) as Box<dyn Worker>,
+            &tasks,
+        ) {
+            Ok(_) => panic!("mid-stream segment must not recover"),
+            Err(err) => err,
+        };
+        assert!(
+            matches!(&err, RecoveryError::Corrupt(msg) if msg.contains("mid-stream")),
+            "got {err:?}"
+        );
+        cleanup(&wal);
+    }
+
+    /// The sharded checkpoint matrix: at 1 and 4 shards, every shard
+    /// checkpoints its own segment, crashed shards recover snapshot +
+    /// suffix, and each per-shard starting report is bit-identical to a
+    /// full replay of that shard's complete history.
+    #[test]
+    fn sharded_checkpoint_recovery_is_bit_identical_at_one_and_four_shards() {
+        quiet_injected_panics();
+        let tasks = roster(16);
+        for shards in [1usize, 4] {
+            let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+                "smartred-disk-chaos-{}-sharded-{shards}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let cfg =
+                |wal_dir: Option<PathBuf>, crash_after: Option<Vec<Option<u64>>>| ShardedConfig {
+                    base: ckpt_cfg(None),
+                    shards,
+                    wal_dir,
+                    admission_cap: 512,
+                    crash_after,
+                };
+
+            // Golden sharded run under the same burst structure: its
+            // per-shard event counts place the crash points past the
+            // first quiescent window, so checkpoints are exercised.
+            let (golden, golden_verdicts) = run_sharded_bursts(cfg(None, None), &tasks);
+            assert!(!golden.crashed);
+            let golden_votes = votes(&golden_verdicts);
+            let crash_points: Vec<Option<u64>> = golden
+                .shards
+                .iter()
+                .map(|s| Some((s.journal.events().len() as u64 * 3 / 5).max(1)))
+                .collect();
+
+            let (crashed, pre_verdicts) =
+                run_sharded_bursts(cfg(Some(dir.clone()), Some(crash_points)), &tasks);
+            assert!(crashed.crashed, "{shards} shards: crash points must trip");
+
+            let (runtime, client, reports) = ShardedRuntime::recover(
+                cfg(Some(dir.clone()), None),
+                Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+                |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+                &tasks,
+            )
+            .expect("parallel shard recovery");
+            let post_verdicts = drain_sharded(&client);
+            drop(client);
+            let run = runtime.finish();
+            assert!(!run.crashed);
+
+            assert_eq!(reports.len(), shards);
+            for (k, rec) in reports.iter().enumerate() {
+                assert_eq!(
+                    rec.report,
+                    report_from_journal(&crashed.shards[k].journal),
+                    "{shards} shards: shard {k} snapshot+suffix diverged \
+                     from full replay"
+                );
+            }
+            assert!(
+                reports.iter().any(|r| r.checkpoint_events > 0),
+                "{shards} shards: no shard exercised a checkpointed recovery"
+            );
+            assert_delivery(
+                &format!("{shards} shards"),
+                &pre_verdicts,
+                &post_verdicts,
+                &golden_votes,
+                shards,
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    fn run_sharded_bursts(
+        cfg: ShardedConfig,
+        tasks: &[(u32, Payload)],
+    ) -> (smartred_runtime::ShardedRun, Vec<TaskVerdict>) {
+        let runtime = ShardedRuntime::start(
+            cfg,
+            Iterative::new(VoteMargin::new(MARGIN).unwrap()),
+            |_| Box::new(FaultyWorker::new(SEED, chaos_profile())),
+        );
+        let client = runtime.client();
+        let mut verdicts = Vec::new();
+        for burst in tasks.chunks(tasks.len().div_ceil(3)) {
+            for (_, payload) in burst {
+                match client.submit(payload.clone()) {
+                    SubmitOutcome::Shed => panic!("admission_cap admits the roster"),
+                    SubmitOutcome::Accepted { .. } | SubmitOutcome::Queued { .. } => {}
+                }
+            }
+            verdicts.extend(drain_sharded(&client));
+            if runtime.is_crashed() {
+                break;
+            }
+        }
+        drop(client);
+        (runtime.finish(), verdicts)
+    }
+
+    fn drain_sharded(client: &ShardedClient) -> Vec<TaskVerdict> {
+        let mut verdicts = Vec::new();
+        while let Some(v) = client.recv_timeout(Duration::from_millis(400)) {
+            verdicts.push(v);
+        }
+        verdicts
+    }
+}
+
+/// A disk fault *during* checkpointed operation is survivable: the fsync
+/// failure crashes the coordinator mid-run, and recovery on a healthy
+/// disk — snapshot or not — still converges with exactly-once delivery.
+#[test]
+fn disk_fault_during_a_checkpointed_run_recovers() {
+    quiet_injected_panics();
+    let tasks = roster(8);
+    let (_, golden_verdicts) = run_roster(chaos_cfg(None), &tasks);
+    let golden_votes = votes(&golden_verdicts);
+
+    let wal = wal_path("ckpt-fault");
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.checkpoint_every = Some(10);
+    cfg.disk_faults = Some(DiskFaultPlan {
+        seed: SEED ^ 7,
+        fail_fsync_at: Some(100),
+        ..DiskFaultPlan::default()
+    });
+    let runtime = start_chaos(cfg);
+    let client = runtime.client();
+    let mut pre_verdicts = Vec::new();
+    for burst in tasks.chunks(3) {
+        submit_all(&client, burst);
+        pre_verdicts.extend(drain_verdicts(&client));
+        if runtime.is_crashed() {
+            break;
+        }
+    }
+    drop(client);
+    let crashed = runtime.finish();
+    assert!(crashed.crashed, "the 100th fsync must kill the coordinator");
+
+    let mut cfg = chaos_cfg(Some(wal.clone()));
+    cfg.checkpoint_every = Some(10);
+    let (run, post_verdicts, rec) = recover_chaos(cfg, &tasks);
+    assert!(!run.crashed);
+    assert_eq!(rec.report, report_from_journal(&crashed.journal));
+    assert_delivery(
+        "ckpt-fault",
+        &pre_verdicts,
+        &post_verdicts,
+        &golden_votes,
+        1,
+    );
+    cleanup(&wal);
+}

@@ -100,6 +100,32 @@ impl Summary {
         z * self.std_error()
     }
 
+    /// Decomposes the accumulator into its raw parts
+    /// `(count, mean, m2, min, max, total)` for bit-exact persistence.
+    /// Round-tripping through [`Summary::from_parts`] reproduces the
+    /// accumulator exactly, including the `±∞` sentinels of an empty
+    /// summary — callers serializing to text should store the floats via
+    /// `f64::to_bits`.
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (
+            self.count, self.mean, self.m2, self.min, self.max, self.total,
+        )
+    }
+
+    /// Reassembles an accumulator from [`Summary::to_parts`] output.
+    /// Feeding back the exact parts yields a summary whose future
+    /// `record` calls continue the original Welford sequence bit-for-bit.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, total: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            total,
+        }
+    }
+
     /// Merges another summary into this one (parallel Welford combine).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -252,6 +278,35 @@ mod tests {
         assert_eq!(s.sample_variance(), 0.0);
         assert_eq!(s.min(), 4.2);
         assert_eq!(s.max(), 4.2);
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_exact() {
+        let s: Summary = (0..9).map(|i| (i as f64).cos() * 3.7).collect();
+        let (count, mean, m2, min, max, total) = s.to_parts();
+        let r = Summary::from_parts(count, mean, m2, min, max, total);
+        assert_eq!(r.count(), s.count());
+        assert_eq!(r.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(r.min().to_bits(), s.min().to_bits());
+        assert_eq!(r.max().to_bits(), s.max().to_bits());
+        assert_eq!(r.total().to_bits(), s.total().to_bits());
+        // Continuing the stream from restored parts matches continuing the
+        // original bit-for-bit (same Welford op sequence).
+        let mut a = s;
+        let mut b = r;
+        for v in [0.25, -7.5, 1e9] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.sample_variance().to_bits(), b.sample_variance().to_bits());
+
+        // The empty summary's ±∞ sentinels survive the round trip.
+        let (count, mean, m2, min, max, total) = Summary::new().to_parts();
+        let empty = Summary::from_parts(count, mean, m2, min, max, total);
+        assert_eq!(empty.min(), f64::INFINITY);
+        assert_eq!(empty.max(), f64::NEG_INFINITY);
+        assert_eq!(empty.count(), 0);
     }
 
     #[test]
